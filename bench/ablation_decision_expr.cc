@@ -1,0 +1,57 @@
+// Ablation (paper §3 / §7 future work): alternative logical expressions
+// for Bouncer's acceptance decision — p50-only, p90-only, the published
+// p50-OR-p90, and p50-OR-p90-OR-p99 (with SLO_p99 = 80 ms). Measured
+// across the load sweep; reports slow-type rt_p50/rt_p90/rt_p99 and
+// overall rejections at 1.3x.
+
+#include <cstdio>
+
+#include "bench/bench_common.h"
+
+using namespace bouncer;
+using namespace bouncer::bench;
+
+int main() {
+  PrintPreamble("ablation_decision_expr",
+                "Bouncer decision expressions at 1.3x load");
+  auto workload = workload::PaperSimulationWorkload();
+  // Give every type an additional p99 objective for the p99 variant.
+  {
+    // The slow type's intrinsic p99 is ~120 ms, so the added objective
+    // must sit above that to be attainable at all (Appendix B.1 is about
+    // exactly this kind of percentile-choice pitfall).
+    std::vector<workload::QueryTypeSpec> types = workload.types();
+    for (auto& t : types) t.slo.p99 = 160 * kMillisecond;
+    workload = workload::WorkloadSpec(std::move(types));
+  }
+  const auto params = DefaultStudyParams();
+  auto config = params.config;
+  config.arrival_rate_qps =
+      1.3 * workload.FullLoadQps(params.config.parallelism);
+
+  const struct {
+    const char* label;
+    DecisionExpr expr;
+  } cases[] = {
+      {"p50 only", DecisionExpr::kP50Only},
+      {"p90 only", DecisionExpr::kP90Only},
+      {"p50 OR p90 (paper)", DecisionExpr::kP50OrP90},
+      {"p50 OR p90 OR p99", DecisionExpr::kP50OrP90OrP99},
+  };
+
+  std::printf("%-22s%12s%12s%12s%14s\n", "expression", "rt_p50", "rt_p90",
+              "rt_p99", "overall rej%");
+  PrintRule(72);
+  for (const auto& c : cases) {
+    PolicyConfig policy = MakeStudyPolicy(PolicyKind::kBouncer);
+    policy.bouncer.decision_expr = c.expr;
+    const auto result =
+        sim::RunAveraged(workload, config, policy, params.runs);
+    std::printf("%-22s%10.2fms%10.2fms%10.2fms%14.2f\n", c.label,
+                result.per_type[3].rt_p50_ms, result.per_type[3].rt_p90_ms,
+                result.per_type[3].rt_p99_ms,
+                result.overall.rejection_pct);
+  }
+  std::printf("(slow-type latencies; SLOs: p50=18ms p90=50ms p99=160ms)\n");
+  return 0;
+}

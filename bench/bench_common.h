@@ -1,0 +1,42 @@
+#ifndef BOUNCER_BENCH_BENCH_COMMON_H_
+#define BOUNCER_BENCH_BENCH_COMMON_H_
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "src/sim/experiment.h"
+
+namespace bouncer::bench {
+
+/// Experiment fidelity, from the BOUNCER_BENCH_SCALE environment variable:
+/// 0 = smoke (seconds), 1 = default (tens of seconds), 2 = paper scale
+/// (the paper's 1.5 M queries x 5 runs per cell; minutes).
+int BenchScale();
+
+/// Simulation parameters for the current scale (paper §5.3 at scale 2).
+struct StudyParams {
+  sim::SimulationConfig config;
+  int runs = 1;
+  std::vector<double> load_factors;
+};
+StudyParams DefaultStudyParams();
+
+/// The policies of the simulation study (paper Table 2), with parameters
+/// as published. AcceptFraction's moving-average windows are scaled down
+/// with the run length at scales 0/1 (the paper's D = 60 s assumes
+/// minute-long runs); at scale 2 they use the published values.
+PolicyConfig MakeStudyPolicy(PolicyKind kind);
+
+/// All six policy kinds of the simulation study, in presentation order.
+std::vector<PolicyKind> StudyPolicyKinds();
+
+/// Prints "# name: description" plus the runtime scale.
+void PrintPreamble(const char* name, const char* description);
+
+/// Prints a row of '-' the width of the previous header (cosmetic).
+void PrintRule(int width = 100);
+
+}  // namespace bouncer::bench
+
+#endif  // BOUNCER_BENCH_BENCH_COMMON_H_

@@ -1,0 +1,83 @@
+// Reproduces paper Fig. 3: the query-starvation example. Two query types
+// share the same latency SLO (p50 = 18 ms, p90 = 50 ms); SLOW's
+// processing time sits close to the SLO, FAST's far below. Under heavy
+// load with basic Bouncer, FAST queries fill the queue to the point where
+// SLOW's response-time estimates exceed the SLO while FAST's stay under:
+// nearly all SLOW queries are rejected (the paper observes ~99%) while
+// FAST rejections stay low (<10%).
+
+#include <cstdio>
+
+#include "bench/bench_common.h"
+#include "src/core/bouncer_policy.h"
+
+using namespace bouncer;
+using namespace bouncer::bench;
+
+int main() {
+  PrintPreamble("fig03_starvation",
+                "per-interval response-time estimates and rejection %% for "
+                "FAST and SLOW under basic Bouncer at high load");
+  const Slo slo{18 * kMillisecond, 50 * kMillisecond, 0};
+  // FAST and SLOW are the plotted types (paper Fig. 3 plots two types
+  // picked out of production traffic); MEDIUM is the rest of the
+  // production mix, whose queued work keeps the wait estimate pinned
+  // right below FAST's headroom and above SLOW's.
+  workload::WorkloadSpec mix(
+      {workload::QueryTypeSpec::FromMillis("FAST", 0.40, 2.53, 2.22, slo),
+       workload::QueryTypeSpec::FromMillis("MEDIUM", 0.40, 12.13, 7.40, slo),
+       workload::QueryTypeSpec::FromMillis("SLOW", 0.20, 20.05, 12.51, slo)});
+
+  sim::SimulationConfig config;
+  config.parallelism = 100;
+  config.seed = 33;
+  const double full_load = mix.FullLoadQps(config.parallelism);
+  config.arrival_rate_qps = 1.6 * full_load;
+  config.total_queries = BenchScale() == 0
+                             ? 150'000
+                             : static_cast<uint64_t>(
+                                   config.arrival_rate_qps * 10.0);
+  config.warmup_queries = config.total_queries / 5;
+
+  PolicyConfig policy;
+  policy.kind = PolicyKind::kBouncer;
+
+  sim::Simulator simulator(mix, config, policy);
+  auto* bouncer_policy = dynamic_cast<BouncerPolicy*>(simulator.policy());
+
+  std::printf("%6s %10s %10s %10s %10s %8s %8s\n", "t(s)", "FAST_e50",
+              "FAST_e90", "SLOW_e50", "SLOW_e90", "FAST_rej", "SLOW_rej");
+  PrintRule(70);
+  // FAST is workload index 0 (type id 1); SLOW is index 2 (type id 3).
+  const size_t kPlottedIndex[2] = {0, 2};
+  uint64_t prev_counts[2][2] = {{0, 0}, {0, 0}};  // [plotted][recv/rej].
+  simulator.SetTickCallback(kSecond, [&](Nanos now) {
+    const auto fast = bouncer_policy->EstimateFor(1, now);
+    const auto slow = bouncer_policy->EstimateFor(3, now);
+    double rejection_pct[2] = {0.0, 0.0};
+    for (size_t t = 0; t < 2; ++t) {
+      const auto [received, rejected] =
+          simulator.LiveTypeCounts(kPlottedIndex[t]);
+      const uint64_t interval_received = received - prev_counts[t][0];
+      const uint64_t interval_rejected = rejected - prev_counts[t][1];
+      prev_counts[t][0] = received;
+      prev_counts[t][1] = rejected;
+      if (interval_received > 0) {
+        rejection_pct[t] = 100.0 * static_cast<double>(interval_rejected) /
+                           static_cast<double>(interval_received);
+      }
+    }
+    std::printf("%6.0f %9.2fms %9.2fms %9.2fms %9.2fms %7.1f%% %7.1f%%\n",
+                ToSeconds(now), ToMillis(fast.ert_p50),
+                ToMillis(fast.ert_p90), ToMillis(slow.ert_p50),
+                ToMillis(slow.ert_p90), rejection_pct[0], rejection_pct[1]);
+  });
+  const auto result = simulator.Run();
+  PrintRule(70);
+  std::printf("overall: FAST rejected %.1f%%, SLOW rejected %.1f%% "
+              "(paper: <10%% vs ~99%%)\n",
+              result.per_type[0].rejection_pct,
+              result.per_type[2].rejection_pct);
+  std::printf("SLO (dotted lines in the paper): p50=18ms p90=50ms\n");
+  return 0;
+}

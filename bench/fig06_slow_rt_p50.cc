@@ -1,0 +1,39 @@
+// Reproduces paper Fig. 6: median response time (rt_p50) of the *slow*
+// query type versus offered load, for every admission-control policy in
+// the simulation study. Expected shape: Bouncer (and variants) hold
+// rt_p50 at/under the 18 ms SLO; MaxQL plateaus around ~40 ms; MaxQWT
+// plateaus around ~22 ms; AcceptFraction grows without bound.
+
+#include <cstdio>
+
+#include "bench/bench_common.h"
+
+using namespace bouncer;
+using namespace bouncer::bench;
+
+int main() {
+  PrintPreamble("fig06_slow_rt_p50",
+                "rt_p50 of 'slow' queries vs load factor, per policy "
+                "(SLO_p50 = 18 ms)");
+  const auto workload = workload::PaperSimulationWorkload();
+  const auto params = DefaultStudyParams();
+
+  std::printf("%-28s", "policy \\ load");
+  for (double f : params.load_factors) std::printf("%8.2fx", f);
+  std::printf("\n");
+  PrintRule(28 + 9 * static_cast<int>(params.load_factors.size()));
+
+  for (PolicyKind kind : StudyPolicyKinds()) {
+    const auto points =
+        sim::SweepLoadFactors(workload, params.config, MakeStudyPolicy(kind),
+                              params.load_factors, params.runs);
+    std::printf("%-28s", std::string(PolicyKindName(kind)).c_str());
+    for (const auto& point : points) {
+      std::printf("%9.2f", point.result.per_type[3].rt_p50_ms);
+    }
+    std::printf("\n");
+  }
+  std::printf("(values in ms; SLO_p50 = 18 ms shown as the paper's dotted "
+              "line)\n");
+  return 0;
+}

@@ -1,0 +1,36 @@
+// Reproduces paper Fig. 7: system utilization versus offered load, per
+// policy. Expected shape: every policy approaches ~100% utilization at
+// and beyond full load, except AcceptFraction which is pinned near its
+// 95% utilization threshold.
+
+#include <cstdio>
+
+#include "bench/bench_common.h"
+
+using namespace bouncer;
+using namespace bouncer::bench;
+
+int main() {
+  PrintPreamble("fig07_utilization",
+                "system utilization vs load factor, per policy "
+                "(AcceptFraction threshold = 95%)");
+  const auto workload = workload::PaperSimulationWorkload();
+  const auto params = DefaultStudyParams();
+
+  std::printf("%-28s", "policy \\ load");
+  for (double f : params.load_factors) std::printf("%8.2fx", f);
+  std::printf("\n");
+  PrintRule(28 + 9 * static_cast<int>(params.load_factors.size()));
+
+  for (PolicyKind kind : StudyPolicyKinds()) {
+    const auto points =
+        sim::SweepLoadFactors(workload, params.config, MakeStudyPolicy(kind),
+                              params.load_factors, params.runs);
+    std::printf("%-28s", std::string(PolicyKindName(kind)).c_str());
+    for (const auto& point : points) {
+      std::printf("%9.3f", point.result.utilization);
+    }
+    std::printf("\n");
+  }
+  return 0;
+}

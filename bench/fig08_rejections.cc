@@ -1,0 +1,36 @@
+// Reproduces paper Fig. 8: percentage of overall rejections versus
+// offered load, per policy. Expected shape: rejections grow with load for
+// every policy; Bouncer rejects the least (it targets only the costly
+// types); AcceptFraction rejects the most (bounded by its 95% threshold).
+
+#include <cstdio>
+
+#include "bench/bench_common.h"
+
+using namespace bouncer;
+using namespace bouncer::bench;
+
+int main() {
+  PrintPreamble("fig08_rejections",
+                "overall rejection %% vs load factor, per policy");
+  const auto workload = workload::PaperSimulationWorkload();
+  const auto params = DefaultStudyParams();
+
+  std::printf("%-28s", "policy \\ load");
+  for (double f : params.load_factors) std::printf("%8.2fx", f);
+  std::printf("\n");
+  PrintRule(28 + 9 * static_cast<int>(params.load_factors.size()));
+
+  for (PolicyKind kind : StudyPolicyKinds()) {
+    const auto points =
+        sim::SweepLoadFactors(workload, params.config, MakeStudyPolicy(kind),
+                              params.load_factors, params.runs);
+    std::printf("%-28s", std::string(PolicyKindName(kind)).c_str());
+    for (const auto& point : points) {
+      std::printf("%9.2f", point.result.overall.rejection_pct);
+    }
+    std::printf("\n");
+  }
+  std::printf("(values in %% of received queries)\n");
+  return 0;
+}

@@ -1,0 +1,44 @@
+// Reproduces paper Fig. 10: median response time of slow queries at 1.5x
+// full load as a function of the strategy parameters A (acceptance-
+// allowance) and alpha (helping-the-underserved). Expected shape: both
+// series sit above SLO_p50 = 18 ms (around 20-22 ms) and grow only
+// slowly (<10%) across the parameter ranges.
+
+#include <cstdio>
+
+#include "bench/bench_common.h"
+
+using namespace bouncer;
+using namespace bouncer::bench;
+
+int main() {
+  PrintPreamble("fig10_param_rt",
+                "rt_p50 of 'slow' queries at 1.5x load vs strategy "
+                "parameters A and alpha");
+  const auto workload = workload::PaperSimulationWorkload();
+  const auto params = DefaultStudyParams();
+  auto config = params.config;
+  config.arrival_rate_qps =
+      1.5 * workload.FullLoadQps(params.config.parallelism);
+
+  std::printf("%-34s%10s%14s\n", "series", "param", "rt_p50 (ms)");
+  PrintRule(58);
+  for (double a : {0.01, 0.05, 0.1, 0.2, 0.3}) {
+    PolicyConfig policy = MakeStudyPolicy(PolicyKind::kBouncerWithAllowance);
+    policy.allowance.allowance = a;
+    const auto result = sim::RunAveraged(workload, config, policy,
+                                         params.runs);
+    std::printf("%-34s%10.2f%14.2f\n", "acceptance-allowance (A)", a,
+                result.per_type[3].rt_p50_ms);
+  }
+  for (double alpha : {0.1, 0.25, 0.5, 0.75, 1.0}) {
+    PolicyConfig policy = MakeStudyPolicy(PolicyKind::kBouncerWithUnderserved);
+    policy.underserved.alpha = alpha;
+    const auto result = sim::RunAveraged(workload, config, policy,
+                                         params.runs);
+    std::printf("%-34s%10.2f%14.2f\n", "helping-the-underserved (alpha)",
+                alpha, result.per_type[3].rt_p50_ms);
+  }
+  std::printf("(SLO_p50 = 18 ms)\n");
+  return 0;
+}

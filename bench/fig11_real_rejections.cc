@@ -1,0 +1,42 @@
+// Reproduces paper Fig. 11: percentage of overall rejections on the real
+// system (the in-process Minigraph cluster standing in for LIquid) versus
+// offered QPS, per broker policy. Expected shape: rejections rise with
+// load for every policy; the Bouncer variants reject noticeably less
+// (paper: 15-30% less) because they target only the costly query types;
+// AcceptFraction rejects the most (80% utilization cap).
+
+#include <cstdio>
+
+#include "bench/real_common.h"
+
+using namespace bouncer;
+using namespace bouncer::bench;
+
+int main() {
+  PrintPreamble("fig11_real_rejections",
+                "overall rejection %% vs offered QPS on the Minigraph "
+                "cluster (broker policy varies; shards: AcceptFraction)");
+  const auto params = DefaultRealParams();
+  (void)SharedGraph(params);  // Build the graph before timing anything.
+
+  std::printf("%-30s", "policy \\ rate");
+  for (size_t i = 0; i < params.rates_qps.size(); ++i) {
+    std::printf("  %5.0fqps", params.rates_qps[i]);
+  }
+  std::printf("\n%-30s", "(paper-equivalent)");
+  for (int kqps : params.paper_rates_kqps) std::printf("  %5dK  ", kqps);
+  std::printf("\n");
+  PrintRule(30 + 9 * static_cast<int>(params.rates_qps.size()));
+
+  for (const RealPolicy& policy : RealBrokerPolicies()) {
+    std::printf("%-30s", policy.label.c_str());
+    std::fflush(stdout);
+    for (double rate : params.rates_qps) {
+      const RealCell cell = RunRealCell(params, policy.config, rate);
+      std::printf("%8.2f%%", cell.overall.rejection_pct);
+      std::fflush(stdout);
+    }
+    std::printf("\n");
+  }
+  return 0;
+}

@@ -1,0 +1,50 @@
+// Reproduces paper Fig. 12: response times of serviced QT11 queries (the
+// costliest type, with the tightest effective SLO and the largest share
+// of the mix) on the real system: (a) rt_p50 and (b) rt_p90 versus
+// offered QPS per broker policy. Expected shape: Bouncer variants and
+// MaxQWT keep rt_p50 near SLO_p50 = 18 ms and rt_p90 under SLO_p90 =
+// 50 ms; MaxQL and AcceptFraction blow past both at high load (paper:
+// >4x / >2x).
+
+#include <cstdio>
+#include <vector>
+
+#include "bench/real_common.h"
+
+using namespace bouncer;
+using namespace bouncer::bench;
+
+int main() {
+  PrintPreamble("fig12_real_qt11_rt",
+                "QT11 rt_p50 / rt_p90 vs offered QPS on the Minigraph "
+                "cluster (SLO: 18 ms / 50 ms)");
+  const auto params = DefaultRealParams();
+  (void)SharedGraph(params);
+
+  const auto policies = RealBrokerPolicies();
+  std::vector<std::vector<RealCell>> cells(policies.size());
+  for (size_t p = 0; p < policies.size(); ++p) {
+    for (double rate : params.rates_qps) {
+      cells[p].push_back(RunRealCell(params, policies[p].config, rate));
+    }
+    std::fprintf(stderr, "measured %s\n", policies[p].label.c_str());
+  }
+
+  for (int pane = 0; pane < 2; ++pane) {
+    std::printf("\n(%c) QT11 %s (ms), SLO = %d ms\n", 'a' + pane,
+                pane == 0 ? "rt_p50" : "rt_p90", pane == 0 ? 18 : 50);
+    std::printf("%-30s", "policy \\ rate");
+    for (double rate : params.rates_qps) std::printf("  %5.0fqps", rate);
+    std::printf("\n");
+    PrintRule(30 + 9 * static_cast<int>(params.rates_qps.size()));
+    for (size_t p = 0; p < policies.size(); ++p) {
+      std::printf("%-30s", policies[p].label.c_str());
+      for (const RealCell& cell : cells[p]) {
+        std::printf("%9.2f",
+                    pane == 0 ? cell.qt11.rt_p50_ms : cell.qt11.rt_p90_ms);
+      }
+      std::printf("\n");
+    }
+  }
+  return 0;
+}

@@ -1,0 +1,190 @@
+#include "bench/real_common.h"
+
+#include <memory>
+
+#include "src/workload/load_generator.h"
+
+namespace bouncer::bench {
+
+using graph::Cluster;
+using graph::GraphOp;
+using graph::GraphQuery;
+using graph::GraphStore;
+
+RealStudyParams DefaultRealParams() {
+  RealStudyParams params;
+  // Paper rates 36K..180K QPS, scaled down ~360x for a single-core host:
+  // the measured capacity of the default cluster is ~330 QPS, so this
+  // ladder spans ~0.3x to ~1.5x of capacity just as the paper's spans
+  // light load to past saturation ("shards report high CPU at >= 108K").
+  params.paper_rates_kqps = {36, 72, 108, 144, 180};
+  params.rates_qps = {100, 200, 300, 400, 500};
+  params.graph.edges_per_vertex = 8;
+  params.graph.seed = 42;
+  // Warm-up must cover a few histogram swap intervals (2 s) plus the
+  // drain of any backlog accumulated before the policies engage.
+  switch (BenchScale()) {
+    case 0:
+      params.graph.num_vertices = 50'000;
+      params.warmup = 5 * kSecond;
+      params.measure = 3 * kSecond;
+      params.rates_qps = {100, 300, 500};
+      params.paper_rates_kqps = {36, 108, 180};
+      break;
+    case 1:
+      params.graph.num_vertices = 50'000;
+      params.warmup = 6 * kSecond;
+      params.measure = 5 * kSecond;
+      break;
+    default:
+      params.graph.num_vertices = 100'000;
+      params.warmup = 15 * kSecond;
+      params.measure = 60 * kSecond;
+      break;
+  }
+
+  // Topology sized for this single-core host: shard workers do the
+  // CPU-bound work (2 threads timesharing the core); the broker's small
+  // worker pool is the explicit concurrency bottleneck so overload shows
+  // up in the broker FIFO queue — where the policy under test sits —
+  // rather than disappearing into the OS run queue (on the paper's
+  // testbed the brokers likewise produced the vast majority of
+  // rejections).
+  Cluster::Options& cluster = params.cluster;
+  cluster.num_brokers = 1;
+  cluster.broker_workers = 4;
+  cluster.num_shards = 2;
+  cluster.shard_workers = 1;
+  cluster.work_per_edge = 24;
+  // Shards always run AcceptFraction (paper §5.4), guarding CPU; the
+  // loose threshold keeps shard shedding a backstop, not the first line.
+  cluster.shard_policy.kind = PolicyKind::kAcceptFraction;
+  cluster.shard_policy.accept_fraction.max_utilization = 0.98;
+  cluster.shard_policy.accept_fraction.window_duration = kSecond;
+  cluster.shard_policy.accept_fraction.window_step = 50 * kMillisecond;
+  cluster.shard_policy.accept_fraction.update_interval = 50 * kMillisecond;
+  cluster.shard_policy.queue_guard_limit = 4000;
+  return params;
+}
+
+std::vector<RealPolicy> RealBrokerPolicies() {
+  std::vector<RealPolicy> policies;
+  // The paper caps every broker queue at L_limit = 800 with ~15 kQPS of
+  // per-broker capacity (~53 ms of queue at most). Our broker serves
+  // ~300 QPS, so the equivalent cap — same maximum queueing delay — is
+  // 800 x (300 / 15000) = 16.
+  constexpr uint64_t kScaledQueueLimit = 16;
+  const auto with_guard = [](PolicyConfig config) {
+    config.queue_guard_limit = kScaledQueueLimit;
+    return config;
+  };
+
+  // Same histogram cadence as the simulation study: 2 s windows with a
+  // 30-sample floor keep the per-type p90 estimates stable.
+  BouncerPolicy::Options bouncer_options;
+  bouncer_options.histogram_swap_interval = 2 * kSecond;
+  bouncer_options.min_samples_to_publish = 30;
+
+  PolicyConfig allowance;
+  allowance.kind = PolicyKind::kBouncerWithAllowance;
+  allowance.bouncer = bouncer_options;
+  allowance.allowance.allowance = 0.05;
+  policies.push_back({"Bouncer+Allowance(A=0.05)", with_guard(allowance)});
+
+  PolicyConfig underserved;
+  underserved.kind = PolicyKind::kBouncerWithUnderserved;
+  underserved.bouncer = bouncer_options;
+  underserved.underserved.alpha = 1.0;
+  policies.push_back(
+      {"Bouncer+Underserved(a=1.0)", with_guard(underserved)});
+
+  PolicyConfig max_ql;
+  max_ql.kind = PolicyKind::kMaxQueueLength;
+  max_ql.max_queue_length.length_limit = kScaledQueueLimit;
+  policies.push_back({"MaxQL", with_guard(max_ql)});
+
+  PolicyConfig max_qwt;
+  max_qwt.kind = PolicyKind::kMaxQueueWait;
+  max_qwt.max_queue_wait.wait_time_limit = 12 * kMillisecond;  // §5.4.
+  policies.push_back({"MaxQWT(12ms)", with_guard(max_qwt)});
+
+  PolicyConfig accept_fraction;
+  accept_fraction.kind = PolicyKind::kAcceptFraction;
+  accept_fraction.accept_fraction.max_utilization = 0.80;  // §5.4.
+  accept_fraction.accept_fraction.window_duration = 2 * kSecond;
+  accept_fraction.accept_fraction.window_step = 100 * kMillisecond;
+  accept_fraction.accept_fraction.update_interval = 100 * kMillisecond;
+  policies.push_back({"AcceptFraction(80%)", with_guard(accept_fraction)});
+  return policies;
+}
+
+const GraphStore& SharedGraph(const RealStudyParams& params) {
+  static const GraphStore* const kGraph =
+      new GraphStore(graph::GeneratePreferentialAttachment(params.graph));
+  return *kGraph;
+}
+
+RealCell RunRealCell(const RealStudyParams& params,
+                     const PolicyConfig& broker_policy, double rate_qps) {
+  const GraphStore& graph_store = SharedGraph(params);
+  const Slo slo{18 * kMillisecond, 50 * kMillisecond, 0};
+  QueryTypeRegistry registry = Cluster::MakeRegistry(slo);
+
+  Cluster::Options options = params.cluster;
+  options.broker_policy = broker_policy;
+  Cluster cluster(&graph_store, &registry, SystemClock::Global(), options);
+  auto status = cluster.Start();
+  if (!status.ok()) {
+    std::fprintf(stderr, "cluster start failed: %s\n",
+                 status.ToString().c_str());
+    return RealCell{};
+  }
+
+  server::MetricsCollector collector(registry.size());
+  collector.SetRecording(false);
+
+  // §5.4 mix, by op index QT1..QT11.
+  const workload::WorkloadSpec mix = workload::PaperRealSystemMix();
+  Rng query_rng(7);
+  workload::LoadGenerator::Options generator_options;
+  generator_options.rate_qps = rate_qps;
+  generator_options.duration = params.warmup + params.measure;
+  generator_options.seed = 99;
+  workload::LoadGenerator generator(
+      &mix, generator_options, [&](size_t type_index) {
+        const GraphQuery query = Cluster::SampleQuery(
+            static_cast<GraphOp>(type_index), graph_store, query_rng);
+        cluster.Submit(query, /*deadline=*/0,
+                       [&collector](const server::WorkItem& item,
+                                    server::Outcome outcome,
+                                    const graph::GraphQueryResult& result) {
+                         // A query whose subqueries were shed by a shard
+                         // returns an error to the client: count it as a
+                         // rejection, and keep its (fast-fail) latency out
+                         // of the serviced-query percentiles.
+                         if (outcome == server::Outcome::kCompleted &&
+                             !result.ok) {
+                           outcome = server::Outcome::kShedded;
+                         }
+                         collector.Record(item, outcome);
+                       });
+      });
+
+  // Flip recording on after the warm-up window (from a helper thread;
+  // the generator blocks this one).
+  std::thread warmup_timer([&] {
+    std::this_thread::sleep_for(std::chrono::nanoseconds(params.warmup));
+    collector.SetRecording(true);
+  });
+  generator.Run();
+  warmup_timer.join();
+  cluster.Stop();
+
+  RealCell cell;
+  cell.offered_qps = rate_qps;
+  cell.overall = collector.Overall();
+  cell.qt11 = collector.Report(Cluster::TypeIdFor(GraphOp::kDistance4));
+  return cell;
+}
+
+}  // namespace bouncer::bench

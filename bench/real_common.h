@@ -1,0 +1,58 @@
+#ifndef BOUNCER_BENCH_REAL_COMMON_H_
+#define BOUNCER_BENCH_REAL_COMMON_H_
+
+#include <string>
+#include <vector>
+
+#include "bench/bench_common.h"
+#include "src/graph/cluster.h"
+#include "src/graph/graph_generator.h"
+#include "src/server/metrics_collector.h"
+#include "src/workload/workload_spec.h"
+
+namespace bouncer::bench {
+
+/// Parameters of the real-system study (paper §5.4), scaled to this
+/// machine. The paper drives a 16-shard/12-broker LIquid cluster at
+/// 36K-180K QPS; here an in-process broker/shard cluster on one host is
+/// driven at rates scaled down ~500x, spanning the same relative range
+/// (light load to past saturation).
+struct RealStudyParams {
+  std::vector<double> rates_qps;
+  std::vector<int> paper_rates_kqps;  ///< Labels: the paper's rates.
+  Nanos warmup = 2 * kSecond;
+  Nanos measure = 5 * kSecond;
+  graph::GeneratorOptions graph;
+  graph::Cluster::Options cluster;
+};
+RealStudyParams DefaultRealParams();
+
+/// Broker policies of §5.4 with the published parameters: Bouncer +
+/// acceptance-allowance (A = 0.05), Bouncer + helping-the-underserved
+/// (alpha = 1.0), MaxQL, MaxQWT (12 ms), AcceptFraction (80%); all capped
+/// by L_limit = 800.
+struct RealPolicy {
+  std::string label;
+  PolicyConfig config;
+};
+std::vector<RealPolicy> RealBrokerPolicies();
+
+/// Outcome of one (policy, rate) cell.
+struct RealCell {
+  double offered_qps = 0.0;
+  server::TypeReport overall;
+  server::TypeReport qt11;
+};
+
+/// Generates the graph once per process (expensive); returns a shared
+/// instance.
+const graph::GraphStore& SharedGraph(const RealStudyParams& params);
+
+/// Runs one measurement: builds the cluster with `broker_policy`, warms
+/// it up at `rate_qps`, then measures for the configured window.
+RealCell RunRealCell(const RealStudyParams& params,
+                     const PolicyConfig& broker_policy, double rate_qps);
+
+}  // namespace bouncer::bench
+
+#endif  // BOUNCER_BENCH_REAL_COMMON_H_

@@ -1,0 +1,64 @@
+// Reproduces paper Table 3: per-type rejection percentages at load
+// factors 0.9x..1.5x for basic Bouncer, Bouncer + acceptance-allowance
+// (A = 0.1, as in the table), and Bouncer + helping-the-underserved
+// (alpha = 1.0). Expected shape: fast / medium-fast never rejected; slow
+// takes nearly all rejections; the strategies cap slow rejections
+// (<= ~88% / ~71% at 1.5x) and shift the overflow to medium-slow.
+
+#include <cstdio>
+
+#include "bench/bench_common.h"
+
+using namespace bouncer;
+using namespace bouncer::bench;
+
+namespace {
+
+void PrintBlock(const char* title, PolicyKind kind, double allowance) {
+  const auto workload = workload::PaperSimulationWorkload();
+  auto params = DefaultStudyParams();
+  PolicyConfig policy = MakeStudyPolicy(kind);
+  policy.allowance.allowance = allowance;  // Table 3 uses A = 0.1.
+
+  const auto points = sim::SweepLoadFactors(
+      workload, params.config, policy, params.load_factors, params.runs);
+
+  std::printf("\n%s\n", title);
+  std::printf("%-14s", "type \\ load");
+  for (double f : params.load_factors) std::printf("%8.2fx", f);
+  std::printf("\n");
+  PrintRule(14 + 9 * static_cast<int>(params.load_factors.size()));
+  const auto& names = workload.types();
+  for (size_t t = 0; t < names.size(); ++t) {
+    std::printf("%-14s", names[t].name.c_str());
+    for (const auto& point : points) {
+      const double pct = point.result.per_type[t].rejection_pct;
+      if (point.result.per_type[t].rejected == 0) {
+        std::printf("%9s", "-0-");
+      } else {
+        std::printf("%9.2f", pct);
+      }
+    }
+    std::printf("\n");
+  }
+  std::printf("%-14s", "ALL");
+  for (const auto& point : points) {
+    std::printf("%9.2f", point.result.overall.rejection_pct);
+  }
+  std::printf("\n");
+}
+
+}  // namespace
+
+int main() {
+  PrintPreamble("table3_per_type_rejections",
+                "rejection %% per query type vs load, Bouncer with and "
+                "without starvation avoidance");
+  PrintBlock("Bouncer (Basic Formulation)", PolicyKind::kBouncer, 0.1);
+  PrintBlock("Bouncer (Acceptance Allowance, A=0.1)",
+             PolicyKind::kBouncerWithAllowance, 0.1);
+  PrintBlock("Bouncer (Helping the Underserved, alpha=1.0)",
+             PolicyKind::kBouncerWithUnderserved, 0.1);
+  std::printf("\n(-0- marks absolute zero rejections, as in the paper)\n");
+  return 0;
+}

@@ -1,0 +1,58 @@
+// Reproduces paper Table 5: per-type rejection percentages under Bouncer
+// + helping-the-underserved at 1.5x full load, sweeping alpha over
+// [0.1, 1.0]. Expected shape: slow-type rejections fall as alpha grows
+// but generally exceed (1 - p_max) where p_max = alpha/2 (the help is
+// probabilistic and p rarely reaches its maximum); rejections shift to
+// medium-slow; overall rejections rise slightly (~11.6% -> ~13.2%).
+
+#include <cstdio>
+
+#include "bench/bench_common.h"
+
+using namespace bouncer;
+using namespace bouncer::bench;
+
+int main() {
+  PrintPreamble("table5_underserved_sweep",
+                "rejection %% per type at 1.5x load vs alpha");
+  const auto workload = workload::PaperSimulationWorkload();
+  const auto params = DefaultStudyParams();
+  const double qps = 1.5 * workload.FullLoadQps(params.config.parallelism);
+
+  const std::vector<double> alphas = {0.1, 0.2, 0.3, 0.4, 0.5,
+                                      0.6, 0.7, 0.8, 0.9, 1.0};
+  std::printf("%-14s", "type \\ alpha");
+  for (double a : alphas) std::printf("%8.2f", a);
+  std::printf("\n%-14s", "[p_max %]");
+  for (double a : alphas) std::printf("%7.0f%%", a * 50.0);
+  std::printf("\n");
+  PrintRule(14 + 8 * static_cast<int>(alphas.size()));
+
+  std::vector<sim::SimulationResult> results;
+  for (double a : alphas) {
+    PolicyConfig policy = MakeStudyPolicy(PolicyKind::kBouncerWithUnderserved);
+    policy.underserved.alpha = a;
+    auto config = params.config;
+    config.arrival_rate_qps = qps;
+    results.push_back(
+        sim::RunAveraged(workload, config, policy, params.runs));
+  }
+
+  for (size_t t = 0; t < workload.size(); ++t) {
+    std::printf("%-14s", workload.type(t).name.c_str());
+    for (const auto& r : results) {
+      if (r.per_type[t].rejected == 0) {
+        std::printf("%8s", "-0-");
+      } else {
+        std::printf("%8.2f", r.per_type[t].rejection_pct);
+      }
+    }
+    std::printf("\n");
+  }
+  std::printf("%-14s", "ALL");
+  for (const auto& r : results) {
+    std::printf("%8.2f", r.overall.rejection_pct);
+  }
+  std::printf("\n");
+  return 0;
+}

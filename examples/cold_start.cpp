@@ -1,0 +1,75 @@
+// Cold starts and unknown query types (paper Appendix A + B.2): a new
+// query type starts sending traffic long after the system warmed up. With
+// the general-histogram fallback, Bouncer decides for the cold type from
+// the type-agnostic distribution under the catch-all "default" SLO until
+// the type's own histogram fills; unknown type strings resolve to the
+// default type outright.
+//
+//   ./build/examples/cold_start
+
+#include <cstdio>
+
+#include "src/core/bouncer_policy.h"
+
+using namespace bouncer;
+
+namespace {
+
+void Report(const char* when, const BouncerPolicy& policy,
+            const QueryTypeRegistry& registry, QueryTypeId type) {
+  const auto estimate = policy.EstimateFor(type, 0);
+  const auto summary = policy.TypeSummary(type);
+  std::printf("%-34s type=%-10s cold=%-5s samples=%-6llu ert_p50=%.2fms "
+              "ert_p90=%.2fms\n",
+              when, registry.Name(type).c_str(),
+              estimate.cold ? "yes" : "no",
+              static_cast<unsigned long long>(summary.count),
+              ToMillis(estimate.ert_p50), ToMillis(estimate.ert_p90));
+}
+
+}  // namespace
+
+int main() {
+  // Permissive default SLO so brand-new queries can be onboarded without
+  // configuration (paper B.2), tighter SLOs for the known types.
+  QueryTypeRegistry registry(
+      /*default_slo=*/{100 * kMillisecond, 800 * kMillisecond, 0});
+  const QueryTypeId hot =
+      *registry.Register("HotType", {18 * kMillisecond, 50 * kMillisecond, 0});
+  const QueryTypeId late =
+      *registry.Register("LateType", {18 * kMillisecond, 50 * kMillisecond, 0});
+  QueueState queue(registry.size());
+  PolicyContext context{&registry, &queue, /*parallelism=*/8};
+
+  BouncerPolicy::Options options;
+  options.cold_start_mode = ColdStartMode::kGeneralHistogram;
+  options.warmup_min_samples = 50;
+  BouncerPolicy policy(context, options);
+
+  std::printf("== phase 1: only HotType traffic (5 ms queries) ==\n");
+  for (int i = 0; i < 500; ++i) policy.OnCompleted(hot, 5 * kMillisecond, 0);
+  policy.ForceHistogramSwap();
+  Report("after warm-up", policy, registry, hot);
+  Report("LateType (never seen)", policy, registry, late);
+  std::printf("LateType decision now: %s  (general histogram, default SLO)\n",
+              policy.Decide(late, 0) == Decision::kAccept ? "ACCEPT"
+                                                          : "REJECT");
+
+  std::printf("\n== phase 2: LateType arrives, runs hot at 40 ms ==\n");
+  for (int i = 0; i < 500; ++i) policy.OnCompleted(late, 40 * kMillisecond, 0);
+  policy.ForceHistogramSwap();
+  Report("after LateType warm-up", policy, registry, late);
+  std::printf("LateType decision now: %s  (own histogram: 40 ms median "
+              "violates its 18 ms SLO)\n",
+              policy.Decide(late, 0) == Decision::kAccept ? "ACCEPT"
+                                                          : "REJECT");
+
+  std::printf("\n== phase 3: a request with an unknown type string ==\n");
+  const QueryTypeId resolved = registry.Resolve("BrandNewQuery");
+  std::printf("'BrandNewQuery' resolves to '%s' (id %u); decision: %s "
+              "(default SLO is permissive)\n",
+              registry.Name(resolved).c_str(), resolved,
+              policy.Decide(resolved, 0) == Decision::kAccept ? "ACCEPT"
+                                                              : "REJECT");
+  return 0;
+}

@@ -1,0 +1,107 @@
+// Minigraph service under a traffic surge: the full real-system stack —
+// synthetic social graph, broker/shard cluster, open-loop load generator
+// — with Bouncer guarding the broker. Traffic ramps from light load
+// through a surge past capacity and back; per-phase stats show early
+// rejections kicking in during the surge while serviced queries keep
+// meeting their SLOs (the paper's §2 motivation).
+//
+//   ./build/examples/graph_service
+
+#include <cstdio>
+#include <thread>
+
+#include "src/graph/cluster.h"
+#include "src/graph/graph_generator.h"
+#include "src/server/metrics_collector.h"
+#include "src/workload/load_generator.h"
+
+using namespace bouncer;
+using namespace bouncer::graph;
+
+int main() {
+  // Graph substrate: a preferential-attachment social graph.
+  GeneratorOptions graph_options;
+  graph_options.num_vertices = 50'000;
+  graph_options.edges_per_vertex = 8;
+  std::printf("generating graph (%u vertices)...\n",
+              graph_options.num_vertices);
+  const GraphStore graph = GeneratePreferentialAttachment(graph_options);
+  std::printf("graph ready: %u vertices, %llu edges\n", graph.num_vertices(),
+              static_cast<unsigned long long>(graph.num_edges()));
+
+  // Cluster: one broker (Bouncer + acceptance-allowance at the door),
+  // two shards (AcceptFraction as the CPU backstop).
+  const Slo slo{18 * kMillisecond, 50 * kMillisecond, 0};
+  QueryTypeRegistry registry = Cluster::MakeRegistry(slo);
+  Cluster::Options options;
+  options.num_brokers = 1;
+  options.broker_workers = 4;
+  options.num_shards = 2;
+  options.shard_workers = 1;
+  options.broker_policy.kind = PolicyKind::kBouncerWithAllowance;
+  options.broker_policy.bouncer.histogram_swap_interval = 2 * kSecond;
+  options.broker_policy.bouncer.min_samples_to_publish = 5;
+  options.broker_policy.allowance.allowance = 0.10;
+  options.broker_policy.queue_guard_limit = 16;
+  options.shard_policy.kind = PolicyKind::kAcceptFraction;
+  options.shard_policy.accept_fraction.max_utilization = 0.98;
+  Cluster cluster(&graph, &registry, SystemClock::Global(), options);
+  if (Status s = cluster.Start(); !s.ok()) {
+    std::fprintf(stderr, "cluster start failed: %s\n", s.ToString().c_str());
+    return 1;
+  }
+
+  const workload::WorkloadSpec mix = workload::PaperRealSystemMix();
+  server::MetricsCollector metrics(registry.size());
+  Rng query_rng(1);
+
+  const struct {
+    const char* label;
+    double qps;
+    Nanos duration;
+  } phases[] = {
+      {"warm-up (not reported)", 120, 5 * kSecond},
+      {"steady (light load)", 120, 6 * kSecond},
+      {"surge (past capacity)", 450, 6 * kSecond},
+      {"recovery", 120, 6 * kSecond},
+  };
+
+  std::printf("\n%-24s %9s %9s %9s %12s %12s\n", "phase", "received",
+              "rejected", "rej %", "QT11 rt_p50", "QT11 rt_p90");
+  for (const auto& phase : phases) {
+    metrics.Reset();
+    workload::LoadGenerator::Options generator_options;
+    generator_options.rate_qps = phase.qps;
+    generator_options.duration = phase.duration;
+    workload::LoadGenerator generator(
+        &mix, generator_options, [&](size_t type_index) {
+          const GraphQuery query = Cluster::SampleQuery(
+              static_cast<GraphOp>(type_index), graph, query_rng);
+          cluster.Submit(query, /*deadline=*/0,
+                         [&metrics](const server::WorkItem& item,
+                                    server::Outcome outcome,
+                                    const GraphQueryResult& result) {
+                           if (outcome == server::Outcome::kCompleted &&
+                               !result.ok) {
+                             outcome = server::Outcome::kShedded;
+                           }
+                           metrics.Record(item, outcome);
+                         });
+        });
+    generator.Run();
+    // Let in-flight queries finish before reading the phase's numbers.
+    std::this_thread::sleep_for(std::chrono::milliseconds(300));
+    if (phase.label[0] == 'w') continue;  // Warm-up phase: discard.
+    const auto overall = metrics.Overall();
+    const auto qt11 = metrics.Report(Cluster::TypeIdFor(GraphOp::kDistance4));
+    std::printf("%-24s %9lu %9lu %8.2f%% %10.2fms %10.2fms\n", phase.label,
+                static_cast<unsigned long>(overall.received),
+                static_cast<unsigned long>(overall.rejected),
+                overall.rejection_pct, qt11.rt_p50_ms, qt11.rt_p90_ms);
+  }
+  cluster.Stop();
+  std::printf("\nDuring the surge Bouncer sheds the expensive QT11 queries "
+              "early (clients can fail over\nimmediately) and keeps the "
+              "serviced ones near the 18ms/50ms SLOs.\n");
+  return 0;
+}

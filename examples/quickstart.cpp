@@ -1,0 +1,113 @@
+// Quickstart: put Bouncer in front of a tiny in-process service.
+//
+// Builds a query-type registry with per-type latency SLOs, wraps a
+// worker-pool Stage with the Bouncer admission policy, and offers it a
+// burst of traffic. Rejected queries get an immediate error (early
+// rejection, paper §2); admitted queries are processed and their
+// response times collected.
+//
+//   ./build/examples/quickstart
+
+#include <chrono>
+#include <cstdio>
+#include <thread>
+
+#include "src/core/policy_factory.h"
+#include "src/server/metrics_collector.h"
+#include "src/server/stage.h"
+
+using namespace bouncer;
+
+namespace {
+
+// Simulated query engine: an I/O-bound query of a type-dependent
+// duration (sleeping keeps the toy deterministic on small machines).
+void WorkFor(Nanos duration) {
+  std::this_thread::sleep_for(std::chrono::nanoseconds(duration));
+}
+
+}  // namespace
+
+int main() {
+  // 1. Declare the query types and their latency SLOs (percentile
+  //    response-time objectives). Unknown types resolve to "default".
+  QueryTypeRegistry registry(
+      /*default_slo=*/{30 * kMillisecond, 400 * kMillisecond, 0});
+  const QueryTypeId get_friends =
+      *registry.Register("GetFriends", {30 * kMillisecond,
+                                        120 * kMillisecond, 0});
+  const QueryTypeId graph_distance =
+      *registry.Register("GraphDistance", {60 * kMillisecond,
+                                           270 * kMillisecond, 0});
+
+  // 2. Configure the policy: Bouncer + acceptance-allowance so no query
+  //    type can starve (paper §4.1).
+  PolicyConfig policy;
+  policy.kind = PolicyKind::kBouncerWithAllowance;
+  policy.bouncer.histogram_swap_interval = 200 * kMillisecond;
+  policy.allowance.allowance = 0.02;
+
+  // 3. Build the stage: a FIFO queue drained by 2 worker threads, with
+  //    the policy deciding at the door.
+  server::MetricsCollector metrics(registry.size());
+  auto stage_or = server::StageBuilder()
+                      .SetRegistry(&registry)
+                      .SetPolicyConfig(policy)
+                      .SetOptions({.name = "quickstart", .num_workers = 2})
+                      .SetHandler([&](server::WorkItem& item) {
+                        // The "query engine": cheap for GetFriends,
+                        // expensive for GraphDistance.
+                        WorkFor(item.type == 1 ? 2 * kMillisecond
+                                               : 20 * kMillisecond);
+                      })
+                      .Build();
+  if (!stage_or.ok()) {
+    std::fprintf(stderr, "failed to build stage: %s\n",
+                 stage_or.status().ToString().c_str());
+    return 1;
+  }
+  server::Stage& stage = **stage_or;
+  if (Status s = stage.Start(); !s.ok()) {
+    std::fprintf(stderr, "failed to start: %s\n", s.ToString().c_str());
+    return 1;
+  }
+
+  // 4. Offer ~2x more traffic than the two workers can absorb and watch
+  //    Bouncer shed the overflow at the door. The first rounds warm the
+  //    processing-time histograms and are excluded from the report.
+  metrics.SetRecording(false);
+  for (int round = 0; round < 200; ++round) {
+    if (round == 70) metrics.SetRecording(true);  // Warm-up done.
+    for (QueryTypeId type : {get_friends, get_friends, get_friends,
+                             graph_distance}) {
+      server::WorkItem item;
+      item.type = type;
+      item.on_complete = [&](const server::WorkItem& w, server::Outcome o) {
+        metrics.Record(w, o);
+      };
+      stage.Submit(std::move(item));
+    }
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  }
+  stage.Stop(/*drain=*/false);
+
+  // 5. Report.
+  std::printf("%-14s %9s %9s %9s %11s %11s\n", "type", "received",
+              "accepted", "rejected", "rt_p50(ms)", "rt_p90(ms)");
+  for (QueryTypeId type : {get_friends, graph_distance}) {
+    const auto report = metrics.Report(type);
+    std::printf("%-14s %9lu %9lu %9lu %11.2f %11.2f\n",
+                registry.Name(type).c_str(),
+                static_cast<unsigned long>(report.received),
+                static_cast<unsigned long>(report.accepted),
+                static_cast<unsigned long>(report.rejected),
+                report.rt_p50_ms, report.rt_p90_ms);
+  }
+  std::printf("\nSLOs: GetFriends p50=30ms p90=120ms; GraphDistance "
+              "p50=60ms p90=270ms\nServiced queries meet or track closely "
+              "their SLOs (expect some jitter on a busy host);\nthe "
+              "overflow was rejected at the door. Note that the type with "
+              "the tighter SLO\nrelative to its cost sheds first — exactly "
+              "the per-type behaviour Bouncer is built for.\n");
+  return 0;
+}

@@ -1,0 +1,196 @@
+// Command-line simulation driver: run any policy against the paper's
+// Table 1 workload (or a custom SLO set) at a chosen load, straight from
+// the shell — handy for exploring parameter spaces beyond the canned
+// benches.
+//
+//   ./build/examples/sim_cli --policy=bouncer --load=1.3
+//   ./build/examples/sim_cli --policy=allowance --load=1.5 --A=0.1
+//   ./build/examples/sim_cli --policy=maxqwt --limit-ms=12 --queries=500000
+//   ./build/examples/sim_cli --policy=bouncer --deadline-ms=100 --runs=3
+//   ./build/examples/sim_cli --help
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+#include "src/sim/experiment.h"
+
+using namespace bouncer;
+using namespace bouncer::sim;
+
+namespace {
+
+struct CliOptions {
+  std::string policy = "bouncer";
+  double load_factor = 1.2;
+  uint64_t queries = 300'000;
+  uint64_t warmup = 100'000;
+  uint64_t seed = 1;
+  int runs = 1;
+  double allowance = 0.05;
+  double alpha = 1.0;
+  double limit_ms = 15.0;
+  uint64_t queue_limit = 400;
+  double max_util = 0.95;
+  double deadline_ms = 0.0;
+  std::string discipline = "fifo";
+  bool help = false;
+};
+
+bool ParseFlag(const char* arg, const char* name, std::string* out) {
+  const size_t len = std::strlen(name);
+  if (std::strncmp(arg, name, len) == 0 && arg[len] == '=') {
+    *out = arg + len + 1;
+    return true;
+  }
+  return false;
+}
+
+CliOptions ParseArgs(int argc, char** argv) {
+  CliOptions options;
+  for (int i = 1; i < argc; ++i) {
+    std::string value;
+    if (std::strcmp(argv[i], "--help") == 0) {
+      options.help = true;
+    } else if (ParseFlag(argv[i], "--policy", &value)) {
+      options.policy = value;
+    } else if (ParseFlag(argv[i], "--load", &value)) {
+      options.load_factor = std::atof(value.c_str());
+    } else if (ParseFlag(argv[i], "--queries", &value)) {
+      options.queries = std::strtoull(value.c_str(), nullptr, 10);
+    } else if (ParseFlag(argv[i], "--warmup", &value)) {
+      options.warmup = std::strtoull(value.c_str(), nullptr, 10);
+    } else if (ParseFlag(argv[i], "--seed", &value)) {
+      options.seed = std::strtoull(value.c_str(), nullptr, 10);
+    } else if (ParseFlag(argv[i], "--runs", &value)) {
+      options.runs = std::atoi(value.c_str());
+    } else if (ParseFlag(argv[i], "--A", &value)) {
+      options.allowance = std::atof(value.c_str());
+    } else if (ParseFlag(argv[i], "--alpha", &value)) {
+      options.alpha = std::atof(value.c_str());
+    } else if (ParseFlag(argv[i], "--limit-ms", &value)) {
+      options.limit_ms = std::atof(value.c_str());
+    } else if (ParseFlag(argv[i], "--queue-limit", &value)) {
+      options.queue_limit = std::strtoull(value.c_str(), nullptr, 10);
+    } else if (ParseFlag(argv[i], "--max-util", &value)) {
+      options.max_util = std::atof(value.c_str());
+    } else if (ParseFlag(argv[i], "--deadline-ms", &value)) {
+      options.deadline_ms = std::atof(value.c_str());
+    } else if (ParseFlag(argv[i], "--discipline", &value)) {
+      options.discipline = value;
+    } else {
+      std::fprintf(stderr, "unknown flag: %s (try --help)\n", argv[i]);
+      options.help = true;
+    }
+  }
+  return options;
+}
+
+void PrintHelp() {
+  std::printf(
+      "sim_cli — run one admission-control policy on the paper's Table 1 "
+      "workload\n\n"
+      "  --policy=bouncer|allowance|underserved|maxql|maxqwt|"
+      "acceptfraction|always\n"
+      "  --load=F          offered load as a multiple of full load "
+      "(default 1.2)\n"
+      "  --queries=N       arrivals per run (default 300000)\n"
+      "  --warmup=N        arrivals excluded as warm-up (default 100000)\n"
+      "  --runs=N          runs to average (default 1)\n"
+      "  --seed=N          base RNG seed\n"
+      "  --A=F             acceptance allowance (allowance policy)\n"
+      "  --alpha=F         underserved scaling factor\n"
+      "  --limit-ms=F      MaxQWT wait limit\n"
+      "  --queue-limit=N   MaxQL length limit\n"
+      "  --max-util=F      AcceptFraction utilization threshold\n"
+      "  --deadline-ms=F   client deadline (0 = none)\n"
+      "  --discipline=fifo|sjf\n");
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const CliOptions options = ParseArgs(argc, argv);
+  if (options.help) {
+    PrintHelp();
+    return 0;
+  }
+
+  PolicyConfig policy;
+  policy.bouncer.histogram_swap_interval = 2 * kSecond;
+  policy.bouncer.min_samples_to_publish = 30;
+  if (options.policy == "bouncer") {
+    policy.kind = PolicyKind::kBouncer;
+  } else if (options.policy == "allowance") {
+    policy.kind = PolicyKind::kBouncerWithAllowance;
+    policy.allowance.allowance = options.allowance;
+  } else if (options.policy == "underserved") {
+    policy.kind = PolicyKind::kBouncerWithUnderserved;
+    policy.underserved.alpha = options.alpha;
+  } else if (options.policy == "maxql") {
+    policy.kind = PolicyKind::kMaxQueueLength;
+    policy.max_queue_length.length_limit = options.queue_limit;
+  } else if (options.policy == "maxqwt") {
+    policy.kind = PolicyKind::kMaxQueueWait;
+    policy.max_queue_wait.wait_time_limit = FromMillis(options.limit_ms);
+  } else if (options.policy == "acceptfraction") {
+    policy.kind = PolicyKind::kAcceptFraction;
+    policy.accept_fraction.max_utilization = options.max_util;
+    policy.accept_fraction.window_duration = kSecond;
+    policy.accept_fraction.window_step = 50 * kMillisecond;
+    policy.accept_fraction.update_interval = 50 * kMillisecond;
+  } else if (options.policy == "always") {
+    policy.kind = PolicyKind::kAlwaysAccept;
+  } else {
+    std::fprintf(stderr, "unknown policy '%s'\n", options.policy.c_str());
+    return 1;
+  }
+
+  const auto workload = workload::PaperSimulationWorkload();
+  SimulationConfig config;
+  config.parallelism = 100;
+  config.arrival_rate_qps =
+      options.load_factor * workload.FullLoadQps(config.parallelism);
+  config.total_queries = options.queries;
+  config.warmup_queries = options.warmup;
+  config.seed = options.seed;
+  config.deadline = FromMillis(options.deadline_ms);
+  if (options.discipline == "sjf") {
+    config.discipline = QueueDiscipline::kShortestJobFirst;
+  } else if (options.discipline != "fifo") {
+    std::fprintf(stderr, "unknown discipline '%s'\n",
+                 options.discipline.c_str());
+    return 1;
+  }
+
+  const auto result =
+      RunAveraged(workload, config, policy, options.runs);
+
+  std::printf("policy=%s load=%.2fx (%.0f QPS), %llu queries x %d run(s)\n\n",
+              options.policy.c_str(), options.load_factor,
+              config.arrival_rate_qps,
+              static_cast<unsigned long long>(options.queries),
+              options.runs);
+  std::printf("%-14s %9s %8s %10s %10s %10s\n", "type", "received", "rej %",
+              "rt_p50", "rt_p90", "rt_p99");
+  for (const auto& type : result.per_type) {
+    std::printf("%-14s %9llu %7.2f%% %8.2fms %8.2fms %8.2fms\n",
+                type.name.c_str(),
+                static_cast<unsigned long long>(type.received),
+                type.rejection_pct, type.rt_p50_ms, type.rt_p90_ms,
+                type.rt_p99_ms);
+  }
+  std::printf("%-14s %9llu %7.2f%% %8.2fms %8.2fms %8.2fms\n", "ALL",
+              static_cast<unsigned long long>(result.overall.received),
+              result.overall.rejection_pct, result.overall.rt_p50_ms,
+              result.overall.rt_p90_ms, result.overall.rt_p99_ms);
+  std::printf("\nutilization=%.3f", result.utilization);
+  if (config.deadline > 0) {
+    std::printf("  wasted_work=%.2f%%  expired=%llu",
+                100.0 * result.wasted_work_fraction,
+                static_cast<unsigned long long>(result.overall.expired));
+  }
+  std::printf("\n");
+  return 0;
+}

@@ -1,0 +1,73 @@
+#include "src/core/accept_fraction_policy.h"
+
+#include <algorithm>
+
+namespace bouncer {
+
+AcceptFractionPolicy::AcceptFractionPolicy(const PolicyContext& context,
+                                           const Options& options)
+    : queue_(context.queue),
+      processing_units_(options.processing_units != 0
+                            ? options.processing_units
+                            : std::max<size_t>(context.parallelism, 1)),
+      options_(options),
+      qps_mavg_(options.window_duration, options.window_step),
+      pt_mavg_(options.window_duration, options.window_step),
+      fraction_(1.0),
+      next_update_(0),
+      rng_(options.seed) {}
+
+void AcceptFractionPolicy::MaybeUpdateFraction(Nanos now) {
+  Nanos next = next_update_.load(std::memory_order_acquire);
+  if (now < next) return;
+  if (!next_update_.compare_exchange_strong(next,
+                                            now + options_.update_interval,
+                                            std::memory_order_acq_rel)) {
+    return;
+  }
+  // Available capacity is fixed: APC = MaxUtil * |PU|. Demanded capacity:
+  // dpc = qps_mavg * pt_mavg, with pt in seconds so dpc is in processing
+  // units. Standard floating-point semantics give f = min(1, inf) = 1
+  // when dpc == 0 (paper footnote 6).
+  const double apc =
+      options_.max_utilization * static_cast<double>(processing_units_);
+  qps_mavg_.AdvanceTo(now);
+  const double qps = qps_mavg_.RatePerSecond(now);
+  const double pt_seconds = pt_mavg_.Mean(0.0) / static_cast<double>(kSecond);
+  const double dpc = qps * pt_seconds;
+  const double f = std::min(1.0, apc / dpc);  // dpc==0 -> inf -> 1.0.
+  fraction_.store(f, std::memory_order_relaxed);
+}
+
+Nanos AcceptFractionPolicy::EstimateQueueWait(Nanos now) {
+  pt_mavg_.AdvanceTo(now);
+  const double mavg = pt_mavg_.Mean(0.0);
+  const double l = static_cast<double>(queue_->TotalLength());
+  return static_cast<Nanos>(l * mavg /
+                            static_cast<double>(processing_units_));
+}
+
+Decision AcceptFractionPolicy::Decide(QueryTypeId /*type*/, Nanos now) {
+  qps_mavg_.RecordEvent(now);
+  MaybeUpdateFraction(now);
+
+  if (options_.queue_length_limit > 0 &&
+      queue_->TotalLength() >= options_.queue_length_limit) {
+    return Decision::kReject;
+  }
+  if (options_.queue_timeout > 0 &&
+      EstimateQueueWait(now) > options_.queue_timeout) {
+    return Decision::kReject;
+  }
+
+  const double f = fraction_.load(std::memory_order_relaxed);
+  if (f >= 1.0) return Decision::kAccept;
+  bool accept = false;
+  {
+    std::lock_guard<std::mutex> lock(rng_mu_);
+    accept = rng_.NextBernoulli(f);
+  }
+  return accept ? Decision::kAccept : Decision::kReject;
+}
+
+}  // namespace bouncer

@@ -1,0 +1,78 @@
+#ifndef BOUNCER_CORE_ACCEPT_FRACTION_POLICY_H_
+#define BOUNCER_CORE_ACCEPT_FRACTION_POLICY_H_
+
+#include <atomic>
+#include <mutex>
+
+#include "src/core/admission_policy.h"
+#include "src/stats/sliding_window_mean.h"
+#include "src/util/rng.h"
+
+namespace bouncer {
+
+/// Acceptance-fraction (AcceptFraction) capacity-centric policy (paper
+/// §5.2.3). Periodically computes the fraction of incoming queries the
+/// host should accept,
+///   f = min(1.0, MaxUtil × |PU| / (qps_mavg × pt_mavg)),
+/// where the numerator is the fixed available processing capacity and the
+/// denominator the demanded capacity from moving averages of arrival rate
+/// and processing time, then accepts queries with probability f.
+///
+/// The LIquid variant (§5.4, footnote 8) also rejects queries expected to
+/// time out in the queue (Eq. 5 estimate vs. `queue_timeout`) and enforces
+/// a maximum queue length; both guards are optional here (0 disables).
+class AcceptFractionPolicy final : public AdmissionPolicy {
+ public:
+  struct Options {
+    double max_utilization = 0.95;   ///< MaxUtil in (0, 1].
+    /// |PU|: processing units for query processing. 0 means "use the
+    /// context's parallelism".
+    size_t processing_units = 0;
+    Nanos update_interval = kSecond;       ///< dpc/f recompute period.
+    Nanos window_duration = 60 * kSecond;  ///< D for both moving averages.
+    Nanos window_step = kSecond;           ///< Δ.
+    Nanos queue_timeout = 0;         ///< Reject if ewt exceeds this (0 = off).
+    uint64_t queue_length_limit = 0;  ///< L_limit (0 = off).
+    uint64_t seed = 0x5eed3ULL;      ///< RNG seed for probabilistic drops.
+  };
+
+  AcceptFractionPolicy(const PolicyContext& context, const Options& options);
+
+  Decision Decide(QueryTypeId type, Nanos now) override;
+
+  void OnCompleted(QueryTypeId /*type*/, Nanos processing_time,
+                   Nanos now) override {
+    pt_mavg_.Record(processing_time, now);
+  }
+
+  std::string_view name() const override { return "AcceptFraction"; }
+
+  /// Currently effective acceptance fraction f.
+  double CurrentFraction() const {
+    return fraction_.load(std::memory_order_relaxed);
+  }
+
+  /// Eq. 5 estimate with P = |PU| (used for the timeout guard).
+  Nanos EstimateQueueWait(Nanos now);
+
+  const Options& options() const { return options_; }
+
+ private:
+  void MaybeUpdateFraction(Nanos now);
+
+  const QueueState* const queue_;
+  const size_t processing_units_;
+  const Options options_;
+
+  stats::SlidingWindowMean qps_mavg_;  ///< Arrival events; rate per second.
+  stats::SlidingWindowMean pt_mavg_;   ///< Processing-time samples (ns).
+
+  std::atomic<double> fraction_;
+  std::atomic<Nanos> next_update_;
+  std::mutex rng_mu_;
+  Rng rng_;
+};
+
+}  // namespace bouncer
+
+#endif  // BOUNCER_CORE_ACCEPT_FRACTION_POLICY_H_

@@ -1,0 +1,51 @@
+#include "src/core/acceptance_allowance_policy.h"
+
+#include <cassert>
+
+namespace bouncer {
+
+AcceptanceAllowancePolicy::AcceptanceAllowancePolicy(
+    std::unique_ptr<AdmissionPolicy> inner, size_t num_types,
+    const Options& options)
+    : inner_(std::move(inner)),
+      options_(options),
+      window_(num_types, options.window_duration, options.window_step),
+      rng_(options.seed) {
+  assert(inner_ != nullptr);
+  name_ = std::string(inner_->name()) + "+AcceptanceAllowance";
+}
+
+Decision AcceptanceAllowancePolicy::Decide(QueryTypeId type, Nanos now) {
+  window_.AdvanceTo(now);
+  const uint64_t aqc = window_.AcceptedCount(type);
+  const uint64_t rqc = window_.ReceivedCount(type);
+
+  Decision decision = Decision::kReject;
+  if (rqc == 0) {
+    // No history in the window: the type may be starving or new — let it in.
+    decision = Decision::kAccept;
+  } else {
+    const double acceptance_ratio =
+        static_cast<double>(aqc) / static_cast<double>(rqc);
+    if (acceptance_ratio < options_.allowance) decision = Decision::kAccept;
+  }
+
+  if (decision == Decision::kReject) {
+    decision = inner_->Decide(type, now);  // Ask the policy.
+  }
+
+  if (decision == Decision::kReject) {
+    // On-the-spot override with probability A.
+    bool pass = false;
+    {
+      std::lock_guard<std::mutex> lock(rng_mu_);
+      pass = rng_.NextBernoulli(options_.allowance);
+    }
+    if (pass) decision = Decision::kAccept;
+  }
+
+  window_.Record(type, decision == Decision::kAccept, now);
+  return decision;
+}
+
+}  // namespace bouncer

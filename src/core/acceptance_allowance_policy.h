@@ -1,0 +1,76 @@
+#ifndef BOUNCER_CORE_ACCEPTANCE_ALLOWANCE_POLICY_H_
+#define BOUNCER_CORE_ACCEPTANCE_ALLOWANCE_POLICY_H_
+
+#include <memory>
+#include <mutex>
+#include <string>
+
+#include "src/core/admission_policy.h"
+#include "src/stats/sliding_window_counter.h"
+#include "src/util/rng.h"
+
+namespace bouncer {
+
+/// Acceptance-allowance starvation-avoidance strategy (paper §4.1,
+/// Alg. 2), wrapped around an inner policy (normally Bouncer).
+///
+/// A sliding window (duration D, step Δ, D >> Δ) tracks per-type accepted
+/// and received counts. A query is accepted outright when its type has no
+/// history in the window or its acceptance ratio has fallen below the
+/// allowance A; otherwise the inner policy decides; an inner rejection is
+/// finally overridden "on the spot" with probability A. Setting A = 0.01
+/// grants free passes to up to ~1% of each type's queries over the window,
+/// guaranteeing every type some service and keeping Bouncer's histograms
+/// populated.
+class AcceptanceAllowancePolicy final : public AdmissionPolicy {
+ public:
+  struct Options {
+    double allowance = 0.01;            ///< A in [0, 1]; expected 0.01–0.03.
+    Nanos window_duration = kSecond;    ///< D.
+    Nanos window_step = 10 * kMillisecond;  ///< Δ.
+    uint64_t seed = 0x5eedULL;          ///< RNG seed for the on-the-spot pass.
+  };
+
+  /// `inner` must be non-null; `num_types` is the registry size.
+  AcceptanceAllowancePolicy(std::unique_ptr<AdmissionPolicy> inner,
+                            size_t num_types, const Options& options);
+
+  Decision Decide(QueryTypeId type, Nanos now) override;
+  void OnEnqueued(QueryTypeId type, Nanos now) override {
+    inner_->OnEnqueued(type, now);
+  }
+  void OnRejected(QueryTypeId type, Nanos now) override {
+    inner_->OnRejected(type, now);
+  }
+  void OnDequeued(QueryTypeId type, Nanos wait_time, Nanos now) override {
+    inner_->OnDequeued(type, wait_time, now);
+  }
+  void OnCompleted(QueryTypeId type, Nanos processing_time,
+                   Nanos now) override {
+    inner_->OnCompleted(type, processing_time, now);
+  }
+
+  std::string_view name() const override { return name_; }
+
+  /// The wrapped policy.
+  AdmissionPolicy* inner() { return inner_.get(); }
+
+  /// Acceptance ratio currently observed for `type` (1.0 when no history).
+  double AcceptanceRatio(QueryTypeId type) const {
+    return window_.AcceptanceRatio(type);
+  }
+
+  const Options& options() const { return options_; }
+
+ private:
+  std::unique_ptr<AdmissionPolicy> inner_;
+  const Options options_;
+  std::string name_;
+  stats::SlidingWindowCounter window_;
+  std::mutex rng_mu_;
+  Rng rng_;
+};
+
+}  // namespace bouncer
+
+#endif  // BOUNCER_CORE_ACCEPTANCE_ALLOWANCE_POLICY_H_

@@ -1,0 +1,89 @@
+#ifndef BOUNCER_CORE_ADMISSION_POLICY_H_
+#define BOUNCER_CORE_ADMISSION_POLICY_H_
+
+#include <string_view>
+
+#include "src/core/query_type_registry.h"
+#include "src/core/queue_state.h"
+#include "src/core/types.h"
+#include "src/util/time.h"
+
+namespace bouncer {
+
+/// Dependencies a policy needs from the admission-control framework
+/// (paper Fig. 1): the query-type registry with SLOs, the live queue
+/// occupancy maintained by the runtime, and the level of task parallelism
+/// P (number of query engine processes). All pointers outlive the policy.
+struct PolicyContext {
+  const QueryTypeRegistry* registry = nullptr;
+  const QueueState* queue = nullptr;
+  size_t parallelism = 1;  ///< P: number of query engine processes.
+};
+
+/// Interface of an admission-control policy plugged into the SEDA-like
+/// stage of paper Fig. 1. The runtime calls Decide() on query arrival and
+/// the On*() hooks at the framework's metric points:
+///
+///   Point 1 — after the admission/rejection decision: OnEnqueued() for
+///             accepted queries, OnRejected() for dropped ones;
+///   Point 2 — after a query is dequeued for processing: OnDequeued(),
+///             which carries the observed queue wait time;
+///   Point 3 — after processing finishes: OnCompleted(), which carries the
+///             observed processing time.
+///
+/// Every entry point takes the current time explicitly so the same policy
+/// object runs unchanged under simulated and real clocks. Implementations
+/// must be thread-safe: a server stage calls Decide() from acceptor
+/// threads concurrently with hooks from worker threads.
+class AdmissionPolicy {
+ public:
+  virtual ~AdmissionPolicy() = default;
+
+  /// Decides whether to admit an incoming query of `type` arriving at
+  /// `now`. Called on the query's critical path; must be cheap.
+  virtual Decision Decide(QueryTypeId type, Nanos now) = 0;
+
+  /// Point 1, accepted branch: the query was placed in the FIFO queue.
+  virtual void OnEnqueued(QueryTypeId type, Nanos now) {
+    (void)type;
+    (void)now;
+  }
+
+  /// Point 1, rejected branch: the query was dropped and an error response
+  /// is being returned.
+  virtual void OnRejected(QueryTypeId type, Nanos now) {
+    (void)type;
+    (void)now;
+  }
+
+  /// Point 2: the query was pulled from the queue after waiting
+  /// `wait_time` (wt(Q) = t_dequeued - t_enqueued).
+  virtual void OnDequeued(QueryTypeId type, Nanos wait_time, Nanos now) {
+    (void)type;
+    (void)wait_time;
+    (void)now;
+  }
+
+  /// Point 3: the query finished processing after `processing_time`
+  /// (pt(Q) = t_completed - t_dequeued).
+  virtual void OnCompleted(QueryTypeId type, Nanos processing_time,
+                           Nanos now) {
+    (void)type;
+    (void)processing_time;
+    (void)now;
+  }
+
+  /// Short stable policy name for reports ("Bouncer", "MaxQL", ...).
+  virtual std::string_view name() const = 0;
+};
+
+/// Policy that admits every query; the no-admission-control baseline.
+class AlwaysAcceptPolicy final : public AdmissionPolicy {
+ public:
+  Decision Decide(QueryTypeId, Nanos) override { return Decision::kAccept; }
+  std::string_view name() const override { return "AlwaysAccept"; }
+};
+
+}  // namespace bouncer
+
+#endif  // BOUNCER_CORE_ADMISSION_POLICY_H_

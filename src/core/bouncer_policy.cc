@@ -1,0 +1,172 @@
+#include "src/core/bouncer_policy.h"
+
+#include <cassert>
+
+namespace bouncer {
+
+BouncerPolicy::BouncerPolicy(const PolicyContext& context,
+                             const Options& options)
+    : registry_(context.registry),
+      queue_(context.queue),
+      parallelism_(context.parallelism == 0 ? 1 : context.parallelism),
+      options_(options),
+      general_histogram_(stats::DualHistogram::Options{
+          options.histogram_swap_interval, options.min_samples_to_publish}) {
+  assert(registry_ != nullptr && queue_ != nullptr);
+  const stats::DualHistogram::Options histo_options{
+      options.histogram_swap_interval, options.min_samples_to_publish};
+  type_histograms_.reserve(registry_->size());
+  for (size_t i = 0; i < registry_->size(); ++i) {
+    type_histograms_.push_back(
+        std::make_unique<stats::DualHistogram>(histo_options));
+  }
+}
+
+void BouncerPolicy::MaybeSwapAll(Nanos now) {
+  // The general histogram's timer paces all swaps, so the common case
+  // costs one atomic load; the per-type buffers swap in lockstep with it.
+  if (general_histogram_.MaybeSwap(now)) {
+    for (auto& h : type_histograms_) h->ForceSwap();
+  }
+}
+
+void BouncerPolicy::ForceHistogramSwap() {
+  general_histogram_.ForceSwap();
+  for (auto& h : type_histograms_) h->ForceSwap();
+}
+
+Nanos BouncerPolicy::EstimateQueueWait(QueryTypeId type) const {
+  // Eq. 2: ewt_mean = sum_type(count(type) * pt_mean(type)) / P. With
+  // priorities configured, only work served at or ahead of `type`'s
+  // priority level contributes.
+  const bool priority_aware = !options_.type_priorities.empty();
+  const auto priority_of = [this](size_t t) {
+    return t < options_.type_priorities.size() ? options_.type_priorities[t]
+                                               : 0;
+  };
+  const int own_priority =
+      priority_aware ? priority_of(type) : 0;
+  int64_t weighted_sum = 0;
+  const stats::HistogramSummary general = general_histogram_.ReadSummary();
+  for (size_t t = 0; t < type_histograms_.size(); ++t) {
+    if (priority_aware && priority_of(t) > own_priority) continue;
+    const uint64_t count =
+        queue_->CountForType(static_cast<QueryTypeId>(t));
+    if (count == 0) continue;
+    stats::HistogramSummary s = type_histograms_[t]->ReadSummary();
+    // Types still cold contribute via the general histogram's mean so the
+    // wait estimate does not silently drop their queued work.
+    const Nanos mean = s.count >= options_.warmup_min_samples
+                           ? s.mean
+                           : general.mean;
+    weighted_sum += static_cast<int64_t>(count) * mean;
+  }
+  return weighted_sum / static_cast<int64_t>(parallelism_);
+}
+
+BouncerPolicy::Estimates BouncerPolicy::EstimateFor(QueryTypeId type,
+                                                    Nanos now) const {
+  (void)now;
+  Estimates e;
+  if (type >= type_histograms_.size()) type = kDefaultQueryType;
+  stats::HistogramSummary s = type_histograms_[type]->ReadSummary();
+  e.cold = s.count < options_.warmup_min_samples;
+  if (e.cold && options_.cold_start_mode == ColdStartMode::kGeneralHistogram) {
+    s = general_histogram_.ReadSummary();
+  }
+  e.ewt_mean = EstimateQueueWait(type);
+  e.ert_p50 = e.ewt_mean + s.p50;  // Eq. 3.
+  e.ert_p90 = e.ewt_mean + s.p90;  // Eq. 4.
+  e.ert_p99 = e.ewt_mean + s.p99;
+  return e;
+}
+
+Decision BouncerPolicy::DecideWithEstimates(QueryTypeId type, Nanos now,
+                                            Estimates* out) {
+  if (type >= type_histograms_.size()) type = kDefaultQueryType;
+  stats::HistogramSummary s = type_histograms_[type]->ReadSummary();
+  const bool cold = s.count < options_.warmup_min_samples;
+  const Slo* slo = &registry_->GetSlo(type);
+  if (cold) {
+    switch (options_.cold_start_mode) {
+      case ColdStartMode::kAcceptAll:
+        if (out != nullptr) {
+          out->cold = true;
+          out->ewt_mean = 0;
+        }
+        return Decision::kAccept;
+      case ColdStartMode::kGeneralHistogram: {
+        // Appendix A: decide from the general histogram under the default
+        // (catch-all) type's SLO. If even that is empty, there is nothing
+        // to reject on — let the query in to populate the histograms.
+        const stats::HistogramSummary general =
+            general_histogram_.ReadSummary();
+        if (general.empty()) {
+          if (out != nullptr) out->cold = true;
+          return Decision::kAccept;
+        }
+        s = general;
+        slo = &registry_->GetSlo(kDefaultQueryType);
+        break;
+      }
+      case ColdStartMode::kNone:
+        break;  // Proceed with the (possibly empty) type summary.
+    }
+  }
+
+  const Nanos ewt = EstimateQueueWait(type);
+  const Nanos ert_p50 = ewt + s.p50;
+  const Nanos ert_p90 = ewt + s.p90;
+  const Nanos ert_p99 = ewt + s.p99;
+  if (out != nullptr) {
+    out->ewt_mean = ewt;
+    out->ert_p50 = ert_p50;
+    out->ert_p90 = ert_p90;
+    out->ert_p99 = ert_p99;
+    out->cold = cold;
+  }
+
+  // Alg. 1 and its alternative expressions.
+  bool reject = false;
+  switch (options_.decision_expr) {
+    case DecisionExpr::kP50OrP90:
+      reject = ert_p50 > slo->p50 || ert_p90 > slo->p90;
+      break;
+    case DecisionExpr::kP50Only:
+      reject = ert_p50 > slo->p50;
+      break;
+    case DecisionExpr::kP90Only:
+      reject = ert_p90 > slo->p90;
+      break;
+    case DecisionExpr::kP50OrP90OrP99:
+      reject = ert_p50 > slo->p50 || ert_p90 > slo->p90 ||
+               (slo->p99 > 0 && ert_p99 > slo->p99);
+      break;
+  }
+  (void)now;
+  return reject ? Decision::kReject : Decision::kAccept;
+}
+
+Decision BouncerPolicy::Decide(QueryTypeId type, Nanos now) {
+  MaybeSwapAll(now);
+  return DecideWithEstimates(type, now, nullptr);
+}
+
+void BouncerPolicy::OnCompleted(QueryTypeId type, Nanos processing_time,
+                                Nanos now) {
+  if (type >= type_histograms_.size()) type = kDefaultQueryType;
+  type_histograms_[type]->Record(processing_time);
+  general_histogram_.Record(processing_time);
+  MaybeSwapAll(now);
+}
+
+stats::HistogramSummary BouncerPolicy::TypeSummary(QueryTypeId type) const {
+  if (type >= type_histograms_.size()) type = kDefaultQueryType;
+  return type_histograms_[type]->ReadSummary();
+}
+
+stats::HistogramSummary BouncerPolicy::GeneralSummary() const {
+  return general_histogram_.ReadSummary();
+}
+
+}  // namespace bouncer

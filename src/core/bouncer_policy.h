@@ -1,0 +1,129 @@
+#ifndef BOUNCER_CORE_BOUNCER_POLICY_H_
+#define BOUNCER_CORE_BOUNCER_POLICY_H_
+
+#include <memory>
+#include <vector>
+
+#include "src/core/admission_policy.h"
+#include "src/stats/dual_histogram.h"
+#include "src/util/status.h"
+
+namespace bouncer {
+
+/// Which percentile estimates participate in the accept/reject expression
+/// (paper Alg. 1 uses p50 OR p90; §7 lists alternative formulations as
+/// future work — implemented here for the ablation benches).
+enum class DecisionExpr : uint8_t {
+  kP50OrP90 = 0,  ///< Reject if ert_p50 > SLO_p50 || ert_p90 > SLO_p90.
+  kP50Only = 1,   ///< Reject if ert_p50 > SLO_p50.
+  kP90Only = 2,   ///< Reject if ert_p90 > SLO_p90.
+  kP50OrP90OrP99 = 3,  ///< Additionally reject if ert_p99 > SLO_p99 (when set).
+};
+
+/// How Bouncer decides for a query type whose histogram is not yet
+/// sufficiently populated (paper Appendix A).
+enum class ColdStartMode : uint8_t {
+  /// Fall back to the general (type-agnostic) histogram and the default
+  /// type's SLO — the paper's preferred in-policy solution.
+  kGeneralHistogram = 0,
+  /// Accept unconditionally until the type warms up (maximally lenient).
+  kAcceptAll = 1,
+  /// No special handling: an empty histogram reads as zero processing
+  /// time, which under-estimates and over-admits (basic formulation).
+  kNone = 2,
+};
+
+/// The Bouncer admission-control policy (paper §3).
+///
+/// For every incoming query it estimates the mean queue wait time from the
+/// live per-type queue counts and per-type mean processing times (Eq. 2),
+/// adds the type's p50/p90 processing-time percentiles to form percentile
+/// response-time estimates (Eq. 3–4), and rejects the query when an
+/// estimate exceeds the type's SLO (Alg. 1). Processing-time distributions
+/// are approximated with per-type dual-buffer histograms swapped
+/// periodically (footnote 4); a general catch-all histogram backs cold
+/// starts (Appendix A).
+class BouncerPolicy : public AdmissionPolicy {
+ public:
+  struct Options {
+    /// Dual-buffer histogram swap interval.
+    Nanos histogram_swap_interval = kSecond;
+    /// A populated buffer with fewer samples than this retains the
+    /// previous summary at swap (stale-over-empty, Appendix A).
+    uint64_t min_samples_to_publish = 1;
+    /// A type whose published summary holds fewer samples than this is
+    /// treated as cold (Appendix A warm-up phase).
+    uint64_t warmup_min_samples = 1;
+    ColdStartMode cold_start_mode = ColdStartMode::kGeneralHistogram;
+    DecisionExpr decision_expr = DecisionExpr::kP50OrP90;
+    /// Priority-aware wait estimation (paper §7 future work: supporting
+    /// queries served by priority instead of FIFO). When non-empty,
+    /// entry t is the priority of QueryTypeId t (lower = served first)
+    /// and Eq. 2 only counts queued queries that would be served before
+    /// an incoming query of the estimated type — those with strictly
+    /// smaller priority, plus those at equal priority (FIFO within a
+    /// level). Missing entries default to priority 0. Leave empty for
+    /// the paper's FIFO formulation.
+    std::vector<int> type_priorities;
+  };
+
+  /// The percentile response-time estimates behind one decision, exposed
+  /// for observability (paper Fig. 3 plots these).
+  struct Estimates {
+    Nanos ewt_mean = 0;  ///< Estimated mean queue wait time (Eq. 2).
+    Nanos ert_p50 = 0;   ///< Estimated p50 response time (Eq. 3).
+    Nanos ert_p90 = 0;   ///< Estimated p90 response time (Eq. 4).
+    Nanos ert_p99 = 0;   ///< Only meaningful under kP50OrP90OrP99.
+    bool cold = false;   ///< True if decided via the cold-start path.
+  };
+
+  /// `context.registry`, `context.queue` and `context.parallelism` must be
+  /// valid; the registry's type count fixes the histogram table size.
+  BouncerPolicy(const PolicyContext& context, const Options& options);
+
+  Decision Decide(QueryTypeId type, Nanos now) override;
+  void OnCompleted(QueryTypeId type, Nanos processing_time,
+                   Nanos now) override;
+
+  std::string_view name() const override { return "Bouncer"; }
+
+  /// Computes the estimates Decide() would use for `type` at `now`,
+  /// without making a decision or touching histogram swap state.
+  Estimates EstimateFor(QueryTypeId type, Nanos now) const;
+
+  /// Estimated mean queue wait time (Eq. 2). Under FIFO (no priorities
+  /// configured) every queued query counts; with priorities configured,
+  /// only work scheduled ahead of a query of `type` counts.
+  Nanos EstimateQueueWait(QueryTypeId type = kDefaultQueryType) const;
+
+  /// Published processing-time summary for a type (for observability).
+  stats::HistogramSummary TypeSummary(QueryTypeId type) const;
+
+  /// Published summary of the general (catch-all, type-agnostic)
+  /// histogram.
+  stats::HistogramSummary GeneralSummary() const;
+
+  /// Force-swaps all histograms so freshly recorded samples become
+  /// immediately visible. Used by tests and simulation warm-up.
+  void ForceHistogramSwap();
+
+  const Options& options() const { return options_; }
+
+ private:
+  Decision DecideWithEstimates(QueryTypeId type, Nanos now, Estimates* out);
+  void MaybeSwapAll(Nanos now);
+
+  const QueryTypeRegistry* const registry_;
+  const QueueState* const queue_;
+  const size_t parallelism_;
+  const Options options_;
+
+  /// One dual histogram per registered type (index = QueryTypeId).
+  std::vector<std::unique_ptr<stats::DualHistogram>> type_histograms_;
+  /// Type-agnostic histogram of all processing times (Appendix A).
+  stats::DualHistogram general_histogram_;
+};
+
+}  // namespace bouncer
+
+#endif  // BOUNCER_CORE_BOUNCER_POLICY_H_

@@ -1,0 +1,50 @@
+#include "src/core/helping_underserved_policy.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace bouncer {
+
+HelpingUnderservedPolicy::HelpingUnderservedPolicy(
+    std::unique_ptr<AdmissionPolicy> inner, size_t num_types,
+    const Options& options)
+    : inner_(std::move(inner)),
+      options_(options),
+      window_(num_types, options.window_duration, options.window_step),
+      rng_(options.seed) {
+  assert(inner_ != nullptr);
+  name_ = std::string(inner_->name()) + "+HelpingUnderserved";
+}
+
+double HelpingUnderservedPolicy::OverrideProbability(double ar,
+                                                     double aar) const {
+  if (aar <= 0.0 || ar >= aar) return 0.0;
+  const double x = (aar - ar) / aar;  // x in (0, 1].
+  return options_.alpha * x / (1.0 + x);
+}
+
+Decision HelpingUnderservedPolicy::Decide(QueryTypeId type, Nanos now) {
+  Decision decision = inner_->Decide(type, now);  // Ask the policy.
+  if (decision == Decision::kReject) {
+    window_.AdvanceTo(now);
+    // Acceptance ratio for the query type: accepted / max(received, 1).
+    const double received = static_cast<double>(
+        std::max<uint64_t>(window_.ReceivedCount(type), 1));
+    const double ar =
+        static_cast<double>(window_.AcceptedCount(type)) / received;
+    const double aar = window_.AverageAcceptanceRatio();
+    const double p = OverrideProbability(ar, aar);
+    if (p > 0.0) {
+      bool pass = false;
+      {
+        std::lock_guard<std::mutex> lock(rng_mu_);
+        pass = rng_.NextBernoulli(p);
+      }
+      if (pass) decision = Decision::kAccept;
+    }
+  }
+  window_.Record(type, decision == Decision::kAccept, now);
+  return decision;
+}
+
+}  // namespace bouncer

@@ -1,0 +1,74 @@
+#ifndef BOUNCER_CORE_HELPING_UNDERSERVED_POLICY_H_
+#define BOUNCER_CORE_HELPING_UNDERSERVED_POLICY_H_
+
+#include <memory>
+#include <mutex>
+#include <string>
+
+#include "src/core/admission_policy.h"
+#include "src/stats/sliding_window_counter.h"
+#include "src/util/rng.h"
+
+namespace bouncer {
+
+/// Helping-the-underserved starvation-avoidance strategy (paper §4.2,
+/// Alg. 3), wrapped around an inner policy (normally Bouncer).
+///
+/// When the inner policy rejects a query, the strategy compares the
+/// query type's acceptance ratio AR against the average acceptance ratio
+/// AAR across all types over a sliding window. If AR < AAR — the type is
+/// being treated unfavorably — the rejection is overridden with
+/// probability p = α·x/(1+x) where x = (AAR−AR)/AAR, a sigmoid that
+/// smooths the help so a fully starved type is accepted with probability
+/// at most α/2.
+class HelpingUnderservedPolicy final : public AdmissionPolicy {
+ public:
+  struct Options {
+    double alpha = 1.0;                 ///< Scaling factor α in (0, 1].
+    Nanos window_duration = kSecond;    ///< D.
+    Nanos window_step = 10 * kMillisecond;  ///< Δ.
+    uint64_t seed = 0x5eed2ULL;         ///< RNG seed for the override draw.
+  };
+
+  /// `inner` must be non-null; `num_types` is the registry size.
+  HelpingUnderservedPolicy(std::unique_ptr<AdmissionPolicy> inner,
+                           size_t num_types, const Options& options);
+
+  Decision Decide(QueryTypeId type, Nanos now) override;
+  void OnEnqueued(QueryTypeId type, Nanos now) override {
+    inner_->OnEnqueued(type, now);
+  }
+  void OnRejected(QueryTypeId type, Nanos now) override {
+    inner_->OnRejected(type, now);
+  }
+  void OnDequeued(QueryTypeId type, Nanos wait_time, Nanos now) override {
+    inner_->OnDequeued(type, wait_time, now);
+  }
+  void OnCompleted(QueryTypeId type, Nanos processing_time,
+                   Nanos now) override {
+    inner_->OnCompleted(type, processing_time, now);
+  }
+
+  std::string_view name() const override { return name_; }
+
+  /// The wrapped policy.
+  AdmissionPolicy* inner() { return inner_.get(); }
+
+  /// Probability of overriding a rejection for a type with acceptance
+  /// ratio `ar` given average ratio `aar` (exposed for tests).
+  double OverrideProbability(double ar, double aar) const;
+
+  const Options& options() const { return options_; }
+
+ private:
+  std::unique_ptr<AdmissionPolicy> inner_;
+  const Options options_;
+  std::string name_;
+  stats::SlidingWindowCounter window_;
+  std::mutex rng_mu_;
+  Rng rng_;
+};
+
+}  // namespace bouncer
+
+#endif  // BOUNCER_CORE_HELPING_UNDERSERVED_POLICY_H_

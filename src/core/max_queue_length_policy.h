@@ -1,0 +1,38 @@
+#ifndef BOUNCER_CORE_MAX_QUEUE_LENGTH_POLICY_H_
+#define BOUNCER_CORE_MAX_QUEUE_LENGTH_POLICY_H_
+
+#include <cstdint>
+
+#include "src/core/admission_policy.h"
+
+namespace bouncer {
+
+/// Maximum-queue-length (MaxQL) policy (paper §5.2.1): accepts an incoming
+/// query only while the FIFO queue holds fewer than `length_limit`
+/// queries. Oblivious to query types.
+class MaxQueueLengthPolicy final : public AdmissionPolicy {
+ public:
+  struct Options {
+    uint64_t length_limit = 400;  ///< L_limit (Table 2 uses 400).
+  };
+
+  MaxQueueLengthPolicy(const PolicyContext& context, const Options& options)
+      : queue_(context.queue), options_(options) {}
+
+  Decision Decide(QueryTypeId /*type*/, Nanos /*now*/) override {
+    return queue_->TotalLength() < options_.length_limit ? Decision::kAccept
+                                                         : Decision::kReject;
+  }
+
+  std::string_view name() const override { return "MaxQL"; }
+
+  const Options& options() const { return options_; }
+
+ private:
+  const QueueState* const queue_;
+  const Options options_;
+};
+
+}  // namespace bouncer
+
+#endif  // BOUNCER_CORE_MAX_QUEUE_LENGTH_POLICY_H_

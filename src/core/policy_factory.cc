@@ -1,0 +1,96 @@
+#include "src/core/policy_factory.h"
+
+namespace bouncer {
+
+std::string_view PolicyKindName(PolicyKind kind) {
+  switch (kind) {
+    case PolicyKind::kAlwaysAccept:
+      return "AlwaysAccept";
+    case PolicyKind::kBouncer:
+      return "Bouncer";
+    case PolicyKind::kBouncerWithAllowance:
+      return "Bouncer+AcceptanceAllowance";
+    case PolicyKind::kBouncerWithUnderserved:
+      return "Bouncer+HelpingUnderserved";
+    case PolicyKind::kMaxQueueLength:
+      return "MaxQL";
+    case PolicyKind::kMaxQueueWait:
+      return "MaxQWT";
+    case PolicyKind::kAcceptFraction:
+      return "AcceptFraction";
+  }
+  return "Unknown";
+}
+
+StatusOr<std::unique_ptr<AdmissionPolicy>> CreatePolicy(
+    const PolicyConfig& config, const PolicyContext& context) {
+  if (context.registry == nullptr || context.queue == nullptr) {
+    return Status::InvalidArgument(
+        "PolicyContext requires a registry and a queue");
+  }
+  if (context.queue->num_types() < context.registry->size()) {
+    return Status::InvalidArgument(
+        "QueueState tracks fewer types than the registry defines");
+  }
+
+  std::unique_ptr<AdmissionPolicy> policy;
+  switch (config.kind) {
+    case PolicyKind::kAlwaysAccept:
+      policy = std::make_unique<AlwaysAcceptPolicy>();
+      break;
+    case PolicyKind::kBouncer:
+      policy = std::make_unique<BouncerPolicy>(context, config.bouncer);
+      break;
+    case PolicyKind::kBouncerWithAllowance: {
+      if (config.allowance.allowance < 0.0 ||
+          config.allowance.allowance > 1.0) {
+        return Status::InvalidArgument("allowance A must be in [0, 1]");
+      }
+      auto inner = std::make_unique<BouncerPolicy>(context, config.bouncer);
+      policy = std::make_unique<AcceptanceAllowancePolicy>(
+          std::move(inner), context.registry->size(), config.allowance);
+      break;
+    }
+    case PolicyKind::kBouncerWithUnderserved: {
+      if (config.underserved.alpha <= 0.0 || config.underserved.alpha > 1.0) {
+        return Status::InvalidArgument("alpha must be in (0, 1]");
+      }
+      auto inner = std::make_unique<BouncerPolicy>(context, config.bouncer);
+      policy = std::make_unique<HelpingUnderservedPolicy>(
+          std::move(inner), context.registry->size(), config.underserved);
+      break;
+    }
+    case PolicyKind::kMaxQueueLength:
+      if (config.max_queue_length.length_limit == 0) {
+        return Status::InvalidArgument("MaxQL length limit must be > 0");
+      }
+      policy = std::make_unique<MaxQueueLengthPolicy>(
+          context, config.max_queue_length);
+      break;
+    case PolicyKind::kMaxQueueWait:
+      if (config.max_queue_wait.wait_time_limit <= 0) {
+        return Status::InvalidArgument("MaxQWT wait limit must be > 0");
+      }
+      policy =
+          std::make_unique<MaxQueueWaitPolicy>(context, config.max_queue_wait);
+      break;
+    case PolicyKind::kAcceptFraction:
+      if (config.accept_fraction.max_utilization <= 0.0 ||
+          config.accept_fraction.max_utilization > 1.0) {
+        return Status::InvalidArgument("max utilization must be in (0, 1]");
+      }
+      policy = std::make_unique<AcceptFractionPolicy>(context,
+                                                      config.accept_fraction);
+      break;
+  }
+  if (policy == nullptr) {
+    return Status::InvalidArgument("unknown policy kind");
+  }
+  if (config.queue_guard_limit > 0) {
+    policy = std::make_unique<QueueGuardPolicy>(
+        std::move(policy), context.queue, config.queue_guard_limit);
+  }
+  return policy;
+}
+
+}  // namespace bouncer

@@ -1,0 +1,59 @@
+#ifndef BOUNCER_CORE_POLICY_FACTORY_H_
+#define BOUNCER_CORE_POLICY_FACTORY_H_
+
+#include <memory>
+#include <string_view>
+
+#include "src/core/accept_fraction_policy.h"
+#include "src/core/acceptance_allowance_policy.h"
+#include "src/core/admission_policy.h"
+#include "src/core/bouncer_policy.h"
+#include "src/core/helping_underserved_policy.h"
+#include "src/core/max_queue_length_policy.h"
+#include "src/core/max_queue_wait_policy.h"
+#include "src/core/queue_guard_policy.h"
+#include "src/util/status.h"
+
+namespace bouncer {
+
+/// The admission-control policies this library ships (paper §3–§5.2).
+enum class PolicyKind : uint8_t {
+  kAlwaysAccept = 0,
+  kBouncer = 1,
+  kBouncerWithAllowance = 2,    ///< Bouncer + acceptance-allowance (§4.1).
+  kBouncerWithUnderserved = 3,  ///< Bouncer + helping-the-underserved (§4.2).
+  kMaxQueueLength = 4,
+  kMaxQueueWait = 5,
+  kAcceptFraction = 6,
+};
+
+/// Human-readable name of a PolicyKind.
+std::string_view PolicyKindName(PolicyKind kind);
+
+/// Declarative configuration from which CreatePolicy() assembles a policy
+/// stack. Only the options of the selected `kind` are consulted, plus the
+/// optional queue guard.
+struct PolicyConfig {
+  PolicyKind kind = PolicyKind::kBouncer;
+
+  BouncerPolicy::Options bouncer;
+  AcceptanceAllowancePolicy::Options allowance;
+  HelpingUnderservedPolicy::Options underserved;
+  MaxQueueLengthPolicy::Options max_queue_length;
+  MaxQueueWaitPolicy::Options max_queue_wait;
+  AcceptFractionPolicy::Options accept_fraction;
+
+  /// When non-zero, the finished policy is wrapped in a QueueGuardPolicy
+  /// with this hard queue-length cap (§5.4 uses 800).
+  uint64_t queue_guard_limit = 0;
+};
+
+/// Builds the policy described by `config` against `context`. Returns
+/// InvalidArgument for out-of-domain parameters (e.g. allowance outside
+/// [0, 1]).
+StatusOr<std::unique_ptr<AdmissionPolicy>> CreatePolicy(
+    const PolicyConfig& config, const PolicyContext& context);
+
+}  // namespace bouncer
+
+#endif  // BOUNCER_CORE_POLICY_FACTORY_H_

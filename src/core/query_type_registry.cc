@@ -1,0 +1,47 @@
+#include "src/core/query_type_registry.h"
+
+namespace bouncer {
+
+QueryTypeRegistry::QueryTypeRegistry(const Slo& default_slo) {
+  names_.emplace_back("default");
+  slos_.push_back(default_slo);
+  index_.emplace("default", kDefaultQueryType);
+}
+
+StatusOr<QueryTypeId> QueryTypeRegistry::Register(std::string name,
+                                                  const Slo& slo) {
+  if (name.empty()) {
+    return Status::InvalidArgument("query type name must be non-empty");
+  }
+  if (index_.contains(name)) {
+    return Status::AlreadyExists("query type already registered: " + name);
+  }
+  const auto id = static_cast<QueryTypeId>(names_.size());
+  index_.emplace(name, id);
+  names_.push_back(std::move(name));
+  slos_.push_back(slo);
+  return id;
+}
+
+QueryTypeId QueryTypeRegistry::Resolve(std::string_view name) const {
+  const auto it = index_.find(std::string(name));
+  return it == index_.end() ? kDefaultQueryType : it->second;
+}
+
+StatusOr<QueryTypeId> QueryTypeRegistry::Find(std::string_view name) const {
+  const auto it = index_.find(std::string(name));
+  if (it == index_.end()) {
+    return Status::NotFound("unknown query type: " + std::string(name));
+  }
+  return it->second;
+}
+
+Status QueryTypeRegistry::SetSlo(QueryTypeId id, const Slo& slo) {
+  if (id >= slos_.size()) {
+    return Status::OutOfRange("query type id out of range");
+  }
+  slos_[id] = slo;
+  return Status::OK();
+}
+
+}  // namespace bouncer

@@ -1,0 +1,59 @@
+#ifndef BOUNCER_CORE_QUERY_TYPE_REGISTRY_H_
+#define BOUNCER_CORE_QUERY_TYPE_REGISTRY_H_
+
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+#include "src/core/types.h"
+#include "src/util/status.h"
+
+namespace bouncer {
+
+/// Maps query-type strings (e.g. the REST endpoint path segment or datalog
+/// rule name a request carries, paper §3) to dense QueryTypeId indices and
+/// holds the per-type latency SLOs.
+///
+/// Id 0 is always the catch-all "default" type; Resolve() returns it for
+/// unrecognized strings, so new queries with no declared type are served
+/// under the default SLO (paper Appendix B.2). The registry is built once
+/// during configuration and is immutable afterwards from the policies'
+/// point of view; Resolve() and accessors are thread-safe on the frozen
+/// registry.
+class QueryTypeRegistry {
+ public:
+  /// Creates a registry whose default (catch-all) type has `default_slo`.
+  explicit QueryTypeRegistry(const Slo& default_slo = Slo{});
+
+  /// Registers a query type. Returns its id, or AlreadyExists /
+  /// InvalidArgument on a duplicate or empty name.
+  StatusOr<QueryTypeId> Register(std::string name, const Slo& slo);
+
+  /// Resolves a query-type string; unknown names map to the default type.
+  QueryTypeId Resolve(std::string_view name) const;
+
+  /// Exact lookup: NotFound for unknown names (no default fallback).
+  StatusOr<QueryTypeId> Find(std::string_view name) const;
+
+  /// Number of types including the default type.
+  size_t size() const { return names_.size(); }
+
+  /// Name of a type id ("default" for id 0).
+  const std::string& Name(QueryTypeId id) const { return names_.at(id); }
+
+  /// SLO of a type id.
+  const Slo& GetSlo(QueryTypeId id) const { return slos_.at(id); }
+
+  /// Replaces the SLO of an existing type (configuration-time only).
+  Status SetSlo(QueryTypeId id, const Slo& slo);
+
+ private:
+  std::vector<std::string> names_;
+  std::vector<Slo> slos_;
+  std::unordered_map<std::string, QueryTypeId> index_;
+};
+
+}  // namespace bouncer
+
+#endif  // BOUNCER_CORE_QUERY_TYPE_REGISTRY_H_

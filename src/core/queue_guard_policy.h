@@ -1,0 +1,58 @@
+#ifndef BOUNCER_CORE_QUEUE_GUARD_POLICY_H_
+#define BOUNCER_CORE_QUEUE_GUARD_POLICY_H_
+
+#include <memory>
+#include <string>
+
+#include "src/core/admission_policy.h"
+
+namespace bouncer {
+
+/// Wrapper that enforces a hard queue-length cap in front of any policy
+/// (paper §5.4: "In LIquid not only MaxQL, but the other policies too can
+/// enforce a limit on the queue's length to safeguard against its
+/// unbounded growth"; the study uses L_limit = 800 for all policies).
+class QueueGuardPolicy final : public AdmissionPolicy {
+ public:
+  /// `inner` must be non-null. A query is rejected outright when the
+  /// queue already holds `length_limit` queries; otherwise `inner`
+  /// decides.
+  QueueGuardPolicy(std::unique_ptr<AdmissionPolicy> inner,
+                   const QueueState* queue, uint64_t length_limit)
+      : inner_(std::move(inner)),
+        queue_(queue),
+        length_limit_(length_limit),
+        name_(std::string(inner_->name()) + "+QueueGuard") {}
+
+  Decision Decide(QueryTypeId type, Nanos now) override {
+    if (queue_->TotalLength() >= length_limit_) return Decision::kReject;
+    return inner_->Decide(type, now);
+  }
+  void OnEnqueued(QueryTypeId type, Nanos now) override {
+    inner_->OnEnqueued(type, now);
+  }
+  void OnRejected(QueryTypeId type, Nanos now) override {
+    inner_->OnRejected(type, now);
+  }
+  void OnDequeued(QueryTypeId type, Nanos wait_time, Nanos now) override {
+    inner_->OnDequeued(type, wait_time, now);
+  }
+  void OnCompleted(QueryTypeId type, Nanos processing_time,
+                   Nanos now) override {
+    inner_->OnCompleted(type, processing_time, now);
+  }
+  std::string_view name() const override { return name_; }
+
+  AdmissionPolicy* inner() { return inner_.get(); }
+  uint64_t length_limit() const { return length_limit_; }
+
+ private:
+  std::unique_ptr<AdmissionPolicy> inner_;
+  const QueueState* const queue_;
+  const uint64_t length_limit_;
+  std::string name_;
+};
+
+}  // namespace bouncer
+
+#endif  // BOUNCER_CORE_QUEUE_GUARD_POLICY_H_

@@ -1,0 +1,60 @@
+#ifndef BOUNCER_CORE_QUEUE_STATE_H_
+#define BOUNCER_CORE_QUEUE_STATE_H_
+
+#include <atomic>
+#include <cstdint>
+#include <vector>
+
+#include "src/core/types.h"
+
+namespace bouncer {
+
+/// Live per-type and total occupancy of the admitted-query FIFO queue
+/// (paper §3: "Bouncer maintains per-type atomic counts of the queries
+/// currently in the queue"). Maintained by the runtime (simulator or
+/// server stage) as queries are enqueued and dequeued, and read by
+/// policies on the decision path. All operations are lock-free.
+class QueueState {
+ public:
+  explicit QueueState(size_t num_types)
+      : per_type_(num_types), total_(0) {
+    for (auto& c : per_type_) c.store(0, std::memory_order_relaxed);
+  }
+
+  QueueState(const QueueState&) = delete;
+  QueueState& operator=(const QueueState&) = delete;
+
+  /// Called by the runtime when an admitted query enters the FIFO queue.
+  void OnEnqueued(QueryTypeId type) {
+    per_type_[type].fetch_add(1, std::memory_order_relaxed);
+    total_.fetch_add(1, std::memory_order_relaxed);
+  }
+
+  /// Called by the runtime when a query is pulled for processing.
+  void OnDequeued(QueryTypeId type) {
+    per_type_[type].fetch_sub(1, std::memory_order_relaxed);
+    total_.fetch_sub(1, std::memory_order_relaxed);
+  }
+
+  /// Number of queries of `type` currently in the queue.
+  uint64_t CountForType(QueryTypeId type) const {
+    if (type >= per_type_.size()) return 0;
+    return per_type_[type].load(std::memory_order_relaxed);
+  }
+
+  /// Total queue length.
+  uint64_t TotalLength() const {
+    return total_.load(std::memory_order_relaxed);
+  }
+
+  /// Number of tracked types.
+  size_t num_types() const { return per_type_.size(); }
+
+ private:
+  std::vector<std::atomic<uint64_t>> per_type_;
+  std::atomic<uint64_t> total_;
+};
+
+}  // namespace bouncer
+
+#endif  // BOUNCER_CORE_QUEUE_STATE_H_

@@ -1,0 +1,243 @@
+#include "src/core/slo_config.h"
+
+#include <cctype>
+#include <cmath>
+#include <cstdio>
+
+namespace bouncer {
+namespace {
+
+/// Minimal recursive-descent scanner over the SLO config grammar.
+class Scanner {
+ public:
+  explicit Scanner(std::string_view input) : input_(input) {}
+
+  void SkipSpace() {
+    while (pos_ < input_.size() &&
+           std::isspace(static_cast<unsigned char>(input_[pos_]))) {
+      ++pos_;
+    }
+  }
+
+  bool AtEnd() {
+    SkipSpace();
+    return pos_ >= input_.size();
+  }
+
+  /// Consumes `c` (after whitespace) or returns an error naming it.
+  Status Expect(char c) {
+    SkipSpace();
+    if (pos_ >= input_.size() || input_[pos_] != c) {
+      return Error(std::string("expected '") + c + "'");
+    }
+    ++pos_;
+    return Status::OK();
+  }
+
+  bool Peek(char c) {
+    SkipSpace();
+    return pos_ < input_.size() && input_[pos_] == c;
+  }
+
+  bool TryConsume(char c) {
+    if (Peek(c)) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+
+  /// Parses a double-quoted string.
+  StatusOr<std::string> QuotedString() {
+    if (Status s = Expect('"'); !s.ok()) return s;
+    std::string out;
+    while (pos_ < input_.size() && input_[pos_] != '"') {
+      out.push_back(input_[pos_++]);
+    }
+    if (pos_ >= input_.size()) return Error("unterminated string");
+    ++pos_;  // Closing quote.
+    return out;
+  }
+
+  /// Parses an identifier like p50 / p90 / p99.
+  StatusOr<std::string> Identifier() {
+    SkipSpace();
+    std::string out;
+    while (pos_ < input_.size() &&
+           (std::isalnum(static_cast<unsigned char>(input_[pos_])))) {
+      out.push_back(input_[pos_++]);
+    }
+    if (out.empty()) return Error("expected identifier");
+    return out;
+  }
+
+  /// Parses a duration token up to the next delimiter.
+  StatusOr<std::string> DurationToken() {
+    SkipSpace();
+    std::string out;
+    while (pos_ < input_.size() &&
+           (std::isalnum(static_cast<unsigned char>(input_[pos_])) ||
+            input_[pos_] == '.')) {
+      out.push_back(input_[pos_++]);
+    }
+    if (out.empty()) return Error("expected duration");
+    return out;
+  }
+
+  Status Error(const std::string& message) const {
+    return Status::InvalidArgument(message + " at offset " +
+                                   std::to_string(pos_));
+  }
+
+ private:
+  std::string_view input_;
+  size_t pos_ = 0;
+};
+
+}  // namespace
+
+StatusOr<Nanos> ParseDuration(std::string_view token) {
+  size_t i = 0;
+  while (i < token.size() &&
+         (std::isdigit(static_cast<unsigned char>(token[i])) ||
+          token[i] == '.')) {
+    ++i;
+  }
+  if (i == 0) {
+    return Status::InvalidArgument("duration has no numeric part: " +
+                                   std::string(token));
+  }
+  const std::string number(token.substr(0, i));
+  char* end = nullptr;
+  const double value = std::strtod(number.c_str(), &end);
+  if (end == number.c_str() || *end != '\0') {
+    return Status::InvalidArgument("bad duration number: " +
+                                   std::string(token));
+  }
+  const std::string_view unit = token.substr(i);
+  double scale = 0.0;
+  if (unit == "ns") {
+    scale = 1.0;
+  } else if (unit == "us") {
+    scale = static_cast<double>(kMicrosecond);
+  } else if (unit == "ms") {
+    scale = static_cast<double>(kMillisecond);
+  } else if (unit == "s") {
+    scale = static_cast<double>(kSecond);
+  } else {
+    return Status::InvalidArgument("unknown duration unit: " +
+                                   std::string(token));
+  }
+  if (value < 0.0) {
+    return Status::InvalidArgument("negative duration: " +
+                                   std::string(token));
+  }
+  return static_cast<Nanos>(std::llround(value * scale));
+}
+
+std::string FormatDuration(Nanos value) {
+  char buffer[32];
+  if (value % kSecond == 0 && value != 0) {
+    std::snprintf(buffer, sizeof(buffer), "%llds",
+                  static_cast<long long>(value / kSecond));
+  } else if (value % kMillisecond == 0) {
+    std::snprintf(buffer, sizeof(buffer), "%lldms",
+                  static_cast<long long>(value / kMillisecond));
+  } else if (value % kMicrosecond == 0) {
+    std::snprintf(buffer, sizeof(buffer), "%lldus",
+                  static_cast<long long>(value / kMicrosecond));
+  } else {
+    std::snprintf(buffer, sizeof(buffer), "%lldns",
+                  static_cast<long long>(value));
+  }
+  return buffer;
+}
+
+namespace {
+
+Status ParseObjectives(Scanner& scanner, Slo* slo) {
+  if (Status s = scanner.Expect('{'); !s.ok()) return s;
+  bool saw_any = false;
+  while (!scanner.Peek('}')) {
+    if (saw_any) {
+      if (Status s = scanner.Expect(','); !s.ok()) return s;
+    }
+    auto key = scanner.Identifier();
+    if (!key.ok()) return key.status();
+    if (Status s = scanner.Expect('='); !s.ok()) return s;
+    auto token = scanner.DurationToken();
+    if (!token.ok()) return token.status();
+    auto duration = ParseDuration(*token);
+    if (!duration.ok()) return duration.status();
+    if (*key == "p50") {
+      slo->p50 = *duration;
+    } else if (*key == "p90") {
+      slo->p90 = *duration;
+    } else if (*key == "p99") {
+      slo->p99 = *duration;
+    } else {
+      return Status::InvalidArgument("unknown objective: " + *key);
+    }
+    saw_any = true;
+  }
+  if (Status s = scanner.Expect('}'); !s.ok()) return s;
+  if (!saw_any) return Status::InvalidArgument("empty SLO block");
+  if (slo->p50 > 0 && slo->p90 > 0 && slo->p50 > slo->p90) {
+    return Status::InvalidArgument("p50 objective exceeds p90");
+  }
+  if (slo->p90 > 0 && slo->p99 > 0 && slo->p90 > slo->p99) {
+    return Status::InvalidArgument("p90 objective exceeds p99");
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+Status ParseSloConfig(std::string_view config, QueryTypeRegistry* registry) {
+  Scanner scanner(config);
+  bool first = true;
+  while (!scanner.AtEnd()) {
+    if (!first) {
+      if (Status s = scanner.Expect(','); !s.ok()) return s;
+      if (scanner.AtEnd()) break;  // Trailing comma tolerated.
+    }
+    first = false;
+    auto name = scanner.QuotedString();
+    if (!name.ok()) return name.status();
+    if (Status s = scanner.Expect(':'); !s.ok()) return s;
+    Slo slo;
+    if (Status s = ParseObjectives(scanner, &slo); !s.ok()) return s;
+    if (*name == "default") {
+      if (Status s = registry->SetSlo(kDefaultQueryType, slo); !s.ok()) {
+        return s;
+      }
+    } else {
+      auto id = registry->Register(*name, slo);
+      if (!id.ok()) return id.status();
+    }
+  }
+  return Status::OK();
+}
+
+std::string FormatSloConfig(const QueryTypeRegistry& registry) {
+  std::string out;
+  for (QueryTypeId id = 0; id < registry.size(); ++id) {
+    if (!out.empty()) out += ",\n";
+    const Slo& slo = registry.GetSlo(id);
+    out += "\"" + registry.Name(id) + "\":{";
+    bool first = true;
+    const auto append = [&](const char* key, Nanos value) {
+      if (value <= 0) return;
+      if (!first) out += ", ";
+      out += std::string(key) + "=" + FormatDuration(value);
+      first = false;
+    };
+    append("p50", slo.p50);
+    append("p90", slo.p90);
+    append("p99", slo.p99);
+    out += "}";
+  }
+  return out;
+}
+
+}  // namespace bouncer

@@ -1,0 +1,47 @@
+#ifndef BOUNCER_CORE_SLO_CONFIG_H_
+#define BOUNCER_CORE_SLO_CONFIG_H_
+
+#include <string>
+#include <string_view>
+
+#include "src/core/query_type_registry.h"
+#include "src/util/status.h"
+
+namespace bouncer {
+
+/// Parses latency-SLO configuration in the paper's §3 notation:
+///
+///   "Fast":{p50=10ms, p90=90ms}, "Slow":{p50=60ms, p90=270ms},
+///   "default":{p50=30ms, p90=400ms}
+///
+/// into a QueryTypeRegistry. Rules:
+///  * every entry is `"<type>":{<objective>[, <objective>...]}`;
+///  * objectives are `p50=`, `p90=`, `p99=` with a duration suffix of
+///    `us`, `ms` or `s` (fractions allowed: `p50=1.5ms`);
+///  * entries are separated by commas; whitespace and newlines are free;
+///  * the `default` entry, when present, sets the catch-all type's SLO
+///    and may appear in any position; otherwise the default SLO is what
+///    the registry was constructed with;
+///  * duplicate type names and malformed syntax are errors; the paper's
+///    SLOs are ordered objectives, so p50 <= p90 <= p99 is enforced when
+///    both sides of a pair are present.
+///
+/// On success the registry contains one entry per non-default type, in
+/// file order. Parsing stops at the first error, which names the
+/// offending position.
+Status ParseSloConfig(std::string_view config, QueryTypeRegistry* registry);
+
+/// Formats a registry back into the §3 notation (round-trips through
+/// ParseSloConfig). Times print in the largest exact unit.
+std::string FormatSloConfig(const QueryTypeRegistry& registry);
+
+/// Parses one duration token like "10ms", "1.5s", "250us" into
+/// nanoseconds. Exposed for reuse by other config surfaces.
+StatusOr<Nanos> ParseDuration(std::string_view token);
+
+/// Formats nanoseconds as the shortest exact token ("10ms", "1500us").
+std::string FormatDuration(Nanos value);
+
+}  // namespace bouncer
+
+#endif  // BOUNCER_CORE_SLO_CONFIG_H_

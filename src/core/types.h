@@ -1,0 +1,38 @@
+#ifndef BOUNCER_CORE_TYPES_H_
+#define BOUNCER_CORE_TYPES_H_
+
+#include <cstdint>
+
+#include "src/util/time.h"
+
+namespace bouncer {
+
+/// Dense index of a query type within a QueryTypeRegistry. Index 0 is
+/// always the "default" catch-all type (paper §3).
+using QueryTypeId = uint32_t;
+
+/// The registry reserves id 0 for the catch-all type that unknown query
+/// strings resolve to.
+inline constexpr QueryTypeId kDefaultQueryType = 0;
+
+/// Outcome of an admission decision.
+enum class Decision : uint8_t {
+  kAccept = 0,
+  kReject = 1,
+};
+
+/// Latency service-level objective for a query type, expressed as target
+/// percentile response times (paper §3). `p99` is optional (0 = unused):
+/// the basic formulation checks p50 and p90; alternative formulations
+/// (paper §7 future work, implemented here) can also check p99.
+struct Slo {
+  Nanos p50 = 0;
+  Nanos p90 = 0;
+  Nanos p99 = 0;  ///< 0 means "no p99 objective".
+
+  friend bool operator==(const Slo&, const Slo&) = default;
+};
+
+}  // namespace bouncer
+
+#endif  // BOUNCER_CORE_TYPES_H_

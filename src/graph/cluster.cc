@@ -1,0 +1,376 @@
+#include "src/graph/cluster.h"
+
+#include <algorithm>
+#include <condition_variable>
+#include <mutex>
+
+namespace bouncer::graph {
+
+using server::Outcome;
+using server::Stage;
+using server::WorkItem;
+
+struct Cluster::QueryContext {
+  GraphQuery query;
+  GraphQueryResult result;
+  CompletionFn done;
+};
+
+struct Cluster::ScatterState {
+  std::mutex mu;
+  std::condition_variable cv;
+  size_t pending = 0;
+  bool ok = true;
+};
+
+namespace {
+
+/// One in-flight subquery; lives on the broker worker's stack until the
+/// scatter completes, so raw pointers into it stay valid.
+struct ShardTask {
+  Subquery subquery;
+  SubqueryResult result;
+  Cluster::ScatterState* state = nullptr;
+};
+
+}  // namespace
+
+Cluster::Cluster(const GraphStore* graph, const QueryTypeRegistry* registry,
+                 Clock* clock, const Options& options)
+    : graph_(graph), registry_(registry), clock_(clock), options_(options) {
+  const auto num_shards = static_cast<uint32_t>(
+      options_.num_shards == 0 ? 1 : options_.num_shards);
+  options_.num_shards = num_shards;
+  if (options_.num_brokers == 0) options_.num_brokers = 1;
+
+  for (uint32_t s = 0; s < num_shards; ++s) {
+    engines_.push_back(std::make_unique<ShardEngine>(
+        graph_, s, num_shards, options_.work_per_edge,
+        options_.update_log));
+    ShardEngine* engine = engines_.back().get();
+    Stage::Options stage_options;
+    stage_options.name = "shard-" + std::to_string(s);
+    stage_options.num_workers = options_.shard_workers;
+    stage_options.queue_capacity = options_.shard_queue_capacity;
+    const PolicyConfig policy = options_.shard_policy;
+    shards_.push_back(std::make_unique<Stage>(
+        stage_options, registry_, clock_,
+        [&policy](const PolicyContext& context) {
+          return CreatePolicy(policy, context);
+        },
+        [engine](WorkItem& item) {
+          auto* task = static_cast<ShardTask*>(item.user);
+          engine->Execute(task->subquery, &task->result);
+        }));
+    if (!shards_.back()->init_status().ok()) {
+      init_status_ = shards_.back()->init_status();
+    }
+  }
+
+  for (size_t b = 0; b < options_.num_brokers; ++b) {
+    Stage::Options stage_options;
+    stage_options.name = "broker-" + std::to_string(b);
+    stage_options.num_workers = options_.broker_workers;
+    stage_options.queue_capacity = options_.broker_queue_capacity;
+    const PolicyConfig policy = options_.broker_policy;
+    brokers_.push_back(std::make_unique<Stage>(
+        stage_options, registry_, clock_,
+        [&policy](const PolicyContext& context) {
+          return CreatePolicy(policy, context);
+        },
+        [this](WorkItem& item) { ExecuteQuery(item); }));
+    if (!brokers_.back()->init_status().ok()) {
+      init_status_ = brokers_.back()->init_status();
+    }
+  }
+}
+
+Cluster::~Cluster() { Stop(); }
+
+Status Cluster::Start() {
+  if (!init_status_.ok()) return init_status_;
+  for (auto& shard : shards_) {
+    if (Status s = shard->Start(); !s.ok()) return s;
+  }
+  for (auto& broker : brokers_) {
+    if (Status s = broker->Start(); !s.ok()) return s;
+  }
+  return Status::OK();
+}
+
+void Cluster::Stop() {
+  for (auto& broker : brokers_) broker->Stop(false);
+  for (auto& shard : shards_) shard->Stop(false);
+}
+
+QueryTypeRegistry Cluster::MakeRegistry(const Slo& slo) {
+  QueryTypeRegistry registry(slo);
+  for (size_t i = 0; i < kNumGraphOps; ++i) {
+    (void)registry.Register("QT" + std::to_string(i + 1), slo);
+  }
+  return registry;
+}
+
+GraphQuery Cluster::SampleQuery(GraphOp op, const GraphStore& graph,
+                                Rng& rng) {
+  GraphQuery q;
+  q.op = op;
+  const uint32_t n = std::max<uint32_t>(graph.num_vertices(), 1);
+  q.source = static_cast<uint32_t>(rng.NextBounded(n));
+  q.target = static_cast<uint32_t>(rng.NextBounded(n));
+  if (op == GraphOp::kDegreeByExternalId) {
+    q.external_id = graph.ExternalId(q.source);
+  }
+  return q;
+}
+
+Outcome Cluster::Submit(const GraphQuery& query, Nanos deadline,
+                        CompletionFn done) {
+  auto context = std::make_shared<QueryContext>();
+  context->query = query;
+  context->done = std::move(done);
+
+  WorkItem item;
+  item.type = TypeIdFor(query.op);
+  item.deadline = deadline;
+  item.user = context.get();
+  item.on_complete = [context](const WorkItem& w, Outcome outcome) {
+    if (context->done) context->done(w, outcome, context->result);
+  };
+  const size_t broker_index =
+      next_broker_.fetch_add(1, std::memory_order_relaxed) % brokers_.size();
+  return brokers_[broker_index]->Submit(std::move(item));
+}
+
+bool Cluster::ScatterGather(std::span<const uint32_t> vertices,
+                            Subquery::Kind kind, uint32_t limit_per_vertex,
+                            QueryTypeId type, Nanos deadline,
+                            SubqueryResult* merged) {
+  const size_t num_shards = shards_.size();
+  std::vector<ShardTask> tasks(num_shards);
+  for (const uint32_t v : vertices) {
+    tasks[v % num_shards].subquery.vertices.push_back(v);
+  }
+
+  ScatterState state;
+  size_t active = 0;
+  for (auto& task : tasks) {
+    if (!task.subquery.vertices.empty()) ++active;
+  }
+  if (active == 0) return true;
+  state.pending = active;
+
+  for (size_t s = 0; s < num_shards; ++s) {
+    ShardTask& task = tasks[s];
+    if (task.subquery.vertices.empty()) continue;
+    task.subquery.kind = kind;
+    task.subquery.limit_per_vertex = limit_per_vertex;
+    task.state = &state;
+
+    WorkItem item;
+    item.type = type;
+    item.deadline = deadline;
+    item.user = &task;
+    item.on_complete = [this](const WorkItem& w, Outcome outcome) {
+      auto* t = static_cast<ShardTask*>(w.user);
+      std::lock_guard<std::mutex> lock(t->state->mu);
+      if (outcome != Outcome::kCompleted) {
+        t->state->ok = false;
+        shard_failures_.fetch_add(1, std::memory_order_relaxed);
+      }
+      --t->state->pending;
+      t->state->cv.notify_all();
+    };
+    shards_[s]->Submit(std::move(item));
+  }
+
+  {
+    std::unique_lock<std::mutex> lock(state.mu);
+    state.cv.wait(lock, [&state] { return state.pending == 0; });
+  }
+
+  for (ShardTask& task : tasks) {
+    merged->checksum ^= task.result.checksum;
+    merged->degrees.insert(merged->degrees.end(), task.result.degrees.begin(),
+                           task.result.degrees.end());
+    merged->neighbors.insert(merged->neighbors.end(),
+                             task.result.neighbors.begin(),
+                             task.result.neighbors.end());
+  }
+  return state.ok;
+}
+
+bool Cluster::FetchDegrees(std::span<const uint32_t> vertices,
+                           QueryTypeId type, Nanos deadline,
+                           std::vector<uint32_t>* degrees) {
+  SubqueryResult merged;
+  const bool ok = ScatterGather(vertices, Subquery::Kind::kDegrees, 0, type,
+                                deadline, &merged);
+  *degrees = std::move(merged.degrees);
+  return ok;
+}
+
+bool Cluster::Expand(std::span<const uint32_t> vertices,
+                     uint32_t cap_per_vertex, size_t total_cap,
+                     QueryTypeId type, Nanos deadline,
+                     std::vector<uint32_t>* unique_neighbors) {
+  SubqueryResult merged;
+  const bool ok = ScatterGather(vertices, Subquery::Kind::kExpand,
+                                cap_per_vertex, type, deadline, &merged);
+  std::sort(merged.neighbors.begin(), merged.neighbors.end());
+  merged.neighbors.erase(
+      std::unique(merged.neighbors.begin(), merged.neighbors.end()),
+      merged.neighbors.end());
+  if (total_cap > 0 && merged.neighbors.size() > total_cap) {
+    merged.neighbors.resize(total_cap);
+  }
+  *unique_neighbors = std::move(merged.neighbors);
+  return ok;
+}
+
+uint64_t Cluster::RunBfs(const GraphQuery& query, uint32_t max_depth,
+                         size_t frontier_cap, QueryTypeId type,
+                         Nanos deadline, bool* ok) {
+  if (query.source == query.target) return 0;
+  std::vector<uint32_t> visited = {query.source};
+  std::vector<uint32_t> frontier = {query.source};
+  for (uint32_t depth = 1; depth <= max_depth; ++depth) {
+    std::vector<uint32_t> next;
+    if (!Expand(frontier, 64, frontier_cap, type, deadline, &next)) {
+      *ok = false;
+      return 0;
+    }
+    if (std::binary_search(next.begin(), next.end(), query.target)) {
+      return depth;
+    }
+    // next := next \ visited (both sorted).
+    std::vector<uint32_t> fresh;
+    fresh.reserve(next.size());
+    std::set_difference(next.begin(), next.end(), visited.begin(),
+                        visited.end(), std::back_inserter(fresh));
+    if (fresh.empty()) return 0;  // Exhausted within the budget.
+    std::vector<uint32_t> merged_visited;
+    merged_visited.reserve(visited.size() + fresh.size());
+    std::merge(visited.begin(), visited.end(), fresh.begin(), fresh.end(),
+               std::back_inserter(merged_visited));
+    visited = std::move(merged_visited);
+    frontier = std::move(fresh);
+    if (frontier.size() > frontier_cap) frontier.resize(frontier_cap);
+  }
+  return 0;  // Not reachable within max_depth.
+}
+
+void Cluster::ExecuteQuery(WorkItem& item) {
+  auto* context = static_cast<QueryContext*>(item.user);
+  const GraphQuery& q = context->query;
+  GraphQueryResult& r = context->result;
+  const QueryTypeId type = item.type;
+  const Nanos deadline = item.deadline;
+
+  switch (q.op) {
+    case GraphOp::kDegree: {
+      std::vector<uint32_t> degrees;
+      const uint32_t v[] = {q.source};
+      r.ok = FetchDegrees(v, type, deadline, &degrees);
+      for (uint32_t d : degrees) r.value += d;
+      break;
+    }
+    case GraphOp::kNeighbors: {
+      std::vector<uint32_t> neighbors;
+      const uint32_t v[] = {q.source};
+      r.ok = Expand(v, 64, 64, type, deadline, &neighbors);
+      r.value = neighbors.size();
+      break;
+    }
+    case GraphOp::kDegreeByExternalId: {
+      const auto vertex = graph_->FindByExternalId(q.external_id);
+      if (!vertex.ok()) {
+        r.value = 0;
+        break;
+      }
+      std::vector<uint32_t> degrees;
+      const uint32_t v[] = {*vertex};
+      r.ok = FetchDegrees(v, type, deadline, &degrees);
+      for (uint32_t d : degrees) r.value += d;
+      break;
+    }
+    case GraphOp::kCommonNeighbors: {
+      std::vector<uint32_t> a;
+      std::vector<uint32_t> b;
+      const uint32_t va[] = {q.source};
+      const uint32_t vb[] = {q.target};
+      r.ok = Expand(va, 512, 512, type, deadline, &a);
+      r.ok = Expand(vb, 512, 512, type, deadline, &b) && r.ok;
+      std::vector<uint32_t> common;
+      std::set_intersection(a.begin(), a.end(), b.begin(), b.end(),
+                            std::back_inserter(common));
+      r.value = common.size();
+      break;
+    }
+    case GraphOp::kNeighborDegreeSum: {
+      std::vector<uint32_t> neighbors;
+      const uint32_t v[] = {q.source};
+      r.ok = Expand(v, 128, 128, type, deadline, &neighbors);
+      std::vector<uint32_t> degrees;
+      r.ok = FetchDegrees(neighbors, type, deadline, &degrees) && r.ok;
+      for (uint32_t d : degrees) r.value += d;
+      break;
+    }
+    case GraphOp::kTopKNeighbors: {
+      std::vector<uint32_t> neighbors;
+      const uint32_t v[] = {q.source};
+      r.ok = Expand(v, 256, 256, type, deadline, &neighbors);
+      std::vector<uint32_t> degrees;
+      r.ok = FetchDegrees(neighbors, type, deadline, &degrees) && r.ok;
+      std::sort(degrees.begin(), degrees.end(), std::greater<>());
+      const size_t k = std::min<size_t>(10, degrees.size());
+      for (size_t i = 0; i < k; ++i) r.value += degrees[i];
+      break;
+    }
+    case GraphOp::kTwoHopSample: {
+      std::vector<uint32_t> hop1;
+      const uint32_t v[] = {q.source};
+      r.ok = Expand(v, 64, 64, type, deadline, &hop1);
+      if (hop1.size() > 32) hop1.resize(32);
+      std::vector<uint32_t> hop2;
+      r.ok = Expand(hop1, 32, 1024, type, deadline, &hop2) && r.ok;
+      r.value = hop2.size();
+      break;
+    }
+    case GraphOp::kTwoHopCount: {
+      std::vector<uint32_t> hop1;
+      const uint32_t v[] = {q.source};
+      r.ok = Expand(v, 128, 128, type, deadline, &hop1);
+      std::vector<uint32_t> hop2;
+      r.ok = Expand(hop1, 64, 2048, type, deadline, &hop2) && r.ok;
+      r.value = hop2.size();
+      break;
+    }
+    case GraphOp::kTwoHopDedup: {
+      std::vector<uint32_t> hop1;
+      const uint32_t v[] = {q.source};
+      r.ok = Expand(v, 256, 256, type, deadline, &hop1);
+      std::vector<uint32_t> hop2;
+      r.ok = Expand(hop1, 64, 4096, type, deadline, &hop2) && r.ok;
+      r.value = hop2.size();
+      if (hop2.size() > 64) hop2.resize(64);
+      std::vector<uint32_t> degrees;
+      r.ok = FetchDegrees(hop2, type, deadline, &degrees) && r.ok;
+      break;
+    }
+    case GraphOp::kDistance3: {
+      bool ok = true;
+      r.value = RunBfs(q, 3, 2048, type, deadline, &ok);
+      r.ok = ok;
+      break;
+    }
+    case GraphOp::kDistance4: {
+      bool ok = true;
+      r.value = RunBfs(q, 4, 4096, type, deadline, &ok);
+      r.ok = ok;
+      break;
+    }
+  }
+}
+
+}  // namespace bouncer::graph

@@ -1,0 +1,42 @@
+#include "src/graph/graph_generator.h"
+
+#include <algorithm>
+#include <vector>
+
+namespace bouncer::graph {
+
+GraphStore GeneratePreferentialAttachment(const GeneratorOptions& options) {
+  const uint32_t n = std::max<uint32_t>(options.num_vertices, 2);
+  const uint32_t m = std::max<uint32_t>(options.edges_per_vertex, 1);
+  Rng rng(options.seed);
+  GraphBuilder builder(n);
+
+  // Endpoint pool: each inserted endpoint appears once, so sampling a
+  // uniform pool element is degree-proportional sampling.
+  std::vector<uint32_t> endpoint_pool;
+  endpoint_pool.reserve(static_cast<size_t>(n) * m * 2);
+
+  // Seed clique over the first m+1 vertices.
+  const uint32_t seed_count = std::min(n, m + 1);
+  for (uint32_t a = 0; a < seed_count; ++a) {
+    for (uint32_t b = a + 1; b < seed_count; ++b) {
+      builder.AddUndirectedEdge(a, b);
+      endpoint_pool.push_back(a);
+      endpoint_pool.push_back(b);
+    }
+  }
+
+  for (uint32_t v = seed_count; v < n; ++v) {
+    for (uint32_t e = 0; e < m; ++e) {
+      const uint32_t target =
+          endpoint_pool[rng.NextBounded(endpoint_pool.size())];
+      if (target == v) continue;
+      builder.AddUndirectedEdge(v, target);
+      endpoint_pool.push_back(v);
+      endpoint_pool.push_back(target);
+    }
+  }
+  return std::move(builder).Build();
+}
+
+}  // namespace bouncer::graph

@@ -1,0 +1,28 @@
+#ifndef BOUNCER_GRAPH_GRAPH_GENERATOR_H_
+#define BOUNCER_GRAPH_GRAPH_GENERATOR_H_
+
+#include <cstdint>
+
+#include "src/graph/graph_store.h"
+#include "src/util/rng.h"
+
+namespace bouncer::graph {
+
+/// Parameters for the synthetic social-graph generator. The generator
+/// produces an undirected preferential-attachment (Barabási–Albert style)
+/// graph whose heavy-tailed degree distribution stands in for the
+/// LinkedIn Economic Graph in the real-system study (DESIGN.md lists the
+/// substitution).
+struct GeneratorOptions {
+  uint32_t num_vertices = 100'000;
+  /// Edges attached per new vertex (mean degree ~ 2 * edges_per_vertex).
+  uint32_t edges_per_vertex = 8;
+  uint64_t seed = 42;
+};
+
+/// Generates the synthetic graph. Deterministic for a given seed.
+GraphStore GeneratePreferentialAttachment(const GeneratorOptions& options);
+
+}  // namespace bouncer::graph
+
+#endif  // BOUNCER_GRAPH_GRAPH_GENERATOR_H_

@@ -1,0 +1,91 @@
+#include "src/graph/graph_store.h"
+
+#include <algorithm>
+
+namespace bouncer::graph {
+namespace {
+
+// SplitMix64 finalizer: deterministic external-id scramble.
+uint64_t ScrambleId(uint64_t x) {
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  x = x ^ (x >> 31);
+  return x | 1;  // Never 0: 0 marks empty index slots.
+}
+
+uint64_t NextPowerOfTwo(uint64_t x) {
+  uint64_t p = 1;
+  while (p < x) p <<= 1;
+  return p;
+}
+
+}  // namespace
+
+bool GraphStore::HasEdge(uint32_t src, uint32_t dst) const {
+  const auto neighbors = Neighbors(src);
+  return std::binary_search(neighbors.begin(), neighbors.end(), dst);
+}
+
+StatusOr<uint32_t> GraphStore::FindByExternalId(uint64_t external_id) const {
+  if (index_keys_.empty() || external_id == 0) {
+    return Status::NotFound("external id not indexed");
+  }
+  uint64_t slot = external_id & index_mask_;
+  while (true) {
+    const uint64_t key = index_keys_[slot];
+    if (key == external_id) return index_values_[slot];
+    if (key == 0) return Status::NotFound("external id not found");
+    slot = (slot + 1) & index_mask_;
+  }
+}
+
+GraphBuilder::GraphBuilder(uint32_t num_vertices)
+    : num_vertices_(num_vertices) {}
+
+void GraphBuilder::AddEdge(uint32_t src, uint32_t dst) {
+  if (src >= num_vertices_ || dst >= num_vertices_) return;
+  edges_.emplace_back(src, dst);
+}
+
+GraphStore GraphBuilder::Build() && {
+  GraphStore store;
+  std::sort(edges_.begin(), edges_.end());
+  edges_.erase(std::unique(edges_.begin(), edges_.end()), edges_.end());
+
+  store.offsets_.assign(static_cast<size_t>(num_vertices_) + 1, 0);
+  for (const auto& [src, dst] : edges_) {
+    (void)dst;
+    ++store.offsets_[src + 1];
+  }
+  for (size_t v = 1; v <= num_vertices_; ++v) {
+    store.offsets_[v] += store.offsets_[v - 1];
+  }
+  store.targets_.reserve(edges_.size());
+  for (const auto& [src, dst] : edges_) {
+    (void)src;
+    store.targets_.push_back(dst);
+  }
+
+  // External ids + hash index at 50% max load factor.
+  store.external_ids_.resize(num_vertices_);
+  const uint64_t table_size =
+      NextPowerOfTwo(std::max<uint64_t>(2 * num_vertices_, 16));
+  store.index_keys_.assign(table_size, 0);
+  store.index_values_.assign(table_size, 0);
+  store.index_mask_ = table_size - 1;
+  for (uint32_t v = 0; v < num_vertices_; ++v) {
+    const uint64_t id = ScrambleId(v);
+    store.external_ids_[v] = id;
+    uint64_t slot = id & store.index_mask_;
+    while (store.index_keys_[slot] != 0) {
+      slot = (slot + 1) & store.index_mask_;
+    }
+    store.index_keys_[slot] = id;
+    store.index_values_[slot] = v;
+  }
+  edges_.clear();
+  return store;
+}
+
+}  // namespace bouncer::graph

@@ -1,0 +1,94 @@
+#ifndef BOUNCER_GRAPH_GRAPH_STORE_H_
+#define BOUNCER_GRAPH_GRAPH_STORE_H_
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "src/util/status.h"
+
+namespace bouncer::graph {
+
+/// Immutable in-memory graph in compressed-sparse-row form, plus an
+/// open-addressing hash index from 64-bit external ids to vertex numbers
+/// (the LIquid papers index graph data with hash maps; this is the
+/// corresponding substrate here). Vertices are dense uint32 indices;
+/// adjacency lists are sorted and deduplicated. Thread-safe for reads.
+class GraphStore {
+ public:
+  GraphStore() = default;
+
+  uint32_t num_vertices() const {
+    return offsets_.empty() ? 0 : static_cast<uint32_t>(offsets_.size() - 1);
+  }
+  uint64_t num_edges() const { return targets_.size(); }
+
+  /// Sorted out-neighbors of `v`. Empty for out-of-range vertices.
+  std::span<const uint32_t> Neighbors(uint32_t v) const {
+    if (v >= num_vertices()) return {};
+    return {targets_.data() + offsets_[v],
+            static_cast<size_t>(offsets_[v + 1] - offsets_[v])};
+  }
+
+  /// Out-degree of `v` (0 for out-of-range vertices).
+  uint32_t Degree(uint32_t v) const {
+    if (v >= num_vertices()) return 0;
+    return static_cast<uint32_t>(offsets_[v + 1] - offsets_[v]);
+  }
+
+  /// True if the sorted adjacency of `src` contains `dst`.
+  bool HasEdge(uint32_t src, uint32_t dst) const;
+
+  /// External id assigned to vertex `v`.
+  uint64_t ExternalId(uint32_t v) const {
+    return v < external_ids_.size() ? external_ids_[v] : 0;
+  }
+
+  /// Hash-index lookup: vertex for an external id, or NotFound.
+  StatusOr<uint32_t> FindByExternalId(uint64_t external_id) const;
+
+ private:
+  friend class GraphBuilder;
+
+  std::vector<uint64_t> offsets_;   // num_vertices + 1.
+  std::vector<uint32_t> targets_;   // Sorted per source.
+  std::vector<uint64_t> external_ids_;  // Per vertex.
+
+  // Open-addressing (linear probing) index: external id -> vertex + 1;
+  // 0 marks an empty slot. Size is a power of two.
+  std::vector<uint64_t> index_keys_;
+  std::vector<uint32_t> index_values_;
+  uint64_t index_mask_ = 0;
+};
+
+/// Mutable edge accumulator that finalizes into a GraphStore. Not
+/// thread-safe; build on one thread, then share the store read-only.
+class GraphBuilder {
+ public:
+  explicit GraphBuilder(uint32_t num_vertices);
+
+  /// Adds a directed edge. Out-of-range endpoints are ignored. Duplicate
+  /// edges collapse at Build() time.
+  void AddEdge(uint32_t src, uint32_t dst);
+
+  /// Adds both directions.
+  void AddUndirectedEdge(uint32_t a, uint32_t b) {
+    AddEdge(a, b);
+    AddEdge(b, a);
+  }
+
+  uint32_t num_vertices() const { return num_vertices_; }
+
+  /// Finalizes into CSR form and builds the external-id hash index.
+  /// External ids are a deterministic scramble of the vertex number.
+  /// The builder is consumed.
+  GraphStore Build() &&;
+
+ private:
+  uint32_t num_vertices_;
+  std::vector<std::pair<uint32_t, uint32_t>> edges_;
+};
+
+}  // namespace bouncer::graph
+
+#endif  // BOUNCER_GRAPH_GRAPH_STORE_H_

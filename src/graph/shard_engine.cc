@@ -1,0 +1,66 @@
+#include "src/graph/shard_engine.h"
+
+namespace bouncer::graph {
+
+uint64_t ShardEngine::EdgeWork(uint64_t seed) const {
+  // Cheap data-dependent hash chain; ~1 ns per iteration. Folding the
+  // result into the checksum keeps the optimizer from removing it.
+  uint64_t x = seed | 1;
+  for (uint32_t i = 0; i < work_per_edge_; ++i) {
+    x ^= x >> 33;
+    x *= 0xff51afd7ed558ccdULL;
+  }
+  return x;
+}
+
+void ShardEngine::Execute(const Subquery& subquery,
+                          SubqueryResult* result) const {
+  switch (subquery.kind) {
+    case Subquery::Kind::kDegrees: {
+      result->degrees.reserve(result->degrees.size() +
+                              subquery.vertices.size());
+      for (const uint32_t v : subquery.vertices) {
+        uint32_t degree = 0;
+        if (Owns(v)) {
+          degree = graph_->Degree(v);
+          if (updates_ != nullptr) degree += updates_->ExtraDegree(v);
+        }
+        result->degrees.push_back(degree);
+        result->checksum ^= EdgeWork(v + degree);
+      }
+      break;
+    }
+    case Subquery::Kind::kExpand: {
+      for (const uint32_t v : subquery.vertices) {
+        if (!Owns(v)) continue;
+        auto neighbors = graph_->Neighbors(v);
+        size_t count = neighbors.size();
+        if (subquery.limit_per_vertex > 0 &&
+            count > subquery.limit_per_vertex) {
+          count = subquery.limit_per_vertex;
+        }
+        for (size_t i = 0; i < count; ++i) {
+          result->neighbors.push_back(neighbors[i]);
+          result->checksum ^= EdgeWork(neighbors[i]);
+        }
+        if (updates_ != nullptr && count == neighbors.size()) {
+          // Remaining headroom under the cap goes to delta edges.
+          const bool capped = subquery.limit_per_vertex > 0;
+          const uint32_t remaining =
+              capped ? subquery.limit_per_vertex - static_cast<uint32_t>(count)
+                     : 0;
+          if (!capped || remaining > 0) {
+            const size_t before = result->neighbors.size();
+            updates_->AppendNeighbors(v, remaining, &result->neighbors);
+            for (size_t i = before; i < result->neighbors.size(); ++i) {
+              result->checksum ^= EdgeWork(result->neighbors[i]);
+            }
+          }
+        }
+      }
+      break;
+    }
+  }
+}
+
+}  // namespace bouncer::graph

@@ -1,0 +1,66 @@
+#include "src/graph/update_log.h"
+
+#include <algorithm>
+
+namespace bouncer::graph {
+namespace {
+
+size_t NextPowerOfTwo(size_t x) {
+  size_t p = 1;
+  while (p < x) p <<= 1;
+  return p;
+}
+
+}  // namespace
+
+EdgeUpdateLog::EdgeUpdateLog(size_t stripes)
+    : stripes_(NextPowerOfTwo(std::max<size_t>(stripes, 1))),
+      stripe_mask_(stripes_.size() - 1) {}
+
+void EdgeUpdateLog::AddEdge(uint32_t src, uint32_t dst) {
+  Stripe& stripe = StripeFor(src);
+  std::lock_guard<std::mutex> lock(stripe.mu);
+  auto& neighbors = stripe.adjacency[src];
+  if (std::find(neighbors.begin(), neighbors.end(), dst) !=
+      neighbors.end()) {
+    return;  // Duplicate within the log.
+  }
+  neighbors.push_back(dst);
+  total_edges_.fetch_add(1, std::memory_order_relaxed);
+}
+
+uint32_t EdgeUpdateLog::ExtraDegree(uint32_t v) const {
+  const Stripe& stripe = StripeFor(v);
+  std::lock_guard<std::mutex> lock(stripe.mu);
+  const auto it = stripe.adjacency.find(v);
+  return it == stripe.adjacency.end()
+             ? 0
+             : static_cast<uint32_t>(it->second.size());
+}
+
+void EdgeUpdateLog::AppendNeighbors(uint32_t v, uint32_t limit,
+                                    std::vector<uint32_t>* out) const {
+  const Stripe& stripe = StripeFor(v);
+  std::lock_guard<std::mutex> lock(stripe.mu);
+  const auto it = stripe.adjacency.find(v);
+  if (it == stripe.adjacency.end()) return;
+  size_t count = it->second.size();
+  if (limit > 0 && count > limit) count = limit;
+  out->insert(out->end(), it->second.begin(), it->second.begin() + count);
+}
+
+GraphStore EdgeUpdateLog::Compact(const GraphStore& base) const {
+  GraphBuilder builder(base.num_vertices());
+  for (uint32_t v = 0; v < base.num_vertices(); ++v) {
+    for (const uint32_t u : base.Neighbors(v)) builder.AddEdge(v, u);
+  }
+  for (const Stripe& stripe : stripes_) {
+    std::lock_guard<std::mutex> lock(stripe.mu);
+    for (const auto& [src, neighbors] : stripe.adjacency) {
+      for (const uint32_t dst : neighbors) builder.AddEdge(src, dst);
+    }
+  }
+  return std::move(builder).Build();
+}
+
+}  // namespace bouncer::graph

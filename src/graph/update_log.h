@@ -1,0 +1,72 @@
+#ifndef BOUNCER_GRAPH_UPDATE_LOG_H_
+#define BOUNCER_GRAPH_UPDATE_LOG_H_
+
+#include <atomic>
+#include <cstdint>
+#include <mutex>
+#include <unordered_map>
+#include <vector>
+
+#include "src/graph/graph_store.h"
+
+namespace bouncer::graph {
+
+/// Live edge updates layered over an immutable GraphStore snapshot —
+/// the stand-in for LIquid's continuous update feed (paper §5.1: shards
+/// "receive a continuous feed of updates (e.g., via Kafka) from
+/// source-of-truth databases"). Writers append edges concurrently with
+/// readers serving queries; a periodic Compact() folds the deltas into a
+/// fresh CSR snapshot, mirroring how log-structured stores rotate.
+///
+/// Locking is striped by source vertex, so concurrent updates to
+/// different vertices do not contend.
+class EdgeUpdateLog {
+ public:
+  /// `stripes` is rounded up to a power of two.
+  explicit EdgeUpdateLog(size_t stripes = 64);
+
+  EdgeUpdateLog(const EdgeUpdateLog&) = delete;
+  EdgeUpdateLog& operator=(const EdgeUpdateLog&) = delete;
+
+  /// Appends a directed edge. Duplicates (vs. the log, not the base
+  /// snapshot) are kept out; callers wanting undirected edges add both
+  /// directions. Thread-safe.
+  void AddEdge(uint32_t src, uint32_t dst);
+
+  /// Number of delta out-edges recorded for `v`. Thread-safe.
+  uint32_t ExtraDegree(uint32_t v) const;
+
+  /// Appends up to `limit` (0 = all) of `v`'s delta neighbors to `out`.
+  /// Thread-safe. Order is append order, not sorted.
+  void AppendNeighbors(uint32_t v, uint32_t limit,
+                       std::vector<uint32_t>* out) const;
+
+  /// Total delta edges across all vertices.
+  uint64_t TotalEdges() const {
+    return total_edges_.load(std::memory_order_relaxed);
+  }
+
+  /// Folds `base` + this log into a fresh CSR snapshot. Readers may keep
+  /// using the log during compaction; edges added concurrently may or
+  /// may not be included.
+  GraphStore Compact(const GraphStore& base) const;
+
+ private:
+  struct Stripe {
+    mutable std::mutex mu;
+    std::unordered_map<uint32_t, std::vector<uint32_t>> adjacency;
+  };
+
+  const Stripe& StripeFor(uint32_t v) const {
+    return stripes_[v & stripe_mask_];
+  }
+  Stripe& StripeFor(uint32_t v) { return stripes_[v & stripe_mask_]; }
+
+  std::vector<Stripe> stripes_;
+  size_t stripe_mask_;
+  std::atomic<uint64_t> total_edges_{0};
+};
+
+}  // namespace bouncer::graph
+
+#endif  // BOUNCER_GRAPH_UPDATE_LOG_H_

@@ -1,0 +1,164 @@
+#ifndef BOUNCER_SERVER_METRICS_COLLECTOR_H_
+#define BOUNCER_SERVER_METRICS_COLLECTOR_H_
+
+#include <atomic>
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "src/server/stage.h"
+#include "src/stats/summary.h"
+
+namespace bouncer::server {
+
+/// Per-type report extracted from a MetricsCollector snapshot; times in
+/// milliseconds.
+struct TypeReport {
+  uint64_t received = 0;
+  uint64_t accepted = 0;
+  uint64_t rejected = 0;
+  uint64_t expired = 0;
+  uint64_t completed = 0;
+  double rejection_pct = 0.0;
+  double rt_mean_ms = 0.0;
+  double rt_p50_ms = 0.0;
+  double rt_p90_ms = 0.0;
+  double rt_p99_ms = 0.0;
+  double pt_p50_ms = 0.0;
+  double pt_p90_ms = 0.0;
+};
+
+/// Thread-safe sink for Stage completion callbacks: counts outcomes and
+/// collects response/processing-time samples per query type. Recording
+/// can be toggled so warm-up traffic is excluded (paper §5.4 warms the
+/// cluster for a minute before each run).
+class MetricsCollector {
+ public:
+  explicit MetricsCollector(size_t num_types)
+      : types_(num_types), recording_(true) {}
+
+  /// Enables or disables sample/counter recording.
+  void SetRecording(bool on) {
+    recording_.store(on, std::memory_order_release);
+  }
+  bool recording() const { return recording_.load(std::memory_order_acquire); }
+
+  /// Records one terminal outcome. Safe from any thread. Intended as the
+  /// WorkItem::on_complete sink:
+  ///   item.on_complete = [&](const WorkItem& w, Outcome o) {
+  ///     collector.Record(w, o);
+  ///   };
+  void Record(const WorkItem& item, Outcome outcome) {
+    if (!recording()) return;
+    if (item.type >= types_.size()) return;
+    PerType& t = types_[item.type];
+    t.received.fetch_add(1, std::memory_order_relaxed);
+    switch (outcome) {
+      case Outcome::kRejected:
+        t.rejected.fetch_add(1, std::memory_order_relaxed);
+        return;
+      case Outcome::kShedded:
+        t.rejected.fetch_add(1, std::memory_order_relaxed);
+        return;
+      case Outcome::kExpired:
+        t.expired.fetch_add(1, std::memory_order_relaxed);
+        return;
+      case Outcome::kCompleted:
+        break;
+    }
+    t.accepted.fetch_add(1, std::memory_order_relaxed);
+    t.completed.fetch_add(1, std::memory_order_relaxed);
+    std::lock_guard<std::mutex> lock(t.mu);
+    t.rt_ms.Add(ToMillis(item.ResponseTime()));
+    t.pt_ms.Add(ToMillis(item.ProcessingTime()));
+  }
+
+  /// Builds the report for type `id`. Takes the type's sample lock.
+  TypeReport Report(QueryTypeId id) {
+    TypeReport r;
+    if (id >= types_.size()) return r;
+    PerType& t = types_[id];
+    r.received = t.received.load(std::memory_order_relaxed);
+    r.accepted = t.accepted.load(std::memory_order_relaxed);
+    r.rejected = t.rejected.load(std::memory_order_relaxed);
+    r.expired = t.expired.load(std::memory_order_relaxed);
+    r.completed = t.completed.load(std::memory_order_relaxed);
+    if (r.received > 0) {
+      r.rejection_pct = 100.0 * static_cast<double>(r.rejected) /
+                        static_cast<double>(r.received);
+    }
+    std::lock_guard<std::mutex> lock(t.mu);
+    r.rt_mean_ms = t.rt_ms.Mean();
+    r.rt_p50_ms = t.rt_ms.Percentile(0.50);
+    r.rt_p90_ms = t.rt_ms.Percentile(0.90);
+    r.rt_p99_ms = t.rt_ms.Percentile(0.99);
+    r.pt_p50_ms = t.pt_ms.Percentile(0.50);
+    r.pt_p90_ms = t.pt_ms.Percentile(0.90);
+    return r;
+  }
+
+  /// Aggregated report across all types (percentiles pooled).
+  TypeReport Overall() {
+    TypeReport r;
+    stats::SampleSummary all_rt;
+    stats::SampleSummary all_pt;
+    for (size_t i = 0; i < types_.size(); ++i) {
+      PerType& t = types_[i];
+      r.received += t.received.load(std::memory_order_relaxed);
+      r.accepted += t.accepted.load(std::memory_order_relaxed);
+      r.rejected += t.rejected.load(std::memory_order_relaxed);
+      r.expired += t.expired.load(std::memory_order_relaxed);
+      r.completed += t.completed.load(std::memory_order_relaxed);
+      std::lock_guard<std::mutex> lock(t.mu);
+      for (double v : t.rt_ms.samples()) all_rt.Add(v);
+      for (double v : t.pt_ms.samples()) all_pt.Add(v);
+    }
+    if (r.received > 0) {
+      r.rejection_pct = 100.0 * static_cast<double>(r.rejected) /
+                        static_cast<double>(r.received);
+    }
+    r.rt_mean_ms = all_rt.Mean();
+    r.rt_p50_ms = all_rt.Percentile(0.50);
+    r.rt_p90_ms = all_rt.Percentile(0.90);
+    r.rt_p99_ms = all_rt.Percentile(0.99);
+    r.pt_p50_ms = all_pt.Percentile(0.50);
+    r.pt_p90_ms = all_pt.Percentile(0.90);
+    return r;
+  }
+
+  /// Clears all counters and samples.
+  void Reset() {
+    for (auto& t : types_) {
+      t.received.store(0, std::memory_order_relaxed);
+      t.accepted.store(0, std::memory_order_relaxed);
+      t.rejected.store(0, std::memory_order_relaxed);
+      t.expired.store(0, std::memory_order_relaxed);
+      t.completed.store(0, std::memory_order_relaxed);
+      std::lock_guard<std::mutex> lock(t.mu);
+      t.rt_ms.Clear();
+      t.pt_ms.Clear();
+    }
+  }
+
+  size_t num_types() const { return types_.size(); }
+
+ private:
+  struct PerType {
+    std::atomic<uint64_t> received{0};
+    std::atomic<uint64_t> accepted{0};
+    std::atomic<uint64_t> rejected{0};
+    std::atomic<uint64_t> expired{0};
+    std::atomic<uint64_t> completed{0};
+    std::mutex mu;
+    stats::SampleSummary rt_ms;
+    stats::SampleSummary pt_ms;
+  };
+
+  std::vector<PerType> types_;
+  std::atomic<bool> recording_;
+};
+
+}  // namespace bouncer::server
+
+#endif  // BOUNCER_SERVER_METRICS_COLLECTOR_H_

@@ -1,0 +1,159 @@
+#include "src/server/stage.h"
+
+#include <utility>
+
+#include "src/core/policy_factory.h"
+
+namespace bouncer::server {
+
+Stage::Stage(const Options& options, const QueryTypeRegistry* registry,
+             Clock* clock, const PolicyFactory& policy_factory,
+             Handler handler)
+    : options_(options),
+      registry_(registry),
+      clock_(clock),
+      queue_state_(registry->size()),
+      handler_(std::move(handler)) {
+  PolicyContext context{registry_, &queue_state_, options_.num_workers};
+  auto policy = policy_factory(context);
+  if (policy.ok()) {
+    policy_ = std::move(*policy);
+  } else {
+    init_status_ = policy.status();
+  }
+}
+
+Stage::~Stage() { Stop(false); }
+
+Status Stage::Start() {
+  if (!init_status_.ok()) return init_status_;
+  std::lock_guard<std::mutex> lock(mu_);
+  if (started_) return Status::FailedPrecondition("stage already started");
+  started_ = true;
+  stopping_ = false;
+  workers_.reserve(options_.num_workers);
+  for (size_t i = 0; i < options_.num_workers; ++i) {
+    workers_.emplace_back([this] { WorkerLoop(); });
+  }
+  return Status::OK();
+}
+
+void Stage::Stop(bool drain) {
+  std::vector<std::thread> workers;
+  std::deque<WorkItem> leftover;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (!started_) return;
+    stopping_ = true;
+    if (!drain) {
+      leftover.swap(fifo_);
+    }
+    cv_.notify_all();
+  }
+  // Complete discarded items outside the lock.
+  for (WorkItem& item : leftover) {
+    counters_.shedded.fetch_add(1, std::memory_order_relaxed);
+    queue_state_.OnDequeued(item.type);
+    if (item.on_complete) item.on_complete(item, Outcome::kShedded);
+  }
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    workers.swap(workers_);
+  }
+  for (std::thread& w : workers) {
+    if (w.joinable()) w.join();
+  }
+  std::lock_guard<std::mutex> lock(mu_);
+  started_ = false;
+}
+
+size_t Stage::QueueLength() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return fifo_.size();
+}
+
+Outcome Stage::Submit(WorkItem item) {
+  const Nanos now = clock_->Now();
+  item.arrival = now;
+  counters_.received.fetch_add(1, std::memory_order_relaxed);
+
+  const Decision decision = policy_->Decide(item.type, now);
+  if (decision == Decision::kReject) {
+    counters_.rejected.fetch_add(1, std::memory_order_relaxed);
+    policy_->OnRejected(item.type, now);
+    if (item.on_complete) item.on_complete(item, Outcome::kRejected);
+    return Outcome::kRejected;
+  }
+
+  item.enqueued = now;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (stopping_ || fifo_.size() >= options_.queue_capacity) {
+      counters_.shedded.fetch_add(1, std::memory_order_relaxed);
+      // Policy saw an accept; report the drop so its windows stay honest.
+      if (item.on_complete) item.on_complete(item, Outcome::kShedded);
+      return Outcome::kShedded;
+    }
+    counters_.accepted.fetch_add(1, std::memory_order_relaxed);
+    queue_state_.OnEnqueued(item.type);
+    policy_->OnEnqueued(item.type, now);  // Point 1.
+    fifo_.push_back(std::move(item));
+  }
+  cv_.notify_one();
+  return Outcome::kCompleted;  // Admitted; terminal outcome follows async.
+}
+
+void Stage::WorkerLoop() {
+  while (true) {
+    WorkItem item;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      cv_.wait(lock, [this] { return stopping_ || !fifo_.empty(); });
+      if (fifo_.empty()) {
+        if (stopping_) return;
+        continue;
+      }
+      item = std::move(fifo_.front());
+      fifo_.pop_front();
+    }
+    const Nanos dequeue_time = clock_->Now();
+    item.dequeued = dequeue_time;
+    queue_state_.OnDequeued(item.type);
+    policy_->OnDequeued(item.type, item.WaitTime(), dequeue_time);  // Point 2.
+
+    if (item.deadline > 0 && dequeue_time > item.deadline) {
+      // Admitted but already expired: doing the work would be useless.
+      counters_.expired.fetch_add(1, std::memory_order_relaxed);
+      if (item.on_complete) item.on_complete(item, Outcome::kExpired);
+      continue;
+    }
+
+    handler_(item);
+    const Nanos done = clock_->Now();
+    item.completed = done;
+    policy_->OnCompleted(item.type, item.ProcessingTime(), done);  // Point 3.
+    counters_.completed.fetch_add(1, std::memory_order_relaxed);
+    if (item.on_complete) item.on_complete(item, Outcome::kCompleted);
+  }
+}
+
+StatusOr<std::unique_ptr<Stage>> StageBuilder::Build() {
+  if (registry_ == nullptr) {
+    return Status::InvalidArgument("StageBuilder requires a registry");
+  }
+  if (clock_ == nullptr) clock_ = SystemClock::Global();
+  if (!handler_) {
+    return Status::InvalidArgument("StageBuilder requires a handler");
+  }
+  const PolicyConfig config = policy_config_;
+  auto stage = std::make_unique<Stage>(
+      options_, registry_, clock_,
+      [&config](const PolicyContext& context) {
+        return CreatePolicy(config, context);
+      },
+      handler_);
+  if (!stage->init_status().ok()) return stage->init_status();
+  return stage;
+}
+
+}  // namespace bouncer::server

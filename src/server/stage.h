@@ -1,0 +1,194 @@
+#ifndef BOUNCER_SERVER_STAGE_H_
+#define BOUNCER_SERVER_STAGE_H_
+
+#include <atomic>
+#include <condition_variable>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "src/core/admission_policy.h"
+#include "src/core/policy_factory.h"
+#include "src/core/query_type_registry.h"
+#include "src/core/queue_state.h"
+#include "src/util/clock.h"
+#include "src/util/status.h"
+
+namespace bouncer::server {
+
+/// Terminal outcome of a work item submitted to a Stage.
+enum class Outcome : uint8_t {
+  kCompleted = 0,  ///< Admitted, processed, response produced.
+  kRejected = 1,   ///< Dropped by the admission policy (early rejection).
+  kExpired = 2,    ///< Admitted but its deadline passed while queued.
+  kShedded = 3,    ///< Dropped because the bounded queue was full.
+};
+
+/// A unit of work flowing through a Stage: a typed query plus the
+/// framework timestamps recorded at the metric points of paper Fig. 1.
+struct WorkItem {
+  QueryTypeId type = kDefaultQueryType;
+  uint64_t id = 0;        ///< Caller-chosen correlation id.
+  Nanos deadline = 0;     ///< Absolute expiration time; 0 = none.
+  void* user = nullptr;   ///< Opaque caller payload for the handler.
+
+  Nanos arrival = 0;   ///< Set by Submit().
+  Nanos enqueued = 0;  ///< Point 1 (accepted).
+  Nanos dequeued = 0;  ///< Point 2.
+  Nanos completed = 0; ///< Point 3.
+
+  /// Queue wait wt(Q); valid for kCompleted / kExpired.
+  Nanos WaitTime() const { return dequeued - enqueued; }
+  /// Processing time pt(Q); valid for kCompleted.
+  Nanos ProcessingTime() const { return completed - dequeued; }
+  /// Response time rt(Q) = wt + pt (ξ = 0, paper Eq. 1).
+  Nanos ResponseTime() const { return completed - enqueued; }
+
+  /// Completion callback, invoked exactly once for every submitted item
+  /// — from Submit() for rejections, from a worker thread otherwise.
+  std::function<void(const WorkItem&, Outcome)> on_complete;
+};
+
+/// Aggregate counters a stage maintains (lock-free).
+struct StageCounters {
+  std::atomic<uint64_t> received{0};
+  std::atomic<uint64_t> accepted{0};
+  std::atomic<uint64_t> rejected{0};
+  std::atomic<uint64_t> expired{0};
+  std::atomic<uint64_t> shedded{0};
+  std::atomic<uint64_t> completed{0};
+};
+
+/// SEDA-like stage (paper Fig. 1): an admission policy guards a bounded
+/// FIFO queue drained by a fixed pool of worker threads ("query engine
+/// processes") that run a caller-provided handler. The stage maintains
+/// the QueueState the policy reads and invokes the policy hooks at metric
+/// Points 1–3.
+///
+/// Thread-safety: Submit() may be called from any number of threads.
+class Stage {
+ public:
+  struct Options {
+    std::string name = "stage";
+    size_t num_workers = 4;       ///< P: level of task parallelism.
+    size_t queue_capacity = 100'000;  ///< Hard memory bound on the FIFO.
+  };
+
+  /// The query engine: processes one admitted item (runs on a worker
+  /// thread). The handler may block (e.g. a broker waiting on shards).
+  using Handler = std::function<void(WorkItem&)>;
+
+  /// Builds the policy against the stage's own QueueState once that
+  /// exists. Returning an error leaves the stage unusable (init_status()).
+  using PolicyFactory =
+      std::function<StatusOr<std::unique_ptr<AdmissionPolicy>>(
+          const PolicyContext&)>;
+
+  /// `registry` and `clock` must outlive the stage. The policy is built
+  /// by `policy_factory` against this stage's QueueState; check
+  /// init_status() afterwards. Call Start() before submitting.
+  Stage(const Options& options, const QueryTypeRegistry* registry,
+        Clock* clock, const PolicyFactory& policy_factory, Handler handler);
+  ~Stage();
+
+  /// OK when the policy factory succeeded.
+  const Status& init_status() const { return init_status_; }
+
+  Stage(const Stage&) = delete;
+  Stage& operator=(const Stage&) = delete;
+
+  /// Spawns the worker pool. Returns FailedPrecondition if already started.
+  Status Start();
+
+  /// Stops accepting work, drains or discards the queue, joins workers.
+  /// Items still queued are completed with kShedded when `drain` is false.
+  void Stop(bool drain = true);
+
+  /// Runs the admission decision for `item` and either enqueues it or
+  /// completes it immediately with kRejected/kShedded. Returns the
+  /// admission outcome (kCompleted means "admitted", delivery comes
+  /// later via on_complete).
+  Outcome Submit(WorkItem item);
+
+  /// The stage's policy (for observability).
+  AdmissionPolicy* policy() { return policy_.get(); }
+  /// Live queue occupancy shared with the policy.
+  const QueueState& queue_state() const { return queue_state_; }
+  const StageCounters& counters() const { return counters_; }
+  /// Current queue length.
+  size_t QueueLength() const;
+  const Options& options() const { return options_; }
+
+  /// Context to build a policy for this stage before construction.
+  static PolicyContext MakeContext(const QueryTypeRegistry* registry,
+                                   const QueueState* queue,
+                                   size_t num_workers) {
+    return PolicyContext{registry, queue, num_workers};
+  }
+
+ private:
+  void WorkerLoop();
+
+  Options options_;
+  const QueryTypeRegistry* registry_;
+  Clock* clock_;
+  QueueState queue_state_;
+  std::unique_ptr<AdmissionPolicy> policy_;
+  Status init_status_;
+  Handler handler_;
+
+  mutable std::mutex mu_;
+  std::condition_variable cv_;
+  std::deque<WorkItem> fifo_;
+  bool stopping_ = false;
+  bool started_ = false;
+
+  std::vector<std::thread> workers_;
+  StageCounters counters_;
+};
+
+/// Helper that builds a Stage together with its policy in one call: the
+/// policy needs the stage's QueueState, which needs the stage... This
+/// factory owns the chicken-and-egg wiring. Returns the stage (policy
+/// attached) or the policy-construction error.
+class StageBuilder {
+ public:
+  StageBuilder& SetOptions(const Stage::Options& options) {
+    options_ = options;
+    return *this;
+  }
+  StageBuilder& SetRegistry(const QueryTypeRegistry* registry) {
+    registry_ = registry;
+    return *this;
+  }
+  StageBuilder& SetClock(Clock* clock) {
+    clock_ = clock;
+    return *this;
+  }
+  StageBuilder& SetPolicyConfig(const PolicyConfig& config) {
+    policy_config_ = config;
+    return *this;
+  }
+  StageBuilder& SetHandler(Stage::Handler handler) {
+    handler_ = std::move(handler);
+    return *this;
+  }
+
+  /// Builds and returns the stage (not yet started).
+  StatusOr<std::unique_ptr<Stage>> Build();
+
+ private:
+  Stage::Options options_;
+  const QueryTypeRegistry* registry_ = nullptr;
+  Clock* clock_ = nullptr;
+  PolicyConfig policy_config_;
+  Stage::Handler handler_;
+};
+
+}  // namespace bouncer::server
+
+#endif  // BOUNCER_SERVER_STAGE_H_

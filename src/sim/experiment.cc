@@ -1,0 +1,76 @@
+#include "src/sim/experiment.h"
+
+namespace bouncer::sim {
+namespace {
+
+void AccumulateStats(const TypeStats& in, double weight, TypeStats* out) {
+  out->name = in.name;
+  out->received += in.received;
+  out->accepted += in.accepted;
+  out->rejected += in.rejected;
+  out->completed += in.completed;
+  out->expired += in.expired;
+  out->useless += in.useless;
+  out->rejection_pct += weight * in.rejection_pct;
+  out->rt_mean_ms += weight * in.rt_mean_ms;
+  out->rt_p50_ms += weight * in.rt_p50_ms;
+  out->rt_p90_ms += weight * in.rt_p90_ms;
+  out->rt_p99_ms += weight * in.rt_p99_ms;
+  out->pt_p50_ms += weight * in.pt_p50_ms;
+  out->pt_p90_ms += weight * in.pt_p90_ms;
+  out->wt_p50_ms += weight * in.wt_p50_ms;
+}
+
+}  // namespace
+
+SimulationResult RunAveraged(const workload::WorkloadSpec& workload,
+                             const SimulationConfig& config,
+                             const PolicyConfig& policy_config, int runs) {
+  runs = runs < 1 ? 1 : runs;
+  SimulationResult aggregate;
+  const double weight = 1.0 / runs;
+  for (int r = 0; r < runs; ++r) {
+    SimulationConfig run_config = config;
+    run_config.seed = config.seed + static_cast<uint64_t>(r) * 7919;
+    Simulator simulator(workload, run_config, policy_config);
+    const SimulationResult result = simulator.Run();
+    if (aggregate.per_type.empty()) {
+      aggregate.per_type.resize(result.per_type.size());
+    }
+    for (size_t i = 0; i < result.per_type.size(); ++i) {
+      AccumulateStats(result.per_type[i], weight, &aggregate.per_type[i]);
+    }
+    AccumulateStats(result.overall, weight, &aggregate.overall);
+    aggregate.utilization += weight * result.utilization;
+    aggregate.measured_seconds += weight * result.measured_seconds;
+    aggregate.wasted_work_fraction += weight * result.wasted_work_fraction;
+    aggregate.offered_qps = result.offered_qps;
+  }
+  return aggregate;
+}
+
+std::vector<SweepPoint> SweepLoadFactors(
+    const workload::WorkloadSpec& workload, const SimulationConfig& base,
+    const PolicyConfig& policy_config, const std::vector<double>& factors,
+    int runs) {
+  const double full_load = workload.FullLoadQps(base.parallelism);
+  std::vector<SweepPoint> points;
+  points.reserve(factors.size());
+  for (double factor : factors) {
+    SimulationConfig config = base;
+    config.arrival_rate_qps = factor * full_load;
+    SweepPoint point;
+    point.load_factor = factor;
+    point.offered_qps = config.arrival_rate_qps;
+    point.result = RunAveraged(workload, config, policy_config, runs);
+    points.push_back(std::move(point));
+  }
+  return points;
+}
+
+std::vector<double> PaperLoadFactors() {
+  return {0.9,  0.95, 1.0,  1.05, 1.1,  1.15, 1.2,
+          1.25, 1.3,  1.35, 1.4,  1.45, 1.5};
+}
+
+}  // namespace bouncer::sim

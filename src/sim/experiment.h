@@ -1,0 +1,39 @@
+#ifndef BOUNCER_SIM_EXPERIMENT_H_
+#define BOUNCER_SIM_EXPERIMENT_H_
+
+#include <vector>
+
+#include "src/sim/simulator.h"
+
+namespace bouncer::sim {
+
+/// Averages `runs` independent simulation runs (different seeds derived
+/// from config.seed), mirroring the paper's "average of 5 simulation
+/// runs" table cells. Counters are summed; rates, utilization and
+/// percentile latencies are averaged across runs.
+SimulationResult RunAveraged(const workload::WorkloadSpec& workload,
+                             const SimulationConfig& config,
+                             const PolicyConfig& policy_config, int runs);
+
+/// One point of a load sweep: the offered load as a multiple of
+/// QPS_full_load, and the (averaged) simulation outcome.
+struct SweepPoint {
+  double load_factor = 0.0;
+  double offered_qps = 0.0;
+  SimulationResult result;
+};
+
+/// Runs `policy_config` across the given multiples of QPS_full_load
+/// (paper §5.3 uses 0.9x..1.5x). `base.arrival_rate_qps` is overwritten
+/// per point.
+std::vector<SweepPoint> SweepLoadFactors(
+    const workload::WorkloadSpec& workload, const SimulationConfig& base,
+    const PolicyConfig& policy_config, const std::vector<double>& factors,
+    int runs);
+
+/// The paper's load-factor grid 0.9, 0.95, ..., 1.5 (13 points).
+std::vector<double> PaperLoadFactors();
+
+}  // namespace bouncer::sim
+
+#endif  // BOUNCER_SIM_EXPERIMENT_H_

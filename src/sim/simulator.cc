@@ -1,0 +1,261 @@
+#include "src/sim/simulator.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace bouncer::sim {
+
+Simulator::Simulator(const workload::WorkloadSpec& workload,
+                     const SimulationConfig& config,
+                     const PolicyConfig& policy_config)
+    : workload_(workload),
+      config_(config),
+      registry_(workload.size() > 0 ? workload.type(0).slo : Slo{}),
+      type_ids_(),
+      queue_state_(workload.size() + 1),  // +1 for the default type.
+      rng_(config.seed) {
+  type_ids_ = workload_.PopulateRegistry(&registry_);
+  PolicyContext context{&registry_, &queue_state_, config_.parallelism};
+  auto policy = CreatePolicy(policy_config, context);
+  assert(policy.ok());
+  policy_ = std::move(*policy);
+  counters_.resize(workload_.size());
+  for (size_t i = 0; i < workload_.size(); ++i) {
+    counters_[i].rt_ms.Reserve(1024);
+  }
+  // Queue-order key per type: 0 for FIFO (pure arrival order), the mean
+  // processing time for SJF, the configured priority for kPriority.
+  order_keys_.assign(workload_.size(), 0);
+  switch (config_.discipline) {
+    case QueueDiscipline::kFifo:
+      break;
+    case QueueDiscipline::kShortestJobFirst:
+      for (size_t i = 0; i < workload_.size(); ++i) {
+        order_keys_[i] =
+            static_cast<int64_t>(workload_.type(i).processing_time.Mean());
+      }
+      break;
+    case QueueDiscipline::kPriority:
+      for (size_t i = 0; i < workload_.size(); ++i) {
+        order_keys_[i] = i < config_.type_priorities.size()
+                             ? config_.type_priorities[i]
+                             : 0;
+      }
+      break;
+  }
+}
+
+void Simulator::SetTickCallback(Nanos interval, TickCallback callback) {
+  tick_interval_ = interval;
+  tick_callback_ = std::move(callback);
+  next_tick_ = interval;
+}
+
+std::pair<uint64_t, uint64_t> Simulator::LiveTypeCounts(size_t i) const {
+  if (i >= counters_.size()) return {0, 0};
+  return {counters_[i].received, counters_[i].rejected};
+}
+
+void Simulator::AccumulateBusy(Nanos now) {
+  if (measure_start_ >= 0) {
+    const Nanos start = std::max(last_busy_change_, measure_start_);
+    Nanos end = now;
+    if (last_arrival_time_ > 0) end = std::min(end, last_arrival_time_);
+    if (end > start) {
+      busy_integral_ns_ +=
+          static_cast<double>(busy_) * static_cast<double>(end - start);
+    }
+  }
+  last_busy_change_ = now;
+}
+
+void Simulator::HandleArrival(Nanos now) {
+  const uint64_t index = generated_++;
+  if (generated_ < config_.total_queries) {
+    const double mean_gap = kSecond / config_.arrival_rate_qps;
+    const Nanos gap = std::max<Nanos>(
+        1, static_cast<Nanos>(rng_.NextExponential(mean_gap)));
+    events_.push(Event{now + gap, Event::Kind::kArrival, 0});
+  } else {
+    last_arrival_time_ = now;  // Utilization window closes here.
+  }
+
+  const bool measured = index >= config_.warmup_queries;
+  if (measured && measure_start_ < 0) measure_start_ = now;
+
+  const auto type_index = static_cast<uint32_t>(workload_.SampleType(rng_));
+  const QueryTypeId id = type_ids_[type_index];
+  if (measured) ++counters_[type_index].received;
+
+  const Decision decision = policy_->Decide(id, now);
+  if (decision == Decision::kAccept) {
+    if (measured) ++counters_[type_index].accepted;
+    queue_state_.OnEnqueued(id);
+    policy_->OnEnqueued(id, now);
+    queue_.push(QueuedQuery{type_index, now, measured,
+                            order_keys_[type_index], next_sequence_++});
+    if (busy_ < config_.parallelism) StartNext(now);
+  } else {
+    if (measured) ++counters_[type_index].rejected;
+    policy_->OnRejected(id, now);
+  }
+}
+
+void Simulator::StartNext(Nanos now) {
+  assert(!queue_.empty());
+  // Pull queued queries until one that has not expired is found (the
+  // framework drops expired queries at dequeue without processing them,
+  // matching the server Stage and LIquid's expiration enforcement).
+  QueuedQuery q{};
+  while (true) {
+    if (queue_.empty()) return;
+    q = queue_.top();
+    queue_.pop();
+    const QueryTypeId expired_id = type_ids_[q.type_index];
+    if (config_.deadline > 0 && now > q.enqueued + config_.deadline) {
+      queue_state_.OnDequeued(expired_id);
+      policy_->OnDequeued(expired_id, now - q.enqueued, now);
+      if (q.measured) ++counters_[q.type_index].expired;
+      continue;
+    }
+    break;
+  }
+  const QueryTypeId id = type_ids_[q.type_index];
+  queue_state_.OnDequeued(id);
+  policy_->OnDequeued(id, now - q.enqueued, now);
+
+  const Nanos pt = std::max<Nanos>(
+      1, workload_.SampleProcessingTime(q.type_index, rng_));
+  uint64_t slot;
+  if (!free_slots_.empty()) {
+    slot = free_slots_.back();
+    free_slots_.pop_back();
+  } else {
+    slot = in_flight_.size();
+    in_flight_.emplace_back();
+  }
+  in_flight_[slot] =
+      InFlight{q.type_index, q.enqueued, now, pt, q.measured};
+
+  AccumulateBusy(now);
+  ++busy_;
+  events_.push(Event{now + pt, Event::Kind::kCompletion, slot});
+}
+
+void Simulator::HandleCompletion(Nanos now, uint64_t slot) {
+  const InFlight rec = in_flight_[slot];
+  free_slots_.push_back(slot);
+  const QueryTypeId id = type_ids_[rec.type_index];
+  policy_->OnCompleted(id, rec.processing, now);
+
+  AccumulateBusy(now);
+  --busy_;
+
+  if (rec.measured) {
+    TypeCounters& c = counters_[rec.type_index];
+    ++c.completed;
+    total_work_ns_ += static_cast<double>(rec.processing);
+    if (config_.deadline > 0 && now > rec.enqueued + config_.deadline) {
+      // Processed, but the client's deadline already passed: the work
+      // was useless (paper §2's wasted-work motivation).
+      ++c.useless;
+      wasted_work_ns_ += static_cast<double>(rec.processing);
+    }
+    if (config_.collect_samples) {
+      const Nanos wt = rec.dequeued - rec.enqueued;
+      c.rt_ms.Add(ToMillis(wt + rec.processing));
+      c.pt_ms.Add(ToMillis(rec.processing));
+      c.wt_ms.Add(ToMillis(wt));
+    }
+  }
+  if (!queue_.empty() && busy_ < config_.parallelism) StartNext(now);
+}
+
+SimulationResult Simulator::Run() {
+  assert(config_.arrival_rate_qps > 0.0);
+  assert(workload_.size() > 0);
+
+  events_.push(Event{0, Event::Kind::kArrival, 0});
+  while (!events_.empty()) {
+    const Event event = events_.top();
+    // Fire ticks that precede this event.
+    while (tick_callback_ && next_tick_ <= event.time) {
+      tick_callback_(next_tick_);
+      next_tick_ += tick_interval_;
+    }
+    events_.pop();
+    if (event.kind == Event::Kind::kArrival) {
+      HandleArrival(event.time);
+    } else {
+      HandleCompletion(event.time, event.completion_id);
+    }
+  }
+
+  SimulationResult result;
+  result.offered_qps = config_.arrival_rate_qps;
+  const Nanos window_end =
+      last_arrival_time_ > 0 ? last_arrival_time_ : last_busy_change_;
+  const Nanos window =
+      measure_start_ >= 0 ? window_end - measure_start_ : 0;
+  result.measured_seconds = ToSeconds(std::max<Nanos>(window, 0));
+  if (window > 0) {
+    result.utilization =
+        busy_integral_ns_ / (static_cast<double>(config_.parallelism) *
+                             static_cast<double>(window));
+  }
+
+  stats::SampleSummary all_rt;
+  stats::SampleSummary all_pt;
+  result.per_type.resize(workload_.size());
+  TypeStats& overall = result.overall;
+  overall.name = "ALL";
+  for (size_t i = 0; i < workload_.size(); ++i) {
+    TypeCounters& c = counters_[i];
+    TypeStats& t = result.per_type[i];
+    t.name = workload_.type(i).name;
+    t.received = c.received;
+    t.accepted = c.accepted;
+    t.rejected = c.rejected;
+    t.completed = c.completed;
+    t.expired = c.expired;
+    t.useless = c.useless;
+    t.rejection_pct =
+        c.received == 0
+            ? 0.0
+            : 100.0 * static_cast<double>(c.rejected) /
+                  static_cast<double>(c.received);
+    t.rt_mean_ms = c.rt_ms.Mean();
+    t.rt_p50_ms = c.rt_ms.Percentile(0.50);
+    t.rt_p90_ms = c.rt_ms.Percentile(0.90);
+    t.rt_p99_ms = c.rt_ms.Percentile(0.99);
+    t.pt_p50_ms = c.pt_ms.Percentile(0.50);
+    t.pt_p90_ms = c.pt_ms.Percentile(0.90);
+    t.wt_p50_ms = c.wt_ms.Percentile(0.50);
+
+    overall.received += c.received;
+    overall.accepted += c.accepted;
+    overall.rejected += c.rejected;
+    overall.completed += c.completed;
+    overall.expired += c.expired;
+    overall.useless += c.useless;
+    for (double v : c.rt_ms.samples()) all_rt.Add(v);
+    for (double v : c.pt_ms.samples()) all_pt.Add(v);
+  }
+  overall.rejection_pct =
+      overall.received == 0
+          ? 0.0
+          : 100.0 * static_cast<double>(overall.rejected) /
+                static_cast<double>(overall.received);
+  if (total_work_ns_ > 0.0) {
+    result.wasted_work_fraction = wasted_work_ns_ / total_work_ns_;
+  }
+  overall.rt_mean_ms = all_rt.Mean();
+  overall.rt_p50_ms = all_rt.Percentile(0.50);
+  overall.rt_p90_ms = all_rt.Percentile(0.90);
+  overall.rt_p99_ms = all_rt.Percentile(0.99);
+  overall.pt_p50_ms = all_pt.Percentile(0.50);
+  overall.pt_p90_ms = all_pt.Percentile(0.90);
+  return result;
+}
+
+}  // namespace bouncer::sim

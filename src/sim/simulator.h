@@ -1,0 +1,207 @@
+#ifndef BOUNCER_SIM_SIMULATOR_H_
+#define BOUNCER_SIM_SIMULATOR_H_
+
+#include <deque>
+#include <functional>
+#include <memory>
+#include <queue>
+#include <string>
+#include <vector>
+
+#include "src/core/admission_policy.h"
+#include "src/core/policy_factory.h"
+#include "src/core/query_type_registry.h"
+#include "src/core/queue_state.h"
+#include "src/stats/summary.h"
+#include "src/util/rng.h"
+#include "src/workload/workload_spec.h"
+
+namespace bouncer::sim {
+
+/// Order in which admitted queries leave the queue. The paper's systems
+/// process queries in FIFO order; evaluating other disciplines is listed
+/// as future work (§7) and supported here.
+enum class QueueDiscipline : uint8_t {
+  kFifo = 0,
+  /// Non-preemptive shortest-job-first on the type's mean processing
+  /// time (the discipline Gatekeeper uses, paper §6); FIFO within a type.
+  kShortestJobFirst = 1,
+  /// Per-type priorities (lower value = served first); FIFO within a
+  /// priority level.
+  kPriority = 2,
+};
+
+/// Simulation parameters (paper §5.3): a host with P query engine
+/// processes fed by open-loop Poisson traffic drawn from a typed mix.
+struct SimulationConfig {
+  size_t parallelism = 100;        ///< P query engine processes.
+  double arrival_rate_qps = 0.0;   ///< Offered load λ.
+  uint64_t total_queries = 1'500'000;  ///< Arrivals generated per run.
+  /// Arrivals excluded from metrics while histograms and windows warm up.
+  uint64_t warmup_queries = 100'000;
+  uint64_t seed = 1;
+  /// Collect raw response-time samples for exact percentiles (memory is
+  /// ~8 bytes per measured query).
+  bool collect_samples = true;
+  /// Relative deadline clients give their queries (0 = none). A query
+  /// still queued past its deadline is dropped without processing
+  /// (expired); one that completes past it was processed uselessly —
+  /// the wasted work the paper's §2 motivates early rejection with.
+  Nanos deadline = 0;
+  QueueDiscipline discipline = QueueDiscipline::kFifo;
+  /// For kPriority: priority per workload type index (missing = 0).
+  std::vector<int> type_priorities;
+};
+
+/// Per-type outcome of a run. Times are reported in milliseconds.
+struct TypeStats {
+  std::string name;
+  uint64_t received = 0;   ///< Measured arrivals of this type.
+  uint64_t accepted = 0;
+  uint64_t rejected = 0;
+  uint64_t completed = 0;
+  /// Admitted but dropped unprocessed: the deadline passed in the queue.
+  uint64_t expired = 0;
+  /// Completed after the deadline: processed, but the client had given up.
+  uint64_t useless = 0;
+  double rejection_pct = 0.0;  ///< 100 * rejected / received.
+  double rt_mean_ms = 0.0;
+  double rt_p50_ms = 0.0;
+  double rt_p90_ms = 0.0;
+  double rt_p99_ms = 0.0;
+  double pt_p50_ms = 0.0;  ///< Median processing time of serviced queries.
+  double pt_p90_ms = 0.0;
+  double wt_p50_ms = 0.0;  ///< Median queue wait of serviced queries.
+};
+
+/// Result of one simulation run.
+struct SimulationResult {
+  std::vector<TypeStats> per_type;  ///< Index-aligned with the workload.
+  TypeStats overall;                ///< Aggregated across types.
+  double utilization = 0.0;  ///< Busy-process-time / (P × measured span).
+  double measured_seconds = 0.0;  ///< Span of the measurement window.
+  double offered_qps = 0.0;       ///< Configured arrival rate.
+  /// Fraction of total processing time spent on queries that completed
+  /// past their deadline (0 when no deadline is configured).
+  double wasted_work_fraction = 0.0;
+};
+
+/// Discrete-event simulator of the admission-control framework in paper
+/// Fig. 1 — the C++ rebuild of the paper's Python simulator (§5.3). It
+/// models an ideal parallel query engine: P processes take admitted
+/// queries from one FIFO queue first-come first-served; processing times
+/// are sampled from the workload's per-type lognormal distributions;
+/// inter-arrival times are exponential.
+///
+/// The simulator owns the registry (types from the workload spec), the
+/// QueueState, and the policy built from a PolicyConfig; `now` flows from
+/// event timestamps into the policy, so the same policy code runs under
+/// simulated and wall-clock time.
+class Simulator {
+ public:
+  /// Observer invoked every `interval` of simulated time; receives the
+  /// current simulated time. Use policy() to inspect estimates.
+  using TickCallback = std::function<void(Nanos now)>;
+
+  Simulator(const workload::WorkloadSpec& workload,
+            const SimulationConfig& config, const PolicyConfig& policy_config);
+
+  /// Registers a periodic observer. Must be called before Run().
+  void SetTickCallback(Nanos interval, TickCallback callback);
+
+  /// Runs the simulation to completion and returns aggregated metrics.
+  SimulationResult Run();
+
+  /// The policy under test (valid after construction).
+  AdmissionPolicy* policy() { return policy_.get(); }
+  const QueryTypeRegistry& registry() const { return registry_; }
+
+  /// Measured per-type counters so far (valid during tick callbacks):
+  /// {received, rejected} for workload type index `i`.
+  std::pair<uint64_t, uint64_t> LiveTypeCounts(size_t i) const;
+
+ private:
+  struct InFlight {
+    uint32_t type_index;  ///< Workload spec index.
+    Nanos enqueued;
+    Nanos dequeued;
+    Nanos processing;
+    bool measured;
+  };
+
+  struct Event {
+    Nanos time;
+    enum class Kind : uint8_t { kArrival, kCompletion } kind;
+    uint64_t completion_id;  ///< Index into in-flight slab for completions.
+
+    friend bool operator>(const Event& a, const Event& b) {
+      return a.time > b.time;
+    }
+  };
+
+  void HandleArrival(Nanos now);
+  void StartNext(Nanos now);
+  void HandleCompletion(Nanos now, uint64_t id);
+  void AccumulateBusy(Nanos now);
+
+  workload::WorkloadSpec workload_;
+  SimulationConfig config_;
+  QueryTypeRegistry registry_;
+  std::vector<QueryTypeId> type_ids_;  ///< Workload index -> QueryTypeId.
+  QueueState queue_state_;
+  std::unique_ptr<AdmissionPolicy> policy_;
+  Rng rng_;
+
+  std::priority_queue<Event, std::vector<Event>, std::greater<Event>> events_;
+  struct QueuedQuery {
+    uint32_t type_index;
+    Nanos enqueued;
+    bool measured;
+    int64_t order_key;  ///< Discipline key; ties broken by sequence.
+    uint64_t sequence;
+
+    friend bool operator>(const QueuedQuery& a, const QueuedQuery& b) {
+      if (a.order_key != b.order_key) return a.order_key > b.order_key;
+      return a.sequence > b.sequence;
+    }
+  };
+  /// Min-heap on (order_key, sequence): pure FIFO when all keys equal.
+  std::priority_queue<QueuedQuery, std::vector<QueuedQuery>,
+                      std::greater<QueuedQuery>>
+      queue_;
+  std::vector<int64_t> order_keys_;  ///< Per workload type index.
+  uint64_t next_sequence_ = 0;
+  std::vector<InFlight> in_flight_;
+  std::vector<uint64_t> free_slots_;
+  size_t busy_ = 0;
+
+  uint64_t generated_ = 0;
+
+  // Measurement state.
+  struct TypeCounters {
+    uint64_t received = 0;
+    uint64_t accepted = 0;
+    uint64_t rejected = 0;
+    uint64_t completed = 0;
+    uint64_t expired = 0;
+    uint64_t useless = 0;
+    stats::SampleSummary rt_ms;
+    stats::SampleSummary pt_ms;
+    stats::SampleSummary wt_ms;
+  };
+  std::vector<TypeCounters> counters_;
+  Nanos measure_start_ = -1;
+  Nanos last_busy_change_ = 0;
+  double busy_integral_ns_ = 0.0;  // sum busy_count * dt, within window.
+  Nanos last_arrival_time_ = 0;
+  double total_work_ns_ = 0.0;   // Processing time spent (measured).
+  double wasted_work_ns_ = 0.0;  // ... on queries past their deadline.
+
+  Nanos tick_interval_ = 0;
+  TickCallback tick_callback_;
+  Nanos next_tick_ = 0;
+};
+
+}  // namespace bouncer::sim
+
+#endif  // BOUNCER_SIM_SIMULATOR_H_

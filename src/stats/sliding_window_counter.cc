@@ -1,0 +1,85 @@
+#include "src/stats/sliding_window_counter.h"
+
+#include <algorithm>
+
+namespace bouncer::stats {
+
+SlidingWindowCounter::SlidingWindowCounter(size_t num_types, Nanos duration,
+                                           Nanos step)
+    : num_types_(num_types),
+      step_(std::max<Nanos>(step, 1)),
+      num_slots_(static_cast<size_t>((duration + step_ - 1) / step_)),
+      duration_(static_cast<Nanos>(num_slots_) * step_),
+      cells_(std::max<size_t>(num_slots_, 1) * num_types_),
+      totals_(num_types_),
+      current_step_(0) {}
+
+void SlidingWindowCounter::AdvanceTo(Nanos now) {
+  const int64_t target = now / step_;
+  if (target <= current_step_.load(std::memory_order_acquire)) return;
+  std::lock_guard<std::mutex> lock(advance_mu_);
+  int64_t current = current_step_.load(std::memory_order_acquire);
+  if (target <= current) return;
+  const int64_t steps_to_clear =
+      std::min<int64_t>(target - current, static_cast<int64_t>(num_slots_));
+  // Retire the slot positions the window rotates into: the slots for
+  // steps (current, target], which still hold counts from one full ring
+  // revolution ago. A jump of num_slots_ or more clears every slot.
+  for (int64_t i = 1; i <= steps_to_clear; ++i) {
+    const size_t slot =
+        static_cast<size_t>((current + i) % static_cast<int64_t>(num_slots_));
+    for (size_t t = 0; t < num_types_; ++t) {
+      Cell& cell = cells_[CellIndex(slot, t)];
+      const uint64_t r = cell.received.exchange(0, std::memory_order_relaxed);
+      const uint64_t a = cell.accepted.exchange(0, std::memory_order_relaxed);
+      if (r) totals_[t].received.fetch_sub(r, std::memory_order_relaxed);
+      if (a) totals_[t].accepted.fetch_sub(a, std::memory_order_relaxed);
+    }
+  }
+  current_step_.store(target, std::memory_order_release);
+}
+
+void SlidingWindowCounter::Record(size_t type, bool accepted, Nanos now) {
+  if (type >= num_types_) return;
+  AdvanceTo(now);
+  const size_t slot = static_cast<size_t>((now / step_) %
+                                          static_cast<int64_t>(num_slots_));
+  Cell& cell = cells_[CellIndex(slot, type)];
+  cell.received.fetch_add(1, std::memory_order_relaxed);
+  totals_[type].received.fetch_add(1, std::memory_order_relaxed);
+  if (accepted) {
+    cell.accepted.fetch_add(1, std::memory_order_relaxed);
+    totals_[type].accepted.fetch_add(1, std::memory_order_relaxed);
+  }
+}
+
+uint64_t SlidingWindowCounter::AcceptedCount(size_t type) const {
+  if (type >= num_types_) return 0;
+  return totals_[type].accepted.load(std::memory_order_relaxed);
+}
+
+uint64_t SlidingWindowCounter::ReceivedCount(size_t type) const {
+  if (type >= num_types_) return 0;
+  return totals_[type].received.load(std::memory_order_relaxed);
+}
+
+double SlidingWindowCounter::AcceptanceRatio(size_t type,
+                                             double empty_value) const {
+  const uint64_t received = ReceivedCount(type);
+  if (received == 0) return empty_value;
+  return static_cast<double>(AcceptedCount(type)) /
+         static_cast<double>(received);
+}
+
+double SlidingWindowCounter::AverageAcceptanceRatio() const {
+  if (num_types_ == 0) return 1.0;
+  double sum = 0.0;
+  for (size_t t = 0; t < num_types_; ++t) {
+    const auto received = static_cast<double>(
+        std::max<uint64_t>(ReceivedCount(t), 1));
+    sum += static_cast<double>(AcceptedCount(t)) / received;
+  }
+  return sum / static_cast<double>(num_types_);
+}
+
+}  // namespace bouncer::stats

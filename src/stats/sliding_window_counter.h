@@ -1,0 +1,81 @@
+#ifndef BOUNCER_STATS_SLIDING_WINDOW_COUNTER_H_
+#define BOUNCER_STATS_SLIDING_WINDOW_COUNTER_H_
+
+#include <atomic>
+#include <cstdint>
+#include <mutex>
+#include <vector>
+
+#include "src/util/time.h"
+
+namespace bouncer::stats {
+
+/// Per-query-type accepted/received counts over a sliding window of
+/// duration D discretized into steps of Δ, with D >> Δ (paper §4, e.g.
+/// D = 1 s, Δ = 10 ms). Backs both starvation-avoidance strategies.
+///
+/// Counts are recorded into the step bucket that `now` falls in; expired
+/// buckets are retired from running totals as time advances, so
+/// AcceptedCount()/ReceivedCount() are O(1). Increments are lock-free;
+/// step rotation takes a mutex (at most once per Δ).
+class SlidingWindowCounter {
+ public:
+  /// `num_types`: number of tracked query types (fixed).
+  /// `duration` / `step`: window size D and step Δ; duration is rounded up
+  /// to a whole number of steps.
+  SlidingWindowCounter(size_t num_types, Nanos duration, Nanos step);
+
+  SlidingWindowCounter(const SlidingWindowCounter&) = delete;
+  SlidingWindowCounter& operator=(const SlidingWindowCounter&) = delete;
+
+  /// Records one received query of `type` at time `now`; counts it as
+  /// accepted too when `accepted` is true.
+  void Record(size_t type, bool accepted, Nanos now);
+
+  /// Expires buckets older than D relative to `now`. Record() calls this
+  /// implicitly; call explicitly before reads if reads can outpace writes.
+  void AdvanceTo(Nanos now);
+
+  /// Accepted queries of `type` within the window.
+  uint64_t AcceptedCount(size_t type) const;
+  /// Received (accepted + rejected) queries of `type` within the window.
+  uint64_t ReceivedCount(size_t type) const;
+
+  /// Acceptance ratio accepted/received for `type`; `empty_value` when no
+  /// queries of the type were received in the window.
+  double AcceptanceRatio(size_t type, double empty_value = 1.0) const;
+
+  /// Mean of per-type acceptance ratios across all types, exactly as
+  /// paper Alg. 3 computes AAR: sum_t accepted(t)/max(received(t), 1)
+  /// divided by max(|QT|, 1). A type with no received queries in the
+  /// window contributes ratio 0.
+  double AverageAcceptanceRatio() const;
+
+  size_t num_types() const { return num_types_; }
+  Nanos duration() const { return duration_; }
+  Nanos step() const { return step_; }
+
+ private:
+  struct Cell {
+    std::atomic<uint64_t> received{0};
+    std::atomic<uint64_t> accepted{0};
+  };
+
+  size_t CellIndex(size_t slot, size_t type) const {
+    return slot * num_types_ + type;
+  }
+
+  const size_t num_types_;
+  const Nanos step_;
+  const size_t num_slots_;
+  const Nanos duration_;
+
+  std::vector<Cell> cells_;          // num_slots_ x num_types_.
+  std::vector<Cell> totals_;         // Per type, over live slots.
+  std::atomic<int64_t> current_step_;  // Absolute step number of newest slot.
+  std::mutex advance_mu_;
+};
+
+}  // namespace bouncer::stats
+
+#endif  // BOUNCER_STATS_SLIDING_WINDOW_COUNTER_H_

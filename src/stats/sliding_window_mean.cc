@@ -1,0 +1,63 @@
+#include "src/stats/sliding_window_mean.h"
+
+#include <algorithm>
+
+namespace bouncer::stats {
+
+SlidingWindowMean::SlidingWindowMean(Nanos duration, Nanos step)
+    : step_(std::max<Nanos>(step, 1)),
+      num_slots_(static_cast<size_t>((duration + step_ - 1) / step_)),
+      duration_(static_cast<Nanos>(num_slots_) * step_),
+      slots_(std::max<size_t>(num_slots_, 1)),
+      total_sum_(0),
+      total_count_(0),
+      current_step_(0) {}
+
+void SlidingWindowMean::AdvanceTo(Nanos now) {
+  const int64_t target = now / step_;
+  if (target <= current_step_.load(std::memory_order_acquire)) return;
+  std::lock_guard<std::mutex> lock(advance_mu_);
+  const int64_t current = current_step_.load(std::memory_order_acquire);
+  if (target <= current) return;
+  const int64_t steps_to_clear =
+      std::min<int64_t>(target - current, static_cast<int64_t>(num_slots_));
+  // Retire the slot positions for steps (current, target]; see
+  // SlidingWindowCounter::AdvanceTo for the rotation invariant.
+  for (int64_t i = 1; i <= steps_to_clear; ++i) {
+    const size_t slot =
+        static_cast<size_t>((current + i) % static_cast<int64_t>(num_slots_));
+    const int64_t s = slots_[slot].sum.exchange(0, std::memory_order_relaxed);
+    const uint64_t c =
+        slots_[slot].count.exchange(0, std::memory_order_relaxed);
+    if (s) total_sum_.fetch_sub(s, std::memory_order_relaxed);
+    if (c) total_count_.fetch_sub(c, std::memory_order_relaxed);
+  }
+  current_step_.store(target, std::memory_order_release);
+}
+
+void SlidingWindowMean::Record(int64_t value, Nanos now) {
+  AdvanceTo(now);
+  const size_t slot = static_cast<size_t>((now / step_) %
+                                          static_cast<int64_t>(num_slots_));
+  slots_[slot].sum.fetch_add(value, std::memory_order_relaxed);
+  slots_[slot].count.fetch_add(1, std::memory_order_relaxed);
+  total_sum_.fetch_add(value, std::memory_order_relaxed);
+  total_count_.fetch_add(1, std::memory_order_relaxed);
+}
+
+double SlidingWindowMean::Mean(double empty_value) const {
+  const uint64_t count = total_count_.load(std::memory_order_relaxed);
+  if (count == 0) return empty_value;
+  return static_cast<double>(total_sum_.load(std::memory_order_relaxed)) /
+         static_cast<double>(count);
+}
+
+double SlidingWindowMean::RatePerSecond(Nanos now) const {
+  const Nanos covered =
+      std::max<Nanos>(step_, (now % step_) +
+                                 static_cast<Nanos>(num_slots_ - 1) * step_);
+  return static_cast<double>(total_count_.load(std::memory_order_relaxed)) /
+         ToSeconds(covered);
+}
+
+}  // namespace bouncer::stats

@@ -1,0 +1,73 @@
+#ifndef BOUNCER_STATS_SLIDING_WINDOW_MEAN_H_
+#define BOUNCER_STATS_SLIDING_WINDOW_MEAN_H_
+
+#include <atomic>
+#include <cstdint>
+#include <mutex>
+#include <vector>
+
+#include "src/util/time.h"
+
+namespace bouncer::stats {
+
+/// Moving average (and event rate) over a sliding window of duration D
+/// with step Δ, D >> Δ (paper §5.2.2/§5.2.3: pt_mavg and qps_mavg with
+/// D = 60 s, Δ = 1 s).
+///
+/// Record(value, now) adds one sample; Mean() returns the mean of samples
+/// still inside the window, Count() their number, and RatePerSecond() the
+/// sample arrival rate Count()/window. Increments are lock-free; step
+/// rotation takes a mutex at most once per Δ.
+class SlidingWindowMean {
+ public:
+  SlidingWindowMean(Nanos duration, Nanos step);
+
+  SlidingWindowMean(const SlidingWindowMean&) = delete;
+  SlidingWindowMean& operator=(const SlidingWindowMean&) = delete;
+
+  /// Records a sample with the given value at time `now`.
+  void Record(int64_t value, Nanos now);
+
+  /// Records an event with no value (for pure rate tracking).
+  void RecordEvent(Nanos now) { Record(0, now); }
+
+  /// Expires old buckets relative to `now`.
+  void AdvanceTo(Nanos now);
+
+  /// Number of samples in the window.
+  uint64_t Count() const {
+    return total_count_.load(std::memory_order_relaxed);
+  }
+
+  /// Mean of samples in the window; `empty_value` when the window is empty.
+  double Mean(double empty_value = 0.0) const;
+
+  /// Samples per second over the span the window actually covers at
+  /// `now`: the n-1 full slots plus the partially-filled current slot.
+  /// Dividing by the nominal duration instead would systematically
+  /// under-report the rate by up to one step.
+  double RatePerSecond(Nanos now) const;
+
+  Nanos duration() const { return duration_; }
+  Nanos step() const { return step_; }
+
+ private:
+  struct Slot {
+    std::atomic<int64_t> sum{0};
+    std::atomic<uint64_t> count{0};
+  };
+
+  const Nanos step_;
+  const size_t num_slots_;
+  const Nanos duration_;
+
+  std::vector<Slot> slots_;
+  std::atomic<int64_t> total_sum_;
+  std::atomic<uint64_t> total_count_;
+  std::atomic<int64_t> current_step_;
+  std::mutex advance_mu_;
+};
+
+}  // namespace bouncer::stats
+
+#endif  // BOUNCER_STATS_SLIDING_WINDOW_MEAN_H_

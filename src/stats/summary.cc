@@ -1,0 +1,46 @@
+#include "src/stats/summary.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace bouncer::stats {
+
+double SampleSummary::Mean() const {
+  if (samples_.empty()) return 0.0;
+  double sum = 0.0;
+  for (double v : samples_) sum += v;
+  return sum / static_cast<double>(samples_.size());
+}
+
+void SampleSummary::EnsureSorted() {
+  if (!sorted_) {
+    std::sort(samples_.begin(), samples_.end());
+    sorted_ = true;
+  }
+}
+
+double SampleSummary::Percentile(double q) {
+  if (samples_.empty()) return 0.0;
+  EnsureSorted();
+  q = std::clamp(q, 0.0, 1.0);
+  const auto rank = static_cast<size_t>(
+      std::max(1.0, std::ceil(q * static_cast<double>(samples_.size()))));
+  return samples_[rank - 1];
+}
+
+double SampleSummary::Max() {
+  if (samples_.empty()) return 0.0;
+  EnsureSorted();
+  return samples_.back();
+}
+
+double SampleSummary::FractionAbove(double threshold) const {
+  if (samples_.empty()) return 0.0;
+  size_t above = 0;
+  for (double v : samples_) {
+    if (v > threshold) ++above;
+  }
+  return static_cast<double>(above) / static_cast<double>(samples_.size());
+}
+
+}  // namespace bouncer::stats

@@ -1,0 +1,61 @@
+#ifndef BOUNCER_STATS_SUMMARY_H_
+#define BOUNCER_STATS_SUMMARY_H_
+
+#include <cstddef>
+#include <vector>
+
+namespace bouncer::stats {
+
+/// Offline percentile/mean computation over a raw sample vector, used by
+/// experiment harnesses to report exact (non-bucketed) statistics.
+/// Accumulates samples, sorts lazily, and answers quantile queries with
+/// nearest-rank semantics.
+class SampleSummary {
+ public:
+  SampleSummary() = default;
+
+  /// Pre-allocates capacity for `n` samples.
+  void Reserve(size_t n) { samples_.reserve(n); }
+
+  /// Adds one sample.
+  void Add(double value) {
+    samples_.push_back(value);
+    sorted_ = false;
+  }
+
+  /// Number of samples.
+  size_t Count() const { return samples_.size(); }
+
+  /// Mean of samples; 0 when empty.
+  double Mean() const;
+
+  /// Nearest-rank q-quantile, q in [0, 1]; 0 when empty. Not const
+  /// because the backing vector is sorted lazily.
+  double Percentile(double q);
+
+  /// Largest sample; 0 when empty.
+  double Max();
+
+  /// Fraction of samples strictly greater than `threshold` (SLO-violation
+  /// counting); 0 when empty.
+  double FractionAbove(double threshold) const;
+
+  /// Removes all samples.
+  void Clear() {
+    samples_.clear();
+    sorted_ = false;
+  }
+
+  /// Read-only access to the raw samples.
+  const std::vector<double>& samples() const { return samples_; }
+
+ private:
+  void EnsureSorted();
+
+  std::vector<double> samples_;
+  bool sorted_ = false;
+};
+
+}  // namespace bouncer::stats
+
+#endif  // BOUNCER_STATS_SUMMARY_H_

@@ -1,0 +1,10 @@
+#include "src/util/clock.h"
+
+namespace bouncer {
+
+SystemClock* SystemClock::Global() {
+  static SystemClock* const kInstance = new SystemClock();
+  return kInstance;
+}
+
+}  // namespace bouncer

@@ -1,0 +1,58 @@
+#ifndef BOUNCER_UTIL_CLOCK_H_
+#define BOUNCER_UTIL_CLOCK_H_
+
+#include <atomic>
+#include <chrono>
+
+#include "src/util/time.h"
+
+namespace bouncer {
+
+/// Source of monotonic time for policies and runtimes. Implementations:
+/// SystemClock (real threads, std::chrono::steady_clock) and ManualClock
+/// (simulation and tests, explicitly advanced).
+class Clock {
+ public:
+  virtual ~Clock() = default;
+  /// Current monotonic time in nanoseconds. Thread-safe.
+  virtual Nanos Now() const = 0;
+};
+
+/// Real monotonic clock backed by std::chrono::steady_clock.
+class SystemClock final : public Clock {
+ public:
+  Nanos Now() const override {
+    return std::chrono::duration_cast<std::chrono::nanoseconds>(
+               std::chrono::steady_clock::now().time_since_epoch())
+        .count();
+  }
+
+  /// Process-wide shared instance.
+  static SystemClock* Global();
+};
+
+/// Deterministic clock advanced explicitly by the owner (simulator or
+/// test). Reads and writes are atomic so policy code running on other
+/// threads observes a consistent value.
+class ManualClock final : public Clock {
+ public:
+  explicit ManualClock(Nanos start = 0) : now_(start) {}
+
+  Nanos Now() const override { return now_.load(std::memory_order_acquire); }
+
+  /// Sets the current time. Must not go backwards.
+  void SetTime(Nanos t) { now_.store(t, std::memory_order_release); }
+
+  /// Advances the current time by `delta` nanoseconds and returns the new
+  /// time.
+  Nanos Advance(Nanos delta) {
+    return now_.fetch_add(delta, std::memory_order_acq_rel) + delta;
+  }
+
+ private:
+  std::atomic<Nanos> now_;
+};
+
+}  // namespace bouncer
+
+#endif  // BOUNCER_UTIL_CLOCK_H_

@@ -1,0 +1,67 @@
+#include "src/util/rng.h"
+
+#include <algorithm>
+
+namespace bouncer {
+namespace {
+
+// Acklam's rational approximation to the inverse standard-normal CDF.
+// Absolute error < 1.15e-9 over (0, 1), ample for quantile reporting.
+double InverseNormalCdf(double p) {
+  static constexpr double a[] = {-3.969683028665376e+01, 2.209460984245205e+02,
+                                 -2.759285104469687e+02, 1.383577518672690e+02,
+                                 -3.066479806614716e+01, 2.506628277459239e+00};
+  static constexpr double b[] = {-5.447609879822406e+01, 1.615858368580409e+02,
+                                 -1.556989798598866e+02, 6.680131188771972e+01,
+                                 -1.328068155288572e+01};
+  static constexpr double c[] = {-7.784894002430293e-03, -3.223964580411365e-01,
+                                 -2.400758277161838e+00, -2.549732539343734e+00,
+                                 4.374664141464968e+00,  2.938163982698783e+00};
+  static constexpr double d[] = {7.784695709041462e-03, 3.224671290700398e-01,
+                                 2.445134137142996e+00, 3.754408661907416e+00};
+  static constexpr double kLow = 0.02425;
+
+  p = std::clamp(p, 1e-300, 1.0 - 1e-16);
+  if (p < kLow) {
+    const double q = std::sqrt(-2.0 * std::log(p));
+    return (((((c[0] * q + c[1]) * q + c[2]) * q + c[3]) * q + c[4]) * q +
+            c[5]) /
+           ((((d[0] * q + d[1]) * q + d[2]) * q + d[3]) * q + 1.0);
+  }
+  if (p <= 1.0 - kLow) {
+    const double q = p - 0.5;
+    const double r = q * q;
+    return (((((a[0] * r + a[1]) * r + a[2]) * r + a[3]) * r + a[4]) * r +
+            a[5]) *
+           q /
+           (((((b[0] * r + b[1]) * r + b[2]) * r + b[3]) * r + b[4]) * r + 1.0);
+  }
+  const double q = std::sqrt(-2.0 * std::log(1.0 - p));
+  return -(((((c[0] * q + c[1]) * q + c[2]) * q + c[3]) * q + c[4]) * q +
+           c[5]) /
+         ((((d[0] * q + d[1]) * q + d[2]) * q + d[3]) * q + 1.0);
+}
+
+}  // namespace
+
+LogNormalParams LogNormalParams::FromMeanMedian(double mean, double median) {
+  LogNormalParams p;
+  if (median <= 0.0) {
+    p.mu = 0.0;
+    p.sigma = 0.0;
+    return p;
+  }
+  p.mu = std::log(median);
+  if (mean <= median) {
+    p.sigma = 0.0;  // Point mass; mean == median.
+  } else {
+    p.sigma = std::sqrt(2.0 * std::log(mean / median));
+  }
+  return p;
+}
+
+double LogNormalParams::Quantile(double q) const {
+  return std::exp(mu + sigma * InverseNormalCdf(q));
+}
+
+}  // namespace bouncer

@@ -1,0 +1,128 @@
+#ifndef BOUNCER_UTIL_RNG_H_
+#define BOUNCER_UTIL_RNG_H_
+
+#include <cmath>
+#include <cstdint>
+
+namespace bouncer {
+
+/// Fast deterministic pseudo-random generator (xoshiro256**), seeded via
+/// SplitMix64. Not thread-safe; give each thread / simulation its own
+/// instance. Deterministic across platforms, which keeps simulation
+/// experiments reproducible.
+class Rng {
+ public:
+  explicit Rng(uint64_t seed = 0x9e3779b97f4a7c15ULL) { Seed(seed); }
+
+  /// Re-seeds the generator.
+  void Seed(uint64_t seed) {
+    // SplitMix64 expansion of the seed into the 256-bit state.
+    uint64_t x = seed;
+    for (auto& s : state_) {
+      x += 0x9e3779b97f4a7c15ULL;
+      uint64_t z = x;
+      z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+      z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+      s = z ^ (z >> 31);
+    }
+    have_gaussian_ = false;
+  }
+
+  /// Next raw 64-bit value.
+  uint64_t NextU64() {
+    const uint64_t result = Rotl(state_[1] * 5, 7) * 9;
+    const uint64_t t = state_[1] << 17;
+    state_[2] ^= state_[0];
+    state_[3] ^= state_[1];
+    state_[1] ^= state_[2];
+    state_[0] ^= state_[3];
+    state_[2] ^= t;
+    state_[3] = Rotl(state_[3], 45);
+    return result;
+  }
+
+  /// Uniform double in [0, 1).
+  double NextDouble() {
+    return static_cast<double>(NextU64() >> 11) * 0x1.0p-53;
+  }
+
+  /// Uniform integer in [0, bound). `bound` must be > 0.
+  uint64_t NextBounded(uint64_t bound) {
+    // Lemire's nearly-divisionless bounded generation.
+    __uint128_t m = static_cast<__uint128_t>(NextU64()) * bound;
+    auto lo = static_cast<uint64_t>(m);
+    if (lo < bound) {
+      const uint64_t threshold = (0 - bound) % bound;
+      while (lo < threshold) {
+        m = static_cast<__uint128_t>(NextU64()) * bound;
+        lo = static_cast<uint64_t>(m);
+      }
+    }
+    return static_cast<uint64_t>(m >> 64);
+  }
+
+  /// True with probability `p` (clamped to [0, 1]).
+  bool NextBernoulli(double p) { return NextDouble() < p; }
+
+  /// Exponential variate with the given mean (> 0).
+  double NextExponential(double mean) {
+    double u = NextDouble();
+    // Guard against log(0).
+    if (u <= 0.0) u = 0x1.0p-53;
+    return -mean * std::log(u);
+  }
+
+  /// Standard normal variate (Box–Muller with caching).
+  double NextGaussian() {
+    if (have_gaussian_) {
+      have_gaussian_ = false;
+      return cached_gaussian_;
+    }
+    double u1 = NextDouble();
+    if (u1 <= 0.0) u1 = 0x1.0p-53;
+    const double u2 = NextDouble();
+    const double r = std::sqrt(-2.0 * std::log(u1));
+    const double theta = 2.0 * M_PI * u2;
+    cached_gaussian_ = r * std::sin(theta);
+    have_gaussian_ = true;
+    return r * std::cos(theta);
+  }
+
+  /// Lognormal variate with log-space parameters mu and sigma.
+  double NextLogNormal(double mu, double sigma) {
+    return std::exp(mu + sigma * NextGaussian());
+  }
+
+ private:
+  static uint64_t Rotl(uint64_t x, int k) {
+    return (x << k) | (x >> (64 - k));
+  }
+
+  uint64_t state_[4];
+  bool have_gaussian_ = false;
+  double cached_gaussian_ = 0.0;
+};
+
+/// Parameters of a lognormal distribution expressed in *linear-space*
+/// statistics. The paper's Table 1 specifies per-type mean and median
+/// (p50) processing times; for a lognormal, median = exp(mu) and
+/// mean = exp(mu + sigma^2 / 2), so both log-space parameters are
+/// recoverable from those two numbers.
+struct LogNormalParams {
+  double mu = 0.0;     ///< Log-space location.
+  double sigma = 1.0;  ///< Log-space scale (>= 0).
+
+  /// Builds parameters from a linear-space mean and median (both > 0,
+  /// mean >= median). Degenerate inputs collapse to a point mass at the
+  /// median.
+  static LogNormalParams FromMeanMedian(double mean, double median);
+
+  double Mean() const { return std::exp(mu + sigma * sigma / 2.0); }
+  double Median() const { return std::exp(mu); }
+  /// Value of the q-quantile (q in (0,1)).
+  double Quantile(double q) const;
+};
+
+}  // namespace bouncer
+
+#endif  // BOUNCER_UTIL_RNG_H_

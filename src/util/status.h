@@ -1,0 +1,129 @@
+#ifndef BOUNCER_UTIL_STATUS_H_
+#define BOUNCER_UTIL_STATUS_H_
+
+#include <cassert>
+#include <string>
+#include <string_view>
+#include <utility>
+
+namespace bouncer {
+
+/// Error codes for library operations. The library does not throw
+/// exceptions; fallible operations return Status or StatusOr<T>.
+enum class StatusCode {
+  kOk = 0,
+  kInvalidArgument = 1,
+  kNotFound = 2,
+  kAlreadyExists = 3,
+  kFailedPrecondition = 4,
+  kOutOfRange = 5,
+  kResourceExhausted = 6,
+  kUnavailable = 7,
+  kInternal = 8,
+};
+
+/// Returns a short stable name ("OK", "InvalidArgument", ...) for a code.
+std::string_view StatusCodeToString(StatusCode code);
+
+/// Value-semantic result of a fallible operation: a code plus an optional
+/// human-readable message. Mirrors the RocksDB/Abseil Status idiom.
+class Status {
+ public:
+  /// Constructs an OK status.
+  Status() : code_(StatusCode::kOk) {}
+
+  Status(StatusCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  Status(const Status&) = default;
+  Status& operator=(const Status&) = default;
+  Status(Status&&) noexcept = default;
+  Status& operator=(Status&&) noexcept = default;
+
+  static Status OK() { return Status(); }
+  static Status InvalidArgument(std::string msg) {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  static Status NotFound(std::string msg) {
+    return Status(StatusCode::kNotFound, std::move(msg));
+  }
+  static Status AlreadyExists(std::string msg) {
+    return Status(StatusCode::kAlreadyExists, std::move(msg));
+  }
+  static Status FailedPrecondition(std::string msg) {
+    return Status(StatusCode::kFailedPrecondition, std::move(msg));
+  }
+  static Status OutOfRange(std::string msg) {
+    return Status(StatusCode::kOutOfRange, std::move(msg));
+  }
+  static Status ResourceExhausted(std::string msg) {
+    return Status(StatusCode::kResourceExhausted, std::move(msg));
+  }
+  static Status Unavailable(std::string msg) {
+    return Status(StatusCode::kUnavailable, std::move(msg));
+  }
+  static Status Internal(std::string msg) {
+    return Status(StatusCode::kInternal, std::move(msg));
+  }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  /// "OK" or "<CodeName>: <message>".
+  std::string ToString() const;
+
+  friend bool operator==(const Status& a, const Status& b) {
+    return a.code_ == b.code_ && a.message_ == b.message_;
+  }
+
+ private:
+  StatusCode code_;
+  std::string message_;
+};
+
+/// Either a value of T or an error Status. Accessing the value of a
+/// non-OK StatusOr is a programming error (checked with assert in debug
+/// builds).
+template <typename T>
+class StatusOr {
+ public:
+  /// Implicit construction from a value (mirrors absl::StatusOr).
+  StatusOr(T value) : status_(Status::OK()), value_(std::move(value)) {}
+  /// Implicit construction from an error status; must not be OK.
+  StatusOr(Status status) : status_(std::move(status)) {
+    assert(!status_.ok() && "StatusOr constructed from OK status");
+  }
+
+  bool ok() const { return status_.ok(); }
+  const Status& status() const { return status_; }
+
+  const T& value() const& {
+    assert(ok());
+    return value_;
+  }
+  T& value() & {
+    assert(ok());
+    return value_;
+  }
+  T&& value() && {
+    assert(ok());
+    return std::move(value_);
+  }
+
+  const T& operator*() const& { return value(); }
+  T& operator*() & { return value(); }
+  const T* operator->() const { return &value(); }
+  T* operator->() { return &value(); }
+
+  /// Returns the value if OK, otherwise `fallback`.
+  T value_or(T fallback) const& { return ok() ? value_ : std::move(fallback); }
+
+ private:
+  Status status_;
+  T value_{};
+};
+
+}  // namespace bouncer
+
+#endif  // BOUNCER_UTIL_STATUS_H_

@@ -1,0 +1,40 @@
+#ifndef BOUNCER_UTIL_TIME_H_
+#define BOUNCER_UTIL_TIME_H_
+
+#include <cstdint>
+
+namespace bouncer {
+
+/// All times in the library — timestamps and durations — are signed 64-bit
+/// nanosecond counts. A single integral representation keeps the admission
+/// decision path free of floating-point conversions and makes simulated and
+/// real time interchangeable.
+using Nanos = int64_t;
+
+inline constexpr Nanos kMicrosecond = 1'000;
+inline constexpr Nanos kMillisecond = 1'000'000;
+inline constexpr Nanos kSecond = 1'000'000'000;
+
+/// Converts a nanosecond count to fractional milliseconds.
+constexpr double ToMillis(Nanos ns) {
+  return static_cast<double>(ns) / static_cast<double>(kMillisecond);
+}
+
+/// Converts a nanosecond count to fractional seconds.
+constexpr double ToSeconds(Nanos ns) {
+  return static_cast<double>(ns) / static_cast<double>(kSecond);
+}
+
+/// Converts fractional milliseconds to nanoseconds (truncating).
+constexpr Nanos FromMillis(double ms) {
+  return static_cast<Nanos>(ms * static_cast<double>(kMillisecond));
+}
+
+/// Converts fractional seconds to nanoseconds (truncating).
+constexpr Nanos FromSeconds(double s) {
+  return static_cast<Nanos>(s * static_cast<double>(kSecond));
+}
+
+}  // namespace bouncer
+
+#endif  // BOUNCER_UTIL_TIME_H_

@@ -1,0 +1,173 @@
+#include "src/workload/trace.h"
+
+#include <atomic>
+#include <chrono>
+#include <cinttypes>
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <thread>
+
+#include "src/util/rng.h"
+
+namespace bouncer::workload {
+
+double QueryTrace::AverageQps() const {
+  const Nanos duration = Duration();
+  if (duration <= 0) return 0.0;
+  return static_cast<double>(records_.size()) / ToSeconds(duration);
+}
+
+std::vector<uint64_t> QueryTrace::TypeCounts() const {
+  std::vector<uint64_t> counts(type_names_.size(), 0);
+  for (const TraceRecord& r : records_) {
+    if (r.type_index < counts.size()) ++counts[r.type_index];
+  }
+  return counts;
+}
+
+Status QueryTrace::Append(const TraceRecord& record) {
+  if (record.type_index >= type_names_.size()) {
+    return Status::OutOfRange("record type index out of range");
+  }
+  if (!records_.empty() && record.timestamp < records_.back().timestamp) {
+    return Status::InvalidArgument("trace timestamps must be non-decreasing");
+  }
+  records_.push_back(record);
+  return Status::OK();
+}
+
+std::string QueryTrace::Serialize() const {
+  std::string out = "# bouncer-trace v1\ntypes: ";
+  for (size_t i = 0; i < type_names_.size(); ++i) {
+    if (i > 0) out += ",";
+    out += type_names_[i];
+  }
+  out += "\n";
+  char line[96];
+  for (const TraceRecord& r : records_) {
+    std::snprintf(line, sizeof(line),
+                  "%lld %u %" PRIu64 " %" PRIu64 "\n",
+                  static_cast<long long>(r.timestamp), r.type_index,
+                  r.param_a, r.param_b);
+    out += line;
+  }
+  return out;
+}
+
+StatusOr<QueryTrace> QueryTrace::Parse(std::string_view text) {
+  std::istringstream stream{std::string(text)};
+  std::string line;
+  if (!std::getline(stream, line) || line != "# bouncer-trace v1") {
+    return Status::InvalidArgument("bad or missing trace header");
+  }
+  if (!std::getline(stream, line) || line.rfind("types: ", 0) != 0) {
+    return Status::InvalidArgument("missing 'types:' line");
+  }
+  std::vector<std::string> names;
+  {
+    std::istringstream names_stream(line.substr(7));
+    std::string name;
+    while (std::getline(names_stream, name, ',')) {
+      if (name.empty()) {
+        return Status::InvalidArgument("empty type name in trace");
+      }
+      names.push_back(name);
+    }
+  }
+  if (names.empty()) return Status::InvalidArgument("trace has no types");
+
+  QueryTrace trace(std::move(names), {});
+  size_t line_number = 2;
+  while (std::getline(stream, line)) {
+    ++line_number;
+    if (line.empty() || line[0] == '#') continue;
+    TraceRecord record;
+    long long timestamp = 0;
+    if (std::sscanf(line.c_str(),
+                    "%lld %u %" SCNu64 " %" SCNu64, &timestamp,
+                    &record.type_index, &record.param_a,
+                    &record.param_b) != 4) {
+      return Status::InvalidArgument("malformed trace line " +
+                                     std::to_string(line_number));
+    }
+    record.timestamp = timestamp;
+    if (Status s = trace.Append(record); !s.ok()) {
+      return Status::InvalidArgument(s.message() + " (line " +
+                                     std::to_string(line_number) + ")");
+    }
+  }
+  return trace;
+}
+
+Status QueryTrace::SaveToFile(const std::string& path) const {
+  std::ofstream file(path, std::ios::trunc);
+  if (!file) return Status::Unavailable("cannot open for write: " + path);
+  file << Serialize();
+  return file.good() ? Status::OK()
+                     : Status::Unavailable("write failed: " + path);
+}
+
+StatusOr<QueryTrace> QueryTrace::LoadFromFile(const std::string& path) {
+  std::ifstream file(path);
+  if (!file) return Status::NotFound("cannot open: " + path);
+  std::ostringstream content;
+  content << file.rdbuf();
+  return Parse(content.str());
+}
+
+QueryTrace QueryTrace::Synthesize(const WorkloadSpec& mix, double qps,
+                                  Nanos duration, uint64_t seed,
+                                  uint64_t param_space) {
+  std::vector<std::string> names;
+  names.reserve(mix.size());
+  for (const auto& type : mix.types()) names.push_back(type.name);
+  QueryTrace trace(std::move(names), {});
+  if (qps <= 0.0 || duration <= 0) return trace;
+
+  Rng rng(seed);
+  const double mean_gap = static_cast<double>(kSecond) / qps;
+  Nanos t = 0;
+  while (true) {
+    t += std::max<Nanos>(1, static_cast<Nanos>(rng.NextExponential(mean_gap)));
+    if (t > duration) break;
+    TraceRecord record;
+    record.timestamp = t;
+    record.type_index = static_cast<uint32_t>(mix.SampleType(rng));
+    if (param_space > 0) {
+      record.param_a = rng.NextBounded(param_space);
+      record.param_b = rng.NextBounded(param_space);
+    }
+    (void)trace.Append(record);
+  }
+  return trace;
+}
+
+uint64_t TraceReplayer::Run() {
+  using SteadyClock = std::chrono::steady_clock;
+  if (trace_ == nullptr || trace_->empty() || options_.speed <= 0.0) {
+    return 0;
+  }
+  uint64_t delivered = 0;
+  const Nanos base = trace_->records().front().timestamp;
+  const Nanos span = trace_->Duration() + 1;
+  const auto start = SteadyClock::now();
+  for (int loop = 0; loop < options_.loops; ++loop) {
+    const Nanos loop_offset = static_cast<Nanos>(loop) * span;
+    for (const TraceRecord& record : trace_->records()) {
+      if (stop_.load(std::memory_order_acquire)) return delivered;
+      const auto relative = static_cast<Nanos>(
+          static_cast<double>(record.timestamp - base + loop_offset) /
+          options_.speed);
+      const auto due = start + std::chrono::nanoseconds(relative);
+      if (due > SteadyClock::now()) {
+        std::this_thread::sleep_until(due);
+      }
+      sink_(record);
+      ++delivered;
+    }
+  }
+  return delivered;
+}
+
+}  // namespace bouncer::workload

@@ -1,0 +1,124 @@
+#ifndef BOUNCER_WORKLOAD_TRACE_H_
+#define BOUNCER_WORKLOAD_TRACE_H_
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "src/util/status.h"
+#include "src/util/time.h"
+#include "src/workload/workload_spec.h"
+
+namespace bouncer::workload {
+
+/// One query occurrence in a trace: when it arrived (relative to the
+/// trace start), which type it was, and two opaque op parameters (e.g.
+/// source/target vertices for graph queries).
+struct TraceRecord {
+  Nanos timestamp = 0;
+  uint32_t type_index = 0;  ///< Index into QueryTrace::type_names().
+  uint64_t param_a = 0;
+  uint64_t param_b = 0;
+
+  friend bool operator==(const TraceRecord&, const TraceRecord&) = default;
+};
+
+/// A recorded (or synthesized) query stream — the stand-in for the
+/// paper's production query sets (§5.4 samples 5.5 M production queries
+/// into per-type query-set files consumed by their load generator).
+///
+/// Text format (one record per line, timestamps ascending):
+///
+///   # bouncer-trace v1
+///   types: QT1,QT2,QT3
+///   0 0 17 42
+///   125000 2 99 7
+///
+class QueryTrace {
+ public:
+  QueryTrace() = default;
+  QueryTrace(std::vector<std::string> type_names,
+             std::vector<TraceRecord> records)
+      : type_names_(std::move(type_names)), records_(std::move(records)) {}
+
+  const std::vector<std::string>& type_names() const { return type_names_; }
+  const std::vector<TraceRecord>& records() const { return records_; }
+  size_t size() const { return records_.size(); }
+  bool empty() const { return records_.empty(); }
+
+  /// Duration from the first to the last record.
+  Nanos Duration() const {
+    return records_.empty() ? 0
+                            : records_.back().timestamp -
+                                  records_.front().timestamp;
+  }
+
+  /// Average arrival rate over the span of the trace.
+  double AverageQps() const;
+
+  /// Per-type record counts (indexed like type_names()).
+  std::vector<uint64_t> TypeCounts() const;
+
+  /// Appends one record. Timestamps must be non-decreasing; out-of-order
+  /// appends are rejected.
+  Status Append(const TraceRecord& record);
+
+  /// Serializes to the text format.
+  std::string Serialize() const;
+
+  /// Parses the text format; rejects unknown versions, malformed lines,
+  /// out-of-range type indices and decreasing timestamps.
+  static StatusOr<QueryTrace> Parse(std::string_view text);
+
+  /// File convenience wrappers around Serialize()/Parse().
+  Status SaveToFile(const std::string& path) const;
+  static StatusOr<QueryTrace> LoadFromFile(const std::string& path);
+
+  /// Draws a Poisson trace from a workload mix — the synthetic
+  /// equivalent of sampling production traffic for a while. Op params
+  /// are drawn uniformly from [0, param_space) when param_space > 0.
+  static QueryTrace Synthesize(const WorkloadSpec& mix, double qps,
+                               Nanos duration, uint64_t seed,
+                               uint64_t param_space = 0);
+
+ private:
+  std::vector<std::string> type_names_;
+  std::vector<TraceRecord> records_;
+};
+
+/// Replays a trace against a sink in real time (wall clock), optionally
+/// compressed or stretched with `speed` (2.0 = twice as fast — i.e. the
+/// paper's load tests at multiples of sampled traffic). Timestamps
+/// follow an absolute schedule like LoadGenerator's, so a slow sink does
+/// not throttle the offered load.
+class TraceReplayer {
+ public:
+  struct Options {
+    double speed = 1.0;  ///< Playback speed multiplier (> 0).
+    int loops = 1;       ///< Times to replay the trace back-to-back.
+  };
+
+  using Sink = std::function<void(const TraceRecord&)>;
+
+  TraceReplayer(const QueryTrace* trace, const Options& options, Sink sink)
+      : trace_(trace), options_(options), sink_(std::move(sink)) {}
+
+  /// Blocks until the replay finishes (or RequestStop). Returns the
+  /// number of records delivered.
+  uint64_t Run();
+
+  void RequestStop() { stop_.store(true, std::memory_order_release); }
+
+ private:
+  const QueryTrace* trace_;
+  Options options_;
+  Sink sink_;
+  std::atomic<bool> stop_{false};
+};
+
+}  // namespace bouncer::workload
+
+#endif  // BOUNCER_WORKLOAD_TRACE_H_

@@ -1,0 +1,118 @@
+#include "src/workload/workload_spec.h"
+
+#include <cmath>
+
+namespace bouncer::workload {
+
+QueryTypeSpec QueryTypeSpec::FromMillis(std::string name, double proportion,
+                                        double mean_ms, double median_ms,
+                                        const Slo& slo) {
+  QueryTypeSpec spec;
+  spec.name = std::move(name);
+  spec.proportion = proportion;
+  spec.processing_time = LogNormalParams::FromMeanMedian(
+      mean_ms * static_cast<double>(kMillisecond),
+      median_ms * static_cast<double>(kMillisecond));
+  spec.slo = slo;
+  return spec;
+}
+
+Status WorkloadSpec::Validate() const {
+  if (types_.empty()) {
+    return Status::InvalidArgument("workload has no query types");
+  }
+  double sum = 0.0;
+  for (const auto& t : types_) {
+    if (t.proportion < 0.0) {
+      return Status::InvalidArgument("negative proportion for type " + t.name);
+    }
+    if (t.name.empty()) {
+      return Status::InvalidArgument("query type with empty name");
+    }
+    sum += t.proportion;
+  }
+  if (std::abs(sum - 1.0) > 1e-6) {
+    return Status::InvalidArgument("proportions must sum to 1");
+  }
+  return Status::OK();
+}
+
+Nanos WorkloadSpec::WeightedMeanProcessingTime() const {
+  double weighted = 0.0;
+  for (const auto& t : types_) {
+    weighted += t.proportion * t.processing_time.Mean();
+  }
+  return static_cast<Nanos>(weighted);
+}
+
+double WorkloadSpec::FullLoadQps(size_t parallelism) const {
+  const Nanos pt_wmean = WeightedMeanProcessingTime();
+  if (pt_wmean <= 0) return 0.0;
+  return static_cast<double>(parallelism) / ToSeconds(pt_wmean);
+}
+
+size_t WorkloadSpec::SampleType(Rng& rng) const {
+  const double u = rng.NextDouble();
+  double cumulative = 0.0;
+  for (size_t i = 0; i < types_.size(); ++i) {
+    cumulative += types_[i].proportion;
+    if (u < cumulative) return i;
+  }
+  return types_.size() - 1;
+}
+
+Nanos WorkloadSpec::SampleProcessingTime(size_t index, Rng& rng) const {
+  const LogNormalParams& p = types_.at(index).processing_time;
+  if (p.sigma == 0.0) return static_cast<Nanos>(p.Median());
+  return static_cast<Nanos>(rng.NextLogNormal(p.mu, p.sigma));
+}
+
+std::vector<QueryTypeId> WorkloadSpec::PopulateRegistry(
+    QueryTypeRegistry* registry) const {
+  std::vector<QueryTypeId> ids;
+  ids.reserve(types_.size());
+  for (const auto& t : types_) {
+    auto id = registry->Register(t.name, t.slo);
+    ids.push_back(id.ok() ? *id : registry->Resolve(t.name));
+  }
+  return ids;
+}
+
+WorkloadSpec PaperSimulationWorkload() {
+  // Table 1 + Table 2: SLO_p50 = 18 ms, SLO_p90 = 50 ms for every type.
+  const Slo slo{18 * kMillisecond, 50 * kMillisecond, 0};
+  std::vector<QueryTypeSpec> types;
+  types.push_back(QueryTypeSpec::FromMillis("fast", 0.40, 1.16, 0.38, slo));
+  types.push_back(
+      QueryTypeSpec::FromMillis("medium_fast", 0.20, 2.53, 2.22, slo));
+  types.push_back(
+      QueryTypeSpec::FromMillis("medium_slow", 0.30, 12.13, 7.40, slo));
+  types.push_back(QueryTypeSpec::FromMillis("slow", 0.10, 20.05, 12.51, slo));
+  return WorkloadSpec(std::move(types));
+}
+
+WorkloadSpec PaperRealSystemMix(double qt11_median_ms) {
+  // §5.4: proportions as published; query types sorted by cost ascending.
+  // Medians descend geometrically from QT11; means carry moderate
+  // lognormal skew (mean = 1.4 x median).
+  // The published percentages sum to 100.01%; normalize so Validate()
+  // holds.
+  static constexpr double kRawProportions[11] = {
+      0.1156, 0.0004, 0.0004, 0.0234, 0.1344, 0.1344,
+      0.0042, 0.0009, 0.2635, 0.0449, 0.2780};
+  double total = 0.0;
+  for (double p : kRawProportions) total += p;
+  const Slo slo{18 * kMillisecond, 50 * kMillisecond, 0};
+  const double ratio = 0.60;  // median(QT_i) = median(QT_{i+1}) * ratio.
+  std::vector<QueryTypeSpec> types;
+  types.reserve(11);
+  for (int i = 0; i < 11; ++i) {
+    const double median = qt11_median_ms * std::pow(ratio, 10 - i);
+    types.push_back(QueryTypeSpec::FromMillis("QT" + std::to_string(i + 1),
+                                              kRawProportions[i] / total,
+                                              1.4 * median, median, slo));
+  }
+  return WorkloadSpec(std::move(types));
+}
+
+}  // namespace bouncer::workload

@@ -1,0 +1,89 @@
+#ifndef BOUNCER_WORKLOAD_WORKLOAD_SPEC_H_
+#define BOUNCER_WORKLOAD_WORKLOAD_SPEC_H_
+
+#include <string>
+#include <vector>
+
+#include "src/core/query_type_registry.h"
+#include "src/core/types.h"
+#include "src/util/rng.h"
+#include "src/util/status.h"
+
+namespace bouncer::workload {
+
+/// One query type in a workload mix: its share of the traffic, its
+/// processing-time distribution (lognormal, which the paper found
+/// approximates production queries), and its latency SLO.
+struct QueryTypeSpec {
+  std::string name;
+  double proportion = 0.0;  ///< Fraction of the query mix, in [0, 1].
+  /// Lognormal processing-time distribution over nanoseconds.
+  LogNormalParams processing_time;
+  Slo slo;
+
+  /// Convenience constructor from Table-1-style numbers: mean and median
+  /// processing time in milliseconds.
+  static QueryTypeSpec FromMillis(std::string name, double proportion,
+                                  double mean_ms, double median_ms,
+                                  const Slo& slo);
+
+  double MeanProcessingMs() const {
+    return processing_time.Mean() / static_cast<double>(kMillisecond);
+  }
+};
+
+/// A typed query mix: the full description of the traffic a study offers
+/// to the system (paper Table 1 for simulation, §5.4's QT1..QT11 mix for
+/// the real-system study).
+class WorkloadSpec {
+ public:
+  WorkloadSpec() = default;
+  explicit WorkloadSpec(std::vector<QueryTypeSpec> types)
+      : types_(std::move(types)) {}
+
+  /// Validates that proportions are non-negative and sum to ~1.
+  Status Validate() const;
+
+  const std::vector<QueryTypeSpec>& types() const { return types_; }
+  size_t size() const { return types_.size(); }
+  const QueryTypeSpec& type(size_t i) const { return types_.at(i); }
+
+  /// Weighted mean processing time pt_wmean = sum_i p_i * mean_i, in
+  /// nanoseconds (paper §5.3).
+  Nanos WeightedMeanProcessingTime() const;
+
+  /// Traffic rate that fully utilizes a query engine with `parallelism`
+  /// processes: QPS_full_load = P / pt_wmean (paper §5.3).
+  double FullLoadQps(size_t parallelism) const;
+
+  /// Samples a type index according to the mix proportions.
+  size_t SampleType(Rng& rng) const;
+
+  /// Samples a processing time (ns) for type `index`.
+  Nanos SampleProcessingTime(size_t index, Rng& rng) const;
+
+  /// Builds a QueryTypeRegistry with one entry per type, in order, so
+  /// QueryTypeId == spec index + 1 (id 0 is the default type). Returns
+  /// the mapping spec-index -> QueryTypeId.
+  std::vector<QueryTypeId> PopulateRegistry(QueryTypeRegistry* registry) const;
+
+ private:
+  std::vector<QueryTypeSpec> types_;
+};
+
+/// The paper's Table 1 simulation workload: fast 40%, medium fast 20%,
+/// medium slow 30%, slow 10%, with lognormal processing times matching
+/// the published mean/p50 (their p90s then match Table 1 to within a few
+/// percent). All types carry the Table 2 SLO (p50=18 ms, p90=50 ms).
+WorkloadSpec PaperSimulationWorkload();
+
+/// The paper's §5.4 real-system mix: QT1..QT11 with the published
+/// proportions, costs ascending with the type index. Processing-time
+/// scale is configurable: `qt11_median_ms` sets the heaviest type's
+/// median; lighter types scale down geometrically. Defaults approximate
+/// the published behaviour (QT11 p50 around 9–15 ms under load).
+WorkloadSpec PaperRealSystemMix(double qt11_median_ms = 9.0);
+
+}  // namespace bouncer::workload
+
+#endif  // BOUNCER_WORKLOAD_WORKLOAD_SPEC_H_

@@ -1,0 +1,238 @@
+#include "src/core/bouncer_policy.h"
+
+#include <gtest/gtest.h>
+
+#include "tests/core/test_helpers.h"
+
+namespace bouncer {
+namespace {
+
+using ::bouncer::testing::PolicyHarness;
+
+BouncerPolicy::Options FastSwapOptions() {
+  BouncerPolicy::Options options;
+  options.histogram_swap_interval = kSecond;
+  return options;
+}
+
+/// Feeds `n` completions of duration `pt` and publishes them.
+void Train(BouncerPolicy& policy, QueryTypeId type, Nanos pt, int n = 100) {
+  for (int i = 0; i < n; ++i) policy.OnCompleted(type, pt, 0);
+  policy.ForceHistogramSwap();
+}
+
+TEST(BouncerPolicyTest, AcceptsWhenColdByDefault) {
+  PolicyHarness h;
+  BouncerPolicy policy(h.context, FastSwapOptions());
+  // No histogram data at all: nothing to reject on.
+  EXPECT_EQ(policy.Decide(h.fast_id, 0), Decision::kAccept);
+}
+
+TEST(BouncerPolicyTest, AcceptsUnderSlo) {
+  PolicyHarness h;  // SLO p50=18ms p90=50ms.
+  BouncerPolicy policy(h.context, FastSwapOptions());
+  Train(policy, h.fast_id, 2 * kMillisecond);
+  EXPECT_EQ(policy.Decide(h.fast_id, kSecond), Decision::kAccept);
+}
+
+TEST(BouncerPolicyTest, RejectsWhenP50EstimateExceedsSlo) {
+  PolicyHarness h;
+  BouncerPolicy policy(h.context, FastSwapOptions());
+  Train(policy, h.slow_id, 25 * kMillisecond);  // > SLO_p50 = 18 ms.
+  EXPECT_EQ(policy.Decide(h.slow_id, kSecond), Decision::kReject);
+}
+
+TEST(BouncerPolicyTest, RejectsWhenP90EstimateExceedsSlo) {
+  PolicyHarness h;
+  BouncerPolicy policy(h.context, FastSwapOptions());
+  // p50 ~10ms (ok), p90 > 50ms: 90 samples at 10ms, 10 at 80ms.
+  for (int i = 0; i < 89; ++i) policy.OnCompleted(h.slow_id, 10 * kMillisecond, 0);
+  for (int i = 0; i < 11; ++i) policy.OnCompleted(h.slow_id, 80 * kMillisecond, 0);
+  policy.ForceHistogramSwap();
+  const auto e = policy.EstimateFor(h.slow_id, kSecond);
+  EXPECT_LE(e.ert_p50, 18 * kMillisecond);
+  EXPECT_GT(e.ert_p90, 50 * kMillisecond);
+  EXPECT_EQ(policy.Decide(h.slow_id, kSecond), Decision::kReject);
+}
+
+TEST(BouncerPolicyTest, QueueWaitPushesEstimateOverSlo) {
+  PolicyHarness h(Slo{18 * kMillisecond, 50 * kMillisecond, 0},
+                  /*parallelism=*/4);
+  BouncerPolicy policy(h.context, FastSwapOptions());
+  Train(policy, h.fast_id, 10 * kMillisecond);  // Well under SLO alone.
+  EXPECT_EQ(policy.Decide(h.fast_id, kSecond), Decision::kAccept);
+  // 8 queued fast queries: ewt = 8 * 10ms / 4 = 20ms; 20 + 10 > 18.
+  for (int i = 0; i < 8; ++i) h.queue->OnEnqueued(h.fast_id);
+  EXPECT_EQ(policy.Decide(h.fast_id, kSecond), Decision::kReject);
+}
+
+TEST(BouncerPolicyTest, EstimateQueueWaitEquation2) {
+  PolicyHarness h(Slo{18 * kMillisecond, 50 * kMillisecond, 0},
+                  /*parallelism=*/2);
+  BouncerPolicy policy(h.context, FastSwapOptions());
+  Train(policy, h.fast_id, 4 * kMillisecond);
+  Train(policy, h.slow_id, 20 * kMillisecond);
+  h.queue->OnEnqueued(h.fast_id);   // 1 x 4ms
+  h.queue->OnEnqueued(h.slow_id);   // 1 x 20ms
+  h.queue->OnEnqueued(h.slow_id);   // 1 x 20ms
+  // ewt = (1*4 + 2*20) / 2 = 22 ms.
+  EXPECT_EQ(policy.EstimateQueueWait(), 22 * kMillisecond);
+}
+
+TEST(BouncerPolicyTest, EstimatesComposeEquations3And4) {
+  PolicyHarness h(Slo{100 * kMillisecond, 200 * kMillisecond, 0},
+                  /*parallelism=*/1);
+  BouncerPolicy policy(h.context, FastSwapOptions());
+  Train(policy, h.fast_id, 10 * kMillisecond);
+  h.queue->OnEnqueued(h.fast_id);
+  const auto e = policy.EstimateFor(h.fast_id, kSecond);
+  EXPECT_EQ(e.ewt_mean, 10 * kMillisecond);
+  const auto summary = policy.TypeSummary(h.fast_id);
+  EXPECT_EQ(e.ert_p50, e.ewt_mean + summary.p50);
+  EXPECT_EQ(e.ert_p90, e.ewt_mean + summary.p90);
+}
+
+TEST(BouncerPolicyTest, PerTypeSlosIndependent) {
+  PolicyHarness h;
+  ASSERT_TRUE(
+      h.registry.SetSlo(h.slow_id, Slo{100 * kMillisecond, 300 * kMillisecond, 0})
+          .ok());
+  BouncerPolicy policy(h.context, FastSwapOptions());
+  Train(policy, h.fast_id, 25 * kMillisecond);
+  Train(policy, h.slow_id, 25 * kMillisecond);
+  // Same processing time; the type with the loose SLO is accepted.
+  EXPECT_EQ(policy.Decide(h.fast_id, kSecond), Decision::kReject);
+  EXPECT_EQ(policy.Decide(h.slow_id, kSecond), Decision::kAccept);
+}
+
+TEST(BouncerPolicyTest, UnknownTypeFallsBackToDefault) {
+  PolicyHarness h;
+  BouncerPolicy policy(h.context, FastSwapOptions());
+  Train(policy, kDefaultQueryType, 25 * kMillisecond);
+  // Out-of-range id maps to the default type, whose estimate violates.
+  EXPECT_EQ(policy.Decide(999, kSecond), Decision::kReject);
+}
+
+TEST(BouncerPolicyTest, ColdStartGeneralHistogramMode) {
+  PolicyHarness h;
+  BouncerPolicy::Options options = FastSwapOptions();
+  options.cold_start_mode = ColdStartMode::kGeneralHistogram;
+  options.warmup_min_samples = 10;
+  BouncerPolicy policy(h.context, options);
+  // Train only "fast"; the general histogram absorbs those samples too.
+  Train(policy, h.fast_id, 25 * kMillisecond, 100);
+  // "slow" is cold; decision uses the general histogram + default SLO
+  // (18/50ms): 25ms median violates, so the cold type is rejected.
+  const auto e = policy.EstimateFor(h.slow_id, kSecond);
+  EXPECT_TRUE(e.cold);
+  EXPECT_EQ(policy.Decide(h.slow_id, kSecond), Decision::kReject);
+}
+
+TEST(BouncerPolicyTest, ColdStartAcceptAllMode) {
+  PolicyHarness h;
+  BouncerPolicy::Options options = FastSwapOptions();
+  options.cold_start_mode = ColdStartMode::kAcceptAll;
+  options.warmup_min_samples = 10;
+  BouncerPolicy policy(h.context, options);
+  Train(policy, h.fast_id, 25 * kMillisecond, 100);
+  EXPECT_EQ(policy.Decide(h.slow_id, kSecond), Decision::kAccept);
+}
+
+TEST(BouncerPolicyTest, ColdStartNoneModeUsesEmptySummary) {
+  PolicyHarness h;
+  BouncerPolicy::Options options = FastSwapOptions();
+  options.cold_start_mode = ColdStartMode::kNone;
+  BouncerPolicy policy(h.context, options);
+  // Empty histogram reads 0 estimates -> under SLO -> accept.
+  EXPECT_EQ(policy.Decide(h.slow_id, kSecond), Decision::kAccept);
+}
+
+TEST(BouncerPolicyTest, WarmTypeLeavesColdPath) {
+  PolicyHarness h;
+  BouncerPolicy::Options options = FastSwapOptions();
+  options.warmup_min_samples = 5;
+  BouncerPolicy policy(h.context, options);
+  Train(policy, h.slow_id, 2 * kMillisecond, 10);
+  const auto e = policy.EstimateFor(h.slow_id, kSecond);
+  EXPECT_FALSE(e.cold);
+}
+
+TEST(BouncerPolicyTest, DecisionExprP50Only) {
+  PolicyHarness h;
+  BouncerPolicy::Options options = FastSwapOptions();
+  options.decision_expr = DecisionExpr::kP50Only;
+  BouncerPolicy policy(h.context, options);
+  // p50 fine, p90 violating: accepted under kP50Only.
+  for (int i = 0; i < 89; ++i) policy.OnCompleted(h.slow_id, 10 * kMillisecond, 0);
+  for (int i = 0; i < 11; ++i) policy.OnCompleted(h.slow_id, 80 * kMillisecond, 0);
+  policy.ForceHistogramSwap();
+  EXPECT_EQ(policy.Decide(h.slow_id, kSecond), Decision::kAccept);
+}
+
+TEST(BouncerPolicyTest, DecisionExprP90Only) {
+  PolicyHarness h;
+  BouncerPolicy::Options options = FastSwapOptions();
+  options.decision_expr = DecisionExpr::kP90Only;
+  BouncerPolicy policy(h.context, options);
+  // p50 violating but p90 under SLO cannot happen for a point mass; use
+  // p50 25ms, p90 40ms: kP90Only accepts, default expr would reject.
+  for (int i = 0; i < 60; ++i) policy.OnCompleted(h.slow_id, 25 * kMillisecond, 0);
+  for (int i = 0; i < 40; ++i) policy.OnCompleted(h.slow_id, 40 * kMillisecond, 0);
+  policy.ForceHistogramSwap();
+  EXPECT_EQ(policy.Decide(h.slow_id, kSecond), Decision::kAccept);
+}
+
+TEST(BouncerPolicyTest, DecisionExprWithP99) {
+  PolicyHarness h;
+  ASSERT_TRUE(h.registry
+                  .SetSlo(h.slow_id, Slo{50 * kMillisecond, 80 * kMillisecond,
+                                         90 * kMillisecond})
+                  .ok());
+  BouncerPolicy::Options options = FastSwapOptions();
+  options.decision_expr = DecisionExpr::kP50OrP90OrP99;
+  BouncerPolicy policy(h.context, options);
+  // p50/p90 fine; p99 ~ 100ms > 90ms objective.
+  for (int i = 0; i < 985; ++i) policy.OnCompleted(h.slow_id, 10 * kMillisecond, 0);
+  for (int i = 0; i < 15; ++i) policy.OnCompleted(h.slow_id, 100 * kMillisecond, 0);
+  policy.ForceHistogramSwap();
+  EXPECT_EQ(policy.Decide(h.slow_id, kSecond), Decision::kReject);
+}
+
+TEST(BouncerPolicyTest, TimedSwapPublishes) {
+  PolicyHarness h;
+  BouncerPolicy::Options options = FastSwapOptions();  // 1 s interval.
+  BouncerPolicy policy(h.context, options);
+  policy.OnCompleted(h.fast_id, 5 * kMillisecond, 100);
+  EXPECT_TRUE(policy.TypeSummary(h.fast_id).empty());
+  // Crossing the interval during a later hook triggers the swap.
+  policy.OnCompleted(h.fast_id, 5 * kMillisecond, kSecond + 200);
+  EXPECT_FALSE(policy.TypeSummary(h.fast_id).empty());
+}
+
+TEST(BouncerPolicyTest, GeneralHistogramAggregatesAllTypes) {
+  PolicyHarness h;
+  BouncerPolicy policy(h.context, FastSwapOptions());
+  for (int i = 0; i < 50; ++i) {
+    policy.OnCompleted(h.fast_id, 2 * kMillisecond, 0);
+    policy.OnCompleted(h.slow_id, 10 * kMillisecond, 0);
+  }
+  policy.ForceHistogramSwap();
+  const auto general = policy.GeneralSummary();
+  EXPECT_EQ(general.count, 100u);
+  EXPECT_EQ(general.mean, 6 * kMillisecond);
+}
+
+TEST(BouncerPolicyTest, ColdTypesContributeGeneralMeanToQueueWait) {
+  PolicyHarness h(Slo{18 * kMillisecond, 50 * kMillisecond, 0},
+                  /*parallelism=*/1);
+  BouncerPolicy::Options options = FastSwapOptions();
+  options.warmup_min_samples = 10;
+  BouncerPolicy policy(h.context, options);
+  Train(policy, h.fast_id, 10 * kMillisecond, 100);
+  // A queued query of the cold "slow" type is costed at the general mean.
+  h.queue->OnEnqueued(h.slow_id);
+  EXPECT_EQ(policy.EstimateQueueWait(), 10 * kMillisecond);
+}
+
+}  // namespace
+}  // namespace bouncer

@@ -1,0 +1,125 @@
+#include "src/core/helping_underserved_policy.h"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+namespace bouncer {
+namespace {
+
+class StubPolicy : public AdmissionPolicy {
+ public:
+  Decision Decide(QueryTypeId type, Nanos) override {
+    ++decide_calls;
+    return type == favored_type ? Decision::kAccept : Decision::kReject;
+  }
+  void OnCompleted(QueryTypeId, Nanos, Nanos) override { ++completed_calls; }
+  std::string_view name() const override { return "Stub"; }
+
+  QueryTypeId favored_type = 1;  ///< Accepted; all other types rejected.
+  int decide_calls = 0;
+  int completed_calls = 0;
+};
+
+HelpingUnderservedPolicy MakePolicy(StubPolicy** stub_out, double alpha,
+                                    size_t num_types = 3) {
+  auto stub = std::make_unique<StubPolicy>();
+  *stub_out = stub.get();
+  HelpingUnderservedPolicy::Options options;
+  options.alpha = alpha;
+  return HelpingUnderservedPolicy(std::move(stub), num_types, options);
+}
+
+TEST(HelpingUnderservedTest, AlwaysAsksInnerFirst) {
+  StubPolicy* stub = nullptr;
+  auto policy = MakePolicy(&stub, 1.0);
+  (void)policy.Decide(1, 0);
+  EXPECT_EQ(stub->decide_calls, 1);
+}
+
+TEST(HelpingUnderservedTest, InnerAcceptNeverOverridden) {
+  StubPolicy* stub = nullptr;
+  auto policy = MakePolicy(&stub, 1.0);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(policy.Decide(1, 0), Decision::kAccept);
+  }
+}
+
+TEST(HelpingUnderservedTest, OverrideProbabilityFormula) {
+  StubPolicy* stub = nullptr;
+  auto policy = MakePolicy(&stub, 1.0);
+  // x = (AAR - AR)/AAR; p = alpha * x / (1 + x).
+  EXPECT_DOUBLE_EQ(policy.OverrideProbability(0.0, 1.0), 0.5);   // x=1.
+  EXPECT_DOUBLE_EQ(policy.OverrideProbability(0.5, 1.0), 0.5 / 1.5);
+  EXPECT_DOUBLE_EQ(policy.OverrideProbability(1.0, 1.0), 0.0);
+  EXPECT_DOUBLE_EQ(policy.OverrideProbability(0.8, 0.5), 0.0);  // AR >= AAR.
+  EXPECT_DOUBLE_EQ(policy.OverrideProbability(0.1, 0.0), 0.0);  // Empty AAR.
+}
+
+TEST(HelpingUnderservedTest, AlphaScalesMaxProbability) {
+  StubPolicy* stub = nullptr;
+  auto policy = MakePolicy(&stub, 0.6);
+  // p_max = alpha / 2 (paper Table 5 footnote).
+  EXPECT_DOUBLE_EQ(policy.OverrideProbability(0.0, 1.0), 0.3);
+}
+
+TEST(HelpingUnderservedTest, UnderservedTypeGetsHelped) {
+  StubPolicy* stub = nullptr;
+  auto policy = MakePolicy(&stub, 1.0);
+  // Type 1 always accepted -> AR(1)=1; type 2 always rejected by inner.
+  // After history builds, AAR > AR(2) and overrides kick in.
+  int type2_accepts = 0;
+  for (int i = 0; i < 2000; ++i) {
+    (void)policy.Decide(1, 0);
+    if (policy.Decide(2, 0) == Decision::kAccept) ++type2_accepts;
+  }
+  EXPECT_GT(type2_accepts, 100);  // Starvation is broken.
+  // But the help is bounded: p <= alpha/2.
+  EXPECT_LT(type2_accepts, 1400);
+}
+
+TEST(HelpingUnderservedTest, NoHelpWhenAllTypesEqual) {
+  StubPolicy* stub = nullptr;
+  auto policy = MakePolicy(&stub, 1.0, 2);  // Types 0 and 1 only.
+  stub->favored_type = 999;                 // Inner rejects everything.
+  // Both types rejected equally: AR == AAR per type (0 vs average 0),
+  // x = 0, no overrides ever fire.
+  int accepts = 0;
+  for (int i = 0; i < 1000; ++i) {
+    if (policy.Decide(0, 0) == Decision::kAccept) ++accepts;
+    if (policy.Decide(1, 0) == Decision::kAccept) ++accepts;
+  }
+  EXPECT_EQ(accepts, 0);
+}
+
+TEST(HelpingUnderservedTest, NameCombinesInner) {
+  StubPolicy* stub = nullptr;
+  auto policy = MakePolicy(&stub, 1.0);
+  EXPECT_EQ(policy.name(), "Stub+HelpingUnderserved");
+}
+
+TEST(HelpingUnderservedTest, HooksForwardToInner) {
+  StubPolicy* stub = nullptr;
+  auto policy = MakePolicy(&stub, 1.0);
+  policy.OnCompleted(1, 5, 10);
+  EXPECT_EQ(stub->completed_calls, 1);
+}
+
+TEST(HelpingUnderservedTest, WindowExpiryResetsHelp) {
+  auto stub_ptr = std::make_unique<StubPolicy>();
+  HelpingUnderservedPolicy::Options options;
+  options.alpha = 1.0;
+  options.window_duration = kSecond;
+  options.window_step = 10 * kMillisecond;
+  HelpingUnderservedPolicy policy(std::move(stub_ptr), 3, options);
+  for (int i = 0; i < 100; ++i) {
+    (void)policy.Decide(1, 0);
+    (void)policy.Decide(2, 0);
+  }
+  // After the window expires, all ratios reset to empty; a rejection for
+  // type 2 sees AR=0 vs AAR=0 -> no help.
+  EXPECT_EQ(policy.Decide(2, 5 * kSecond), Decision::kReject);
+}
+
+}  // namespace
+}  // namespace bouncer

@@ -1,0 +1,142 @@
+#include <gtest/gtest.h>
+
+#include "src/core/max_queue_length_policy.h"
+#include "src/core/max_queue_wait_policy.h"
+#include "src/core/queue_guard_policy.h"
+#include "tests/core/test_helpers.h"
+
+namespace bouncer {
+namespace {
+
+using ::bouncer::testing::PolicyHarness;
+
+// ---------- MaxQL ----------
+
+TEST(MaxQueueLengthTest, AcceptsBelowLimit) {
+  PolicyHarness h;
+  MaxQueueLengthPolicy policy(h.context, {.length_limit = 3});
+  EXPECT_EQ(policy.Decide(h.fast_id, 0), Decision::kAccept);
+  h.queue->OnEnqueued(h.fast_id);
+  h.queue->OnEnqueued(h.fast_id);
+  EXPECT_EQ(policy.Decide(h.fast_id, 0), Decision::kAccept);
+}
+
+TEST(MaxQueueLengthTest, RejectsAtLimit) {
+  PolicyHarness h;
+  MaxQueueLengthPolicy policy(h.context, {.length_limit = 2});
+  h.queue->OnEnqueued(h.fast_id);
+  h.queue->OnEnqueued(h.slow_id);
+  EXPECT_EQ(policy.Decide(h.fast_id, 0), Decision::kReject);
+  h.queue->OnDequeued(h.fast_id);
+  EXPECT_EQ(policy.Decide(h.fast_id, 0), Decision::kAccept);
+}
+
+TEST(MaxQueueLengthTest, ObliviousToType) {
+  PolicyHarness h;
+  MaxQueueLengthPolicy policy(h.context, {.length_limit = 1});
+  h.queue->OnEnqueued(h.fast_id);
+  EXPECT_EQ(policy.Decide(h.fast_id, 0), Decision::kReject);
+  EXPECT_EQ(policy.Decide(h.slow_id, 0), Decision::kReject);
+  EXPECT_EQ(policy.Decide(kDefaultQueryType, 0), Decision::kReject);
+}
+
+// ---------- MaxQWT ----------
+
+MaxQueueWaitPolicy::Options QwtOptions(Nanos limit) {
+  MaxQueueWaitPolicy::Options options;
+  options.wait_time_limit = limit;
+  options.window_duration = 60 * kSecond;
+  options.window_step = kSecond;
+  return options;
+}
+
+TEST(MaxQueueWaitTest, AcceptsWithEmptyQueue) {
+  PolicyHarness h;
+  MaxQueueWaitPolicy policy(h.context, QwtOptions(15 * kMillisecond));
+  EXPECT_EQ(policy.Decide(h.fast_id, 0), Decision::kAccept);
+}
+
+TEST(MaxQueueWaitTest, Equation5Estimate) {
+  PolicyHarness h(Slo{}, /*parallelism=*/4);
+  MaxQueueWaitPolicy policy(h.context, QwtOptions(15 * kMillisecond));
+  for (int i = 0; i < 10; ++i) {
+    policy.OnCompleted(h.fast_id, 8 * kMillisecond, 0);
+  }
+  for (int i = 0; i < 6; ++i) h.queue->OnEnqueued(h.fast_id);
+  // ewt = 6 * 8ms / 4 = 12 ms.
+  EXPECT_EQ(policy.EstimateQueueWait(0), 12 * kMillisecond);
+}
+
+TEST(MaxQueueWaitTest, RejectsAboveWaitLimit) {
+  PolicyHarness h(Slo{}, /*parallelism=*/2);
+  MaxQueueWaitPolicy policy(h.context, QwtOptions(15 * kMillisecond));
+  for (int i = 0; i < 10; ++i) {
+    policy.OnCompleted(h.fast_id, 10 * kMillisecond, 0);
+  }
+  // ewt = l * 10ms / 2; accept while l <= 3.
+  for (int i = 0; i < 3; ++i) h.queue->OnEnqueued(h.fast_id);
+  EXPECT_EQ(policy.Decide(h.fast_id, 0), Decision::kAccept);
+  h.queue->OnEnqueued(h.fast_id);  // l = 4 -> ewt = 20ms > 15ms.
+  EXPECT_EQ(policy.Decide(h.fast_id, 0), Decision::kReject);
+}
+
+TEST(MaxQueueWaitTest, MovingAverageAdaptsOverWindow) {
+  PolicyHarness h(Slo{}, /*parallelism=*/1);
+  MaxQueueWaitPolicy policy(h.context, QwtOptions(15 * kMillisecond));
+  policy.OnCompleted(h.fast_id, 100 * kMillisecond, 0);
+  h.queue->OnEnqueued(h.fast_id);
+  EXPECT_EQ(policy.Decide(h.fast_id, 0), Decision::kReject);
+  // Old sample leaves the 60 s window; fresh cheap samples dominate.
+  const Nanos later = 61 * kSecond;
+  policy.OnCompleted(h.fast_id, 1 * kMillisecond, later);
+  EXPECT_EQ(policy.Decide(h.fast_id, later), Decision::kAccept);
+}
+
+TEST(MaxQueueWaitTest, TypeObliviousWithGlobalLimit) {
+  PolicyHarness h(Slo{}, /*parallelism=*/1);
+  MaxQueueWaitPolicy policy(h.context, QwtOptions(15 * kMillisecond));
+  for (int i = 0; i < 10; ++i) {
+    policy.OnCompleted(h.slow_id, 20 * kMillisecond, 0);
+  }
+  h.queue->OnEnqueued(h.slow_id);
+  // Both types see the same estimate and the same limit.
+  EXPECT_EQ(policy.Decide(h.fast_id, 0), Decision::kReject);
+  EXPECT_EQ(policy.Decide(h.slow_id, 0), Decision::kReject);
+  EXPECT_EQ(policy.name(), "MaxQWT");
+}
+
+TEST(MaxQueueWaitTest, PerTypeLimits) {
+  PolicyHarness h(Slo{}, /*parallelism=*/1);
+  MaxQueueWaitPolicy::Options options = QwtOptions(15 * kMillisecond);
+  options.per_type_limits = {0, 5 * kMillisecond, 50 * kMillisecond};
+  MaxQueueWaitPolicy policy(h.context, options);
+  EXPECT_EQ(policy.LimitFor(kDefaultQueryType), 15 * kMillisecond);  // 0 -> global.
+  EXPECT_EQ(policy.LimitFor(h.fast_id), 5 * kMillisecond);
+  EXPECT_EQ(policy.LimitFor(h.slow_id), 50 * kMillisecond);
+  EXPECT_EQ(policy.LimitFor(99), 15 * kMillisecond);  // Out of range -> global.
+  EXPECT_EQ(policy.name(), "MaxQWT(per-type)");
+
+  for (int i = 0; i < 10; ++i) {
+    policy.OnCompleted(h.fast_id, 10 * kMillisecond, 0);
+  }
+  h.queue->OnEnqueued(h.fast_id);  // ewt = 10 ms.
+  EXPECT_EQ(policy.Decide(h.fast_id, 0), Decision::kReject);   // 10 > 5.
+  EXPECT_EQ(policy.Decide(h.slow_id, 0), Decision::kAccept);   // 10 < 50.
+}
+
+// ---------- QueueGuard ----------
+
+TEST(QueueGuardTest, CapsAnyPolicy) {
+  PolicyHarness h;
+  auto inner = std::make_unique<AlwaysAcceptPolicy>();
+  QueueGuardPolicy guard(std::move(inner), h.queue.get(), 2);
+  EXPECT_EQ(guard.Decide(h.fast_id, 0), Decision::kAccept);
+  h.queue->OnEnqueued(h.fast_id);
+  h.queue->OnEnqueued(h.fast_id);
+  EXPECT_EQ(guard.Decide(h.fast_id, 0), Decision::kReject);
+  EXPECT_EQ(guard.name(), "AlwaysAccept+QueueGuard");
+  EXPECT_EQ(guard.length_limit(), 2u);
+}
+
+}  // namespace
+}  // namespace bouncer

@@ -1,0 +1,101 @@
+// Concurrency exercises: policies must tolerate simultaneous Decide()
+// calls and metric hooks from many threads (the server Stage does exactly
+// this), keeping counters consistent and never crashing. Parameterized
+// across every policy kind.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <thread>
+#include <vector>
+
+#include "src/core/policy_factory.h"
+#include "src/util/clock.h"
+#include "src/util/rng.h"
+
+namespace bouncer {
+namespace {
+
+class PolicyConcurrency : public ::testing::TestWithParam<PolicyKind> {};
+
+TEST_P(PolicyConcurrency, ParallelDecideAndHooks) {
+  QueryTypeRegistry registry(Slo{18 * kMillisecond, 50 * kMillisecond, 0});
+  for (int i = 0; i < 6; ++i) {
+    ASSERT_TRUE(registry
+                    .Register("T" + std::to_string(i),
+                              {18 * kMillisecond, 50 * kMillisecond, 0})
+                    .ok());
+  }
+  QueueState queue(registry.size());
+  PolicyContext context{&registry, &queue, 16};
+  PolicyConfig config;
+  config.kind = GetParam();
+  config.queue_guard_limit = 1000;
+  auto policy = CreatePolicy(config, context);
+  ASSERT_TRUE(policy.ok());
+
+  ManualClock clock;
+  std::atomic<bool> stop{false};
+  std::atomic<uint64_t> accepts{0};
+  std::atomic<uint64_t> rejects{0};
+
+  // A time-driver thread advances the clock so swap/update intervals and
+  // sliding windows all rotate during the run.
+  std::thread time_driver([&] {
+    while (!stop.load(std::memory_order_acquire)) {
+      clock.Advance(50 * kMillisecond);
+      std::this_thread::yield();
+    }
+  });
+
+  std::vector<std::thread> workers;
+  for (int t = 0; t < 4; ++t) {
+    workers.emplace_back([&, t] {
+      Rng rng(100 + t);
+      for (int i = 0; i < 30'000; ++i) {
+        const auto type = static_cast<QueryTypeId>(1 + rng.NextBounded(6));
+        const Nanos now = clock.Now();
+        const Decision decision = (*policy)->Decide(type, now);
+        if (decision == Decision::kAccept) {
+          accepts.fetch_add(1, std::memory_order_relaxed);
+          queue.OnEnqueued(type);
+          (*policy)->OnEnqueued(type, now);
+          const Nanos wait = static_cast<Nanos>(rng.NextBounded(kMillisecond));
+          queue.OnDequeued(type);
+          (*policy)->OnDequeued(type, wait, now + wait);
+          const auto pt = static_cast<Nanos>(
+              kMillisecond + rng.NextBounded(20 * kMillisecond));
+          (*policy)->OnCompleted(type, pt, now + wait + pt);
+        } else {
+          rejects.fetch_add(1, std::memory_order_relaxed);
+          (*policy)->OnRejected(type, now);
+        }
+      }
+    });
+  }
+  for (auto& w : workers) w.join();
+  stop.store(true, std::memory_order_release);
+  time_driver.join();
+
+  EXPECT_EQ(accepts.load() + rejects.load(), 4u * 30'000u);
+  // Balanced enqueue/dequeue above: the shared queue must end empty.
+  EXPECT_EQ(queue.TotalLength(), 0u);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllPolicies, PolicyConcurrency,
+    ::testing::Values(PolicyKind::kAlwaysAccept, PolicyKind::kBouncer,
+                      PolicyKind::kBouncerWithAllowance,
+                      PolicyKind::kBouncerWithUnderserved,
+                      PolicyKind::kMaxQueueLength, PolicyKind::kMaxQueueWait,
+                      PolicyKind::kAcceptFraction),
+    [](const ::testing::TestParamInfo<PolicyKind>& info) {
+      std::string name(PolicyKindName(info.param));
+      for (char& c : name) {
+        if (c == '+') c = '_';
+      }
+      return name;
+    });
+
+}  // namespace
+}  // namespace bouncer

@@ -1,0 +1,115 @@
+#include "src/core/policy_factory.h"
+
+#include <gtest/gtest.h>
+
+#include "tests/core/test_helpers.h"
+
+namespace bouncer {
+namespace {
+
+using ::bouncer::testing::PolicyHarness;
+
+TEST(PolicyFactoryTest, BuildsEveryKind) {
+  PolicyHarness h;
+  const struct {
+    PolicyKind kind;
+    std::string_view expected_name;
+  } cases[] = {
+      {PolicyKind::kAlwaysAccept, "AlwaysAccept"},
+      {PolicyKind::kBouncer, "Bouncer"},
+      {PolicyKind::kBouncerWithAllowance, "Bouncer+AcceptanceAllowance"},
+      {PolicyKind::kBouncerWithUnderserved, "Bouncer+HelpingUnderserved"},
+      {PolicyKind::kMaxQueueLength, "MaxQL"},
+      {PolicyKind::kMaxQueueWait, "MaxQWT"},
+      {PolicyKind::kAcceptFraction, "AcceptFraction"},
+  };
+  for (const auto& c : cases) {
+    PolicyConfig config;
+    config.kind = c.kind;
+    auto policy = CreatePolicy(config, h.context);
+    ASSERT_TRUE(policy.ok()) << PolicyKindName(c.kind);
+    EXPECT_EQ((*policy)->name(), c.expected_name);
+  }
+}
+
+TEST(PolicyFactoryTest, KindNamesStable) {
+  EXPECT_EQ(PolicyKindName(PolicyKind::kBouncer), "Bouncer");
+  EXPECT_EQ(PolicyKindName(PolicyKind::kAcceptFraction), "AcceptFraction");
+}
+
+TEST(PolicyFactoryTest, QueueGuardWrapping) {
+  PolicyHarness h;
+  PolicyConfig config;
+  config.kind = PolicyKind::kBouncer;
+  config.queue_guard_limit = 800;
+  auto policy = CreatePolicy(config, h.context);
+  ASSERT_TRUE(policy.ok());
+  EXPECT_EQ((*policy)->name(), "Bouncer+QueueGuard");
+}
+
+TEST(PolicyFactoryTest, RequiresRegistryAndQueue) {
+  PolicyConfig config;
+  PolicyContext context;  // Null registry/queue.
+  EXPECT_EQ(CreatePolicy(config, context).status().code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST(PolicyFactoryTest, QueueMustCoverRegistry) {
+  PolicyHarness h;
+  QueueState small_queue(1);  // Registry has 3 types.
+  PolicyContext context{&h.registry, &small_queue, 4};
+  EXPECT_FALSE(CreatePolicy(PolicyConfig{}, context).ok());
+}
+
+TEST(PolicyFactoryTest, ValidatesAllowanceRange) {
+  PolicyHarness h;
+  PolicyConfig config;
+  config.kind = PolicyKind::kBouncerWithAllowance;
+  config.allowance.allowance = 1.5;
+  EXPECT_FALSE(CreatePolicy(config, h.context).ok());
+  config.allowance.allowance = -0.1;
+  EXPECT_FALSE(CreatePolicy(config, h.context).ok());
+  config.allowance.allowance = 0.05;
+  EXPECT_TRUE(CreatePolicy(config, h.context).ok());
+}
+
+TEST(PolicyFactoryTest, ValidatesAlphaRange) {
+  PolicyHarness h;
+  PolicyConfig config;
+  config.kind = PolicyKind::kBouncerWithUnderserved;
+  config.underserved.alpha = 0.0;
+  EXPECT_FALSE(CreatePolicy(config, h.context).ok());
+  config.underserved.alpha = 1.1;
+  EXPECT_FALSE(CreatePolicy(config, h.context).ok());
+  config.underserved.alpha = 1.0;
+  EXPECT_TRUE(CreatePolicy(config, h.context).ok());
+}
+
+TEST(PolicyFactoryTest, ValidatesMaxQlLimit) {
+  PolicyHarness h;
+  PolicyConfig config;
+  config.kind = PolicyKind::kMaxQueueLength;
+  config.max_queue_length.length_limit = 0;
+  EXPECT_FALSE(CreatePolicy(config, h.context).ok());
+}
+
+TEST(PolicyFactoryTest, ValidatesMaxQwtLimit) {
+  PolicyHarness h;
+  PolicyConfig config;
+  config.kind = PolicyKind::kMaxQueueWait;
+  config.max_queue_wait.wait_time_limit = 0;
+  EXPECT_FALSE(CreatePolicy(config, h.context).ok());
+}
+
+TEST(PolicyFactoryTest, ValidatesUtilization) {
+  PolicyHarness h;
+  PolicyConfig config;
+  config.kind = PolicyKind::kAcceptFraction;
+  config.accept_fraction.max_utilization = 0.0;
+  EXPECT_FALSE(CreatePolicy(config, h.context).ok());
+  config.accept_fraction.max_utilization = 1.01;
+  EXPECT_FALSE(CreatePolicy(config, h.context).ok());
+}
+
+}  // namespace
+}  // namespace bouncer

@@ -1,0 +1,111 @@
+// Tests for the priority-aware wait estimate (paper §7 future work):
+// when queries are served by priority, a high-priority query's estimated
+// wait must exclude lower-priority queued work, and admission decisions
+// must follow.
+
+#include <gtest/gtest.h>
+
+#include "src/core/bouncer_policy.h"
+#include "tests/core/test_helpers.h"
+
+namespace bouncer {
+namespace {
+
+using ::bouncer::testing::PolicyHarness;
+
+BouncerPolicy::Options PriorityOptions(std::vector<int> priorities) {
+  BouncerPolicy::Options options;
+  options.histogram_swap_interval = kSecond;
+  options.type_priorities = std::move(priorities);
+  return options;
+}
+
+void Train(BouncerPolicy& policy, QueryTypeId type, Nanos pt) {
+  for (int i = 0; i < 100; ++i) policy.OnCompleted(type, pt, 0);
+  policy.ForceHistogramSwap();
+}
+
+TEST(PriorityBouncerTest, HighPriorityIgnoresLowPriorityWork) {
+  // Types: default(0)=prio 0, fast(1)=prio 0, slow(2)=prio 5.
+  PolicyHarness h(Slo{18 * kMillisecond, 50 * kMillisecond, 0},
+                  /*parallelism=*/1);
+  BouncerPolicy policy(h.context, PriorityOptions({0, 0, 5}));
+  Train(policy, h.fast_id, 4 * kMillisecond);
+  Train(policy, h.slow_id, 20 * kMillisecond);
+  // Queue: 2 slow (prio 5), 1 fast (prio 0).
+  h.queue->OnEnqueued(h.slow_id);
+  h.queue->OnEnqueued(h.slow_id);
+  h.queue->OnEnqueued(h.fast_id);
+  // Fast (prio 0) only waits behind fast work: 1 x 4 ms.
+  EXPECT_EQ(policy.EstimateQueueWait(h.fast_id), 4 * kMillisecond);
+  // Slow (prio 5) waits behind everything: 2x20 + 1x4 = 44 ms.
+  EXPECT_EQ(policy.EstimateQueueWait(h.slow_id), 44 * kMillisecond);
+}
+
+TEST(PriorityBouncerTest, EqualPriorityCountsEachOther) {
+  PolicyHarness h(Slo{18 * kMillisecond, 50 * kMillisecond, 0},
+                  /*parallelism=*/1);
+  BouncerPolicy policy(h.context, PriorityOptions({0, 3, 3}));
+  Train(policy, h.fast_id, 4 * kMillisecond);
+  Train(policy, h.slow_id, 20 * kMillisecond);
+  h.queue->OnEnqueued(h.fast_id);
+  h.queue->OnEnqueued(h.slow_id);
+  EXPECT_EQ(policy.EstimateQueueWait(h.fast_id), 24 * kMillisecond);
+  EXPECT_EQ(policy.EstimateQueueWait(h.slow_id), 24 * kMillisecond);
+}
+
+TEST(PriorityBouncerTest, MissingEntriesDefaultToZero) {
+  PolicyHarness h(Slo{18 * kMillisecond, 50 * kMillisecond, 0},
+                  /*parallelism=*/1);
+  // Only the default type's priority listed; fast/slow default to 0.
+  BouncerPolicy policy(h.context, PriorityOptions({7}));
+  Train(policy, h.fast_id, 4 * kMillisecond);
+  h.queue->OnEnqueued(h.fast_id);
+  // Fast has priority 0 < default's 7, so default-type queries wait
+  // behind fast but not vice versa... fast only behind prio <= 0 work.
+  EXPECT_EQ(policy.EstimateQueueWait(h.fast_id), 4 * kMillisecond);
+  EXPECT_EQ(policy.EstimateQueueWait(kDefaultQueryType), 4 * kMillisecond);
+}
+
+TEST(PriorityBouncerTest, EmptyPrioritiesIsFifoFormulation) {
+  PolicyHarness h(Slo{18 * kMillisecond, 50 * kMillisecond, 0},
+                  /*parallelism=*/1);
+  BouncerPolicy::Options options;
+  options.histogram_swap_interval = kSecond;
+  BouncerPolicy policy(h.context, options);
+  Train(policy, h.fast_id, 4 * kMillisecond);
+  Train(policy, h.slow_id, 20 * kMillisecond);
+  h.queue->OnEnqueued(h.slow_id);
+  h.queue->OnEnqueued(h.fast_id);
+  // Same estimate regardless of the asking type.
+  EXPECT_EQ(policy.EstimateQueueWait(h.fast_id), 24 * kMillisecond);
+  EXPECT_EQ(policy.EstimateQueueWait(h.slow_id), 24 * kMillisecond);
+}
+
+TEST(PriorityBouncerTest, AdmissionFollowsPriorityEstimate) {
+  PolicyHarness h(Slo{18 * kMillisecond, 50 * kMillisecond, 0},
+                  /*parallelism=*/1);
+  BouncerPolicy policy(h.context, PriorityOptions({0, 0, 5}));
+  Train(policy, h.fast_id, 4 * kMillisecond);
+  Train(policy, h.slow_id, 16 * kMillisecond);
+  // A pile of queued slow work would push a FIFO estimate over the SLO...
+  for (int i = 0; i < 10; ++i) h.queue->OnEnqueued(h.slow_id);
+  // ...but fast (higher priority) jumps it: ewt(fast)=0, ert ~4ms.
+  EXPECT_EQ(policy.Decide(h.fast_id, kSecond), Decision::kAccept);
+  // Slow sees 10x16ms of equal-priority work ahead: rejected.
+  EXPECT_EQ(policy.Decide(h.slow_id, kSecond), Decision::kReject);
+}
+
+TEST(PriorityBouncerTest, EstimateForReportsPriorityAwareWait) {
+  PolicyHarness h(Slo{18 * kMillisecond, 50 * kMillisecond, 0},
+                  /*parallelism=*/1);
+  BouncerPolicy policy(h.context, PriorityOptions({0, 0, 5}));
+  Train(policy, h.fast_id, 4 * kMillisecond);
+  Train(policy, h.slow_id, 20 * kMillisecond);
+  h.queue->OnEnqueued(h.slow_id);
+  EXPECT_EQ(policy.EstimateFor(h.fast_id, 0).ewt_mean, 0);
+  EXPECT_EQ(policy.EstimateFor(h.slow_id, 0).ewt_mean, 20 * kMillisecond);
+}
+
+}  // namespace
+}  // namespace bouncer

@@ -1,0 +1,86 @@
+#include "src/core/query_type_registry.h"
+
+#include <gtest/gtest.h>
+
+namespace bouncer {
+namespace {
+
+const Slo kSlo{10 * kMillisecond, 40 * kMillisecond, 0};
+
+TEST(QueryTypeRegistryTest, DefaultTypeAlwaysPresent) {
+  QueryTypeRegistry registry(kSlo);
+  EXPECT_EQ(registry.size(), 1u);
+  EXPECT_EQ(registry.Name(kDefaultQueryType), "default");
+  EXPECT_EQ(registry.GetSlo(kDefaultQueryType), kSlo);
+}
+
+TEST(QueryTypeRegistryTest, RegisterAssignsDenseIds) {
+  QueryTypeRegistry registry(kSlo);
+  auto a = registry.Register("GetFriends", kSlo);
+  auto b = registry.Register("GraphDistance", kSlo);
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  EXPECT_EQ(*a, 1u);
+  EXPECT_EQ(*b, 2u);
+  EXPECT_EQ(registry.size(), 3u);
+  EXPECT_EQ(registry.Name(1), "GetFriends");
+}
+
+TEST(QueryTypeRegistryTest, DuplicateRejected) {
+  QueryTypeRegistry registry(kSlo);
+  ASSERT_TRUE(registry.Register("A", kSlo).ok());
+  const auto dup = registry.Register("A", kSlo);
+  EXPECT_FALSE(dup.ok());
+  EXPECT_EQ(dup.status().code(), StatusCode::kAlreadyExists);
+}
+
+TEST(QueryTypeRegistryTest, EmptyNameRejected) {
+  QueryTypeRegistry registry(kSlo);
+  EXPECT_EQ(registry.Register("", kSlo).status().code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST(QueryTypeRegistryTest, RegisteringDefaultAgainRejected) {
+  QueryTypeRegistry registry(kSlo);
+  EXPECT_FALSE(registry.Register("default", kSlo).ok());
+}
+
+TEST(QueryTypeRegistryTest, ResolveKnownType) {
+  QueryTypeRegistry registry(kSlo);
+  const auto id = *registry.Register("Fast", kSlo);
+  EXPECT_EQ(registry.Resolve("Fast"), id);
+}
+
+TEST(QueryTypeRegistryTest, ResolveUnknownFallsBackToDefault) {
+  QueryTypeRegistry registry(kSlo);
+  EXPECT_EQ(registry.Resolve("nope"), kDefaultQueryType);
+}
+
+TEST(QueryTypeRegistryTest, FindUnknownIsNotFound) {
+  QueryTypeRegistry registry(kSlo);
+  EXPECT_EQ(registry.Find("nope").status().code(), StatusCode::kNotFound);
+}
+
+TEST(QueryTypeRegistryTest, PerTypeSlos) {
+  QueryTypeRegistry registry(kSlo);
+  const Slo tight{5 * kMillisecond, 20 * kMillisecond, 0};
+  const auto id = *registry.Register("Tight", tight);
+  EXPECT_EQ(registry.GetSlo(id), tight);
+  EXPECT_EQ(registry.GetSlo(kDefaultQueryType), kSlo);
+}
+
+TEST(QueryTypeRegistryTest, SetSloReplaces) {
+  QueryTypeRegistry registry(kSlo);
+  const auto id = *registry.Register("T", kSlo);
+  const Slo updated{1 * kMillisecond, 2 * kMillisecond, 3 * kMillisecond};
+  ASSERT_TRUE(registry.SetSlo(id, updated).ok());
+  EXPECT_EQ(registry.GetSlo(id), updated);
+}
+
+TEST(QueryTypeRegistryTest, SetSloOutOfRange) {
+  QueryTypeRegistry registry(kSlo);
+  EXPECT_EQ(registry.SetSlo(99, kSlo).code(), StatusCode::kOutOfRange);
+}
+
+}  // namespace
+}  // namespace bouncer

@@ -1,0 +1,57 @@
+#include "src/core/queue_state.h"
+
+#include <gtest/gtest.h>
+
+#include <thread>
+#include <vector>
+
+namespace bouncer {
+namespace {
+
+TEST(QueueStateTest, StartsEmpty) {
+  QueueState q(3);
+  EXPECT_EQ(q.TotalLength(), 0u);
+  for (QueryTypeId t = 0; t < 3; ++t) EXPECT_EQ(q.CountForType(t), 0u);
+}
+
+TEST(QueueStateTest, EnqueueDequeueBalance) {
+  QueueState q(2);
+  q.OnEnqueued(1);
+  q.OnEnqueued(1);
+  q.OnEnqueued(0);
+  EXPECT_EQ(q.TotalLength(), 3u);
+  EXPECT_EQ(q.CountForType(1), 2u);
+  EXPECT_EQ(q.CountForType(0), 1u);
+  q.OnDequeued(1);
+  EXPECT_EQ(q.TotalLength(), 2u);
+  EXPECT_EQ(q.CountForType(1), 1u);
+}
+
+TEST(QueueStateTest, OutOfRangeReadIsZero) {
+  QueueState q(1);
+  EXPECT_EQ(q.CountForType(42), 0u);
+}
+
+TEST(QueueStateTest, NumTypes) {
+  QueueState q(5);
+  EXPECT_EQ(q.num_types(), 5u);
+}
+
+TEST(QueueStateTest, ConcurrentBalancedTraffic) {
+  QueueState q(4);
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 4; ++t) {
+    threads.emplace_back([&q, t] {
+      for (int i = 0; i < 50000; ++i) {
+        q.OnEnqueued(static_cast<QueryTypeId>(t));
+        q.OnDequeued(static_cast<QueryTypeId>(t));
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  EXPECT_EQ(q.TotalLength(), 0u);
+  for (QueryTypeId t = 0; t < 4; ++t) EXPECT_EQ(q.CountForType(t), 0u);
+}
+
+}  // namespace
+}  // namespace bouncer

@@ -1,0 +1,136 @@
+#include "src/core/slo_config.h"
+
+#include <gtest/gtest.h>
+
+namespace bouncer {
+namespace {
+
+TEST(ParseDurationTest, Units) {
+  EXPECT_EQ(*ParseDuration("10ms"), 10 * kMillisecond);
+  EXPECT_EQ(*ParseDuration("250us"), 250 * kMicrosecond);
+  EXPECT_EQ(*ParseDuration("2s"), 2 * kSecond);
+  EXPECT_EQ(*ParseDuration("7ns"), 7);
+}
+
+TEST(ParseDurationTest, Fractions) {
+  EXPECT_EQ(*ParseDuration("1.5ms"), 1'500'000);
+  EXPECT_EQ(*ParseDuration("0.25s"), 250 * kMillisecond);
+}
+
+TEST(ParseDurationTest, Errors) {
+  EXPECT_FALSE(ParseDuration("").ok());
+  EXPECT_FALSE(ParseDuration("ms").ok());
+  EXPECT_FALSE(ParseDuration("10").ok());
+  EXPECT_FALSE(ParseDuration("10min").ok());
+  EXPECT_FALSE(ParseDuration("1..5ms").ok());
+}
+
+TEST(FormatDurationTest, PicksLargestExactUnit) {
+  EXPECT_EQ(FormatDuration(10 * kMillisecond), "10ms");
+  EXPECT_EQ(FormatDuration(2 * kSecond), "2s");
+  EXPECT_EQ(FormatDuration(1'500'000), "1500us");
+  EXPECT_EQ(FormatDuration(7), "7ns");
+  EXPECT_EQ(FormatDuration(0), "0ms");
+}
+
+TEST(FormatDurationTest, RoundTripsThroughParse) {
+  for (Nanos v : {Nanos{1}, Nanos{999}, 5 * kMicrosecond, 18 * kMillisecond,
+                  50 * kMillisecond, 3 * kSecond}) {
+    EXPECT_EQ(*ParseDuration(FormatDuration(v)), v);
+  }
+}
+
+TEST(ParseSloConfigTest, PaperExample) {
+  QueryTypeRegistry registry;
+  const Status status = ParseSloConfig(
+      R"("Fast":{p50=10ms, p90=90ms}, "Slow":{p50=60ms, p90=270ms},
+         "default":{p50=30ms, p90=400ms})",
+      &registry);
+  ASSERT_TRUE(status.ok()) << status.ToString();
+  EXPECT_EQ(registry.size(), 3u);
+  const QueryTypeId fast = *registry.Find("Fast");
+  EXPECT_EQ(registry.GetSlo(fast).p50, 10 * kMillisecond);
+  EXPECT_EQ(registry.GetSlo(fast).p90, 90 * kMillisecond);
+  EXPECT_EQ(registry.GetSlo(kDefaultQueryType).p50, 30 * kMillisecond);
+  EXPECT_EQ(registry.GetSlo(kDefaultQueryType).p90, 400 * kMillisecond);
+}
+
+TEST(ParseSloConfigTest, P99Objective) {
+  QueryTypeRegistry registry;
+  ASSERT_TRUE(
+      ParseSloConfig(R"("T":{p50=1ms, p90=5ms, p99=20ms})", &registry).ok());
+  EXPECT_EQ(registry.GetSlo(*registry.Find("T")).p99, 20 * kMillisecond);
+}
+
+TEST(ParseSloConfigTest, WhitespaceAndTrailingComma) {
+  QueryTypeRegistry registry;
+  ASSERT_TRUE(ParseSloConfig("  \"A\" : { p50 = 1ms } ,\n", &registry).ok());
+  EXPECT_TRUE(registry.Find("A").ok());
+}
+
+TEST(ParseSloConfigTest, EmptyConfigIsOk) {
+  QueryTypeRegistry registry;
+  EXPECT_TRUE(ParseSloConfig("", &registry).ok());
+  EXPECT_EQ(registry.size(), 1u);  // Just the default type.
+}
+
+TEST(ParseSloConfigTest, RejectsMalformedSyntax) {
+  const char* bad[] = {
+      R"("A"{p50=1ms})",            // Missing colon.
+      R"("A":{p50=1ms)",            // Unterminated block.
+      R"("A":{})",                  // Empty block.
+      R"("A":{p75=1ms})",           // Unknown objective.
+      R"("A":{p50:1ms})",           // Wrong separator.
+      R"(A:{p50=1ms})",             // Unquoted name.
+      R"("A":{p50=1ms} "B":{p50=1ms})",  // Missing comma.
+      R"("A":{p50=9xy})",           // Bad unit.
+  };
+  for (const char* config : bad) {
+    QueryTypeRegistry registry;
+    EXPECT_FALSE(ParseSloConfig(config, &registry).ok()) << config;
+  }
+}
+
+TEST(ParseSloConfigTest, RejectsDuplicateTypes) {
+  QueryTypeRegistry registry;
+  EXPECT_FALSE(
+      ParseSloConfig(R"("A":{p50=1ms}, "A":{p50=2ms})", &registry).ok());
+}
+
+TEST(ParseSloConfigTest, RejectsUnorderedObjectives) {
+  QueryTypeRegistry registry;
+  EXPECT_FALSE(ParseSloConfig(R"("A":{p50=10ms, p90=5ms})", &registry).ok());
+  QueryTypeRegistry registry2;
+  EXPECT_FALSE(
+      ParseSloConfig(R"("A":{p90=10ms, p99=5ms})", &registry2).ok());
+}
+
+TEST(ParseSloConfigTest, ErrorNamesOffset) {
+  QueryTypeRegistry registry;
+  const Status status = ParseSloConfig(R"("A":{p50=1ms} X)", &registry);
+  ASSERT_FALSE(status.ok());
+  EXPECT_NE(status.message().find("offset"), std::string::npos);
+}
+
+TEST(FormatSloConfigTest, RoundTrip) {
+  QueryTypeRegistry registry({30 * kMillisecond, 400 * kMillisecond, 0});
+  ASSERT_TRUE(registry
+                  .Register("Fast", {10 * kMillisecond, 90 * kMillisecond, 0})
+                  .ok());
+  ASSERT_TRUE(registry
+                  .Register("Slow", {60 * kMillisecond, 270 * kMillisecond,
+                                     kSecond})
+                  .ok());
+  const std::string formatted = FormatSloConfig(registry);
+
+  QueryTypeRegistry reparsed;
+  ASSERT_TRUE(ParseSloConfig(formatted, &reparsed).ok()) << formatted;
+  ASSERT_EQ(reparsed.size(), registry.size());
+  for (QueryTypeId id = 0; id < registry.size(); ++id) {
+    EXPECT_EQ(reparsed.GetSlo(id), registry.GetSlo(id)) << id;
+    EXPECT_EQ(reparsed.Name(id), registry.Name(id));
+  }
+}
+
+}  // namespace
+}  // namespace bouncer

@@ -1,0 +1,41 @@
+#ifndef BOUNCER_TESTS_CORE_TEST_HELPERS_H_
+#define BOUNCER_TESTS_CORE_TEST_HELPERS_H_
+
+#include <memory>
+
+#include "src/core/admission_policy.h"
+#include "src/core/query_type_registry.h"
+#include "src/core/queue_state.h"
+
+namespace bouncer::testing {
+
+/// A registry with two types, "fast" (id 1) and "slow" (id 2), plus the
+/// default type (id 0), and a matching QueueState — the standard fixture
+/// scaffold for policy tests.
+struct PolicyHarness {
+  explicit PolicyHarness(const Slo& default_slo = Slo{18 * kMillisecond,
+                                                      50 * kMillisecond, 0},
+                         size_t parallelism = 4)
+      : registry(default_slo) {
+    fast_id = *registry.Register("fast", default_slo);
+    slow_id = *registry.Register("slow", default_slo);
+    queue = std::make_unique<QueueState>(registry.size());
+    context = PolicyContext{&registry, queue.get(), parallelism};
+  }
+
+  /// Simulates one completed query so policies learn processing times.
+  void Complete(AdmissionPolicy& policy, QueryTypeId type, Nanos pt,
+                Nanos now) {
+    policy.OnCompleted(type, pt, now);
+  }
+
+  QueryTypeRegistry registry;
+  std::unique_ptr<QueueState> queue;
+  PolicyContext context;
+  QueryTypeId fast_id = 0;
+  QueryTypeId slow_id = 0;
+};
+
+}  // namespace bouncer::testing
+
+#endif  // BOUNCER_TESTS_CORE_TEST_HELPERS_H_

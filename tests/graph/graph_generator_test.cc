@@ -1,0 +1,96 @@
+#include "src/graph/graph_generator.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <vector>
+
+namespace bouncer::graph {
+namespace {
+
+TEST(GraphGeneratorTest, ProducesRequestedSize) {
+  GeneratorOptions options;
+  options.num_vertices = 5000;
+  options.edges_per_vertex = 4;
+  const GraphStore g = GeneratePreferentialAttachment(options);
+  EXPECT_EQ(g.num_vertices(), 5000u);
+  // Roughly 2 * m * n directed edges (minus duplicates/self-loops).
+  EXPECT_GT(g.num_edges(), 30000u);
+  EXPECT_LT(g.num_edges(), 45000u);
+}
+
+TEST(GraphGeneratorTest, DeterministicForSeed) {
+  GeneratorOptions options;
+  options.num_vertices = 2000;
+  options.seed = 99;
+  const GraphStore a = GeneratePreferentialAttachment(options);
+  const GraphStore b = GeneratePreferentialAttachment(options);
+  ASSERT_EQ(a.num_edges(), b.num_edges());
+  for (uint32_t v = 0; v < a.num_vertices(); v += 97) {
+    EXPECT_EQ(a.Degree(v), b.Degree(v));
+  }
+}
+
+TEST(GraphGeneratorTest, SeedChangesGraph) {
+  GeneratorOptions a_options;
+  a_options.num_vertices = 2000;
+  a_options.seed = 1;
+  GeneratorOptions b_options = a_options;
+  b_options.seed = 2;
+  const GraphStore a = GeneratePreferentialAttachment(a_options);
+  const GraphStore b = GeneratePreferentialAttachment(b_options);
+  int differing = 0;
+  for (uint32_t v = 0; v < 2000; ++v) {
+    if (a.Degree(v) != b.Degree(v)) ++differing;
+  }
+  EXPECT_GT(differing, 100);
+}
+
+TEST(GraphGeneratorTest, HeavyTailedDegrees) {
+  GeneratorOptions options;
+  options.num_vertices = 20000;
+  options.edges_per_vertex = 8;
+  const GraphStore g = GeneratePreferentialAttachment(options);
+  uint32_t max_degree = 0;
+  double sum = 0;
+  for (uint32_t v = 0; v < g.num_vertices(); ++v) {
+    max_degree = std::max(max_degree, g.Degree(v));
+    sum += g.Degree(v);
+  }
+  const double mean = sum / g.num_vertices();
+  // Preferential attachment: hubs far above the mean degree.
+  EXPECT_GT(max_degree, 10 * mean);
+}
+
+TEST(GraphGeneratorTest, UndirectedSymmetry) {
+  GeneratorOptions options;
+  options.num_vertices = 3000;
+  const GraphStore g = GeneratePreferentialAttachment(options);
+  for (uint32_t v = 0; v < g.num_vertices(); v += 131) {
+    for (uint32_t u : g.Neighbors(v)) {
+      EXPECT_TRUE(g.HasEdge(u, v)) << u << "->" << v;
+    }
+  }
+}
+
+TEST(GraphGeneratorTest, NoSelfLoops) {
+  GeneratorOptions options;
+  options.num_vertices = 3000;
+  const GraphStore g = GeneratePreferentialAttachment(options);
+  for (uint32_t v = 0; v < g.num_vertices(); ++v) {
+    EXPECT_FALSE(g.HasEdge(v, v)) << v;
+  }
+}
+
+TEST(GraphGeneratorTest, ConnectedFromSeedClique) {
+  // Every vertex attaches to existing vertices, so no isolated vertices.
+  GeneratorOptions options;
+  options.num_vertices = 5000;
+  const GraphStore g = GeneratePreferentialAttachment(options);
+  for (uint32_t v = 0; v < g.num_vertices(); ++v) {
+    EXPECT_GT(g.Degree(v), 0u) << v;
+  }
+}
+
+}  // namespace
+}  // namespace bouncer::graph

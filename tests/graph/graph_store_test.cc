@@ -1,0 +1,105 @@
+#include "src/graph/graph_store.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+namespace bouncer::graph {
+namespace {
+
+GraphStore Triangle() {
+  GraphBuilder builder(3);
+  builder.AddUndirectedEdge(0, 1);
+  builder.AddUndirectedEdge(1, 2);
+  builder.AddUndirectedEdge(0, 2);
+  return std::move(builder).Build();
+}
+
+TEST(GraphStoreTest, EmptyStore) {
+  GraphStore store;
+  EXPECT_EQ(store.num_vertices(), 0u);
+  EXPECT_EQ(store.num_edges(), 0u);
+  EXPECT_TRUE(store.Neighbors(0).empty());
+  EXPECT_EQ(store.Degree(5), 0u);
+}
+
+TEST(GraphStoreTest, TriangleAdjacency) {
+  const GraphStore store = Triangle();
+  EXPECT_EQ(store.num_vertices(), 3u);
+  EXPECT_EQ(store.num_edges(), 6u);  // Directed count, both ways.
+  for (uint32_t v = 0; v < 3; ++v) EXPECT_EQ(store.Degree(v), 2u);
+  const auto n0 = store.Neighbors(0);
+  EXPECT_EQ(std::vector<uint32_t>(n0.begin(), n0.end()),
+            (std::vector<uint32_t>{1, 2}));
+}
+
+TEST(GraphStoreTest, NeighborsAreSorted) {
+  GraphBuilder builder(5);
+  builder.AddEdge(0, 4);
+  builder.AddEdge(0, 1);
+  builder.AddEdge(0, 3);
+  const GraphStore store = std::move(builder).Build();
+  const auto n = store.Neighbors(0);
+  EXPECT_TRUE(std::is_sorted(n.begin(), n.end()));
+}
+
+TEST(GraphStoreTest, DuplicateEdgesCollapse) {
+  GraphBuilder builder(2);
+  builder.AddEdge(0, 1);
+  builder.AddEdge(0, 1);
+  builder.AddEdge(0, 1);
+  const GraphStore store = std::move(builder).Build();
+  EXPECT_EQ(store.Degree(0), 1u);
+}
+
+TEST(GraphStoreTest, OutOfRangeEdgesIgnored) {
+  GraphBuilder builder(2);
+  builder.AddEdge(0, 5);
+  builder.AddEdge(7, 1);
+  const GraphStore store = std::move(builder).Build();
+  EXPECT_EQ(store.num_edges(), 0u);
+}
+
+TEST(GraphStoreTest, HasEdge) {
+  const GraphStore store = Triangle();
+  EXPECT_TRUE(store.HasEdge(0, 1));
+  EXPECT_TRUE(store.HasEdge(2, 0));
+  GraphBuilder builder(3);
+  builder.AddEdge(0, 1);  // Directed only.
+  const GraphStore directed = std::move(builder).Build();
+  EXPECT_TRUE(directed.HasEdge(0, 1));
+  EXPECT_FALSE(directed.HasEdge(1, 0));
+}
+
+TEST(GraphStoreTest, ExternalIdsUniqueAndIndexed) {
+  GraphBuilder builder(1000);
+  const GraphStore store = std::move(builder).Build();
+  std::vector<uint64_t> ids;
+  for (uint32_t v = 0; v < 1000; ++v) {
+    const uint64_t id = store.ExternalId(v);
+    EXPECT_NE(id, 0u);
+    ids.push_back(id);
+    const auto found = store.FindByExternalId(id);
+    ASSERT_TRUE(found.ok()) << "vertex " << v;
+    EXPECT_EQ(*found, v);
+  }
+  std::sort(ids.begin(), ids.end());
+  EXPECT_EQ(std::adjacent_find(ids.begin(), ids.end()), ids.end());
+}
+
+TEST(GraphStoreTest, UnknownExternalIdNotFound) {
+  GraphBuilder builder(10);
+  const GraphStore store = std::move(builder).Build();
+  EXPECT_EQ(store.FindByExternalId(0xdeadbeefdeadbeefULL).status().code(),
+            StatusCode::kNotFound);
+  EXPECT_FALSE(store.FindByExternalId(0).ok());
+}
+
+TEST(GraphStoreTest, ExternalIdOutOfRange) {
+  GraphBuilder builder(2);
+  const GraphStore store = std::move(builder).Build();
+  EXPECT_EQ(store.ExternalId(99), 0u);
+}
+
+}  // namespace
+}  // namespace bouncer::graph

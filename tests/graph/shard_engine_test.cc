@@ -1,0 +1,124 @@
+#include "src/graph/shard_engine.h"
+
+#include <gtest/gtest.h>
+
+#include "src/graph/graph_generator.h"
+
+namespace bouncer::graph {
+namespace {
+
+GraphStore Line4() {
+  // 0 - 1 - 2 - 3 (undirected path).
+  GraphBuilder builder(4);
+  builder.AddUndirectedEdge(0, 1);
+  builder.AddUndirectedEdge(1, 2);
+  builder.AddUndirectedEdge(2, 3);
+  return std::move(builder).Build();
+}
+
+TEST(ShardEngineTest, OwnershipByModulo) {
+  const GraphStore g = Line4();
+  ShardEngine shard0(&g, 0, 2, 0);
+  ShardEngine shard1(&g, 1, 2, 0);
+  EXPECT_TRUE(shard0.Owns(0));
+  EXPECT_TRUE(shard0.Owns(2));
+  EXPECT_FALSE(shard0.Owns(1));
+  EXPECT_TRUE(shard1.Owns(1));
+  EXPECT_TRUE(shard1.Owns(3));
+}
+
+TEST(ShardEngineTest, DegreesForOwnedVertices) {
+  const GraphStore g = Line4();
+  ShardEngine shard0(&g, 0, 2, 0);
+  Subquery sq;
+  sq.kind = Subquery::Kind::kDegrees;
+  sq.vertices = {0, 2};
+  SubqueryResult result;
+  shard0.Execute(sq, &result);
+  EXPECT_EQ(result.degrees, (std::vector<uint32_t>{1, 2}));
+}
+
+TEST(ShardEngineTest, UnownedVerticesReportZeroDegree) {
+  const GraphStore g = Line4();
+  ShardEngine shard0(&g, 0, 2, 0);
+  Subquery sq;
+  sq.kind = Subquery::Kind::kDegrees;
+  sq.vertices = {1};  // Owned by shard 1.
+  SubqueryResult result;
+  shard0.Execute(sq, &result);
+  EXPECT_EQ(result.degrees, (std::vector<uint32_t>{0}));
+}
+
+TEST(ShardEngineTest, ExpandReturnsNeighbors) {
+  const GraphStore g = Line4();
+  ShardEngine shard0(&g, 0, 2, 0);
+  Subquery sq;
+  sq.kind = Subquery::Kind::kExpand;
+  sq.vertices = {2};
+  SubqueryResult result;
+  shard0.Execute(sq, &result);
+  EXPECT_EQ(result.neighbors, (std::vector<uint32_t>{1, 3}));
+}
+
+TEST(ShardEngineTest, ExpandSkipsUnowned) {
+  const GraphStore g = Line4();
+  ShardEngine shard0(&g, 0, 2, 0);
+  Subquery sq;
+  sq.kind = Subquery::Kind::kExpand;
+  sq.vertices = {1};
+  SubqueryResult result;
+  shard0.Execute(sq, &result);
+  EXPECT_TRUE(result.neighbors.empty());
+}
+
+TEST(ShardEngineTest, ExpandHonorsPerVertexLimit) {
+  GeneratorOptions options;
+  options.num_vertices = 1000;
+  options.edges_per_vertex = 16;
+  const GraphStore g = GeneratePreferentialAttachment(options);
+  ShardEngine shard(&g, 0, 1, 0);
+  // Vertex 0 is in the seed clique: a hub with a large degree.
+  ASSERT_GT(g.Degree(0), 8u);
+  Subquery sq;
+  sq.kind = Subquery::Kind::kExpand;
+  sq.vertices = {0};
+  sq.limit_per_vertex = 8;
+  SubqueryResult result;
+  shard.Execute(sq, &result);
+  EXPECT_EQ(result.neighbors.size(), 8u);
+}
+
+TEST(ShardEngineTest, ShardsPartitionDegreeWork) {
+  const GraphStore g = Line4();
+  // Union of per-shard degree answers equals the global answer.
+  for (uint32_t v = 0; v < 4; ++v) {
+    uint32_t total = 0;
+    for (uint32_t s = 0; s < 2; ++s) {
+      ShardEngine shard(&g, s, 2, 0);
+      Subquery sq;
+      sq.kind = Subquery::Kind::kDegrees;
+      sq.vertices = {v};
+      SubqueryResult result;
+      shard.Execute(sq, &result);
+      total += result.degrees[0];
+    }
+    EXPECT_EQ(total, g.Degree(v));
+  }
+}
+
+TEST(ShardEngineTest, WorkPerEdgeChangesChecksumNotResults) {
+  const GraphStore g = Line4();
+  ShardEngine cheap(&g, 0, 1, 0);
+  ShardEngine costly(&g, 0, 1, 100);
+  Subquery sq;
+  sq.kind = Subquery::Kind::kExpand;
+  sq.vertices = {1};
+  SubqueryResult a;
+  SubqueryResult b;
+  cheap.Execute(sq, &a);
+  costly.Execute(sq, &b);
+  EXPECT_EQ(a.neighbors, b.neighbors);
+}
+
+}  // namespace
+}  // namespace bouncer::graph

@@ -1,0 +1,139 @@
+#include "src/graph/update_log.h"
+
+#include <gtest/gtest.h>
+
+#include <thread>
+
+#include "src/graph/shard_engine.h"
+
+namespace bouncer::graph {
+namespace {
+
+GraphStore Line3() {
+  GraphBuilder builder(3);
+  builder.AddUndirectedEdge(0, 1);
+  builder.AddUndirectedEdge(1, 2);
+  return std::move(builder).Build();
+}
+
+TEST(EdgeUpdateLogTest, StartsEmpty) {
+  EdgeUpdateLog log;
+  EXPECT_EQ(log.TotalEdges(), 0u);
+  EXPECT_EQ(log.ExtraDegree(0), 0u);
+  std::vector<uint32_t> out;
+  log.AppendNeighbors(0, 0, &out);
+  EXPECT_TRUE(out.empty());
+}
+
+TEST(EdgeUpdateLogTest, AddAndRead) {
+  EdgeUpdateLog log;
+  log.AddEdge(0, 5);
+  log.AddEdge(0, 7);
+  log.AddEdge(3, 9);
+  EXPECT_EQ(log.TotalEdges(), 3u);
+  EXPECT_EQ(log.ExtraDegree(0), 2u);
+  EXPECT_EQ(log.ExtraDegree(3), 1u);
+  std::vector<uint32_t> out;
+  log.AppendNeighbors(0, 0, &out);
+  EXPECT_EQ(out, (std::vector<uint32_t>{5, 7}));
+}
+
+TEST(EdgeUpdateLogTest, DuplicatesCollapse) {
+  EdgeUpdateLog log;
+  log.AddEdge(0, 5);
+  log.AddEdge(0, 5);
+  EXPECT_EQ(log.TotalEdges(), 1u);
+}
+
+TEST(EdgeUpdateLogTest, LimitRespected) {
+  EdgeUpdateLog log;
+  for (uint32_t i = 0; i < 10; ++i) log.AddEdge(2, 100 + i);
+  std::vector<uint32_t> out;
+  log.AppendNeighbors(2, 4, &out);
+  EXPECT_EQ(out.size(), 4u);
+}
+
+TEST(EdgeUpdateLogTest, ConcurrentWriters) {
+  EdgeUpdateLog log;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 4; ++t) {
+    threads.emplace_back([&log, t] {
+      for (uint32_t i = 0; i < 5000; ++i) {
+        log.AddEdge(static_cast<uint32_t>(t), 10 + i);
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  EXPECT_EQ(log.TotalEdges(), 20000u);
+  for (uint32_t v = 0; v < 4; ++v) EXPECT_EQ(log.ExtraDegree(v), 5000u);
+}
+
+TEST(EdgeUpdateLogTest, CompactFoldsBaseAndDelta) {
+  const GraphStore base = Line3();
+  EdgeUpdateLog log;
+  log.AddEdge(0, 2);
+  log.AddEdge(2, 0);
+  log.AddEdge(0, 1);  // Already in base: collapses at compaction.
+  const GraphStore compacted = log.Compact(base);
+  EXPECT_EQ(compacted.Degree(0), 2u);  // {1, 2}.
+  EXPECT_TRUE(compacted.HasEdge(0, 2));
+  EXPECT_TRUE(compacted.HasEdge(2, 0));
+  EXPECT_TRUE(compacted.HasEdge(1, 2));  // Base preserved.
+}
+
+TEST(ShardEngineUpdateTest, DegreesSeeDeltaEdges) {
+  const GraphStore base = Line3();
+  EdgeUpdateLog log;
+  log.AddEdge(0, 2);
+  ShardEngine shard(&base, 0, 1, 0, &log);
+  Subquery sq;
+  sq.kind = Subquery::Kind::kDegrees;
+  sq.vertices = {0, 1};
+  SubqueryResult result;
+  shard.Execute(sq, &result);
+  EXPECT_EQ(result.degrees, (std::vector<uint32_t>{2, 2}));  // 1+1, 2+0.
+}
+
+TEST(ShardEngineUpdateTest, ExpandSeesDeltaEdges) {
+  const GraphStore base = Line3();
+  EdgeUpdateLog log;
+  log.AddEdge(0, 2);
+  ShardEngine shard(&base, 0, 1, 0, &log);
+  Subquery sq;
+  sq.kind = Subquery::Kind::kExpand;
+  sq.vertices = {0};
+  SubqueryResult result;
+  shard.Execute(sq, &result);
+  EXPECT_EQ(result.neighbors, (std::vector<uint32_t>{1, 2}));
+}
+
+TEST(ShardEngineUpdateTest, ExpandCapCoversBasePlusDelta) {
+  const GraphStore base = Line3();
+  EdgeUpdateLog log;
+  for (uint32_t i = 10; i < 20; ++i) log.AddEdge(0, i);
+  ShardEngine shard(&base, 0, 1, 0, &log);
+  Subquery sq;
+  sq.kind = Subquery::Kind::kExpand;
+  sq.vertices = {0};
+  sq.limit_per_vertex = 4;
+  SubqueryResult result;
+  shard.Execute(sq, &result);
+  EXPECT_EQ(result.neighbors.size(), 4u);  // 1 base + 3 delta.
+}
+
+TEST(ShardEngineUpdateTest, ExactCapSkipsDelta) {
+  const GraphStore base = Line3();
+  EdgeUpdateLog log;
+  log.AddEdge(1, 9);
+  ShardEngine shard(&base, 0, 1, 0, &log);
+  Subquery sq;
+  sq.kind = Subquery::Kind::kExpand;
+  sq.vertices = {1};        // Base degree 2.
+  sq.limit_per_vertex = 2;  // Cap exactly at the base degree.
+  SubqueryResult result;
+  shard.Execute(sq, &result);
+  EXPECT_EQ(result.neighbors.size(), 2u);
+}
+
+}  // namespace
+}  // namespace bouncer::graph

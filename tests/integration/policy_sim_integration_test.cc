@@ -1,0 +1,147 @@
+// Cross-module integration tests: the paper's headline claims, checked
+// end-to-end in the discrete-event simulator (policies + stats + sim +
+// workload together).
+
+#include <gtest/gtest.h>
+
+#include "src/sim/experiment.h"
+
+namespace bouncer {
+namespace {
+
+using sim::SimulationConfig;
+using sim::SimulationResult;
+using sim::Simulator;
+
+const Slo kSlo{18 * kMillisecond, 50 * kMillisecond, 0};
+
+SimulationConfig StudyConfig(double qps) {
+  SimulationConfig config;
+  config.parallelism = 100;
+  config.arrival_rate_qps = qps;
+  config.total_queries = 250'000;
+  config.warmup_queries = 100'000;
+  config.seed = 17;
+  return config;
+}
+
+PolicyConfig StudyPolicy(PolicyKind kind) {
+  PolicyConfig config;
+  config.kind = kind;
+  config.bouncer.histogram_swap_interval = 2 * kSecond;
+  config.bouncer.min_samples_to_publish = 30;
+  config.allowance.allowance = 0.05;
+  config.max_queue_length.length_limit = 400;
+  config.max_queue_wait.wait_time_limit = 15 * kMillisecond;
+  config.accept_fraction.max_utilization = 0.95;
+  config.accept_fraction.window_duration = kSecond;
+  config.accept_fraction.window_step = 50 * kMillisecond;
+  config.accept_fraction.update_interval = 50 * kMillisecond;
+  return config;
+}
+
+SimulationResult RunStudy(PolicyKind kind, double factor) {
+  const auto workload = workload::PaperSimulationWorkload();
+  const double qps = factor * workload.FullLoadQps(100);
+  Simulator simulator(workload, StudyConfig(qps), StudyPolicy(kind));
+  return simulator.Run();
+}
+
+// Paper Fig. 3: under basic Bouncer, a FAST majority starves a SLOW type
+// sharing the same SLO; acceptance-allowance guarantees it service.
+TEST(StarvationIntegrationTest, AllowanceBreaksStarvation) {
+  // The paper's Table 1 mix at 1.5x full load: basic Bouncer rejects
+  // ~98% of the slow type (Table 3) — systemic denial of service —
+  // while never touching the fast types.
+  const auto workload = workload::PaperSimulationWorkload();
+  const double qps = 1.5 * workload.FullLoadQps(100);
+
+  Simulator basic(workload, StudyConfig(qps),
+                  StudyPolicy(PolicyKind::kBouncer));
+  const auto basic_result = basic.Run();
+  EXPECT_GT(basic_result.per_type[3].rejection_pct, 90.0);  // slow starves.
+  EXPECT_LT(basic_result.per_type[0].rejection_pct, 1.0);   // fast cruises.
+
+  Simulator with_allowance(workload, StudyConfig(qps),
+                           StudyPolicy(PolicyKind::kBouncerWithAllowance));
+  const auto allowance_result = with_allowance.Run();
+  // A = 0.05 guarantees ~5% of the slow type gets serviced.
+  EXPECT_LT(allowance_result.per_type[3].rejection_pct, 96.5);
+  EXPECT_GT(allowance_result.per_type[3].completed, 100u);
+}
+
+// Paper Fig. 6 + Fig. 8 at one overload point: Bouncer alone keeps the
+// tightest type inside its SLO while rejecting fewer queries overall
+// than the type-oblivious policies.
+TEST(PolicyComparisonIntegrationTest, BouncerMeetsSloWithFewestRejections) {
+  const auto bouncer_result = RunStudy(PolicyKind::kBouncer, 1.3);
+  const auto max_ql = RunStudy(PolicyKind::kMaxQueueLength, 1.3);
+  const auto max_qwt = RunStudy(PolicyKind::kMaxQueueWait, 1.3);
+  const auto accept_fraction = RunStudy(PolicyKind::kAcceptFraction, 1.3);
+
+  EXPECT_LT(bouncer_result.per_type[3].rt_p50_ms, 19.0);
+  EXPECT_GT(max_ql.per_type[3].rt_p50_ms, 30.0);   // Plateau ~40 ms.
+  EXPECT_GT(max_qwt.per_type[3].rt_p50_ms, 20.0);  // Plateau ~22-27 ms.
+
+  EXPECT_LT(bouncer_result.overall.rejection_pct,
+            max_ql.overall.rejection_pct);
+  EXPECT_LT(bouncer_result.overall.rejection_pct,
+            max_qwt.overall.rejection_pct);
+  EXPECT_LT(bouncer_result.overall.rejection_pct,
+            accept_fraction.overall.rejection_pct);
+}
+
+// Paper Table 3 shape: only the costly types are rejected; cheap types
+// ride free even at 1.5x overload.
+TEST(PolicyComparisonIntegrationTest, OnlyCostlyTypesRejected) {
+  const auto result = RunStudy(PolicyKind::kBouncer, 1.5);
+  EXPECT_EQ(result.per_type[0].rejected, 0u);  // fast.
+  EXPECT_EQ(result.per_type[1].rejected, 0u);  // medium fast.
+  EXPECT_GT(result.per_type[3].rejection_pct, 80.0);  // slow.
+}
+
+// Paper Fig. 14: per-type-tuned MaxQWT approximates Bouncer.
+TEST(PolicyComparisonIntegrationTest, TunedMaxQwtMatchesBouncer) {
+  PolicyConfig tuned = StudyPolicy(PolicyKind::kMaxQueueWait);
+  tuned.max_queue_wait.per_type_limits = {
+      0, FromMillis(17.6), FromMillis(15.8), FromMillis(10.6),
+      FromMillis(5.5)};
+  const auto workload = workload::PaperSimulationWorkload();
+  const double qps = 1.3 * workload.FullLoadQps(100);
+  Simulator tuned_sim(workload, StudyConfig(qps), tuned);
+  const auto tuned_result = tuned_sim.Run();
+  const auto bouncer_result = RunStudy(PolicyKind::kBouncer, 1.3);
+  // Within a few ms of each other on the slow type, both near the SLO.
+  EXPECT_NEAR(tuned_result.per_type[3].rt_p50_ms,
+              bouncer_result.per_type[3].rt_p50_ms, 6.0);
+  EXPECT_LT(tuned_result.per_type[3].rt_p50_ms, 22.0);
+  // And rejections within a few points.
+  EXPECT_NEAR(tuned_result.overall.rejection_pct,
+              bouncer_result.overall.rejection_pct, 4.0);
+}
+
+// Paper Fig. 7: utilization near 1 for Bouncer even while enforcing SLOs
+// (the policy does not prevent full-capacity operation, paper §2).
+TEST(PolicyComparisonIntegrationTest, BouncerReachesFullUtilization) {
+  const auto result = RunStudy(PolicyKind::kBouncer, 1.2);
+  EXPECT_GT(result.utilization, 0.97);
+}
+
+// Starvation-avoidance cost (paper §5.3.2): a modest rejection increase
+// and SLO violations that stay close to the objective.
+TEST(StrategyCostIntegrationTest, ModestOverheadVsBasic) {
+  const auto basic = RunStudy(PolicyKind::kBouncer, 1.4);
+  const auto allowance = RunStudy(PolicyKind::kBouncerWithAllowance, 1.4);
+  const auto underserved = RunStudy(PolicyKind::kBouncerWithUnderserved, 1.4);
+  // Strategies reject slightly more overall...
+  EXPECT_LT(allowance.overall.rejection_pct,
+            basic.overall.rejection_pct + 4.0);
+  EXPECT_LT(underserved.overall.rejection_pct,
+            basic.overall.rejection_pct + 5.0);
+  // ...and let the slow type exceed the SLO, but only moderately.
+  EXPECT_LT(allowance.per_type[3].rt_p50_ms, 26.0);
+  EXPECT_LT(underserved.per_type[3].rt_p50_ms, 26.0);
+}
+
+}  // namespace
+}  // namespace bouncer

@@ -1,0 +1,91 @@
+#include "src/server/metrics_collector.h"
+
+#include <gtest/gtest.h>
+
+namespace bouncer::server {
+namespace {
+
+WorkItem ItemWithTimes(QueryTypeId type, Nanos wait, Nanos processing) {
+  WorkItem item;
+  item.type = type;
+  item.enqueued = kSecond;
+  item.dequeued = item.enqueued + wait;
+  item.completed = item.dequeued + processing;
+  return item;
+}
+
+TEST(MetricsCollectorTest, RecordsCompletion) {
+  MetricsCollector collector(3);
+  collector.Record(ItemWithTimes(1, 2 * kMillisecond, 8 * kMillisecond),
+                   Outcome::kCompleted);
+  const auto report = collector.Report(1);
+  EXPECT_EQ(report.received, 1u);
+  EXPECT_EQ(report.completed, 1u);
+  EXPECT_DOUBLE_EQ(report.rt_p50_ms, 10.0);
+  EXPECT_DOUBLE_EQ(report.pt_p50_ms, 8.0);
+}
+
+TEST(MetricsCollectorTest, RecordsRejectionWithoutSamples) {
+  MetricsCollector collector(3);
+  collector.Record(ItemWithTimes(1, 0, 0), Outcome::kRejected);
+  const auto report = collector.Report(1);
+  EXPECT_EQ(report.received, 1u);
+  EXPECT_EQ(report.rejected, 1u);
+  EXPECT_EQ(report.completed, 0u);
+  EXPECT_DOUBLE_EQ(report.rejection_pct, 100.0);
+}
+
+TEST(MetricsCollectorTest, SheddedCountsAsRejected) {
+  MetricsCollector collector(3);
+  collector.Record(ItemWithTimes(1, 0, 0), Outcome::kShedded);
+  EXPECT_EQ(collector.Report(1).rejected, 1u);
+}
+
+TEST(MetricsCollectorTest, ExpiredTrackedSeparately) {
+  MetricsCollector collector(3);
+  collector.Record(ItemWithTimes(1, 0, 0), Outcome::kExpired);
+  const auto report = collector.Report(1);
+  EXPECT_EQ(report.expired, 1u);
+  EXPECT_EQ(report.rejected, 0u);
+}
+
+TEST(MetricsCollectorTest, RecordingToggle) {
+  MetricsCollector collector(3);
+  collector.SetRecording(false);
+  collector.Record(ItemWithTimes(1, 0, kMillisecond), Outcome::kCompleted);
+  EXPECT_EQ(collector.Report(1).received, 0u);
+  collector.SetRecording(true);
+  collector.Record(ItemWithTimes(1, 0, kMillisecond), Outcome::kCompleted);
+  EXPECT_EQ(collector.Report(1).received, 1u);
+}
+
+TEST(MetricsCollectorTest, OutOfRangeTypeIgnored) {
+  MetricsCollector collector(2);
+  collector.Record(ItemWithTimes(9, 0, 0), Outcome::kCompleted);
+  EXPECT_EQ(collector.Overall().received, 0u);
+}
+
+TEST(MetricsCollectorTest, OverallAggregates) {
+  MetricsCollector collector(3);
+  collector.Record(ItemWithTimes(1, 0, 2 * kMillisecond),
+                   Outcome::kCompleted);
+  collector.Record(ItemWithTimes(2, 0, 4 * kMillisecond),
+                   Outcome::kCompleted);
+  collector.Record(ItemWithTimes(2, 0, 0), Outcome::kRejected);
+  const auto overall = collector.Overall();
+  EXPECT_EQ(overall.received, 3u);
+  EXPECT_EQ(overall.completed, 2u);
+  EXPECT_NEAR(overall.rejection_pct, 100.0 / 3.0, 1e-9);
+  EXPECT_DOUBLE_EQ(overall.rt_mean_ms, 3.0);
+}
+
+TEST(MetricsCollectorTest, ResetClears) {
+  MetricsCollector collector(2);
+  collector.Record(ItemWithTimes(1, 0, kMillisecond), Outcome::kCompleted);
+  collector.Reset();
+  EXPECT_EQ(collector.Overall().received, 0u);
+  EXPECT_DOUBLE_EQ(collector.Report(1).rt_p50_ms, 0.0);
+}
+
+}  // namespace
+}  // namespace bouncer::server

@@ -1,0 +1,264 @@
+#include "src/server/stage.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <thread>
+
+#include "src/core/policy_factory.h"
+
+namespace bouncer::server {
+namespace {
+
+const Slo kSlo{18 * kMillisecond, 50 * kMillisecond, 0};
+
+struct StageFixture {
+  explicit StageFixture(PolicyKind kind = PolicyKind::kAlwaysAccept,
+                        size_t workers = 2)
+      : registry(kSlo) {
+    type_id = *registry.Register("t", kSlo);
+    PolicyConfig config;
+    config.kind = kind;
+    if (kind == PolicyKind::kMaxQueueLength) {
+      config.max_queue_length.length_limit = 2;
+    }
+    Stage::Options options;
+    options.name = "test";
+    options.num_workers = workers;
+    stage = std::make_unique<Stage>(
+        options, &registry, SystemClock::Global(),
+        [&config](const PolicyContext& context) {
+          return CreatePolicy(config, context);
+        },
+        [this](WorkItem& item) { Handle(item); });
+  }
+
+  void Handle(WorkItem& item) {
+    (void)item;
+    handled.fetch_add(1);
+    if (busy_ns > 0) {
+      const auto until = std::chrono::steady_clock::now() +
+                         std::chrono::nanoseconds(busy_ns);
+      while (std::chrono::steady_clock::now() < until) {
+      }
+    }
+  }
+
+  WorkItem MakeItem() {
+    WorkItem item;
+    item.type = type_id;
+    item.on_complete = [this](const WorkItem&, Outcome outcome) {
+      switch (outcome) {
+        case Outcome::kCompleted:
+          completed.fetch_add(1);
+          break;
+        case Outcome::kRejected:
+          rejected.fetch_add(1);
+          break;
+        case Outcome::kExpired:
+          expired.fetch_add(1);
+          break;
+        case Outcome::kShedded:
+          shedded.fetch_add(1);
+          break;
+      }
+      done_count.fetch_add(1);
+    };
+    return item;
+  }
+
+  void WaitFor(std::atomic<int>& counter, int target,
+               int timeout_ms = 5000) {
+    const auto deadline = std::chrono::steady_clock::now() +
+                          std::chrono::milliseconds(timeout_ms);
+    while (counter.load() < target &&
+           std::chrono::steady_clock::now() < deadline) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    }
+  }
+
+  QueryTypeRegistry registry;
+  QueryTypeId type_id = 0;
+  std::unique_ptr<Stage> stage;
+  Nanos busy_ns = 0;
+  std::atomic<int> handled{0};
+  std::atomic<int> completed{0};
+  std::atomic<int> rejected{0};
+  std::atomic<int> expired{0};
+  std::atomic<int> shedded{0};
+  std::atomic<int> done_count{0};
+};
+
+TEST(StageTest, InitStatusOkForValidConfig) {
+  StageFixture f;
+  EXPECT_TRUE(f.stage->init_status().ok());
+}
+
+TEST(StageTest, StartTwiceFails) {
+  StageFixture f;
+  ASSERT_TRUE(f.stage->Start().ok());
+  EXPECT_EQ(f.stage->Start().code(), StatusCode::kFailedPrecondition);
+  f.stage->Stop();
+}
+
+TEST(StageTest, ProcessesSubmittedWork) {
+  StageFixture f;
+  ASSERT_TRUE(f.stage->Start().ok());
+  for (int i = 0; i < 50; ++i) f.stage->Submit(f.MakeItem());
+  f.WaitFor(f.completed, 50);
+  f.stage->Stop();
+  EXPECT_EQ(f.completed.load(), 50);
+  EXPECT_EQ(f.stage->counters().completed.load(), 50u);
+  EXPECT_EQ(f.stage->counters().received.load(), 50u);
+}
+
+TEST(StageTest, TimestampsAreOrdered) {
+  StageFixture f;
+  ASSERT_TRUE(f.stage->Start().ok());
+  std::atomic<bool> checked{false};
+  WorkItem item;
+  item.type = f.type_id;
+  item.on_complete = [&](const WorkItem& w, Outcome outcome) {
+    EXPECT_EQ(outcome, Outcome::kCompleted);
+    EXPECT_GT(w.enqueued, 0);
+    EXPECT_GE(w.dequeued, w.enqueued);
+    EXPECT_GE(w.completed, w.dequeued);
+    EXPECT_GE(w.WaitTime(), 0);
+    EXPECT_GE(w.ProcessingTime(), 0);
+    EXPECT_EQ(w.ResponseTime(), w.WaitTime() + w.ProcessingTime());
+    checked.store(true);
+  };
+  f.stage->Submit(std::move(item));
+  f.WaitFor(f.handled, 1);
+  f.stage->Stop();
+  EXPECT_TRUE(checked.load());
+}
+
+TEST(StageTest, PolicyRejectionIsEarly) {
+  StageFixture f(PolicyKind::kMaxQueueLength, /*workers=*/1);
+  // Don't start the stage: submissions queue up, then exceed the limit.
+  ASSERT_TRUE(f.stage->Start().ok());
+  f.busy_ns = 50 * kMillisecond;
+  // Saturate the single worker and fill the queue past the limit of 2.
+  int rejected_now = 0;
+  for (int i = 0; i < 10; ++i) {
+    if (f.stage->Submit(f.MakeItem()) == Outcome::kRejected) ++rejected_now;
+  }
+  EXPECT_GT(rejected_now, 0);  // Early rejection returned synchronously.
+  EXPECT_EQ(f.rejected.load(), rejected_now);  // Callback already ran.
+  f.stage->Stop(false);
+}
+
+TEST(StageTest, ExpiredItemsSkipProcessing) {
+  StageFixture f(PolicyKind::kAlwaysAccept, /*workers=*/1);
+  ASSERT_TRUE(f.stage->Start().ok());
+  f.busy_ns = 30 * kMillisecond;
+  // First item occupies the worker; the second expires while queued.
+  f.stage->Submit(f.MakeItem());
+  WorkItem doomed = f.MakeItem();
+  doomed.deadline = SystemClock::Global()->Now() + 5 * kMillisecond;
+  f.stage->Submit(std::move(doomed));
+  f.WaitFor(f.done_count, 2);
+  f.stage->Stop();
+  EXPECT_EQ(f.completed.load(), 1);
+  EXPECT_EQ(f.expired.load(), 1);
+  EXPECT_EQ(f.handled.load(), 1);  // The expired one never ran.
+  EXPECT_EQ(f.stage->counters().expired.load(), 1u);
+}
+
+TEST(StageTest, QueueCapacitySheds) {
+  StageFixture f;
+  Stage::Options options;
+  options.num_workers = 1;
+  options.queue_capacity = 2;
+  PolicyConfig config;
+  config.kind = PolicyKind::kAlwaysAccept;
+  Stage stage(
+      options, &f.registry, SystemClock::Global(),
+      [&config](const PolicyContext& context) {
+        return CreatePolicy(config, context);
+      },
+      [&f](WorkItem& item) { f.Handle(item); });
+  ASSERT_TRUE(stage.Start().ok());
+  f.busy_ns = 30 * kMillisecond;
+  int shed = 0;
+  for (int i = 0; i < 10; ++i) {
+    if (stage.Submit(f.MakeItem()) == Outcome::kShedded) ++shed;
+  }
+  EXPECT_GT(shed, 0);
+  stage.Stop(false);
+}
+
+TEST(StageTest, StopWithoutDrainShedsQueued) {
+  StageFixture f(PolicyKind::kAlwaysAccept, /*workers=*/1);
+  ASSERT_TRUE(f.stage->Start().ok());
+  f.busy_ns = 20 * kMillisecond;
+  for (int i = 0; i < 5; ++i) f.stage->Submit(f.MakeItem());
+  f.WaitFor(f.handled, 1);
+  f.stage->Stop(false);
+  // All five items terminated exactly once.
+  EXPECT_EQ(f.done_count.load(), 5);
+  EXPECT_GT(f.shedded.load() + f.completed.load(), 0);
+}
+
+TEST(StageTest, DrainCompletesEverything) {
+  StageFixture f(PolicyKind::kAlwaysAccept, /*workers=*/2);
+  ASSERT_TRUE(f.stage->Start().ok());
+  for (int i = 0; i < 100; ++i) f.stage->Submit(f.MakeItem());
+  f.stage->Stop(true);
+  EXPECT_EQ(f.completed.load(), 100);
+}
+
+TEST(StageTest, QueueStateConsistentAfterDrain) {
+  StageFixture f;
+  ASSERT_TRUE(f.stage->Start().ok());
+  for (int i = 0; i < 200; ++i) f.stage->Submit(f.MakeItem());
+  f.WaitFor(f.completed, 200);
+  EXPECT_EQ(f.stage->queue_state().TotalLength(), 0u);
+  EXPECT_EQ(f.stage->QueueLength(), 0u);
+  f.stage->Stop();
+}
+
+TEST(StageTest, ConcurrentSubmitters) {
+  StageFixture f(PolicyKind::kAlwaysAccept, /*workers=*/4);
+  ASSERT_TRUE(f.stage->Start().ok());
+  std::vector<std::thread> submitters;
+  constexpr int kPerThread = 500;
+  for (int t = 0; t < 4; ++t) {
+    submitters.emplace_back([&f] {
+      for (int i = 0; i < kPerThread; ++i) f.stage->Submit(f.MakeItem());
+    });
+  }
+  for (auto& t : submitters) t.join();
+  f.WaitFor(f.done_count, 4 * kPerThread);
+  f.stage->Stop();
+  EXPECT_EQ(f.done_count.load(), 4 * kPerThread);
+  EXPECT_EQ(f.stage->counters().received.load(),
+            static_cast<uint64_t>(4 * kPerThread));
+}
+
+TEST(StageBuilderTest, RequiresRegistryAndHandler) {
+  StageBuilder builder;
+  EXPECT_FALSE(builder.Build().ok());
+  QueryTypeRegistry registry(kSlo);
+  builder.SetRegistry(&registry);
+  EXPECT_FALSE(builder.Build().ok());
+  builder.SetHandler([](WorkItem&) {});
+  EXPECT_TRUE(builder.Build().ok());
+}
+
+TEST(StageBuilderTest, PropagatesPolicyError) {
+  QueryTypeRegistry registry(kSlo);
+  PolicyConfig bad;
+  bad.kind = PolicyKind::kMaxQueueLength;
+  bad.max_queue_length.length_limit = 0;  // Invalid.
+  StageBuilder builder;
+  builder.SetRegistry(&registry)
+      .SetHandler([](WorkItem&) {})
+      .SetPolicyConfig(bad);
+  EXPECT_FALSE(builder.Build().ok());
+}
+
+}  // namespace
+}  // namespace bouncer::server

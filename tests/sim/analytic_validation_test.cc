@@ -1,0 +1,109 @@
+// Validates the discrete-event simulator against queueing theory: with
+// admission disabled, measured waits must match the Pollaczek–Khinchine
+// formula for M/G/1 and the Erlang-C formula for M/M/c-like systems.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "src/sim/simulator.h"
+
+namespace bouncer::sim {
+namespace {
+
+using workload::QueryTypeSpec;
+using workload::WorkloadSpec;
+
+const Slo kNoSlo{10 * kSecond, 20 * kSecond, 0};
+
+SimulationConfig Config(size_t processes, double qps) {
+  SimulationConfig config;
+  config.parallelism = processes;
+  config.arrival_rate_qps = qps;
+  config.total_queries = 600'000;
+  config.warmup_queries = 100'000;
+  config.seed = 23;
+  return config;
+}
+
+double MeasuredMeanWaitMs(const WorkloadSpec& mix,
+                          const SimulationConfig& config) {
+  PolicyConfig policy;
+  policy.kind = PolicyKind::kAlwaysAccept;
+  Simulator simulator(mix, config, policy);
+  const auto result = simulator.Run();
+  // rt = wt + pt; mean wait = mean rt - mean pt.
+  const double service_ms = ToMillis(mix.WeightedMeanProcessingTime());
+  return result.overall.rt_mean_ms - service_ms;
+}
+
+// M/D/1: deterministic 5 ms service. P-K: Wq = rho / (2 (1-rho)) * s.
+TEST(AnalyticValidationTest, MD1WaitMatchesPollaczekKhinchine) {
+  WorkloadSpec mix({QueryTypeSpec::FromMillis("d", 1.0, 5.0, 5.0, kNoSlo)});
+  for (double rho : {0.5, 0.7, 0.85}) {
+    const double lambda = rho / 0.005;  // per second.
+    const double expected_ms = rho / (2.0 * (1.0 - rho)) * 5.0;
+    const double measured_ms = MeasuredMeanWaitMs(mix, Config(1, lambda));
+    EXPECT_NEAR(measured_ms, expected_ms, expected_ms * 0.10 + 0.05)
+        << "rho=" << rho;
+  }
+}
+
+// M/G/1 with lognormal service: Wq = lambda E[S^2] / (2 (1-rho)).
+TEST(AnalyticValidationTest, MG1LognormalMatchesPollaczekKhinchine) {
+  // Lognormal with mean 5 ms, median 4 ms.
+  WorkloadSpec mix({QueryTypeSpec::FromMillis("g", 1.0, 5.0, 4.0, kNoSlo)});
+  const auto params = mix.type(0).processing_time;
+  // E[S^2] of a lognormal = exp(2 mu + 2 sigma^2), in ns^2.
+  const double second_moment_ns2 =
+      std::exp(2.0 * params.mu + 2.0 * params.sigma * params.sigma);
+  const double rho = 0.75;
+  const double lambda_per_sec = rho / 0.005;
+  const double lambda_per_ns = lambda_per_sec / 1e9;
+  const double expected_ms =
+      lambda_per_ns * second_moment_ns2 / (2.0 * (1.0 - rho)) / 1e6;
+  const double measured_ms =
+      MeasuredMeanWaitMs(mix, Config(1, lambda_per_sec));
+  EXPECT_NEAR(measured_ms, expected_ms, expected_ms * 0.12);
+}
+
+// M/D/c via the Erlang-C approximation: Wq(M/D/c) ~ Wq(M/M/c) / 2.
+TEST(AnalyticValidationTest, MDcWaitNearHalfErlangC) {
+  constexpr int kServers = 10;
+  WorkloadSpec mix({QueryTypeSpec::FromMillis("d", 1.0, 5.0, 5.0, kNoSlo)});
+  const double rho = 0.85;
+  const double mu = 1.0 / 0.005;                 // Per-server rate (1/s).
+  const double lambda = rho * kServers * mu;     // Offered rate.
+  const double a = lambda / mu;                  // Offered load (erlangs).
+
+  // Erlang C: P(wait) = (a^c / c!) / ((1-rho) sum_{k<c} a^k/k! + a^c/c!).
+  double sum = 0.0;
+  double term = 1.0;  // a^0 / 0!.
+  for (int k = 0; k < kServers; ++k) {
+    sum += term;
+    term *= a / (k + 1);
+  }
+  const double p_wait = term / ((1.0 - rho) * sum + term);
+  const double wq_mmc_ms = p_wait / (kServers * mu - lambda) * 1000.0;
+  const double expected_ms = wq_mmc_ms / 2.0;  // M/D/c approximation.
+
+  const double measured_ms =
+      MeasuredMeanWaitMs(mix, Config(kServers, lambda));
+  EXPECT_NEAR(measured_ms, expected_ms, expected_ms * 0.25);
+}
+
+// Utilization must equal rho when nothing is rejected.
+TEST(AnalyticValidationTest, UtilizationEqualsOfferedLoad) {
+  WorkloadSpec mix({QueryTypeSpec::FromMillis("d", 1.0, 5.0, 5.0, kNoSlo)});
+  PolicyConfig policy;
+  policy.kind = PolicyKind::kAlwaysAccept;
+  for (double rho : {0.3, 0.6, 0.9}) {
+    auto config = Config(20, rho * 20 / 0.005);
+    Simulator simulator(mix, config, policy);
+    const auto result = simulator.Run();
+    EXPECT_NEAR(result.utilization, rho, 0.02) << "rho=" << rho;
+  }
+}
+
+}  // namespace
+}  // namespace bouncer::sim

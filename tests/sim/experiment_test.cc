@@ -1,0 +1,73 @@
+#include "src/sim/experiment.h"
+
+#include <gtest/gtest.h>
+
+namespace bouncer::sim {
+namespace {
+
+SimulationConfig TinyConfig() {
+  SimulationConfig config;
+  config.parallelism = 100;
+  config.total_queries = 30000;
+  config.warmup_queries = 5000;
+  config.seed = 11;
+  return config;
+}
+
+TEST(ExperimentTest, PaperLoadFactorsGrid) {
+  const auto factors = PaperLoadFactors();
+  ASSERT_EQ(factors.size(), 13u);
+  EXPECT_DOUBLE_EQ(factors.front(), 0.9);
+  EXPECT_DOUBLE_EQ(factors.back(), 1.5);
+  for (size_t i = 1; i < factors.size(); ++i) {
+    EXPECT_NEAR(factors[i] - factors[i - 1], 0.05, 1e-9);
+  }
+}
+
+TEST(ExperimentTest, RunAveragedSumsCounters) {
+  const auto workload = workload::PaperSimulationWorkload();
+  PolicyConfig policy;
+  policy.kind = PolicyKind::kAlwaysAccept;
+  auto config = TinyConfig();
+  config.arrival_rate_qps = 10000;
+  const auto averaged = RunAveraged(workload, config, policy, 2);
+  // Two runs of 25k measured queries each.
+  EXPECT_EQ(averaged.overall.received, 50000u);
+  EXPECT_GT(averaged.utilization, 0.0);
+}
+
+TEST(ExperimentTest, RunAveragedSingleRunEqualsPlainRun) {
+  const auto workload = workload::PaperSimulationWorkload();
+  PolicyConfig policy;
+  policy.kind = PolicyKind::kBouncer;
+  auto config = TinyConfig();
+  config.arrival_rate_qps = 18000;
+  const auto averaged = RunAveraged(workload, config, policy, 1);
+  Simulator simulator(workload, config, policy);
+  const auto plain = simulator.Run();
+  EXPECT_EQ(averaged.overall.rejected, plain.overall.rejected);
+  EXPECT_DOUBLE_EQ(averaged.per_type[3].rt_p50_ms, plain.per_type[3].rt_p50_ms);
+}
+
+TEST(ExperimentTest, SweepCoversAllFactors) {
+  const auto workload = workload::PaperSimulationWorkload();
+  PolicyConfig policy;
+  policy.kind = PolicyKind::kBouncer;
+  const std::vector<double> factors = {0.9, 1.2, 1.5};
+  const auto points =
+      SweepLoadFactors(workload, TinyConfig(), policy, factors, 1);
+  ASSERT_EQ(points.size(), 3u);
+  const double full_load = workload.FullLoadQps(100);
+  for (size_t i = 0; i < factors.size(); ++i) {
+    EXPECT_DOUBLE_EQ(points[i].load_factor, factors[i]);
+    EXPECT_NEAR(points[i].offered_qps, factors[i] * full_load, 1.0);
+  }
+  // Rejections grow with load (Fig. 8 shape).
+  EXPECT_LE(points[0].result.overall.rejection_pct,
+            points[1].result.overall.rejection_pct);
+  EXPECT_LE(points[1].result.overall.rejection_pct,
+            points[2].result.overall.rejection_pct);
+}
+
+}  // namespace
+}  // namespace bouncer::sim

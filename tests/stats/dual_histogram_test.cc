@@ -1,0 +1,135 @@
+#include "src/stats/dual_histogram.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <thread>
+
+namespace bouncer::stats {
+namespace {
+
+DualHistogram::Options TestOptions(Nanos interval = kSecond,
+                                   uint64_t min_samples = 1) {
+  return DualHistogram::Options{interval, min_samples};
+}
+
+TEST(DualHistogramTest, EmptyBeforeFirstSwap) {
+  DualHistogram h(TestOptions());
+  h.Record(5 * kMillisecond);
+  EXPECT_TRUE(h.ReadSummary().empty());  // Not yet published.
+}
+
+TEST(DualHistogramTest, SamplesVisibleAfterSwap) {
+  DualHistogram h(TestOptions());
+  h.Record(5 * kMillisecond);
+  h.Record(7 * kMillisecond);
+  h.ForceSwap();
+  const HistogramSummary s = h.ReadSummary();
+  EXPECT_EQ(s.count, 2u);
+  EXPECT_EQ(s.mean, 6 * kMillisecond);
+}
+
+TEST(DualHistogramTest, MaybeSwapRespectsInterval) {
+  DualHistogram h(TestOptions(kSecond));
+  h.Record(100);
+  EXPECT_FALSE(h.MaybeSwap(10));  // First call arms the timer.
+  EXPECT_FALSE(h.MaybeSwap(kSecond - 1));
+  EXPECT_TRUE(h.MaybeSwap(kSecond + 10));  // First period elapsed.
+  EXPECT_FALSE(h.MaybeSwap(kSecond + 11));
+  EXPECT_FALSE(h.MaybeSwap(2 * kSecond + 9));
+  EXPECT_TRUE(h.MaybeSwap(2 * kSecond + 11));
+}
+
+TEST(DualHistogramTest, SwapRotatesBuffers) {
+  DualHistogram h(TestOptions());
+  h.Record(1 * kMillisecond);
+  h.ForceSwap();
+  h.Record(9 * kMillisecond);
+  h.ForceSwap();
+  // Second window only.
+  EXPECT_EQ(h.ReadSummary().mean, 9 * kMillisecond);
+  h.ForceSwap();
+  // Third window is empty; retention keeps the last published summary.
+  EXPECT_EQ(h.ReadSummary().mean, 9 * kMillisecond);
+}
+
+TEST(DualHistogramTest, StaleRetentionBelowMinSamples) {
+  DualHistogram h(TestOptions(kSecond, /*min_samples=*/10));
+  for (int i = 0; i < 20; ++i) h.Record(2 * kMillisecond);
+  h.ForceSwap();
+  EXPECT_EQ(h.ReadSummary().count, 20u);
+  // Only 3 samples this window: below threshold, previous summary stays.
+  h.Record(50 * kMillisecond);
+  h.Record(50 * kMillisecond);
+  h.Record(50 * kMillisecond);
+  h.ForceSwap();
+  const HistogramSummary s = h.ReadSummary();
+  EXPECT_EQ(s.count, 20u);
+  EXPECT_EQ(s.mean, 2 * kMillisecond);
+}
+
+TEST(DualHistogramTest, PublishesWhenAtThreshold) {
+  DualHistogram h(TestOptions(kSecond, /*min_samples=*/3));
+  h.Record(1);
+  h.Record(1);
+  h.Record(1);
+  h.ForceSwap();
+  EXPECT_EQ(h.ReadSummary().count, 3u);
+}
+
+TEST(DualHistogramTest, ActiveCountTracksCurrentBuffer) {
+  DualHistogram h(TestOptions());
+  h.Record(1);
+  h.Record(1);
+  EXPECT_EQ(h.ActiveCount(), 2u);
+  h.ForceSwap();
+  EXPECT_EQ(h.ActiveCount(), 0u);
+}
+
+TEST(DualHistogramTest, SwapCountIncrements) {
+  DualHistogram h(TestOptions());
+  EXPECT_EQ(h.SwapCount(), 0u);
+  h.ForceSwap();
+  h.ForceSwap();
+  EXPECT_EQ(h.SwapCount(), 2u);
+}
+
+TEST(DualHistogramTest, OnlyOneThreadWinsTimedSwap) {
+  DualHistogram h(TestOptions(kSecond));
+  h.Record(1);
+  EXPECT_FALSE(h.MaybeSwap(0));  // Arm the timer.
+  std::atomic<int> wins{0};
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 4; ++t) {
+    threads.emplace_back([&] {
+      if (h.MaybeSwap(5 * kSecond)) wins.fetch_add(1);
+    });
+  }
+  for (auto& t : threads) t.join();
+  EXPECT_EQ(wins.load(), 1);
+}
+
+TEST(DualHistogramTest, ConcurrentRecordAndRead) {
+  DualHistogram h(TestOptions(kMillisecond));
+  std::atomic<bool> stop{false};
+  std::thread writer([&] {
+    Nanos now = 0;
+    while (!stop.load()) {
+      for (int i = 0; i < 100; ++i) h.Record(3 * kMillisecond);
+      now += kMillisecond;
+      h.MaybeSwap(now);
+    }
+  });
+  for (int i = 0; i < 2000; ++i) {
+    const HistogramSummary s = h.ReadSummary();
+    if (s.count > 0) {
+      // A consistent summary of identical samples: mean == p50 bucket-ish.
+      EXPECT_EQ(s.mean, 3 * kMillisecond);
+    }
+  }
+  stop.store(true);
+  writer.join();
+}
+
+}  // namespace
+}  // namespace bouncer::stats

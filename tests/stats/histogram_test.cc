@@ -1,0 +1,177 @@
+#include "src/stats/histogram.h"
+
+#include <gtest/gtest.h>
+
+#include <thread>
+#include <vector>
+
+#include "src/util/rng.h"
+
+namespace bouncer::stats {
+namespace {
+
+TEST(HistogramTest, EmptyHistogram) {
+  Histogram h;
+  EXPECT_EQ(h.Count(), 0u);
+  EXPECT_EQ(h.Mean(), 0);
+  EXPECT_EQ(h.Percentile(0.5), 0);
+  EXPECT_TRUE(h.MakeSummary().empty());
+}
+
+TEST(HistogramTest, SingleSample) {
+  Histogram h;
+  h.Record(5 * kMillisecond);
+  EXPECT_EQ(h.Count(), 1u);
+  EXPECT_EQ(h.Mean(), 5 * kMillisecond);
+  // Percentile is bucket-approximate: within the ~3% bucket width.
+  EXPECT_NEAR(static_cast<double>(h.Percentile(0.5)),
+              static_cast<double>(5 * kMillisecond), 0.05 * 5 * kMillisecond);
+}
+
+TEST(HistogramTest, MeanIsExact) {
+  Histogram h;
+  h.Record(100);
+  h.Record(200);
+  h.Record(600);
+  EXPECT_EQ(h.Mean(), 300);
+}
+
+TEST(HistogramTest, NegativeValuesClampToZero) {
+  Histogram h;
+  h.Record(-5);
+  EXPECT_EQ(h.Count(), 1u);
+  EXPECT_EQ(h.Mean(), 0);
+  EXPECT_EQ(h.Percentile(1.0), 0);
+}
+
+TEST(HistogramTest, HugeValuesClampToMax) {
+  Histogram h;
+  h.Record(Histogram::kMaxValue * 4);
+  EXPECT_EQ(h.Count(), 1u);
+  EXPECT_LE(h.Percentile(1.0), Histogram::kMaxValue);
+}
+
+TEST(HistogramTest, ResetClears) {
+  Histogram h;
+  h.Record(100);
+  h.Reset();
+  EXPECT_EQ(h.Count(), 0u);
+  EXPECT_EQ(h.Mean(), 0);
+}
+
+TEST(HistogramTest, PercentilesOrdered) {
+  Histogram h;
+  Rng rng(1);
+  for (int i = 0; i < 10000; ++i) {
+    h.Record(static_cast<Nanos>(rng.NextExponential(1e6)));
+  }
+  EXPECT_LE(h.Percentile(0.5), h.Percentile(0.9));
+  EXPECT_LE(h.Percentile(0.9), h.Percentile(0.99));
+  EXPECT_LE(h.Percentile(0.99), h.Percentile(1.0));
+}
+
+TEST(HistogramTest, SummaryMatchesDirectQueries) {
+  Histogram h;
+  Rng rng(2);
+  for (int i = 0; i < 50000; ++i) {
+    h.Record(static_cast<Nanos>(rng.NextLogNormal(14.0, 1.0)));
+  }
+  const HistogramSummary s = h.MakeSummary();
+  EXPECT_EQ(s.count, 50000u);
+  EXPECT_EQ(s.mean, h.Mean());
+  EXPECT_EQ(s.p50, h.Percentile(0.5));
+  EXPECT_EQ(s.p90, h.Percentile(0.9));
+  EXPECT_EQ(s.p99, h.Percentile(0.99));
+}
+
+TEST(HistogramTest, UniformPercentileAccuracy) {
+  // Values 1..100000: p50 should be ~50000 within bucket error.
+  Histogram h;
+  for (Nanos v = 1; v <= 100000; ++v) h.Record(v);
+  EXPECT_NEAR(static_cast<double>(h.Percentile(0.5)), 50000.0, 2000.0);
+  EXPECT_NEAR(static_cast<double>(h.Percentile(0.9)), 90000.0, 3000.0);
+}
+
+TEST(HistogramTest, ConcurrentRecords) {
+  Histogram h;
+  constexpr int kThreads = 4;
+  constexpr int kPerThread = 20000;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&h, t] {
+      for (int i = 0; i < kPerThread; ++i) {
+        h.Record(1000 + t);
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  EXPECT_EQ(h.Count(), static_cast<uint64_t>(kThreads * kPerThread));
+}
+
+// --- Bucket indexing properties ---
+
+TEST(HistogramBucketTest, ExactForSmallValues) {
+  for (Nanos v = 0; v < Histogram::kSubCount; ++v) {
+    EXPECT_EQ(Histogram::BucketIndex(v), static_cast<int>(v));
+    EXPECT_EQ(Histogram::BucketLowerBound(static_cast<int>(v)), v);
+  }
+}
+
+class BucketProperty : public ::testing::TestWithParam<Nanos> {};
+
+TEST_P(BucketProperty, IndexInRange) {
+  const int index = Histogram::BucketIndex(GetParam());
+  EXPECT_GE(index, 0);
+  EXPECT_LT(index, Histogram::kBucketCount);
+}
+
+TEST_P(BucketProperty, ValueWithinItsBucketBounds) {
+  const Nanos v = GetParam();
+  const int index = Histogram::BucketIndex(v);
+  EXPECT_LE(Histogram::BucketLowerBound(index), v);
+  if (index + 1 < Histogram::kBucketCount) {
+    EXPECT_GT(Histogram::BucketLowerBound(index + 1), v);
+  }
+}
+
+TEST_P(BucketProperty, MidpointRelativeErrorBounded) {
+  const Nanos v = GetParam();
+  if (v == 0) return;
+  const Nanos mid = Histogram::BucketMidpoint(Histogram::BucketIndex(v));
+  const double rel =
+      std::abs(static_cast<double>(mid - v)) / static_cast<double>(v);
+  EXPECT_LE(rel, 1.0 / Histogram::kSubCount);  // <= ~3.1%.
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    RepresentativeValues, BucketProperty,
+    ::testing::Values<Nanos>(0, 1, 31, 32, 33, 63, 64, 100, 1000, 4095, 4096,
+                             65535, 1'000'000, 999'999'937, 5'000'000'000LL,
+                             Histogram::kMaxValue - 1, Histogram::kMaxValue));
+
+TEST(HistogramBucketTest, IndexIsMonotone) {
+  Rng rng(3);
+  for (int i = 0; i < 10000; ++i) {
+    const Nanos a = static_cast<Nanos>(rng.NextBounded(Histogram::kMaxValue));
+    const Nanos b = a + static_cast<Nanos>(rng.NextBounded(1 << 20));
+    EXPECT_LE(Histogram::BucketIndex(a), Histogram::BucketIndex(b))
+        << "a=" << a << " b=" << b;
+  }
+}
+
+TEST(HistogramBucketTest, LowerBoundsStrictlyIncrease) {
+  for (int i = 1; i < Histogram::kBucketCount; ++i) {
+    EXPECT_LT(Histogram::BucketLowerBound(i - 1),
+              Histogram::BucketLowerBound(i))
+        << "at index " << i;
+  }
+}
+
+TEST(HistogramBucketTest, LowerBoundRoundTrips) {
+  for (int i = 0; i < Histogram::kBucketCount; ++i) {
+    EXPECT_EQ(Histogram::BucketIndex(Histogram::BucketLowerBound(i)), i);
+  }
+}
+
+}  // namespace
+}  // namespace bouncer::stats

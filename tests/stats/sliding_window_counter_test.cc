@@ -1,0 +1,122 @@
+#include "src/stats/sliding_window_counter.h"
+
+#include <gtest/gtest.h>
+
+#include <thread>
+
+namespace bouncer::stats {
+namespace {
+
+constexpr Nanos kStep = 10 * kMillisecond;
+constexpr Nanos kWindow = kSecond;
+
+TEST(SlidingWindowCounterTest, StartsEmpty) {
+  SlidingWindowCounter w(3, kWindow, kStep);
+  for (size_t t = 0; t < 3; ++t) {
+    EXPECT_EQ(w.ReceivedCount(t), 0u);
+    EXPECT_EQ(w.AcceptedCount(t), 0u);
+  }
+}
+
+TEST(SlidingWindowCounterTest, RecordAccepted) {
+  SlidingWindowCounter w(2, kWindow, kStep);
+  w.Record(0, true, 0);
+  w.Record(0, false, 0);
+  w.Record(1, true, 0);
+  EXPECT_EQ(w.ReceivedCount(0), 2u);
+  EXPECT_EQ(w.AcceptedCount(0), 1u);
+  EXPECT_EQ(w.ReceivedCount(1), 1u);
+  EXPECT_EQ(w.AcceptedCount(1), 1u);
+}
+
+TEST(SlidingWindowCounterTest, OutOfRangeTypeIgnored) {
+  SlidingWindowCounter w(2, kWindow, kStep);
+  w.Record(5, true, 0);
+  EXPECT_EQ(w.ReceivedCount(5), 0u);
+  EXPECT_EQ(w.ReceivedCount(0), 0u);
+}
+
+TEST(SlidingWindowCounterTest, CountsSurviveWithinWindow) {
+  SlidingWindowCounter w(1, kWindow, kStep);
+  w.Record(0, true, 0);
+  w.AdvanceTo(kWindow - kStep);
+  EXPECT_EQ(w.ReceivedCount(0), 1u);
+}
+
+TEST(SlidingWindowCounterTest, CountsExpireAfterWindow) {
+  SlidingWindowCounter w(1, kWindow, kStep);
+  w.Record(0, true, 0);
+  w.AdvanceTo(kWindow + kStep);
+  EXPECT_EQ(w.ReceivedCount(0), 0u);
+  EXPECT_EQ(w.AcceptedCount(0), 0u);
+}
+
+TEST(SlidingWindowCounterTest, PartialExpiry) {
+  SlidingWindowCounter w(1, kWindow, kStep);
+  w.Record(0, true, 0);                 // Slot for t=0.
+  w.Record(0, true, kWindow / 2);       // Slot mid-window.
+  w.AdvanceTo(kWindow + kStep);         // First record expired.
+  EXPECT_EQ(w.ReceivedCount(0), 1u);
+}
+
+TEST(SlidingWindowCounterTest, LargeJumpClearsEverything) {
+  SlidingWindowCounter w(2, kWindow, kStep);
+  w.Record(0, true, 0);
+  w.Record(1, false, 0);
+  w.AdvanceTo(100 * kWindow);
+  EXPECT_EQ(w.ReceivedCount(0), 0u);
+  EXPECT_EQ(w.ReceivedCount(1), 0u);
+}
+
+TEST(SlidingWindowCounterTest, AcceptanceRatio) {
+  SlidingWindowCounter w(1, kWindow, kStep);
+  EXPECT_DOUBLE_EQ(w.AcceptanceRatio(0), 1.0);  // Default empty value.
+  EXPECT_DOUBLE_EQ(w.AcceptanceRatio(0, 0.5), 0.5);
+  for (int i = 0; i < 3; ++i) w.Record(0, true, 0);
+  w.Record(0, false, 0);
+  EXPECT_DOUBLE_EQ(w.AcceptanceRatio(0), 0.75);
+}
+
+TEST(SlidingWindowCounterTest, AverageAcceptanceRatioMatchesAlg3) {
+  SlidingWindowCounter w(3, kWindow, kStep);
+  // Type 0: AR = 1.0, type 1: AR = 0.5, type 2: no traffic -> 0.
+  w.Record(0, true, 0);
+  w.Record(1, true, 0);
+  w.Record(1, false, 0);
+  EXPECT_DOUBLE_EQ(w.AverageAcceptanceRatio(), (1.0 + 0.5 + 0.0) / 3.0);
+}
+
+TEST(SlidingWindowCounterTest, DurationRoundsUpToSteps) {
+  SlidingWindowCounter w(1, kStep * 3 + 1, kStep);
+  EXPECT_EQ(w.duration(), kStep * 4);
+}
+
+TEST(SlidingWindowCounterTest, RecordAdvancesImplicitly) {
+  SlidingWindowCounter w(1, kWindow, kStep);
+  w.Record(0, true, 0);
+  // A record far in the future expires the old one as a side effect.
+  w.Record(0, false, 10 * kWindow);
+  EXPECT_EQ(w.ReceivedCount(0), 1u);
+  EXPECT_EQ(w.AcceptedCount(0), 0u);
+}
+
+TEST(SlidingWindowCounterTest, ConcurrentRecords) {
+  SlidingWindowCounter w(4, kWindow, kStep);
+  std::vector<std::thread> threads;
+  constexpr int kPerThread = 10000;
+  for (int t = 0; t < 4; ++t) {
+    threads.emplace_back([&w, t] {
+      for (int i = 0; i < kPerThread; ++i) {
+        w.Record(static_cast<size_t>(t), i % 2 == 0, kStep);
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  for (size_t t = 0; t < 4; ++t) {
+    EXPECT_EQ(w.ReceivedCount(t), static_cast<uint64_t>(kPerThread));
+    EXPECT_EQ(w.AcceptedCount(t), static_cast<uint64_t>(kPerThread / 2));
+  }
+}
+
+}  // namespace
+}  // namespace bouncer::stats

@@ -1,0 +1,85 @@
+#include "src/stats/sliding_window_mean.h"
+
+#include <gtest/gtest.h>
+
+#include <thread>
+
+namespace bouncer::stats {
+namespace {
+
+constexpr Nanos kStep = kSecond;
+constexpr Nanos kWindow = 60 * kSecond;
+
+TEST(SlidingWindowMeanTest, EmptyReturnsDefault) {
+  SlidingWindowMean m(kWindow, kStep);
+  EXPECT_EQ(m.Count(), 0u);
+  EXPECT_DOUBLE_EQ(m.Mean(), 0.0);
+  EXPECT_DOUBLE_EQ(m.Mean(42.0), 42.0);
+  EXPECT_DOUBLE_EQ(m.RatePerSecond(0), 0.0);
+}
+
+TEST(SlidingWindowMeanTest, MeanOfSamples) {
+  SlidingWindowMean m(kWindow, kStep);
+  m.Record(10, 0);
+  m.Record(20, 0);
+  m.Record(30, 0);
+  EXPECT_EQ(m.Count(), 3u);
+  EXPECT_DOUBLE_EQ(m.Mean(), 20.0);
+}
+
+TEST(SlidingWindowMeanTest, SamplesExpire) {
+  SlidingWindowMean m(kWindow, kStep);
+  m.Record(100, 0);
+  m.AdvanceTo(kWindow + kStep);
+  EXPECT_EQ(m.Count(), 0u);
+  EXPECT_DOUBLE_EQ(m.Mean(), 0.0);
+}
+
+TEST(SlidingWindowMeanTest, MixedAges) {
+  SlidingWindowMean m(kWindow, kStep);
+  m.Record(100, 0);
+  m.Record(10, 30 * kSecond);
+  m.AdvanceTo(61 * kSecond);  // First sample out, second still in.
+  EXPECT_EQ(m.Count(), 1u);
+  EXPECT_DOUBLE_EQ(m.Mean(), 10.0);
+}
+
+TEST(SlidingWindowMeanTest, RatePerSecond) {
+  SlidingWindowMean m(kWindow, kStep);
+  Nanos last = 0;
+  for (int i = 0; i < 120; ++i) {
+    last = static_cast<Nanos>(i) * kSecond / 2;  // 2 events/s.
+    m.RecordEvent(last);
+  }
+  EXPECT_NEAR(m.RatePerSecond(last), 2.0, 0.05);
+}
+
+TEST(SlidingWindowMeanTest, NegativeValuesAllowed) {
+  SlidingWindowMean m(kWindow, kStep);
+  m.Record(-10, 0);
+  m.Record(10, 0);
+  EXPECT_DOUBLE_EQ(m.Mean(), 0.0);
+}
+
+TEST(SlidingWindowMeanTest, LargeJumpClears) {
+  SlidingWindowMean m(kWindow, kStep);
+  for (int i = 0; i < 100; ++i) m.Record(5, 0);
+  m.AdvanceTo(1000 * kWindow);
+  EXPECT_EQ(m.Count(), 0u);
+}
+
+TEST(SlidingWindowMeanTest, ConcurrentRecords) {
+  SlidingWindowMean m(kWindow, kStep);
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 4; ++t) {
+    threads.emplace_back([&m] {
+      for (int i = 0; i < 10000; ++i) m.Record(7, kSecond);
+    });
+  }
+  for (auto& t : threads) t.join();
+  EXPECT_EQ(m.Count(), 40000u);
+  EXPECT_DOUBLE_EQ(m.Mean(), 7.0);
+}
+
+}  // namespace
+}  // namespace bouncer::stats

@@ -1,0 +1,79 @@
+#include "src/stats/summary.h"
+
+#include <gtest/gtest.h>
+
+namespace bouncer::stats {
+namespace {
+
+TEST(SampleSummaryTest, Empty) {
+  SampleSummary s;
+  EXPECT_EQ(s.Count(), 0u);
+  EXPECT_DOUBLE_EQ(s.Mean(), 0.0);
+  EXPECT_DOUBLE_EQ(s.Percentile(0.5), 0.0);
+  EXPECT_DOUBLE_EQ(s.Max(), 0.0);
+  EXPECT_DOUBLE_EQ(s.FractionAbove(1.0), 0.0);
+}
+
+TEST(SampleSummaryTest, MeanAndCount) {
+  SampleSummary s;
+  s.Add(1.0);
+  s.Add(2.0);
+  s.Add(3.0);
+  EXPECT_EQ(s.Count(), 3u);
+  EXPECT_DOUBLE_EQ(s.Mean(), 2.0);
+}
+
+TEST(SampleSummaryTest, NearestRankPercentiles) {
+  SampleSummary s;
+  for (int i = 1; i <= 100; ++i) s.Add(i);
+  EXPECT_DOUBLE_EQ(s.Percentile(0.5), 50.0);
+  EXPECT_DOUBLE_EQ(s.Percentile(0.9), 90.0);
+  EXPECT_DOUBLE_EQ(s.Percentile(0.0), 1.0);
+  EXPECT_DOUBLE_EQ(s.Percentile(1.0), 100.0);
+}
+
+TEST(SampleSummaryTest, SingleSampleAllPercentiles) {
+  SampleSummary s;
+  s.Add(7.0);
+  EXPECT_DOUBLE_EQ(s.Percentile(0.01), 7.0);
+  EXPECT_DOUBLE_EQ(s.Percentile(0.99), 7.0);
+}
+
+TEST(SampleSummaryTest, AddAfterPercentileResorts) {
+  SampleSummary s;
+  s.Add(10.0);
+  EXPECT_DOUBLE_EQ(s.Percentile(0.5), 10.0);
+  s.Add(1.0);
+  s.Add(2.0);
+  EXPECT_DOUBLE_EQ(s.Percentile(0.5), 2.0);
+}
+
+TEST(SampleSummaryTest, Max) {
+  SampleSummary s;
+  s.Add(3.0);
+  s.Add(9.0);
+  s.Add(1.0);
+  EXPECT_DOUBLE_EQ(s.Max(), 9.0);
+}
+
+TEST(SampleSummaryTest, FractionAboveStrict) {
+  SampleSummary s;
+  s.Add(1.0);
+  s.Add(2.0);
+  s.Add(3.0);
+  s.Add(4.0);
+  EXPECT_DOUBLE_EQ(s.FractionAbove(2.0), 0.5);  // 3 and 4.
+  EXPECT_DOUBLE_EQ(s.FractionAbove(0.0), 1.0);
+  EXPECT_DOUBLE_EQ(s.FractionAbove(4.0), 0.0);
+}
+
+TEST(SampleSummaryTest, ClearResets) {
+  SampleSummary s;
+  s.Add(5.0);
+  s.Clear();
+  EXPECT_EQ(s.Count(), 0u);
+  EXPECT_DOUBLE_EQ(s.Percentile(0.5), 0.0);
+}
+
+}  // namespace
+}  // namespace bouncer::stats

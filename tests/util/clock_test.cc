@@ -1,0 +1,56 @@
+#include "src/util/clock.h"
+
+#include <gtest/gtest.h>
+
+#include <thread>
+
+namespace bouncer {
+namespace {
+
+TEST(SystemClockTest, IsMonotonic) {
+  SystemClock clock;
+  const Nanos a = clock.Now();
+  const Nanos b = clock.Now();
+  EXPECT_LE(a, b);
+}
+
+TEST(SystemClockTest, AdvancesWithRealTime) {
+  SystemClock clock;
+  const Nanos a = clock.Now();
+  std::this_thread::sleep_for(std::chrono::milliseconds(2));
+  const Nanos b = clock.Now();
+  EXPECT_GE(b - a, kMillisecond);
+}
+
+TEST(SystemClockTest, GlobalReturnsSameInstance) {
+  EXPECT_EQ(SystemClock::Global(), SystemClock::Global());
+}
+
+TEST(ManualClockTest, StartsAtGivenTime) {
+  ManualClock clock(123);
+  EXPECT_EQ(clock.Now(), 123);
+}
+
+TEST(ManualClockTest, SetTime) {
+  ManualClock clock;
+  clock.SetTime(5 * kSecond);
+  EXPECT_EQ(clock.Now(), 5 * kSecond);
+}
+
+TEST(ManualClockTest, AdvanceReturnsNewTime) {
+  ManualClock clock(100);
+  EXPECT_EQ(clock.Advance(50), 150);
+  EXPECT_EQ(clock.Now(), 150);
+}
+
+TEST(ManualClockTest, VisibleAcrossThreads) {
+  ManualClock clock;
+  clock.SetTime(42);
+  Nanos seen = 0;
+  std::thread reader([&] { seen = clock.Now(); });
+  reader.join();
+  EXPECT_EQ(seen, 42);
+}
+
+}  // namespace
+}  // namespace bouncer

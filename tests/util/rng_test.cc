@@ -1,0 +1,198 @@
+#include "src/util/rng.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+namespace bouncer {
+namespace {
+
+TEST(RngTest, DeterministicForSeed) {
+  Rng a(123);
+  Rng b(123);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(a.NextU64(), b.NextU64());
+  }
+}
+
+TEST(RngTest, DifferentSeedsDiffer) {
+  Rng a(1);
+  Rng b(2);
+  int equal = 0;
+  for (int i = 0; i < 64; ++i) {
+    if (a.NextU64() == b.NextU64()) ++equal;
+  }
+  EXPECT_LT(equal, 2);
+}
+
+TEST(RngTest, ReseedingResets) {
+  Rng a(9);
+  const uint64_t first = a.NextU64();
+  a.NextU64();
+  a.Seed(9);
+  EXPECT_EQ(a.NextU64(), first);
+}
+
+TEST(RngTest, NextDoubleInUnitInterval) {
+  Rng rng(5);
+  for (int i = 0; i < 10000; ++i) {
+    const double u = rng.NextDouble();
+    EXPECT_GE(u, 0.0);
+    EXPECT_LT(u, 1.0);
+  }
+}
+
+TEST(RngTest, NextDoubleMeanNearHalf) {
+  Rng rng(6);
+  double sum = 0.0;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) sum += rng.NextDouble();
+  EXPECT_NEAR(sum / n, 0.5, 0.01);
+}
+
+TEST(RngTest, NextBoundedWithinBound) {
+  Rng rng(7);
+  for (uint64_t bound : {1ULL, 2ULL, 3ULL, 10ULL, 1000ULL}) {
+    for (int i = 0; i < 1000; ++i) {
+      EXPECT_LT(rng.NextBounded(bound), bound);
+    }
+  }
+}
+
+TEST(RngTest, NextBoundedCoversRange) {
+  Rng rng(8);
+  std::vector<int> hits(10, 0);
+  for (int i = 0; i < 10000; ++i) ++hits[rng.NextBounded(10)];
+  for (int h : hits) EXPECT_GT(h, 800);  // ~1000 expected per cell.
+}
+
+TEST(RngTest, BernoulliExtremes) {
+  Rng rng(9);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_FALSE(rng.NextBernoulli(0.0));
+    EXPECT_TRUE(rng.NextBernoulli(1.0));
+  }
+}
+
+TEST(RngTest, BernoulliRate) {
+  Rng rng(10);
+  int hits = 0;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) {
+    if (rng.NextBernoulli(0.05)) ++hits;
+  }
+  EXPECT_NEAR(static_cast<double>(hits) / n, 0.05, 0.005);
+}
+
+TEST(RngTest, ExponentialMean) {
+  Rng rng(11);
+  double sum = 0.0;
+  const int n = 200000;
+  for (int i = 0; i < n; ++i) sum += rng.NextExponential(3.0);
+  EXPECT_NEAR(sum / n, 3.0, 0.05);
+}
+
+TEST(RngTest, ExponentialNonNegative) {
+  Rng rng(12);
+  for (int i = 0; i < 10000; ++i) {
+    EXPECT_GE(rng.NextExponential(1.0), 0.0);
+  }
+}
+
+TEST(RngTest, GaussianMoments) {
+  Rng rng(13);
+  double sum = 0.0;
+  double sum_sq = 0.0;
+  const int n = 200000;
+  for (int i = 0; i < n; ++i) {
+    const double g = rng.NextGaussian();
+    sum += g;
+    sum_sq += g * g;
+  }
+  EXPECT_NEAR(sum / n, 0.0, 0.02);
+  EXPECT_NEAR(sum_sq / n, 1.0, 0.02);
+}
+
+TEST(RngTest, LogNormalMatchesParams) {
+  Rng rng(14);
+  const double mu = 1.0;
+  const double sigma = 0.5;
+  double sum = 0.0;
+  const int n = 200000;
+  std::vector<double> samples;
+  samples.reserve(n);
+  for (int i = 0; i < n; ++i) {
+    const double v = rng.NextLogNormal(mu, sigma);
+    EXPECT_GT(v, 0.0);
+    sum += v;
+    samples.push_back(v);
+  }
+  const double expected_mean = std::exp(mu + sigma * sigma / 2);
+  EXPECT_NEAR(sum / n, expected_mean, expected_mean * 0.02);
+}
+
+TEST(LogNormalParamsTest, FromMeanMedianRecoversBoth) {
+  const auto p = LogNormalParams::FromMeanMedian(20.05, 12.51);
+  EXPECT_NEAR(p.Mean(), 20.05, 1e-9);
+  EXPECT_NEAR(p.Median(), 12.51, 1e-9);
+}
+
+TEST(LogNormalParamsTest, DegenerateWhenMeanEqualsMedian) {
+  const auto p = LogNormalParams::FromMeanMedian(5.0, 5.0);
+  EXPECT_EQ(p.sigma, 0.0);
+  EXPECT_NEAR(p.Median(), 5.0, 1e-9);
+}
+
+TEST(LogNormalParamsTest, MeanBelowMedianClampsToPointMass) {
+  const auto p = LogNormalParams::FromMeanMedian(1.0, 5.0);
+  EXPECT_EQ(p.sigma, 0.0);
+}
+
+TEST(LogNormalParamsTest, NonPositiveMedianSafe) {
+  const auto p = LogNormalParams::FromMeanMedian(1.0, 0.0);
+  EXPECT_EQ(p.sigma, 0.0);
+  EXPECT_NEAR(p.Median(), 1.0, 1e-12);  // exp(0).
+}
+
+TEST(LogNormalParamsTest, QuantileMedian) {
+  const auto p = LogNormalParams::FromMeanMedian(12.13, 7.40);
+  EXPECT_NEAR(p.Quantile(0.5), 7.40, 0.01);
+}
+
+// Table 1 consistency: the published p90 values follow from the
+// mean/median lognormal parameterization to within a few percent.
+struct Table1Row {
+  double mean, p50, p90;
+};
+class Table1Consistency : public ::testing::TestWithParam<Table1Row> {};
+
+TEST_P(Table1Consistency, P90MatchesPublished) {
+  const Table1Row row = GetParam();
+  const auto p = LogNormalParams::FromMeanMedian(row.mean, row.p50);
+  EXPECT_NEAR(p.Quantile(0.9), row.p90, row.p90 * 0.06);
+}
+
+INSTANTIATE_TEST_SUITE_P(PaperTable1, Table1Consistency,
+                         ::testing::Values(Table1Row{1.16, 0.38, 2.70},
+                                           Table1Row{2.53, 2.22, 4.27},
+                                           Table1Row{12.13, 7.40, 26.44},
+                                           Table1Row{20.05, 12.51, 44.26}));
+
+TEST(LogNormalParamsTest, QuantileSampleAgreement) {
+  // Empirical quantiles of sampled values should match the analytic ones.
+  const auto p = LogNormalParams::FromMeanMedian(20.05, 12.51);
+  Rng rng(15);
+  std::vector<double> samples;
+  const int n = 200000;
+  samples.reserve(n);
+  for (int i = 0; i < n; ++i) {
+    samples.push_back(rng.NextLogNormal(p.mu, p.sigma));
+  }
+  std::sort(samples.begin(), samples.end());
+  const double p90 = samples[static_cast<size_t>(0.9 * n)];
+  EXPECT_NEAR(p90, p.Quantile(0.9), p.Quantile(0.9) * 0.03);
+}
+
+}  // namespace
+}  // namespace bouncer

@@ -1,0 +1,32 @@
+#include "src/util/time.h"
+
+#include <gtest/gtest.h>
+
+namespace bouncer {
+namespace {
+
+TEST(TimeTest, UnitConstants) {
+  EXPECT_EQ(kMicrosecond, 1'000);
+  EXPECT_EQ(kMillisecond, 1'000'000);
+  EXPECT_EQ(kSecond, 1'000'000'000);
+}
+
+TEST(TimeTest, ToMillisRoundTrip) {
+  EXPECT_DOUBLE_EQ(ToMillis(kMillisecond), 1.0);
+  EXPECT_DOUBLE_EQ(ToMillis(18 * kMillisecond), 18.0);
+  EXPECT_EQ(FromMillis(18.0), 18 * kMillisecond);
+  EXPECT_EQ(FromMillis(0.5), 500'000);
+}
+
+TEST(TimeTest, ToSecondsRoundTrip) {
+  EXPECT_DOUBLE_EQ(ToSeconds(kSecond), 1.0);
+  EXPECT_EQ(FromSeconds(2.5), 2'500'000'000LL);
+}
+
+TEST(TimeTest, NegativeDurations) {
+  EXPECT_DOUBLE_EQ(ToMillis(-kMillisecond), -1.0);
+  EXPECT_EQ(FromMillis(-1.0), -kMillisecond);
+}
+
+}  // namespace
+}  // namespace bouncer

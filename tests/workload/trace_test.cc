@@ -1,0 +1,168 @@
+#include "src/workload/trace.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+
+namespace bouncer::workload {
+namespace {
+
+QueryTrace SmallTrace() {
+  QueryTrace trace({"A", "B"}, {});
+  EXPECT_TRUE(trace.Append({0, 0, 10, 20}).ok());
+  EXPECT_TRUE(trace.Append({kMillisecond, 1, 30, 40}).ok());
+  EXPECT_TRUE(trace.Append({2 * kMillisecond, 0, 50, 60}).ok());
+  return trace;
+}
+
+TEST(QueryTraceTest, AppendValidation) {
+  QueryTrace trace({"A"}, {});
+  EXPECT_TRUE(trace.Append({10, 0, 0, 0}).ok());
+  EXPECT_EQ(trace.Append({5, 0, 0, 0}).code(),
+            StatusCode::kInvalidArgument);  // Decreasing timestamp.
+  EXPECT_EQ(trace.Append({20, 7, 0, 0}).code(),
+            StatusCode::kOutOfRange);  // Bad type index.
+  EXPECT_TRUE(trace.Append({10, 0, 0, 0}).ok());  // Equal timestamps OK.
+}
+
+TEST(QueryTraceTest, DurationAndQps) {
+  const QueryTrace trace = SmallTrace();
+  EXPECT_EQ(trace.Duration(), 2 * kMillisecond);
+  EXPECT_NEAR(trace.AverageQps(), 3 / 0.002, 1.0);
+}
+
+TEST(QueryTraceTest, TypeCounts) {
+  const QueryTrace trace = SmallTrace();
+  EXPECT_EQ(trace.TypeCounts(), (std::vector<uint64_t>{2, 1}));
+}
+
+TEST(QueryTraceTest, SerializeParseRoundTrip) {
+  const QueryTrace trace = SmallTrace();
+  const auto reparsed = QueryTrace::Parse(trace.Serialize());
+  ASSERT_TRUE(reparsed.ok()) << reparsed.status().ToString();
+  EXPECT_EQ(reparsed->type_names(), trace.type_names());
+  EXPECT_EQ(reparsed->records(), trace.records());
+}
+
+TEST(QueryTraceTest, ParseRejectsGarbage) {
+  EXPECT_FALSE(QueryTrace::Parse("").ok());
+  EXPECT_FALSE(QueryTrace::Parse("# wrong header\ntypes: A\n").ok());
+  EXPECT_FALSE(QueryTrace::Parse("# bouncer-trace v1\nnope\n").ok());
+  EXPECT_FALSE(QueryTrace::Parse("# bouncer-trace v1\ntypes: \n").ok());
+  EXPECT_FALSE(
+      QueryTrace::Parse("# bouncer-trace v1\ntypes: A\n1 2 3\n").ok());
+  EXPECT_FALSE(
+      QueryTrace::Parse("# bouncer-trace v1\ntypes: A\n5 9 0 0\n").ok());
+  EXPECT_FALSE(
+      QueryTrace::Parse("# bouncer-trace v1\ntypes: A\n5 0 0 0\n1 0 0 0\n")
+          .ok());
+}
+
+TEST(QueryTraceTest, ParseSkipsCommentsAndBlankLines) {
+  const auto trace = QueryTrace::Parse(
+      "# bouncer-trace v1\ntypes: A\n# comment\n\n5 0 1 2\n");
+  ASSERT_TRUE(trace.ok());
+  EXPECT_EQ(trace->size(), 1u);
+}
+
+TEST(QueryTraceTest, FileRoundTrip) {
+  const QueryTrace trace = SmallTrace();
+  const std::string path = ::testing::TempDir() + "/bouncer_trace_test.txt";
+  ASSERT_TRUE(trace.SaveToFile(path).ok());
+  const auto loaded = QueryTrace::LoadFromFile(path);
+  ASSERT_TRUE(loaded.ok());
+  EXPECT_EQ(loaded->records(), trace.records());
+  std::remove(path.c_str());
+}
+
+TEST(QueryTraceTest, LoadMissingFileIsNotFound) {
+  EXPECT_EQ(QueryTrace::LoadFromFile("/nonexistent/trace.txt").status().code(),
+            StatusCode::kNotFound);
+}
+
+TEST(QueryTraceTest, SynthesizeMatchesMixAndRate) {
+  const auto mix = PaperSimulationWorkload();
+  const QueryTrace trace =
+      QueryTrace::Synthesize(mix, 10'000.0, 5 * kSecond, 3, 1000);
+  EXPECT_EQ(trace.type_names().size(), 4u);
+  // ~50k arrivals expected.
+  EXPECT_NEAR(static_cast<double>(trace.size()), 50'000.0, 2'000.0);
+  const auto counts = trace.TypeCounts();
+  EXPECT_NEAR(static_cast<double>(counts[0]) / trace.size(), 0.40, 0.02);
+  for (const auto& record : trace.records()) {
+    EXPECT_LT(record.param_a, 1000u);
+  }
+}
+
+TEST(QueryTraceTest, SynthesizeDeterministic) {
+  const auto mix = PaperSimulationWorkload();
+  const QueryTrace a = QueryTrace::Synthesize(mix, 1000, kSecond, 7, 10);
+  const QueryTrace b = QueryTrace::Synthesize(mix, 1000, kSecond, 7, 10);
+  EXPECT_EQ(a.records(), b.records());
+}
+
+TEST(TraceReplayerTest, DeliversAllRecordsInOrder) {
+  const auto mix = PaperSimulationWorkload();
+  const QueryTrace trace =
+      QueryTrace::Synthesize(mix, 2000, kSecond / 4, 11, 0);
+  ASSERT_GT(trace.size(), 100u);
+  std::vector<uint32_t> seen;
+  TraceReplayer replayer(&trace, {.speed = 50.0},
+                         [&](const TraceRecord& r) {
+                           seen.push_back(r.type_index);
+                         });
+  EXPECT_EQ(replayer.Run(), trace.size());
+  ASSERT_EQ(seen.size(), trace.size());
+  for (size_t i = 0; i < seen.size(); ++i) {
+    EXPECT_EQ(seen[i], trace.records()[i].type_index);
+  }
+}
+
+TEST(TraceReplayerTest, SpeedControlsWallTime) {
+  const auto mix = PaperSimulationWorkload();
+  // 200 ms of trace at speed 2 should take ~100 ms.
+  const QueryTrace trace =
+      QueryTrace::Synthesize(mix, 1000, kSecond / 5, 13, 0);
+  std::atomic<int> count{0};
+  TraceReplayer replayer(&trace, {.speed = 2.0},
+                         [&](const TraceRecord&) { count.fetch_add(1); });
+  const auto start = std::chrono::steady_clock::now();
+  replayer.Run();
+  const auto elapsed = std::chrono::steady_clock::now() - start;
+  EXPECT_LT(elapsed, std::chrono::milliseconds(400));
+  EXPECT_EQ(count.load(), static_cast<int>(trace.size()));
+}
+
+TEST(TraceReplayerTest, LoopsRepeatTheTrace) {
+  const auto mix = PaperSimulationWorkload();
+  const QueryTrace trace =
+      QueryTrace::Synthesize(mix, 500, kSecond / 10, 17, 0);
+  std::atomic<int> count{0};
+  TraceReplayer replayer(&trace, {.speed = 20.0, .loops = 3},
+                         [&](const TraceRecord&) { count.fetch_add(1); });
+  EXPECT_EQ(replayer.Run(), 3 * trace.size());
+}
+
+TEST(TraceReplayerTest, StopsEarly) {
+  const auto mix = PaperSimulationWorkload();
+  const QueryTrace trace = QueryTrace::Synthesize(mix, 100, 10 * kSecond, 19, 0);
+  TraceReplayer* handle = nullptr;
+  std::atomic<int> count{0};
+  TraceReplayer replayer(&trace, {.speed = 1.0}, [&](const TraceRecord&) {
+    count.fetch_add(1);
+    if (count.load() >= 3) handle->RequestStop();
+  });
+  handle = &replayer;
+  EXPECT_LT(replayer.Run(), trace.size());
+}
+
+TEST(TraceReplayerTest, EmptyTraceDeliversNothing) {
+  QueryTrace trace({"A"}, {});
+  TraceReplayer replayer(&trace, {}, [](const TraceRecord&) { FAIL(); });
+  EXPECT_EQ(replayer.Run(), 0u);
+}
+
+}  // namespace
+}  // namespace bouncer::workload

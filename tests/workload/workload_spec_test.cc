@@ -1,0 +1,104 @@
+#include "src/workload/workload_spec.h"
+
+#include <gtest/gtest.h>
+
+namespace bouncer::workload {
+namespace {
+
+const Slo kSlo{18 * kMillisecond, 50 * kMillisecond, 0};
+
+TEST(WorkloadSpecTest, FromMillisBuildsLogNormal) {
+  const auto spec = QueryTypeSpec::FromMillis("slow", 0.1, 20.05, 12.51, kSlo);
+  EXPECT_EQ(spec.name, "slow");
+  EXPECT_DOUBLE_EQ(spec.proportion, 0.1);
+  EXPECT_NEAR(spec.MeanProcessingMs(), 20.05, 0.01);
+  EXPECT_EQ(spec.slo, kSlo);
+}
+
+TEST(WorkloadSpecTest, ValidateAcceptsPaperWorkload) {
+  EXPECT_TRUE(PaperSimulationWorkload().Validate().ok());
+  EXPECT_TRUE(PaperRealSystemMix().Validate().ok());
+}
+
+TEST(WorkloadSpecTest, ValidateRejectsEmpty) {
+  WorkloadSpec empty;
+  EXPECT_FALSE(empty.Validate().ok());
+}
+
+TEST(WorkloadSpecTest, ValidateRejectsBadProportions) {
+  WorkloadSpec bad({QueryTypeSpec::FromMillis("a", 0.5, 1, 1, kSlo)});
+  EXPECT_FALSE(bad.Validate().ok());  // Sums to 0.5.
+  WorkloadSpec negative({QueryTypeSpec::FromMillis("a", -0.5, 1, 1, kSlo),
+                         QueryTypeSpec::FromMillis("b", 1.5, 1, 1, kSlo)});
+  EXPECT_FALSE(negative.Validate().ok());
+}
+
+TEST(WorkloadSpecTest, PaperWeightedMeanMatchesFootnote7) {
+  // pt_wmean = 0.4*1.16 + 0.2*2.53 + 0.3*12.13 + 0.1*20.05 = 6.614 ms.
+  const auto workload = PaperSimulationWorkload();
+  EXPECT_NEAR(ToMillis(workload.WeightedMeanProcessingTime()), 6.614, 0.001);
+}
+
+TEST(WorkloadSpecTest, PaperFullLoadQpsMatchesSection53) {
+  // QPS_full_load = 100 / 6.614 ms ~ 15.1 kQPS.
+  const auto workload = PaperSimulationWorkload();
+  EXPECT_NEAR(workload.FullLoadQps(100), 15119.0, 10.0);
+}
+
+TEST(WorkloadSpecTest, SampleTypeFollowsProportions) {
+  const auto workload = PaperSimulationWorkload();
+  Rng rng(3);
+  std::vector<int> counts(workload.size(), 0);
+  const int n = 200000;
+  for (int i = 0; i < n; ++i) ++counts[workload.SampleType(rng)];
+  EXPECT_NEAR(counts[0] / static_cast<double>(n), 0.40, 0.01);  // fast
+  EXPECT_NEAR(counts[1] / static_cast<double>(n), 0.20, 0.01);
+  EXPECT_NEAR(counts[2] / static_cast<double>(n), 0.30, 0.01);
+  EXPECT_NEAR(counts[3] / static_cast<double>(n), 0.10, 0.01);  // slow
+}
+
+TEST(WorkloadSpecTest, SampleProcessingTimeMatchesDistribution) {
+  const auto workload = PaperSimulationWorkload();
+  Rng rng(4);
+  double sum = 0.0;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) {
+    const Nanos pt = workload.SampleProcessingTime(3, rng);  // slow
+    EXPECT_GT(pt, 0);
+    sum += ToMillis(pt);
+  }
+  EXPECT_NEAR(sum / n, 20.05, 0.5);
+}
+
+TEST(WorkloadSpecTest, PopulateRegistryInOrder) {
+  const auto workload = PaperSimulationWorkload();
+  QueryTypeRegistry registry(kSlo);
+  const auto ids = workload.PopulateRegistry(&registry);
+  ASSERT_EQ(ids.size(), 4u);
+  EXPECT_EQ(ids[0], 1u);
+  EXPECT_EQ(ids[3], 4u);
+  EXPECT_EQ(registry.Name(1), "fast");
+  EXPECT_EQ(registry.Name(4), "slow");
+  EXPECT_EQ(registry.GetSlo(4), kSlo);
+}
+
+TEST(WorkloadSpecTest, RealSystemMixMatchesPaperProportions) {
+  const auto mix = PaperRealSystemMix();
+  ASSERT_EQ(mix.size(), 11u);
+  // Published percentages sum to 100.01%, so expect the normalized values.
+  EXPECT_NEAR(mix.type(0).proportion, 0.1156, 1e-4);   // QT1
+  EXPECT_NEAR(mix.type(8).proportion, 0.2635, 1e-4);   // QT9
+  EXPECT_NEAR(mix.type(10).proportion, 0.2780, 1e-4);  // QT11
+}
+
+TEST(WorkloadSpecTest, RealSystemMixCostsAscend) {
+  const auto mix = PaperRealSystemMix();
+  for (size_t i = 1; i < mix.size(); ++i) {
+    EXPECT_LT(mix.type(i - 1).processing_time.Mean(),
+              mix.type(i).processing_time.Mean())
+        << "between QT" << i << " and QT" << i + 1;
+  }
+}
+
+}  // namespace
+}  // namespace bouncer::workload
