@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_decision_expr.dir/ablation_decision_expr.cc.o"
+  "CMakeFiles/ablation_decision_expr.dir/ablation_decision_expr.cc.o.d"
+  "ablation_decision_expr"
+  "ablation_decision_expr.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_decision_expr.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

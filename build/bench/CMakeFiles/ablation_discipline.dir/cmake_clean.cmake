@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_discipline.dir/ablation_discipline.cc.o"
+  "CMakeFiles/ablation_discipline.dir/ablation_discipline.cc.o.d"
+  "ablation_discipline"
+  "ablation_discipline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_discipline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_swap_interval.dir/ablation_swap_interval.cc.o"
+  "CMakeFiles/ablation_swap_interval.dir/ablation_swap_interval.cc.o.d"
+  "ablation_swap_interval"
+  "ablation_swap_interval.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_swap_interval.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_wasted_work.dir/ablation_wasted_work.cc.o"
+  "CMakeFiles/ablation_wasted_work.dir/ablation_wasted_work.cc.o.d"
+  "ablation_wasted_work"
+  "ablation_wasted_work.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_wasted_work.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "../lib/libbouncer_bench_common.a"
+  "../lib/libbouncer_bench_common.pdb"
+  "CMakeFiles/bouncer_bench_common.dir/bench_common.cc.o"
+  "CMakeFiles/bouncer_bench_common.dir/bench_common.cc.o.d"
+  "CMakeFiles/bouncer_bench_common.dir/real_common.cc.o"
+  "CMakeFiles/bouncer_bench_common.dir/real_common.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bouncer_bench_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "../lib/libbouncer_bench_common.a"
+)

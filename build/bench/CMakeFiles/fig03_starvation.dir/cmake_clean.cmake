@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig03_starvation.dir/fig03_starvation.cc.o"
+  "CMakeFiles/fig03_starvation.dir/fig03_starvation.cc.o.d"
+  "fig03_starvation"
+  "fig03_starvation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig03_starvation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig06_slow_rt_p50.dir/fig06_slow_rt_p50.cc.o"
+  "CMakeFiles/fig06_slow_rt_p50.dir/fig06_slow_rt_p50.cc.o.d"
+  "fig06_slow_rt_p50"
+  "fig06_slow_rt_p50.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig06_slow_rt_p50.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for fig06_slow_rt_p50.
+# This may be replaced when dependencies are built.

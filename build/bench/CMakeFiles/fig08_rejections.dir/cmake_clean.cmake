@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig08_rejections.dir/fig08_rejections.cc.o"
+  "CMakeFiles/fig08_rejections.dir/fig08_rejections.cc.o.d"
+  "fig08_rejections"
+  "fig08_rejections.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig08_rejections.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig09_strategy_rt.dir/fig09_strategy_rt.cc.o"
+  "CMakeFiles/fig09_strategy_rt.dir/fig09_strategy_rt.cc.o.d"
+  "fig09_strategy_rt"
+  "fig09_strategy_rt.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig09_strategy_rt.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig10_param_rt.dir/fig10_param_rt.cc.o"
+  "CMakeFiles/fig10_param_rt.dir/fig10_param_rt.cc.o.d"
+  "fig10_param_rt"
+  "fig10_param_rt.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig10_param_rt.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig11_real_rejections.dir/fig11_real_rejections.cc.o"
+  "CMakeFiles/fig11_real_rejections.dir/fig11_real_rejections.cc.o.d"
+  "fig11_real_rejections"
+  "fig11_real_rejections.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig11_real_rejections.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig12_real_qt11_rt.dir/fig12_real_qt11_rt.cc.o"
+  "CMakeFiles/fig12_real_qt11_rt.dir/fig12_real_qt11_rt.cc.o.d"
+  "fig12_real_qt11_rt"
+  "fig12_real_qt11_rt.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig12_real_qt11_rt.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for fig12_real_qt11_rt.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig13_pt_vs_rt.dir/fig13_pt_vs_rt.cc.o"
+  "CMakeFiles/fig13_pt_vs_rt.dir/fig13_pt_vs_rt.cc.o.d"
+  "fig13_pt_vs_rt"
+  "fig13_pt_vs_rt.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig13_pt_vs_rt.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

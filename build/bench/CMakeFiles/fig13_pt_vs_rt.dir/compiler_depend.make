@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for fig13_pt_vs_rt.
+# This may be replaced when dependencies are built.

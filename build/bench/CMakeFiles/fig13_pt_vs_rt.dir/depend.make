@@ -1,0 +1,2 @@
+# Empty dependencies file for fig13_pt_vs_rt.
+# This may be replaced when dependencies are built.

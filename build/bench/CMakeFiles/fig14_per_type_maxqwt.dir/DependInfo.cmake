@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/fig14_per_type_maxqwt.cc" "bench/CMakeFiles/fig14_per_type_maxqwt.dir/fig14_per_type_maxqwt.cc.o" "gcc" "bench/CMakeFiles/fig14_per_type_maxqwt.dir/fig14_per_type_maxqwt.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/bench/CMakeFiles/bouncer_bench_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/graph/CMakeFiles/bouncer_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/bouncer_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/server/CMakeFiles/bouncer_server.dir/DependInfo.cmake"
+  "/root/repo/build/src/workload/CMakeFiles/bouncer_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/bouncer_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/bouncer_stats.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/bouncer_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

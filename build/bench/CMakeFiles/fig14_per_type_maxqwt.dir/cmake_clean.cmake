@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig14_per_type_maxqwt.dir/fig14_per_type_maxqwt.cc.o"
+  "CMakeFiles/fig14_per_type_maxqwt.dir/fig14_per_type_maxqwt.cc.o.d"
+  "fig14_per_type_maxqwt"
+  "fig14_per_type_maxqwt.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig14_per_type_maxqwt.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table3_per_type_rejections.dir/table3_per_type_rejections.cc.o"
+  "CMakeFiles/table3_per_type_rejections.dir/table3_per_type_rejections.cc.o.d"
+  "table3_per_type_rejections"
+  "table3_per_type_rejections.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table3_per_type_rejections.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for table3_per_type_rejections.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table4_allowance_sweep.dir/table4_allowance_sweep.cc.o"
+  "CMakeFiles/table4_allowance_sweep.dir/table4_allowance_sweep.cc.o.d"
+  "table4_allowance_sweep"
+  "table4_allowance_sweep.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table4_allowance_sweep.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

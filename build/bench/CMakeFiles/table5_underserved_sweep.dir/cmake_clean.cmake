@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table5_underserved_sweep.dir/table5_underserved_sweep.cc.o"
+  "CMakeFiles/table5_underserved_sweep.dir/table5_underserved_sweep.cc.o.d"
+  "table5_underserved_sweep"
+  "table5_underserved_sweep.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table5_underserved_sweep.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

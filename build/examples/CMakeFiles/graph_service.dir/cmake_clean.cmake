@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/graph_service.dir/graph_service.cpp.o"
+  "CMakeFiles/graph_service.dir/graph_service.cpp.o.d"
+  "graph_service"
+  "graph_service.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/graph_service.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

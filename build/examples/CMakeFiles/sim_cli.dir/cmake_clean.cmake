@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sim_cli.dir/sim_cli.cpp.o"
+  "CMakeFiles/sim_cli.dir/sim_cli.cpp.o.d"
+  "sim_cli"
+  "sim_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sim_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/examples/sim_study.cpp" "examples/CMakeFiles/sim_study.dir/sim_study.cpp.o" "gcc" "examples/CMakeFiles/sim_study.dir/sim_study.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/graph/CMakeFiles/bouncer_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/bouncer_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/server/CMakeFiles/bouncer_server.dir/DependInfo.cmake"
+  "/root/repo/build/src/workload/CMakeFiles/bouncer_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/bouncer_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/bouncer_stats.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/bouncer_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

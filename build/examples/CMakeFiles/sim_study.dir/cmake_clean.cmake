@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sim_study.dir/sim_study.cpp.o"
+  "CMakeFiles/sim_study.dir/sim_study.cpp.o.d"
+  "sim_study"
+  "sim_study.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sim_study.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/accept_fraction_policy.cc" "src/core/CMakeFiles/bouncer_core.dir/accept_fraction_policy.cc.o" "gcc" "src/core/CMakeFiles/bouncer_core.dir/accept_fraction_policy.cc.o.d"
+  "/root/repo/src/core/acceptance_allowance_policy.cc" "src/core/CMakeFiles/bouncer_core.dir/acceptance_allowance_policy.cc.o" "gcc" "src/core/CMakeFiles/bouncer_core.dir/acceptance_allowance_policy.cc.o.d"
+  "/root/repo/src/core/bouncer_policy.cc" "src/core/CMakeFiles/bouncer_core.dir/bouncer_policy.cc.o" "gcc" "src/core/CMakeFiles/bouncer_core.dir/bouncer_policy.cc.o.d"
+  "/root/repo/src/core/helping_underserved_policy.cc" "src/core/CMakeFiles/bouncer_core.dir/helping_underserved_policy.cc.o" "gcc" "src/core/CMakeFiles/bouncer_core.dir/helping_underserved_policy.cc.o.d"
+  "/root/repo/src/core/policy_factory.cc" "src/core/CMakeFiles/bouncer_core.dir/policy_factory.cc.o" "gcc" "src/core/CMakeFiles/bouncer_core.dir/policy_factory.cc.o.d"
+  "/root/repo/src/core/query_type_registry.cc" "src/core/CMakeFiles/bouncer_core.dir/query_type_registry.cc.o" "gcc" "src/core/CMakeFiles/bouncer_core.dir/query_type_registry.cc.o.d"
+  "/root/repo/src/core/slo_config.cc" "src/core/CMakeFiles/bouncer_core.dir/slo_config.cc.o" "gcc" "src/core/CMakeFiles/bouncer_core.dir/slo_config.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/stats/CMakeFiles/bouncer_stats.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/bouncer_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bouncer_core.dir/accept_fraction_policy.cc.o"
+  "CMakeFiles/bouncer_core.dir/accept_fraction_policy.cc.o.d"
+  "CMakeFiles/bouncer_core.dir/acceptance_allowance_policy.cc.o"
+  "CMakeFiles/bouncer_core.dir/acceptance_allowance_policy.cc.o.d"
+  "CMakeFiles/bouncer_core.dir/bouncer_policy.cc.o"
+  "CMakeFiles/bouncer_core.dir/bouncer_policy.cc.o.d"
+  "CMakeFiles/bouncer_core.dir/helping_underserved_policy.cc.o"
+  "CMakeFiles/bouncer_core.dir/helping_underserved_policy.cc.o.d"
+  "CMakeFiles/bouncer_core.dir/policy_factory.cc.o"
+  "CMakeFiles/bouncer_core.dir/policy_factory.cc.o.d"
+  "CMakeFiles/bouncer_core.dir/query_type_registry.cc.o"
+  "CMakeFiles/bouncer_core.dir/query_type_registry.cc.o.d"
+  "CMakeFiles/bouncer_core.dir/slo_config.cc.o"
+  "CMakeFiles/bouncer_core.dir/slo_config.cc.o.d"
+  "libbouncer_core.a"
+  "libbouncer_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bouncer_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

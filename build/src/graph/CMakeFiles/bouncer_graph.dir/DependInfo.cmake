@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/graph/cluster.cc" "src/graph/CMakeFiles/bouncer_graph.dir/cluster.cc.o" "gcc" "src/graph/CMakeFiles/bouncer_graph.dir/cluster.cc.o.d"
+  "/root/repo/src/graph/graph_generator.cc" "src/graph/CMakeFiles/bouncer_graph.dir/graph_generator.cc.o" "gcc" "src/graph/CMakeFiles/bouncer_graph.dir/graph_generator.cc.o.d"
+  "/root/repo/src/graph/graph_store.cc" "src/graph/CMakeFiles/bouncer_graph.dir/graph_store.cc.o" "gcc" "src/graph/CMakeFiles/bouncer_graph.dir/graph_store.cc.o.d"
+  "/root/repo/src/graph/shard_engine.cc" "src/graph/CMakeFiles/bouncer_graph.dir/shard_engine.cc.o" "gcc" "src/graph/CMakeFiles/bouncer_graph.dir/shard_engine.cc.o.d"
+  "/root/repo/src/graph/update_log.cc" "src/graph/CMakeFiles/bouncer_graph.dir/update_log.cc.o" "gcc" "src/graph/CMakeFiles/bouncer_graph.dir/update_log.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/server/CMakeFiles/bouncer_server.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/bouncer_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/bouncer_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/bouncer_stats.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bouncer_graph.dir/cluster.cc.o"
+  "CMakeFiles/bouncer_graph.dir/cluster.cc.o.d"
+  "CMakeFiles/bouncer_graph.dir/graph_generator.cc.o"
+  "CMakeFiles/bouncer_graph.dir/graph_generator.cc.o.d"
+  "CMakeFiles/bouncer_graph.dir/graph_store.cc.o"
+  "CMakeFiles/bouncer_graph.dir/graph_store.cc.o.d"
+  "CMakeFiles/bouncer_graph.dir/shard_engine.cc.o"
+  "CMakeFiles/bouncer_graph.dir/shard_engine.cc.o.d"
+  "CMakeFiles/bouncer_graph.dir/update_log.cc.o"
+  "CMakeFiles/bouncer_graph.dir/update_log.cc.o.d"
+  "libbouncer_graph.a"
+  "libbouncer_graph.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bouncer_graph.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

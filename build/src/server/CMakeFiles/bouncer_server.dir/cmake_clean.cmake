@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bouncer_server.dir/stage.cc.o"
+  "CMakeFiles/bouncer_server.dir/stage.cc.o.d"
+  "libbouncer_server.a"
+  "libbouncer_server.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bouncer_server.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bouncer_sim.dir/experiment.cc.o"
+  "CMakeFiles/bouncer_sim.dir/experiment.cc.o.d"
+  "CMakeFiles/bouncer_sim.dir/simulator.cc.o"
+  "CMakeFiles/bouncer_sim.dir/simulator.cc.o.d"
+  "libbouncer_sim.a"
+  "libbouncer_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bouncer_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

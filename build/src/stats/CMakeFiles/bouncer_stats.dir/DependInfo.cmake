@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/stats/dual_histogram.cc" "src/stats/CMakeFiles/bouncer_stats.dir/dual_histogram.cc.o" "gcc" "src/stats/CMakeFiles/bouncer_stats.dir/dual_histogram.cc.o.d"
+  "/root/repo/src/stats/histogram.cc" "src/stats/CMakeFiles/bouncer_stats.dir/histogram.cc.o" "gcc" "src/stats/CMakeFiles/bouncer_stats.dir/histogram.cc.o.d"
+  "/root/repo/src/stats/sliding_window_counter.cc" "src/stats/CMakeFiles/bouncer_stats.dir/sliding_window_counter.cc.o" "gcc" "src/stats/CMakeFiles/bouncer_stats.dir/sliding_window_counter.cc.o.d"
+  "/root/repo/src/stats/sliding_window_mean.cc" "src/stats/CMakeFiles/bouncer_stats.dir/sliding_window_mean.cc.o" "gcc" "src/stats/CMakeFiles/bouncer_stats.dir/sliding_window_mean.cc.o.d"
+  "/root/repo/src/stats/summary.cc" "src/stats/CMakeFiles/bouncer_stats.dir/summary.cc.o" "gcc" "src/stats/CMakeFiles/bouncer_stats.dir/summary.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/bouncer_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bouncer_stats.dir/dual_histogram.cc.o"
+  "CMakeFiles/bouncer_stats.dir/dual_histogram.cc.o.d"
+  "CMakeFiles/bouncer_stats.dir/histogram.cc.o"
+  "CMakeFiles/bouncer_stats.dir/histogram.cc.o.d"
+  "CMakeFiles/bouncer_stats.dir/sliding_window_counter.cc.o"
+  "CMakeFiles/bouncer_stats.dir/sliding_window_counter.cc.o.d"
+  "CMakeFiles/bouncer_stats.dir/sliding_window_mean.cc.o"
+  "CMakeFiles/bouncer_stats.dir/sliding_window_mean.cc.o.d"
+  "CMakeFiles/bouncer_stats.dir/summary.cc.o"
+  "CMakeFiles/bouncer_stats.dir/summary.cc.o.d"
+  "libbouncer_stats.a"
+  "libbouncer_stats.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bouncer_stats.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

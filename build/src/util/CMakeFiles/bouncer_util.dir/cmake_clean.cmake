@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bouncer_util.dir/clock.cc.o"
+  "CMakeFiles/bouncer_util.dir/clock.cc.o.d"
+  "CMakeFiles/bouncer_util.dir/rng.cc.o"
+  "CMakeFiles/bouncer_util.dir/rng.cc.o.d"
+  "CMakeFiles/bouncer_util.dir/status.cc.o"
+  "CMakeFiles/bouncer_util.dir/status.cc.o.d"
+  "libbouncer_util.a"
+  "libbouncer_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bouncer_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libbouncer_util.a"
+)

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/workload/load_generator.cc" "src/workload/CMakeFiles/bouncer_workload.dir/load_generator.cc.o" "gcc" "src/workload/CMakeFiles/bouncer_workload.dir/load_generator.cc.o.d"
+  "/root/repo/src/workload/trace.cc" "src/workload/CMakeFiles/bouncer_workload.dir/trace.cc.o" "gcc" "src/workload/CMakeFiles/bouncer_workload.dir/trace.cc.o.d"
+  "/root/repo/src/workload/workload_spec.cc" "src/workload/CMakeFiles/bouncer_workload.dir/workload_spec.cc.o" "gcc" "src/workload/CMakeFiles/bouncer_workload.dir/workload_spec.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/bouncer_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/bouncer_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/bouncer_stats.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bouncer_workload.dir/load_generator.cc.o"
+  "CMakeFiles/bouncer_workload.dir/load_generator.cc.o.d"
+  "CMakeFiles/bouncer_workload.dir/trace.cc.o"
+  "CMakeFiles/bouncer_workload.dir/trace.cc.o.d"
+  "CMakeFiles/bouncer_workload.dir/workload_spec.cc.o"
+  "CMakeFiles/bouncer_workload.dir/workload_spec.cc.o.d"
+  "libbouncer_workload.a"
+  "libbouncer_workload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bouncer_workload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,36 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/core/accept_fraction_test.cc" "tests/CMakeFiles/core_tests.dir/core/accept_fraction_test.cc.o" "gcc" "tests/CMakeFiles/core_tests.dir/core/accept_fraction_test.cc.o.d"
+  "/root/repo/tests/core/acceptance_allowance_test.cc" "tests/CMakeFiles/core_tests.dir/core/acceptance_allowance_test.cc.o" "gcc" "tests/CMakeFiles/core_tests.dir/core/acceptance_allowance_test.cc.o.d"
+  "/root/repo/tests/core/bouncer_policy_test.cc" "tests/CMakeFiles/core_tests.dir/core/bouncer_policy_test.cc.o" "gcc" "tests/CMakeFiles/core_tests.dir/core/bouncer_policy_test.cc.o.d"
+  "/root/repo/tests/core/helping_underserved_test.cc" "tests/CMakeFiles/core_tests.dir/core/helping_underserved_test.cc.o" "gcc" "tests/CMakeFiles/core_tests.dir/core/helping_underserved_test.cc.o.d"
+  "/root/repo/tests/core/max_policies_test.cc" "tests/CMakeFiles/core_tests.dir/core/max_policies_test.cc.o" "gcc" "tests/CMakeFiles/core_tests.dir/core/max_policies_test.cc.o.d"
+  "/root/repo/tests/core/policy_concurrency_test.cc" "tests/CMakeFiles/core_tests.dir/core/policy_concurrency_test.cc.o" "gcc" "tests/CMakeFiles/core_tests.dir/core/policy_concurrency_test.cc.o.d"
+  "/root/repo/tests/core/policy_factory_test.cc" "tests/CMakeFiles/core_tests.dir/core/policy_factory_test.cc.o" "gcc" "tests/CMakeFiles/core_tests.dir/core/policy_factory_test.cc.o.d"
+  "/root/repo/tests/core/priority_bouncer_test.cc" "tests/CMakeFiles/core_tests.dir/core/priority_bouncer_test.cc.o" "gcc" "tests/CMakeFiles/core_tests.dir/core/priority_bouncer_test.cc.o.d"
+  "/root/repo/tests/core/query_type_registry_test.cc" "tests/CMakeFiles/core_tests.dir/core/query_type_registry_test.cc.o" "gcc" "tests/CMakeFiles/core_tests.dir/core/query_type_registry_test.cc.o.d"
+  "/root/repo/tests/core/queue_state_test.cc" "tests/CMakeFiles/core_tests.dir/core/queue_state_test.cc.o" "gcc" "tests/CMakeFiles/core_tests.dir/core/queue_state_test.cc.o.d"
+  "/root/repo/tests/core/slo_config_test.cc" "tests/CMakeFiles/core_tests.dir/core/slo_config_test.cc.o" "gcc" "tests/CMakeFiles/core_tests.dir/core/slo_config_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/graph/CMakeFiles/bouncer_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/bouncer_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/server/CMakeFiles/bouncer_server.dir/DependInfo.cmake"
+  "/root/repo/build/src/workload/CMakeFiles/bouncer_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/bouncer_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/bouncer_stats.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/bouncer_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,32 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/core_tests.dir/core/accept_fraction_test.cc.o"
+  "CMakeFiles/core_tests.dir/core/accept_fraction_test.cc.o.d"
+  "CMakeFiles/core_tests.dir/core/acceptance_allowance_test.cc.o"
+  "CMakeFiles/core_tests.dir/core/acceptance_allowance_test.cc.o.d"
+  "CMakeFiles/core_tests.dir/core/bouncer_policy_test.cc.o"
+  "CMakeFiles/core_tests.dir/core/bouncer_policy_test.cc.o.d"
+  "CMakeFiles/core_tests.dir/core/helping_underserved_test.cc.o"
+  "CMakeFiles/core_tests.dir/core/helping_underserved_test.cc.o.d"
+  "CMakeFiles/core_tests.dir/core/max_policies_test.cc.o"
+  "CMakeFiles/core_tests.dir/core/max_policies_test.cc.o.d"
+  "CMakeFiles/core_tests.dir/core/policy_concurrency_test.cc.o"
+  "CMakeFiles/core_tests.dir/core/policy_concurrency_test.cc.o.d"
+  "CMakeFiles/core_tests.dir/core/policy_factory_test.cc.o"
+  "CMakeFiles/core_tests.dir/core/policy_factory_test.cc.o.d"
+  "CMakeFiles/core_tests.dir/core/priority_bouncer_test.cc.o"
+  "CMakeFiles/core_tests.dir/core/priority_bouncer_test.cc.o.d"
+  "CMakeFiles/core_tests.dir/core/query_type_registry_test.cc.o"
+  "CMakeFiles/core_tests.dir/core/query_type_registry_test.cc.o.d"
+  "CMakeFiles/core_tests.dir/core/queue_state_test.cc.o"
+  "CMakeFiles/core_tests.dir/core/queue_state_test.cc.o.d"
+  "CMakeFiles/core_tests.dir/core/slo_config_test.cc.o"
+  "CMakeFiles/core_tests.dir/core/slo_config_test.cc.o.d"
+  "core_tests"
+  "core_tests.pdb"
+  "core_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/core_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

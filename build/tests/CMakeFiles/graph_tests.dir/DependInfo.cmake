@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/graph/cluster_test.cc" "tests/CMakeFiles/graph_tests.dir/graph/cluster_test.cc.o" "gcc" "tests/CMakeFiles/graph_tests.dir/graph/cluster_test.cc.o.d"
+  "/root/repo/tests/graph/graph_generator_test.cc" "tests/CMakeFiles/graph_tests.dir/graph/graph_generator_test.cc.o" "gcc" "tests/CMakeFiles/graph_tests.dir/graph/graph_generator_test.cc.o.d"
+  "/root/repo/tests/graph/graph_store_test.cc" "tests/CMakeFiles/graph_tests.dir/graph/graph_store_test.cc.o" "gcc" "tests/CMakeFiles/graph_tests.dir/graph/graph_store_test.cc.o.d"
+  "/root/repo/tests/graph/query_golden_test.cc" "tests/CMakeFiles/graph_tests.dir/graph/query_golden_test.cc.o" "gcc" "tests/CMakeFiles/graph_tests.dir/graph/query_golden_test.cc.o.d"
+  "/root/repo/tests/graph/shard_engine_test.cc" "tests/CMakeFiles/graph_tests.dir/graph/shard_engine_test.cc.o" "gcc" "tests/CMakeFiles/graph_tests.dir/graph/shard_engine_test.cc.o.d"
+  "/root/repo/tests/graph/update_log_test.cc" "tests/CMakeFiles/graph_tests.dir/graph/update_log_test.cc.o" "gcc" "tests/CMakeFiles/graph_tests.dir/graph/update_log_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/graph/CMakeFiles/bouncer_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/bouncer_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/server/CMakeFiles/bouncer_server.dir/DependInfo.cmake"
+  "/root/repo/build/src/workload/CMakeFiles/bouncer_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/bouncer_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/bouncer_stats.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/bouncer_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,22 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/graph_tests.dir/graph/cluster_test.cc.o"
+  "CMakeFiles/graph_tests.dir/graph/cluster_test.cc.o.d"
+  "CMakeFiles/graph_tests.dir/graph/graph_generator_test.cc.o"
+  "CMakeFiles/graph_tests.dir/graph/graph_generator_test.cc.o.d"
+  "CMakeFiles/graph_tests.dir/graph/graph_store_test.cc.o"
+  "CMakeFiles/graph_tests.dir/graph/graph_store_test.cc.o.d"
+  "CMakeFiles/graph_tests.dir/graph/query_golden_test.cc.o"
+  "CMakeFiles/graph_tests.dir/graph/query_golden_test.cc.o.d"
+  "CMakeFiles/graph_tests.dir/graph/shard_engine_test.cc.o"
+  "CMakeFiles/graph_tests.dir/graph/shard_engine_test.cc.o.d"
+  "CMakeFiles/graph_tests.dir/graph/update_log_test.cc.o"
+  "CMakeFiles/graph_tests.dir/graph/update_log_test.cc.o.d"
+  "graph_tests"
+  "graph_tests.pdb"
+  "graph_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/graph_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,14 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/server_tests.dir/server/metrics_collector_test.cc.o"
+  "CMakeFiles/server_tests.dir/server/metrics_collector_test.cc.o.d"
+  "CMakeFiles/server_tests.dir/server/stage_test.cc.o"
+  "CMakeFiles/server_tests.dir/server/stage_test.cc.o.d"
+  "server_tests"
+  "server_tests.pdb"
+  "server_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/server_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,22 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/stats_tests.dir/stats/dual_histogram_test.cc.o"
+  "CMakeFiles/stats_tests.dir/stats/dual_histogram_test.cc.o.d"
+  "CMakeFiles/stats_tests.dir/stats/histogram_accuracy_test.cc.o"
+  "CMakeFiles/stats_tests.dir/stats/histogram_accuracy_test.cc.o.d"
+  "CMakeFiles/stats_tests.dir/stats/histogram_test.cc.o"
+  "CMakeFiles/stats_tests.dir/stats/histogram_test.cc.o.d"
+  "CMakeFiles/stats_tests.dir/stats/sliding_window_counter_test.cc.o"
+  "CMakeFiles/stats_tests.dir/stats/sliding_window_counter_test.cc.o.d"
+  "CMakeFiles/stats_tests.dir/stats/sliding_window_mean_test.cc.o"
+  "CMakeFiles/stats_tests.dir/stats/sliding_window_mean_test.cc.o.d"
+  "CMakeFiles/stats_tests.dir/stats/summary_test.cc.o"
+  "CMakeFiles/stats_tests.dir/stats/summary_test.cc.o.d"
+  "stats_tests"
+  "stats_tests.pdb"
+  "stats_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/stats_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
