@@ -1,0 +1,266 @@
+// Admission hot-path throughput: a closed-loop multi-threaded driver
+// hammering Stage::Submit() and measuring decisions/sec plus the
+// Submit -> enqueue latency distribution, swept over the number of
+// registered query types (1 / 8 / 64 / 512) and all study policies.
+//
+// The interesting comparison is Bouncer vs Bouncer(rescan): the latter
+// disables the O(1) incremental Eq. 2 aggregate and rescans every
+// per-type histogram per decision — the pre-optimization behavior —
+// which degrades linearly in the number of types while the default stays
+// flat. Results are printed as a table and written to
+// BENCH_admission_throughput.json.
+
+#include <chrono>
+#include <cstdio>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench/bench_common.h"
+#include "src/core/policy_factory.h"
+#include "src/server/stage.h"
+#include "src/stats/histogram.h"
+#include "src/util/rng.h"
+
+namespace bouncer::bench {
+namespace {
+
+constexpr size_t kSubmitters = 8;
+
+/// Worker pool sized to the machine: the handler is trivial, so extra
+/// workers only add scheduler churn on small hosts.
+size_t BenchWorkers() {
+  const size_t hw = std::thread::hardware_concurrency();
+  if (hw <= 2) return 2;
+  return hw < 8 ? hw : 8;
+}
+
+struct Variant {
+  std::string name;
+  PolicyConfig config;
+};
+
+std::vector<Variant> MakeVariants() {
+  std::vector<Variant> variants;
+  for (const PolicyKind kind : StudyPolicyKinds()) {
+    Variant v;
+    v.name = std::string(PolicyKindName(kind));
+    v.config = MakeStudyPolicy(kind);
+    variants.push_back(std::move(v));
+  }
+  // The pre-optimization Bouncer: every estimate rescans all types.
+  Variant rescan;
+  rescan.name = "Bouncer(rescan)";
+  rescan.config = MakeStudyPolicy(PolicyKind::kBouncer);
+  rescan.config.bouncer.incremental_estimate = false;
+  variants.push_back(std::move(rescan));
+  return variants;
+}
+
+/// Unwraps the policy stack (QueueGuard / Allowance / Underserved) down
+/// to the BouncerPolicy, or null for non-Bouncer policies.
+BouncerPolicy* FindBouncer(AdmissionPolicy* policy) {
+  for (;;) {
+    if (auto* b = dynamic_cast<BouncerPolicy*>(policy)) return b;
+    if (auto* g = dynamic_cast<QueueGuardPolicy*>(policy)) {
+      policy = g->inner();
+    } else if (auto* a = dynamic_cast<AcceptanceAllowancePolicy*>(policy)) {
+      policy = a->inner();
+    } else if (auto* u = dynamic_cast<HelpingUnderservedPolicy*>(policy)) {
+      policy = u->inner();
+    } else {
+      return nullptr;
+    }
+  }
+}
+
+struct CellResult {
+  std::string policy;
+  size_t num_types = 0;
+  double seconds = 0;
+  uint64_t decisions = 0;
+  double decisions_per_sec = 0;
+  Nanos submit_mean = 0;
+  Nanos submit_p50 = 0;
+  Nanos submit_p90 = 0;
+  Nanos submit_p99 = 0;
+  uint64_t accepted = 0;
+  uint64_t rejected = 0;
+  uint64_t shedded = 0;
+};
+
+CellResult RunCell(const Variant& variant, size_t num_types,
+                   Nanos duration) {
+  // Generous SLOs: the bench measures decision cost, not rejection
+  // behavior, so the common path should be an accept.
+  const Slo slo{kSecond, 2 * kSecond, 0};
+  QueryTypeRegistry registry(slo);
+  for (size_t i = 0; i < num_types; ++i) {
+    (void)registry.Register("QT" + std::to_string(i + 1), slo);
+  }
+
+  server::Stage::Options options;
+  options.name = "bench";
+  options.num_workers = BenchWorkers();
+  options.queue_capacity = 1 << 15;
+  const PolicyConfig config = variant.config;
+  server::Stage stage(
+      options, &registry, SystemClock::Global(),
+      [&config](const PolicyContext& context) {
+        return CreatePolicy(config, context);
+      },
+      [](server::WorkItem&) {});
+  if (!stage.init_status().ok()) {
+    std::fprintf(stderr, "policy init failed: %s\n",
+                 stage.init_status().ToString().c_str());
+    std::exit(1);
+  }
+
+  // Warm every type's histogram so Bouncer runs its steady-state path
+  // (no cold-start shortcuts), then publish via a forced swap.
+  Rng rng(42);
+  for (size_t t = 1; t <= num_types; ++t) {
+    for (int s = 0; s < 64; ++s) {
+      stage.policy()->OnCompleted(
+          static_cast<QueryTypeId>(t),
+          static_cast<Nanos>(50 * kMicrosecond + rng.NextBounded(kMicrosecond)),
+          0);
+    }
+  }
+  if (BouncerPolicy* bouncer = FindBouncer(stage.policy())) {
+    bouncer->ForceHistogramSwap();
+  }
+
+  if (!stage.Start().ok()) std::exit(1);
+
+  stats::Histogram submit_latency;
+  std::atomic<uint64_t> decisions{0};
+  const auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::nanoseconds(duration);
+  const auto bench_start = std::chrono::steady_clock::now();
+
+  std::vector<std::thread> submitters;
+  for (size_t s = 0; s < kSubmitters; ++s) {
+    submitters.emplace_back([&, s] {
+      Rng thread_rng(1000 + s);
+      uint64_t local = 0;
+      while (std::chrono::steady_clock::now() < deadline) {
+        // Batch between clock checks to keep the loop overhead small.
+        for (int i = 0; i < 64; ++i) {
+          server::WorkItem item;
+          item.type = static_cast<QueryTypeId>(
+              1 + thread_rng.NextBounded(num_types));
+          const auto t0 = std::chrono::steady_clock::now();
+          stage.Submit(std::move(item));
+          const auto t1 = std::chrono::steady_clock::now();
+          submit_latency.Record(
+              std::chrono::duration_cast<std::chrono::nanoseconds>(t1 - t0)
+                  .count());
+          ++local;
+        }
+      }
+      decisions.fetch_add(local, std::memory_order_relaxed);
+    });
+  }
+  for (auto& t : submitters) t.join();
+  const auto bench_end = std::chrono::steady_clock::now();
+  stage.Stop(false);
+
+  CellResult r;
+  r.policy = variant.name;
+  r.num_types = num_types;
+  r.seconds = std::chrono::duration<double>(bench_end - bench_start).count();
+  r.decisions = decisions.load();
+  r.decisions_per_sec = static_cast<double>(r.decisions) / r.seconds;
+  r.submit_mean = submit_latency.Mean();
+  r.submit_p50 = submit_latency.Percentile(0.5);
+  r.submit_p90 = submit_latency.Percentile(0.9);
+  r.submit_p99 = submit_latency.Percentile(0.99);
+  r.accepted = stage.counters().accepted.load();
+  r.rejected = stage.counters().rejected.load();
+  r.shedded = stage.counters().shedded.load();
+  return r;
+}
+
+void WriteJson(const std::vector<CellResult>& results) {
+  std::FILE* f = std::fopen("BENCH_admission_throughput.json", "w");
+  if (f == nullptr) return;
+  std::fprintf(f, "{\n  \"bench\": \"admission_throughput\",\n");
+  std::fprintf(f, "  \"submitters\": %zu,\n  \"workers\": %zu,\n",
+               kSubmitters, BenchWorkers());
+  std::fprintf(f, "  \"cells\": [\n");
+  for (size_t i = 0; i < results.size(); ++i) {
+    const CellResult& r = results[i];
+    std::fprintf(
+        f,
+        "    {\"policy\": \"%s\", \"num_types\": %zu, "
+        "\"seconds\": %.3f, \"decisions\": %llu, "
+        "\"decisions_per_sec\": %.0f, \"submit_mean_ns\": %lld, "
+        "\"submit_p50_ns\": %lld, \"submit_p90_ns\": %lld, "
+        "\"submit_p99_ns\": %lld, \"accepted\": %llu, "
+        "\"rejected\": %llu, \"shedded\": %llu}%s\n",
+        r.policy.c_str(), r.num_types, r.seconds,
+        static_cast<unsigned long long>(r.decisions), r.decisions_per_sec,
+        static_cast<long long>(r.submit_mean),
+        static_cast<long long>(r.submit_p50),
+        static_cast<long long>(r.submit_p90),
+        static_cast<long long>(r.submit_p99),
+        static_cast<unsigned long long>(r.accepted),
+        static_cast<unsigned long long>(r.rejected),
+        static_cast<unsigned long long>(r.shedded),
+        i + 1 < results.size() ? "," : "");
+  }
+  std::fprintf(f, "  ]\n}\n");
+  std::fclose(f);
+}
+
+int Main() {
+  PrintPreamble("bench_admission_throughput",
+                "closed-loop Stage::Submit() throughput and latency by "
+                "policy and number of query types");
+  const Nanos duration = BenchScale() == 0   ? 100 * kMillisecond
+                         : BenchScale() == 1 ? 300 * kMillisecond
+                                             : kSecond;
+  const std::vector<size_t> type_counts = {1, 8, 64, 512};
+  const std::vector<Variant> variants = MakeVariants();
+
+  std::printf("%-24s %9s %12s %12s %10s %10s %10s\n", "policy", "types",
+              "decisions/s", "mean_ns", "p50_ns", "p90_ns", "p99_ns");
+  PrintRule(94);
+  std::vector<CellResult> results;
+  for (const size_t num_types : type_counts) {
+    for (const Variant& variant : variants) {
+      const CellResult r = RunCell(variant, num_types, duration);
+      std::printf("%-24s %9zu %12.0f %12lld %10lld %10lld %10lld\n",
+                  r.policy.c_str(), r.num_types, r.decisions_per_sec,
+                  static_cast<long long>(r.submit_mean),
+                  static_cast<long long>(r.submit_p50),
+                  static_cast<long long>(r.submit_p90),
+                  static_cast<long long>(r.submit_p99));
+      results.push_back(r);
+    }
+    PrintRule(94);
+  }
+  WriteJson(results);
+  std::printf("wrote BENCH_admission_throughput.json\n");
+
+  // Headline ratio: incremental vs rescan Bouncer at the largest sweep
+  // points (the acceptance bar for this optimization is >= 3x at 64+).
+  for (const size_t n : type_counts) {
+    double fast = 0, slow = 0;
+    for (const CellResult& r : results) {
+      if (r.num_types != n) continue;
+      if (r.policy == "Bouncer") fast = r.decisions_per_sec;
+      if (r.policy == "Bouncer(rescan)") slow = r.decisions_per_sec;
+    }
+    if (fast > 0 && slow > 0) {
+      std::printf("types=%zu: incremental/rescan = %.2fx\n", n, fast / slow);
+    }
+  }
+  return 0;
+}
+
+}  // namespace
+}  // namespace bouncer::bench
+
+int main() { return bouncer::bench::Main(); }

@@ -49,6 +49,13 @@ class AcceptanceAllowancePolicy final : public AdmissionPolicy {
                    Nanos now) override {
     inner_->OnCompleted(type, processing_time, now);
   }
+  /// The runtime dropped a query Decide() counted as accepted: retract
+  /// the accept from the allowance window so the type's acceptance ratio
+  /// (and with it future free passes) reflects what was actually served.
+  void OnShedded(QueryTypeId type, Nanos now) override {
+    window_.UndoAccepted(type, now);
+    inner_->OnShedded(type, now);
+  }
 
   std::string_view name() const override { return name_; }
 

@@ -64,6 +64,18 @@ class AdmissionPolicy {
     (void)now;
   }
 
+  /// An admitted query was dropped before processing: the runtime could
+  /// not (or will not) serve a query that Decide() accepted — the bounded
+  /// queue was full at submit time, or queued work was discarded at stage
+  /// shutdown. Called after OnEnqueued() and instead of OnDequeued()/
+  /// OnCompleted(), so policies can roll back accept/enqueue accounting
+  /// (acceptance-allowance windows, incremental queue-wait aggregates)
+  /// that would otherwise silently desync from reality.
+  virtual void OnShedded(QueryTypeId type, Nanos now) {
+    (void)type;
+    (void)now;
+  }
+
   /// Point 3: the query finished processing after `processing_time`
   /// (pt(Q) = t_completed - t_dequeued).
   virtual void OnCompleted(QueryTypeId type, Nanos processing_time,

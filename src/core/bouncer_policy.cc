@@ -1,5 +1,6 @@
 #include "src/core/bouncer_policy.h"
 
+#include <algorithm>
 #include <cassert>
 
 namespace bouncer {
@@ -15,27 +16,124 @@ BouncerPolicy::BouncerPolicy(const PolicyContext& context,
   assert(registry_ != nullptr && queue_ != nullptr);
   const stats::DualHistogram::Options histo_options{
       options.histogram_swap_interval, options.min_samples_to_publish};
-  type_histograms_.reserve(registry_->size());
-  for (size_t i = 0; i < registry_->size(); ++i) {
+  const size_t num_types = registry_->size();
+  type_histograms_.reserve(num_types);
+  for (size_t i = 0; i < num_types; ++i) {
     type_histograms_.push_back(
         std::make_unique<stats::DualHistogram>(histo_options));
   }
+
+  // Map each type to its priority level. Under FIFO everything lands in
+  // one level, so the hot path reads a single aggregate.
+  const auto priority_of = [this](size_t t) {
+    return t < options_.type_priorities.size() ? options_.type_priorities[t]
+                                               : 0;
+  };
+  for (size_t t = 0; t < num_types; ++t) {
+    sorted_levels_.push_back(priority_of(t));
+  }
+  std::sort(sorted_levels_.begin(), sorted_levels_.end());
+  sorted_levels_.erase(
+      std::unique(sorted_levels_.begin(), sorted_levels_.end()),
+      sorted_levels_.end());
+  if (sorted_levels_.empty()) sorted_levels_.push_back(0);
+  level_of_type_.resize(num_types, 0);
+  for (size_t t = 0; t < num_types; ++t) {
+    level_of_type_[t] = static_cast<size_t>(
+        std::lower_bound(sorted_levels_.begin(), sorted_levels_.end(),
+                         priority_of(t)) -
+        sorted_levels_.begin());
+  }
+  level_aggs_ = std::make_unique<LevelAggregate[]>(sorted_levels_.size());
+  type_cache_ = std::make_unique<TypeCache[]>(num_types);
+  RebuildAggregates();
 }
 
 void BouncerPolicy::MaybeSwapAll(Nanos now) {
   // The general histogram's timer paces all swaps, so the common case
   // costs one atomic load; the per-type buffers swap in lockstep with it.
   if (general_histogram_.MaybeSwap(now)) {
+    std::lock_guard<std::mutex> lock(swap_mu_);
     for (auto& h : type_histograms_) h->ForceSwap();
+    RebuildAggregates();
   }
 }
 
 void BouncerPolicy::ForceHistogramSwap() {
+  std::lock_guard<std::mutex> lock(swap_mu_);
   general_histogram_.ForceSwap();
   for (auto& h : type_histograms_) h->ForceSwap();
+  RebuildAggregates();
 }
 
-Nanos BouncerPolicy::EstimateQueueWait(QueryTypeId type) const {
+void BouncerPolicy::RebuildAggregates() {
+  const stats::HistogramSummary general = general_histogram_.ReadSummary();
+  general_mean_.store(general.mean, std::memory_order_relaxed);
+
+  const size_t num_levels = sorted_levels_.size();
+  std::vector<int64_t> warm_sums(num_levels, 0);
+  std::vector<int64_t> cold_counts(num_levels, 0);
+  int64_t total = 0;
+  for (size_t t = 0; t < type_histograms_.size(); ++t) {
+    const stats::HistogramSummary s = type_histograms_[t]->ReadSummary();
+    const bool warm = s.count >= options_.warmup_min_samples;
+    type_cache_[t].mean.store(s.mean, std::memory_order_relaxed);
+    type_cache_[t].warm.store(warm, std::memory_order_relaxed);
+    const auto count = static_cast<int64_t>(
+        queue_->CountForType(static_cast<QueryTypeId>(t)));
+    total += count;
+    const size_t level = level_of_type_[t];
+    if (warm) {
+      warm_sums[level] += count * s.mean;
+    } else {
+      cold_counts[level] += count;
+    }
+  }
+  for (size_t l = 0; l < num_levels; ++l) {
+    level_aggs_[l].warm_weighted_sum.store(warm_sums[l],
+                                           std::memory_order_relaxed);
+    level_aggs_[l].cold_count.store(cold_counts[l],
+                                    std::memory_order_relaxed);
+  }
+  // Sync the drift detector to the occupancy the rebuild was computed
+  // from. Hooks racing this store cause a transient mismatch, which only
+  // means a few decisions take the exact slow path until counts agree.
+  tracked_total_.store(total, std::memory_order_relaxed);
+}
+
+void BouncerPolicy::ApplyQueueDelta(QueryTypeId type, int64_t sign) {
+  if (type >= type_histograms_.size()) type = kDefaultQueryType;
+  const size_t level = level_of_type_[type];
+  // warm/mean can flip at a concurrent swap between the paired enqueue
+  // and dequeue of one query; the resulting drift is bounded by the
+  // queries in flight across one swap and is wiped by the next rebuild.
+  if (type_cache_[type].warm.load(std::memory_order_relaxed)) {
+    const Nanos mean = type_cache_[type].mean.load(std::memory_order_relaxed);
+    level_aggs_[level].warm_weighted_sum.fetch_add(
+        sign * mean, std::memory_order_relaxed);
+  } else {
+    level_aggs_[level].cold_count.fetch_add(sign, std::memory_order_relaxed);
+  }
+  tracked_total_.fetch_add(sign, std::memory_order_relaxed);
+}
+
+void BouncerPolicy::OnEnqueued(QueryTypeId type, Nanos now) {
+  (void)now;
+  ApplyQueueDelta(type, +1);
+}
+
+void BouncerPolicy::OnDequeued(QueryTypeId type, Nanos wait_time, Nanos now) {
+  (void)wait_time;
+  (void)now;
+  ApplyQueueDelta(type, -1);
+}
+
+void BouncerPolicy::OnShedded(QueryTypeId type, Nanos now) {
+  (void)now;
+  ApplyQueueDelta(type, -1);
+}
+
+Nanos BouncerPolicy::EstimateQueueWaitSlow(QueryTypeId type) const {
   // Eq. 2: ewt_mean = sum_type(count(type) * pt_mean(type)) / P. With
   // priorities configured, only work served at or ahead of `type`'s
   // priority level contributes.
@@ -62,6 +160,36 @@ Nanos BouncerPolicy::EstimateQueueWait(QueryTypeId type) const {
     weighted_sum += static_cast<int64_t>(count) * mean;
   }
   return weighted_sum / static_cast<int64_t>(parallelism_);
+}
+
+Nanos BouncerPolicy::EstimateQueueWait(QueryTypeId type) const {
+  if (type >= type_histograms_.size()) type = kDefaultQueryType;
+  if (!options_.incremental_estimate) return EstimateQueueWaitSlow(type);
+  // Out-of-band queue mutation (tests and tools drive QueueState without
+  // the policy hooks) shows up as a count mismatch: answer exactly via
+  // the rescan until a rebuild re-syncs the aggregates.
+  if (tracked_total_.load(std::memory_order_relaxed) !=
+      static_cast<int64_t>(queue_->TotalLength())) {
+    return EstimateQueueWaitSlow(type);
+  }
+  const Nanos general_mean = general_mean_.load(std::memory_order_relaxed);
+  int64_t weighted_sum = 0;
+  const size_t own_level = level_of_type_[type];
+  for (size_t l = 0; l <= own_level; ++l) {
+    weighted_sum +=
+        level_aggs_[l].warm_weighted_sum.load(std::memory_order_relaxed) +
+        level_aggs_[l].cold_count.load(std::memory_order_relaxed) *
+            general_mean;
+  }
+  // Racing hooks can transiently drive the aggregate a hair negative.
+  if (weighted_sum < 0) weighted_sum = 0;
+  const Nanos fast = weighted_sum / static_cast<int64_t>(parallelism_);
+  if (options_.check_estimates) {
+    const Nanos slow = EstimateQueueWaitSlow(type);
+    assert(fast == slow && "incremental Eq. 2 aggregate diverged");
+    (void)slow;
+  }
+  return fast;
 }
 
 BouncerPolicy::Estimates BouncerPolicy::EstimateFor(QueryTypeId type,

@@ -1,11 +1,14 @@
 #ifndef BOUNCER_CORE_BOUNCER_POLICY_H_
 #define BOUNCER_CORE_BOUNCER_POLICY_H_
 
+#include <atomic>
 #include <memory>
+#include <mutex>
 #include <vector>
 
 #include "src/core/admission_policy.h"
 #include "src/stats/dual_histogram.h"
+#include "src/util/mpmc_queue.h"
 #include "src/util/status.h"
 
 namespace bouncer {
@@ -65,6 +68,16 @@ class BouncerPolicy : public AdmissionPolicy {
     /// level). Missing entries default to priority 0. Leave empty for
     /// the paper's FIFO formulation.
     std::vector<int> type_priorities;
+    /// Use the O(1) incrementally-maintained Eq. 2 aggregate on the
+    /// decision path (default). When false, every estimate rescans all
+    /// per-type histograms — the pre-optimization behavior, kept
+    /// selectable so benchmarks can measure the difference.
+    bool incremental_estimate = true;
+    /// Debug aid: cross-check every fast-path estimate against the full
+    /// rescan and assert equality. Only meaningful in quiescent or
+    /// single-threaded use (under concurrency the two can legitimately
+    /// diverge transiently); intended for tests.
+    bool check_estimates = false;
   };
 
   /// The percentile response-time estimates behind one decision, exposed
@@ -84,6 +97,14 @@ class BouncerPolicy : public AdmissionPolicy {
   Decision Decide(QueryTypeId type, Nanos now) override;
   void OnCompleted(QueryTypeId type, Nanos processing_time,
                    Nanos now) override;
+  /// Maintains the incremental Eq. 2 aggregate: adds the type's cached
+  /// mean (or a cold count) to its priority level's running sum.
+  void OnEnqueued(QueryTypeId type, Nanos now) override;
+  /// Removes the type's contribution from the running aggregate.
+  void OnDequeued(QueryTypeId type, Nanos wait_time, Nanos now) override;
+  /// An admitted query never reached processing: rolls back the
+  /// OnEnqueued() contribution, same as a dequeue.
+  void OnShedded(QueryTypeId type, Nanos now) override;
 
   std::string_view name() const override { return "Bouncer"; }
 
@@ -94,7 +115,20 @@ class BouncerPolicy : public AdmissionPolicy {
   /// Estimated mean queue wait time (Eq. 2). Under FIFO (no priorities
   /// configured) every queued query counts; with priorities configured,
   /// only work scheduled ahead of a query of `type` counts.
+  ///
+  /// O(1) hot path: reads the per-priority-level aggregates maintained by
+  /// the enqueue/dequeue/shed hooks plus the cached general mean. When
+  /// the hook-tracked occupancy disagrees with the live QueueState (the
+  /// runtime mutated the queue without calling the hooks, or a rebuild
+  /// raced), it falls back to EstimateQueueWaitSlow() — so the result is
+  /// always the Eq. 2 value, only the cost varies.
   Nanos EstimateQueueWait(QueryTypeId type = kDefaultQueryType) const;
+
+  /// Reference O(num_types) Eq. 2 implementation: rescans every per-type
+  /// histogram summary and queue count. This is the pre-optimization
+  /// decision path, kept as the fallback for out-of-band queue mutation
+  /// and as the cross-check oracle for the incremental aggregate.
+  Nanos EstimateQueueWaitSlow(QueryTypeId type = kDefaultQueryType) const;
 
   /// Published processing-time summary for a type (for observability).
   stats::HistogramSummary TypeSummary(QueryTypeId type) const;
@@ -110,8 +144,29 @@ class BouncerPolicy : public AdmissionPolicy {
   const Options& options() const { return options_; }
 
  private:
+  /// Incremental Eq. 2 state, per priority level: the weighted sum over
+  /// warm types of count(t)·pt_mean(t), plus the number of queued queries
+  /// of cold types (costed at the general mean at read time, so a general
+  /// -histogram refresh never requires touching the aggregates).
+  struct alignas(kCacheLineSize) LevelAggregate {
+    std::atomic<int64_t> warm_weighted_sum{0};
+    std::atomic<int64_t> cold_count{0};
+  };
+  /// Snapshot of one type's published summary, refreshed at swap time so
+  /// the enqueue/dequeue hooks never touch the histograms.
+  struct TypeCache {
+    std::atomic<Nanos> mean{0};
+    std::atomic<bool> warm{false};
+  };
+
   Decision DecideWithEstimates(QueryTypeId type, Nanos now, Estimates* out);
   void MaybeSwapAll(Nanos now);
+  /// Applies one enqueue (+1) or dequeue (-1) of `type` to the aggregate.
+  void ApplyQueueDelta(QueryTypeId type, int64_t sign);
+  /// Recomputes the mean cache and all level aggregates from the live
+  /// QueueState and freshly published summaries. Called at every swap
+  /// (under swap_mu_), which also heals any drift racing hooks caused.
+  void RebuildAggregates();
 
   const QueryTypeRegistry* const registry_;
   const QueueState* const queue_;
@@ -122,6 +177,21 @@ class BouncerPolicy : public AdmissionPolicy {
   std::vector<std::unique_ptr<stats::DualHistogram>> type_histograms_;
   /// Type-agnostic histogram of all processing times (Appendix A).
   stats::DualHistogram general_histogram_;
+
+  /// Distinct priority values, ascending; a single level under FIFO.
+  std::vector<int> sorted_levels_;
+  /// QueryTypeId -> index into sorted_levels_ (and level_aggs_). A query
+  /// of type T waits behind levels 0..level_of_type_[T] inclusive.
+  std::vector<size_t> level_of_type_;
+  std::unique_ptr<LevelAggregate[]> level_aggs_;
+  std::unique_ptr<TypeCache[]> type_cache_;
+  /// Cached mean of the general histogram's published summary.
+  std::atomic<Nanos> general_mean_{0};
+  /// Queue occupancy as seen through the hooks; compared against
+  /// QueueState::TotalLength() to detect out-of-band queue mutation.
+  std::atomic<int64_t> tracked_total_{0};
+  /// Serializes buffer swaps + aggregate rebuilds (cold path).
+  std::mutex swap_mu_;
 };
 
 }  // namespace bouncer

@@ -48,6 +48,12 @@ class HelpingUnderservedPolicy final : public AdmissionPolicy {
                    Nanos now) override {
     inner_->OnCompleted(type, processing_time, now);
   }
+  /// A shed query was never served: retract its accept so AR/AAR keep
+  /// measuring actual service, not intent.
+  void OnShedded(QueryTypeId type, Nanos now) override {
+    window_.UndoAccepted(type, now);
+    inner_->OnShedded(type, now);
+  }
 
   std::string_view name() const override { return name_; }
 

@@ -41,6 +41,9 @@ class QueueGuardPolicy final : public AdmissionPolicy {
                    Nanos now) override {
     inner_->OnCompleted(type, processing_time, now);
   }
+  void OnShedded(QueryTypeId type, Nanos now) override {
+    inner_->OnShedded(type, now);
+  }
   std::string_view name() const override { return name_; }
 
   AdmissionPolicy* inner() { return inner_.get(); }

@@ -13,7 +13,8 @@ Stage::Stage(const Options& options, const QueryTypeRegistry* registry,
       registry_(registry),
       clock_(clock),
       queue_state_(registry->size()),
-      handler_(std::move(handler)) {
+      handler_(std::move(handler)),
+      fifo_(options.queue_capacity) {
   PolicyContext context{registry_, &queue_state_, options_.num_workers};
   auto policy = policy_factory(context);
   if (policy.ok()) {
@@ -27,10 +28,10 @@ Stage::~Stage() { Stop(false); }
 
 Status Stage::Start() {
   if (!init_status_.ok()) return init_status_;
-  std::lock_guard<std::mutex> lock(mu_);
+  std::lock_guard<std::mutex> lock(lifecycle_mu_);
   if (started_) return Status::FailedPrecondition("stage already started");
   started_ = true;
-  stopping_ = false;
+  stopping_.store(false, std::memory_order_release);
   workers_.reserve(options_.num_workers);
   for (size_t i = 0; i < options_.num_workers; ++i) {
     workers_.emplace_back([this] { WorkerLoop(); });
@@ -40,37 +41,31 @@ Status Stage::Start() {
 
 void Stage::Stop(bool drain) {
   std::vector<std::thread> workers;
-  std::deque<WorkItem> leftover;
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    std::lock_guard<std::mutex> lock(lifecycle_mu_);
     if (!started_) return;
-    stopping_ = true;
-    if (!drain) {
-      leftover.swap(fifo_);
-    }
-    cv_.notify_all();
-  }
-  // Complete discarded items outside the lock.
-  for (WorkItem& item : leftover) {
-    counters_.shedded.fetch_add(1, std::memory_order_relaxed);
-    queue_state_.OnDequeued(item.type);
-    if (item.on_complete) item.on_complete(item, Outcome::kShedded);
-  }
-  {
-    std::lock_guard<std::mutex> lock(mu_);
+    stopping_.store(true, std::memory_order_release);
     workers.swap(workers_);
   }
+  if (!drain) {
+    // Discard queued work before the workers can reach it; workers race
+    // us for individual items, which only moves an item from "shedded"
+    // to "completed".
+    DrainAsShedded();
+  }
+  idle_workers_.NotifyAll();
   for (std::thread& w : workers) {
     if (w.joinable()) w.join();
   }
-  std::lock_guard<std::mutex> lock(mu_);
+  // Workers exit once stopping_ is visible and the ring reads empty; a
+  // Submit() racing Stop() can still have pushed after that. Sweep so
+  // every admitted item completes exactly once.
+  DrainAsShedded();
+  std::lock_guard<std::mutex> lock(lifecycle_mu_);
   started_ = false;
 }
 
-size_t Stage::QueueLength() const {
-  std::lock_guard<std::mutex> lock(mu_);
-  return fifo_.size();
-}
+size_t Stage::QueueLength() const { return queue_state_.TotalLength(); }
 
 Outcome Stage::Submit(WorkItem item) {
   const Nanos now = clock_->Now();
@@ -86,54 +81,92 @@ Outcome Stage::Submit(WorkItem item) {
   }
 
   item.enqueued = now;
-  {
-    std::lock_guard<std::mutex> lock(mu_);
-    if (stopping_ || fifo_.size() >= options_.queue_capacity) {
-      counters_.shedded.fetch_add(1, std::memory_order_relaxed);
-      // Policy saw an accept; report the drop so its windows stay honest.
-      if (item.on_complete) item.on_complete(item, Outcome::kShedded);
-      return Outcome::kShedded;
-    }
-    counters_.accepted.fetch_add(1, std::memory_order_relaxed);
-    queue_state_.OnEnqueued(item.type);
-    policy_->OnEnqueued(item.type, now);  // Point 1.
-    fifo_.push_back(std::move(item));
+  const QueryTypeId type = item.type;
+  // Occupancy and Point 1 go first: a worker that pops the item
+  // immediately must observe the enqueue before its own dequeue.
+  queue_state_.OnEnqueued(type);
+  policy_->OnEnqueued(type, now);  // Point 1.
+  if (stopping_.load(std::memory_order_acquire) ||
+      !fifo_.TryPush(std::move(item))) {
+    // TryPush leaves `item` intact on failure (ring full).
+    queue_state_.OnDequeued(type);
+    counters_.shedded.fetch_add(1, std::memory_order_relaxed);
+    // The policy saw an accept; report the drop so its windows and
+    // aggregates stay honest.
+    policy_->OnShedded(type, now);
+    if (item.on_complete) item.on_complete(item, Outcome::kShedded);
+    return Outcome::kShedded;
   }
-  cv_.notify_one();
+  counters_.accepted.fetch_add(1, std::memory_order_relaxed);
+  idle_workers_.NotifyOne();
   return Outcome::kCompleted;  // Admitted; terminal outcome follows async.
 }
 
 void Stage::WorkerLoop() {
-  while (true) {
-    WorkItem item;
-    {
-      std::unique_lock<std::mutex> lock(mu_);
-      cv_.wait(lock, [this] { return stopping_ || !fifo_.empty(); });
-      if (fifo_.empty()) {
-        if (stopping_) return;
-        continue;
-      }
-      item = std::move(fifo_.front());
-      fifo_.pop_front();
-    }
-    const Nanos dequeue_time = clock_->Now();
-    item.dequeued = dequeue_time;
-    queue_state_.OnDequeued(item.type);
-    policy_->OnDequeued(item.type, item.WaitTime(), dequeue_time);  // Point 2.
-
-    if (item.deadline > 0 && dequeue_time > item.deadline) {
-      // Admitted but already expired: doing the work would be useless.
-      counters_.expired.fetch_add(1, std::memory_order_relaxed);
-      if (item.on_complete) item.on_complete(item, Outcome::kExpired);
+  // Spin briefly before parking: under load the next item lands within
+  // nanoseconds, while a park/notify cycle costs a futex round-trip on
+  // both the worker and the submitter. The bound keeps an idle stage
+  // cheap (a few microseconds of pause loops, then sleep).
+  constexpr int kIdleSpins = 1024;
+  WorkItem item;
+  int idle_spins = 0;
+  for (;;) {
+    if (fifo_.TryPop(item)) {
+      ProcessItem(item);
+      item = WorkItem();
+      idle_spins = 0;
       continue;
     }
+    if (stopping_.load(std::memory_order_acquire)) {
+      // Re-check after observing the stop flag: drain semantics require
+      // processing everything pushed before Stop().
+      if (!fifo_.TryPop(item)) return;
+      ProcessItem(item);
+      item = WorkItem();
+      continue;
+    }
+    if (++idle_spins < kIdleSpins) {
+      CpuRelax();
+      continue;
+    }
+    idle_spins = 0;
+    idle_workers_.ParkUnless([this] {
+      return stopping_.load(std::memory_order_relaxed) ||
+             !fifo_.EmptyApprox();
+    });
+  }
+}
 
-    handler_(item);
-    const Nanos done = clock_->Now();
-    item.completed = done;
-    policy_->OnCompleted(item.type, item.ProcessingTime(), done);  // Point 3.
-    counters_.completed.fetch_add(1, std::memory_order_relaxed);
-    if (item.on_complete) item.on_complete(item, Outcome::kCompleted);
+void Stage::ProcessItem(WorkItem& item) {
+  const Nanos dequeue_time = clock_->Now();
+  item.dequeued = dequeue_time;
+  queue_state_.OnDequeued(item.type);
+  policy_->OnDequeued(item.type, item.WaitTime(), dequeue_time);  // Point 2.
+
+  if (item.deadline > 0 && dequeue_time > item.deadline) {
+    // Admitted but already expired: doing the work would be useless.
+    counters_.expired.fetch_add(1, std::memory_order_relaxed);
+    if (item.on_complete) item.on_complete(item, Outcome::kExpired);
+    return;
+  }
+
+  handler_(item);
+  const Nanos done = clock_->Now();
+  item.completed = done;
+  policy_->OnCompleted(item.type, item.ProcessingTime(), done);  // Point 3.
+  counters_.completed.fetch_add(1, std::memory_order_relaxed);
+  if (item.on_complete) item.on_complete(item, Outcome::kCompleted);
+}
+
+void Stage::DrainAsShedded() {
+  WorkItem item;
+  while (fifo_.TryPop(item)) {
+    const Nanos now = clock_->Now();
+    counters_.shedded.fetch_add(1, std::memory_order_relaxed);
+    queue_state_.OnDequeued(item.type);
+    policy_->OnShedded(item.type, now);
+    if (item.on_complete) item.on_complete(item, Outcome::kShedded);
+    item = WorkItem();
   }
 }
 

@@ -2,8 +2,6 @@
 #define BOUNCER_SERVER_STAGE_H_
 
 #include <atomic>
-#include <condition_variable>
-#include <deque>
 #include <functional>
 #include <memory>
 #include <mutex>
@@ -16,6 +14,7 @@
 #include "src/core/query_type_registry.h"
 #include "src/core/queue_state.h"
 #include "src/util/clock.h"
+#include "src/util/mpmc_queue.h"
 #include "src/util/status.h"
 
 namespace bouncer::server {
@@ -69,13 +68,20 @@ struct StageCounters {
 /// the QueueState the policy reads and invokes the policy hooks at metric
 /// Points 1–3.
 ///
-/// Thread-safety: Submit() may be called from any number of threads.
+/// Thread-safety: Submit() may be called from any number of threads. The
+/// submit and worker hot paths are lock-free: items flow through a
+/// bounded MPMC ring buffer, idle workers park on a condvar that
+/// producers only touch when somebody actually sleeps, and queue
+/// occupancy is read from the lock-free QueueState. The only mutex
+/// guards Start()/Stop() lifecycle transitions.
 class Stage {
  public:
   struct Options {
     std::string name = "stage";
     size_t num_workers = 4;       ///< P: level of task parallelism.
-    size_t queue_capacity = 100'000;  ///< Hard memory bound on the FIFO.
+    /// Hard memory bound on the FIFO, rounded up to the next power of
+    /// two by the MPMC ring buffer.
+    size_t queue_capacity = 100'000;
   };
 
   /// The query engine: processes one admitted item (runs on a worker
@@ -132,6 +138,13 @@ class Stage {
 
  private:
   void WorkerLoop();
+  /// Runs Points 2–3 for one popped item: dequeue bookkeeping, deadline
+  /// check, handler, completion.
+  void ProcessItem(WorkItem& item);
+  /// Pops every queued item and completes it with kShedded (shutdown
+  /// discard path; also catches items a Submit() raced in after the
+  /// workers exited, so every admitted item terminates exactly once).
+  void DrainAsShedded();
 
   Options options_;
   const QueryTypeRegistry* registry_;
@@ -141,13 +154,14 @@ class Stage {
   Status init_status_;
   Handler handler_;
 
-  mutable std::mutex mu_;
-  std::condition_variable cv_;
-  std::deque<WorkItem> fifo_;
-  bool stopping_ = false;
-  bool started_ = false;
+  MpmcQueue<WorkItem> fifo_;
+  ParkingLot idle_workers_;
+  std::atomic<bool> stopping_{false};
 
+  std::mutex lifecycle_mu_;  ///< Guards started_ / workers_ only.
+  bool started_ = false;
   std::vector<std::thread> workers_;
+
   StageCounters counters_;
 };
 

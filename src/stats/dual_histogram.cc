@@ -28,9 +28,9 @@ bool DualHistogram::MaybeSwap(Nanos now) {
 }
 
 void DualHistogram::ForceSwap() {
-  next_swap_.store(next_swap_.load(std::memory_order_relaxed) +
-                       options_.swap_interval,
-                   std::memory_order_relaxed);
+  // Single atomic RMW: a plain load+store pair here could interleave with
+  // a concurrent MaybeSwap() CAS and lose its interval bump.
+  next_swap_.fetch_add(options_.swap_interval, std::memory_order_acq_rel);
   DoSwap();
 }
 

@@ -53,6 +53,25 @@ void SlidingWindowCounter::Record(size_t type, bool accepted, Nanos now) {
   }
 }
 
+void SlidingWindowCounter::UndoAccepted(size_t type, Nanos now) {
+  if (type >= num_types_) return;
+  AdvanceTo(now);
+  const size_t slot = static_cast<size_t>((now / step_) %
+                                          static_cast<int64_t>(num_slots_));
+  Cell& cell = cells_[CellIndex(slot, type)];
+  // Decrement-if-positive so a retraction that lands after the original
+  // slot expired cannot underflow the counters.
+  uint64_t a = cell.accepted.load(std::memory_order_relaxed);
+  while (a > 0 && !cell.accepted.compare_exchange_weak(
+                      a, a - 1, std::memory_order_relaxed)) {
+  }
+  if (a == 0) return;  // The accept already aged out with its slot.
+  uint64_t t = totals_[type].accepted.load(std::memory_order_relaxed);
+  while (t > 0 && !totals_[type].accepted.compare_exchange_weak(
+                      t, t - 1, std::memory_order_relaxed)) {
+  }
+}
+
 uint64_t SlidingWindowCounter::AcceptedCount(size_t type) const {
   if (type >= num_types_) return 0;
   return totals_[type].accepted.load(std::memory_order_relaxed);

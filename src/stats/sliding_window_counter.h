@@ -32,6 +32,13 @@ class SlidingWindowCounter {
   /// accepted too when `accepted` is true.
   void Record(size_t type, bool accepted, Nanos now);
 
+  /// Retracts one previously recorded accept of `type`: the runtime shed
+  /// the query after the policy counted it as accepted, so the window
+  /// would otherwise overstate the type's service. The query stays
+  /// counted as received. Best-effort: if the accept's slot has already
+  /// rotated out of the window, nothing is decremented.
+  void UndoAccepted(size_t type, Nanos now);
+
   /// Expires buckets older than D relative to `now`. Record() calls this
   /// implicitly; call explicitly before reads if reads can outpace writes.
   void AdvanceTo(Nanos now);

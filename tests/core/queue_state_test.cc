@@ -2,6 +2,7 @@
 
 #include <gtest/gtest.h>
 
+#include <atomic>
 #include <thread>
 #include <vector>
 
@@ -51,6 +52,49 @@ TEST(QueueStateTest, ConcurrentBalancedTraffic) {
   for (auto& t : threads) t.join();
   EXPECT_EQ(q.TotalLength(), 0u);
   for (QueryTypeId t = 0; t < 4; ++t) EXPECT_EQ(q.CountForType(t), 0u);
+}
+
+// Separate producer and consumer threads racing on shared types while
+// readers sample the totals: every intermediate read must be a sane
+// occupancy (never underflowed into a huge unsigned value) and the final
+// per-type counts must be exact.
+TEST(QueueStateTest, ConcurrentProducersConsumersAndReaders) {
+  constexpr int kThreadsPerSide = 3;
+  constexpr uint64_t kPerThread = 40'000;
+  QueueState q(2);
+  // Pre-fill so consumers never dequeue below zero.
+  for (uint64_t i = 0; i < kThreadsPerSide * kPerThread; ++i) {
+    q.OnEnqueued(i % 2);
+  }
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreadsPerSide; ++t) {
+    threads.emplace_back([&q, t] {
+      for (uint64_t i = 0; i < kPerThread; ++i) {
+        q.OnEnqueued(static_cast<QueryTypeId>((t + i) % 2));
+      }
+    });
+    threads.emplace_back([&q, t] {
+      for (uint64_t i = 0; i < kPerThread; ++i) {
+        q.OnDequeued(static_cast<QueryTypeId>((t + i) % 2));
+      }
+    });
+  }
+  std::atomic<bool> stop{false};
+  std::thread reader([&] {
+    const uint64_t ceiling = 2 * kThreadsPerSide * kPerThread;
+    while (!stop.load(std::memory_order_relaxed)) {
+      EXPECT_LE(q.TotalLength(), ceiling);
+      EXPECT_LE(q.CountForType(0), ceiling);
+      EXPECT_LE(q.CountForType(1), ceiling);
+    }
+  });
+  for (auto& t : threads) t.join();
+  stop.store(true);
+  reader.join();
+  // Enqueues and dequeues balance: only the pre-fill remains.
+  EXPECT_EQ(q.TotalLength(), kThreadsPerSide * kPerThread);
+  EXPECT_EQ(q.CountForType(0) + q.CountForType(1),
+            kThreadsPerSide * kPerThread);
 }
 
 }  // namespace

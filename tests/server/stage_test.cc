@@ -238,6 +238,112 @@ TEST(StageTest, ConcurrentSubmitters) {
             static_cast<uint64_t>(4 * kPerThread));
 }
 
+/// Counts every policy hook invocation, so tests can assert the stage
+/// keeps the hook protocol balanced even on the shed paths.
+class ProbePolicy final : public AdmissionPolicy {
+ public:
+  Decision Decide(QueryTypeId, Nanos) override {
+    decided.fetch_add(1);
+    return Decision::kAccept;
+  }
+  void OnEnqueued(QueryTypeId, Nanos) override { enqueued.fetch_add(1); }
+  void OnRejected(QueryTypeId, Nanos) override { rejected.fetch_add(1); }
+  void OnDequeued(QueryTypeId, Nanos, Nanos) override {
+    dequeued.fetch_add(1);
+  }
+  void OnCompleted(QueryTypeId, Nanos, Nanos) override {
+    processed.fetch_add(1);
+  }
+  void OnShedded(QueryTypeId, Nanos) override { shedded.fetch_add(1); }
+  std::string_view name() const override { return "Probe"; }
+
+  std::atomic<uint64_t> decided{0};
+  std::atomic<uint64_t> enqueued{0};
+  std::atomic<uint64_t> rejected{0};
+  std::atomic<uint64_t> dequeued{0};
+  std::atomic<uint64_t> processed{0};
+  std::atomic<uint64_t> shedded{0};
+};
+
+// When the bounded queue sheds an accepted item, the policy must hear
+// about it (OnShedded) so allowance/fraction windows stay honest: for
+// every OnEnqueued there is exactly one OnDequeued or OnShedded.
+TEST(StageTest, SheddingNotifiesPolicy) {
+  StageFixture f;
+  Stage::Options options;
+  options.num_workers = 1;
+  options.queue_capacity = 2;
+  ProbePolicy* probe = nullptr;
+  Stage stage(
+      options, &f.registry, SystemClock::Global(),
+      [&probe](const PolicyContext&)
+          -> StatusOr<std::unique_ptr<AdmissionPolicy>> {
+        auto policy = std::make_unique<ProbePolicy>();
+        probe = policy.get();
+        return StatusOr<std::unique_ptr<AdmissionPolicy>>(std::move(policy));
+      },
+      [&f](WorkItem& item) { f.Handle(item); });
+  ASSERT_TRUE(stage.Start().ok());
+  ASSERT_NE(probe, nullptr);
+  f.busy_ns = 20 * kMillisecond;
+  constexpr int kSubmitted = 32;
+  for (int i = 0; i < kSubmitted; ++i) stage.Submit(f.MakeItem());
+  stage.Stop(false);
+
+  // Every submission terminated exactly once.
+  EXPECT_EQ(f.done_count.load(), kSubmitted);
+  // The ring (capacity 2) plus one busy worker cannot absorb 32 items.
+  EXPECT_GT(f.shedded.load(), 0);
+  // Stage counters and policy hooks tell the same story.
+  EXPECT_EQ(probe->shedded.load(), stage.counters().shedded.load());
+  EXPECT_EQ(probe->enqueued.load(),
+            probe->dequeued.load() + probe->shedded.load());
+  EXPECT_EQ(stage.queue_state().TotalLength(), 0u);
+}
+
+// Many submitters racing a tiny ring and slow workers: exactly-once
+// terminal outcomes and a balanced hook ledger under real contention.
+TEST(StageTest, ConcurrentSheddingStress) {
+  StageFixture f;
+  Stage::Options options;
+  options.num_workers = 2;
+  options.queue_capacity = 4;
+  ProbePolicy* probe = nullptr;
+  Stage stage(
+      options, &f.registry, SystemClock::Global(),
+      [&probe](const PolicyContext&)
+          -> StatusOr<std::unique_ptr<AdmissionPolicy>> {
+        auto policy = std::make_unique<ProbePolicy>();
+        probe = policy.get();
+        return StatusOr<std::unique_ptr<AdmissionPolicy>>(std::move(policy));
+      },
+      [&f](WorkItem& item) { f.Handle(item); });
+  ASSERT_TRUE(stage.Start().ok());
+  f.busy_ns = 100 * kMicrosecond;
+  constexpr int kThreads = 4;
+  constexpr int kPerThread = 400;
+  std::vector<std::thread> submitters;
+  for (int t = 0; t < kThreads; ++t) {
+    submitters.emplace_back([&] {
+      for (int i = 0; i < kPerThread; ++i) stage.Submit(f.MakeItem());
+    });
+  }
+  for (auto& t : submitters) t.join();
+  stage.Stop(true);  // Drain: queued work completes.
+
+  EXPECT_EQ(f.done_count.load(), kThreads * kPerThread);
+  EXPECT_EQ(stage.counters().received.load(),
+            static_cast<uint64_t>(kThreads * kPerThread));
+  EXPECT_EQ(probe->enqueued.load(),
+            probe->dequeued.load() + probe->shedded.load());
+  EXPECT_EQ(stage.queue_state().TotalLength(), 0u);
+  // Accepted items completed; shedded items never touched a worker.
+  EXPECT_EQ(stage.counters().accepted.load(),
+            probe->dequeued.load());
+  EXPECT_EQ(static_cast<uint64_t>(f.completed.load() + f.expired.load()),
+            probe->dequeued.load());
+}
+
 TEST(StageBuilderTest, RequiresRegistryAndHandler) {
   StageBuilder builder;
   EXPECT_FALSE(builder.Build().ok());

@@ -4,6 +4,7 @@
 
 #include <atomic>
 #include <thread>
+#include <vector>
 
 namespace bouncer::stats {
 namespace {
@@ -129,6 +130,70 @@ TEST(DualHistogramTest, ConcurrentRecordAndRead) {
   }
   stop.store(true);
   writer.join();
+}
+
+// Several reader threads hammering ReadSummary() while one dedicated
+// swapper rotates buffers (and a recorder keeps feeding samples): every
+// summary observed must be internally consistent — identical samples, so
+// any published summary has the one true mean. Exercises the seqlock
+// publication path against the swap path specifically.
+TEST(DualHistogramTest, ConcurrentReadersVersusSwapper) {
+  DualHistogram h(TestOptions(kMillisecond));
+  std::atomic<bool> stop{false};
+  std::thread recorder([&] {
+    while (!stop.load(std::memory_order_relaxed)) {
+      for (int i = 0; i < 64; ++i) h.Record(3 * kMillisecond);
+    }
+  });
+  std::thread swapper([&] {
+    while (!stop.load(std::memory_order_relaxed)) {
+      h.ForceSwap();
+      std::this_thread::yield();
+    }
+  });
+  std::vector<std::thread> readers;
+  for (int r = 0; r < 3; ++r) {
+    readers.emplace_back([&] {
+      for (int i = 0; i < 30'000; ++i) {
+        const HistogramSummary s = h.ReadSummary();
+        if (s.count > 0) {
+          // Identical samples: any published summary must stay near the
+          // one true value. A straggler Record() racing the swap can
+          // skew count vs sum by a few samples (inherent to the
+          // dual-buffer design), but a torn or corrupted summary would
+          // land far outside these bounds.
+          ASSERT_GE(s.mean, 2 * kMillisecond);
+          ASSERT_LE(s.mean, 4 * kMillisecond);
+          // p50 interpolates within the bucket by rank, so it can move
+          // between windows — but never outside the sample's bucket.
+          ASSERT_GE(s.p50, 2 * kMillisecond);
+          ASSERT_LE(s.p50, 4 * kMillisecond);
+        }
+      }
+    });
+  }
+  for (auto& t : readers) t.join();
+  stop.store(true);
+  recorder.join();
+  swapper.join();
+  EXPECT_GT(h.SwapCount(), 0u);
+}
+
+// ForceSwap from many threads at once must keep the swap counter exact
+// and the pacing timer race-free (regression: the timer push-out used to
+// be a racy read-modify-write).
+TEST(DualHistogramTest, ConcurrentForceSwapKeepsCountExact) {
+  DualHistogram h(TestOptions(kSecond));
+  constexpr int kThreads = 4;
+  constexpr uint64_t kSwapsPerThread = 5'000;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&] {
+      for (uint64_t i = 0; i < kSwapsPerThread; ++i) h.ForceSwap();
+    });
+  }
+  for (auto& t : threads) t.join();
+  EXPECT_EQ(h.SwapCount(), kThreads * kSwapsPerThread);
 }
 
 }  // namespace
