@@ -77,9 +77,26 @@ std::vector<PolicyKind> StudyPolicyKinds() {
           PolicyKind::kAcceptFraction};
 }
 
+std::vector<PolicyConfig> MakeStudyPolicies(
+    const std::vector<PolicyKind>& kinds) {
+  std::vector<PolicyConfig> policies;
+  policies.reserve(kinds.size());
+  for (const PolicyKind kind : kinds) policies.push_back(MakeStudyPolicy(kind));
+  return policies;
+}
+
+std::vector<std::vector<sim::SweepPoint>> SweepStudyPolicies(
+    const workload::WorkloadSpec& workload, const StudyParams& params,
+    const std::vector<PolicyConfig>& policies) {
+  return sim::SweepPolicyGrid(workload, params.config, policies,
+                              params.load_factors, params.runs);
+}
+
 void PrintPreamble(const char* name, const char* description) {
-  std::printf("# %s\n# %s\n# scale=%d (set BOUNCER_BENCH_SCALE=0|1|2)\n",
-              name, description, BenchScale());
+  std::printf(
+      "# %s\n# %s\n# scale=%d (set BOUNCER_BENCH_SCALE=0|1|2), jobs=%d "
+      "(set BOUNCER_BENCH_JOBS)\n",
+      name, description, BenchScale(), sim::DefaultJobs());
 }
 
 void PrintRule(int width) {

@@ -31,7 +31,20 @@ PolicyConfig MakeStudyPolicy(PolicyKind kind);
 /// All six policy kinds of the simulation study, in presentation order.
 std::vector<PolicyKind> StudyPolicyKinds();
 
-/// Prints "# name: description" plus the runtime scale.
+/// MakeStudyPolicy applied to each kind, preserving order.
+std::vector<PolicyConfig> MakeStudyPolicies(
+    const std::vector<PolicyKind>& kinds);
+
+/// Sweeps every policy over params.load_factors as one flattened
+/// (policy × load-factor × seed) grid through the parallel runner
+/// (sim::SweepPolicyGrid): all BOUNCER_BENCH_JOBS workers stay busy
+/// across the whole figure instead of per-policy. Returns one sweep per
+/// policy, index-aligned and bit-identical to serial SweepLoadFactors.
+std::vector<std::vector<sim::SweepPoint>> SweepStudyPolicies(
+    const workload::WorkloadSpec& workload, const StudyParams& params,
+    const std::vector<PolicyConfig>& policies);
+
+/// Prints "# name: description" plus the runtime scale and job count.
 void PrintPreamble(const char* name, const char* description);
 
 /// Prints a row of '-' the width of the previous header (cosmetic).

@@ -21,12 +21,12 @@ int main() {
   std::printf("\n");
   PrintRule(28 + 9 * static_cast<int>(params.load_factors.size()));
 
-  for (PolicyKind kind : StudyPolicyKinds()) {
-    const auto points =
-        sim::SweepLoadFactors(workload, params.config, MakeStudyPolicy(kind),
-                              params.load_factors, params.runs);
-    std::printf("%-28s", std::string(PolicyKindName(kind)).c_str());
-    for (const auto& point : points) {
+  const auto kinds = StudyPolicyKinds();
+  const auto sweeps =
+      SweepStudyPolicies(workload, params, MakeStudyPolicies(kinds));
+  for (size_t k = 0; k < kinds.size(); ++k) {
+    std::printf("%-28s", std::string(PolicyKindName(kinds[k])).c_str());
+    for (const auto& point : sweeps[k]) {
       std::printf("%9.2f", point.result.overall.rejection_pct);
     }
     std::printf("\n");

@@ -18,19 +18,18 @@ int main() {
   const auto workload = workload::PaperSimulationWorkload();
   const auto params = DefaultStudyParams();
 
-  const PolicyKind kinds[] = {PolicyKind::kBouncer,
-                              PolicyKind::kBouncerWithAllowance,
-                              PolicyKind::kBouncerWithUnderserved};
+  const std::vector<PolicyKind> kinds = {PolicyKind::kBouncer,
+                                         PolicyKind::kBouncerWithAllowance,
+                                         PolicyKind::kBouncerWithUnderserved};
   std::printf("%-28s", "policy \\ load");
   for (double f : params.load_factors) std::printf("%8.2fx", f);
   std::printf("\n");
   PrintRule(28 + 9 * static_cast<int>(params.load_factors.size()));
-  for (PolicyKind kind : kinds) {
-    const auto points =
-        sim::SweepLoadFactors(workload, params.config, MakeStudyPolicy(kind),
-                              params.load_factors, params.runs);
-    std::printf("%-28s", std::string(PolicyKindName(kind)).c_str());
-    for (const auto& point : points) {
+  const auto sweeps =
+      SweepStudyPolicies(workload, params, MakeStudyPolicies(kinds));
+  for (size_t k = 0; k < kinds.size(); ++k) {
+    std::printf("%-28s", std::string(PolicyKindName(kinds[k])).c_str());
+    for (const auto& point : sweeps[k]) {
       std::printf("%9.2f", point.result.per_type[3].rt_p50_ms);
     }
     std::printf("\n");

@@ -46,12 +46,12 @@ int main() {
   for (double f : params.load_factors) std::printf("%8.2fx", f);
   std::printf("\n");
   PrintRule(28 + 9 * static_cast<int>(params.load_factors.size()));
-  std::vector<std::vector<sim::SweepPoint>> all_points;
-  for (const Series& s : series) {
-    all_points.push_back(sim::SweepLoadFactors(
-        workload, params.config, s.config, params.load_factors, params.runs));
-    std::printf("%-28s", s.label);
-    for (const auto& point : all_points.back()) {
+  const auto all_points = SweepStudyPolicies(
+      workload, params,
+      {series[0].config, series[1].config, series[2].config});
+  for (size_t i = 0; i < all_points.size(); ++i) {
+    std::printf("%-28s", series[i].label);
+    for (const auto& point : all_points[i]) {
       std::printf("%9.2f", point.result.per_type[3].rt_p50_ms);
     }
     std::printf("\n");

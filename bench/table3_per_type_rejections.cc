@@ -14,15 +14,9 @@ using namespace bouncer::bench;
 
 namespace {
 
-void PrintBlock(const char* title, PolicyKind kind, double allowance) {
-  const auto workload = workload::PaperSimulationWorkload();
-  auto params = DefaultStudyParams();
-  PolicyConfig policy = MakeStudyPolicy(kind);
-  policy.allowance.allowance = allowance;  // Table 3 uses A = 0.1.
-
-  const auto points = sim::SweepLoadFactors(
-      workload, params.config, policy, params.load_factors, params.runs);
-
+void PrintBlock(const char* title, const workload::WorkloadSpec& workload,
+                const StudyParams& params,
+                const std::vector<sim::SweepPoint>& points) {
   std::printf("\n%s\n", title);
   std::printf("%-14s", "type \\ load");
   for (double f : params.load_factors) std::printf("%8.2fx", f);
@@ -54,11 +48,21 @@ int main() {
   PrintPreamble("table3_per_type_rejections",
                 "rejection %% per query type vs load, Bouncer with and "
                 "without starvation avoidance");
-  PrintBlock("Bouncer (Basic Formulation)", PolicyKind::kBouncer, 0.1);
-  PrintBlock("Bouncer (Acceptance Allowance, A=0.1)",
-             PolicyKind::kBouncerWithAllowance, 0.1);
-  PrintBlock("Bouncer (Helping the Underserved, alpha=1.0)",
-             PolicyKind::kBouncerWithUnderserved, 0.1);
+  const auto workload = workload::PaperSimulationWorkload();
+  const auto params = DefaultStudyParams();
+  // All three blocks as one (policy × load × seed) parallel grid.
+  // Table 3 uses A = 0.1 (MakeStudyPolicy defaults to 0.05).
+  std::vector<PolicyConfig> policies =
+      MakeStudyPolicies({PolicyKind::kBouncer,
+                         PolicyKind::kBouncerWithAllowance,
+                         PolicyKind::kBouncerWithUnderserved});
+  for (PolicyConfig& policy : policies) policy.allowance.allowance = 0.1;
+  const auto sweeps = SweepStudyPolicies(workload, params, policies);
+  PrintBlock("Bouncer (Basic Formulation)", workload, params, sweeps[0]);
+  PrintBlock("Bouncer (Acceptance Allowance, A=0.1)", workload, params,
+             sweeps[1]);
+  PrintBlock("Bouncer (Helping the Underserved, alpha=1.0)", workload,
+             params, sweeps[2]);
   std::printf("\n(-0- marks absolute zero rejections, as in the paper)\n");
   return 0;
 }

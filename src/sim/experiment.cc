@@ -21,19 +21,19 @@ void AccumulateStats(const TypeStats& in, double weight, TypeStats* out) {
   out->wt_p50_ms += weight * in.wt_p50_ms;
 }
 
-}  // namespace
+/// Seed for run `r` of a cell whose base config carries seed `base`.
+uint64_t RunSeed(uint64_t base, int r) {
+  return base + static_cast<uint64_t>(r) * 7919;
+}
 
-SimulationResult RunAveraged(const workload::WorkloadSpec& workload,
-                             const SimulationConfig& config,
-                             const PolicyConfig& policy_config, int runs) {
-  runs = runs < 1 ? 1 : runs;
+/// Averages the per-seed results of one cell, in seed order. The
+/// floating-point operation sequence matches the historical serial
+/// RunAveraged loop exactly, so parallel execution changes nothing.
+SimulationResult Aggregate(const SimulationResult* results, int runs) {
   SimulationResult aggregate;
   const double weight = 1.0 / runs;
   for (int r = 0; r < runs; ++r) {
-    SimulationConfig run_config = config;
-    run_config.seed = config.seed + static_cast<uint64_t>(r) * 7919;
-    Simulator simulator(workload, run_config, policy_config);
-    const SimulationResult result = simulator.Run();
+    const SimulationResult& result = results[r];
     if (aggregate.per_type.empty()) {
       aggregate.per_type.resize(result.per_type.size());
     }
@@ -45,27 +45,76 @@ SimulationResult RunAveraged(const workload::WorkloadSpec& workload,
     aggregate.measured_seconds += weight * result.measured_seconds;
     aggregate.wasted_work_fraction += weight * result.wasted_work_fraction;
     aggregate.offered_qps = result.offered_qps;
+    aggregate.events_processed += result.events_processed;
   }
   return aggregate;
+}
+
+}  // namespace
+
+SimulationResult RunAveraged(const workload::WorkloadSpec& workload,
+                             const SimulationConfig& config,
+                             const PolicyConfig& policy_config, int runs) {
+  runs = runs < 1 ? 1 : runs;
+  std::vector<SimJob> jobs(static_cast<size_t>(runs));
+  for (int r = 0; r < runs; ++r) {
+    jobs[r].workload = &workload;
+    jobs[r].config = config;
+    jobs[r].config.seed = RunSeed(config.seed, r);
+    jobs[r].policy = policy_config;
+  }
+  const auto results = RunJobs(jobs);
+  return Aggregate(results.data(), runs);
+}
+
+std::vector<std::vector<SweepPoint>> SweepPolicyGrid(
+    const workload::WorkloadSpec& workload, const SimulationConfig& base,
+    const std::vector<PolicyConfig>& policies,
+    const std::vector<double>& factors, int runs) {
+  runs = runs < 1 ? 1 : runs;
+  const double full_load = workload.FullLoadQps(base.parallelism);
+
+  // Flatten (policy × factor × seed) into one batch, ordered so that
+  // jobs[(p * factors + f) * runs + r] is run r of policy p at factor f.
+  std::vector<SimJob> jobs;
+  jobs.reserve(policies.size() * factors.size() * static_cast<size_t>(runs));
+  for (const PolicyConfig& policy : policies) {
+    for (double factor : factors) {
+      for (int r = 0; r < runs; ++r) {
+        SimJob job;
+        job.workload = &workload;
+        job.config = base;
+        job.config.arrival_rate_qps = factor * full_load;
+        job.config.seed = RunSeed(base.seed, r);
+        job.policy = policy;
+        jobs.push_back(std::move(job));
+      }
+    }
+  }
+  const auto results = RunJobs(jobs);
+
+  std::vector<std::vector<SweepPoint>> sweeps(policies.size());
+  size_t cell = 0;
+  for (size_t p = 0; p < policies.size(); ++p) {
+    sweeps[p].reserve(factors.size());
+    for (double factor : factors) {
+      SweepPoint point;
+      point.load_factor = factor;
+      point.offered_qps = factor * full_load;
+      point.result = Aggregate(&results[cell * runs], runs);
+      sweeps[p].push_back(std::move(point));
+      ++cell;
+    }
+  }
+  return sweeps;
 }
 
 std::vector<SweepPoint> SweepLoadFactors(
     const workload::WorkloadSpec& workload, const SimulationConfig& base,
     const PolicyConfig& policy_config, const std::vector<double>& factors,
     int runs) {
-  const double full_load = workload.FullLoadQps(base.parallelism);
-  std::vector<SweepPoint> points;
-  points.reserve(factors.size());
-  for (double factor : factors) {
-    SimulationConfig config = base;
-    config.arrival_rate_qps = factor * full_load;
-    SweepPoint point;
-    point.load_factor = factor;
-    point.offered_qps = config.arrival_rate_qps;
-    point.result = RunAveraged(workload, config, policy_config, runs);
-    points.push_back(std::move(point));
-  }
-  return points;
+  auto sweeps = SweepPolicyGrid(workload, base, {policy_config}, factors, runs);
+  return std::move(sweeps.front());
 }
 
 std::vector<double> PaperLoadFactors() {

@@ -3,6 +3,7 @@
 
 #include <vector>
 
+#include "src/sim/parallel_runner.h"
 #include "src/sim/simulator.h"
 
 namespace bouncer::sim {
@@ -11,6 +12,10 @@ namespace bouncer::sim {
 /// from config.seed), mirroring the paper's "average of 5 simulation
 /// runs" table cells. Counters are summed; rates, utilization and
 /// percentile latencies are averaged across runs.
+///
+/// Runs fan out across DefaultJobs() threads (BOUNCER_BENCH_JOBS);
+/// aggregation order is fixed by seed index, so the result is
+/// bit-identical to a serial execution.
 SimulationResult RunAveraged(const workload::WorkloadSpec& workload,
                              const SimulationConfig& config,
                              const PolicyConfig& policy_config, int runs);
@@ -25,11 +30,23 @@ struct SweepPoint {
 
 /// Runs `policy_config` across the given multiples of QPS_full_load
 /// (paper §5.3 uses 0.9x..1.5x). `base.arrival_rate_qps` is overwritten
-/// per point.
+/// per point. The (load-factor × seed) cells fan out in parallel; see
+/// RunAveraged for the determinism contract.
 std::vector<SweepPoint> SweepLoadFactors(
     const workload::WorkloadSpec& workload, const SimulationConfig& base,
     const PolicyConfig& policy_config, const std::vector<double>& factors,
     int runs);
+
+/// Full study grid: every policy swept over every load factor, the
+/// (policy × load-factor × seed) cells flattened into one parallel batch
+/// so a multi-policy figure keeps all cores busy end to end. Returns one
+/// sweep (index-aligned with `factors`) per entry of `policies`. Each
+/// returned point is bit-identical to what a serial SweepLoadFactors
+/// call for that policy would produce.
+std::vector<std::vector<SweepPoint>> SweepPolicyGrid(
+    const workload::WorkloadSpec& workload, const SimulationConfig& base,
+    const std::vector<PolicyConfig>& policies,
+    const std::vector<double>& factors, int runs);
 
 /// The paper's load-factor grid 0.9, 0.95, ..., 1.5 (13 points).
 std::vector<double> PaperLoadFactors();

@@ -1,0 +1,39 @@
+#ifndef BOUNCER_SIM_PARALLEL_RUNNER_H_
+#define BOUNCER_SIM_PARALLEL_RUNNER_H_
+
+#include <vector>
+
+#include "src/sim/simulator.h"
+
+namespace bouncer::sim {
+
+/// One independent simulation cell of an experiment grid: a (policy ×
+/// load-factor × seed) point. Each cell builds its own Simulator — with
+/// its own registry, queue state, policy, and Rng — so cells share
+/// nothing and can run on any thread.
+struct SimJob {
+  /// Workload the cell samples from. Not owned; must outlive RunJobs().
+  const workload::WorkloadSpec* workload = nullptr;
+  SimulationConfig config;
+  PolicyConfig policy;
+};
+
+/// Number of worker threads experiment fan-out uses by default: the
+/// BOUNCER_BENCH_JOBS environment variable when set to a positive
+/// integer, otherwise std::thread::hardware_concurrency(). Always >= 1.
+int DefaultJobs();
+
+/// Runs every job and returns the results index-aligned with `jobs`.
+///
+/// `num_threads` <= 0 means DefaultJobs(). With one thread the jobs run
+/// inline on the caller's thread; with more, a pool of workers pulls
+/// jobs off a shared atomic cursor. Either way the result vector is
+/// ordered by job index, and because each cell is hermetic (seeded Rng,
+/// private policy/registry/queue state) the outcome of every cell is
+/// bit-identical regardless of thread count or completion order.
+std::vector<SimulationResult> RunJobs(const std::vector<SimJob>& jobs,
+                                      int num_threads = 0);
+
+}  // namespace bouncer::sim
+
+#endif  // BOUNCER_SIM_PARALLEL_RUNNER_H_

@@ -5,6 +5,18 @@
 
 namespace bouncer::sim {
 
+void Simulator::FifoRing::Rebuild(size_t capacity) {
+  size_t pow2 = 64;
+  while (pow2 < capacity) pow2 <<= 1;
+  std::vector<QueuedQuery> fresh(pow2);
+  for (size_t i = 0; i < size_; ++i) {
+    fresh[i] = slots_[(head_ + i) & mask_];
+  }
+  slots_ = std::move(fresh);
+  mask_ = pow2 - 1;
+  head_ = 0;
+}
+
 Simulator::Simulator(const workload::WorkloadSpec& workload,
                      const SimulationConfig& config,
                      const PolicyConfig& policy_config)
@@ -19,10 +31,58 @@ Simulator::Simulator(const workload::WorkloadSpec& workload,
   auto policy = CreatePolicy(policy_config, context);
   assert(policy.ok());
   policy_ = std::move(*policy);
-  counters_.resize(workload_.size());
-  for (size_t i = 0; i < workload_.size(); ++i) {
-    counters_[i].rt_ms.Reserve(1024);
+
+  // Pre-reserve every per-run container so the event loop never
+  // reallocates mid-run. The event heap holds at most one pending
+  // arrival plus `parallelism` in-flight completions; the in-flight slab
+  // and its free list never exceed `parallelism` slots.
+  {
+    std::vector<Event> storage;
+    storage.reserve(config_.parallelism + 2);
+    events_ = decltype(events_)(std::greater<Event>(), std::move(storage));
   }
+  in_flight_.reserve(config_.parallelism);
+  free_slots_.reserve(config_.parallelism);
+
+  use_fifo_ring_ = config_.discipline == QueueDiscipline::kFifo &&
+                   !config_.force_heap_queue;
+  if (use_fifo_ring_) {
+    fifo_queue_.Reserve(std::min<uint64_t>(config_.total_queries, 4096));
+  }
+
+  counters_.resize(workload_.size());
+  const uint64_t measured =
+      config_.total_queries > config_.warmup_queries
+          ? config_.total_queries - config_.warmup_queries
+          : 0;
+  for (size_t i = 0; i < workload_.size(); ++i) {
+    TypeCounters& c = counters_[i];
+    switch (config_.stats_mode) {
+      case StatsMode::kExactSamples: {
+        // Size each series to the type's expected measured share so the
+        // sample vectors are allocated once, up front.
+        const auto expect = static_cast<size_t>(
+            static_cast<double>(measured) * workload_.type(i).proportion) +
+            16;
+        c.rt_ms.Reserve(expect);
+        c.pt_ms.Reserve(expect);
+        c.wt_ms.Reserve(expect);
+        break;
+      }
+      case StatsMode::kStreamingSummary:
+        c.rt_hist = std::make_unique<stats::Histogram>();
+        c.pt_hist = std::make_unique<stats::Histogram>();
+        c.wt_hist = std::make_unique<stats::Histogram>();
+        break;
+      case StatsMode::kNone:
+        break;
+    }
+  }
+  if (config_.stats_mode == StatsMode::kStreamingSummary) {
+    all_rt_hist_ = std::make_unique<stats::Histogram>();
+    all_pt_hist_ = std::make_unique<stats::Histogram>();
+  }
+
   // Queue-order key per type: 0 for FIFO (pure arrival order), the mean
   // processing time for SJF, the configured priority for kPriority.
   order_keys_.assign(workload_.size(), 0);
@@ -92,8 +152,8 @@ void Simulator::HandleArrival(Nanos now) {
     if (measured) ++counters_[type_index].accepted;
     queue_state_.OnEnqueued(id);
     policy_->OnEnqueued(id, now);
-    queue_.push(QueuedQuery{type_index, now, measured,
-                            order_keys_[type_index], next_sequence_++});
+    QueuePush(QueuedQuery{type_index, now, measured,
+                          order_keys_[type_index], next_sequence_++});
     if (busy_ < config_.parallelism) StartNext(now);
   } else {
     if (measured) ++counters_[type_index].rejected;
@@ -102,15 +162,14 @@ void Simulator::HandleArrival(Nanos now) {
 }
 
 void Simulator::StartNext(Nanos now) {
-  assert(!queue_.empty());
+  assert(!QueueEmpty());
   // Pull queued queries until one that has not expired is found (the
   // framework drops expired queries at dequeue without processing them,
   // matching the server Stage and LIquid's expiration enforcement).
   QueuedQuery q{};
   while (true) {
-    if (queue_.empty()) return;
-    q = queue_.top();
-    queue_.pop();
+    if (QueueEmpty()) return;
+    q = QueuePop();
     const QueryTypeId expired_id = type_ids_[q.type_index];
     if (config_.deadline > 0 && now > q.enqueued + config_.deadline) {
       queue_state_.OnDequeued(expired_id);
@@ -142,6 +201,27 @@ void Simulator::StartNext(Nanos now) {
   events_.push(Event{now + pt, Event::Kind::kCompletion, slot});
 }
 
+void Simulator::RecordLatencies(const InFlight& rec) {
+  TypeCounters& c = counters_[rec.type_index];
+  const Nanos wt = rec.dequeued - rec.enqueued;
+  switch (config_.stats_mode) {
+    case StatsMode::kExactSamples:
+      c.rt_ms.Add(ToMillis(wt + rec.processing));
+      c.pt_ms.Add(ToMillis(rec.processing));
+      c.wt_ms.Add(ToMillis(wt));
+      break;
+    case StatsMode::kStreamingSummary:
+      c.rt_hist->Record(wt + rec.processing);
+      c.pt_hist->Record(rec.processing);
+      c.wt_hist->Record(wt);
+      all_rt_hist_->Record(wt + rec.processing);
+      all_pt_hist_->Record(rec.processing);
+      break;
+    case StatsMode::kNone:
+      break;
+  }
+}
+
 void Simulator::HandleCompletion(Nanos now, uint64_t slot) {
   const InFlight rec = in_flight_[slot];
   free_slots_.push_back(slot);
@@ -161,14 +241,9 @@ void Simulator::HandleCompletion(Nanos now, uint64_t slot) {
       ++c.useless;
       wasted_work_ns_ += static_cast<double>(rec.processing);
     }
-    if (config_.collect_samples) {
-      const Nanos wt = rec.dequeued - rec.enqueued;
-      c.rt_ms.Add(ToMillis(wt + rec.processing));
-      c.pt_ms.Add(ToMillis(rec.processing));
-      c.wt_ms.Add(ToMillis(wt));
-    }
+    RecordLatencies(rec);
   }
-  if (!queue_.empty() && busy_ < config_.parallelism) StartNext(now);
+  if (!QueueEmpty() && busy_ < config_.parallelism) StartNext(now);
 }
 
 SimulationResult Simulator::Run() {
@@ -184,6 +259,7 @@ SimulationResult Simulator::Run() {
       next_tick_ += tick_interval_;
     }
     events_.pop();
+    ++events_processed_;
     if (event.kind == Event::Kind::kArrival) {
       HandleArrival(event.time);
     } else {
@@ -193,6 +269,7 @@ SimulationResult Simulator::Run() {
 
   SimulationResult result;
   result.offered_qps = config_.arrival_rate_qps;
+  result.events_processed = events_processed_;
   const Nanos window_end =
       last_arrival_time_ > 0 ? last_arrival_time_ : last_busy_change_;
   const Nanos window =
@@ -204,6 +281,7 @@ SimulationResult Simulator::Run() {
                              static_cast<double>(window));
   }
 
+  const bool streaming = config_.stats_mode == StatsMode::kStreamingSummary;
   stats::SampleSummary all_rt;
   stats::SampleSummary all_pt;
   result.per_type.resize(workload_.size());
@@ -224,13 +302,23 @@ SimulationResult Simulator::Run() {
             ? 0.0
             : 100.0 * static_cast<double>(c.rejected) /
                   static_cast<double>(c.received);
-    t.rt_mean_ms = c.rt_ms.Mean();
-    t.rt_p50_ms = c.rt_ms.Percentile(0.50);
-    t.rt_p90_ms = c.rt_ms.Percentile(0.90);
-    t.rt_p99_ms = c.rt_ms.Percentile(0.99);
-    t.pt_p50_ms = c.pt_ms.Percentile(0.50);
-    t.pt_p90_ms = c.pt_ms.Percentile(0.90);
-    t.wt_p50_ms = c.wt_ms.Percentile(0.50);
+    if (streaming) {
+      t.rt_mean_ms = ToMillis(c.rt_hist->Mean());
+      t.rt_p50_ms = ToMillis(c.rt_hist->Percentile(0.50));
+      t.rt_p90_ms = ToMillis(c.rt_hist->Percentile(0.90));
+      t.rt_p99_ms = ToMillis(c.rt_hist->Percentile(0.99));
+      t.pt_p50_ms = ToMillis(c.pt_hist->Percentile(0.50));
+      t.pt_p90_ms = ToMillis(c.pt_hist->Percentile(0.90));
+      t.wt_p50_ms = ToMillis(c.wt_hist->Percentile(0.50));
+    } else {
+      t.rt_mean_ms = c.rt_ms.Mean();
+      t.rt_p50_ms = c.rt_ms.Percentile(0.50);
+      t.rt_p90_ms = c.rt_ms.Percentile(0.90);
+      t.rt_p99_ms = c.rt_ms.Percentile(0.99);
+      t.pt_p50_ms = c.pt_ms.Percentile(0.50);
+      t.pt_p90_ms = c.pt_ms.Percentile(0.90);
+      t.wt_p50_ms = c.wt_ms.Percentile(0.50);
+    }
 
     overall.received += c.received;
     overall.accepted += c.accepted;
@@ -238,8 +326,10 @@ SimulationResult Simulator::Run() {
     overall.completed += c.completed;
     overall.expired += c.expired;
     overall.useless += c.useless;
-    for (double v : c.rt_ms.samples()) all_rt.Add(v);
-    for (double v : c.pt_ms.samples()) all_pt.Add(v);
+    if (!streaming) {
+      for (double v : c.rt_ms.samples()) all_rt.Add(v);
+      for (double v : c.pt_ms.samples()) all_pt.Add(v);
+    }
   }
   overall.rejection_pct =
       overall.received == 0
@@ -249,12 +339,21 @@ SimulationResult Simulator::Run() {
   if (total_work_ns_ > 0.0) {
     result.wasted_work_fraction = wasted_work_ns_ / total_work_ns_;
   }
-  overall.rt_mean_ms = all_rt.Mean();
-  overall.rt_p50_ms = all_rt.Percentile(0.50);
-  overall.rt_p90_ms = all_rt.Percentile(0.90);
-  overall.rt_p99_ms = all_rt.Percentile(0.99);
-  overall.pt_p50_ms = all_pt.Percentile(0.50);
-  overall.pt_p90_ms = all_pt.Percentile(0.90);
+  if (streaming) {
+    overall.rt_mean_ms = ToMillis(all_rt_hist_->Mean());
+    overall.rt_p50_ms = ToMillis(all_rt_hist_->Percentile(0.50));
+    overall.rt_p90_ms = ToMillis(all_rt_hist_->Percentile(0.90));
+    overall.rt_p99_ms = ToMillis(all_rt_hist_->Percentile(0.99));
+    overall.pt_p50_ms = ToMillis(all_pt_hist_->Percentile(0.50));
+    overall.pt_p90_ms = ToMillis(all_pt_hist_->Percentile(0.90));
+  } else {
+    overall.rt_mean_ms = all_rt.Mean();
+    overall.rt_p50_ms = all_rt.Percentile(0.50);
+    overall.rt_p90_ms = all_rt.Percentile(0.90);
+    overall.rt_p99_ms = all_rt.Percentile(0.99);
+    overall.pt_p50_ms = all_pt.Percentile(0.50);
+    overall.pt_p90_ms = all_pt.Percentile(0.90);
+  }
   return result;
 }
 

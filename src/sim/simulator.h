@@ -12,6 +12,7 @@
 #include "src/core/policy_factory.h"
 #include "src/core/query_type_registry.h"
 #include "src/core/queue_state.h"
+#include "src/stats/histogram.h"
 #include "src/stats/summary.h"
 #include "src/util/rng.h"
 #include "src/workload/workload_spec.h"
@@ -31,6 +32,19 @@ enum class QueueDiscipline : uint8_t {
   kPriority = 2,
 };
 
+/// How the simulator summarizes per-query rt/pt/wt measurements.
+enum class StatsMode : uint8_t {
+  /// Raw samples, exact percentiles. Memory is ~8 bytes per measured
+  /// query per series — the default, and what EXPERIMENTS.md numbers use.
+  kExactSamples = 0,
+  /// Streaming stats::Histogram per series: constant memory per cell
+  /// (~9 KB per histogram) at the histogram's ~3% relative percentile
+  /// error. For paper-scale sweeps where exactness is not needed.
+  kStreamingSummary = 1,
+  /// No latency series at all; counters and utilization only.
+  kNone = 2,
+};
+
 /// Simulation parameters (paper §5.3): a host with P query engine
 /// processes fed by open-loop Poisson traffic drawn from a typed mix.
 struct SimulationConfig {
@@ -40,9 +54,12 @@ struct SimulationConfig {
   /// Arrivals excluded from metrics while histograms and windows warm up.
   uint64_t warmup_queries = 100'000;
   uint64_t seed = 1;
-  /// Collect raw response-time samples for exact percentiles (memory is
-  /// ~8 bytes per measured query).
-  bool collect_samples = true;
+  StatsMode stats_mode = StatsMode::kExactSamples;
+  /// Forces the generic heap-backed admitted-query queue even under
+  /// kFifo, bypassing the O(1) FIFO ring fast path. The two paths are
+  /// behaviorally identical; this knob exists so tests and
+  /// bench_sim_throughput can compare them.
+  bool force_heap_queue = false;
   /// Relative deadline clients give their queries (0 = none). A query
   /// still queued past its deadline is dropped without processing
   /// (expired); one that completes past it was processed uselessly —
@@ -84,6 +101,9 @@ struct SimulationResult {
   /// Fraction of total processing time spent on queries that completed
   /// past their deadline (0 when no deadline is configured).
   double wasted_work_fraction = 0.0;
+  /// Discrete events (arrivals + completions) the run processed; the
+  /// numerator of the events/sec throughput the sim bench tracks.
+  uint64_t events_processed = 0;
 };
 
 /// Discrete-event simulator of the admission-control framework in paper
@@ -143,6 +163,7 @@ class Simulator {
   void StartNext(Nanos now);
   void HandleCompletion(Nanos now, uint64_t id);
   void AccumulateBusy(Nanos now);
+  void RecordLatencies(const InFlight& rec);
 
   workload::WorkloadSpec workload_;
   SimulationConfig config_;
@@ -165,10 +186,69 @@ class Simulator {
       return a.sequence > b.sequence;
     }
   };
+
+  /// Power-of-two ring buffer of admitted queries. Under kFifo every
+  /// order_key is 0 and sequences ascend with arrival, so the heap's
+  /// (order_key, sequence) min-order *is* insertion order — a ring gives
+  /// the same pop sequence with O(1) push/pop and no sift-down, which is
+  /// most of the win at overload where the backlog runs to thousands.
+  class FifoRing {
+   public:
+    void Reserve(size_t n) {
+      if (n > slots_.size()) Rebuild(n);
+    }
+    bool empty() const { return size_ == 0; }
+    size_t size() const { return size_; }
+    void push(const QueuedQuery& q) {
+      if (size_ == slots_.size()) Rebuild(size_ * 2);
+      slots_[(head_ + size_) & mask_] = q;
+      ++size_;
+    }
+    const QueuedQuery& front() const { return slots_[head_]; }
+    void pop() {
+      head_ = (head_ + 1) & mask_;
+      --size_;
+    }
+
+   private:
+    void Rebuild(size_t capacity);
+
+    std::vector<QueuedQuery> slots_;
+    size_t mask_ = 0;
+    size_t head_ = 0;
+    size_t size_ = 0;
+  };
+
+  // The admitted-query queue: the ring when the discipline is FIFO (the
+  // paper's default everywhere), the heap otherwise. These helpers are
+  // the only accessors, so the two paths cannot diverge structurally.
+  bool QueueEmpty() const {
+    return use_fifo_ring_ ? fifo_queue_.empty() : heap_queue_.empty();
+  }
+  void QueuePush(const QueuedQuery& q) {
+    if (use_fifo_ring_) {
+      fifo_queue_.push(q);
+    } else {
+      heap_queue_.push(q);
+    }
+  }
+  QueuedQuery QueuePop() {
+    if (use_fifo_ring_) {
+      const QueuedQuery q = fifo_queue_.front();
+      fifo_queue_.pop();
+      return q;
+    }
+    const QueuedQuery q = heap_queue_.top();
+    heap_queue_.pop();
+    return q;
+  }
+
   /// Min-heap on (order_key, sequence): pure FIFO when all keys equal.
   std::priority_queue<QueuedQuery, std::vector<QueuedQuery>,
                       std::greater<QueuedQuery>>
-      queue_;
+      heap_queue_;
+  FifoRing fifo_queue_;
+  bool use_fifo_ring_ = false;
   std::vector<int64_t> order_keys_;  ///< Per workload type index.
   uint64_t next_sequence_ = 0;
   std::vector<InFlight> in_flight_;
@@ -176,8 +256,13 @@ class Simulator {
   size_t busy_ = 0;
 
   uint64_t generated_ = 0;
+  uint64_t events_processed_ = 0;
 
-  // Measurement state.
+  // Measurement state. The latency series live in exactly one of two
+  // representations, per config_.stats_mode: raw SampleSummary vectors
+  // (exact percentiles, ~8 B/query) or streaming Histograms (constant
+  // memory, ~3% relative error). Histograms are heap-allocated because
+  // stats::Histogram is non-movable (atomic buckets).
   struct TypeCounters {
     uint64_t received = 0;
     uint64_t accepted = 0;
@@ -188,8 +273,13 @@ class Simulator {
     stats::SampleSummary rt_ms;
     stats::SampleSummary pt_ms;
     stats::SampleSummary wt_ms;
+    std::unique_ptr<stats::Histogram> rt_hist;
+    std::unique_ptr<stats::Histogram> pt_hist;
+    std::unique_ptr<stats::Histogram> wt_hist;
   };
   std::vector<TypeCounters> counters_;
+  std::unique_ptr<stats::Histogram> all_rt_hist_;
+  std::unique_ptr<stats::Histogram> all_pt_hist_;
   Nanos measure_start_ = -1;
   Nanos last_busy_change_ = 0;
   double busy_integral_ns_ = 0.0;  // sum busy_count * dt, within window.
