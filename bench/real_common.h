@@ -15,7 +15,7 @@ namespace bouncer::bench {
 /// Parameters of the real-system study (paper §5.4), scaled to this
 /// machine. The paper drives a 16-shard/12-broker LIquid cluster at
 /// 36K-180K QPS; here an in-process broker/shard cluster on one host is
-/// driven at rates scaled down ~500x, spanning the same relative range
+/// driven at rates scaled down ~120x, spanning the same relative range
 /// (light load to past saturation).
 struct RealStudyParams {
   std::vector<double> rates_qps;
@@ -42,6 +42,13 @@ struct RealCell {
   double offered_qps = 0.0;
   server::TypeReport overall;
   server::TypeReport qt11;
+  /// Shard-side Points 1–3 aggregate: every subquery batch the shard
+  /// stages completed (or rejected/shed) during the measure window.
+  server::TypeReport shard_overall;
+  /// Fraction of total shard worker-time spent processing subqueries
+  /// during the measure window. Can exceed 1.0 when broker workers lend
+  /// CPU to shard queues while gathering (work-helping).
+  double shard_utilization = 0.0;
 };
 
 /// Generates the graph once per process (expensive); returns a shared

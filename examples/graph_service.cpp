@@ -42,7 +42,7 @@ int main() {
   options.broker_policy.bouncer.histogram_swap_interval = 2 * kSecond;
   options.broker_policy.bouncer.min_samples_to_publish = 5;
   options.broker_policy.allowance.allowance = 0.10;
-  options.broker_policy.queue_guard_limit = 16;
+  options.broker_policy.queue_guard_limit = 48;
   options.shard_policy.kind = PolicyKind::kAcceptFraction;
   options.shard_policy.accept_fraction.max_utilization = 0.98;
   Cluster cluster(&graph, &registry, SystemClock::Global(), options);
@@ -60,10 +60,10 @@ int main() {
     double qps;
     Nanos duration;
   } phases[] = {
-      {"warm-up (not reported)", 120, 5 * kSecond},
-      {"steady (light load)", 120, 6 * kSecond},
-      {"surge (past capacity)", 450, 6 * kSecond},
-      {"recovery", 120, 6 * kSecond},
+      {"warm-up (not reported)", 300, 5 * kSecond},
+      {"steady (light load)", 300, 6 * kSecond},
+      {"surge (past capacity)", 1400, 6 * kSecond},
+      {"recovery", 300, 6 * kSecond},
   };
 
   std::printf("\n%-24s %9s %9s %9s %12s %12s\n", "phase", "received",

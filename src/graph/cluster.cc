@@ -4,6 +4,8 @@
 #include <condition_variable>
 #include <mutex>
 
+#include "src/util/epoch_visited.h"
+
 namespace bouncer::graph {
 
 using server::Outcome;
@@ -16,22 +18,76 @@ struct Cluster::QueryContext {
   CompletionFn done;
 };
 
-struct Cluster::ScatterState {
+namespace {
+
+/// Shared layout the shard handler executes against; both scatter paths
+/// hang their synchronization state off a derived task type.
+struct ShardTaskBase {
+  Subquery subquery;
+  SubqueryResult result;
+};
+
+/// Countdown for one pooled/async broker->shards scatter. Lives in the
+/// broker worker's scratch; the last shard completion is its last access
+/// (the wake-up goes through the cluster-owned ParkingLot, never through
+/// this struct), so the gathering worker may move on the instant
+/// `pending` reads zero.
+struct ScatterCountdown {
+  std::atomic<uint32_t> pending{0};
+  std::atomic<bool> failed{false};
+};
+
+/// One in-flight subquery batch of the pooled/async path; lives in the
+/// broker worker's scratch until the round's countdown reaches zero, so
+/// raw pointers into it stay valid.
+struct AsyncShardTask : ShardTaskBase {
+  ScatterCountdown* countdown = nullptr;
+};
+
+/// Synchronization block of the legacy (pre-optimization) path.
+struct LegacyScatterState {
   std::mutex mu;
   std::condition_variable cv;
   size_t pending = 0;
   bool ok = true;
 };
 
-namespace {
-
-/// One in-flight subquery; lives on the broker worker's stack until the
-/// scatter completes, so raw pointers into it stay valid.
-struct ShardTask {
-  Subquery subquery;
-  SubqueryResult result;
-  Cluster::ScatterState* state = nullptr;
+/// Legacy in-flight subquery; lives on the broker worker's stack.
+struct LegacyShardTask : ShardTaskBase {
+  LegacyScatterState* state = nullptr;
 };
+
+/// Per-broker-worker reusable buffers: the full multi-round execution of
+/// a query runs out of these, so the steady-state fast path performs no
+/// heap allocation (vectors are clear()ed, never freed; capacity is
+/// retained across rounds and queries). Broker workers are dedicated
+/// threads, so thread-local storage is per-worker by construction; no
+/// round outlives its ScatterGather call, so nothing here escapes the
+/// owning thread.
+struct WorkerScratch {
+  // Round-level state.
+  std::vector<AsyncShardTask> tasks;  ///< One slot per shard.
+  ScatterCountdown countdown;
+  // Query-level operand buffers.
+  std::vector<uint32_t> degrees;
+  std::vector<uint32_t> hop1;
+  std::vector<uint32_t> hop2;
+  std::vector<uint32_t> neighbors_a;
+  std::vector<uint32_t> neighbors_b;
+  std::vector<uint32_t> frontier;
+  std::vector<uint32_t> next;
+  // Epoch-stamped membership sets replacing per-call sort/unique scratch
+  // (2-hop dedup) and sorted visited vectors (BFS).
+  EpochVisitedSet dedup;
+  EpochVisitedSet bfs_visited;
+};
+
+thread_local WorkerScratch tls_scratch;
+
+/// Brief spin before parking on the scatter gate: under load the shard
+/// completion lands within microseconds, while a park costs a futex
+/// round-trip on both sides.
+constexpr int kGatherSpins = 128;
 
 }  // namespace
 
@@ -59,7 +115,7 @@ Cluster::Cluster(const GraphStore* graph, const QueryTypeRegistry* registry,
           return CreatePolicy(policy, context);
         },
         [engine](WorkItem& item) {
-          auto* task = static_cast<ShardTask*>(item.user);
+          auto* task = static_cast<ShardTaskBase*>(item.user);
           engine->Execute(task->subquery, &task->result);
         }));
     if (!shards_.back()->init_status().ok()) {
@@ -126,33 +182,195 @@ GraphQuery Cluster::SampleQuery(GraphOp op, const GraphStore& graph,
 
 Outcome Cluster::Submit(const GraphQuery& query, Nanos deadline,
                         CompletionFn done) {
-  auto context = std::make_shared<QueryContext>();
+  const size_t broker_index =
+      next_broker_.fetch_add(1, std::memory_order_relaxed) % brokers_.size();
+  if (options_.legacy_scatter) {
+    // Pre-optimization submit: a fresh shared context per query.
+    auto context = std::make_shared<QueryContext>();
+    context->query = query;
+    context->done = std::move(done);
+
+    WorkItem item;
+    item.type = TypeIdFor(query.op);
+    item.deadline = deadline;
+    item.user = context.get();
+    item.on_complete = [context](const WorkItem& w, Outcome outcome) {
+      if (context->done) context->done(w, outcome, context->result);
+    };
+    return brokers_[broker_index]->Submit(std::move(item));
+  }
+
+  QueryContext* context = context_pool_.Acquire();
   context->query = query;
+  context->result = GraphQueryResult{};
   context->done = std::move(done);
 
   WorkItem item;
   item.type = TypeIdFor(query.op);
   item.deadline = deadline;
-  item.user = context.get();
-  item.on_complete = [context](const WorkItem& w, Outcome outcome) {
-    if (context->done) context->done(w, outcome, context->result);
+  item.user = context;
+  item.on_complete = [this](const WorkItem& w, Outcome outcome) {
+    auto* ctx = static_cast<QueryContext*>(w.user);
+    if (ctx->done) ctx->done(w, outcome, ctx->result);
+    ctx->done = nullptr;  // Drop caller resources before pooling.
+    context_pool_.Release(ctx);
   };
-  const size_t broker_index =
-      next_broker_.fetch_add(1, std::memory_order_relaxed) % brokers_.size();
   return brokers_[broker_index]->Submit(std::move(item));
 }
 
 bool Cluster::ScatterGather(std::span<const uint32_t> vertices,
                             Subquery::Kind kind, uint32_t limit_per_vertex,
                             QueryTypeId type, Nanos deadline,
-                            SubqueryResult* merged) {
+                            std::vector<uint32_t>* degrees_out,
+                            std::vector<uint32_t>* neighbors_out) {
+  if (options_.legacy_scatter) {
+    return ScatterGatherLegacy(vertices, kind, limit_per_vertex, type,
+                               deadline, degrees_out, neighbors_out);
+  }
+  return ScatterGatherAsync(vertices, kind, limit_per_vertex, type, deadline,
+                            degrees_out, neighbors_out);
+}
+
+bool Cluster::ScatterGatherAsync(std::span<const uint32_t> vertices,
+                                 Subquery::Kind kind,
+                                 uint32_t limit_per_vertex, QueryTypeId type,
+                                 Nanos deadline,
+                                 std::vector<uint32_t>* degrees_out,
+                                 std::vector<uint32_t>* neighbors_out) {
+  WorkerScratch& scratch = tls_scratch;
   const size_t num_shards = shards_.size();
-  std::vector<ShardTask> tasks(num_shards);
+  if (scratch.tasks.size() < num_shards) scratch.tasks.resize(num_shards);
+  for (size_t s = 0; s < num_shards; ++s) {
+    AsyncShardTask& task = scratch.tasks[s];
+    task.subquery.vertices.clear();
+    task.result.degrees.clear();
+    task.result.neighbors.clear();
+    task.result.checksum = 0;
+  }
+  for (const uint32_t v : vertices) {
+    scratch.tasks[v % num_shards].subquery.vertices.push_back(v);
+  }
+
+  uint32_t active = 0;
+  for (size_t s = 0; s < num_shards; ++s) {
+    if (!scratch.tasks[s].subquery.vertices.empty()) ++active;
+  }
+  if (active == 0) return true;
+
+  // The countdown is preloaded with the full fan-out before the first
+  // Submit: completion callbacks may fire synchronously inside Submit
+  // (early rejection, shed on a full ring) or inline (single-shard fast
+  // path), and must never see a count that another shard's submission
+  // has not yet been added to.
+  ScatterCountdown& countdown = scratch.countdown;
+  countdown.pending.store(active, std::memory_order_relaxed);
+  countdown.failed.store(false, std::memory_order_relaxed);
+
+  for (size_t s = 0; s < num_shards; ++s) {
+    AsyncShardTask& task = scratch.tasks[s];
+    if (task.subquery.vertices.empty()) continue;
+    task.subquery.kind = kind;
+    task.subquery.limit_per_vertex = limit_per_vertex;
+    task.countdown = &countdown;
+
+    WorkItem item;
+    item.type = type;
+    item.deadline = deadline;
+    item.user = static_cast<ShardTaskBase*>(&task);
+    item.on_complete = [this](const WorkItem& w, Outcome outcome) {
+      auto* t =
+          static_cast<AsyncShardTask*>(static_cast<ShardTaskBase*>(w.user));
+      ScatterCountdown* countdown = t->countdown;
+      if (outcome != Outcome::kCompleted) {
+        shard_failures_.fetch_add(1, std::memory_order_relaxed);
+        countdown->failed.store(true, std::memory_order_relaxed);
+      }
+      if (options_.shard_metrics != nullptr) {
+        options_.shard_metrics->Record(w, outcome);
+      }
+      // acq_rel: the decrement publishes this shard's result writes to
+      // the gatherer's acquire load, and the RMW chain extends the
+      // release sequence across shards. This is the countdown's last
+      // access — the wake-up goes through the cluster-owned gate.
+      if (countdown->pending.fetch_sub(1, std::memory_order_acq_rel) == 1) {
+        scatter_gate_.NotifyAll();
+      }
+    };
+    if (active == 1) {
+      // Single-shard round: when the shard's queue is empty-and-admitting
+      // the subquery runs right here on the broker worker, skipping both
+      // thread hand-offs; admission accounting still lands on the shard.
+      shards_[s]->SubmitInline(std::move(item));
+    } else {
+      shards_[s]->Submit(std::move(item));
+    }
+  }
+
+  // Gather: lend this broker worker's CPU to the shard queues while the
+  // round is in flight (work-helping) — the round's own subqueries sit
+  // in those queues, so on a saturated host the gather usually completes
+  // without a single thread hand-off. Only when every shard queue is dry
+  // does the worker spin briefly and then park on the cluster's
+  // eventcount; the 10 ms ParkingLot backstop re-checks the countdown,
+  // so a missed wake-up costs bounded latency, never a hang.
+  int spins = 0;
+  while (countdown.pending.load(std::memory_order_acquire) != 0) {
+    bool helped = false;
+    for (size_t s = 0; s < num_shards; ++s) {
+      if (countdown.pending.load(std::memory_order_acquire) == 0) break;
+      if (shards_[s]->TryRunOne()) helped = true;
+    }
+    if (helped) {
+      spins = 0;
+      continue;
+    }
+    if (++spins < kGatherSpins) {
+      CpuRelax();
+      continue;
+    }
+    scatter_gate_.ParkUnless([&countdown] {
+      return countdown.pending.load(std::memory_order_acquire) == 0;
+    });
+  }
+
+  if (degrees_out != nullptr) {
+    size_t total = 0;
+    for (size_t s = 0; s < num_shards; ++s) {
+      total += scratch.tasks[s].result.degrees.size();
+    }
+    degrees_out->reserve(degrees_out->size() + total);
+    for (size_t s = 0; s < num_shards; ++s) {
+      const auto& d = scratch.tasks[s].result.degrees;
+      degrees_out->insert(degrees_out->end(), d.begin(), d.end());
+    }
+  }
+  if (neighbors_out != nullptr) {
+    size_t total = 0;
+    for (size_t s = 0; s < num_shards; ++s) {
+      total += scratch.tasks[s].result.neighbors.size();
+    }
+    neighbors_out->reserve(neighbors_out->size() + total);
+    for (size_t s = 0; s < num_shards; ++s) {
+      const auto& n = scratch.tasks[s].result.neighbors;
+      neighbors_out->insert(neighbors_out->end(), n.begin(), n.end());
+    }
+  }
+  return !countdown.failed.load(std::memory_order_relaxed);
+}
+
+bool Cluster::ScatterGatherLegacy(std::span<const uint32_t> vertices,
+                                  Subquery::Kind kind,
+                                  uint32_t limit_per_vertex, QueryTypeId type,
+                                  Nanos deadline,
+                                  std::vector<uint32_t>* degrees_out,
+                                  std::vector<uint32_t>* neighbors_out) {
+  const size_t num_shards = shards_.size();
+  std::vector<LegacyShardTask> tasks(num_shards);
   for (const uint32_t v : vertices) {
     tasks[v % num_shards].subquery.vertices.push_back(v);
   }
 
-  ScatterState state;
+  LegacyScatterState state;
   size_t active = 0;
   for (auto& task : tasks) {
     if (!task.subquery.vertices.empty()) ++active;
@@ -161,7 +379,7 @@ bool Cluster::ScatterGather(std::span<const uint32_t> vertices,
   state.pending = active;
 
   for (size_t s = 0; s < num_shards; ++s) {
-    ShardTask& task = tasks[s];
+    LegacyShardTask& task = tasks[s];
     if (task.subquery.vertices.empty()) continue;
     task.subquery.kind = kind;
     task.subquery.limit_per_vertex = limit_per_vertex;
@@ -170,9 +388,13 @@ bool Cluster::ScatterGather(std::span<const uint32_t> vertices,
     WorkItem item;
     item.type = type;
     item.deadline = deadline;
-    item.user = &task;
+    item.user = static_cast<ShardTaskBase*>(&task);
     item.on_complete = [this](const WorkItem& w, Outcome outcome) {
-      auto* t = static_cast<ShardTask*>(w.user);
+      auto* t =
+          static_cast<LegacyShardTask*>(static_cast<ShardTaskBase*>(w.user));
+      if (options_.shard_metrics != nullptr) {
+        options_.shard_metrics->Record(w, outcome);
+      }
       std::lock_guard<std::mutex> lock(t->state->mu);
       if (outcome != Outcome::kCompleted) {
         t->state->ok = false;
@@ -189,13 +411,16 @@ bool Cluster::ScatterGather(std::span<const uint32_t> vertices,
     state.cv.wait(lock, [&state] { return state.pending == 0; });
   }
 
-  for (ShardTask& task : tasks) {
-    merged->checksum ^= task.result.checksum;
-    merged->degrees.insert(merged->degrees.end(), task.result.degrees.begin(),
-                           task.result.degrees.end());
-    merged->neighbors.insert(merged->neighbors.end(),
-                             task.result.neighbors.begin(),
-                             task.result.neighbors.end());
+  for (LegacyShardTask& task : tasks) {
+    if (degrees_out != nullptr) {
+      degrees_out->insert(degrees_out->end(), task.result.degrees.begin(),
+                          task.result.degrees.end());
+    }
+    if (neighbors_out != nullptr) {
+      neighbors_out->insert(neighbors_out->end(),
+                            task.result.neighbors.begin(),
+                            task.result.neighbors.end());
+    }
   }
   return state.ok;
 }
@@ -203,34 +428,93 @@ bool Cluster::ScatterGather(std::span<const uint32_t> vertices,
 bool Cluster::FetchDegrees(std::span<const uint32_t> vertices,
                            QueryTypeId type, Nanos deadline,
                            std::vector<uint32_t>* degrees) {
-  SubqueryResult merged;
-  const bool ok = ScatterGather(vertices, Subquery::Kind::kDegrees, 0, type,
-                                deadline, &merged);
-  *degrees = std::move(merged.degrees);
-  return ok;
+  degrees->clear();
+  return ScatterGather(vertices, Subquery::Kind::kDegrees, 0, type, deadline,
+                       degrees, nullptr);
 }
 
 bool Cluster::Expand(std::span<const uint32_t> vertices,
                      uint32_t cap_per_vertex, size_t total_cap,
                      QueryTypeId type, Nanos deadline,
                      std::vector<uint32_t>* unique_neighbors) {
-  SubqueryResult merged;
+  unique_neighbors->clear();
   const bool ok = ScatterGather(vertices, Subquery::Kind::kExpand,
-                                cap_per_vertex, type, deadline, &merged);
-  std::sort(merged.neighbors.begin(), merged.neighbors.end());
-  merged.neighbors.erase(
-      std::unique(merged.neighbors.begin(), merged.neighbors.end()),
-      merged.neighbors.end());
-  if (total_cap > 0 && merged.neighbors.size() > total_cap) {
-    merged.neighbors.resize(total_cap);
+                                cap_per_vertex, type, deadline, nullptr,
+                                unique_neighbors);
+  if (options_.legacy_scatter) {
+    std::sort(unique_neighbors->begin(), unique_neighbors->end());
+    unique_neighbors->erase(
+        std::unique(unique_neighbors->begin(), unique_neighbors->end()),
+        unique_neighbors->end());
+    if (total_cap > 0 && unique_neighbors->size() > total_cap) {
+      unique_neighbors->resize(total_cap);
+    }
+    return ok;
   }
-  *unique_neighbors = std::move(merged.neighbors);
+  // Epoch-stamped dedup (O(n), no sort): the result is the same SET the
+  // legacy sort+unique produces, in unspecified order. When the cap
+  // bites, nth_element keeps exactly the smallest total_cap ids — the
+  // set legacy's sorted resize keeps. Every fast-path consumer is
+  // order-independent (counts, degree sums, membership tests, next-hop
+  // vertex sets), so skipping the O(n log n) sort changes no observable
+  // query value; profiling showed the sort alone costing as much as a
+  // third of broker-side CPU on 2-hop/BFS rounds.
+  EpochVisitedSet& dedup = tls_scratch.dedup;
+  dedup.NextEpoch(graph_->num_vertices());
+  size_t write = 0;
+  for (const uint32_t u : *unique_neighbors) {
+    if (dedup.Insert(u)) (*unique_neighbors)[write++] = u;
+  }
+  unique_neighbors->resize(write);
+  if (total_cap > 0 && unique_neighbors->size() > total_cap) {
+    std::nth_element(unique_neighbors->begin(),
+                     unique_neighbors->begin() + total_cap,
+                     unique_neighbors->end());
+    unique_neighbors->resize(total_cap);
+  }
   return ok;
 }
 
 uint64_t Cluster::RunBfs(const GraphQuery& query, uint32_t max_depth,
                          size_t frontier_cap, QueryTypeId type,
                          Nanos deadline, bool* ok) {
+  if (options_.legacy_scatter) {
+    return RunBfsLegacy(query, max_depth, frontier_cap, type, deadline, ok);
+  }
+  if (query.source == query.target) return 0;
+  WorkerScratch& scratch = tls_scratch;
+  scratch.bfs_visited.NextEpoch(graph_->num_vertices());
+  scratch.bfs_visited.Insert(query.source);
+  std::vector<uint32_t>& frontier = scratch.frontier;
+  std::vector<uint32_t>& next = scratch.next;
+  frontier.clear();
+  frontier.push_back(query.source);
+  for (uint32_t depth = 1; depth <= max_depth; ++depth) {
+    if (!Expand(frontier, 64, frontier_cap, type, deadline, &next)) {
+      *ok = false;
+      return 0;
+    }
+    // `next` is the same unique set (smallest frontier_cap on overflow)
+    // the legacy sorted path produces, in unspecified order: membership
+    // is a linear scan, and the visited-filtered frontier below is a
+    // vertex set whose order the next round doesn't observe — exactly
+    // the legacy set_difference semantics without its scratch.
+    if (std::find(next.begin(), next.end(), query.target) != next.end()) {
+      return depth;
+    }
+    frontier.clear();
+    for (const uint32_t u : next) {
+      if (scratch.bfs_visited.Insert(u)) frontier.push_back(u);
+    }
+    if (frontier.empty()) return 0;  // Exhausted within the budget.
+    if (frontier.size() > frontier_cap) frontier.resize(frontier_cap);
+  }
+  return 0;  // Not reachable within max_depth.
+}
+
+uint64_t Cluster::RunBfsLegacy(const GraphQuery& query, uint32_t max_depth,
+                               size_t frontier_cap, QueryTypeId type,
+                               Nanos deadline, bool* ok) {
   if (query.source == query.target) return 0;
   std::vector<uint32_t> visited = {query.source};
   std::vector<uint32_t> frontier = {query.source};
@@ -266,17 +550,18 @@ void Cluster::ExecuteQuery(WorkItem& item) {
   GraphQueryResult& r = context->result;
   const QueryTypeId type = item.type;
   const Nanos deadline = item.deadline;
+  WorkerScratch& scratch = tls_scratch;
 
   switch (q.op) {
     case GraphOp::kDegree: {
-      std::vector<uint32_t> degrees;
+      std::vector<uint32_t>& degrees = scratch.degrees;
       const uint32_t v[] = {q.source};
       r.ok = FetchDegrees(v, type, deadline, &degrees);
       for (uint32_t d : degrees) r.value += d;
       break;
     }
     case GraphOp::kNeighbors: {
-      std::vector<uint32_t> neighbors;
+      std::vector<uint32_t>& neighbors = scratch.hop1;
       const uint32_t v[] = {q.source};
       r.ok = Expand(v, 64, 64, type, deadline, &neighbors);
       r.value = neighbors.size();
@@ -288,39 +573,47 @@ void Cluster::ExecuteQuery(WorkItem& item) {
         r.value = 0;
         break;
       }
-      std::vector<uint32_t> degrees;
+      std::vector<uint32_t>& degrees = scratch.degrees;
       const uint32_t v[] = {*vertex};
       r.ok = FetchDegrees(v, type, deadline, &degrees);
       for (uint32_t d : degrees) r.value += d;
       break;
     }
     case GraphOp::kCommonNeighbors: {
-      std::vector<uint32_t> a;
-      std::vector<uint32_t> b;
+      std::vector<uint32_t>& a = scratch.neighbors_a;
+      std::vector<uint32_t>& b = scratch.neighbors_b;
       const uint32_t va[] = {q.source};
       const uint32_t vb[] = {q.target};
       r.ok = Expand(va, 512, 512, type, deadline, &a);
       r.ok = Expand(vb, 512, 512, type, deadline, &b) && r.ok;
-      std::vector<uint32_t> common;
-      std::set_intersection(a.begin(), a.end(), b.begin(), b.end(),
-                            std::back_inserter(common));
-      r.value = common.size();
+      // Order-independent intersection count (both lists are unique
+      // sets; fast-path Expand returns them unordered): mark one side in
+      // the epoch set, count the other side's hits. The legacy path
+      // materialized the sorted intersection only to take its size.
+      EpochVisitedSet& membership = scratch.dedup;
+      membership.NextEpoch(graph_->num_vertices());
+      for (const uint32_t u : a) membership.Insert(u);
+      uint64_t common = 0;
+      for (const uint32_t u : b) {
+        if (membership.Contains(u)) ++common;
+      }
+      r.value = common;
       break;
     }
     case GraphOp::kNeighborDegreeSum: {
-      std::vector<uint32_t> neighbors;
+      std::vector<uint32_t>& neighbors = scratch.hop1;
       const uint32_t v[] = {q.source};
       r.ok = Expand(v, 128, 128, type, deadline, &neighbors);
-      std::vector<uint32_t> degrees;
+      std::vector<uint32_t>& degrees = scratch.degrees;
       r.ok = FetchDegrees(neighbors, type, deadline, &degrees) && r.ok;
       for (uint32_t d : degrees) r.value += d;
       break;
     }
     case GraphOp::kTopKNeighbors: {
-      std::vector<uint32_t> neighbors;
+      std::vector<uint32_t>& neighbors = scratch.hop1;
       const uint32_t v[] = {q.source};
       r.ok = Expand(v, 256, 256, type, deadline, &neighbors);
-      std::vector<uint32_t> degrees;
+      std::vector<uint32_t>& degrees = scratch.degrees;
       r.ok = FetchDegrees(neighbors, type, deadline, &degrees) && r.ok;
       std::sort(degrees.begin(), degrees.end(), std::greater<>());
       const size_t k = std::min<size_t>(10, degrees.size());
@@ -328,33 +621,40 @@ void Cluster::ExecuteQuery(WorkItem& item) {
       break;
     }
     case GraphOp::kTwoHopSample: {
-      std::vector<uint32_t> hop1;
+      std::vector<uint32_t>& hop1 = scratch.hop1;
       const uint32_t v[] = {q.source};
       r.ok = Expand(v, 64, 64, type, deadline, &hop1);
-      if (hop1.size() > 32) hop1.resize(32);
-      std::vector<uint32_t> hop2;
+      if (hop1.size() > 32) {
+        // Sample the 32 smallest ids, matching the legacy sorted resize
+        // (fast-path Expand output is unordered, so select explicitly).
+        if (!options_.legacy_scatter) {
+          std::nth_element(hop1.begin(), hop1.begin() + 32, hop1.end());
+        }
+        hop1.resize(32);
+      }
+      std::vector<uint32_t>& hop2 = scratch.hop2;
       r.ok = Expand(hop1, 32, 1024, type, deadline, &hop2) && r.ok;
       r.value = hop2.size();
       break;
     }
     case GraphOp::kTwoHopCount: {
-      std::vector<uint32_t> hop1;
+      std::vector<uint32_t>& hop1 = scratch.hop1;
       const uint32_t v[] = {q.source};
       r.ok = Expand(v, 128, 128, type, deadline, &hop1);
-      std::vector<uint32_t> hop2;
+      std::vector<uint32_t>& hop2 = scratch.hop2;
       r.ok = Expand(hop1, 64, 2048, type, deadline, &hop2) && r.ok;
       r.value = hop2.size();
       break;
     }
     case GraphOp::kTwoHopDedup: {
-      std::vector<uint32_t> hop1;
+      std::vector<uint32_t>& hop1 = scratch.hop1;
       const uint32_t v[] = {q.source};
       r.ok = Expand(v, 256, 256, type, deadline, &hop1);
-      std::vector<uint32_t> hop2;
+      std::vector<uint32_t>& hop2 = scratch.hop2;
       r.ok = Expand(hop1, 64, 4096, type, deadline, &hop2) && r.ok;
       r.value = hop2.size();
       if (hop2.size() > 64) hop2.resize(64);
-      std::vector<uint32_t> degrees;
+      std::vector<uint32_t>& degrees = scratch.degrees;
       r.ok = FetchDegrees(hop2, type, deadline, &degrees) && r.ok;
       break;
     }

@@ -10,7 +10,10 @@
 #include "src/core/policy_factory.h"
 #include "src/graph/graph_store.h"
 #include "src/graph/shard_engine.h"
+#include "src/server/metrics_collector.h"
 #include "src/server/stage.h"
+#include "src/util/mpmc_queue.h"
+#include "src/util/object_pool.h"
 #include "src/util/rng.h"
 
 namespace bouncer::graph {
@@ -73,6 +76,16 @@ class Cluster {
     /// Optional live update feed layered over the snapshot (paper §5.1);
     /// must outlive the cluster.
     const EdgeUpdateLog* update_log = nullptr;
+    /// Use the pre-optimization blocking scatter-gather: fresh per-round
+    /// heap buffers, mutex+condvar gather, no single-shard inline
+    /// short-circuit, sort/unique dedup. Kept as the A/B baseline for
+    /// bench_cluster_throughput; query results are identical either way.
+    bool legacy_scatter = false;
+    /// Optional sink for shard-stage subquery outcomes (Points 1–3 per
+    /// subquery batch, one per shard per round); must outlive the
+    /// cluster. Lets studies report shard-side utilization, not just
+    /// broker metrics.
+    server::MetricsCollector* shard_metrics = nullptr;
   };
 
   using CompletionFn =
@@ -123,19 +136,29 @@ class Cluster {
     return shard_failures_.load(std::memory_order_relaxed);
   }
 
-  /// Synchronization block for one broker->shards scatter (public only so
-  /// the file-local shard task struct can reference it).
-  struct ScatterState;
-
  private:
   struct QueryContext;
 
   void ExecuteQuery(server::WorkItem& item);
-  /// Scatter `vertices` to their shards as `kind` subqueries and gather
-  /// results. Returns false if any subquery failed.
+  /// Scatter `vertices` to their shards as one `kind` subquery batch per
+  /// shard (admission is charged once per round per shard) and gather
+  /// results, appending degrees/neighbors to whichever outputs are
+  /// non-null. Returns false if any subquery failed. Routes to the
+  /// pooled/async or the legacy implementation per Options.
   bool ScatterGather(std::span<const uint32_t> vertices, Subquery::Kind kind,
                      uint32_t limit_per_vertex, QueryTypeId type,
-                     Nanos deadline, SubqueryResult* merged);
+                     Nanos deadline, std::vector<uint32_t>* degrees_out,
+                     std::vector<uint32_t>* neighbors_out);
+  bool ScatterGatherAsync(std::span<const uint32_t> vertices,
+                          Subquery::Kind kind, uint32_t limit_per_vertex,
+                          QueryTypeId type, Nanos deadline,
+                          std::vector<uint32_t>* degrees_out,
+                          std::vector<uint32_t>* neighbors_out);
+  bool ScatterGatherLegacy(std::span<const uint32_t> vertices,
+                           Subquery::Kind kind, uint32_t limit_per_vertex,
+                           QueryTypeId type, Nanos deadline,
+                           std::vector<uint32_t>* degrees_out,
+                           std::vector<uint32_t>* neighbors_out);
   bool FetchDegrees(std::span<const uint32_t> vertices, QueryTypeId type,
                     Nanos deadline, std::vector<uint32_t>* degrees);
   bool Expand(std::span<const uint32_t> vertices, uint32_t cap_per_vertex,
@@ -144,6 +167,9 @@ class Cluster {
   uint64_t RunBfs(const GraphQuery& query, uint32_t max_depth,
                   size_t frontier_cap, QueryTypeId type, Nanos deadline,
                   bool* ok);
+  uint64_t RunBfsLegacy(const GraphQuery& query, uint32_t max_depth,
+                        size_t frontier_cap, QueryTypeId type, Nanos deadline,
+                        bool* ok);
 
   const GraphStore* graph_;
   const QueryTypeRegistry* registry_;
@@ -155,6 +181,14 @@ class Cluster {
   std::vector<std::unique_ptr<server::Stage>> brokers_;
   std::atomic<uint64_t> shard_failures_{0};
   std::atomic<uint64_t> next_broker_{0};
+  /// Eventcount the gathering broker workers park on; shared (it is
+  /// notified only when a round's countdown hits zero, and every waiter
+  /// re-checks its own round) and owned by the cluster so a completion
+  /// racing a worker shutdown never touches freed memory.
+  ParkingLot scatter_gate_;
+  /// Recycles per-query contexts so Submit() allocates nothing in steady
+  /// state (the completion callback returns the context).
+  ObjectPool<QueryContext> context_pool_;
   Status init_status_;
 };
 

@@ -1,5 +1,7 @@
 #include "src/graph/shard_engine.h"
 
+#include <algorithm>
+
 namespace bouncer::graph {
 
 uint64_t ShardEngine::EdgeWork(uint64_t seed) const {
@@ -31,6 +33,18 @@ void ShardEngine::Execute(const Subquery& subquery,
       break;
     }
     case Subquery::Kind::kExpand: {
+      // Reserve from degree hints so pooled result buffers reach their
+      // steady-state capacity in one step instead of doubling up to it.
+      size_t expansion_hint = 0;
+      for (const uint32_t v : subquery.vertices) {
+        if (!Owns(v)) continue;
+        const size_t degree = graph_->Degree(v);
+        expansion_hint += subquery.limit_per_vertex > 0
+                              ? std::min<size_t>(degree,
+                                                 subquery.limit_per_vertex)
+                              : degree;
+      }
+      result->neighbors.reserve(result->neighbors.size() + expansion_hint);
       for (const uint32_t v : subquery.vertices) {
         if (!Owns(v)) continue;
         auto neighbors = graph_->Neighbors(v);

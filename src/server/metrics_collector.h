@@ -25,8 +25,16 @@ struct TypeReport {
   double rt_p50_ms = 0.0;
   double rt_p90_ms = 0.0;
   double rt_p99_ms = 0.0;
+  double pt_mean_ms = 0.0;
   double pt_p50_ms = 0.0;
   double pt_p90_ms = 0.0;
+
+  /// Total processing time spent on completed items, in ms — the busy
+  /// time a worker pool charged to this type. Utilization over a window
+  /// follows as BusyMs() / (workers * window_ms).
+  double BusyMs() const {
+    return pt_mean_ms * static_cast<double>(completed);
+  }
 };
 
 /// Thread-safe sink for Stage completion callbacks: counts outcomes and
@@ -93,6 +101,7 @@ class MetricsCollector {
     r.rt_p50_ms = t.rt_ms.Percentile(0.50);
     r.rt_p90_ms = t.rt_ms.Percentile(0.90);
     r.rt_p99_ms = t.rt_ms.Percentile(0.99);
+    r.pt_mean_ms = t.pt_ms.Mean();
     r.pt_p50_ms = t.pt_ms.Percentile(0.50);
     r.pt_p90_ms = t.pt_ms.Percentile(0.90);
     return r;
@@ -122,6 +131,7 @@ class MetricsCollector {
     r.rt_p50_ms = all_rt.Percentile(0.50);
     r.rt_p90_ms = all_rt.Percentile(0.90);
     r.rt_p99_ms = all_rt.Percentile(0.99);
+    r.pt_mean_ms = all_pt.Mean();
     r.pt_p50_ms = all_pt.Percentile(0.50);
     r.pt_p90_ms = all_pt.Percentile(0.90);
     return r;

@@ -68,6 +68,21 @@ void Stage::Stop(bool drain) {
 size_t Stage::QueueLength() const { return queue_state_.TotalLength(); }
 
 Outcome Stage::Submit(WorkItem item) {
+  return SubmitImpl(std::move(item), /*allow_inline=*/false);
+}
+
+Outcome Stage::SubmitInline(WorkItem item) {
+  return SubmitImpl(std::move(item), /*allow_inline=*/true);
+}
+
+bool Stage::TryRunOne() {
+  WorkItem item;
+  if (!fifo_.TryPop(item)) return false;
+  ProcessItem(item);
+  return true;
+}
+
+Outcome Stage::SubmitImpl(WorkItem item, bool allow_inline) {
   const Nanos now = clock_->Now();
   item.arrival = now;
   counters_.received.fetch_add(1, std::memory_order_relaxed);
@@ -86,6 +101,15 @@ Outcome Stage::Submit(WorkItem item) {
   // immediately must observe the enqueue before its own dequeue.
   queue_state_.OnEnqueued(type);
   policy_->OnEnqueued(type, now);  // Point 1.
+  if (allow_inline && !stopping_.load(std::memory_order_acquire) &&
+      queue_state_.TotalLength() == 1 && fifo_.EmptyApprox()) {
+    // Empty-and-admitting: nothing is queued ahead of this item (the
+    // occupancy of 1 is its own enqueue), so running it here cannot
+    // overtake FIFO order. Points 2–3 run on the calling thread.
+    counters_.accepted.fetch_add(1, std::memory_order_relaxed);
+    ProcessItem(item);
+    return Outcome::kCompleted;
+  }
   if (stopping_.load(std::memory_order_acquire) ||
       !fifo_.TryPush(std::move(item))) {
     // TryPush leaves `item` intact on failure (ring full).

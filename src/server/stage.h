@@ -120,6 +120,27 @@ class Stage {
   /// later via on_complete).
   Outcome Submit(WorkItem item);
 
+  /// Like Submit(), but when the item is admitted and the FIFO is empty
+  /// (nothing would be overtaken), the item is processed synchronously on
+  /// the calling thread instead of being handed to a worker: Points 1–3
+  /// and on_complete all fire before this returns. Falls back to the
+  /// queued path when the stage is busy or stopping. The admission policy
+  /// sees the exact same hook sequence either way (the inline path is an
+  /// enqueue immediately followed by a dequeue), so per-type accounting
+  /// and utilization charges land on this stage's policy regardless of
+  /// which thread lends the CPU. Used by the cluster's scatter-gather to
+  /// short-circuit single-shard rounds without a double thread hand-off.
+  Outcome SubmitInline(WorkItem item);
+
+  /// Pops and processes at most one queued item on the calling thread
+  /// (Points 2–3 and on_complete run before this returns). Returns true
+  /// when an item was run, false when the FIFO was empty. Lets a thread
+  /// blocked on work this stage owes it lend its CPU instead of parking
+  /// (work-helping): the cluster's gather loop drains shard queues with
+  /// this while its round is in flight. FIFO order is preserved — the
+  /// helper and the stage's own workers pop from the same ring.
+  bool TryRunOne();
+
   /// The stage's policy (for observability).
   AdmissionPolicy* policy() { return policy_.get(); }
   /// Live queue occupancy shared with the policy.
@@ -137,6 +158,7 @@ class Stage {
   }
 
  private:
+  Outcome SubmitImpl(WorkItem item, bool allow_inline);
   void WorkerLoop();
   /// Runs Points 2–3 for one popped item: dequeue bookkeeping, deadline
   /// check, handler, completion.

@@ -1,0 +1,59 @@
+#ifndef BOUNCER_UTIL_OBJECT_POOL_H_
+#define BOUNCER_UTIL_OBJECT_POOL_H_
+
+#include <cstddef>
+#include <memory>
+
+#include "src/util/mpmc_queue.h"
+
+namespace bouncer {
+
+/// Lock-free recycling pool for heap objects whose checkout/return sides
+/// live on different threads (e.g. a query context allocated at Submit()
+/// and released by the completion callback on a worker). Free objects
+/// park in a bounded MPMC ring; Acquire() pops one or heap-allocates on a
+/// miss, Release() pushes back or deletes when the ring is full, so the
+/// pool holds at most `capacity` idle objects. In steady state (in-flight
+/// count below capacity) no acquire or release touches the allocator.
+///
+/// Objects are returned as-is: callers reset whatever state matters
+/// before reuse. Objects still checked out when the pool dies are leaked
+/// (the owner must quiesce first — completion-exactly-once makes that a
+/// structural guarantee for the intended users).
+template <typename T>
+class ObjectPool {
+ public:
+  explicit ObjectPool(size_t capacity = 256) : free_(capacity) {}
+
+  ~ObjectPool() {
+    T* object = nullptr;
+    while (free_.TryPop(object)) delete object;
+  }
+
+  ObjectPool(const ObjectPool&) = delete;
+  ObjectPool& operator=(const ObjectPool&) = delete;
+
+  /// Pops a recycled object, or default-constructs one on a pool miss.
+  T* Acquire() {
+    T* object = nullptr;
+    if (free_.TryPop(object)) return object;
+    return new T();
+  }
+
+  /// Returns `object` to the pool (or frees it when the pool is full).
+  void Release(T* object) {
+    if (object == nullptr) return;
+    T* slot = object;
+    if (!free_.TryPush(std::move(slot))) delete object;
+  }
+
+  /// Number of idle objects currently pooled (racy snapshot).
+  size_t IdleApprox() const { return free_.SizeApprox(); }
+
+ private:
+  MpmcQueue<T*> free_;
+};
+
+}  // namespace bouncer
+
+#endif  // BOUNCER_UTIL_OBJECT_POOL_H_

@@ -1,0 +1,297 @@
+// Stress and regression tests for the pooled/async scatter-gather path
+// (and its legacy A/B twin): countdown correctness under synchronous
+// shard rejections, end-to-end shed propagation, and value equivalence
+// between the two implementations. The suite name (ClusterScatter*) is
+// matched by the TSan CI job's ctest regex.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "src/graph/cluster.h"
+#include "src/graph/graph_generator.h"
+
+namespace bouncer::graph {
+namespace {
+
+using server::Outcome;
+
+const Slo kSlo{18 * kMillisecond, 50 * kMillisecond, 0};
+
+class ClusterScatterStressTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    GeneratorOptions options;
+    options.num_vertices = 5000;
+    options.edges_per_vertex = 8;
+    options.seed = 11;
+    graph_ = new GraphStore(GeneratePreferentialAttachment(options));
+  }
+
+  /// Submits `queries`, waits for every completion callback (bounded),
+  /// and returns how many results carried ok == false.
+  struct FloodResult {
+    int done = 0;
+    int failed_results = 0;
+  };
+  FloodResult Flood(Cluster& cluster, const std::vector<GraphQuery>& queries,
+                    int timeout_ms = 30000) {
+    std::mutex mu;
+    std::condition_variable cv;
+    FloodResult out;
+    for (const GraphQuery& q : queries) {
+      cluster.Submit(q, /*deadline=*/0,
+                     [&](const server::WorkItem&, Outcome,
+                         const GraphQueryResult& result) {
+                       std::lock_guard<std::mutex> lock(mu);
+                       ++out.done;
+                       if (!result.ok) ++out.failed_results;
+                       cv.notify_all();
+                     });
+    }
+    std::unique_lock<std::mutex> lock(mu);
+    cv.wait_for(lock, std::chrono::milliseconds(timeout_ms), [&] {
+      return out.done == static_cast<int>(queries.size());
+    });
+    return out;
+  }
+
+  static GraphStore* graph_;
+};
+
+GraphStore* ClusterScatterStressTest::graph_ = nullptr;
+
+/// A 1-slot shard queue with a MaxQL(1) shard policy makes shards reject
+/// subqueries synchronously — often from inside the broker's submit loop,
+/// before later shards of the same round were even reached. The gather
+/// countdown must still reach zero exactly once per round (it is
+/// preloaded with the full round size before any submit), or the broker
+/// worker deadlocks on the gate / double-notifies a recycled round.
+Cluster::Options OneSlotShardOptions(bool legacy) {
+  Cluster::Options options;
+  options.num_brokers = 1;
+  options.broker_workers = 8;
+  options.num_shards = 2;
+  options.shard_workers = 1;
+  // Heavy subqueries: each one occupies the single shard worker long
+  // enough for concurrent rounds to stack up behind the 1-slot queue —
+  // otherwise the fast path's work-helping drains it before the next
+  // Decide ever sees a nonzero length and nothing is rejected.
+  options.work_per_edge = 2048;
+  options.shard_queue_capacity = 1;
+  options.broker_policy.kind = PolicyKind::kAlwaysAccept;
+  options.shard_policy.kind = PolicyKind::kMaxQueueLength;
+  options.shard_policy.max_queue_length.length_limit = 1;
+  options.legacy_scatter = legacy;
+  return options;
+}
+
+TEST_F(ClusterScatterStressTest, OneSlotShardQueueFloodFast) {
+  QueryTypeRegistry registry = Cluster::MakeRegistry(kSlo);
+  Cluster cluster(graph_, &registry, SystemClock::Global(),
+                  OneSlotShardOptions(/*legacy=*/false));
+  ASSERT_TRUE(cluster.Start().ok());
+  // Multi-round queries: every round must independently survive partial
+  // synchronous rejection.
+  Rng rng(21);
+  std::vector<GraphQuery> queries;
+  for (int i = 0; i < 200; ++i) {
+    queries.push_back(
+        Cluster::SampleQuery(GraphOp::kTwoHopDedup, *graph_, rng));
+  }
+  const FloodResult out = Flood(cluster, queries);
+  cluster.Stop();
+  // Conservation: every query terminated exactly once, no deadlock.
+  EXPECT_EQ(out.done, 200);
+  // The flood must actually have tripped synchronous rejections.
+  EXPECT_GT(cluster.shard_failures(), 0u);
+  EXPECT_GT(out.failed_results, 0);
+}
+
+TEST_F(ClusterScatterStressTest, OneSlotShardQueueFloodLegacy) {
+  QueryTypeRegistry registry = Cluster::MakeRegistry(kSlo);
+  Cluster cluster(graph_, &registry, SystemClock::Global(),
+                  OneSlotShardOptions(/*legacy=*/true));
+  ASSERT_TRUE(cluster.Start().ok());
+  Rng rng(22);
+  std::vector<GraphQuery> queries;
+  for (int i = 0; i < 200; ++i) {
+    queries.push_back(
+        Cluster::SampleQuery(GraphOp::kTwoHopDedup, *graph_, rng));
+  }
+  const FloodResult out = Flood(cluster, queries);
+  cluster.Stop();
+  EXPECT_EQ(out.done, 200);
+  EXPECT_GT(cluster.shard_failures(), 0u);
+  EXPECT_GT(out.failed_results, 0);
+}
+
+/// End-to-end shard shedding: a shard-tier rejection must surface to the
+/// client as GraphQueryResult.ok == false and be counted in
+/// shard_failures(), while the broker outcome stays kCompleted (the
+/// broker did its work; the data plane failed).
+TEST_F(ClusterScatterStressTest, ShardShedPropagatesToResult) {
+  for (const bool legacy : {false, true}) {
+    SCOPED_TRACE(legacy ? "legacy" : "fast");
+    QueryTypeRegistry registry = Cluster::MakeRegistry(kSlo);
+    Cluster cluster(graph_, &registry, SystemClock::Global(),
+                    OneSlotShardOptions(legacy));
+    ASSERT_TRUE(cluster.Start().ok());
+    Rng rng(23);
+    std::vector<GraphQuery> queries;
+    for (int i = 0; i < 300; ++i) {
+      queries.push_back(
+          Cluster::SampleQuery(GraphOp::kNeighborDegreeSum, *graph_, rng));
+    }
+    std::mutex mu;
+    std::condition_variable cv;
+    int done = 0;
+    int completed_not_ok = 0;
+    for (const GraphQuery& q : queries) {
+      cluster.Submit(q, /*deadline=*/0,
+                     [&](const server::WorkItem&, Outcome outcome,
+                         const GraphQueryResult& result) {
+                       std::lock_guard<std::mutex> lock(mu);
+                       ++done;
+                       if (outcome == Outcome::kCompleted && !result.ok) {
+                         ++completed_not_ok;
+                       }
+                       cv.notify_all();
+                     });
+    }
+    {
+      std::unique_lock<std::mutex> lock(mu);
+      cv.wait_for(lock, std::chrono::seconds(30),
+                  [&] { return done == static_cast<int>(queries.size()); });
+    }
+    cluster.Stop();
+    EXPECT_EQ(done, 300);
+    EXPECT_GT(completed_not_ok, 0);
+    EXPECT_GT(cluster.shard_failures(), 0u);
+  }
+}
+
+/// Mixed-op concurrent stress over the fast path with wide-open
+/// admission: every op class in flight at once, everything completes ok.
+TEST_F(ClusterScatterStressTest, MixedOpsConcurrentAllComplete) {
+  QueryTypeRegistry registry = Cluster::MakeRegistry(kSlo);
+  Cluster::Options options;
+  options.num_brokers = 1;
+  options.broker_workers = 8;
+  options.num_shards = 3;  // Odd count: single-shard rounds + batches mix.
+  options.shard_workers = 2;
+  options.work_per_edge = 4;
+  options.broker_policy.kind = PolicyKind::kAlwaysAccept;
+  options.shard_policy.kind = PolicyKind::kAlwaysAccept;
+  Cluster cluster(graph_, &registry, SystemClock::Global(), options);
+  ASSERT_TRUE(cluster.Start().ok());
+  Rng rng(31);
+  std::vector<GraphQuery> queries;
+  for (int i = 0; i < 400; ++i) {
+    const auto op = static_cast<GraphOp>(i % kNumGraphOps);
+    queries.push_back(Cluster::SampleQuery(op, *graph_, rng));
+  }
+  const FloodResult out = Flood(cluster, queries);
+  cluster.Stop();
+  EXPECT_EQ(out.done, 400);
+  EXPECT_EQ(out.failed_results, 0);
+  EXPECT_EQ(cluster.shard_failures(), 0u);
+}
+
+/// The pooled/async path skips the legacy sort/unique dedup (epoch set +
+/// smallest-k truncation instead), so its intermediate buffers hold the
+/// same *sets* in a different order. Every observable value must still
+/// match the legacy path exactly, for every op.
+TEST_F(ClusterScatterStressTest, FastMatchesLegacyValues) {
+  QueryTypeRegistry registry_fast = Cluster::MakeRegistry(kSlo);
+  QueryTypeRegistry registry_legacy = Cluster::MakeRegistry(kSlo);
+  Cluster::Options options;
+  options.num_brokers = 1;
+  options.broker_workers = 2;
+  options.num_shards = 2;
+  options.shard_workers = 1;
+  options.work_per_edge = 4;
+  options.broker_policy.kind = PolicyKind::kAlwaysAccept;
+  options.shard_policy.kind = PolicyKind::kAlwaysAccept;
+  Cluster fast(graph_, &registry_fast, SystemClock::Global(), options);
+  options.legacy_scatter = true;
+  Cluster legacy(graph_, &registry_legacy, SystemClock::Global(), options);
+  ASSERT_TRUE(fast.Start().ok());
+  ASSERT_TRUE(legacy.Start().ok());
+
+  const auto ask = [](Cluster& cluster, const GraphQuery& q) {
+    std::mutex mu;
+    std::condition_variable cv;
+    bool done = false;
+    GraphQueryResult out;
+    cluster.Submit(q, /*deadline=*/0,
+                   [&](const server::WorkItem&, Outcome,
+                       const GraphQueryResult& result) {
+                     std::lock_guard<std::mutex> lock(mu);
+                     out = result;
+                     done = true;
+                     cv.notify_all();
+                   });
+    std::unique_lock<std::mutex> lock(mu);
+    cv.wait(lock, [&] { return done; });
+    return out;
+  };
+
+  Rng rng(41);
+  for (size_t op = 0; op < kNumGraphOps; ++op) {
+    for (int i = 0; i < 25; ++i) {
+      const GraphQuery q =
+          Cluster::SampleQuery(static_cast<GraphOp>(op), *graph_, rng);
+      const GraphQueryResult a = ask(fast, q);
+      const GraphQueryResult b = ask(legacy, q);
+      ASSERT_TRUE(a.ok);
+      ASSERT_TRUE(b.ok);
+      EXPECT_EQ(a.value, b.value)
+          << "op " << op << " source " << q.source << " target " << q.target;
+    }
+  }
+  fast.Stop();
+  legacy.Stop();
+}
+
+/// Satellite (f): with Options::shard_metrics wired, shard stages report
+/// Points 1–3 per subquery batch — enough to compute shard utilization
+/// (BusyMs over the worker-time budget).
+TEST_F(ClusterScatterStressTest, ShardMetricsReportBusyTime) {
+  QueryTypeRegistry registry = Cluster::MakeRegistry(kSlo);
+  server::MetricsCollector shard_metrics(registry.size());
+  Cluster::Options options;
+  options.num_brokers = 1;
+  options.broker_workers = 4;
+  options.num_shards = 2;
+  options.shard_workers = 1;
+  options.work_per_edge = 24;
+  options.broker_policy.kind = PolicyKind::kAlwaysAccept;
+  options.shard_policy.kind = PolicyKind::kAlwaysAccept;
+  options.shard_metrics = &shard_metrics;
+  Cluster cluster(graph_, &registry, SystemClock::Global(), options);
+  ASSERT_TRUE(cluster.Start().ok());
+  Rng rng(51);
+  std::vector<GraphQuery> queries;
+  for (int i = 0; i < 100; ++i) {
+    queries.push_back(
+        Cluster::SampleQuery(GraphOp::kNeighborDegreeSum, *graph_, rng));
+  }
+  const FloodResult out = Flood(cluster, queries);
+  cluster.Stop();
+  ASSERT_EQ(out.done, 100);
+  const server::TypeReport report = shard_metrics.Overall();
+  // Each query runs >= 2 scatter rounds over 2 shards: plenty of batches.
+  EXPECT_GE(report.completed, 100u);
+  EXPECT_EQ(report.rejected, 0u);
+  EXPECT_GT(report.pt_mean_ms, 0.0);
+  EXPECT_GT(report.BusyMs(), 0.0);  // Utilization numerator is populated.
+}
+
+}  // namespace
+}  // namespace bouncer::graph

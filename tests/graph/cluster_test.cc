@@ -189,6 +189,11 @@ TEST_F(ClusterTest, ShardShedPropagatesAsNotOk) {
   options.shard_policy.kind = PolicyKind::kMaxQueueLength;
   options.shard_policy.max_queue_length.length_limit = 1;
   options.shard_workers = 1;
+  // Heavy subqueries keep the single shard worker busy long enough for
+  // concurrent rounds to queue behind it; with light work the pooled
+  // scatter path's work-helping drains the queue before MaxQL(1) ever
+  // observes a waiting item, and nothing is shed.
+  options.work_per_edge = 2048;
   Cluster cluster(graph_, &registry, SystemClock::Global(), options);
   ASSERT_TRUE(cluster.Start().ok());
   Rng rng(6);

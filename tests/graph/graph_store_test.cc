@@ -95,6 +95,88 @@ TEST(GraphStoreTest, UnknownExternalIdNotFound) {
   EXPECT_FALSE(store.FindByExternalId(0).ok());
 }
 
+/// Replays the builder's insertion (same SplitMix64 scramble via the
+/// store's published ids, same linear probing, same insertion order
+/// v = 0..n-1) to recover each vertex's home and final slot in the
+/// external-id index. The table size is NextPowerOfTwo(max(2n, 16)).
+struct IndexLayout {
+  uint64_t mask = 0;
+  std::vector<bool> occupied;        // Per slot.
+  std::vector<uint64_t> home_slot;   // Per vertex: id & mask.
+  std::vector<uint64_t> final_slot;  // Per vertex: where probing landed.
+};
+IndexLayout ReplayIndexLayout(const GraphStore& store) {
+  IndexLayout layout;
+  const uint32_t n = store.num_vertices();
+  uint64_t table_size = 16;
+  while (table_size < 2ull * n) table_size <<= 1;
+  layout.mask = table_size - 1;
+  layout.occupied.assign(table_size, false);
+  for (uint32_t v = 0; v < n; ++v) {
+    const uint64_t id = store.ExternalId(v);
+    uint64_t slot = id & layout.mask;
+    layout.home_slot.push_back(slot);
+    while (layout.occupied[slot]) slot = (slot + 1) & layout.mask;
+    layout.occupied[slot] = true;
+    layout.final_slot.push_back(slot);
+  }
+  return layout;
+}
+
+// A lookup whose probe chain wraps from the last slot back to slot 0
+// must still find its vertex: the scan over table sizes is deterministic
+// (ids are a fixed scramble of the vertex number), so once one size
+// exhibits a wrapped insertion, it always does.
+TEST(GraphStoreTest, FindByExternalIdProbeWraparound) {
+  bool exercised = false;
+  for (uint32_t n : {8u, 16u, 32u, 64u, 128u, 256u, 512u}) {
+    const GraphStore store = std::move(GraphBuilder(n)).Build();
+    const IndexLayout layout = ReplayIndexLayout(store);
+    for (uint32_t v = 0; v < n; ++v) {
+      // final < home means the probe walked off the end and wrapped.
+      if (layout.final_slot[v] >= layout.home_slot[v]) continue;
+      exercised = true;
+      const auto found = store.FindByExternalId(store.ExternalId(v));
+      ASSERT_TRUE(found.ok()) << "n=" << n << " v=" << v;
+      EXPECT_EQ(*found, v);
+    }
+  }
+  // At 50% load over several table sizes some chain crosses the end.
+  EXPECT_TRUE(exercised);
+}
+
+// A missing key whose home slot sits in an occupied run touching the
+// last slot forces the unsuccessful probe across the table boundary; it
+// must terminate with NotFound at the first empty slot, not scan
+// forever or read out of bounds.
+TEST(GraphStoreTest, MissingKeyProbeCrossesTableBoundary) {
+  bool exercised = false;
+  for (uint32_t n : {8u, 16u, 32u, 64u, 128u, 256u, 512u}) {
+    const GraphStore store = std::move(GraphBuilder(n)).Build();
+    const IndexLayout layout = ReplayIndexLayout(store);
+    if (!layout.occupied[layout.mask]) continue;  // Last slot empty.
+    // Home the probe at the last slot: it visits `mask`, wraps to 0,
+    // and walks until the first empty slot.
+    const uint64_t table_size = layout.mask + 1;
+    uint64_t missing = layout.mask;  // missing & mask == mask.
+    bool collides = true;
+    while (collides) {
+      collides = false;
+      for (uint32_t v = 0; v < n; ++v) {
+        if (store.ExternalId(v) == missing) {
+          missing += table_size;  // Same home slot, different key.
+          collides = true;
+        }
+      }
+    }
+    exercised = true;
+    EXPECT_EQ(store.FindByExternalId(missing).status().code(),
+              StatusCode::kNotFound)
+        << "n=" << n;
+  }
+  EXPECT_TRUE(exercised);
+}
+
 TEST(GraphStoreTest, ExternalIdOutOfRange) {
   GraphBuilder builder(2);
   const GraphStore store = std::move(builder).Build();

@@ -344,6 +344,85 @@ TEST(StageTest, ConcurrentSheddingStress) {
             probe->dequeued.load());
 }
 
+// SubmitInline on an empty-and-admitting stage runs the handler (and
+// Points 2–3 plus on_complete) on the calling thread, before returning.
+TEST(StageTest, SubmitInlineRunsOnCallerWhenIdle) {
+  StageFixture f;
+  std::atomic<bool> ran_on_caller{false};
+  Stage::Options options;
+  options.num_workers = 2;
+  PolicyConfig config;
+  config.kind = PolicyKind::kAlwaysAccept;
+  const std::thread::id caller = std::this_thread::get_id();
+  Stage stage(
+      options, &f.registry, SystemClock::Global(),
+      [&config](const PolicyContext& context) {
+        return CreatePolicy(config, context);
+      },
+      [&](WorkItem&) {
+        ran_on_caller.store(std::this_thread::get_id() == caller);
+      });
+  ASSERT_TRUE(stage.Start().ok());
+  EXPECT_EQ(stage.SubmitInline(f.MakeItem()), Outcome::kCompleted);
+  // Synchronous: the terminal callback already fired when we return.
+  EXPECT_EQ(f.completed.load(), 1);
+  EXPECT_TRUE(ran_on_caller.load());
+  EXPECT_EQ(stage.counters().completed.load(), 1u);
+  EXPECT_EQ(stage.queue_state().TotalLength(), 0u);
+  stage.Stop();
+}
+
+// With work already queued ahead, SubmitInline must fall back to the
+// FIFO: running inline would overtake queued items.
+TEST(StageTest, SubmitInlineFallsBackWhenBusy) {
+  StageFixture f(PolicyKind::kAlwaysAccept, /*workers=*/1);
+  ASSERT_TRUE(f.stage->Start().ok());
+  f.busy_ns = 50 * kMillisecond;
+  f.stage->Submit(f.MakeItem());  // Occupies the single worker.
+  f.WaitFor(f.handled, 1);
+  f.stage->Submit(f.MakeItem());  // Queued behind it.
+  f.stage->SubmitInline(f.MakeItem());
+  // Had it run inline, its terminal callback would have fired already
+  // (the first item is still busy for ~50 ms, the second still queued).
+  EXPECT_EQ(f.completed.load(), 0);
+  f.WaitFor(f.completed, 3);
+  f.stage->Stop();
+  EXPECT_EQ(f.completed.load(), 3);
+}
+
+// SubmitInline still runs Point 1 first: a rejecting policy turns it
+// into a synchronous early rejection, identical to Submit.
+TEST(StageTest, SubmitInlineRespectsPolicyRejection) {
+  StageFixture f(PolicyKind::kMaxQueueLength, /*workers=*/1);
+  ASSERT_TRUE(f.stage->Start().ok());
+  f.busy_ns = 50 * kMillisecond;
+  // Saturate the worker and the limit-2 queue, then SubmitInline.
+  int rejected_now = 0;
+  for (int i = 0; i < 6; ++i) {
+    if (f.stage->Submit(f.MakeItem()) == Outcome::kRejected) ++rejected_now;
+  }
+  ASSERT_GT(rejected_now, 0);
+  EXPECT_EQ(f.stage->SubmitInline(f.MakeItem()), Outcome::kRejected);
+  f.stage->Stop(false);
+}
+
+// TryRunOne lets a foreign thread (a gathering broker worker) steal one
+// queued item and process it in-place, preserving FIFO order.
+TEST(StageTest, TryRunOneProcessesQueuedItem) {
+  StageFixture f;  // Never started: no workers compete for the queue.
+  EXPECT_FALSE(f.stage->TryRunOne());  // Empty queue.
+  f.stage->Submit(f.MakeItem());
+  f.stage->Submit(f.MakeItem());
+  EXPECT_TRUE(f.stage->TryRunOne());
+  EXPECT_EQ(f.handled.load(), 1);
+  EXPECT_EQ(f.completed.load(), 1);
+  EXPECT_TRUE(f.stage->TryRunOne());
+  EXPECT_FALSE(f.stage->TryRunOne());
+  EXPECT_EQ(f.completed.load(), 2);
+  EXPECT_EQ(f.stage->counters().completed.load(), 2u);
+  EXPECT_EQ(f.stage->queue_state().TotalLength(), 0u);
+}
+
 TEST(StageBuilderTest, RequiresRegistryAndHandler) {
   StageBuilder builder;
   EXPECT_FALSE(builder.Build().ok());
