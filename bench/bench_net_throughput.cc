@@ -1,0 +1,476 @@
+// Network front-end throughput: drives the epoll NetServer over loopback
+// with the closed-loop NetClient across a (connections x in-flight) grid,
+// comparing three variants per cell —
+//
+//   inproc     closed-loop Cluster::Submit calls in-process (no sockets):
+//              the ceiling the network path is measured against;
+//   net_item   loopback TCP, one admission episode per parsed query
+//              (NetServer::Options::batch_submit = false);
+//   net_batch  loopback TCP, everything parsed from one epoll wakeup
+//              drained through Cluster::SubmitBatch in a single pass.
+//
+// The query mix is deliberately cheap (degree-heavy, ample workers) so
+// the single-threaded event loop is the bottleneck and the per-query
+// admission cost — the thing SubmitBatch amortizes (one clock read, one
+// ring reservation, one wakeup episode per batch) — is what the QPS gap
+// measures. Headline: net_batch / net_item at >= 64 connections.
+//
+// A final overload section offers ~2x the measured capacity open-loop
+// against a rejecting broker policy and samples the process RSS across
+// the surge: rejections must flow back while memory stays flat (the
+// zero-steady-state-allocation claim).
+//
+// Results are printed as a table and written to BENCH_net_throughput.json.
+
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench/bench_common.h"
+#include "src/graph/cluster.h"
+#include "src/graph/graph_generator.h"
+#include "src/net/net_client.h"
+#include "src/net/net_server.h"
+#include "src/stats/histogram.h"
+#include "src/util/rng.h"
+
+namespace bouncer::bench {
+namespace {
+
+using graph::Cluster;
+using graph::GraphOp;
+using graph::GraphQuery;
+using graph::GraphQueryResult;
+using graph::GraphStore;
+
+struct CellResult {
+  std::string variant;
+  size_t connections = 0;
+  size_t in_flight = 0;
+  double seconds = 0;
+  uint64_t completed = 0;
+  double qps = 0;
+  Nanos rt_p50 = 0;
+  Nanos rt_p99 = 0;
+  double avg_batch = 0;  ///< Requests per admission episode (net_batch).
+};
+
+struct SurgeResult {
+  double offered_qps = 0;
+  double capacity_qps = 0;
+  uint64_t responses = 0;
+  uint64_t ok = 0;
+  uint64_t rejections = 0;
+  uint64_t dropped = 0;
+  long rss_start_kb = 0;
+  long rss_end_kb = 0;
+};
+
+/// VmRSS of this process in kB (client and server both live here —
+/// loopback — so flat covers the whole data path).
+long ReadRssKb() {
+  std::FILE* f = std::fopen("/proc/self/status", "r");
+  if (f == nullptr) return 0;
+  char line[256];
+  long kb = 0;
+  while (std::fgets(line, sizeof(line), f) != nullptr) {
+    if (std::strncmp(line, "VmRSS:", 6) == 0) {
+      kb = std::strtol(line + 6, nullptr, 10);
+      break;
+    }
+  }
+  std::fclose(f);
+  return kb;
+}
+
+/// Cheap degree-heavy query stream: 90% QT1 (single-vertex degree), 10%
+/// QT2 (capped adjacency) — each query is one shard round, so broker and
+/// shard workers outpace the event loop and the submit path shows.
+std::vector<GraphQuery> MakeQueries(const GraphStore& graph) {
+  Rng rng(11);
+  std::vector<GraphQuery> queries;
+  queries.reserve(1 << 14);
+  for (size_t i = 0; i < (1 << 14); ++i) {
+    const GraphOp op =
+        rng.NextBounded(10) == 0 ? GraphOp::kNeighbors : GraphOp::kDegree;
+    queries.push_back(Cluster::SampleQuery(op, graph, rng));
+  }
+  return queries;
+}
+
+Cluster::Options ClusterOptions(bool rejecting) {
+  Cluster::Options options;
+  options.num_brokers = 1;
+  options.broker_workers = 8;
+  options.num_shards = 2;
+  options.shard_workers = 2;
+  options.work_per_edge = 4;
+  options.broker_queue_capacity = 1 << 15;
+  options.shard_queue_capacity = 1 << 15;
+  if (rejecting) {
+    // Overload section: a deterministic queue-length door so the surge
+    // produces a steady stream of synchronous early rejections.
+    options.broker_policy.kind = PolicyKind::kMaxQueueLength;
+    options.broker_policy.max_queue_length.length_limit = 512;
+  } else {
+    options.broker_policy.kind = PolicyKind::kAlwaysAccept;
+  }
+  options.shard_policy.kind = PolicyKind::kAlwaysAccept;
+  return options;
+}
+
+/// In-process closed-loop baseline (same shape as bench_cluster_throughput
+/// but with the grid cell's total window).
+struct InprocState {
+  Cluster* cluster = nullptr;
+  const std::vector<GraphQuery>* queries = nullptr;
+  std::atomic<uint64_t> cursor{0};
+  std::atomic<uint64_t> completed{0};
+  std::atomic<bool> recording{false};
+  std::atomic<bool> stop{false};
+  std::atomic<size_t> in_flight{0};
+  stats::Histogram rt;
+
+  void SubmitNext() {
+    const uint64_t i =
+        cursor.fetch_add(1, std::memory_order_relaxed) % queries->size();
+    const Nanos t0 = SystemClock::Global()->Now();
+    InprocState* state = this;
+    cluster->Submit((*queries)[i], /*deadline=*/0,
+                    [state, t0](const server::WorkItem&, server::Outcome,
+                                const GraphQueryResult&) {
+                      if (state->recording.load(std::memory_order_relaxed)) {
+                        state->rt.Record(SystemClock::Global()->Now() - t0);
+                        state->completed.fetch_add(1,
+                                                   std::memory_order_relaxed);
+                      }
+                      if (!state->stop.load(std::memory_order_acquire)) {
+                        state->SubmitNext();
+                      } else {
+                        state->in_flight.fetch_sub(1,
+                                                   std::memory_order_acq_rel);
+                      }
+                    });
+  }
+};
+
+CellResult RunInproc(const GraphStore& graph,
+                     const std::vector<GraphQuery>& queries, size_t window,
+                     Nanos warmup, Nanos measure) {
+  const Slo slo{kSecond, 2 * kSecond, 0};
+  QueryTypeRegistry registry = Cluster::MakeRegistry(slo);
+  Cluster cluster(&graph, &registry, SystemClock::Global(),
+                  ClusterOptions(/*rejecting=*/false));
+  if (!cluster.Start().ok()) {
+    std::fprintf(stderr, "cluster start failed\n");
+    std::exit(1);
+  }
+  InprocState state;
+  state.cluster = &cluster;
+  state.queries = &queries;
+  state.in_flight.store(window, std::memory_order_relaxed);
+  for (size_t i = 0; i < window; ++i) state.SubmitNext();
+
+  std::this_thread::sleep_for(std::chrono::nanoseconds(warmup));
+  state.recording.store(true, std::memory_order_relaxed);
+  const auto t0 = std::chrono::steady_clock::now();
+  std::this_thread::sleep_for(std::chrono::nanoseconds(measure));
+  state.recording.store(false, std::memory_order_relaxed);
+  const auto t1 = std::chrono::steady_clock::now();
+  state.stop.store(true, std::memory_order_release);
+  const auto drain_deadline = t1 + std::chrono::seconds(10);
+  while (state.in_flight.load(std::memory_order_acquire) > 0 &&
+         std::chrono::steady_clock::now() < drain_deadline) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  cluster.Stop();
+
+  CellResult r;
+  r.variant = "inproc";
+  r.seconds = std::chrono::duration<double>(t1 - t0).count();
+  r.completed = state.completed.load();
+  r.qps = static_cast<double>(r.completed) / r.seconds;
+  r.rt_p50 = state.rt.Percentile(0.5);
+  r.rt_p99 = state.rt.Percentile(0.99);
+  return r;
+}
+
+CellResult RunNet(const GraphStore& graph,
+                  const std::vector<GraphQuery>& queries, bool batch_submit,
+                  size_t connections, size_t in_flight, Nanos warmup,
+                  Nanos measure) {
+  const Slo slo{kSecond, 2 * kSecond, 0};
+  QueryTypeRegistry registry = Cluster::MakeRegistry(slo);
+  Cluster cluster(&graph, &registry, SystemClock::Global(),
+                  ClusterOptions(/*rejecting=*/false));
+  if (!cluster.Start().ok()) {
+    std::fprintf(stderr, "cluster start failed\n");
+    std::exit(1);
+  }
+  net::NetServer::Options server_options;
+  server_options.batch_submit = batch_submit;
+  server_options.max_connections = connections + 8;
+  net::NetServer server(&cluster, server_options);
+  if (!server.Start().ok()) {
+    std::fprintf(stderr, "server start failed\n");
+    std::exit(1);
+  }
+
+  net::NetClient::Options client_options;
+  client_options.port = server.port();
+  client_options.num_connections = connections;
+  client_options.num_io_threads = connections < 4 ? 1 : 4;
+  client_options.in_flight_per_conn = in_flight;
+  net::NetClient client(client_options,
+                        [&queries](size_t conn_index, uint64_t seq) {
+                          const GraphQuery& q = queries[(conn_index * 7919 +
+                                                         seq) %
+                                                        queries.size()];
+                          net::RequestFrame frame;
+                          frame.op = static_cast<uint8_t>(q.op);
+                          frame.source = q.source;
+                          frame.target = q.target;
+                          frame.external_id = q.external_id;
+                          return frame;
+                        });
+  if (!client.Start().ok()) {
+    std::fprintf(stderr, "client start failed\n");
+    std::exit(1);
+  }
+  client.StartClosedLoop();
+  std::this_thread::sleep_for(std::chrono::nanoseconds(warmup));
+
+  const uint64_t batches0 =
+      server.stats().submit_batches.load(std::memory_order_relaxed);
+  const uint64_t requests0 =
+      server.stats().requests.load(std::memory_order_relaxed);
+  client.ResetStats();
+  const auto t0 = std::chrono::steady_clock::now();
+  std::this_thread::sleep_for(std::chrono::nanoseconds(measure));
+  const auto t1 = std::chrono::steady_clock::now();
+  const net::NetClient::Counters counters = client.counters();
+  const stats::HistogramSummary latency = client.Latency();
+  const uint64_t batches =
+      server.stats().submit_batches.load(std::memory_order_relaxed) -
+      batches0;
+  const uint64_t requests =
+      server.stats().requests.load(std::memory_order_relaxed) - requests0;
+
+  client.StopSending();
+  client.WaitForDrain(2 * kSecond);
+  client.Stop();
+  server.Stop();
+  cluster.Stop();
+
+  CellResult r;
+  r.variant = batch_submit ? "net_batch" : "net_item";
+  r.connections = connections;
+  r.in_flight = in_flight;
+  r.seconds = std::chrono::duration<double>(t1 - t0).count();
+  r.completed = counters.responses;
+  r.qps = static_cast<double>(r.completed) / r.seconds;
+  r.rt_p50 = latency.p50;
+  r.rt_p99 = latency.p99;
+  if (batch_submit && batches > 0) {
+    r.avg_batch = static_cast<double>(requests) / static_cast<double>(batches);
+  }
+  return r;
+}
+
+/// Overload: offer ~2x `capacity_qps` open-loop against the rejecting
+/// policy, sampling RSS just after the surge is established and at its
+/// end.
+SurgeResult RunSurge(const GraphStore& graph,
+                     const std::vector<GraphQuery>& queries,
+                     double capacity_qps, Nanos duration) {
+  const Slo slo{kSecond, 2 * kSecond, 0};
+  QueryTypeRegistry registry = Cluster::MakeRegistry(slo);
+  Cluster cluster(&graph, &registry, SystemClock::Global(),
+                  ClusterOptions(/*rejecting=*/true));
+  if (!cluster.Start().ok()) std::exit(1);
+  net::NetServer server(&cluster, {});
+  if (!server.Start().ok()) std::exit(1);
+
+  net::NetClient::Options client_options;
+  client_options.port = server.port();
+  client_options.num_connections = 64;
+  client_options.num_io_threads = 4;
+  net::NetClient client(client_options, [](size_t, uint64_t) {
+    return net::RequestFrame{};  // Open loop only; sampler unused.
+  });
+  if (!client.Start().ok()) std::exit(1);
+
+  SurgeResult surge;
+  surge.capacity_qps = capacity_qps;
+  surge.offered_qps = 2.0 * capacity_qps;
+
+  // Paced open-loop feeder: every millisecond, offer the next slice of
+  // the absolute schedule; local-queue overflow counts as drops (the
+  // server's TCP backpressure reached the client), which is the open-loop
+  // contract under overload.
+  const auto t_start = std::chrono::steady_clock::now();
+  const auto t_end = t_start + std::chrono::nanoseconds(duration);
+  const Nanos rss_probe_at = duration / 5;
+  uint64_t offered = 0;
+  size_t qi = 0;
+  bool rss_sampled = false;
+  while (std::chrono::steady_clock::now() < t_end) {
+    const double elapsed =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                      t_start)
+            .count();
+    const auto due = static_cast<uint64_t>(elapsed * surge.offered_qps);
+    while (offered < due) {
+      const GraphQuery& q = queries[qi++ % queries.size()];
+      net::RequestFrame frame;
+      frame.op = static_cast<uint8_t>(q.op);
+      frame.source = q.source;
+      frame.target = q.target;
+      client.TrySend(frame);
+      ++offered;
+    }
+    if (!rss_sampled &&
+        elapsed * kSecond >= static_cast<double>(rss_probe_at)) {
+      surge.rss_start_kb = ReadRssKb();
+      rss_sampled = true;
+    }
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  surge.rss_end_kb = ReadRssKb();
+  client.WaitForDrain(2 * kSecond);
+
+  const net::NetClient::Counters counters = client.counters();
+  surge.responses = counters.responses;
+  surge.ok = counters.ok;
+  surge.rejections = counters.rejected + counters.shedded;
+  surge.dropped = counters.dropped;
+  client.Stop();
+  server.Stop();
+  cluster.Stop();
+  return surge;
+}
+
+void WriteJson(const std::vector<CellResult>& results,
+               const SurgeResult& surge, double headline) {
+  std::FILE* f = std::fopen("BENCH_net_throughput.json", "w");
+  if (f == nullptr) return;
+  std::fprintf(f, "{\n  \"bench\": \"net_throughput\",\n  \"cells\": [\n");
+  for (size_t i = 0; i < results.size(); ++i) {
+    const CellResult& r = results[i];
+    std::fprintf(
+        f,
+        "    {\"variant\": \"%s\", \"connections\": %zu, \"in_flight\": "
+        "%zu, \"seconds\": %.3f, \"completed\": %llu, \"qps\": %.0f, "
+        "\"rt_p50_us\": %.1f, \"rt_p99_us\": %.1f, \"avg_batch\": %.1f}%s\n",
+        r.variant.c_str(), r.connections, r.in_flight, r.seconds,
+        static_cast<unsigned long long>(r.completed), r.qps,
+        static_cast<double>(r.rt_p50) / 1000.0,
+        static_cast<double>(r.rt_p99) / 1000.0, r.avg_batch,
+        i + 1 < results.size() ? "," : "");
+  }
+  std::fprintf(f, "  ],\n");
+  std::fprintf(
+      f,
+      "  \"surge\": {\"offered_qps\": %.0f, \"capacity_qps\": %.0f, "
+      "\"responses\": %llu, \"ok\": %llu, \"rejections\": %llu, "
+      "\"dropped\": %llu, \"rss_start_kb\": %ld, \"rss_end_kb\": %ld},\n",
+      surge.offered_qps, surge.capacity_qps,
+      static_cast<unsigned long long>(surge.responses),
+      static_cast<unsigned long long>(surge.ok),
+      static_cast<unsigned long long>(surge.rejections),
+      static_cast<unsigned long long>(surge.dropped), surge.rss_start_kb,
+      surge.rss_end_kb);
+  std::fprintf(f, "  \"batch_vs_item_at_64conns\": %.2f\n}\n", headline);
+  std::fclose(f);
+}
+
+int Main() {
+  PrintPreamble("bench_net_throughput",
+                "epoll front-end over loopback: batched vs per-item "
+                "admission, vs the in-process ceiling");
+
+  Nanos warmup = 300 * kMillisecond;
+  Nanos measure = 600 * kMillisecond;
+  Nanos surge_duration = 1500 * kMillisecond;
+  std::vector<std::pair<size_t, size_t>> grid = {{16, 8}, {64, 16}};
+  if (BenchScale() == 1) {
+    warmup = 500 * kMillisecond;
+    measure = 2 * kSecond;
+    surge_duration = 4 * kSecond;
+    grid = {{4, 8}, {16, 8}, {64, 16}, {128, 16}};
+  } else if (BenchScale() >= 2) {
+    warmup = kSecond;
+    measure = 5 * kSecond;
+    surge_duration = 10 * kSecond;
+    grid = {{4, 8}, {16, 8}, {64, 8}, {64, 16}, {128, 16}, {256, 16}};
+  }
+
+  graph::GeneratorOptions graph_options;
+  graph_options.num_vertices = 20'000;
+  graph_options.edges_per_vertex = 8;
+  const GraphStore graph = GeneratePreferentialAttachment(graph_options);
+  const std::vector<GraphQuery> queries = MakeQueries(graph);
+
+  std::printf("%-10s %6s %9s %12s %12s %12s %10s\n", "variant", "conns",
+              "in_flight", "qps", "p50_us", "p99_us", "avg_batch");
+  PrintRule(78);
+  std::vector<CellResult> results;
+  double capacity_qps = 0;
+  double item_64 = 0, batch_64 = 0;
+  for (const auto& [connections, in_flight] : grid) {
+    CellResult inproc = RunInproc(graph, queries, connections * in_flight,
+                                  warmup, measure);
+    inproc.connections = connections;
+    inproc.in_flight = in_flight;
+    results.push_back(inproc);
+    for (const bool batch : {false, true}) {
+      const CellResult r = RunNet(graph, queries, batch, connections,
+                                  in_flight, warmup, measure);
+      results.push_back(r);
+      if (connections >= 64) {
+        if (batch && r.qps > batch_64) batch_64 = r.qps;
+        if (!batch && r.qps > item_64) item_64 = r.qps;
+      }
+      if (batch && r.qps > capacity_qps) capacity_qps = r.qps;
+    }
+    for (size_t i = results.size() - 3; i < results.size(); ++i) {
+      const CellResult& r = results[i];
+      std::printf("%-10s %6zu %9zu %12.0f %12.1f %12.1f %10.1f\n",
+                  r.variant.c_str(), r.connections, r.in_flight, r.qps,
+                  static_cast<double>(r.rt_p50) / 1000.0,
+                  static_cast<double>(r.rt_p99) / 1000.0, r.avg_batch);
+    }
+    PrintRule(78);
+  }
+
+  const SurgeResult surge =
+      RunSurge(graph, queries, capacity_qps, surge_duration);
+  std::printf(
+      "surge: offered %.0f qps (2x capacity %.0f), responses=%llu "
+      "ok=%llu rejections=%llu dropped=%llu\n",
+      surge.offered_qps, surge.capacity_qps,
+      static_cast<unsigned long long>(surge.responses),
+      static_cast<unsigned long long>(surge.ok),
+      static_cast<unsigned long long>(surge.rejections),
+      static_cast<unsigned long long>(surge.dropped));
+  std::printf("surge RSS: %ld kB -> %ld kB (delta %+ld kB)\n",
+              surge.rss_start_kb, surge.rss_end_kb,
+              surge.rss_end_kb - surge.rss_start_kb);
+
+  const double headline = item_64 > 0 ? batch_64 / item_64 : 0;
+  WriteJson(results, surge, headline);
+  std::printf("wrote BENCH_net_throughput.json\n");
+  if (headline > 0) {
+    std::printf(">= 64 conns: net_batch/net_item = %.2fx\n", headline);
+  }
+  return 0;
+}
+
+}  // namespace
+}  // namespace bouncer::bench
+
+int main() { return bouncer::bench::Main(); }

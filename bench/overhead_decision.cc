@@ -2,11 +2,15 @@
 // on the critical path of every query (paper: mean = 18 us, p50 = 15 us,
 // p99 = 87 us on production broker hosts, for millisecond-scale queries).
 // These google-benchmark timings measure the same code path — admission
-// decision plus the metric hooks — on this host.
+// decision plus the metric hooks — on this host. Results go to stdout
+// and, like the other benches, to a BENCH_*.json artifact
+// (BENCH_overhead_decision.json, google-benchmark's JSON format).
 
 #include <benchmark/benchmark.h>
 
+#include <cstring>
 #include <memory>
+#include <vector>
 
 #include "src/core/policy_factory.h"
 #include "src/util/rng.h"
@@ -162,4 +166,28 @@ BENCHMARK(BM_DualHistogramReadSummary);
 }  // namespace
 }  // namespace bouncer
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  // Console output as before, plus the BENCH_*.json artifact every other
+  // bench in this repo emits (CI uploads BENCH_*.json) — by defaulting
+  // the --benchmark_out flags; explicit flags still win.
+  std::vector<char*> args(argv, argv + argc);
+  char out_flag[] = "--benchmark_out=BENCH_overhead_decision.json";
+  char format_flag[] = "--benchmark_out_format=json";
+  bool has_out = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strncmp(argv[i], "--benchmark_out=", 16) == 0) has_out = true;
+  }
+  if (!has_out) {
+    args.push_back(out_flag);
+    args.push_back(format_flag);
+  }
+  int args_count = static_cast<int>(args.size());
+  benchmark::Initialize(&args_count, args.data());
+  if (benchmark::ReportUnrecognizedArguments(args_count, args.data())) {
+    return 1;
+  }
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  if (!has_out) std::printf("wrote BENCH_overhead_decision.json\n");
+  return 0;
+}

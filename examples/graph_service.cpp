@@ -6,49 +6,176 @@
 // meeting their SLOs (the paper's §2 motivation).
 //
 //   ./build/examples/graph_service
+//   ./build/examples/graph_service --surge-qps=2000 --broker-workers=8
+//
+// With --listen the same stack serves the binary TCP protocol instead of
+// an in-process generator; drive it with examples/net_client:
+//
+//   ./build/examples/graph_service --listen=7317
+//   ./build/examples/net_client --port=7317 --qps=500 --duration-s=5
+//
+//   ./build/examples/graph_service --help
 
+#include <csignal>
 #include <cstdio>
 #include <thread>
 
+#include "examples/flags.h"
 #include "src/graph/cluster.h"
 #include "src/graph/graph_generator.h"
+#include "src/net/net_server.h"
 #include "src/server/metrics_collector.h"
 #include "src/workload/load_generator.h"
 
 using namespace bouncer;
 using namespace bouncer::graph;
 
-int main() {
-  // Graph substrate: a preferential-attachment social graph.
+namespace {
+
+std::atomic<bool> g_interrupted{false};
+
+void OnSignal(int) { g_interrupted.store(true, std::memory_order_release); }
+
+void PrintHelp() {
+  std::printf(
+      "graph_service — broker/shard graph cluster with Bouncer at the "
+      "door\n\n"
+      "  mode\n"
+      "  --listen=PORT       serve the TCP protocol on PORT (0 = "
+      "ephemeral)\n"
+      "                      instead of the in-process surge demo\n"
+      "  --serve-seconds=N   with --listen: stop after N s (0 = until "
+      "SIGINT)\n"
+      "  --batch-submit=0|1  with --listen: drain each epoll wakeup "
+      "through\n"
+      "                      one SubmitBatch admission pass (default 1)\n\n"
+      "  cluster\n"
+      "  --vertices=N        graph size (default 50000)\n"
+      "  --brokers=N         broker stages (default 1)\n"
+      "  --broker-workers=N  workers per broker (default 4)\n"
+      "  --shards=N          shard stages (default 2)\n"
+      "  --shard-workers=N   workers per shard (default 1)\n"
+      "  --allowance=F       broker acceptance allowance (default 0.10)\n"
+      "  --queue-guard=N     broker queue guard limit (default 48)\n\n"
+      "  surge demo\n"
+      "  --steady-qps=F      light-load rate (default 300)\n"
+      "  --surge-qps=F       surge rate past capacity (default 1400)\n"
+      "  --phase-seconds=N   length of each reported phase (default 6)\n");
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  examples::CliFlags flags(argc, argv);
+  if (flags.help()) {
+    PrintHelp();
+    return 0;
+  }
+  const bool listen_mode = flags.Has("listen");
+  const auto listen_port = static_cast<uint16_t>(flags.GetUint("listen", 0));
+  const auto serve_seconds = flags.GetUint("serve-seconds", 0);
+  const bool batch_submit = flags.GetBool("batch-submit", true);
+
   GeneratorOptions graph_options;
-  graph_options.num_vertices = 50'000;
+  graph_options.num_vertices =
+      static_cast<uint32_t>(flags.GetUint("vertices", 50'000));
   graph_options.edges_per_vertex = 8;
+
+  Cluster::Options options;
+  options.num_brokers = flags.GetUint("brokers", 1);
+  options.broker_workers = flags.GetUint("broker-workers", 4);
+  options.num_shards = flags.GetUint("shards", 2);
+  options.shard_workers = flags.GetUint("shard-workers", 1);
+  options.broker_policy.kind = PolicyKind::kBouncerWithAllowance;
+  options.broker_policy.bouncer.histogram_swap_interval = 2 * kSecond;
+  options.broker_policy.bouncer.min_samples_to_publish = 5;
+  options.broker_policy.allowance.allowance =
+      flags.GetDouble("allowance", 0.10);
+  options.broker_policy.queue_guard_limit = flags.GetUint("queue-guard", 48);
+  options.shard_policy.kind = PolicyKind::kAcceptFraction;
+  options.shard_policy.accept_fraction.max_utilization = 0.98;
+
+  const double steady_qps = flags.GetDouble("steady-qps", 300);
+  const double surge_qps = flags.GetDouble("surge-qps", 1400);
+  const Nanos phase_duration =
+      static_cast<Nanos>(flags.GetUint("phase-seconds", 6)) * kSecond;
+
+  const auto unknown = flags.Unknown();
+  if (!unknown.empty()) {
+    for (const auto& flag : unknown) {
+      std::fprintf(stderr, "unknown flag: %s (try --help)\n", flag.c_str());
+    }
+    return 1;
+  }
+
   std::printf("generating graph (%u vertices)...\n",
               graph_options.num_vertices);
   const GraphStore graph = GeneratePreferentialAttachment(graph_options);
   std::printf("graph ready: %u vertices, %llu edges\n", graph.num_vertices(),
               static_cast<unsigned long long>(graph.num_edges()));
 
-  // Cluster: one broker (Bouncer + acceptance-allowance at the door),
-  // two shards (AcceptFraction as the CPU backstop).
+  // Cluster: brokers run Bouncer + acceptance-allowance at the door,
+  // shards run AcceptFraction as the CPU backstop.
   const Slo slo{18 * kMillisecond, 50 * kMillisecond, 0};
   QueryTypeRegistry registry = Cluster::MakeRegistry(slo);
-  Cluster::Options options;
-  options.num_brokers = 1;
-  options.broker_workers = 4;
-  options.num_shards = 2;
-  options.shard_workers = 1;
-  options.broker_policy.kind = PolicyKind::kBouncerWithAllowance;
-  options.broker_policy.bouncer.histogram_swap_interval = 2 * kSecond;
-  options.broker_policy.bouncer.min_samples_to_publish = 5;
-  options.broker_policy.allowance.allowance = 0.10;
-  options.broker_policy.queue_guard_limit = 48;
-  options.shard_policy.kind = PolicyKind::kAcceptFraction;
-  options.shard_policy.accept_fraction.max_utilization = 0.98;
   Cluster cluster(&graph, &registry, SystemClock::Global(), options);
   if (Status s = cluster.Start(); !s.ok()) {
     std::fprintf(stderr, "cluster start failed: %s\n", s.ToString().c_str());
     return 1;
+  }
+
+  if (listen_mode) {
+    net::NetServer::Options server_options;
+    server_options.port = listen_port;
+    server_options.batch_submit = batch_submit;
+    net::NetServer server(&cluster, server_options);
+    if (Status s = server.Start(); !s.ok()) {
+      std::fprintf(stderr, "server start failed: %s\n",
+                   s.ToString().c_str());
+      return 1;
+    }
+    std::signal(SIGINT, OnSignal);
+    std::signal(SIGTERM, OnSignal);
+    std::printf("listening on %s:%u (%s admission)\n",
+                server_options.bind_address.c_str(), server.port(),
+                batch_submit ? "batched" : "per-query");
+    std::fflush(stdout);
+    const Nanos stop_at =
+        serve_seconds == 0
+            ? 0
+            : SystemClock::Global()->Now() +
+                  static_cast<Nanos>(serve_seconds) * kSecond;
+    uint64_t last_requests = 0;
+    while (!g_interrupted.load(std::memory_order_acquire)) {
+      if (stop_at != 0 && SystemClock::Global()->Now() >= stop_at) break;
+      std::this_thread::sleep_for(std::chrono::seconds(2));
+      const auto& stats = server.stats();
+      const uint64_t requests =
+          stats.requests.load(std::memory_order_relaxed);
+      if (requests != last_requests) {
+        std::printf(
+            "conns=%llu requests=%llu rejections=%llu batches=%llu "
+            "pauses=%llu\n",
+            static_cast<unsigned long long>(
+                stats.connections_accepted.load(std::memory_order_relaxed) -
+                stats.connections_closed.load(std::memory_order_relaxed)),
+            static_cast<unsigned long long>(requests),
+            static_cast<unsigned long long>(
+                stats.rejections.load(std::memory_order_relaxed)),
+            static_cast<unsigned long long>(
+                stats.submit_batches.load(std::memory_order_relaxed)),
+            static_cast<unsigned long long>(
+                stats.pauses.load(std::memory_order_relaxed)));
+        std::fflush(stdout);
+        last_requests = requests;
+      }
+    }
+    server.Stop();
+    cluster.Stop();
+    std::printf("served %llu requests\n",
+                static_cast<unsigned long long>(
+                    server.stats().requests.load(std::memory_order_relaxed)));
+    return 0;
   }
 
   const workload::WorkloadSpec mix = workload::PaperRealSystemMix();
@@ -58,12 +185,11 @@ int main() {
   const struct {
     const char* label;
     double qps;
-    Nanos duration;
   } phases[] = {
-      {"warm-up (not reported)", 300, 5 * kSecond},
-      {"steady (light load)", 300, 6 * kSecond},
-      {"surge (past capacity)", 1400, 6 * kSecond},
-      {"recovery", 300, 6 * kSecond},
+      {"warm-up (not reported)", steady_qps},
+      {"steady (light load)", steady_qps},
+      {"surge (past capacity)", surge_qps},
+      {"recovery", steady_qps},
   };
 
   std::printf("\n%-24s %9s %9s %9s %12s %12s\n", "phase", "received",
@@ -72,7 +198,8 @@ int main() {
     metrics.Reset();
     workload::LoadGenerator::Options generator_options;
     generator_options.rate_qps = phase.qps;
-    generator_options.duration = phase.duration;
+    generator_options.duration =
+        phase.label[0] == 'w' ? 5 * kSecond : phase_duration;
     workload::LoadGenerator generator(
         &mix, generator_options, [&](size_t type_index) {
           const GraphQuery query = Cluster::SampleQuery(

@@ -10,82 +10,15 @@
 //   ./build/examples/sim_cli --help
 
 #include <cstdio>
-#include <cstdlib>
-#include <cstring>
 #include <string>
 
+#include "examples/flags.h"
 #include "src/sim/experiment.h"
 
 using namespace bouncer;
 using namespace bouncer::sim;
 
 namespace {
-
-struct CliOptions {
-  std::string policy = "bouncer";
-  double load_factor = 1.2;
-  uint64_t queries = 300'000;
-  uint64_t warmup = 100'000;
-  uint64_t seed = 1;
-  int runs = 1;
-  double allowance = 0.05;
-  double alpha = 1.0;
-  double limit_ms = 15.0;
-  uint64_t queue_limit = 400;
-  double max_util = 0.95;
-  double deadline_ms = 0.0;
-  std::string discipline = "fifo";
-  bool help = false;
-};
-
-bool ParseFlag(const char* arg, const char* name, std::string* out) {
-  const size_t len = std::strlen(name);
-  if (std::strncmp(arg, name, len) == 0 && arg[len] == '=') {
-    *out = arg + len + 1;
-    return true;
-  }
-  return false;
-}
-
-CliOptions ParseArgs(int argc, char** argv) {
-  CliOptions options;
-  for (int i = 1; i < argc; ++i) {
-    std::string value;
-    if (std::strcmp(argv[i], "--help") == 0) {
-      options.help = true;
-    } else if (ParseFlag(argv[i], "--policy", &value)) {
-      options.policy = value;
-    } else if (ParseFlag(argv[i], "--load", &value)) {
-      options.load_factor = std::atof(value.c_str());
-    } else if (ParseFlag(argv[i], "--queries", &value)) {
-      options.queries = std::strtoull(value.c_str(), nullptr, 10);
-    } else if (ParseFlag(argv[i], "--warmup", &value)) {
-      options.warmup = std::strtoull(value.c_str(), nullptr, 10);
-    } else if (ParseFlag(argv[i], "--seed", &value)) {
-      options.seed = std::strtoull(value.c_str(), nullptr, 10);
-    } else if (ParseFlag(argv[i], "--runs", &value)) {
-      options.runs = std::atoi(value.c_str());
-    } else if (ParseFlag(argv[i], "--A", &value)) {
-      options.allowance = std::atof(value.c_str());
-    } else if (ParseFlag(argv[i], "--alpha", &value)) {
-      options.alpha = std::atof(value.c_str());
-    } else if (ParseFlag(argv[i], "--limit-ms", &value)) {
-      options.limit_ms = std::atof(value.c_str());
-    } else if (ParseFlag(argv[i], "--queue-limit", &value)) {
-      options.queue_limit = std::strtoull(value.c_str(), nullptr, 10);
-    } else if (ParseFlag(argv[i], "--max-util", &value)) {
-      options.max_util = std::atof(value.c_str());
-    } else if (ParseFlag(argv[i], "--deadline-ms", &value)) {
-      options.deadline_ms = std::atof(value.c_str());
-    } else if (ParseFlag(argv[i], "--discipline", &value)) {
-      options.discipline = value;
-    } else {
-      std::fprintf(stderr, "unknown flag: %s (try --help)\n", argv[i]);
-      options.help = true;
-    }
-  }
-  return options;
-}
 
 void PrintHelp() {
   std::printf(
@@ -111,8 +44,26 @@ void PrintHelp() {
 }  // namespace
 
 int main(int argc, char** argv) {
-  const CliOptions options = ParseArgs(argc, argv);
-  if (options.help) {
+  examples::CliFlags flags(argc, argv);
+  const std::string policy_name = flags.GetString("policy", "bouncer");
+  const double load_factor = flags.GetDouble("load", 1.2);
+  const uint64_t queries = flags.GetUint("queries", 300'000);
+  const uint64_t warmup = flags.GetUint("warmup", 100'000);
+  const uint64_t seed = flags.GetUint("seed", 1);
+  const int runs = static_cast<int>(flags.GetInt("runs", 1));
+  const double allowance = flags.GetDouble("A", 0.05);
+  const double alpha = flags.GetDouble("alpha", 1.0);
+  const double limit_ms = flags.GetDouble("limit-ms", 15.0);
+  const uint64_t queue_limit = flags.GetUint("queue-limit", 400);
+  const double max_util = flags.GetDouble("max-util", 0.95);
+  const double deadline_ms = flags.GetDouble("deadline-ms", 0.0);
+  const std::string discipline = flags.GetString("discipline", "fifo");
+  bool help = flags.help();
+  for (const auto& flag : flags.Unknown()) {
+    std::fprintf(stderr, "unknown flag: %s (try --help)\n", flag.c_str());
+    help = true;
+  }
+  if (help) {
     PrintHelp();
     return 0;
   }
@@ -120,30 +71,30 @@ int main(int argc, char** argv) {
   PolicyConfig policy;
   policy.bouncer.histogram_swap_interval = 2 * kSecond;
   policy.bouncer.min_samples_to_publish = 30;
-  if (options.policy == "bouncer") {
+  if (policy_name == "bouncer") {
     policy.kind = PolicyKind::kBouncer;
-  } else if (options.policy == "allowance") {
+  } else if (policy_name == "allowance") {
     policy.kind = PolicyKind::kBouncerWithAllowance;
-    policy.allowance.allowance = options.allowance;
-  } else if (options.policy == "underserved") {
+    policy.allowance.allowance = allowance;
+  } else if (policy_name == "underserved") {
     policy.kind = PolicyKind::kBouncerWithUnderserved;
-    policy.underserved.alpha = options.alpha;
-  } else if (options.policy == "maxql") {
+    policy.underserved.alpha = alpha;
+  } else if (policy_name == "maxql") {
     policy.kind = PolicyKind::kMaxQueueLength;
-    policy.max_queue_length.length_limit = options.queue_limit;
-  } else if (options.policy == "maxqwt") {
+    policy.max_queue_length.length_limit = queue_limit;
+  } else if (policy_name == "maxqwt") {
     policy.kind = PolicyKind::kMaxQueueWait;
-    policy.max_queue_wait.wait_time_limit = FromMillis(options.limit_ms);
-  } else if (options.policy == "acceptfraction") {
+    policy.max_queue_wait.wait_time_limit = FromMillis(limit_ms);
+  } else if (policy_name == "acceptfraction") {
     policy.kind = PolicyKind::kAcceptFraction;
-    policy.accept_fraction.max_utilization = options.max_util;
+    policy.accept_fraction.max_utilization = max_util;
     policy.accept_fraction.window_duration = kSecond;
     policy.accept_fraction.window_step = 50 * kMillisecond;
     policy.accept_fraction.update_interval = 50 * kMillisecond;
-  } else if (options.policy == "always") {
+  } else if (policy_name == "always") {
     policy.kind = PolicyKind::kAlwaysAccept;
   } else {
-    std::fprintf(stderr, "unknown policy '%s'\n", options.policy.c_str());
+    std::fprintf(stderr, "unknown policy '%s'\n", policy_name.c_str());
     return 1;
   }
 
@@ -151,27 +102,23 @@ int main(int argc, char** argv) {
   SimulationConfig config;
   config.parallelism = 100;
   config.arrival_rate_qps =
-      options.load_factor * workload.FullLoadQps(config.parallelism);
-  config.total_queries = options.queries;
-  config.warmup_queries = options.warmup;
-  config.seed = options.seed;
-  config.deadline = FromMillis(options.deadline_ms);
-  if (options.discipline == "sjf") {
+      load_factor * workload.FullLoadQps(config.parallelism);
+  config.total_queries = queries;
+  config.warmup_queries = warmup;
+  config.seed = seed;
+  config.deadline = FromMillis(deadline_ms);
+  if (discipline == "sjf") {
     config.discipline = QueueDiscipline::kShortestJobFirst;
-  } else if (options.discipline != "fifo") {
-    std::fprintf(stderr, "unknown discipline '%s'\n",
-                 options.discipline.c_str());
+  } else if (discipline != "fifo") {
+    std::fprintf(stderr, "unknown discipline '%s'\n", discipline.c_str());
     return 1;
   }
 
-  const auto result =
-      RunAveraged(workload, config, policy, options.runs);
+  const auto result = RunAveraged(workload, config, policy, runs);
 
   std::printf("policy=%s load=%.2fx (%.0f QPS), %llu queries x %d run(s)\n\n",
-              options.policy.c_str(), options.load_factor,
-              config.arrival_rate_qps,
-              static_cast<unsigned long long>(options.queries),
-              options.runs);
+              policy_name.c_str(), load_factor, config.arrival_rate_qps,
+              static_cast<unsigned long long>(queries), runs);
   std::printf("%-14s %9s %8s %10s %10s %10s\n", "type", "received", "rej %",
               "rt_p50", "rt_p90", "rt_p99");
   for (const auto& type : result.per_type) {

@@ -218,6 +218,69 @@ Outcome Cluster::Submit(const GraphQuery& query, Nanos deadline,
   return brokers_[broker_index]->Submit(std::move(item));
 }
 
+server::Stage::BatchResult Cluster::SubmitBatch(
+    std::span<BatchRequest> requests) {
+  server::Stage::BatchResult total;
+  if (requests.empty()) return total;
+  if (options_.legacy_scatter) {
+    // Baseline path: per-item submits (the batch API exists to beat this).
+    for (BatchRequest& request : requests) {
+      const Outcome outcome =
+          Submit(request.query, request.deadline, std::move(request.done));
+      switch (outcome) {
+        case Outcome::kCompleted: ++total.admitted; break;
+        case Outcome::kRejected: ++total.rejected; break;
+        default: ++total.shedded; break;
+      }
+    }
+    return total;
+  }
+
+  // Build the WorkItems into per-broker scratch (reused across calls, so
+  // steady state allocates nothing), then hand each broker its block in
+  // one Stage::SubmitBatch. Requests spread round-robin across brokers;
+  // each broker sees its share in arrival order.
+  thread_local std::vector<std::vector<WorkItem>> tls_broker_items;
+  std::vector<std::vector<WorkItem>>& broker_items = tls_broker_items;
+  const size_t num_brokers = brokers_.size();
+  if (broker_items.size() < num_brokers) broker_items.resize(num_brokers);
+  for (size_t b = 0; b < num_brokers; ++b) broker_items[b].clear();
+
+  const size_t start =
+      num_brokers == 1
+          ? 0
+          : next_broker_.fetch_add(1, std::memory_order_relaxed);
+  for (size_t i = 0; i < requests.size(); ++i) {
+    BatchRequest& request = requests[i];
+    QueryContext* context = context_pool_.Acquire();
+    context->query = request.query;
+    context->result = GraphQueryResult{};
+    context->done = std::move(request.done);
+
+    WorkItem item;
+    item.type = TypeIdFor(request.query.op);
+    item.deadline = request.deadline;
+    item.user = context;
+    item.on_complete = [this](const WorkItem& w, Outcome outcome) {
+      auto* ctx = static_cast<QueryContext*>(w.user);
+      if (ctx->done) ctx->done(w, outcome, ctx->result);
+      ctx->done = nullptr;  // Drop caller resources before pooling.
+      context_pool_.Release(ctx);
+    };
+    broker_items[(start + i) % num_brokers].push_back(std::move(item));
+  }
+  for (size_t b = 0; b < num_brokers; ++b) {
+    if (broker_items[b].empty()) continue;
+    const server::Stage::BatchResult r =
+        brokers_[b]->SubmitBatch(broker_items[b]);
+    total.admitted += r.admitted;
+    total.rejected += r.rejected;
+    total.shedded += r.shedded;
+    broker_items[b].clear();
+  }
+  return total;
+}
+
 bool Cluster::ScatterGather(std::span<const uint32_t> vertices,
                             Subquery::Kind kind, uint32_t limit_per_vertex,
                             QueryTypeId type, Nanos deadline,

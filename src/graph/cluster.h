@@ -113,6 +113,24 @@ class Cluster {
   server::Outcome Submit(const GraphQuery& query, Nanos deadline,
                          CompletionFn done);
 
+  /// One request of a SubmitBatch() call. `done` runs exactly once, same
+  /// contract as Submit().
+  struct BatchRequest {
+    GraphQuery query;
+    Nanos deadline = 0;
+    CompletionFn done;
+  };
+
+  /// Submits a whole batch — every request parsed from one network
+  /// wakeup — through the brokers' admission policies in one pass per
+  /// broker (Stage::SubmitBatch: one clock read, one ring reservation,
+  /// one wakeup episode per broker instead of per query). Requests keep
+  /// their relative order within each broker. Rejections and sheds
+  /// complete synchronously inside the call; returns the aggregated
+  /// per-batch outcome counts. `requests` is scratch: `done` callbacks
+  /// are moved from.
+  server::Stage::BatchResult SubmitBatch(std::span<BatchRequest> requests);
+
   /// Registry id for a graph op.
   static QueryTypeId TypeIdFor(GraphOp op) {
     return static_cast<QueryTypeId>(op) + 1;

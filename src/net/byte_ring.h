@@ -1,0 +1,112 @@
+#ifndef BOUNCER_NET_BYTE_RING_H_
+#define BOUNCER_NET_BYTE_RING_H_
+
+#include <sys/uio.h>
+
+#include <cstddef>
+#include <cstdint>
+#include <cstring>
+#include <memory>
+
+namespace bouncer::net {
+
+/// Fixed-capacity power-of-two byte ring used as a connection's read and
+/// write buffer. Allocated once when the connection slot is created and
+/// reused across connections, so the steady-state data path performs no
+/// allocation. Single-threaded by design: only the owning event loop
+/// touches it.
+///
+/// The ring hands out at most two contiguous segments (the wrap split)
+/// for scatter/gather IO: readv() fills WritableSegments(), writev()
+/// drains ReadableSegments().
+class ByteRing {
+ public:
+  explicit ByteRing(size_t min_capacity)
+      : capacity_(RoundUpPow2(min_capacity < 64 ? 64 : min_capacity)),
+        mask_(capacity_ - 1),
+        data_(new uint8_t[capacity_]) {}
+
+  ByteRing(const ByteRing&) = delete;
+  ByteRing& operator=(const ByteRing&) = delete;
+
+  size_t capacity() const { return capacity_; }
+  size_t size() const { return tail_ - head_; }
+  size_t free_space() const { return capacity_ - size(); }
+  bool empty() const { return head_ == tail_; }
+
+  void Clear() { head_ = tail_ = 0; }
+
+  /// Copies up to free_space() bytes from `data`; returns bytes written.
+  size_t Write(const void* data, size_t len) {
+    const size_t n = len < free_space() ? len : free_space();
+    const auto* src = static_cast<const uint8_t*>(data);
+    const size_t offset = tail_ & mask_;
+    const size_t first = n < capacity_ - offset ? n : capacity_ - offset;
+    std::memcpy(data_.get() + offset, src, first);
+    std::memcpy(data_.get(), src + first, n - first);
+    tail_ += n;
+    return n;
+  }
+
+  /// Copies `len` bytes starting `offset` bytes past the read position
+  /// into `out` without consuming them. Returns false when fewer than
+  /// offset + len bytes are buffered.
+  bool Peek(size_t offset, void* out, size_t len) const {
+    if (size() < offset + len) return false;
+    auto* dst = static_cast<uint8_t*>(out);
+    const size_t start = (head_ + offset) & mask_;
+    const size_t first = len < capacity_ - start ? len : capacity_ - start;
+    std::memcpy(dst, data_.get() + start, first);
+    std::memcpy(dst + first, data_.get(), len - first);
+    return true;
+  }
+
+  /// Discards `len` buffered bytes (len <= size()).
+  void Consume(size_t len) { head_ += len; }
+
+  /// Fills `out[0..1]` with the writable segments (for readv into the
+  /// ring); returns the segment count (0 when full).
+  int WritableSegments(struct iovec out[2]) const {
+    const size_t n = free_space();
+    if (n == 0) return 0;
+    const size_t offset = tail_ & mask_;
+    const size_t first = n < capacity_ - offset ? n : capacity_ - offset;
+    out[0] = {data_.get() + offset, first};
+    if (first == n) return 1;
+    out[1] = {data_.get(), n - first};
+    return 2;
+  }
+
+  /// Commits `len` bytes a reader deposited into WritableSegments().
+  void CommitWrite(size_t len) { tail_ += len; }
+
+  /// Fills `out[0..1]` with the readable segments (for writev from the
+  /// ring); returns the segment count (0 when empty).
+  int ReadableSegments(struct iovec out[2]) const {
+    const size_t n = size();
+    if (n == 0) return 0;
+    const size_t offset = head_ & mask_;
+    const size_t first = n < capacity_ - offset ? n : capacity_ - offset;
+    out[0] = {data_.get() + offset, first};
+    if (first == n) return 1;
+    out[1] = {data_.get(), n - first};
+    return 2;
+  }
+
+ private:
+  static size_t RoundUpPow2(size_t v) {
+    size_t p = 1;
+    while (p < v) p <<= 1;
+    return p;
+  }
+
+  const size_t capacity_;
+  const size_t mask_;
+  std::unique_ptr<uint8_t[]> data_;
+  size_t head_ = 0;  ///< Read cursor (monotonic; masked on access).
+  size_t tail_ = 0;  ///< Write cursor.
+};
+
+}  // namespace bouncer::net
+
+#endif  // BOUNCER_NET_BYTE_RING_H_

@@ -1,0 +1,528 @@
+#include "src/net/net_server.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/epoll.h>
+#include <sys/eventfd.h>
+#include <sys/socket.h>
+#include <sys/uio.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+#include "src/util/clock.h"
+
+namespace bouncer::net {
+
+using graph::GraphQueryResult;
+using server::Outcome;
+
+namespace {
+
+/// epoll user-data tokens for the two non-connection fds.
+constexpr uint64_t kListenToken = ~uint64_t{0};
+constexpr uint64_t kEventToken = ~uint64_t{0} - 1;
+
+/// Events drained per epoll_wait call; a wakeup with more ready fds just
+/// takes another loop iteration.
+constexpr int kMaxEpollEvents = 128;
+
+ResponseStatus ToStatus(Outcome outcome, bool result_ok) {
+  switch (outcome) {
+    case Outcome::kCompleted:
+      return result_ok ? ResponseStatus::kOk : ResponseStatus::kFailed;
+    case Outcome::kRejected:
+      return ResponseStatus::kRejected;
+    case Outcome::kExpired:
+      return ResponseStatus::kExpired;
+    case Outcome::kShedded:
+      return ResponseStatus::kShedded;
+  }
+  return ResponseStatus::kFailed;
+}
+
+}  // namespace
+
+/// One connection slot. Slots (and their rings) are allocated once and
+/// recycled across connections; `gen` stamps each incarnation so a
+/// completion for a closed connection resolves to nothing instead of a
+/// stranger's socket.
+struct NetServer::Connection {
+  Connection(size_t rx_bytes, size_t tx_bytes) : rx(rx_bytes), tx(tx_bytes) {}
+
+  int fd = -1;
+  uint32_t index = 0;
+  uint32_t gen = 1;
+  ByteRing rx;
+  ByteRing tx;
+  /// Parsed requests whose response has not yet been encoded into `tx`.
+  /// Invariant: tx.free_space() >= owed * kResponseFrameBytes, so a
+  /// completion can always be answered without dropping or buffering.
+  size_t owed = 0;
+  uint32_t armed_events = 0;  ///< Events currently registered in epoll.
+  bool want_read = true;
+  bool dirty = false;  ///< Has tx bytes awaiting a flush this iteration.
+  bool read_paused_inflight = false;
+  bool read_paused_tx = false;
+  bool read_paused_overload = false;
+  bool closing = false;  ///< Peer EOF seen; flush what is owed, then close.
+
+  uint64_t Token() const {
+    return (static_cast<uint64_t>(gen) << 32) | index;
+  }
+};
+
+struct NetServer::Pending {
+  NetServer* server = nullptr;
+  uint64_t token = 0;
+  uint64_t request_id = 0;
+};
+
+NetServer::NetServer(graph::Cluster* cluster, const Options& options)
+    : cluster_(cluster),
+      options_(options),
+      pending_pool_(4096),
+      done_ring_(options.max_connections * 64 < (1u << 16)
+                     ? (1u << 16)
+                     : options.max_connections * 64) {
+  batch_.reserve(options_.max_batch);
+  batch_tokens_.reserve(options_.max_batch);
+}
+
+NetServer::~NetServer() { Stop(); }
+
+Status NetServer::Start() {
+  if (running_.load(std::memory_order_acquire)) {
+    return Status::FailedPrecondition("server already started");
+  }
+  listen_fd_ = ::socket(AF_INET, SOCK_STREAM | SOCK_NONBLOCK | SOCK_CLOEXEC,
+                        0);
+  if (listen_fd_ < 0) return Status::Internal("socket() failed");
+  const int one = 1;
+  ::setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(options_.port);
+  if (::inet_pton(AF_INET, options_.bind_address.c_str(), &addr.sin_addr) !=
+      1) {
+    return Status::InvalidArgument("bad bind address: " +
+                                   options_.bind_address);
+  }
+  if (::bind(listen_fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) <
+      0) {
+    return Status::Internal(std::string("bind() failed: ") +
+                            std::strerror(errno));
+  }
+  socklen_t addr_len = sizeof(addr);
+  ::getsockname(listen_fd_, reinterpret_cast<sockaddr*>(&addr), &addr_len);
+  port_ = ntohs(addr.sin_port);
+  if (::listen(listen_fd_, options_.listen_backlog) < 0) {
+    return Status::Internal("listen() failed");
+  }
+
+  epoll_fd_ = ::epoll_create1(EPOLL_CLOEXEC);
+  event_fd_ = ::eventfd(0, EFD_NONBLOCK | EFD_CLOEXEC);
+  if (epoll_fd_ < 0 || event_fd_ < 0) {
+    return Status::Internal("epoll/eventfd setup failed");
+  }
+  epoll_event ev{};
+  ev.events = EPOLLIN;
+  ev.data.u64 = kListenToken;
+  ::epoll_ctl(epoll_fd_, EPOLL_CTL_ADD, listen_fd_, &ev);
+  ev.data.u64 = kEventToken;
+  ::epoll_ctl(epoll_fd_, EPOLL_CTL_ADD, event_fd_, &ev);
+
+  stop_requested_.store(false, std::memory_order_release);
+  running_.store(true, std::memory_order_release);
+  loop_ = std::thread([this] { LoopThread(); });
+  return Status::OK();
+}
+
+void NetServer::Stop() {
+  if (!running_.exchange(false, std::memory_order_acq_rel)) return;
+  stop_requested_.store(true, std::memory_order_release);
+  const uint64_t one = 1;
+  [[maybe_unused]] ssize_t n = ::write(event_fd_, &one, sizeof(one));
+  if (loop_.joinable()) loop_.join();
+  for (auto& slot : slots_) {
+    if (slot && slot->fd >= 0) {
+      ::close(slot->fd);
+      slot->fd = -1;
+      ++slot->gen;
+    }
+  }
+  if (listen_fd_ >= 0) ::close(listen_fd_);
+  if (epoll_fd_ >= 0) ::close(epoll_fd_);
+  if (event_fd_ >= 0) ::close(event_fd_);
+  listen_fd_ = epoll_fd_ = event_fd_ = -1;
+}
+
+NetServer::Connection* NetServer::Resolve(uint64_t token) {
+  const auto index = static_cast<uint32_t>(token);
+  const auto gen = static_cast<uint32_t>(token >> 32);
+  if (index >= slots_.size()) return nullptr;
+  Connection* conn = slots_[index].get();
+  if (conn == nullptr || conn->fd < 0 || conn->gen != gen) return nullptr;
+  return conn;
+}
+
+void NetServer::UpdateEpoll(Connection* conn) {
+  uint32_t want = 0;
+  if (conn->want_read && !conn->closing) want |= EPOLLIN;
+  if (!conn->tx.empty()) want |= EPOLLOUT;
+  if (want == conn->armed_events) return;
+  epoll_event ev{};
+  ev.events = want | EPOLLRDHUP;
+  ev.data.u64 = conn->Token();
+  ::epoll_ctl(epoll_fd_, EPOLL_CTL_MOD, conn->fd, &ev);
+  conn->armed_events = want;
+}
+
+void NetServer::PauseRead(Connection* conn) {
+  if (!conn->want_read) return;
+  conn->want_read = false;
+  stats_.pauses.fetch_add(1, std::memory_order_relaxed);
+  UpdateEpoll(conn);
+}
+
+void NetServer::ResumeRead(Connection* conn) {
+  if (conn->want_read || conn->closing) return;
+  if (conn->read_paused_inflight || conn->read_paused_tx ||
+      conn->read_paused_overload) {
+    return;
+  }
+  conn->want_read = true;
+  UpdateEpoll(conn);
+  // Bytes may already be buffered (or the kernel buffer full); parse and
+  // read rather than waiting for another edge.
+  ParseConn(conn);
+  ReadConn(conn);
+}
+
+void NetServer::AcceptReady() {
+  for (;;) {
+    const int fd = ::accept4(listen_fd_, nullptr, nullptr,
+                             SOCK_NONBLOCK | SOCK_CLOEXEC);
+    if (fd < 0) return;  // EAGAIN or transient error: done for now.
+    if (live_connections_ >= options_.max_connections &&
+        free_slots_.empty()) {
+      stats_.connections_dropped.fetch_add(1, std::memory_order_relaxed);
+      ::close(fd);
+      continue;
+    }
+    const int one = 1;
+    ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+
+    Connection* conn;
+    if (!free_slots_.empty()) {
+      conn = slots_[free_slots_.back()].get();
+      free_slots_.pop_back();
+    } else {
+      const auto index = static_cast<uint32_t>(slots_.size());
+      slots_.push_back(std::make_unique<Connection>(
+          options_.read_ring_bytes, options_.write_ring_bytes));
+      conn = slots_.back().get();
+      conn->index = index;
+    }
+    conn->fd = fd;
+    conn->rx.Clear();
+    conn->tx.Clear();
+    conn->owed = 0;
+    conn->want_read = true;
+    conn->dirty = false;
+    conn->read_paused_inflight = conn->read_paused_tx =
+        conn->read_paused_overload = false;
+    conn->closing = false;
+    conn->armed_events = EPOLLIN;
+    ++live_connections_;
+    stats_.connections_accepted.fetch_add(1, std::memory_order_relaxed);
+
+    epoll_event ev{};
+    ev.events = EPOLLIN | EPOLLRDHUP;
+    ev.data.u64 = conn->Token();
+    ::epoll_ctl(epoll_fd_, EPOLL_CTL_ADD, fd, &ev);
+  }
+}
+
+void NetServer::CloseConn(Connection* conn) {
+  if (conn->fd < 0) return;
+  ::close(conn->fd);  // Also removes it from the epoll set.
+  conn->fd = -1;
+  ++conn->gen;  // In-flight completions now resolve to nothing.
+  conn->rx.Clear();
+  conn->tx.Clear();
+  conn->owed = 0;
+  conn->dirty = false;
+  free_slots_.push_back(conn->index);
+  --live_connections_;
+  stats_.connections_closed.fetch_add(1, std::memory_order_relaxed);
+}
+
+void NetServer::ReadConn(Connection* conn) {
+  if (conn->fd < 0 || conn->closing) return;
+  for (;;) {
+    if (!conn->want_read) return;  // Parse gate paused us mid-read.
+    struct iovec iov[2];
+    const int segments = conn->rx.WritableSegments(iov);
+    if (segments == 0) {
+      // Ring full of unparsed bytes: only possible while a parse gate
+      // holds (frames are far smaller than the ring); the gate's resume
+      // re-enters here.
+      ParseConn(conn);
+      if (conn->rx.free_space() == 0) return;
+      continue;
+    }
+    const ssize_t n = ::readv(conn->fd, iov, segments);
+    if (n > 0) {
+      conn->rx.CommitWrite(static_cast<size_t>(n));
+      ParseConn(conn);
+      continue;
+    }
+    if (n == 0) {
+      // EOF: answer what is owed, flush, then close.
+      conn->closing = true;
+      if (conn->owed == 0 && conn->tx.empty()) CloseConn(conn);
+      return;
+    }
+    if (errno == EAGAIN || errno == EWOULDBLOCK) return;
+    if (errno == EINTR) continue;
+    CloseConn(conn);  // Hard error: responses in flight are dropped.
+    return;
+  }
+}
+
+void NetServer::ParseConn(Connection* conn) {
+  if (conn->fd < 0 || conn->closing) return;
+  const Nanos now = SystemClock::Global()->Now();
+  for (;;) {
+    // Backpressure gates, checked before consuming another frame. Each
+    // pause disarms EPOLLIN: the kernel receive buffer fills, the TCP
+    // window closes, and the overload queues at the client.
+    if (conn->owed >= options_.max_inflight_per_conn) {
+      conn->read_paused_inflight = true;
+      PauseRead(conn);
+      return;
+    }
+    if (conn->tx.free_space() <
+        (conn->owed + 1) * kResponseFrameBytes) {
+      conn->read_paused_tx = true;
+      PauseRead(conn);
+      return;
+    }
+    uint8_t header[kLengthPrefixBytes];
+    if (!conn->rx.Peek(0, header, sizeof(header))) return;
+    const uint32_t body_len = wire::GetU32(header);
+    if (body_len != kRequestBodyBytes) {
+      // Framing is lost; nothing downstream is trustworthy.
+      stats_.bad_frames.fetch_add(1, std::memory_order_relaxed);
+      CloseConn(conn);
+      return;
+    }
+    uint8_t body[kRequestBodyBytes];
+    if (!conn->rx.Peek(kLengthPrefixBytes, body, sizeof(body))) return;
+    conn->rx.Consume(kRequestFrameBytes);
+
+    RequestFrame frame;
+    if (!DecodeRequestBody(body, &frame)) {
+      // Well-framed but invalid (unknown op / flags): answer and move on.
+      stats_.bad_frames.fetch_add(1, std::memory_order_relaxed);
+      uint8_t encoded[kResponseFrameBytes];
+      EncodeResponse({frame.id, ResponseStatus::kBadRequest, 0, 0}, encoded);
+      conn->tx.Write(encoded, sizeof(encoded));
+      conn->dirty = true;
+      stats_.responses.fetch_add(1, std::memory_order_relaxed);
+      continue;
+    }
+    stats_.requests.fetch_add(1, std::memory_order_relaxed);
+    ++conn->owed;
+
+    Pending* pending = pending_pool_.Acquire();
+    pending->server = this;
+    pending->token = conn->Token();
+    pending->request_id = frame.id;
+    graph::Cluster::BatchRequest request;
+    request.query = ToGraphQuery(frame);
+    request.deadline =
+        frame.deadline_ns == 0
+            ? 0
+            : now + static_cast<Nanos>(frame.deadline_ns);
+    // 8-byte capture: stays in std::function's inline buffer.
+    request.done = [pending](const server::WorkItem& w, Outcome outcome,
+                             const GraphQueryResult& result) {
+      (void)w;
+      pending->server->OnQueryDone(pending, outcome, result);
+    };
+    if (options_.batch_submit) {
+      batch_.push_back(std::move(request));
+      batch_tokens_.push_back(conn->Token());
+      if (batch_.size() >= options_.max_batch) SubmitParsed();
+    } else {
+      // A/B baseline: one admission episode per query.
+      cluster_->Submit(request.query, request.deadline,
+                       std::move(request.done));
+    }
+  }
+}
+
+void NetServer::SubmitParsed() {
+  if (batch_.empty()) return;
+  stats_.submit_batches.fetch_add(1, std::memory_order_relaxed);
+  const server::Stage::BatchResult result = cluster_->SubmitBatch(batch_);
+  if (result.shedded > 0) {
+    // A broker's bounded queue stopped admitting: pause every connection
+    // that fed this batch until the queue drains (MaybeResumePaused).
+    for (const uint64_t token : batch_tokens_) {
+      Connection* conn = Resolve(token);
+      if (conn == nullptr || conn->read_paused_overload) continue;
+      conn->read_paused_overload = true;
+      PauseRead(conn);
+    }
+    overload_paused_ = true;
+  }
+  batch_.clear();
+  batch_tokens_.clear();
+}
+
+bool NetServer::BrokersCongested() const {
+  const size_t limit = cluster_->options().broker_queue_capacity / 2;
+  for (size_t b = 0; b < cluster_->num_brokers(); ++b) {
+    if (cluster_->broker(b)->QueueLength() >= limit) return true;
+  }
+  return false;
+}
+
+void NetServer::MaybeResumePaused() {
+  if (!overload_paused_ || BrokersCongested()) return;
+  overload_paused_ = false;
+  for (auto& slot : slots_) {
+    Connection* conn = slot.get();
+    if (conn == nullptr || conn->fd < 0 || !conn->read_paused_overload) {
+      continue;
+    }
+    conn->read_paused_overload = false;
+    ResumeRead(conn);
+  }
+}
+
+void NetServer::OnQueryDone(Pending* pending, Outcome outcome,
+                            const GraphQueryResult& result) {
+  Done done;
+  done.token = pending->token;
+  done.request_id = pending->request_id;
+  done.status = static_cast<uint8_t>(ToStatus(outcome, result.ok));
+  done.value = result.value;
+  pending_pool_.Release(pending);
+  // The ring is sized far above the per-connection inflight caps, so a
+  // full ring means the loop is stalled; spin rather than drop (the
+  // completion must be delivered exactly once).
+  while (!done_ring_.TryPush(std::move(done))) CpuRelax();
+  if (!done_signal_.exchange(true, std::memory_order_acq_rel)) {
+    const uint64_t one = 1;
+    [[maybe_unused]] ssize_t n = ::write(event_fd_, &one, sizeof(one));
+  }
+}
+
+void NetServer::DrainCompletions() {
+  done_signal_.store(false, std::memory_order_release);
+  Done done;
+  while (done_ring_.TryPop(done)) {
+    stats_.responses.fetch_add(1, std::memory_order_relaxed);
+    const auto status = static_cast<ResponseStatus>(done.status);
+    if (status == ResponseStatus::kRejected ||
+        status == ResponseStatus::kShedded) {
+      stats_.rejections.fetch_add(1, std::memory_order_relaxed);
+    }
+    Connection* conn = Resolve(done.token);
+    if (conn == nullptr) continue;  // Connection died while in flight.
+    --conn->owed;
+    uint8_t encoded[kResponseFrameBytes];
+    EncodeResponse({done.request_id, status, 0, done.value}, encoded);
+    // Space is guaranteed: parsing never runs the write ring below
+    // owed * kResponseFrameBytes of free space.
+    conn->tx.Write(encoded, sizeof(encoded));
+    conn->dirty = true;
+    if (conn->read_paused_inflight &&
+        conn->owed < options_.max_inflight_per_conn / 2) {
+      conn->read_paused_inflight = false;
+      ResumeRead(conn);
+    }
+  }
+}
+
+void NetServer::FlushConn(Connection* conn) {
+  if (conn->fd < 0) return;
+  conn->dirty = false;
+  while (!conn->tx.empty()) {
+    struct iovec iov[2];
+    const int segments = conn->tx.ReadableSegments(iov);
+    const ssize_t n = ::writev(conn->fd, iov, segments);
+    if (n > 0) {
+      conn->tx.Consume(static_cast<size_t>(n));
+      continue;
+    }
+    if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) break;
+    if (n < 0 && errno == EINTR) continue;
+    CloseConn(conn);
+    return;
+  }
+  if (conn->tx.empty() && conn->read_paused_tx) {
+    conn->read_paused_tx = false;
+    ResumeRead(conn);
+  }
+  if (conn->closing && conn->owed == 0 && conn->tx.empty()) {
+    CloseConn(conn);
+    return;
+  }
+  UpdateEpoll(conn);  // Arm EPOLLOUT iff bytes remain.
+}
+
+void NetServer::LoopThread() {
+  epoll_event events[kMaxEpollEvents];
+  while (!stop_requested_.load(std::memory_order_acquire)) {
+    // Overload pauses are re-checked on a short timer (the broker queue
+    // drains without producing an event we could wait on); otherwise a
+    // long timeout keeps an idle server quiet.
+    const int timeout_ms = overload_paused_ ? 1 : 100;
+    const int n = ::epoll_wait(epoll_fd_, events, kMaxEpollEvents,
+                               timeout_ms);
+    for (int i = 0; i < n; ++i) {
+      const uint64_t token = events[i].data.u64;
+      if (token == kListenToken) {
+        AcceptReady();
+        continue;
+      }
+      if (token == kEventToken) {
+        uint64_t drained;
+        [[maybe_unused]] ssize_t r =
+            ::read(event_fd_, &drained, sizeof(drained));
+        continue;
+      }
+      Connection* conn = Resolve(token);
+      if (conn == nullptr) continue;  // Stale event for a closed conn.
+      if (events[i].events & (EPOLLIN | EPOLLRDHUP | EPOLLHUP | EPOLLERR)) {
+        ReadConn(conn);
+      }
+      if (conn->fd >= 0 && (events[i].events & EPOLLOUT)) {
+        FlushConn(conn);
+      }
+    }
+    // One admission episode for everything parsed this wakeup, then
+    // answer whatever completed — rejections from the batch above are
+    // already in the completion ring and go out in this same iteration.
+    SubmitParsed();
+    DrainCompletions();
+    for (auto& slot : slots_) {
+      Connection* conn = slot.get();
+      if (conn != nullptr && conn->fd >= 0 && conn->dirty) FlushConn(conn);
+    }
+    MaybeResumePaused();
+  }
+  // Drain loop-side state so queued completions don't linger unanswered
+  // in the ring (they resolve to dead connections after Stop closes fds).
+  DrainCompletions();
+}
+
+}  // namespace bouncer::net

@@ -1,0 +1,164 @@
+#ifndef BOUNCER_NET_NET_SERVER_H_
+#define BOUNCER_NET_NET_SERVER_H_
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "src/graph/cluster.h"
+#include "src/net/byte_ring.h"
+#include "src/net/protocol.h"
+#include "src/util/mpmc_queue.h"
+#include "src/util/object_pool.h"
+#include "src/util/status.h"
+
+namespace bouncer::net {
+
+/// Linux epoll TCP front door for a graph::Cluster: a single non-blocking
+/// event-loop thread accepts connections, parses length-prefixed request
+/// frames out of per-connection read rings, and drains everything parsed
+/// from one epoll wakeup through the brokers' admission policies in a
+/// single Cluster::SubmitBatch pass. Rejections complete synchronously
+/// inside that call and are answered from the same loop iteration without
+/// ever touching a worker thread; admitted queries complete on cluster
+/// workers, which hand {token, id, status, value} records back through a
+/// bounded MPMC completion ring + eventfd, and the loop encodes responses
+/// into per-connection write rings flushed with writev.
+///
+/// Zero steady-state allocation: connection slots (with their byte rings)
+/// are created once and recycled, per-request completion records come
+/// from an ObjectPool, and the parse/submit scratch is reused — in steady
+/// state a query's full server-side life touches no allocator.
+///
+/// Connection-level backpressure (overload must become TCP backpressure,
+/// not heap growth):
+///  - a connection with `max_inflight_per_conn` admitted-but-unanswered
+///    queries stops being read (EPOLLIN disarmed) until completions
+///    drain it below the watermark;
+///  - parsing stops while the write ring lacks guaranteed space for the
+///    responses already owed, resuming after a flush;
+///  - when a broker stage stops admitting to its bounded queue (a batch
+///    reported sheds), every connection that fed that batch is paused
+///    until the broker queue falls below half its capacity.
+/// Paused sockets fill their kernel receive buffers, shrink the TCP
+/// window, and push the queueing back into the clients.
+class NetServer {
+ public:
+  struct Options {
+    std::string bind_address = "127.0.0.1";
+    uint16_t port = 0;  ///< 0 = ephemeral; read the bound port via port().
+    int listen_backlog = 256;
+    size_t max_connections = 1024;
+    size_t read_ring_bytes = 1 << 16;
+    size_t write_ring_bytes = 1 << 17;
+    /// Admission mode: true drains each wakeup's parse batch through
+    /// Cluster::SubmitBatch; false submits per item (the A/B baseline
+    /// bench_net_throughput measures against).
+    bool batch_submit = true;
+    /// Cap on one admission episode; a wakeup that parses more submits in
+    /// chunks of this size.
+    size_t max_batch = 4096;
+    /// Admitted-but-unanswered cap per connection before its EPOLLIN is
+    /// paused. Bounds both completion-ring pressure and write-ring needs.
+    size_t max_inflight_per_conn = 1024;
+  };
+
+  /// Loop-owned counters, readable from any thread.
+  struct Stats {
+    std::atomic<uint64_t> connections_accepted{0};
+    std::atomic<uint64_t> connections_dropped{0};  ///< No free slot.
+    std::atomic<uint64_t> connections_closed{0};
+    std::atomic<uint64_t> requests{0};
+    std::atomic<uint64_t> responses{0};
+    std::atomic<uint64_t> rejections{0};  ///< kRejected + kShedded responses.
+    std::atomic<uint64_t> bad_frames{0};
+    std::atomic<uint64_t> submit_batches{0};
+    std::atomic<uint64_t> pauses{0};  ///< EPOLLIN disarm episodes.
+  };
+
+  /// `cluster` must be started, and must outlive the server. Shutdown
+  /// order: NetServer::Stop() (or destruction), then Cluster::Stop() —
+  /// completions the cluster flushes during its stop still land in this
+  /// object's completion ring, so the server object must still exist.
+  NetServer(graph::Cluster* cluster, const Options& options);
+  ~NetServer();
+
+  NetServer(const NetServer&) = delete;
+  NetServer& operator=(const NetServer&) = delete;
+
+  /// Binds, listens and spawns the event-loop thread.
+  Status Start();
+  /// Stops the loop and closes every connection. Idempotent.
+  void Stop();
+
+  /// The bound TCP port (valid after Start()).
+  uint16_t port() const { return port_; }
+  const Stats& stats() const { return stats_; }
+  const Options& options() const { return options_; }
+
+ private:
+  struct Connection;
+  struct Pending;  ///< Pooled per-request completion record.
+
+  /// Completion record a cluster worker pushes for the loop to deliver.
+  struct Done {
+    uint64_t token = 0;  ///< Connection slot | generation.
+    uint64_t request_id = 0;
+    uint8_t status = 0;
+    uint64_t value = 0;
+  };
+
+  void LoopThread();
+  void AcceptReady();
+  void ReadConn(Connection* conn);
+  void ParseConn(Connection* conn);
+  void SubmitParsed();
+  void DrainCompletions();
+  void FlushConn(Connection* conn);
+  void CloseConn(Connection* conn);
+  void PauseRead(Connection* conn);
+  void ResumeRead(Connection* conn);
+  void UpdateEpoll(Connection* conn);
+  void MaybeResumePaused();
+  bool BrokersCongested() const;
+  Connection* Resolve(uint64_t token);
+  void OnQueryDone(Pending* pending, server::Outcome outcome,
+                   const graph::GraphQueryResult& result);
+
+  graph::Cluster* cluster_;
+  Options options_;
+  Stats stats_;
+
+  int listen_fd_ = -1;
+  int epoll_fd_ = -1;
+  int event_fd_ = -1;
+  uint16_t port_ = 0;
+
+  std::vector<std::unique_ptr<Connection>> slots_;
+  std::vector<uint32_t> free_slots_;
+  size_t live_connections_ = 0;
+
+  /// Parse scratch for one admission episode (reused, never freed).
+  std::vector<graph::Cluster::BatchRequest> batch_;
+  std::vector<uint64_t> batch_tokens_;  ///< Connection of each batch entry.
+
+  ObjectPool<Pending> pending_pool_;
+  MpmcQueue<Done> done_ring_;
+  std::atomic<bool> done_signal_{false};
+
+  /// Connections paused for broker-queue overload, re-checked every loop
+  /// iteration; sheds observed by the last submit episode set this.
+  bool overload_paused_ = false;
+
+  std::atomic<bool> running_{false};
+  std::atomic<bool> stop_requested_{false};
+  std::thread loop_;
+  Status init_status_;
+};
+
+}  // namespace bouncer::net
+
+#endif  // BOUNCER_NET_NET_SERVER_H_

@@ -1,0 +1,170 @@
+#ifndef BOUNCER_NET_PROTOCOL_H_
+#define BOUNCER_NET_PROTOCOL_H_
+
+#include <cstdint>
+#include <cstring>
+
+#include "src/graph/cluster.h"
+#include "src/util/time.h"
+
+namespace bouncer::net {
+
+/// Wire format of the network front-end: length-prefixed little-endian
+/// binary frames, fixed-size bodies (the graph query types are all
+/// scalar-parameterized, so nothing is gained by a variable layout and a
+/// fixed one keeps parsing a bounds check plus a memcpy).
+///
+/// Request frame (kRequestFrameBytes total):
+///   u32  body length (== kRequestBodyBytes; other values are a protocol
+///        error and close the connection)
+///   u64  request id (echoed verbatim in the response)
+///   u8   query type id (GraphOp, 0..10)
+///   u8   priority (carried through; reserved for priority scheduling)
+///   u16  flags (must be 0)
+///   u32  source vertex
+///   u32  target vertex (2-vertex ops)
+///   u64  external id (kDegreeByExternalId)
+///   u64  deadline in nanoseconds relative to server receipt (0 = none)
+///
+/// Response frame (kResponseFrameBytes total):
+///   u32  body length (== kResponseBodyBytes)
+///   u64  request id
+///   u8   status (ResponseStatus)
+///   u8   flags (0)
+///   u64  result value (degree / count / distance; 0 unless status == kOk)
+
+/// One parsed client request.
+struct RequestFrame {
+  uint64_t id = 0;
+  uint8_t op = 0;
+  uint8_t priority = 0;
+  uint16_t flags = 0;
+  uint32_t source = 0;
+  uint32_t target = 0;
+  uint64_t external_id = 0;
+  uint64_t deadline_ns = 0;  ///< Relative to receipt; 0 = none.
+};
+
+/// Terminal status delivered to the client for one request.
+enum class ResponseStatus : uint8_t {
+  kOk = 0,        ///< Served; `value` holds the answer.
+  kRejected = 1,  ///< Early rejection by the admission policy (paper §2).
+  kShedded = 2,   ///< Dropped on a full bounded queue.
+  kExpired = 3,   ///< Admitted but the deadline passed while queued.
+  kFailed = 4,    ///< A shard rejected or shed a subquery mid-execution.
+  kBadRequest = 5,///< Malformed frame (unknown op / bad flags).
+};
+
+/// One response to a client request.
+struct ResponseFrame {
+  uint64_t id = 0;
+  ResponseStatus status = ResponseStatus::kOk;
+  uint8_t flags = 0;
+  uint64_t value = 0;
+};
+
+inline constexpr size_t kLengthPrefixBytes = 4;
+inline constexpr size_t kRequestBodyBytes = 8 + 1 + 1 + 2 + 4 + 4 + 8 + 8;
+inline constexpr size_t kRequestFrameBytes =
+    kLengthPrefixBytes + kRequestBodyBytes;
+inline constexpr size_t kResponseBodyBytes = 8 + 1 + 1 + 8;
+inline constexpr size_t kResponseFrameBytes =
+    kLengthPrefixBytes + kResponseBodyBytes;
+
+namespace wire {
+
+/// Little-endian scalar stores/loads. The encode side writes byte by
+/// byte so the format is host-endianness-independent; on LE hosts the
+/// compiler folds these into plain moves.
+inline void PutU16(uint8_t* p, uint16_t v) {
+  p[0] = static_cast<uint8_t>(v);
+  p[1] = static_cast<uint8_t>(v >> 8);
+}
+inline void PutU32(uint8_t* p, uint32_t v) {
+  p[0] = static_cast<uint8_t>(v);
+  p[1] = static_cast<uint8_t>(v >> 8);
+  p[2] = static_cast<uint8_t>(v >> 16);
+  p[3] = static_cast<uint8_t>(v >> 24);
+}
+inline void PutU64(uint8_t* p, uint64_t v) {
+  PutU32(p, static_cast<uint32_t>(v));
+  PutU32(p + 4, static_cast<uint32_t>(v >> 32));
+}
+inline uint16_t GetU16(const uint8_t* p) {
+  return static_cast<uint16_t>(p[0] | (p[1] << 8));
+}
+inline uint32_t GetU32(const uint8_t* p) {
+  return static_cast<uint32_t>(p[0]) | (static_cast<uint32_t>(p[1]) << 8) |
+         (static_cast<uint32_t>(p[2]) << 16) |
+         (static_cast<uint32_t>(p[3]) << 24);
+}
+inline uint64_t GetU64(const uint8_t* p) {
+  return static_cast<uint64_t>(GetU32(p)) |
+         (static_cast<uint64_t>(GetU32(p + 4)) << 32);
+}
+
+}  // namespace wire
+
+/// Encodes `frame` (length prefix included) into `out`, which must hold
+/// kRequestFrameBytes.
+inline void EncodeRequest(const RequestFrame& frame, uint8_t* out) {
+  wire::PutU32(out, static_cast<uint32_t>(kRequestBodyBytes));
+  uint8_t* p = out + kLengthPrefixBytes;
+  wire::PutU64(p, frame.id);
+  p[8] = frame.op;
+  p[9] = frame.priority;
+  wire::PutU16(p + 10, frame.flags);
+  wire::PutU32(p + 12, frame.source);
+  wire::PutU32(p + 16, frame.target);
+  wire::PutU64(p + 20, frame.external_id);
+  wire::PutU64(p + 28, frame.deadline_ns);
+}
+
+/// Decodes a request body (the bytes after the length prefix). Returns
+/// false when the frame is semantically invalid (unknown op, non-zero
+/// flags); the fields are filled either way so the server can echo the id
+/// in a kBadRequest response.
+inline bool DecodeRequestBody(const uint8_t* body, RequestFrame* out) {
+  out->id = wire::GetU64(body);
+  out->op = body[8];
+  out->priority = body[9];
+  out->flags = wire::GetU16(body + 10);
+  out->source = wire::GetU32(body + 12);
+  out->target = wire::GetU32(body + 16);
+  out->external_id = wire::GetU64(body + 20);
+  out->deadline_ns = wire::GetU64(body + 28);
+  return out->op < graph::kNumGraphOps && out->flags == 0;
+}
+
+/// Encodes `frame` (length prefix included) into `out`, which must hold
+/// kResponseFrameBytes.
+inline void EncodeResponse(const ResponseFrame& frame, uint8_t* out) {
+  wire::PutU32(out, static_cast<uint32_t>(kResponseBodyBytes));
+  uint8_t* p = out + kLengthPrefixBytes;
+  wire::PutU64(p, frame.id);
+  p[8] = static_cast<uint8_t>(frame.status);
+  p[9] = frame.flags;
+  wire::PutU64(p + 10, frame.value);
+}
+
+/// Decodes a response body (the bytes after the length prefix).
+inline void DecodeResponseBody(const uint8_t* body, ResponseFrame* out) {
+  out->id = wire::GetU64(body);
+  out->status = static_cast<ResponseStatus>(body[8]);
+  out->flags = body[9];
+  out->value = wire::GetU64(body + 10);
+}
+
+/// The GraphQuery a request frame describes.
+inline graph::GraphQuery ToGraphQuery(const RequestFrame& frame) {
+  graph::GraphQuery q;
+  q.op = static_cast<graph::GraphOp>(frame.op);
+  q.source = frame.source;
+  q.target = frame.target;
+  q.external_id = frame.external_id;
+  return q;
+}
+
+}  // namespace bouncer::net
+
+#endif  // BOUNCER_NET_PROTOCOL_H_

@@ -57,26 +57,32 @@ class MetricsCollector {
   ///   item.on_complete = [&](const WorkItem& w, Outcome o) {
   ///     collector.Record(w, o);
   ///   };
+  /// Snapshot consistency: the terminal-outcome counter is bumped first
+  /// and `received` last (release); Report()/Overall() read `received`
+  /// first (acquire). A snapshot therefore never observes a torn per-type
+  /// row where an item is counted as received but in no outcome bucket —
+  /// rejected + expired + completed >= received always holds, with
+  /// equality once recorders quiesce.
   void Record(const WorkItem& item, Outcome outcome) {
     if (!recording()) return;
     if (item.type >= types_.size()) return;
     PerType& t = types_[item.type];
-    t.received.fetch_add(1, std::memory_order_relaxed);
     switch (outcome) {
       case Outcome::kRejected:
-        t.rejected.fetch_add(1, std::memory_order_relaxed);
-        return;
       case Outcome::kShedded:
         t.rejected.fetch_add(1, std::memory_order_relaxed);
+        t.received.fetch_add(1, std::memory_order_release);
         return;
       case Outcome::kExpired:
         t.expired.fetch_add(1, std::memory_order_relaxed);
+        t.received.fetch_add(1, std::memory_order_release);
         return;
       case Outcome::kCompleted:
         break;
     }
-    t.accepted.fetch_add(1, std::memory_order_relaxed);
     t.completed.fetch_add(1, std::memory_order_relaxed);
+    t.accepted.fetch_add(1, std::memory_order_relaxed);
+    t.received.fetch_add(1, std::memory_order_release);
     std::lock_guard<std::mutex> lock(t.mu);
     t.rt_ms.Add(ToMillis(item.ResponseTime()));
     t.pt_ms.Add(ToMillis(item.ProcessingTime()));
@@ -87,7 +93,10 @@ class MetricsCollector {
     TypeReport r;
     if (id >= types_.size()) return r;
     PerType& t = types_[id];
-    r.received = t.received.load(std::memory_order_relaxed);
+    // Acquire on `received` pairs with the release increment in Record():
+    // every outcome bump ordered before a counted `received` is visible
+    // below, so the row is never torn (see Record()).
+    r.received = t.received.load(std::memory_order_acquire);
     r.accepted = t.accepted.load(std::memory_order_relaxed);
     r.rejected = t.rejected.load(std::memory_order_relaxed);
     r.expired = t.expired.load(std::memory_order_relaxed);
@@ -114,7 +123,7 @@ class MetricsCollector {
     stats::SampleSummary all_pt;
     for (size_t i = 0; i < types_.size(); ++i) {
       PerType& t = types_[i];
-      r.received += t.received.load(std::memory_order_relaxed);
+      r.received += t.received.load(std::memory_order_acquire);
       r.accepted += t.accepted.load(std::memory_order_relaxed);
       r.rejected += t.rejected.load(std::memory_order_relaxed);
       r.expired += t.expired.load(std::memory_order_relaxed);

@@ -75,6 +75,62 @@ Outcome Stage::SubmitInline(WorkItem item) {
   return SubmitImpl(std::move(item), /*allow_inline=*/true);
 }
 
+Stage::BatchResult Stage::SubmitBatch(std::span<WorkItem> items) {
+  BatchResult result;
+  if (items.empty()) return result;
+  // One timestamp for the whole batch: every item of one epoll wakeup
+  // arrived "now" at frame granularity anyway, and the clock read is a
+  // per-item cost the batch path exists to amortize.
+  const Nanos now = clock_->Now();
+  counters_.received.fetch_add(items.size(), std::memory_order_relaxed);
+
+  // Pass 1 — admission. Rejections complete right here (the caller's
+  // event loop answers them without touching workers); admitted items are
+  // compacted to the front of the span, preserving relative order.
+  size_t admitted = 0;
+  for (size_t i = 0; i < items.size(); ++i) {
+    WorkItem& item = items[i];
+    item.arrival = now;
+    const Decision decision = policy_->Decide(item.type, now);
+    if (decision == Decision::kReject) {
+      ++result.rejected;
+      policy_->OnRejected(item.type, now);
+      if (item.on_complete) item.on_complete(item, Outcome::kRejected);
+      continue;
+    }
+    item.enqueued = now;
+    queue_state_.OnEnqueued(item.type);
+    policy_->OnEnqueued(item.type, now);  // Point 1.
+    if (admitted != i) items[admitted] = std::move(item);
+    ++admitted;
+  }
+  counters_.rejected.fetch_add(result.rejected, std::memory_order_relaxed);
+
+  // Pass 2 — one cursor reservation enqueues the whole admitted block.
+  size_t pushed = 0;
+  if (admitted > 0 && !stopping_.load(std::memory_order_acquire)) {
+    pushed = fifo_.TryPushBatch(items.data(), admitted);
+  }
+  for (size_t i = pushed; i < admitted; ++i) {
+    // Ring full (or stopping): the policy saw an accept, so report the
+    // drop per item to keep its windows and aggregates honest.
+    WorkItem& item = items[i];
+    queue_state_.OnDequeued(item.type);
+    policy_->OnShedded(item.type, now);
+    if (item.on_complete) item.on_complete(item, Outcome::kShedded);
+  }
+  result.admitted = static_cast<uint32_t>(pushed);
+  result.shedded = static_cast<uint32_t>(admitted - pushed);
+  counters_.accepted.fetch_add(result.admitted, std::memory_order_relaxed);
+  counters_.shedded.fetch_add(result.shedded, std::memory_order_relaxed);
+  if (pushed == 1) {
+    idle_workers_.NotifyOne();
+  } else if (pushed > 1) {
+    idle_workers_.NotifyAll();
+  }
+  return result;
+}
+
 bool Stage::TryRunOne() {
   WorkItem item;
   if (!fifo_.TryPop(item)) return false;

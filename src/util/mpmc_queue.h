@@ -81,6 +81,45 @@ class MpmcQueue {
     return true;
   }
 
+  /// Enqueues a prefix of `items[0..count)` with a single reservation on
+  /// the enqueue cursor: one CAS claims a contiguous block of slots, so a
+  /// batch costs one contended atomic episode instead of `count` of them,
+  /// and the whole block is popped in batch order with nothing
+  /// interleaved inside it. Returns the number of items moved from (a
+  /// prefix; less than `count` when the ring lacks space, 0 when full).
+  ///
+  /// The free-space check uses a racy cursor snapshot that can only
+  /// under-estimate (the dequeue cursor moves forward monotonically), so
+  /// every reserved slot has already been claimed by a past pop; the
+  /// short per-slot wait below is bounded by that pop's final store, not
+  /// by queue traffic.
+  size_t TryPushBatch(T* items, size_t count) {
+    if (count == 0) return 0;
+    size_t pos;
+    size_t n;
+    for (;;) {
+      pos = enqueue_pos_.load(std::memory_order_relaxed);
+      const size_t deq = dequeue_pos_.load(std::memory_order_relaxed);
+      const size_t used = pos - deq;
+      const size_t free_slots = capacity_ > used ? capacity_ - used : 0;
+      n = count < free_slots ? count : free_slots;
+      if (n == 0) return 0;
+      if (enqueue_pos_.compare_exchange_weak(pos, pos + n,
+                                             std::memory_order_relaxed)) {
+        break;
+      }
+    }
+    for (size_t i = 0; i < n; ++i) {
+      Cell* cell = &cells_[(pos + i) & mask_];
+      while (cell->sequence.load(std::memory_order_acquire) != pos + i) {
+        CpuRelax();  // The freeing pop is in flight; its store is imminent.
+      }
+      cell->value = std::move(items[i]);
+      cell->sequence.store(pos + i + 1, std::memory_order_release);
+    }
+    return n;
+  }
+
   /// Attempts to dequeue into `out`. Returns false when the ring is empty.
   bool TryPop(T& out) {
     Cell* cell;

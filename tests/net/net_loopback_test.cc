@@ -1,0 +1,272 @@
+// End-to-end loopback tests: NetServer fronting a real Cluster, driven
+// by NetClient over 127.0.0.1. This is also the CI smoke test for the
+// network front-end (ctest runs it on every push): ~1k queries per mode,
+// every one answered, degree answers checked against the graph, and
+// rejection status codes verified against a rejecting admission policy.
+// The "NetLoopback" suite name keeps it inside the TSan job's regex.
+
+#include <arpa/inet.h>
+#include <gtest/gtest.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <chrono>
+#include <memory>
+#include <thread>
+#include <vector>
+
+#include "src/graph/cluster.h"
+#include "src/graph/graph_generator.h"
+#include "src/net/net_client.h"
+#include "src/net/net_server.h"
+#include "src/util/rng.h"
+
+namespace bouncer::net {
+namespace {
+
+using graph::Cluster;
+using graph::GraphOp;
+using graph::GraphStore;
+
+GraphStore MakeGraph() {
+  graph::GeneratorOptions options;
+  options.num_vertices = 2'000;
+  options.edges_per_vertex = 6;
+  return graph::GeneratePreferentialAttachment(options);
+}
+
+Cluster::Options SmallCluster(bool rejecting) {
+  Cluster::Options options;
+  options.num_brokers = 1;
+  options.broker_workers = 2;
+  options.num_shards = 2;
+  options.shard_workers = 1;
+  options.work_per_edge = 4;
+  if (rejecting) {
+    // A one-deep queue door: every query that arrives while another is
+    // queued gets a synchronous early rejection.
+    options.broker_policy.kind = PolicyKind::kMaxQueueLength;
+    options.broker_policy.max_queue_length.length_limit = 1;
+  } else {
+    options.broker_policy.kind = PolicyKind::kAlwaysAccept;
+  }
+  options.shard_policy.kind = PolicyKind::kAlwaysAccept;
+  return options;
+}
+
+struct LoopbackHarness {
+  explicit LoopbackHarness(bool batch_submit, bool rejecting = false)
+      : graph(MakeGraph()),
+        registry(Cluster::MakeRegistry(Slo{kSecond, 2 * kSecond, 0})),
+        cluster(&graph, &registry, SystemClock::Global(),
+                SmallCluster(rejecting)) {
+    EXPECT_TRUE(cluster.Start().ok());
+    NetServer::Options server_options;
+    server_options.batch_submit = batch_submit;
+    server = std::make_unique<NetServer>(&cluster, server_options);
+    EXPECT_TRUE(server->Start().ok());
+  }
+
+  ~LoopbackHarness() {
+    server->Stop();
+    cluster.Stop();
+  }
+
+  GraphStore graph;
+  QueryTypeRegistry registry;
+  Cluster cluster;
+  std::unique_ptr<NetServer> server;
+};
+
+NetClient::Options ClientOptions(uint16_t port, size_t conns,
+                                 size_t in_flight) {
+  NetClient::Options options;
+  options.port = port;
+  options.num_connections = conns;
+  options.num_io_threads = 2;
+  options.in_flight_per_conn = in_flight;
+  return options;
+}
+
+/// Runs 1k degree queries closed-loop against `harness` and checks every
+/// kOk answer against the graph's actual degree.
+void RunDegreeCheck(LoopbackHarness& harness) {
+  constexpr uint64_t kQueries = 1000;
+  const uint32_t num_vertices = harness.graph.num_vertices();
+  NetClient client(
+      ClientOptions(harness.server->port(), /*conns=*/4, /*in_flight=*/8),
+      [num_vertices](size_t conn_index, uint64_t seq) {
+        RequestFrame frame;
+        frame.op = static_cast<uint8_t>(GraphOp::kDegree);
+        // Deterministic per-connection vertex choice, recoverable from
+        // the echoed id for the answer check.
+        frame.source =
+            static_cast<uint32_t>((conn_index * 7919 + seq * 104'729) %
+                                  num_vertices);
+        return frame;
+      });
+  ASSERT_TRUE(client.Start().ok());
+  client.StartClosedLoop();
+  const auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::seconds(20);
+  while (client.counters().queued < kQueries &&
+         std::chrono::steady_clock::now() < deadline) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  client.StopSending();
+  ASSERT_TRUE(client.WaitForDrain(10 * kSecond));
+  client.Stop();
+
+  const auto counters = client.counters();
+  EXPECT_EQ(counters.conn_errors, 0u);
+  EXPECT_GE(counters.queued, kQueries);
+  EXPECT_EQ(counters.responses, counters.queued) << "every request answered";
+  EXPECT_EQ(counters.ok, counters.responses) << "AlwaysAccept serves all";
+  EXPECT_EQ(counters.failed, 0u);
+
+  const auto& stats = harness.server->stats();
+  EXPECT_GE(stats.requests.load(), kQueries);
+  EXPECT_EQ(stats.responses.load(), stats.requests.load());
+  EXPECT_EQ(stats.bad_frames.load(), 0u);
+}
+
+TEST(NetLoopbackTest, BatchedModeAnswersEveryQuery) {
+  LoopbackHarness harness(/*batch_submit=*/true);
+  RunDegreeCheck(harness);
+  // Batch mode must actually batch: fewer admission episodes than
+  // requests (each episode covers a whole wakeup's parse).
+  const auto& stats = harness.server->stats();
+  EXPECT_GT(stats.submit_batches.load(), 0u);
+  EXPECT_LE(stats.submit_batches.load(), stats.requests.load());
+}
+
+TEST(NetLoopbackTest, PerItemModeAnswersEveryQuery) {
+  LoopbackHarness harness(/*batch_submit=*/false);
+  RunDegreeCheck(harness);
+}
+
+TEST(NetLoopbackTest, DegreeAnswersMatchGraph) {
+  // A raw blocking socket, one request at a time: every kOk value must
+  // equal the graph's actual degree of the queried vertex, and the id
+  // must echo back verbatim.
+  LoopbackHarness harness(/*batch_submit=*/true);
+  const uint32_t num_vertices = harness.graph.num_vertices();
+
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  ASSERT_GE(fd, 0);
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(harness.server->port());
+  ASSERT_EQ(::inet_pton(AF_INET, "127.0.0.1", &addr.sin_addr), 1);
+  ASSERT_EQ(::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)),
+            0);
+
+  for (uint64_t seq = 0; seq < 200; ++seq) {
+    RequestFrame request;
+    request.id = 0xbeef0000 + seq;
+    request.op = static_cast<uint8_t>(GraphOp::kDegree);
+    const uint32_t vertex =
+        static_cast<uint32_t>((seq * 104'729) % num_vertices);
+    request.source = vertex;
+    uint8_t out[kRequestFrameBytes];
+    EncodeRequest(request, out);
+    ASSERT_EQ(::send(fd, out, sizeof(out), 0),
+              static_cast<ssize_t>(sizeof(out)));
+
+    uint8_t in[kResponseFrameBytes];
+    size_t got = 0;
+    while (got < sizeof(in)) {
+      const ssize_t n = ::recv(fd, in + got, sizeof(in) - got, 0);
+      ASSERT_GT(n, 0) << "connection died mid-response";
+      got += static_cast<size_t>(n);
+    }
+    ASSERT_EQ(wire::GetU32(in), kResponseBodyBytes);
+    ResponseFrame response;
+    DecodeResponseBody(in + kLengthPrefixBytes, &response);
+    EXPECT_EQ(response.id, request.id);
+    ASSERT_EQ(response.status, ResponseStatus::kOk);
+    EXPECT_EQ(response.value, harness.graph.Degree(vertex))
+        << "wrong degree for vertex " << vertex;
+  }
+  ::close(fd);
+}
+
+TEST(NetLoopbackTest, RejectionCodesReachTheClient) {
+  // Zero-length broker queue: with 8 connections x 8 in flight, most
+  // queries must come back kRejected — synchronously, from the event
+  // loop — while some still complete.
+  LoopbackHarness harness(/*batch_submit=*/true, /*rejecting=*/true);
+  NetClient client(
+      ClientOptions(harness.server->port(), /*conns=*/8, /*in_flight=*/8),
+      [](size_t conn_index, uint64_t seq) {
+        RequestFrame frame;
+        frame.op = static_cast<uint8_t>(GraphOp::kDegree);
+        frame.source = static_cast<uint32_t>((conn_index + seq) % 2000);
+        return frame;
+      });
+  ASSERT_TRUE(client.Start().ok());
+  client.StartClosedLoop();
+  const auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::seconds(20);
+  while (client.counters().queued < 2000 &&
+         std::chrono::steady_clock::now() < deadline) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  client.StopSending();
+  ASSERT_TRUE(client.WaitForDrain(10 * kSecond));
+  client.Stop();
+
+  const auto counters = client.counters();
+  EXPECT_EQ(counters.responses, counters.queued);
+  EXPECT_GT(counters.rejected + counters.shedded, 0u)
+      << "rejecting policy produced no rejections";
+  EXPECT_GT(counters.ok, 0u) << "nothing completed at all";
+  EXPECT_EQ(counters.ok + counters.rejected + counters.shedded +
+                counters.expired + counters.failed,
+            counters.responses);
+  EXPECT_EQ(harness.server->stats().rejections.load(),
+            counters.rejected + counters.shedded);
+}
+
+TEST(NetLoopbackTest, ManyShortLivedConnections) {
+  // Slot recycling: connections come and go; the server must keep
+  // serving and release every slot (accepted == closed at the end).
+  LoopbackHarness harness(/*batch_submit=*/true);
+  for (int round = 0; round < 5; ++round) {
+    NetClient client(
+        ClientOptions(harness.server->port(), /*conns=*/4, /*in_flight=*/4),
+        [](size_t, uint64_t seq) {
+          RequestFrame frame;
+          frame.op = static_cast<uint8_t>(GraphOp::kDegree);
+          frame.source = static_cast<uint32_t>(seq % 2000);
+          return frame;
+        });
+    ASSERT_TRUE(client.Start().ok());
+    client.StartClosedLoop();
+    const auto deadline =
+        std::chrono::steady_clock::now() + std::chrono::seconds(10);
+    while (client.counters().queued < 100 &&
+           std::chrono::steady_clock::now() < deadline) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    }
+    client.StopSending();
+    ASSERT_TRUE(client.WaitForDrain(10 * kSecond));
+    client.Stop();
+    EXPECT_EQ(client.counters().conn_errors, 0u);
+  }
+  // Give the server a beat to observe the FIN of the last round.
+  const auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::seconds(5);
+  const auto& stats = harness.server->stats();
+  while (stats.connections_closed.load() < stats.connections_accepted.load() &&
+         std::chrono::steady_clock::now() < deadline) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  EXPECT_EQ(stats.connections_accepted.load(), 20u);
+  EXPECT_EQ(stats.connections_closed.load(), 20u);
+}
+
+}  // namespace
+}  // namespace bouncer::net

@@ -1,0 +1,107 @@
+#include "src/net/protocol.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+
+namespace bouncer::net {
+namespace {
+
+TEST(NetProtocolTest, RequestRoundTrip) {
+  RequestFrame in;
+  in.id = 0x0123456789abcdefull;
+  in.op = static_cast<uint8_t>(graph::GraphOp::kDistance3);
+  in.priority = 7;
+  in.flags = 0;
+  in.source = 0xdeadbeef;
+  in.target = 0xcafef00d;
+  in.external_id = 0xfeedfacefeedfaceull;
+  in.deadline_ns = 123 * kMillisecond;
+
+  uint8_t buf[kRequestFrameBytes];
+  EncodeRequest(in, buf);
+  EXPECT_EQ(wire::GetU32(buf), kRequestBodyBytes);
+
+  RequestFrame out;
+  EXPECT_TRUE(DecodeRequestBody(buf + kLengthPrefixBytes, &out));
+  EXPECT_EQ(out.id, in.id);
+  EXPECT_EQ(out.op, in.op);
+  EXPECT_EQ(out.priority, in.priority);
+  EXPECT_EQ(out.flags, in.flags);
+  EXPECT_EQ(out.source, in.source);
+  EXPECT_EQ(out.target, in.target);
+  EXPECT_EQ(out.external_id, in.external_id);
+  EXPECT_EQ(out.deadline_ns, in.deadline_ns);
+}
+
+TEST(NetProtocolTest, ResponseRoundTrip) {
+  ResponseFrame in;
+  in.id = 42;
+  in.status = ResponseStatus::kRejected;
+  in.flags = 0;
+  in.value = 0x1122334455667788ull;
+
+  uint8_t buf[kResponseFrameBytes];
+  EncodeResponse(in, buf);
+  EXPECT_EQ(wire::GetU32(buf), kResponseBodyBytes);
+
+  ResponseFrame out;
+  DecodeResponseBody(buf + kLengthPrefixBytes, &out);
+  EXPECT_EQ(out.id, in.id);
+  EXPECT_EQ(out.status, in.status);
+  EXPECT_EQ(out.flags, in.flags);
+  EXPECT_EQ(out.value, in.value);
+}
+
+TEST(NetProtocolTest, WireIsLittleEndian) {
+  // The format is defined as little-endian on the wire; pin the byte
+  // layout so both ends stay compatible regardless of host.
+  uint8_t buf[8];
+  wire::PutU32(buf, 0x04030201u);
+  EXPECT_EQ(buf[0], 0x01);
+  EXPECT_EQ(buf[1], 0x02);
+  EXPECT_EQ(buf[2], 0x03);
+  EXPECT_EQ(buf[3], 0x04);
+  wire::PutU64(buf, 0x0807060504030201ull);
+  EXPECT_EQ(buf[0], 0x01);
+  EXPECT_EQ(buf[7], 0x08);
+  EXPECT_EQ(wire::GetU64(buf), 0x0807060504030201ull);
+}
+
+TEST(NetProtocolTest, DecodeRejectsUnknownOp) {
+  RequestFrame in;
+  in.id = 9;
+  in.op = static_cast<uint8_t>(graph::kNumGraphOps);  // one past the last op
+  uint8_t buf[kRequestFrameBytes];
+  EncodeRequest(in, buf);
+  RequestFrame out;
+  EXPECT_FALSE(DecodeRequestBody(buf + kLengthPrefixBytes, &out));
+  // Fields are still filled so the server can echo the id in kBadRequest.
+  EXPECT_EQ(out.id, 9u);
+}
+
+TEST(NetProtocolTest, DecodeRejectsNonZeroFlags) {
+  RequestFrame in;
+  in.op = static_cast<uint8_t>(graph::GraphOp::kDegree);
+  in.flags = 1;
+  uint8_t buf[kRequestFrameBytes];
+  EncodeRequest(in, buf);
+  RequestFrame out;
+  EXPECT_FALSE(DecodeRequestBody(buf + kLengthPrefixBytes, &out));
+}
+
+TEST(NetProtocolTest, ToGraphQueryMapsAllFields) {
+  RequestFrame frame;
+  frame.op = static_cast<uint8_t>(graph::GraphOp::kCommonNeighbors);
+  frame.source = 11;
+  frame.target = 22;
+  frame.external_id = 33;
+  const graph::GraphQuery q = ToGraphQuery(frame);
+  EXPECT_EQ(q.op, graph::GraphOp::kCommonNeighbors);
+  EXPECT_EQ(q.source, 11u);
+  EXPECT_EQ(q.target, 22u);
+  EXPECT_EQ(q.external_id, 33u);
+}
+
+}  // namespace
+}  // namespace bouncer::net

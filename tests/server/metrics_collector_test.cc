@@ -2,6 +2,10 @@
 
 #include <gtest/gtest.h>
 
+#include <atomic>
+#include <thread>
+#include <vector>
+
 namespace bouncer::server {
 namespace {
 
@@ -77,6 +81,63 @@ TEST(MetricsCollectorTest, OverallAggregates) {
   EXPECT_EQ(overall.completed, 2u);
   EXPECT_NEAR(overall.rejection_pct, 100.0 / 3.0, 1e-9);
   EXPECT_DOUBLE_EQ(overall.rt_mean_ms, 3.0);
+}
+
+TEST(MetricsCollectorTest, SnapshotsNeverTornUnderConcurrentRecording) {
+  // Record() bumps the outcome counter before `received` (release), and
+  // readers load `received` first (acquire); a snapshot must therefore
+  // never show more received than the per-outcome counters explain —
+  // for any type and for the Overall() aggregate — no matter how the
+  // reader interleaves with the writers. At quiescence the counts match
+  // exactly.
+  constexpr size_t kTypes = 4;
+  constexpr int kWriters = 4;
+  constexpr uint64_t kPerWriter = 50'000;
+  MetricsCollector collector(kTypes + 1);
+  std::atomic<bool> done{false};
+
+  std::vector<std::thread> writers;
+  for (int w = 0; w < kWriters; ++w) {
+    writers.emplace_back([&collector, w] {
+      for (uint64_t i = 0; i < kPerWriter; ++i) {
+        const auto type = static_cast<QueryTypeId>(1 + (i + w) % kTypes);
+        const auto outcome = static_cast<Outcome>(i % 4);
+        collector.Record(ItemWithTimes(type, kMillisecond, kMillisecond),
+                         outcome);
+      }
+    });
+  }
+
+  std::thread reader([&] {
+    while (!done.load(std::memory_order_acquire)) {
+      for (QueryTypeId type = 1; type <= kTypes; ++type) {
+        const auto report = collector.Report(type);
+        // kShedded folds into `rejected`, so these four outcome buckets
+        // partition every recorded item.
+        ASSERT_LE(report.received,
+                  report.completed + report.rejected + report.expired)
+            << "torn per-type snapshot";
+      }
+      const auto overall = collector.Overall();
+      ASSERT_LE(overall.received,
+                overall.completed + overall.rejected + overall.expired)
+          << "torn overall snapshot";
+    }
+  });
+
+  for (auto& t : writers) t.join();
+  done.store(true, std::memory_order_release);
+  reader.join();
+
+  const auto overall = collector.Overall();
+  const uint64_t total = kWriters * kPerWriter;
+  EXPECT_EQ(overall.received, total);
+  EXPECT_EQ(overall.completed + overall.rejected + overall.expired, total);
+  // Outcome::kCompleted/kRejected/kExpired/kShedded each got total/4, and
+  // shedded folds into rejected.
+  EXPECT_EQ(overall.completed, total / 4);
+  EXPECT_EQ(overall.rejected, total / 2);
+  EXPECT_EQ(overall.expired, total / 4);
 }
 
 TEST(MetricsCollectorTest, ResetClears) {
