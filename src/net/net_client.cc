@@ -71,6 +71,25 @@ Status NetClient::Start() {
   if (::inet_pton(AF_INET, options_.host.c_str(), &addr.sin_addr) != 1) {
     return Status::InvalidArgument("bad host address: " + options_.host);
   }
+  // Setup failures below must close everything opened so far (sockets
+  // and per-thread epoll/event fds); Stop() never runs for a failed
+  // Start(), so each early return routes through this cleanup.
+  const auto fail = [this](Status status) {
+    for (auto& c : conns_) {
+      if (c->fd >= 0) ::close(c->fd);
+    }
+    conns_.clear();
+    for (int fd : epoll_fds_) {
+      if (fd >= 0) ::close(fd);
+    }
+    for (int fd : event_fds_) {
+      if (fd >= 0) ::close(fd);
+    }
+    epoll_fds_.clear();
+    event_fds_.clear();
+    wake_flags_.clear();
+    return status;
+  };
   conns_.reserve(options_.num_connections);
   for (size_t i = 0; i < options_.num_connections; ++i) {
     auto conn = std::make_unique<Conn>(options_.ring_bytes);
@@ -80,10 +99,9 @@ Status NetClient::Start() {
     if (conn->fd < 0 ||
         ::connect(conn->fd, reinterpret_cast<sockaddr*>(&addr),
                   sizeof(addr)) < 0) {
-      for (auto& c : conns_) ::close(c->fd);
-      conns_.clear();
-      return Status::Internal(std::string("connect() failed: ") +
-                              std::strerror(errno));
+      if (conn->fd >= 0) ::close(conn->fd);
+      return fail(Status::Internal(std::string("connect() failed: ") +
+                                   std::strerror(errno)));
     }
     const int one = 1;
     ::setsockopt(conn->fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
@@ -104,7 +122,7 @@ Status NetClient::Start() {
     epoll_fds_[t] = ::epoll_create1(EPOLL_CLOEXEC);
     event_fds_[t] = ::eventfd(0, EFD_NONBLOCK | EFD_CLOEXEC);
     if (epoll_fds_[t] < 0 || event_fds_[t] < 0) {
-      return Status::Internal("epoll/eventfd setup failed");
+      return fail(Status::Internal("epoll/eventfd setup failed"));
     }
     epoll_event ev{};
     ev.events = EPOLLIN;
@@ -175,6 +193,9 @@ bool NetClient::TrySend(const RequestFrame& frame) {
     dropped_.fetch_add(1, std::memory_order_relaxed);
     return false;
   }
+  // Counted before the IO threads ever see the frame, so WaitForDrain
+  // can't miss requests still sitting in open_queue_ (or mid-placement).
+  accepted_.fetch_add(1, std::memory_order_release);
   WakeThread(open_rr_.fetch_add(1, std::memory_order_relaxed) %
              options_.num_io_threads);
   return true;
@@ -184,9 +205,12 @@ bool NetClient::WaitForDrain(Nanos timeout) {
   Clock* clock = SystemClock::Global();
   const Nanos deadline = clock->Now() + timeout;
   for (;;) {
-    const uint64_t queued = queued_.load(std::memory_order_acquire);
+    // accepted_ covers every frame committed to be sent — including
+    // open-loop frames still in open_queue_ or being placed on a
+    // connection — unlike queued_, which lags until placement.
+    const uint64_t accepted = accepted_.load(std::memory_order_acquire);
     const uint64_t responses = responses_.load(std::memory_order_acquire);
-    if (responses >= queued) return true;
+    if (responses >= accepted) return true;
     if (conn_errors_.load(std::memory_order_acquire) > 0) return false;
     if (clock->Now() >= deadline) return false;
     ::usleep(200);
@@ -195,6 +219,7 @@ bool NetClient::WaitForDrain(Nanos timeout) {
 
 NetClient::Counters NetClient::counters() const {
   Counters c;
+  c.accepted = accepted_.load(std::memory_order_relaxed);
   c.queued = queued_.load(std::memory_order_relaxed);
   c.responses = responses_.load(std::memory_order_relaxed);
   c.ok = ok_.load(std::memory_order_relaxed);
@@ -208,6 +233,7 @@ NetClient::Counters NetClient::counters() const {
 }
 
 void NetClient::ResetStats() {
+  accepted_.store(0, std::memory_order_relaxed);
   queued_.store(0, std::memory_order_relaxed);
   responses_.store(0, std::memory_order_relaxed);
   ok_.store(0, std::memory_order_relaxed);
@@ -233,6 +259,9 @@ bool NetClient::SendOne(Conn* conn) {
   conn->tx.Write(encoded, sizeof(encoded));
   ++conn->next_seq;
   ++conn->inflight;
+  // Closed-loop frames skip open_queue_, so acceptance and placement
+  // coincide.
+  accepted_.fetch_add(1, std::memory_order_release);
   queued_.fetch_add(1, std::memory_order_release);
   return true;
 }

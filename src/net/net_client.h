@@ -53,6 +53,9 @@ class NetClient {
 
   /// Monotonic counters (snapshot via counters()).
   struct Counters {
+    uint64_t accepted = 0;   ///< Requests committed to be sent (closed-loop
+                             ///< placements + open-loop TrySend successes,
+                             ///< including frames still in the local queue).
     uint64_t queued = 0;     ///< Requests handed to a connection.
     uint64_t responses = 0;  ///< Response frames received.
     uint64_t ok = 0;
@@ -86,7 +89,9 @@ class NetClient {
   /// server's TCP backpressure has propagated all the way here.
   bool TrySend(const RequestFrame& frame);
 
-  /// Blocks until every queued request has a response, the timeout
+  /// Blocks until every accepted request has a response — including
+  /// open-loop frames still waiting in the local queue, which would
+  /// otherwise leak into a later measurement window — or the timeout
   /// passes, or a connection error makes completion impossible. Returns
   /// true when fully drained.
   bool WaitForDrain(Nanos timeout);
@@ -133,6 +138,7 @@ class NetClient {
   std::atomic<bool> stop_{false};
   std::atomic<bool> running_{false};
 
+  std::atomic<uint64_t> accepted_{0};
   std::atomic<uint64_t> queued_{0};
   std::atomic<uint64_t> responses_{0};
   std::atomic<uint64_t> ok_{0};

@@ -89,6 +89,7 @@ NetServer::NetServer(graph::Cluster* cluster, const Options& options)
                      : options.max_connections * 64) {
   batch_.reserve(options_.max_batch);
   batch_tokens_.reserve(options_.max_batch);
+  deferred_dones_.reserve(options_.max_batch);
 }
 
 NetServer::~NetServer() { Stop(); }
@@ -97,6 +98,15 @@ Status NetServer::Start() {
   if (running_.load(std::memory_order_acquire)) {
     return Status::FailedPrecondition("server already started");
   }
+  // Stop() only cleans up after a successful Start(), so each early
+  // return below must close what it already opened.
+  const auto fail = [this](Status status) {
+    if (listen_fd_ >= 0) ::close(listen_fd_);
+    if (epoll_fd_ >= 0) ::close(epoll_fd_);
+    if (event_fd_ >= 0) ::close(event_fd_);
+    listen_fd_ = epoll_fd_ = event_fd_ = -1;
+    return status;
+  };
   listen_fd_ = ::socket(AF_INET, SOCK_STREAM | SOCK_NONBLOCK | SOCK_CLOEXEC,
                         0);
   if (listen_fd_ < 0) return Status::Internal("socket() failed");
@@ -108,25 +118,25 @@ Status NetServer::Start() {
   addr.sin_port = htons(options_.port);
   if (::inet_pton(AF_INET, options_.bind_address.c_str(), &addr.sin_addr) !=
       1) {
-    return Status::InvalidArgument("bad bind address: " +
-                                   options_.bind_address);
+    return fail(Status::InvalidArgument("bad bind address: " +
+                                        options_.bind_address));
   }
   if (::bind(listen_fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) <
       0) {
-    return Status::Internal(std::string("bind() failed: ") +
-                            std::strerror(errno));
+    return fail(Status::Internal(std::string("bind() failed: ") +
+                                 std::strerror(errno)));
   }
   socklen_t addr_len = sizeof(addr);
   ::getsockname(listen_fd_, reinterpret_cast<sockaddr*>(&addr), &addr_len);
   port_ = ntohs(addr.sin_port);
   if (::listen(listen_fd_, options_.listen_backlog) < 0) {
-    return Status::Internal("listen() failed");
+    return fail(Status::Internal("listen() failed"));
   }
 
   epoll_fd_ = ::epoll_create1(EPOLL_CLOEXEC);
   event_fd_ = ::eventfd(0, EFD_NONBLOCK | EFD_CLOEXEC);
   if (epoll_fd_ < 0 || event_fd_ < 0) {
-    return Status::Internal("epoll/eventfd setup failed");
+    return fail(Status::Internal("epoll/eventfd setup failed"));
   }
   epoll_event ev{};
   ev.events = EPOLLIN;
@@ -368,22 +378,45 @@ void NetServer::ParseConn(Connection* conn) {
 }
 
 void NetServer::SubmitParsed() {
-  if (batch_.empty()) return;
-  stats_.submit_batches.fetch_add(1, std::memory_order_relaxed);
-  const server::Stage::BatchResult result = cluster_->SubmitBatch(batch_);
-  if (result.shedded > 0) {
-    // A broker's bounded queue stopped admitting: pause every connection
-    // that fed this batch until the queue drains (MaybeResumePaused).
-    for (const uint64_t token : batch_tokens_) {
-      Connection* conn = Resolve(token);
-      if (conn == nullptr || conn->read_paused_overload) continue;
-      conn->read_paused_overload = true;
-      PauseRead(conn);
+  if (!batch_.empty()) {
+    stats_.submit_batches.fetch_add(1, std::memory_order_relaxed);
+    // Synchronous completions (rejections/sheds) fire on this thread
+    // while SubmitBatch iterates batch_; delivering them immediately
+    // could resume a paused read, whose re-parse appends to batch_
+    // mid-iteration. Park them in deferred_dones_ until the call returns.
+    ++submit_depth_;
+    in_submit_ = true;
+    const server::Stage::BatchResult result = cluster_->SubmitBatch(batch_);
+    in_submit_ = false;
+    if (result.shedded > 0) {
+      // A broker's bounded queue stopped admitting: pause every
+      // connection that fed this batch until the queue drains
+      // (MaybeResumePaused).
+      for (const uint64_t token : batch_tokens_) {
+        Connection* conn = Resolve(token);
+        if (conn == nullptr || conn->read_paused_overload) continue;
+        conn->read_paused_overload = true;
+        PauseRead(conn);
+      }
+      overload_paused_ = true;
     }
-    overload_paused_ = true;
+    batch_.clear();
+    batch_tokens_.clear();
+    --submit_depth_;
   }
-  batch_.clear();
-  batch_tokens_.clear();
+  // Answer the parked synchronous rejections — only at the outermost
+  // call: delivery can resume reads whose re-parse fills batch_ and
+  // re-enters SubmitParsed, and letting every nesting level deliver
+  // would recurse without bound. Nested calls just append here; the
+  // index loop picks their entries up (the vector may grow and
+  // reallocate mid-iteration, hence no iterators and a by-value copy).
+  if (submit_depth_ == 0) {
+    for (size_t i = 0; i < deferred_dones_.size(); ++i) {
+      const Done done = deferred_dones_[i];
+      DeliverDone(done);
+    }
+    deferred_dones_.clear();
+  }
 }
 
 bool NetServer::BrokersCongested() const {
@@ -415,41 +448,63 @@ void NetServer::OnQueryDone(Pending* pending, Outcome outcome,
   done.status = static_cast<uint8_t>(ToStatus(outcome, result.ok));
   done.value = result.value;
   pending_pool_.Release(pending);
-  // The ring is sized far above the per-connection inflight caps, so a
-  // full ring means the loop is stalled; spin rather than drop (the
-  // completion must be delivered exactly once).
-  while (!done_ring_.TryPush(std::move(done))) CpuRelax();
+  if (std::this_thread::get_id() ==
+      loop_tid_.load(std::memory_order_relaxed)) {
+    // Synchronous completion on the event loop itself (a rejection inside
+    // Submit/SubmitBatch). Never goes near the ring — the loop must not
+    // be able to block on the queue only it drains. Delivery is deferred
+    // while a submit call is iterating batch_ (see SubmitParsed).
+    if (in_submit_) {
+      deferred_dones_.push_back(done);
+    } else {
+      DeliverDone(done);
+    }
+    return;
+  }
+  // Worker thread: a full ring means the loop has fallen behind; spin
+  // until a drain frees a slot (the completion must be delivered exactly
+  // once). The loop drains every iteration and can never block on the
+  // ring itself, so the wait is bounded by loop progress — except after
+  // Stop(), when the loop is gone and every connection is dead: then the
+  // completion has no destination and is dropped instead of hanging the
+  // cluster's shutdown.
+  while (!done_ring_.TryPush(std::move(done))) {
+    if (stop_requested_.load(std::memory_order_acquire)) return;
+    CpuRelax();
+  }
   if (!done_signal_.exchange(true, std::memory_order_acq_rel)) {
     const uint64_t one = 1;
     [[maybe_unused]] ssize_t n = ::write(event_fd_, &one, sizeof(one));
   }
 }
 
+void NetServer::DeliverDone(const Done& done) {
+  stats_.responses.fetch_add(1, std::memory_order_relaxed);
+  const auto status = static_cast<ResponseStatus>(done.status);
+  if (status == ResponseStatus::kRejected ||
+      status == ResponseStatus::kShedded) {
+    stats_.rejections.fetch_add(1, std::memory_order_relaxed);
+  }
+  Connection* conn = Resolve(done.token);
+  if (conn == nullptr) return;  // Connection died while in flight.
+  --conn->owed;
+  uint8_t encoded[kResponseFrameBytes];
+  EncodeResponse({done.request_id, status, 0, done.value}, encoded);
+  // Space is guaranteed: parsing never runs the write ring below
+  // owed * kResponseFrameBytes of free space.
+  conn->tx.Write(encoded, sizeof(encoded));
+  conn->dirty = true;
+  if (conn->read_paused_inflight &&
+      conn->owed < options_.max_inflight_per_conn / 2) {
+    conn->read_paused_inflight = false;
+    ResumeRead(conn);
+  }
+}
+
 void NetServer::DrainCompletions() {
   done_signal_.store(false, std::memory_order_release);
   Done done;
-  while (done_ring_.TryPop(done)) {
-    stats_.responses.fetch_add(1, std::memory_order_relaxed);
-    const auto status = static_cast<ResponseStatus>(done.status);
-    if (status == ResponseStatus::kRejected ||
-        status == ResponseStatus::kShedded) {
-      stats_.rejections.fetch_add(1, std::memory_order_relaxed);
-    }
-    Connection* conn = Resolve(done.token);
-    if (conn == nullptr) continue;  // Connection died while in flight.
-    --conn->owed;
-    uint8_t encoded[kResponseFrameBytes];
-    EncodeResponse({done.request_id, status, 0, done.value}, encoded);
-    // Space is guaranteed: parsing never runs the write ring below
-    // owed * kResponseFrameBytes of free space.
-    conn->tx.Write(encoded, sizeof(encoded));
-    conn->dirty = true;
-    if (conn->read_paused_inflight &&
-        conn->owed < options_.max_inflight_per_conn / 2) {
-      conn->read_paused_inflight = false;
-      ResumeRead(conn);
-    }
-  }
+  while (done_ring_.TryPop(done)) DeliverDone(done);
 }
 
 void NetServer::FlushConn(Connection* conn) {
@@ -480,6 +535,7 @@ void NetServer::FlushConn(Connection* conn) {
 }
 
 void NetServer::LoopThread() {
+  loop_tid_.store(std::this_thread::get_id(), std::memory_order_relaxed);
   epoll_event events[kMaxEpollEvents];
   while (!stop_requested_.load(std::memory_order_acquire)) {
     // Overload pauses are re-checked on a short timer (the broker queue
@@ -510,15 +566,22 @@ void NetServer::LoopThread() {
       }
     }
     // One admission episode for everything parsed this wakeup, then
-    // answer whatever completed — rejections from the batch above are
-    // already in the completion ring and go out in this same iteration.
-    SubmitParsed();
-    DrainCompletions();
-    for (auto& slot : slots_) {
-      Connection* conn = slot.get();
-      if (conn != nullptr && conn->fd >= 0 && conn->dirty) FlushConn(conn);
-    }
-    MaybeResumePaused();
+    // answer whatever completed — the batch's synchronous rejections are
+    // delivered inside SubmitParsed and flushed in this same iteration.
+    // The drain/flush/resume phases can themselves parse new requests
+    // (ResumeRead re-parses buffered bytes), so repeat until nothing is
+    // left rather than let a resumed request sit in batch_ across an
+    // epoll_wait (up to the idle timeout away). Each pass consumes real
+    // buffered bytes or ring entries, so the loop terminates.
+    do {
+      SubmitParsed();
+      DrainCompletions();
+      for (auto& slot : slots_) {
+        Connection* conn = slot.get();
+        if (conn != nullptr && conn->fd >= 0 && conn->dirty) FlushConn(conn);
+      }
+      MaybeResumePaused();
+    } while (!batch_.empty());
   }
   // Drain loop-side state so queued completions don't linger unanswered
   // in the ring (they resolve to dead connections after Stop closes fds).

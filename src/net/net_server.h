@@ -116,6 +116,7 @@ class NetServer {
   void ReadConn(Connection* conn);
   void ParseConn(Connection* conn);
   void SubmitParsed();
+  void DeliverDone(const Done& done);
   void DrainCompletions();
   void FlushConn(Connection* conn);
   void CloseConn(Connection* conn);
@@ -146,8 +147,22 @@ class NetServer {
   std::vector<uint64_t> batch_tokens_;  ///< Connection of each batch entry.
 
   ObjectPool<Pending> pending_pool_;
+  /// Worker-thread completions only. The loop thread never pushes here:
+  /// its synchronous completions (rejections inside Submit/SubmitBatch)
+  /// deliver inline, so a full ring can never make the loop wait on
+  /// itself — it only throttles workers until the next loop drain.
   MpmcQueue<Done> done_ring_;
   std::atomic<bool> done_signal_{false};
+  std::atomic<std::thread::id> loop_tid_{};
+  /// True while the loop thread is inside a Cluster submit call. Loop-
+  /// thread completions arriving then are parked in deferred_dones_
+  /// (delivery can resume reads, which would mutate batch_ mid-submit)
+  /// and delivered as soon as the submit returns.
+  bool in_submit_ = false;
+  /// SubmitParsed nesting depth (delivery of deferred completions can
+  /// resume reads that re-enter it); only depth 0 delivers.
+  size_t submit_depth_ = 0;
+  std::vector<Done> deferred_dones_;  ///< Loop-only scratch, reused.
 
   /// Connections paused for broker-queue overload, re-checked every loop
   /// iteration; sheds observed by the last submit episode set this.

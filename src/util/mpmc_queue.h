@@ -88,36 +88,47 @@ class MpmcQueue {
   /// interleaved inside it. Returns the number of items moved from (a
   /// prefix; less than `count` when the ring lacks space, 0 when full).
   ///
-  /// The free-space check uses a racy cursor snapshot that can only
-  /// under-estimate (the dequeue cursor moves forward monotonically), so
-  /// every reserved slot has already been claimed by a past pop; the
-  /// short per-slot wait below is bounded by that pop's final store, not
-  /// by queue traffic.
+  /// Wait-free like TryPush: the claimable prefix is measured by scanning
+  /// cell sequences, so only slots whose freeing pop has fully completed
+  /// are counted. A consumer preempted mid-TryPop shrinks the batch (its
+  /// slot reads as occupied) instead of stalling the producer on the
+  /// pop's final sequence store.
   size_t TryPushBatch(T* items, size_t count) {
     if (count == 0) return 0;
-    size_t pos;
-    size_t n;
+    size_t pos = enqueue_pos_.load(std::memory_order_relaxed);
     for (;;) {
-      pos = enqueue_pos_.load(std::memory_order_relaxed);
-      const size_t deq = dequeue_pos_.load(std::memory_order_relaxed);
-      const size_t used = pos - deq;
-      const size_t free_slots = capacity_ > used ? capacity_ - used : 0;
-      n = count < free_slots ? count : free_slots;
-      if (n == 0) return 0;
+      // Longest prefix of push-ready slots at the current cursor. A slot
+      // is push-ready for position p iff its sequence equals p — which a
+      // pop publishes only as its very last step, so every slot counted
+      // here can be filled without waiting. Once verified, a slot stays
+      // push-ready until some producer claims position p; a successful
+      // CAS from `pos` below means that producer is us.
+      size_t n = 0;
+      while (n < count && n < capacity_ &&
+             cells_[(pos + n) & mask_].sequence.load(
+                 std::memory_order_acquire) == pos + n) {
+        ++n;
+      }
+      if (n == 0) {
+        const size_t seq =
+            cells_[pos & mask_].sequence.load(std::memory_order_acquire);
+        if (static_cast<intptr_t>(seq) - static_cast<intptr_t>(pos) < 0) {
+          return 0;  // The slot still holds an unconsumed element: full.
+        }
+        pos = enqueue_pos_.load(std::memory_order_relaxed);  // Stale cursor.
+        continue;
+      }
       if (enqueue_pos_.compare_exchange_weak(pos, pos + n,
                                              std::memory_order_relaxed)) {
-        break;
+        for (size_t i = 0; i < n; ++i) {
+          Cell* cell = &cells_[(pos + i) & mask_];
+          cell->value = std::move(items[i]);
+          cell->sequence.store(pos + i + 1, std::memory_order_release);
+        }
+        return n;
       }
+      // CAS failure reloaded `pos`; rescan at the new cursor.
     }
-    for (size_t i = 0; i < n; ++i) {
-      Cell* cell = &cells_[(pos + i) & mask_];
-      while (cell->sequence.load(std::memory_order_acquire) != pos + i) {
-        CpuRelax();  // The freeing pop is in flight; its store is imminent.
-      }
-      cell->value = std::move(items[i]);
-      cell->sequence.store(pos + i + 1, std::memory_order_release);
-    }
-    return n;
   }
 
   /// Attempts to dequeue into `out`. Returns false when the ring is empty.
