@@ -1,30 +1,45 @@
 // Network front-end throughput: drives the epoll NetServer over loopback
-// with the closed-loop NetClient across a (connections x in-flight) grid,
-// comparing three variants per cell —
+// with the closed-loop NetClient, comparing variants per (loops x
+// connections x in-flight) cell —
 //
 //   inproc     closed-loop Cluster::Submit calls in-process (no sockets):
 //              the ceiling the network path is measured against;
 //   net_item   loopback TCP, one admission episode per parsed query
-//              (NetServer::Options::batch_submit = false);
+//              (NetServer::Options::batch_submit = false), single loop;
 //   net_batch  loopback TCP, everything parsed from one epoll wakeup
-//              drained through Cluster::SubmitBatch in a single pass.
+//              drained through Cluster::SubmitBatch in a single pass —
+//              run at every loop count in the sweep, so the same cell
+//              read across rows is the multi-reactor scaling curve.
 //
 // The query mix is deliberately cheap (degree-heavy, ample workers) so
-// the single-threaded event loop is the bottleneck and the per-query
-// admission cost — the thing SubmitBatch amortizes (one clock read, one
-// ring reservation, one wakeup episode per batch) — is what the QPS gap
-// measures. Headline: net_batch / net_item at >= 64 connections.
+// the event loops are the bottleneck: the net_batch/net_item gap prices
+// per-query admission (what SubmitBatch amortizes), and the 1->N loops
+// gap prices the single-reactor serialization the sharded front-end
+// removes. Loop scaling needs real cores — the JSON records
+// hardware_concurrency so a 1-core CI run is read accordingly.
+//
+// A high-connection ladder (256 / 1k / 10k connections, small rings,
+// shallow windows) then checks the front-end holds QPS and flat RSS as
+// connection count grows two orders of magnitude; RLIMIT_NOFILE is
+// raised toward its hard cap and rungs that still don't fit are skipped
+// with a clear note rather than failing the bench.
 //
 // A final overload section offers ~2x the measured capacity open-loop
 // against a rejecting broker policy and samples the process RSS across
 // the surge: rejections must flow back while memory stays flat (the
 // zero-steady-state-allocation claim).
 //
-// Results are printed as a table and written to BENCH_net_throughput.json.
+// BOUNCER_BENCH_NET_LOOPS=1,4 (comma list) overrides the loop-count
+// sweep — CI's bench-smoke uses it to run loops=1 and loops=4 as
+// separate jobs. Results are printed as tables and written to
+// BENCH_net_throughput.json.
+
+#include <sys/resource.h>
 
 #include <atomic>
 #include <chrono>
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <string>
 #include <thread>
@@ -49,6 +64,7 @@ using graph::GraphStore;
 
 struct CellResult {
   std::string variant;
+  size_t loops = 0;  ///< Event loops (0 for the inproc baseline).
   size_t connections = 0;
   size_t in_flight = 0;
   double seconds = 0;
@@ -57,6 +73,18 @@ struct CellResult {
   Nanos rt_p50 = 0;
   Nanos rt_p99 = 0;
   double avg_batch = 0;  ///< Requests per admission episode (net_batch).
+};
+
+struct LadderResult {
+  size_t connections = 0;
+  size_t loops = 0;
+  bool skipped = false;
+  std::string skip_reason;
+  double qps = 0;
+  Nanos rt_p50 = 0;
+  Nanos rt_p99 = 0;
+  long rss_start_kb = 0;  ///< Sampled once the full fleet is connected.
+  long rss_end_kb = 0;    ///< Sampled at the end of the measure window.
 };
 
 struct SurgeResult {
@@ -87,9 +115,54 @@ long ReadRssKb() {
   return kb;
 }
 
+/// Raises the soft RLIMIT_NOFILE toward the hard cap until `needed` fds
+/// fit. Returns false (with a clear, actionable message) when even the
+/// hard cap is too small — the caller skips that rung.
+bool EnsureNofile(size_t needed, std::string* why) {
+  struct rlimit lim;
+  if (getrlimit(RLIMIT_NOFILE, &lim) != 0) {
+    *why = "getrlimit(RLIMIT_NOFILE) failed";
+    return false;
+  }
+  if (lim.rlim_cur >= needed) return true;
+  if (lim.rlim_max < needed) {
+    char buf[160];
+    std::snprintf(buf, sizeof(buf),
+                  "needs %zu fds but RLIMIT_NOFILE hard cap is %llu "
+                  "(raise with `ulimit -Hn` / limits.conf)",
+                  needed, static_cast<unsigned long long>(lim.rlim_max));
+    *why = buf;
+    return false;
+  }
+  lim.rlim_cur = needed;
+  if (setrlimit(RLIMIT_NOFILE, &lim) != 0) {
+    *why = "setrlimit(RLIMIT_NOFILE) failed";
+    return false;
+  }
+  return true;
+}
+
+/// Loop counts to sweep: BOUNCER_BENCH_NET_LOOPS=1,4 overrides.
+std::vector<size_t> LoopSweep() {
+  if (const char* env = std::getenv("BOUNCER_BENCH_NET_LOOPS")) {
+    std::vector<size_t> loops;
+    const char* p = env;
+    while (*p != '\0') {
+      char* end = nullptr;
+      const long v = std::strtol(p, &end, 10);
+      if (end == p) break;
+      if (v >= 1 && v <= 255) loops.push_back(static_cast<size_t>(v));
+      p = (*end == ',') ? end + 1 : end;
+    }
+    if (!loops.empty()) return loops;
+  }
+  return BenchScale() >= 1 ? std::vector<size_t>{1, 2, 4}
+                           : std::vector<size_t>{1, 4};
+}
+
 /// Cheap degree-heavy query stream: 90% QT1 (single-vertex degree), 10%
 /// QT2 (capped adjacency) — each query is one shard round, so broker and
-/// shard workers outpace the event loop and the submit path shows.
+/// shard workers outpace the event loops and the submit path shows.
 std::vector<GraphQuery> MakeQueries(const GraphStore& graph) {
   Rng rng(11);
   std::vector<GraphQuery> queries;
@@ -121,6 +194,15 @@ Cluster::Options ClusterOptions(bool rejecting) {
   }
   options.shard_policy.kind = PolicyKind::kAlwaysAccept;
   return options;
+}
+
+net::RequestFrame FrameFor(const GraphQuery& q) {
+  net::RequestFrame frame;
+  frame.op = static_cast<uint8_t>(q.op);
+  frame.source = q.source;
+  frame.target = q.target;
+  frame.external_id = q.external_id;
+  return frame;
 }
 
 /// In-process closed-loop baseline (same shape as bench_cluster_throughput
@@ -201,8 +283,8 @@ CellResult RunInproc(const GraphStore& graph,
 
 CellResult RunNet(const GraphStore& graph,
                   const std::vector<GraphQuery>& queries, bool batch_submit,
-                  size_t connections, size_t in_flight, Nanos warmup,
-                  Nanos measure) {
+                  size_t loops, size_t connections, size_t in_flight,
+                  Nanos warmup, Nanos measure) {
   const Slo slo{kSecond, 2 * kSecond, 0};
   QueryTypeRegistry registry = Cluster::MakeRegistry(slo);
   Cluster cluster(&graph, &registry, SystemClock::Global(),
@@ -213,6 +295,7 @@ CellResult RunNet(const GraphStore& graph,
   }
   net::NetServer::Options server_options;
   server_options.batch_submit = batch_submit;
+  server_options.num_loops = loops;
   server_options.max_connections = connections + 8;
   net::NetServer server(&cluster, server_options);
   if (!server.Start().ok()) {
@@ -227,15 +310,8 @@ CellResult RunNet(const GraphStore& graph,
   client_options.in_flight_per_conn = in_flight;
   net::NetClient client(client_options,
                         [&queries](size_t conn_index, uint64_t seq) {
-                          const GraphQuery& q = queries[(conn_index * 7919 +
-                                                         seq) %
-                                                        queries.size()];
-                          net::RequestFrame frame;
-                          frame.op = static_cast<uint8_t>(q.op);
-                          frame.source = q.source;
-                          frame.target = q.target;
-                          frame.external_id = q.external_id;
-                          return frame;
+                          return FrameFor(queries[(conn_index * 7919 + seq) %
+                                                  queries.size()]);
                         });
   if (!client.Start().ok()) {
     std::fprintf(stderr, "client start failed\n");
@@ -244,21 +320,16 @@ CellResult RunNet(const GraphStore& graph,
   client.StartClosedLoop();
   std::this_thread::sleep_for(std::chrono::nanoseconds(warmup));
 
-  const uint64_t batches0 =
-      server.stats().submit_batches.load(std::memory_order_relaxed);
-  const uint64_t requests0 =
-      server.stats().requests.load(std::memory_order_relaxed);
+  const net::NetServer::Stats before = server.AggregateStats();
   client.ResetStats();
   const auto t0 = std::chrono::steady_clock::now();
   std::this_thread::sleep_for(std::chrono::nanoseconds(measure));
   const auto t1 = std::chrono::steady_clock::now();
   const net::NetClient::Counters counters = client.counters();
   const stats::HistogramSummary latency = client.Latency();
-  const uint64_t batches =
-      server.stats().submit_batches.load(std::memory_order_relaxed) -
-      batches0;
-  const uint64_t requests =
-      server.stats().requests.load(std::memory_order_relaxed) - requests0;
+  const net::NetServer::Stats after = server.AggregateStats();
+  const uint64_t batches = after.submit_batches - before.submit_batches;
+  const uint64_t requests = after.requests - before.requests;
 
   client.StopSending();
   client.WaitForDrain(2 * kSecond);
@@ -268,6 +339,7 @@ CellResult RunNet(const GraphStore& graph,
 
   CellResult r;
   r.variant = batch_submit ? "net_batch" : "net_item";
+  r.loops = server.num_loops();
   r.connections = connections;
   r.in_flight = in_flight;
   r.seconds = std::chrono::duration<double>(t1 - t0).count();
@@ -278,6 +350,89 @@ CellResult RunNet(const GraphStore& graph,
   if (batch_submit && batches > 0) {
     r.avg_batch = static_cast<double>(requests) / static_cast<double>(batches);
   }
+  return r;
+}
+
+/// One high-connection ladder rung: `connections` sockets with shallow
+/// windows and small rings (the per-connection memory knobs a fleet that
+/// size requires), closed loop, RSS sampled across the measure window.
+LadderResult RunLadder(const GraphStore& graph,
+                       const std::vector<GraphQuery>& queries,
+                       size_t connections, size_t loops, Nanos warmup,
+                       Nanos measure) {
+  LadderResult r;
+  r.connections = connections;
+  r.loops = loops;
+
+  // Client + server ends both live in this process: 2 fds per
+  // connection plus epoll/event/listen fds and stdio slack.
+  std::string why;
+  if (!EnsureNofile(2 * connections + 64, &why)) {
+    r.skipped = true;
+    r.skip_reason = why;
+    return r;
+  }
+
+  const Slo slo{kSecond, 2 * kSecond, 0};
+  QueryTypeRegistry registry = Cluster::MakeRegistry(slo);
+  Cluster cluster(&graph, &registry, SystemClock::Global(),
+                  ClusterOptions(/*rejecting=*/false));
+  if (!cluster.Start().ok()) {
+    std::fprintf(stderr, "cluster start failed\n");
+    std::exit(1);
+  }
+  net::NetServer::Options server_options;
+  server_options.num_loops = loops;
+  server_options.max_connections = connections + 8;
+  server_options.read_ring_bytes = 1 << 12;
+  server_options.write_ring_bytes = 1 << 12;
+  server_options.max_inflight_per_conn = 16;
+  net::NetServer server(&cluster, server_options);
+  if (!server.Start().ok()) {
+    std::fprintf(stderr, "server start failed\n");
+    std::exit(1);
+  }
+
+  net::NetClient::Options client_options;
+  client_options.port = server.port();
+  client_options.num_connections = connections;
+  client_options.num_io_threads = 4;
+  client_options.in_flight_per_conn = 2;
+  client_options.ring_bytes = 1 << 12;
+  net::NetClient client(client_options,
+                        [&queries](size_t conn_index, uint64_t seq) {
+                          return FrameFor(queries[(conn_index * 7919 + seq) %
+                                                  queries.size()]);
+                        });
+  if (!client.Start().ok()) {
+    r.skipped = true;
+    r.skip_reason = "client connect failed (host fd or port limits?)";
+    server.Stop();
+    cluster.Stop();
+    return r;
+  }
+  client.StartClosedLoop();
+  std::this_thread::sleep_for(std::chrono::nanoseconds(warmup));
+
+  client.ResetStats();
+  r.rss_start_kb = ReadRssKb();
+  const auto t0 = std::chrono::steady_clock::now();
+  std::this_thread::sleep_for(std::chrono::nanoseconds(measure));
+  const auto t1 = std::chrono::steady_clock::now();
+  r.rss_end_kb = ReadRssKb();
+  const net::NetClient::Counters counters = client.counters();
+  const stats::HistogramSummary latency = client.Latency();
+
+  client.StopSending();
+  client.WaitForDrain(2 * kSecond);
+  client.Stop();
+  server.Stop();
+  cluster.Stop();
+
+  r.qps = static_cast<double>(counters.responses) /
+          std::chrono::duration<double>(t1 - t0).count();
+  r.rt_p50 = latency.p50;
+  r.rt_p99 = latency.p99;
   return r;
 }
 
@@ -355,22 +510,49 @@ SurgeResult RunSurge(const GraphStore& graph,
 }
 
 void WriteJson(const std::vector<CellResult>& results,
-               const SurgeResult& surge, double headline) {
+               const std::vector<LadderResult>& ladder,
+               const SurgeResult& surge, double headline,
+               double loop_scaling) {
   std::FILE* f = std::fopen("BENCH_net_throughput.json", "w");
   if (f == nullptr) return;
-  std::fprintf(f, "{\n  \"bench\": \"net_throughput\",\n  \"cells\": [\n");
+  std::fprintf(f, "{\n  \"bench\": \"net_throughput\",\n");
+  std::fprintf(f, "  \"hardware_concurrency\": %u,\n",
+               std::thread::hardware_concurrency());
+  std::fprintf(f, "  \"cells\": [\n");
   for (size_t i = 0; i < results.size(); ++i) {
     const CellResult& r = results[i];
     std::fprintf(
         f,
-        "    {\"variant\": \"%s\", \"connections\": %zu, \"in_flight\": "
-        "%zu, \"seconds\": %.3f, \"completed\": %llu, \"qps\": %.0f, "
-        "\"rt_p50_us\": %.1f, \"rt_p99_us\": %.1f, \"avg_batch\": %.1f}%s\n",
-        r.variant.c_str(), r.connections, r.in_flight, r.seconds,
+        "    {\"variant\": \"%s\", \"loops\": %zu, \"connections\": %zu, "
+        "\"in_flight\": %zu, \"seconds\": %.3f, \"completed\": %llu, "
+        "\"qps\": %.0f, \"rt_p50_us\": %.1f, \"rt_p99_us\": %.1f, "
+        "\"avg_batch\": %.1f}%s\n",
+        r.variant.c_str(), r.loops, r.connections, r.in_flight, r.seconds,
         static_cast<unsigned long long>(r.completed), r.qps,
         static_cast<double>(r.rt_p50) / 1000.0,
         static_cast<double>(r.rt_p99) / 1000.0, r.avg_batch,
         i + 1 < results.size() ? "," : "");
+  }
+  std::fprintf(f, "  ],\n  \"ladder\": [\n");
+  for (size_t i = 0; i < ladder.size(); ++i) {
+    const LadderResult& r = ladder[i];
+    if (r.skipped) {
+      std::fprintf(f,
+                   "    {\"connections\": %zu, \"loops\": %zu, "
+                   "\"skipped\": \"%s\"}%s\n",
+                   r.connections, r.loops, r.skip_reason.c_str(),
+                   i + 1 < ladder.size() ? "," : "");
+    } else {
+      std::fprintf(
+          f,
+          "    {\"connections\": %zu, \"loops\": %zu, \"qps\": %.0f, "
+          "\"rt_p50_us\": %.1f, \"rt_p99_us\": %.1f, \"rss_start_kb\": %ld, "
+          "\"rss_end_kb\": %ld}%s\n",
+          r.connections, r.loops, r.qps,
+          static_cast<double>(r.rt_p50) / 1000.0,
+          static_cast<double>(r.rt_p99) / 1000.0, r.rss_start_kb,
+          r.rss_end_kb, i + 1 < ladder.size() ? "," : "");
+    }
   }
   std::fprintf(f, "  ],\n");
   std::fprintf(
@@ -384,30 +566,35 @@ void WriteJson(const std::vector<CellResult>& results,
       static_cast<unsigned long long>(surge.rejections),
       static_cast<unsigned long long>(surge.dropped), surge.rss_start_kb,
       surge.rss_end_kb);
-  std::fprintf(f, "  \"batch_vs_item_at_64conns\": %.2f\n}\n", headline);
+  std::fprintf(f, "  \"batch_vs_item_at_64conns\": %.2f,\n", headline);
+  std::fprintf(f, "  \"loop_scaling_at_256conns\": %.2f\n}\n", loop_scaling);
   std::fclose(f);
 }
 
 int Main() {
   PrintPreamble("bench_net_throughput",
-                "epoll front-end over loopback: batched vs per-item "
-                "admission, vs the in-process ceiling");
+                "sharded epoll front-end over loopback: batched vs per-item "
+                "admission, loop scaling, vs the in-process ceiling");
 
   Nanos warmup = 300 * kMillisecond;
   Nanos measure = 600 * kMillisecond;
   Nanos surge_duration = 1500 * kMillisecond;
   std::vector<std::pair<size_t, size_t>> grid = {{16, 8}, {64, 16}};
+  std::vector<size_t> ladder_conns = {256, 1024};
   if (BenchScale() == 1) {
     warmup = 500 * kMillisecond;
     measure = 2 * kSecond;
     surge_duration = 4 * kSecond;
-    grid = {{4, 8}, {16, 8}, {64, 16}, {128, 16}};
+    grid = {{4, 8}, {16, 8}, {64, 16}, {128, 16}, {256, 16}};
+    ladder_conns = {256, 1024, 10240};
   } else if (BenchScale() >= 2) {
     warmup = kSecond;
     measure = 5 * kSecond;
     surge_duration = 10 * kSecond;
     grid = {{4, 8}, {16, 8}, {64, 8}, {64, 16}, {128, 16}, {256, 16}};
+    ladder_conns = {256, 1024, 10240};
   }
+  const std::vector<size_t> loop_sweep = LoopSweep();
 
   graph::GeneratorOptions graph_options;
   graph_options.num_vertices = 20'000;
@@ -415,37 +602,86 @@ int Main() {
   const GraphStore graph = GeneratePreferentialAttachment(graph_options);
   const std::vector<GraphQuery> queries = MakeQueries(graph);
 
-  std::printf("%-10s %6s %9s %12s %12s %12s %10s\n", "variant", "conns",
-              "in_flight", "qps", "p50_us", "p99_us", "avg_batch");
-  PrintRule(78);
+  std::printf("hardware_concurrency: %u, loop sweep:",
+              std::thread::hardware_concurrency());
+  for (const size_t loops : loop_sweep) std::printf(" %zu", loops);
+  std::printf("\n\n%-10s %6s %6s %9s %12s %12s %12s %10s\n", "variant",
+              "loops", "conns", "in_flight", "qps", "p50_us", "p99_us",
+              "avg_batch");
+  PrintRule(84);
   std::vector<CellResult> results;
   double capacity_qps = 0;
   double item_64 = 0, batch_64 = 0;
   for (const auto& [connections, in_flight] : grid) {
+    const size_t row_start = results.size();
     CellResult inproc = RunInproc(graph, queries, connections * in_flight,
                                   warmup, measure);
     inproc.connections = connections;
     inproc.in_flight = in_flight;
     results.push_back(inproc);
-    for (const bool batch : {false, true}) {
-      const CellResult r = RunNet(graph, queries, batch, connections,
-                                  in_flight, warmup, measure);
+    // net_item only at the sweep's first loop count (the batching A/B
+    // baseline); net_batch at every loop count (the scaling curve).
+    results.push_back(RunNet(graph, queries, /*batch_submit=*/false,
+                             loop_sweep.front(), connections, in_flight,
+                             warmup, measure));
+    for (const size_t loops : loop_sweep) {
+      const CellResult r = RunNet(graph, queries, /*batch_submit=*/true,
+                                  loops, connections, in_flight, warmup,
+                                  measure);
       results.push_back(r);
       if (connections >= 64) {
-        if (batch && r.qps > batch_64) batch_64 = r.qps;
-        if (!batch && r.qps > item_64) item_64 = r.qps;
+        if (r.qps > batch_64) batch_64 = r.qps;
       }
-      if (batch && r.qps > capacity_qps) capacity_qps = r.qps;
+      if (r.qps > capacity_qps) capacity_qps = r.qps;
     }
-    for (size_t i = results.size() - 3; i < results.size(); ++i) {
+    if (connections >= 64) {
+      const CellResult& item = results[row_start + 1];
+      if (item.qps > item_64) item_64 = item.qps;
+    }
+    for (size_t i = row_start; i < results.size(); ++i) {
       const CellResult& r = results[i];
-      std::printf("%-10s %6zu %9zu %12.0f %12.1f %12.1f %10.1f\n",
-                  r.variant.c_str(), r.connections, r.in_flight, r.qps,
-                  static_cast<double>(r.rt_p50) / 1000.0,
+      std::printf("%-10s %6zu %6zu %9zu %12.0f %12.1f %12.1f %10.1f\n",
+                  r.variant.c_str(), r.loops, r.connections, r.in_flight,
+                  r.qps, static_cast<double>(r.rt_p50) / 1000.0,
                   static_cast<double>(r.rt_p99) / 1000.0, r.avg_batch);
     }
-    PrintRule(78);
+    PrintRule(84);
   }
+
+  // High-connection ladder at the sweep's min and max loop counts.
+  std::vector<size_t> ladder_loops = {loop_sweep.front()};
+  if (loop_sweep.back() != loop_sweep.front()) {
+    ladder_loops.push_back(loop_sweep.back());
+  }
+  std::vector<LadderResult> ladder;
+  std::printf("\nladder (in_flight=2, 4k rings)\n%6s %6s %12s %12s %12s "
+              "%12s %12s\n",
+              "conns", "loops", "qps", "p50_us", "p99_us", "rss0_kb",
+              "rss1_kb");
+  PrintRule(78);
+  double ladder_1 = 0, ladder_n = 0;
+  for (const size_t connections : ladder_conns) {
+    for (const size_t loops : ladder_loops) {
+      const LadderResult r =
+          RunLadder(graph, queries, connections, loops, warmup, measure);
+      ladder.push_back(r);
+      if (r.skipped) {
+        std::printf("%6zu %6zu skipped: %s\n", r.connections, r.loops,
+                    r.skip_reason.c_str());
+        continue;
+      }
+      std::printf("%6zu %6zu %12.0f %12.1f %12.1f %12ld %12ld\n",
+                  r.connections, r.loops, r.qps,
+                  static_cast<double>(r.rt_p50) / 1000.0,
+                  static_cast<double>(r.rt_p99) / 1000.0, r.rss_start_kb,
+                  r.rss_end_kb);
+      if (connections == 256) {
+        if (loops == ladder_loops.front()) ladder_1 = r.qps;
+        if (loops == ladder_loops.back()) ladder_n = r.qps;
+      }
+    }
+  }
+  PrintRule(78);
 
   const SurgeResult surge =
       RunSurge(graph, queries, capacity_qps, surge_duration);
@@ -462,10 +698,16 @@ int Main() {
               surge.rss_end_kb - surge.rss_start_kb);
 
   const double headline = item_64 > 0 ? batch_64 / item_64 : 0;
-  WriteJson(results, surge, headline);
+  const double loop_scaling =
+      (ladder_1 > 0 && ladder_loops.size() > 1) ? ladder_n / ladder_1 : 0;
+  WriteJson(results, ladder, surge, headline, loop_scaling);
   std::printf("wrote BENCH_net_throughput.json\n");
   if (headline > 0) {
     std::printf(">= 64 conns: net_batch/net_item = %.2fx\n", headline);
+  }
+  if (loop_scaling > 0) {
+    std::printf("256 conns: loops %zu -> %zu scaling = %.2fx\n",
+                ladder_loops.front(), ladder_loops.back(), loop_scaling);
   }
   return 0;
 }

@@ -48,7 +48,9 @@ void PrintHelp() {
       "SIGINT)\n"
       "  --batch-submit=0|1  with --listen: drain each epoll wakeup "
       "through\n"
-      "                      one SubmitBatch admission pass (default 1)\n\n"
+      "                      one SubmitBatch admission pass (default 1)\n"
+      "  --loops=N           with --listen: event loops / SO_REUSEPORT\n"
+      "                      listeners (default 0 = min(cores, 4))\n\n"
       "  cluster\n"
       "  --vertices=N        graph size (default 50000)\n"
       "  --brokers=N         broker stages (default 1)\n"
@@ -75,6 +77,7 @@ int main(int argc, char** argv) {
   const auto listen_port = static_cast<uint16_t>(flags.GetUint("listen", 0));
   const auto serve_seconds = flags.GetUint("serve-seconds", 0);
   const bool batch_submit = flags.GetBool("batch-submit", true);
+  const auto num_loops = flags.GetUint("loops", 0);
 
   GeneratorOptions graph_options;
   graph_options.num_vertices =
@@ -128,6 +131,7 @@ int main(int argc, char** argv) {
     net::NetServer::Options server_options;
     server_options.port = listen_port;
     server_options.batch_submit = batch_submit;
+    server_options.num_loops = num_loops;
     net::NetServer server(&cluster, server_options);
     if (Status s = server.Start(); !s.ok()) {
       std::fprintf(stderr, "server start failed: %s\n",
@@ -136,9 +140,11 @@ int main(int argc, char** argv) {
     }
     std::signal(SIGINT, OnSignal);
     std::signal(SIGTERM, OnSignal);
-    std::printf("listening on %s:%u (%s admission)\n",
+    std::printf("listening on %s:%u (%s admission, %zu loop%s%s)\n",
                 server_options.bind_address.c_str(), server.port(),
-                batch_submit ? "batched" : "per-query");
+                batch_submit ? "batched" : "per-query", server.num_loops(),
+                server.num_loops() == 1 ? "" : "s",
+                server.handoff_mode() ? ", fd-handoff fallback" : "");
     std::fflush(stdout);
     const Nanos stop_at =
         serve_seconds == 0
@@ -149,32 +155,26 @@ int main(int argc, char** argv) {
     while (!g_interrupted.load(std::memory_order_acquire)) {
       if (stop_at != 0 && SystemClock::Global()->Now() >= stop_at) break;
       std::this_thread::sleep_for(std::chrono::seconds(2));
-      const auto& stats = server.stats();
-      const uint64_t requests =
-          stats.requests.load(std::memory_order_relaxed);
-      if (requests != last_requests) {
+      const net::NetServer::Stats stats = server.AggregateStats();
+      if (stats.requests != last_requests) {
         std::printf(
             "conns=%llu requests=%llu rejections=%llu batches=%llu "
             "pauses=%llu\n",
-            static_cast<unsigned long long>(
-                stats.connections_accepted.load(std::memory_order_relaxed) -
-                stats.connections_closed.load(std::memory_order_relaxed)),
-            static_cast<unsigned long long>(requests),
-            static_cast<unsigned long long>(
-                stats.rejections.load(std::memory_order_relaxed)),
-            static_cast<unsigned long long>(
-                stats.submit_batches.load(std::memory_order_relaxed)),
-            static_cast<unsigned long long>(
-                stats.pauses.load(std::memory_order_relaxed)));
+            static_cast<unsigned long long>(stats.connections_accepted -
+                                            stats.connections_closed),
+            static_cast<unsigned long long>(stats.requests),
+            static_cast<unsigned long long>(stats.rejections),
+            static_cast<unsigned long long>(stats.submit_batches),
+            static_cast<unsigned long long>(stats.pauses));
         std::fflush(stdout);
-        last_requests = requests;
+        last_requests = stats.requests;
       }
     }
     server.Stop();
     cluster.Stop();
     std::printf("served %llu requests\n",
                 static_cast<unsigned long long>(
-                    server.stats().requests.load(std::memory_order_relaxed)));
+                    server.AggregateStats().requests));
     return 0;
   }
 

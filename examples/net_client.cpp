@@ -28,7 +28,8 @@ void PrintHelp() {
       "  --host=A          server address (default 127.0.0.1)\n"
       "  --port=N          server port (required)\n"
       "  --connections=N   TCP connections (default 8)\n"
-      "  --threads=N       client IO threads (default 2)\n"
+      "  --threads=N       client IO event loops (default 2;\n"
+      "                    --loops=N is an alias, mirroring the server)\n"
       "  --duration-s=N    run length in seconds (default 5)\n"
       "  --vertices=N      vertex-id space of the server's graph "
       "(default 50000)\n"
@@ -59,7 +60,8 @@ int main(int argc, char** argv) {
   options.host = flags.GetString("host", "127.0.0.1");
   options.port = static_cast<uint16_t>(flags.GetUint("port", 0));
   options.num_connections = flags.GetUint("connections", 8);
-  options.num_io_threads = flags.GetUint("threads", 2);
+  options.num_io_threads =
+      flags.GetUint("threads", flags.GetUint("loops", 2));
   options.in_flight_per_conn = flags.GetUint("in-flight", 16);
   const double qps = flags.GetDouble("qps", 500);
   const auto duration_s = flags.GetUint("duration-s", 5);

@@ -21,10 +21,12 @@ namespace {
 
 constexpr uint64_t kEventToken = ~uint64_t{0};
 constexpr int kMaxEpollEvents = 64;
-/// Departure-timestamp slots per connection; responses match their slot
-/// by sequence number, so a stale slot (overwritten under extreme
-/// overload) just skips the latency sample instead of corrupting it.
-constexpr size_t kSlotCount = 4096;
+
+size_t RoundUpPow2(size_t v) {
+  size_t p = 1;
+  while (p < v) p <<= 1;
+  return p;
+}
 
 }  // namespace
 
@@ -57,6 +59,16 @@ NetClient::NetClient(const Options& options, Sampler sampler)
   if (options_.num_io_threads > options_.num_connections) {
     options_.num_io_threads = options_.num_connections;
   }
+  // Responses match their departure timestamp by sequence number; a
+  // stale slot (overwritten under extreme overload) just skips the
+  // latency sample instead of corrupting it.
+  size_t slots = options_.latency_slots;
+  if (slots == 0) {
+    slots = 4 * options_.in_flight_per_conn;
+    if (slots < 64) slots = 64;
+    if (slots > 4096) slots = 4096;
+  }
+  slot_mask_ = RoundUpPow2(slots) - 1;
 }
 
 NetClient::~NetClient() { Stop(); }
@@ -94,7 +106,7 @@ Status NetClient::Start() {
   for (size_t i = 0; i < options_.num_connections; ++i) {
     auto conn = std::make_unique<Conn>(options_.ring_bytes);
     conn->index = i;
-    conn->slots.resize(kSlotCount);
+    conn->slots.resize(slot_mask_ + 1);
     conn->fd = ::socket(AF_INET, SOCK_STREAM | SOCK_CLOEXEC, 0);
     if (conn->fd < 0 ||
         ::connect(conn->fd, reinterpret_cast<sockaddr*>(&addr),
@@ -105,6 +117,16 @@ Status NetClient::Start() {
     }
     const int one = 1;
     ::setsockopt(conn->fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+    // Verify: a client socket Nagle-delaying small request frames would
+    // serialize the whole closed loop behind delayed ACKs.
+    int nodelay = 0;
+    socklen_t nodelay_len = sizeof(nodelay);
+    if (::getsockopt(conn->fd, IPPROTO_TCP, TCP_NODELAY, &nodelay,
+                     &nodelay_len) != 0 ||
+        nodelay == 0) {
+      ::close(conn->fd);
+      return fail(Status::Internal("TCP_NODELAY not set on client socket"));
+    }
     // Connect blocking (deterministic setup), then switch non-blocking
     // for the event loop.
     const int fl = ::fcntl(conn->fd, F_GETFL, 0);
@@ -250,7 +272,7 @@ bool NetClient::SendOne(Conn* conn) {
   if (conn->tx.free_space() < kRequestFrameBytes) return false;
   RequestFrame frame = sampler_(conn->index, conn->next_seq);
   frame.id = conn->next_seq;
-  Conn::Slot& slot = conn->slots[conn->next_seq & (kSlotCount - 1)];
+  Conn::Slot& slot = conn->slots[conn->next_seq & slot_mask_];
   slot.t0 = SystemClock::Global()->Now();
   slot.seq = conn->next_seq;
   slot.op = frame.op;
@@ -293,7 +315,7 @@ void NetClient::PlaceOpenLoop(size_t thread_index) {
     if (target == nullptr) return;
     if (!open_queue_.TryPop(frame)) return;
     frame.id = target->next_seq;
-    Conn::Slot& slot = target->slots[target->next_seq & (kSlotCount - 1)];
+    Conn::Slot& slot = target->slots[target->next_seq & slot_mask_];
     slot.t0 = SystemClock::Global()->Now();
     slot.seq = target->next_seq;
     slot.op = frame.op;
@@ -328,7 +350,7 @@ void NetClient::OnResponse(Conn* conn, const ResponseFrame& frame,
       break;
   }
   if (conn->inflight > 0) --conn->inflight;
-  const Conn::Slot& slot = conn->slots[frame.id & (kSlotCount - 1)];
+  const Conn::Slot& slot = conn->slots[frame.id & slot_mask_];
   if (slot.seq == frame.id) {
     const Nanos rt = now - slot.t0;
     latency_.Record(rt);

@@ -49,6 +49,12 @@ class NetClient {
     size_t in_flight_per_conn = 16;  ///< Closed-loop window.
     size_t ring_bytes = 1 << 16;     ///< Per-connection rx and tx rings.
     size_t open_queue_capacity = 1 << 14;  ///< Open-loop local queue.
+    /// Departure-timestamp slots per connection (rounded up to a power
+    /// of two). 0 = sized from the closed-loop window, capped at 4096 —
+    /// at 10k+ connections a fixed-size table would dominate client
+    /// memory. A response whose slot was overwritten (possible open-loop
+    /// under extreme overload) skips the latency sample, nothing else.
+    size_t latency_slots = 0;
   };
 
   /// Monotonic counters (snapshot via counters()).
@@ -123,6 +129,7 @@ class NetClient {
 
   Options options_;
   Sampler sampler_;
+  size_t slot_mask_ = 0;  ///< latency-slot count - 1 (power of two).
 
   std::vector<std::unique_ptr<Conn>> conns_;
   std::vector<int> epoll_fds_;

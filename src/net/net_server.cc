@@ -29,6 +29,12 @@ constexpr uint64_t kEventToken = ~uint64_t{0} - 1;
 /// takes another loop iteration.
 constexpr int kMaxEpollEvents = 128;
 
+/// Connection-token field widths: generation << 32 | loop << 24 | slot.
+constexpr uint32_t kSlotBits = 24;
+constexpr uint32_t kSlotMask = (1u << kSlotBits) - 1;
+constexpr uint32_t kLoopMask = 0xff;
+constexpr size_t kMaxLoops = 255;
+
 ResponseStatus ToStatus(Outcome outcome, bool result_ok) {
   switch (outcome) {
     case Outcome::kCompleted:
@@ -43,17 +49,23 @@ ResponseStatus ToStatus(Outcome outcome, bool result_ok) {
   return ResponseStatus::kFailed;
 }
 
+void WriteEventFd(int fd) {
+  const uint64_t one = 1;
+  [[maybe_unused]] ssize_t n = ::write(fd, &one, sizeof(one));
+}
+
 }  // namespace
 
-/// One connection slot. Slots (and their rings) are allocated once and
-/// recycled across connections; `gen` stamps each incarnation so a
-/// completion for a closed connection resolves to nothing instead of a
-/// stranger's socket.
+/// One connection slot, owned by exactly one loop for its whole life.
+/// Slots (and their rings) are allocated once and recycled across
+/// connections; `gen` stamps each incarnation so a completion for a
+/// closed connection resolves to nothing instead of a stranger's socket.
 struct NetServer::Connection {
   Connection(size_t rx_bytes, size_t tx_bytes) : rx(rx_bytes), tx(tx_bytes) {}
 
   int fd = -1;
-  uint32_t index = 0;
+  uint32_t index = 0;    ///< Slot index within the owning loop (24 bits).
+  uint32_t loop_id = 0;  ///< Owning loop (8 bits); never changes.
   uint32_t gen = 1;
   ByteRing rx;
   ByteRing tx;
@@ -70,116 +82,300 @@ struct NetServer::Connection {
   bool closing = false;  ///< Peer EOF seen; flush what is owed, then close.
 
   uint64_t Token() const {
-    return (static_cast<uint64_t>(gen) << 32) | index;
+    return (static_cast<uint64_t>(gen) << 32) |
+           (static_cast<uint64_t>(loop_id) << kSlotBits) | index;
   }
 };
 
 struct NetServer::Pending {
-  NetServer* server = nullptr;
+  Loop* loop = nullptr;  ///< Owning loop (completion routing).
   uint64_t token = 0;
   uint64_t request_id = 0;
 };
 
+/// One reactor: everything a loop thread touches on the hot path lives
+/// here and is owned by that thread alone (the done-ring and mailbox are
+/// the only cross-thread entry points, both bounded MPMC).
+struct NetServer::Loop {
+  Loop(NetServer* server_in, size_t id_in, size_t done_ring_capacity,
+       size_t mailbox_capacity)
+      : server(server_in),
+        id(static_cast<uint32_t>(id_in)),
+        pending_pool(4096),
+        done_ring(done_ring_capacity),
+        fd_mailbox(mailbox_capacity) {}
+
+  NetServer* server;
+  uint32_t id;
+
+  int listen_fd = -1;  ///< Own SO_REUSEPORT listener; -1 in handoff mode
+                       ///< for every loop but 0.
+  int epoll_fd = -1;
+  int event_fd = -1;
+
+  std::vector<std::unique_ptr<Connection>> slots;
+  std::vector<uint32_t> free_slots;
+
+  /// Parse scratch for one admission episode (reused, never freed).
+  std::vector<graph::Cluster::BatchRequest> batch;
+  std::vector<uint64_t> batch_tokens;  ///< Connection of each batch entry.
+
+  ObjectPool<Pending> pending_pool;
+  /// Worker-thread completions only. The loop thread never pushes here:
+  /// its synchronous completions (rejections inside Submit/SubmitBatch)
+  /// deliver inline, so a full ring can never make the loop wait on
+  /// itself — it only throttles workers until the next loop drain.
+  MpmcQueue<Done> done_ring;
+  std::atomic<bool> done_signal{false};
+  /// Accepted fds mailed over by loop 0 in handoff mode; drained on
+  /// every eventfd wakeup.
+  MpmcQueue<int> fd_mailbox;
+
+  std::atomic<std::thread::id> tid{};
+  /// True while this loop's thread is inside a Cluster submit call.
+  /// Loop-thread completions arriving then are parked in deferred_dones
+  /// (delivery can resume reads, which would mutate batch mid-submit)
+  /// and delivered as soon as the submit returns.
+  bool in_submit = false;
+  /// SubmitParsed nesting depth (delivery of deferred completions can
+  /// resume reads that re-enter it); only depth 0 delivers.
+  size_t submit_depth = 0;
+  std::vector<Done> deferred_dones;  ///< Loop-only scratch, reused.
+
+  /// Connections paused for broker-queue overload, re-checked every loop
+  /// iteration; sheds observed by the last submit episode set this.
+  bool overload_paused = false;
+
+  LoopCounters counters;
+  std::thread thread;
+};
+
 NetServer::NetServer(graph::Cluster* cluster, const Options& options)
-    : cluster_(cluster),
-      options_(options),
-      pending_pool_(4096),
-      done_ring_(options.max_connections * 64 < (1u << 16)
-                     ? (1u << 16)
-                     : options.max_connections * 64) {
-  batch_.reserve(options_.max_batch);
-  batch_tokens_.reserve(options_.max_batch);
-  deferred_dones_.reserve(options_.max_batch);
+    : cluster_(cluster), options_(options) {
+  if (options_.num_loops == 0) {
+    const size_t hw = std::thread::hardware_concurrency();
+    options_.num_loops = hw == 0 ? 1 : (hw < 4 ? hw : 4);
+  }
+  if (options_.num_loops > kMaxLoops) options_.num_loops = kMaxLoops;
 }
 
 NetServer::~NetServer() { Stop(); }
+
+Status NetServer::StartListeners() {
+  // Reuseport path: one listener per loop, all bound to the same port,
+  // the kernel hashes incoming connections across them. Any failure
+  // after loop 0's listener is up falls back to handoff mode (loop 0
+  // accepts for everyone) rather than failing Start; extra listeners
+  // already bound are closed so exactly one thread ever accepts then.
+  const bool want_reuseport =
+      !options_.force_fd_handoff && loops_.size() > 1;
+  handoff_mode_ = !want_reuseport && loops_.size() > 1;
+  const auto fall_back = [this] {
+    for (size_t j = 1; j < loops_.size(); ++j) {
+      if (loops_[j]->listen_fd >= 0) {
+        ::close(loops_[j]->listen_fd);
+        loops_[j]->listen_fd = -1;
+      }
+    }
+    handoff_mode_ = true;
+  };
+
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  if (::inet_pton(AF_INET, options_.bind_address.c_str(), &addr.sin_addr) !=
+      1) {
+    return Status::InvalidArgument("bad bind address: " +
+                                   options_.bind_address);
+  }
+  const size_t listeners = handoff_mode_ ? 1 : loops_.size();
+  for (size_t i = 0; i < listeners; ++i) {
+    const int fd =
+        ::socket(AF_INET, SOCK_STREAM | SOCK_NONBLOCK | SOCK_CLOEXEC, 0);
+    if (fd < 0) {
+      if (i == 0) return Status::Internal("socket() failed");
+      fall_back();
+      return Status::OK();
+    }
+    const int one = 1;
+    ::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+    if (want_reuseport &&
+        ::setsockopt(fd, SOL_SOCKET, SO_REUSEPORT, &one, sizeof(one)) != 0) {
+      // Kernel without SO_REUSEPORT: single listener + fd handoff.
+      if (i > 0) {
+        ::close(fd);
+        fall_back();
+        return Status::OK();
+      }
+      handoff_mode_ = true;
+    }
+    addr.sin_port = htons(i == 0 ? options_.port : port_);
+    if (::bind(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) < 0 ||
+        ::listen(fd, options_.listen_backlog) < 0) {
+      ::close(fd);
+      if (i == 0) {
+        return Status::Internal(std::string("bind/listen failed: ") +
+                                std::strerror(errno));
+      }
+      fall_back();
+      return Status::OK();
+    }
+    if (i == 0) {
+      socklen_t addr_len = sizeof(addr);
+      ::getsockname(fd, reinterpret_cast<sockaddr*>(&addr), &addr_len);
+      port_ = ntohs(addr.sin_port);
+    }
+    loops_[i]->listen_fd = fd;
+    if (handoff_mode_) break;  // SO_REUSEPORT failed on loop 0's socket.
+  }
+  return Status::OK();
+}
 
 Status NetServer::Start() {
   if (running_.load(std::memory_order_acquire)) {
     return Status::FailedPrecondition("server already started");
   }
-  // Stop() only cleans up after a successful Start(), so each early
-  // return below must close what it already opened.
-  const auto fail = [this](Status status) {
-    if (listen_fd_ >= 0) ::close(listen_fd_);
-    if (epoll_fd_ >= 0) ::close(epoll_fd_);
-    if (event_fd_ >= 0) ::close(event_fd_);
-    listen_fd_ = epoll_fd_ = event_fd_ = -1;
-    return status;
-  };
-  listen_fd_ = ::socket(AF_INET, SOCK_STREAM | SOCK_NONBLOCK | SOCK_CLOEXEC,
-                        0);
-  if (listen_fd_ < 0) return Status::Internal("socket() failed");
-  const int one = 1;
-  ::setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+  loops_.clear();  // Restart after Stop(): previous loops' stats reset.
+  handoff_mode_ = false;
+  handoff_rr_ = 0;
+  port_ = 0;
+  total_live_.store(0, std::memory_order_relaxed);
 
-  sockaddr_in addr{};
-  addr.sin_family = AF_INET;
-  addr.sin_port = htons(options_.port);
-  if (::inet_pton(AF_INET, options_.bind_address.c_str(), &addr.sin_addr) !=
-      1) {
-    return fail(Status::InvalidArgument("bad bind address: " +
-                                        options_.bind_address));
-  }
-  if (::bind(listen_fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) <
-      0) {
-    return fail(Status::Internal(std::string("bind() failed: ") +
-                                 std::strerror(errno)));
-  }
-  socklen_t addr_len = sizeof(addr);
-  ::getsockname(listen_fd_, reinterpret_cast<sockaddr*>(&addr), &addr_len);
-  port_ = ntohs(addr.sin_port);
-  if (::listen(listen_fd_, options_.listen_backlog) < 0) {
-    return fail(Status::Internal("listen() failed"));
+  const size_t num_loops = options_.num_loops;
+  // Done-ring sizing: bounds how far workers can run ahead of a loop's
+  // drain. Scaled down with the loop count so a high-connection server
+  // doesn't multiply ring memory by the loop count.
+  size_t ring = options_.max_connections * 64 / num_loops;
+  if (ring < (1u << 12)) ring = 1u << 12;
+  if (ring > (1u << 16)) ring = 1u << 16;
+  const size_t mailbox =
+      options_.max_connections < 1024 ? 1024 : options_.max_connections;
+  loops_.reserve(num_loops);
+  for (size_t i = 0; i < num_loops; ++i) {
+    loops_.push_back(std::make_unique<Loop>(this, i, ring, mailbox));
+    Loop& loop = *loops_.back();
+    loop.batch.reserve(options_.max_batch);
+    loop.batch_tokens.reserve(options_.max_batch);
+    loop.deferred_dones.reserve(options_.max_batch);
   }
 
-  epoll_fd_ = ::epoll_create1(EPOLL_CLOEXEC);
-  event_fd_ = ::eventfd(0, EFD_NONBLOCK | EFD_CLOEXEC);
-  if (epoll_fd_ < 0 || event_fd_ < 0) {
-    return fail(Status::Internal("epoll/eventfd setup failed"));
+  if (Status s = StartListeners(); !s.ok()) {
+    CloseAll();
+    loops_.clear();
+    return s;
   }
-  epoll_event ev{};
-  ev.events = EPOLLIN;
-  ev.data.u64 = kListenToken;
-  ::epoll_ctl(epoll_fd_, EPOLL_CTL_ADD, listen_fd_, &ev);
-  ev.data.u64 = kEventToken;
-  ::epoll_ctl(epoll_fd_, EPOLL_CTL_ADD, event_fd_, &ev);
+  for (auto& loop_ptr : loops_) {
+    Loop& loop = *loop_ptr;
+    loop.epoll_fd = ::epoll_create1(EPOLL_CLOEXEC);
+    loop.event_fd = ::eventfd(0, EFD_NONBLOCK | EFD_CLOEXEC);
+    if (loop.epoll_fd < 0 || loop.event_fd < 0) {
+      CloseAll();
+      loops_.clear();
+      return Status::Internal("epoll/eventfd setup failed");
+    }
+    epoll_event ev{};
+    if (loop.listen_fd >= 0) {
+      ev.events = EPOLLIN;
+      ev.data.u64 = kListenToken;
+      ::epoll_ctl(loop.epoll_fd, EPOLL_CTL_ADD, loop.listen_fd, &ev);
+    }
+    ev.events = EPOLLIN;
+    ev.data.u64 = kEventToken;
+    ::epoll_ctl(loop.epoll_fd, EPOLL_CTL_ADD, loop.event_fd, &ev);
+  }
 
   stop_requested_.store(false, std::memory_order_release);
   running_.store(true, std::memory_order_release);
-  loop_ = std::thread([this] { LoopThread(); });
+  for (auto& loop_ptr : loops_) {
+    Loop& loop = *loop_ptr;
+    loop.thread = std::thread([this, &loop] { LoopThread(loop); });
+  }
   return Status::OK();
 }
 
 void NetServer::Stop() {
   if (!running_.exchange(false, std::memory_order_acq_rel)) return;
   stop_requested_.store(true, std::memory_order_release);
-  const uint64_t one = 1;
-  [[maybe_unused]] ssize_t n = ::write(event_fd_, &one, sizeof(one));
-  if (loop_.joinable()) loop_.join();
-  for (auto& slot : slots_) {
-    if (slot && slot->fd >= 0) {
-      ::close(slot->fd);
-      slot->fd = -1;
-      ++slot->gen;
-    }
+  for (auto& loop : loops_) {
+    if (loop->event_fd >= 0) WriteEventFd(loop->event_fd);
   }
-  if (listen_fd_ >= 0) ::close(listen_fd_);
-  if (epoll_fd_ >= 0) ::close(epoll_fd_);
-  if (event_fd_ >= 0) ::close(event_fd_);
-  listen_fd_ = epoll_fd_ = event_fd_ = -1;
+  for (auto& loop : loops_) {
+    if (loop->thread.joinable()) loop->thread.join();
+  }
+  CloseAll();
 }
 
-NetServer::Connection* NetServer::Resolve(uint64_t token) {
-  const auto index = static_cast<uint32_t>(token);
+void NetServer::CloseAll() {
+  for (auto& loop_ptr : loops_) {
+    Loop& loop = *loop_ptr;
+    // Handed-off fds nobody adopted.
+    int fd;
+    while (loop.fd_mailbox.TryPop(fd)) ::close(fd);
+    for (auto& slot : loop.slots) {
+      if (slot && slot->fd >= 0) {
+        ::close(slot->fd);
+        slot->fd = -1;
+        ++slot->gen;
+      }
+    }
+    if (loop.listen_fd >= 0) ::close(loop.listen_fd);
+    if (loop.epoll_fd >= 0) ::close(loop.epoll_fd);
+    if (loop.event_fd >= 0) ::close(loop.event_fd);
+    loop.listen_fd = loop.epoll_fd = loop.event_fd = -1;
+  }
+}
+
+NetServer::Stats NetServer::LoopStats(size_t loop) const {
+  Stats s;
+  if (loop >= loops_.size()) return s;
+  const LoopCounters& c = loops_[loop]->counters;
+  s.connections_accepted =
+      c.connections_accepted.load(std::memory_order_relaxed);
+  s.connections_dropped =
+      c.connections_dropped.load(std::memory_order_relaxed);
+  s.connections_closed =
+      c.connections_closed.load(std::memory_order_relaxed);
+  s.requests = c.requests.load(std::memory_order_relaxed);
+  s.responses = c.responses.load(std::memory_order_relaxed);
+  s.rejections = c.rejections.load(std::memory_order_relaxed);
+  s.bad_frames = c.bad_frames.load(std::memory_order_relaxed);
+  s.submit_batches = c.submit_batches.load(std::memory_order_relaxed);
+  s.pauses = c.pauses.load(std::memory_order_relaxed);
+  s.handoffs = c.handoffs.load(std::memory_order_relaxed);
+  s.nodelay_failures = c.nodelay_failures.load(std::memory_order_relaxed);
+  return s;
+}
+
+NetServer::Stats NetServer::AggregateStats() const {
+  Stats total;
+  for (size_t i = 0; i < loops_.size(); ++i) {
+    const Stats s = LoopStats(i);
+    total.connections_accepted += s.connections_accepted;
+    total.connections_dropped += s.connections_dropped;
+    total.connections_closed += s.connections_closed;
+    total.requests += s.requests;
+    total.responses += s.responses;
+    total.rejections += s.rejections;
+    total.bad_frames += s.bad_frames;
+    total.submit_batches += s.submit_batches;
+    total.pauses += s.pauses;
+    total.handoffs += s.handoffs;
+    total.nodelay_failures += s.nodelay_failures;
+  }
+  return total;
+}
+
+NetServer::Connection* NetServer::Resolve(Loop& loop, uint64_t token) {
+  const uint32_t index = static_cast<uint32_t>(token) & kSlotMask;
+  const uint32_t loop_id =
+      static_cast<uint32_t>(token >> kSlotBits) & kLoopMask;
   const auto gen = static_cast<uint32_t>(token >> 32);
-  if (index >= slots_.size()) return nullptr;
-  Connection* conn = slots_[index].get();
+  if (loop_id != loop.id || index >= loop.slots.size()) return nullptr;
+  Connection* conn = loop.slots[index].get();
   if (conn == nullptr || conn->fd < 0 || conn->gen != gen) return nullptr;
   return conn;
 }
 
-void NetServer::UpdateEpoll(Connection* conn) {
+void NetServer::UpdateEpoll(Loop& loop, Connection* conn) {
   uint32_t want = 0;
   if (conn->want_read && !conn->closing) want |= EPOLLIN;
   if (!conn->tx.empty()) want |= EPOLLOUT;
@@ -187,77 +383,130 @@ void NetServer::UpdateEpoll(Connection* conn) {
   epoll_event ev{};
   ev.events = want | EPOLLRDHUP;
   ev.data.u64 = conn->Token();
-  ::epoll_ctl(epoll_fd_, EPOLL_CTL_MOD, conn->fd, &ev);
+  ::epoll_ctl(loop.epoll_fd, EPOLL_CTL_MOD, conn->fd, &ev);
   conn->armed_events = want;
 }
 
-void NetServer::PauseRead(Connection* conn) {
+void NetServer::PauseRead(Loop& loop, Connection* conn) {
   if (!conn->want_read) return;
   conn->want_read = false;
-  stats_.pauses.fetch_add(1, std::memory_order_relaxed);
-  UpdateEpoll(conn);
+  loop.counters.pauses.fetch_add(1, std::memory_order_relaxed);
+  UpdateEpoll(loop, conn);
 }
 
-void NetServer::ResumeRead(Connection* conn) {
+void NetServer::ResumeRead(Loop& loop, Connection* conn) {
   if (conn->want_read || conn->closing) return;
   if (conn->read_paused_inflight || conn->read_paused_tx ||
       conn->read_paused_overload) {
     return;
   }
   conn->want_read = true;
-  UpdateEpoll(conn);
+  UpdateEpoll(loop, conn);
   // Bytes may already be buffered (or the kernel buffer full); parse and
   // read rather than waiting for another edge.
-  ParseConn(conn);
-  ReadConn(conn);
+  ParseConn(loop, conn);
+  ReadConn(loop, conn);
 }
 
-void NetServer::AcceptReady() {
+void NetServer::AdoptFd(Loop& loop, int fd) {
+  const int one = 1;
+  ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+  // Verify: small length-prefixed frames must never be Nagle-delayed.
+  // The counter (asserted zero in tests) proves every accepted socket
+  // really runs with the option set.
+  int got = 0;
+  socklen_t got_len = sizeof(got);
+  if (::getsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &got, &got_len) != 0 ||
+      got == 0) {
+    loop.counters.nodelay_failures.fetch_add(1, std::memory_order_relaxed);
+  }
+
+  Connection* conn;
+  if (!loop.free_slots.empty()) {
+    conn = loop.slots[loop.free_slots.back()].get();
+    loop.free_slots.pop_back();
+  } else {
+    if (loop.slots.size() >= kSlotMask) {
+      // Slot index field exhausted (16M connections on one loop).
+      loop.counters.connections_dropped.fetch_add(1,
+                                                  std::memory_order_relaxed);
+      total_live_.fetch_sub(1, std::memory_order_relaxed);
+      ::close(fd);
+      return;
+    }
+    const auto index = static_cast<uint32_t>(loop.slots.size());
+    loop.slots.push_back(std::make_unique<Connection>(
+        options_.read_ring_bytes, options_.write_ring_bytes));
+    conn = loop.slots.back().get();
+    conn->index = index;
+    conn->loop_id = loop.id;
+  }
+  conn->fd = fd;
+  conn->rx.Clear();
+  conn->tx.Clear();
+  conn->owed = 0;
+  conn->want_read = true;
+  conn->dirty = false;
+  conn->read_paused_inflight = conn->read_paused_tx =
+      conn->read_paused_overload = false;
+  conn->closing = false;
+  conn->armed_events = EPOLLIN;
+  loop.counters.connections_accepted.fetch_add(1, std::memory_order_relaxed);
+
+  // Level-triggered EPOLLIN: bytes that arrived before this ADD (e.g. on
+  // a handed-off fd) surface on the next epoll_wait.
+  epoll_event ev{};
+  ev.events = EPOLLIN | EPOLLRDHUP;
+  ev.data.u64 = conn->Token();
+  ::epoll_ctl(loop.epoll_fd, EPOLL_CTL_ADD, fd, &ev);
+}
+
+void NetServer::AcceptReady(Loop& loop) {
   for (;;) {
-    const int fd = ::accept4(listen_fd_, nullptr, nullptr,
+    const int fd = ::accept4(loop.listen_fd, nullptr, nullptr,
                              SOCK_NONBLOCK | SOCK_CLOEXEC);
     if (fd < 0) return;  // EAGAIN or transient error: done for now.
-    if (live_connections_ >= options_.max_connections &&
-        free_slots_.empty()) {
-      stats_.connections_dropped.fetch_add(1, std::memory_order_relaxed);
+    if (total_live_.fetch_add(1, std::memory_order_relaxed) >=
+        options_.max_connections) {
+      total_live_.fetch_sub(1, std::memory_order_relaxed);
+      loop.counters.connections_dropped.fetch_add(1,
+                                                  std::memory_order_relaxed);
       ::close(fd);
       continue;
     }
-    const int one = 1;
-    ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
-
-    Connection* conn;
-    if (!free_slots_.empty()) {
-      conn = slots_[free_slots_.back()].get();
-      free_slots_.pop_back();
-    } else {
-      const auto index = static_cast<uint32_t>(slots_.size());
-      slots_.push_back(std::make_unique<Connection>(
-          options_.read_ring_bytes, options_.write_ring_bytes));
-      conn = slots_.back().get();
-      conn->index = index;
+    if (handoff_mode_ && loops_.size() > 1) {
+      // Loop 0 accepts for everyone; fds round-robin across the loops
+      // (including loop 0 itself) through each target's mailbox.
+      const size_t target = handoff_rr_++ % loops_.size();
+      if (target != loop.id) {
+        Loop& other = *loops_[target];
+        int mailed = fd;
+        if (other.fd_mailbox.TryPush(std::move(mailed))) {
+          loop.counters.handoffs.fetch_add(1, std::memory_order_relaxed);
+          WriteEventFd(other.event_fd);
+          continue;
+        }
+        // Mailbox full (target loop badly behind): keep it local rather
+        // than dropping the connection.
+      }
     }
-    conn->fd = fd;
-    conn->rx.Clear();
-    conn->tx.Clear();
-    conn->owed = 0;
-    conn->want_read = true;
-    conn->dirty = false;
-    conn->read_paused_inflight = conn->read_paused_tx =
-        conn->read_paused_overload = false;
-    conn->closing = false;
-    conn->armed_events = EPOLLIN;
-    ++live_connections_;
-    stats_.connections_accepted.fetch_add(1, std::memory_order_relaxed);
-
-    epoll_event ev{};
-    ev.events = EPOLLIN | EPOLLRDHUP;
-    ev.data.u64 = conn->Token();
-    ::epoll_ctl(epoll_fd_, EPOLL_CTL_ADD, fd, &ev);
+    AdoptFd(loop, fd);
   }
 }
 
-void NetServer::CloseConn(Connection* conn) {
+void NetServer::DrainMailbox(Loop& loop) {
+  int fd;
+  while (loop.fd_mailbox.TryPop(fd)) {
+    if (stop_requested_.load(std::memory_order_acquire)) {
+      ::close(fd);
+      total_live_.fetch_sub(1, std::memory_order_relaxed);
+      continue;
+    }
+    AdoptFd(loop, fd);
+  }
+}
+
+void NetServer::CloseConn(Loop& loop, Connection* conn) {
   if (conn->fd < 0) return;
   ::close(conn->fd);  // Also removes it from the epoll set.
   conn->fd = -1;
@@ -266,12 +515,12 @@ void NetServer::CloseConn(Connection* conn) {
   conn->tx.Clear();
   conn->owed = 0;
   conn->dirty = false;
-  free_slots_.push_back(conn->index);
-  --live_connections_;
-  stats_.connections_closed.fetch_add(1, std::memory_order_relaxed);
+  loop.free_slots.push_back(conn->index);
+  total_live_.fetch_sub(1, std::memory_order_relaxed);
+  loop.counters.connections_closed.fetch_add(1, std::memory_order_relaxed);
 }
 
-void NetServer::ReadConn(Connection* conn) {
+void NetServer::ReadConn(Loop& loop, Connection* conn) {
   if (conn->fd < 0 || conn->closing) return;
   for (;;) {
     if (!conn->want_read) return;  // Parse gate paused us mid-read.
@@ -281,30 +530,30 @@ void NetServer::ReadConn(Connection* conn) {
       // Ring full of unparsed bytes: only possible while a parse gate
       // holds (frames are far smaller than the ring); the gate's resume
       // re-enters here.
-      ParseConn(conn);
+      ParseConn(loop, conn);
       if (conn->rx.free_space() == 0) return;
       continue;
     }
     const ssize_t n = ::readv(conn->fd, iov, segments);
     if (n > 0) {
       conn->rx.CommitWrite(static_cast<size_t>(n));
-      ParseConn(conn);
+      ParseConn(loop, conn);
       continue;
     }
     if (n == 0) {
       // EOF: answer what is owed, flush, then close.
       conn->closing = true;
-      if (conn->owed == 0 && conn->tx.empty()) CloseConn(conn);
+      if (conn->owed == 0 && conn->tx.empty()) CloseConn(loop, conn);
       return;
     }
     if (errno == EAGAIN || errno == EWOULDBLOCK) return;
     if (errno == EINTR) continue;
-    CloseConn(conn);  // Hard error: responses in flight are dropped.
+    CloseConn(loop, conn);  // Hard error: responses in flight are dropped.
     return;
   }
 }
 
-void NetServer::ParseConn(Connection* conn) {
+void NetServer::ParseConn(Loop& loop, Connection* conn) {
   if (conn->fd < 0 || conn->closing) return;
   const Nanos now = SystemClock::Global()->Now();
   for (;;) {
@@ -313,13 +562,13 @@ void NetServer::ParseConn(Connection* conn) {
     // window closes, and the overload queues at the client.
     if (conn->owed >= options_.max_inflight_per_conn) {
       conn->read_paused_inflight = true;
-      PauseRead(conn);
+      PauseRead(loop, conn);
       return;
     }
     if (conn->tx.free_space() <
         (conn->owed + 1) * kResponseFrameBytes) {
       conn->read_paused_tx = true;
-      PauseRead(conn);
+      PauseRead(loop, conn);
       return;
     }
     uint8_t header[kLengthPrefixBytes];
@@ -327,8 +576,8 @@ void NetServer::ParseConn(Connection* conn) {
     const uint32_t body_len = wire::GetU32(header);
     if (body_len != kRequestBodyBytes) {
       // Framing is lost; nothing downstream is trustworthy.
-      stats_.bad_frames.fetch_add(1, std::memory_order_relaxed);
-      CloseConn(conn);
+      loop.counters.bad_frames.fetch_add(1, std::memory_order_relaxed);
+      CloseConn(loop, conn);
       return;
     }
     uint8_t body[kRequestBodyBytes];
@@ -338,19 +587,19 @@ void NetServer::ParseConn(Connection* conn) {
     RequestFrame frame;
     if (!DecodeRequestBody(body, &frame)) {
       // Well-framed but invalid (unknown op / flags): answer and move on.
-      stats_.bad_frames.fetch_add(1, std::memory_order_relaxed);
+      loop.counters.bad_frames.fetch_add(1, std::memory_order_relaxed);
       uint8_t encoded[kResponseFrameBytes];
       EncodeResponse({frame.id, ResponseStatus::kBadRequest, 0, 0}, encoded);
       conn->tx.Write(encoded, sizeof(encoded));
       conn->dirty = true;
-      stats_.responses.fetch_add(1, std::memory_order_relaxed);
+      loop.counters.responses.fetch_add(1, std::memory_order_relaxed);
       continue;
     }
-    stats_.requests.fetch_add(1, std::memory_order_relaxed);
+    loop.counters.requests.fetch_add(1, std::memory_order_relaxed);
     ++conn->owed;
 
-    Pending* pending = pending_pool_.Acquire();
-    pending->server = this;
+    Pending* pending = loop.pending_pool.Acquire();
+    pending->loop = &loop;
     pending->token = conn->Token();
     pending->request_id = frame.id;
     graph::Cluster::BatchRequest request;
@@ -363,12 +612,12 @@ void NetServer::ParseConn(Connection* conn) {
     request.done = [pending](const server::WorkItem& w, Outcome outcome,
                              const GraphQueryResult& result) {
       (void)w;
-      pending->server->OnQueryDone(pending, outcome, result);
+      pending->loop->server->OnQueryDone(pending, outcome, result);
     };
     if (options_.batch_submit) {
-      batch_.push_back(std::move(request));
-      batch_tokens_.push_back(conn->Token());
-      if (batch_.size() >= options_.max_batch) SubmitParsed();
+      loop.batch.push_back(std::move(request));
+      loop.batch_tokens.push_back(conn->Token());
+      if (loop.batch.size() >= options_.max_batch) SubmitParsed(loop);
     } else {
       // A/B baseline: one admission episode per query.
       cluster_->Submit(request.query, request.deadline,
@@ -377,45 +626,46 @@ void NetServer::ParseConn(Connection* conn) {
   }
 }
 
-void NetServer::SubmitParsed() {
-  if (!batch_.empty()) {
-    stats_.submit_batches.fetch_add(1, std::memory_order_relaxed);
+void NetServer::SubmitParsed(Loop& loop) {
+  if (!loop.batch.empty()) {
+    loop.counters.submit_batches.fetch_add(1, std::memory_order_relaxed);
     // Synchronous completions (rejections/sheds) fire on this thread
-    // while SubmitBatch iterates batch_; delivering them immediately
-    // could resume a paused read, whose re-parse appends to batch_
-    // mid-iteration. Park them in deferred_dones_ until the call returns.
-    ++submit_depth_;
-    in_submit_ = true;
-    const server::Stage::BatchResult result = cluster_->SubmitBatch(batch_);
-    in_submit_ = false;
+    // while SubmitBatch iterates the batch; delivering them immediately
+    // could resume a paused read, whose re-parse appends to the batch
+    // mid-iteration. Park them in deferred_dones until the call returns.
+    ++loop.submit_depth;
+    loop.in_submit = true;
+    const server::Stage::BatchResult result =
+        cluster_->SubmitBatch(loop.batch);
+    loop.in_submit = false;
     if (result.shedded > 0) {
       // A broker's bounded queue stopped admitting: pause every
       // connection that fed this batch until the queue drains
       // (MaybeResumePaused).
-      for (const uint64_t token : batch_tokens_) {
-        Connection* conn = Resolve(token);
+      for (const uint64_t token : loop.batch_tokens) {
+        Connection* conn = Resolve(loop, token);
         if (conn == nullptr || conn->read_paused_overload) continue;
         conn->read_paused_overload = true;
-        PauseRead(conn);
+        PauseRead(loop, conn);
       }
-      overload_paused_ = true;
+      loop.overload_paused = true;
     }
-    batch_.clear();
-    batch_tokens_.clear();
-    --submit_depth_;
+    loop.batch.clear();
+    loop.batch_tokens.clear();
+    --loop.submit_depth;
   }
   // Answer the parked synchronous rejections — only at the outermost
-  // call: delivery can resume reads whose re-parse fills batch_ and
+  // call: delivery can resume reads whose re-parse fills the batch and
   // re-enters SubmitParsed, and letting every nesting level deliver
   // would recurse without bound. Nested calls just append here; the
   // index loop picks their entries up (the vector may grow and
   // reallocate mid-iteration, hence no iterators and a by-value copy).
-  if (submit_depth_ == 0) {
-    for (size_t i = 0; i < deferred_dones_.size(); ++i) {
-      const Done done = deferred_dones_[i];
-      DeliverDone(done);
+  if (loop.submit_depth == 0) {
+    for (size_t i = 0; i < loop.deferred_dones.size(); ++i) {
+      const Done done = loop.deferred_dones[i];
+      DeliverDone(loop, done);
     }
-    deferred_dones_.clear();
+    loop.deferred_dones.clear();
   }
 }
 
@@ -427,65 +677,67 @@ bool NetServer::BrokersCongested() const {
   return false;
 }
 
-void NetServer::MaybeResumePaused() {
-  if (!overload_paused_ || BrokersCongested()) return;
-  overload_paused_ = false;
-  for (auto& slot : slots_) {
+void NetServer::MaybeResumePaused(Loop& loop) {
+  if (!loop.overload_paused || BrokersCongested()) return;
+  loop.overload_paused = false;
+  for (auto& slot : loop.slots) {
     Connection* conn = slot.get();
     if (conn == nullptr || conn->fd < 0 || !conn->read_paused_overload) {
       continue;
     }
     conn->read_paused_overload = false;
-    ResumeRead(conn);
+    ResumeRead(loop, conn);
   }
 }
 
 void NetServer::OnQueryDone(Pending* pending, Outcome outcome,
                             const GraphQueryResult& result) {
+  Loop& loop = *pending->loop;
   Done done;
   done.token = pending->token;
   done.request_id = pending->request_id;
   done.status = static_cast<uint8_t>(ToStatus(outcome, result.ok));
   done.value = result.value;
-  pending_pool_.Release(pending);
+  loop.pending_pool.Release(pending);
   if (std::this_thread::get_id() ==
-      loop_tid_.load(std::memory_order_relaxed)) {
-    // Synchronous completion on the event loop itself (a rejection inside
-    // Submit/SubmitBatch). Never goes near the ring — the loop must not
-    // be able to block on the queue only it drains. Delivery is deferred
-    // while a submit call is iterating batch_ (see SubmitParsed).
-    if (in_submit_) {
-      deferred_dones_.push_back(done);
+      loop.tid.load(std::memory_order_relaxed)) {
+    // Synchronous completion on the owning event loop itself (a
+    // rejection inside Submit/SubmitBatch — only the owning loop ever
+    // submits its own connections' queries). Never goes near the ring —
+    // the loop must not be able to block on the queue only it drains.
+    // Delivery is deferred while a submit call is iterating the batch
+    // (see SubmitParsed).
+    if (loop.in_submit) {
+      loop.deferred_dones.push_back(done);
     } else {
-      DeliverDone(done);
+      DeliverDone(loop, done);
     }
     return;
   }
-  // Worker thread: a full ring means the loop has fallen behind; spin
-  // until a drain frees a slot (the completion must be delivered exactly
-  // once). The loop drains every iteration and can never block on the
-  // ring itself, so the wait is bounded by loop progress — except after
-  // Stop(), when the loop is gone and every connection is dead: then the
-  // completion has no destination and is dropped instead of hanging the
-  // cluster's shutdown.
-  while (!done_ring_.TryPush(std::move(done))) {
+  // Worker thread: a full ring means the owning loop has fallen behind;
+  // spin until a drain frees a slot (the completion must be delivered
+  // exactly once). The loop drains every iteration and can never block
+  // on the ring itself, so the wait is bounded by loop progress — except
+  // after Stop(), when the loops are gone and every connection is dead:
+  // then the completion has no destination and is dropped instead of
+  // hanging the cluster's shutdown.
+  while (!loop.done_ring.TryPush(std::move(done))) {
     if (stop_requested_.load(std::memory_order_acquire)) return;
     CpuRelax();
   }
-  if (!done_signal_.exchange(true, std::memory_order_acq_rel)) {
-    const uint64_t one = 1;
-    [[maybe_unused]] ssize_t n = ::write(event_fd_, &one, sizeof(one));
+  if (!loop.done_signal.exchange(true, std::memory_order_acq_rel)) {
+    WriteEventFd(loop.event_fd);
   }
 }
 
-void NetServer::DeliverDone(const Done& done) {
-  stats_.responses.fetch_add(1, std::memory_order_relaxed);
+void NetServer::DeliverDone(Loop& loop, const Done& done) {
+  loop.counters.responses.fetch_add(1, std::memory_order_relaxed);
   const auto status = static_cast<ResponseStatus>(done.status);
   if (status == ResponseStatus::kRejected ||
       status == ResponseStatus::kShedded) {
-    stats_.rejections.fetch_add(1, std::memory_order_relaxed);
+    loop.counters.rejections.fetch_add(1, std::memory_order_relaxed);
   }
-  Connection* conn = Resolve(done.token);
+  Connection* conn = Resolve(loop, done.token);
   if (conn == nullptr) return;  // Connection died while in flight.
   --conn->owed;
   uint8_t encoded[kResponseFrameBytes];
@@ -497,17 +749,17 @@ void NetServer::DeliverDone(const Done& done) {
   if (conn->read_paused_inflight &&
       conn->owed < options_.max_inflight_per_conn / 2) {
     conn->read_paused_inflight = false;
-    ResumeRead(conn);
+    ResumeRead(loop, conn);
   }
 }
 
-void NetServer::DrainCompletions() {
-  done_signal_.store(false, std::memory_order_release);
+void NetServer::DrainCompletions(Loop& loop) {
+  loop.done_signal.store(false, std::memory_order_release);
   Done done;
-  while (done_ring_.TryPop(done)) DeliverDone(done);
+  while (loop.done_ring.TryPop(done)) DeliverDone(loop, done);
 }
 
-void NetServer::FlushConn(Connection* conn) {
+void NetServer::FlushConn(Loop& loop, Connection* conn) {
   if (conn->fd < 0) return;
   conn->dirty = false;
   while (!conn->tx.empty()) {
@@ -520,49 +772,50 @@ void NetServer::FlushConn(Connection* conn) {
     }
     if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) break;
     if (n < 0 && errno == EINTR) continue;
-    CloseConn(conn);
+    CloseConn(loop, conn);
     return;
   }
   if (conn->tx.empty() && conn->read_paused_tx) {
     conn->read_paused_tx = false;
-    ResumeRead(conn);
+    ResumeRead(loop, conn);
   }
   if (conn->closing && conn->owed == 0 && conn->tx.empty()) {
-    CloseConn(conn);
+    CloseConn(loop, conn);
     return;
   }
-  UpdateEpoll(conn);  // Arm EPOLLOUT iff bytes remain.
+  UpdateEpoll(loop, conn);  // Arm EPOLLOUT iff bytes remain.
 }
 
-void NetServer::LoopThread() {
-  loop_tid_.store(std::this_thread::get_id(), std::memory_order_relaxed);
+void NetServer::LoopThread(Loop& loop) {
+  loop.tid.store(std::this_thread::get_id(), std::memory_order_relaxed);
   epoll_event events[kMaxEpollEvents];
   while (!stop_requested_.load(std::memory_order_acquire)) {
     // Overload pauses are re-checked on a short timer (the broker queue
     // drains without producing an event we could wait on); otherwise a
     // long timeout keeps an idle server quiet.
-    const int timeout_ms = overload_paused_ ? 1 : 100;
-    const int n = ::epoll_wait(epoll_fd_, events, kMaxEpollEvents,
+    const int timeout_ms = loop.overload_paused ? 1 : 100;
+    const int n = ::epoll_wait(loop.epoll_fd, events, kMaxEpollEvents,
                                timeout_ms);
     for (int i = 0; i < n; ++i) {
       const uint64_t token = events[i].data.u64;
       if (token == kListenToken) {
-        AcceptReady();
+        AcceptReady(loop);
         continue;
       }
       if (token == kEventToken) {
         uint64_t drained;
         [[maybe_unused]] ssize_t r =
-            ::read(event_fd_, &drained, sizeof(drained));
+            ::read(loop.event_fd, &drained, sizeof(drained));
+        DrainMailbox(loop);
         continue;
       }
-      Connection* conn = Resolve(token);
+      Connection* conn = Resolve(loop, token);
       if (conn == nullptr) continue;  // Stale event for a closed conn.
       if (events[i].events & (EPOLLIN | EPOLLRDHUP | EPOLLHUP | EPOLLERR)) {
-        ReadConn(conn);
+        ReadConn(loop, conn);
       }
       if (conn->fd >= 0 && (events[i].events & EPOLLOUT)) {
-        FlushConn(conn);
+        FlushConn(loop, conn);
       }
     }
     // One admission episode for everything parsed this wakeup, then
@@ -570,22 +823,24 @@ void NetServer::LoopThread() {
     // delivered inside SubmitParsed and flushed in this same iteration.
     // The drain/flush/resume phases can themselves parse new requests
     // (ResumeRead re-parses buffered bytes), so repeat until nothing is
-    // left rather than let a resumed request sit in batch_ across an
+    // left rather than let a resumed request sit in the batch across an
     // epoll_wait (up to the idle timeout away). Each pass consumes real
     // buffered bytes or ring entries, so the loop terminates.
     do {
-      SubmitParsed();
-      DrainCompletions();
-      for (auto& slot : slots_) {
+      SubmitParsed(loop);
+      DrainCompletions(loop);
+      for (auto& slot : loop.slots) {
         Connection* conn = slot.get();
-        if (conn != nullptr && conn->fd >= 0 && conn->dirty) FlushConn(conn);
+        if (conn != nullptr && conn->fd >= 0 && conn->dirty) {
+          FlushConn(loop, conn);
+        }
       }
-      MaybeResumePaused();
-    } while (!batch_.empty());
+      MaybeResumePaused(loop);
+    } while (!loop.batch.empty());
   }
   // Drain loop-side state so queued completions don't linger unanswered
   // in the ring (they resolve to dead connections after Stop closes fds).
-  DrainCompletions();
+  DrainCompletions(loop);
 }
 
 }  // namespace bouncer::net

@@ -17,33 +17,43 @@
 
 namespace bouncer::net {
 
-/// Linux epoll TCP front door for a graph::Cluster: a single non-blocking
-/// event-loop thread accepts connections, parses length-prefixed request
-/// frames out of per-connection read rings, and drains everything parsed
-/// from one epoll wakeup through the brokers' admission policies in a
-/// single Cluster::SubmitBatch pass. Rejections complete synchronously
-/// inside that call and are answered from the same loop iteration without
-/// ever touching a worker thread; admitted queries complete on cluster
-/// workers, which hand {token, id, status, value} records back through a
-/// bounded MPMC completion ring + eventfd, and the loop encodes responses
-/// into per-connection write rings flushed with writev.
+/// Linux epoll TCP front door for a graph::Cluster, sharded across N
+/// independent event loops (`Options::num_loops`, default
+/// min(hardware threads, 4)) so the front-end scales with cores instead
+/// of serializing every connection behind one loop thread.
 ///
-/// Zero steady-state allocation: connection slots (with their byte rings)
-/// are created once and recycled, per-request completion records come
-/// from an ObjectPool, and the parse/submit scratch is reused — in steady
-/// state a query's full server-side life touches no allocator.
+/// Each loop is a self-contained reactor: its own epoll fd, its own
+/// `SO_REUSEPORT` listener (the kernel hashes incoming connections
+/// across the listeners; when `SO_REUSEPORT` is unavailable — or
+/// `Options::force_fd_handoff` is set — loop 0 owns the only listener
+/// and hands accepted fds to the other loops round-robin through a
+/// per-loop mailbox ring + eventfd), its own connection-slot table and
+/// byte rings, its own parse/submit batch buffers, its own
+/// `ObjectPool` of per-request records, and its own completion ring +
+/// eventfd. Nothing mutable is shared between loops on the hot path —
+/// the zero-allocation, single-writer discipline of the original
+/// single-loop design holds per loop — and all loops stream their
+/// parsed batches into the shared admission stages via
+/// `Cluster::SubmitBatch`.
 ///
-/// Connection-level backpressure (overload must become TCP backpressure,
-/// not heap growth):
-///  - a connection with `max_inflight_per_conn` admitted-but-unanswered
-///    queries stops being read (EPOLLIN disarmed) until completions
-///    drain it below the watermark;
-///  - parsing stops while the write ring lacks guaranteed space for the
-///    responses already owed, resuming after a flush;
-///  - when a broker stage stops admitting to its bounded queue (a batch
-///    reported sheds), every connection that fed that batch is paused
-///    until the broker queue falls below half its capacity.
-/// Paused sockets fill their kernel receive buffers, shrink the TCP
+/// Completions route back to the owning loop through a 64-bit
+/// generation-stamped connection token:
+///
+///   bits 63..32  generation (slot reuse guard)
+///   bits 31..24  loop id    (completion routing)
+///   bits 23..0   slot index (within the owning loop's table)
+///
+/// A cluster worker finishing a query packs {token, id, status, value}
+/// into the owning loop's bounded MPMC done-ring and writes that loop's
+/// eventfd on the empty→non-empty transition; only the owning loop ever
+/// touches the connection. Rejections still complete synchronously
+/// inside the submitting loop's `SubmitBatch` call and are answered
+/// from the same loop iteration without waking any worker.
+///
+/// Per-connection backpressure (inflight cap, write-ring owed-space
+/// gate, broker-shed overload pause with half-capacity resume) is
+/// unchanged from the single-loop design and applies loop-locally:
+/// paused sockets fill their kernel receive buffers, shrink the TCP
 /// window, and push the queueing back into the clients.
 class NetServer {
  public:
@@ -51,7 +61,14 @@ class NetServer {
     std::string bind_address = "127.0.0.1";
     uint16_t port = 0;  ///< 0 = ephemeral; read the bound port via port().
     int listen_backlog = 256;
-    size_t max_connections = 1024;
+    /// Event loops. 0 = min(hardware threads, 4). Capped at 255 (the
+    /// loop-id field of the connection token is 8 bits).
+    size_t num_loops = 0;
+    /// Testing / legacy-kernel knob: skip `SO_REUSEPORT` and run the
+    /// accept-and-hand-off fallback (loop 0 accepts, fds round-robin to
+    /// the other loops through their mailboxes).
+    bool force_fd_handoff = false;
+    size_t max_connections = 1024;  ///< Across all loops.
     size_t read_ring_bytes = 1 << 16;
     size_t write_ring_bytes = 1 << 17;
     /// Admission mode: true drains each wakeup's parse batch through
@@ -66,112 +83,117 @@ class NetServer {
     size_t max_inflight_per_conn = 1024;
   };
 
-  /// Loop-owned counters, readable from any thread.
+  /// Counter snapshot. Counters are accumulated per loop in
+  /// cache-line-padded blocks (no false sharing between loops) and
+  /// summed on read by AggregateStats() / LoopStats().
   struct Stats {
-    std::atomic<uint64_t> connections_accepted{0};
-    std::atomic<uint64_t> connections_dropped{0};  ///< No free slot.
-    std::atomic<uint64_t> connections_closed{0};
-    std::atomic<uint64_t> requests{0};
-    std::atomic<uint64_t> responses{0};
-    std::atomic<uint64_t> rejections{0};  ///< kRejected + kShedded responses.
-    std::atomic<uint64_t> bad_frames{0};
-    std::atomic<uint64_t> submit_batches{0};
-    std::atomic<uint64_t> pauses{0};  ///< EPOLLIN disarm episodes.
+    uint64_t connections_accepted = 0;
+    uint64_t connections_dropped = 0;  ///< No free slot / over cap.
+    uint64_t connections_closed = 0;
+    uint64_t requests = 0;
+    uint64_t responses = 0;
+    uint64_t rejections = 0;  ///< kRejected + kShedded responses.
+    uint64_t bad_frames = 0;
+    uint64_t submit_batches = 0;
+    uint64_t pauses = 0;    ///< EPOLLIN disarm episodes.
+    uint64_t handoffs = 0;  ///< Fds mailed to another loop (fallback mode).
+    uint64_t nodelay_failures = 0;  ///< TCP_NODELAY not verified on accept.
   };
 
   /// `cluster` must be started, and must outlive the server. Shutdown
   /// order: NetServer::Stop() (or destruction), then Cluster::Stop() —
   /// completions the cluster flushes during its stop still land in this
-  /// object's completion ring, so the server object must still exist.
+  /// object's completion rings, so the server object must still exist.
   NetServer(graph::Cluster* cluster, const Options& options);
   ~NetServer();
 
   NetServer(const NetServer&) = delete;
   NetServer& operator=(const NetServer&) = delete;
 
-  /// Binds, listens and spawns the event-loop thread.
+  /// Binds the listener(s) and spawns one event-loop thread per loop.
   Status Start();
-  /// Stops the loop and closes every connection. Idempotent.
+  /// Stops every loop and closes every connection. Idempotent.
   void Stop();
 
-  /// The bound TCP port (valid after Start()).
+  /// The bound TCP port (valid after Start(); all listeners share it).
   uint16_t port() const { return port_; }
-  const Stats& stats() const { return stats_; }
+  /// Counters summed across loops.
+  Stats AggregateStats() const;
+  /// One loop's counters (loop < num_loops()).
+  Stats LoopStats(size_t loop) const;
+  /// Event loops actually running (valid after Start()).
+  size_t num_loops() const { return loops_.size(); }
+  /// True when the accept-and-hand-off fallback is active instead of
+  /// per-loop SO_REUSEPORT listeners.
+  bool handoff_mode() const { return handoff_mode_; }
   const Options& options() const { return options_; }
 
  private:
   struct Connection;
   struct Pending;  ///< Pooled per-request completion record.
+  struct Loop;
 
-  /// Completion record a cluster worker pushes for the loop to deliver.
+  /// Completion record a cluster worker pushes for the owning loop to
+  /// deliver.
   struct Done {
-    uint64_t token = 0;  ///< Connection slot | generation.
+    uint64_t token = 0;  ///< Generation | loop id | slot index.
     uint64_t request_id = 0;
     uint8_t status = 0;
     uint64_t value = 0;
   };
 
-  void LoopThread();
-  void AcceptReady();
-  void ReadConn(Connection* conn);
-  void ParseConn(Connection* conn);
-  void SubmitParsed();
-  void DeliverDone(const Done& done);
-  void DrainCompletions();
-  void FlushConn(Connection* conn);
-  void CloseConn(Connection* conn);
-  void PauseRead(Connection* conn);
-  void ResumeRead(Connection* conn);
-  void UpdateEpoll(Connection* conn);
-  void MaybeResumePaused();
+  /// Per-loop counters, cache-line aligned so two loops bumping their
+  /// own counters never share a line.
+  struct alignas(64) LoopCounters {
+    std::atomic<uint64_t> connections_accepted{0};
+    std::atomic<uint64_t> connections_dropped{0};
+    std::atomic<uint64_t> connections_closed{0};
+    std::atomic<uint64_t> requests{0};
+    std::atomic<uint64_t> responses{0};
+    std::atomic<uint64_t> rejections{0};
+    std::atomic<uint64_t> bad_frames{0};
+    std::atomic<uint64_t> submit_batches{0};
+    std::atomic<uint64_t> pauses{0};
+    std::atomic<uint64_t> handoffs{0};
+    std::atomic<uint64_t> nodelay_failures{0};
+  };
+
+  void LoopThread(Loop& loop);
+  void AcceptReady(Loop& loop);
+  void AdoptFd(Loop& loop, int fd);
+  void DrainMailbox(Loop& loop);
+  void ReadConn(Loop& loop, Connection* conn);
+  void ParseConn(Loop& loop, Connection* conn);
+  void SubmitParsed(Loop& loop);
+  void DeliverDone(Loop& loop, const Done& done);
+  void DrainCompletions(Loop& loop);
+  void FlushConn(Loop& loop, Connection* conn);
+  void CloseConn(Loop& loop, Connection* conn);
+  void PauseRead(Loop& loop, Connection* conn);
+  void ResumeRead(Loop& loop, Connection* conn);
+  void UpdateEpoll(Loop& loop, Connection* conn);
+  void MaybeResumePaused(Loop& loop);
   bool BrokersCongested() const;
-  Connection* Resolve(uint64_t token);
+  Connection* Resolve(Loop& loop, uint64_t token);
   void OnQueryDone(Pending* pending, server::Outcome outcome,
                    const graph::GraphQueryResult& result);
+  Status StartListeners();
+  void CloseAll();
 
   graph::Cluster* cluster_;
   Options options_;
-  Stats stats_;
 
-  int listen_fd_ = -1;
-  int epoll_fd_ = -1;
-  int event_fd_ = -1;
+  std::vector<std::unique_ptr<Loop>> loops_;
   uint16_t port_ = 0;
-
-  std::vector<std::unique_ptr<Connection>> slots_;
-  std::vector<uint32_t> free_slots_;
-  size_t live_connections_ = 0;
-
-  /// Parse scratch for one admission episode (reused, never freed).
-  std::vector<graph::Cluster::BatchRequest> batch_;
-  std::vector<uint64_t> batch_tokens_;  ///< Connection of each batch entry.
-
-  ObjectPool<Pending> pending_pool_;
-  /// Worker-thread completions only. The loop thread never pushes here:
-  /// its synchronous completions (rejections inside Submit/SubmitBatch)
-  /// deliver inline, so a full ring can never make the loop wait on
-  /// itself — it only throttles workers until the next loop drain.
-  MpmcQueue<Done> done_ring_;
-  std::atomic<bool> done_signal_{false};
-  std::atomic<std::thread::id> loop_tid_{};
-  /// True while the loop thread is inside a Cluster submit call. Loop-
-  /// thread completions arriving then are parked in deferred_dones_
-  /// (delivery can resume reads, which would mutate batch_ mid-submit)
-  /// and delivered as soon as the submit returns.
-  bool in_submit_ = false;
-  /// SubmitParsed nesting depth (delivery of deferred completions can
-  /// resume reads that re-enter it); only depth 0 delivers.
-  size_t submit_depth_ = 0;
-  std::vector<Done> deferred_dones_;  ///< Loop-only scratch, reused.
-
-  /// Connections paused for broker-queue overload, re-checked every loop
-  /// iteration; sheds observed by the last submit episode set this.
-  bool overload_paused_ = false;
+  bool handoff_mode_ = false;
+  /// Live connections across all loops (accept-path only — the data
+  /// path never touches it).
+  std::atomic<size_t> total_live_{0};
+  /// Round-robin target for fallback fd handoff (loop 0 only).
+  size_t handoff_rr_ = 0;
 
   std::atomic<bool> running_{false};
   std::atomic<bool> stop_requested_{false};
-  std::thread loop_;
-  Status init_status_;
 };
 
 }  // namespace bouncer::net

@@ -126,10 +126,10 @@ void RunDegreeCheck(LoopbackHarness& harness) {
   EXPECT_EQ(counters.ok, counters.responses) << "AlwaysAccept serves all";
   EXPECT_EQ(counters.failed, 0u);
 
-  const auto& stats = harness.server->stats();
-  EXPECT_GE(stats.requests.load(), kQueries);
-  EXPECT_EQ(stats.responses.load(), stats.requests.load());
-  EXPECT_EQ(stats.bad_frames.load(), 0u);
+  const NetServer::Stats stats = harness.server->AggregateStats();
+  EXPECT_GE(stats.requests, kQueries);
+  EXPECT_EQ(stats.responses, stats.requests);
+  EXPECT_EQ(stats.bad_frames, 0u);
 }
 
 TEST(NetLoopbackTest, BatchedModeAnswersEveryQuery) {
@@ -137,9 +137,9 @@ TEST(NetLoopbackTest, BatchedModeAnswersEveryQuery) {
   RunDegreeCheck(harness);
   // Batch mode must actually batch: fewer admission episodes than
   // requests (each episode covers a whole wakeup's parse).
-  const auto& stats = harness.server->stats();
-  EXPECT_GT(stats.submit_batches.load(), 0u);
-  EXPECT_LE(stats.submit_batches.load(), stats.requests.load());
+  const NetServer::Stats stats = harness.server->AggregateStats();
+  EXPECT_GT(stats.submit_batches, 0u);
+  EXPECT_LE(stats.submit_batches, stats.requests);
 }
 
 TEST(NetLoopbackTest, PerItemModeAnswersEveryQuery) {
@@ -226,7 +226,7 @@ TEST(NetLoopbackTest, RejectionCodesReachTheClient) {
   EXPECT_EQ(counters.ok + counters.rejected + counters.shedded +
                 counters.expired + counters.failed,
             counters.responses);
-  EXPECT_EQ(harness.server->stats().rejections.load(),
+  EXPECT_EQ(harness.server->AggregateStats().rejections,
             counters.rejected + counters.shedded);
 }
 
@@ -259,13 +259,46 @@ TEST(NetLoopbackTest, ManyShortLivedConnections) {
   // Give the server a beat to observe the FIN of the last round.
   const auto deadline =
       std::chrono::steady_clock::now() + std::chrono::seconds(5);
-  const auto& stats = harness.server->stats();
-  while (stats.connections_closed.load() < stats.connections_accepted.load() &&
+  NetServer::Stats stats = harness.server->AggregateStats();
+  while (stats.connections_closed < stats.connections_accepted &&
+         std::chrono::steady_clock::now() < deadline) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    stats = harness.server->AggregateStats();
+  }
+  EXPECT_EQ(stats.connections_accepted, 20u);
+  EXPECT_EQ(stats.connections_closed, 20u);
+}
+
+TEST(NetLoopbackTest, NodelaySetAndVerifiedOnAcceptedSockets) {
+  // The server sets TCP_NODELAY on every accepted socket and reads it
+  // back with getsockopt at accept time; a failed verification bumps
+  // nodelay_failures. Small length-prefixed frames must never sit in a
+  // Nagle buffer waiting for an ACK.
+  LoopbackHarness harness(/*batch_submit=*/true);
+  NetClient client(
+      ClientOptions(harness.server->port(), /*conns=*/4, /*in_flight=*/2),
+      [](size_t, uint64_t seq) {
+        RequestFrame frame;
+        frame.op = static_cast<uint8_t>(GraphOp::kDegree);
+        frame.source = static_cast<uint32_t>(seq % 2000);
+        return frame;
+      });
+  ASSERT_TRUE(client.Start().ok());
+  client.StartClosedLoop();
+  const auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::seconds(10);
+  while (client.counters().responses < 50 &&
          std::chrono::steady_clock::now() < deadline) {
     std::this_thread::sleep_for(std::chrono::milliseconds(1));
   }
-  EXPECT_EQ(stats.connections_accepted.load(), 20u);
-  EXPECT_EQ(stats.connections_closed.load(), 20u);
+  client.StopSending();
+  ASSERT_TRUE(client.WaitForDrain(10 * kSecond));
+  client.Stop();
+
+  const NetServer::Stats stats = harness.server->AggregateStats();
+  EXPECT_GE(stats.connections_accepted, 4u);
+  EXPECT_EQ(stats.nodelay_failures, 0u)
+      << "an accepted socket is running without TCP_NODELAY";
 }
 
 }  // namespace
