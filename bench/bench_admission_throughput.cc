@@ -19,6 +19,7 @@
 #include "bench/bench_common.h"
 #include "src/core/policy_factory.h"
 #include "src/server/stage.h"
+#include "src/stats/flight_recorder.h"
 #include "src/stats/histogram.h"
 #include "src/util/rng.h"
 
@@ -77,6 +78,7 @@ BouncerPolicy* FindBouncer(AdmissionPolicy* policy) {
 struct CellResult {
   std::string policy;
   size_t num_types = 0;
+  int tracing = 0;  ///< Flight recorder enabled (1-in-64 sampling).
   double seconds = 0;
   uint64_t decisions = 0;
   double decisions_per_sec = 0;
@@ -89,8 +91,8 @@ struct CellResult {
   uint64_t shedded = 0;
 };
 
-CellResult RunCell(const Variant& variant, size_t num_types,
-                   Nanos duration) {
+CellResult RunCell(const Variant& variant, size_t num_types, Nanos duration,
+                   bool tracing = false) {
   // Generous SLOs: the bench measures decision cost, not rejection
   // behavior, so the common path should be an accept.
   const Slo slo{kSecond, 2 * kSecond, 0};
@@ -103,6 +105,11 @@ CellResult RunCell(const Variant& variant, size_t num_types,
   options.name = "bench";
   options.num_workers = BenchWorkers();
   options.queue_capacity = 1 << 15;
+  // Cell-local recorder so the tracing column prices exactly the trace
+  // sites (default 1-in-64 sampling), not a shared global's ring state.
+  stats::FlightRecorder recorder;
+  recorder.SetEnabled(tracing);
+  options.recorder = &recorder;
   const PolicyConfig config = variant.config;
   server::Stage stage(
       options, &registry, SystemClock::Global(),
@@ -150,6 +157,9 @@ CellResult RunCell(const Variant& variant, size_t num_types,
           server::WorkItem item;
           item.type = static_cast<QueryTypeId>(
               1 + thread_rng.NextBounded(num_types));
+          // Ids stamped in both columns so on/off differ only in the
+          // recorder's enabled bit (the sampling hash's key source).
+          item.id = (static_cast<uint64_t>(s) << 40) | local;
           const auto t0 = std::chrono::steady_clock::now();
           stage.Submit(std::move(item));
           const auto t1 = std::chrono::steady_clock::now();
@@ -169,6 +179,7 @@ CellResult RunCell(const Variant& variant, size_t num_types,
   CellResult r;
   r.policy = variant.name;
   r.num_types = num_types;
+  r.tracing = tracing ? 1 : 0;
   r.seconds = std::chrono::duration<double>(bench_end - bench_start).count();
   r.decisions = decisions.load();
   r.decisions_per_sec = static_cast<double>(r.decisions) / r.seconds;
@@ -193,13 +204,13 @@ void WriteJson(const std::vector<CellResult>& results) {
     const CellResult& r = results[i];
     std::fprintf(
         f,
-        "    {\"policy\": \"%s\", \"num_types\": %zu, "
+        "    {\"policy\": \"%s\", \"num_types\": %zu, \"tracing\": %d, "
         "\"seconds\": %.3f, \"decisions\": %llu, "
         "\"decisions_per_sec\": %.0f, \"submit_mean_ns\": %lld, "
         "\"submit_p50_ns\": %lld, \"submit_p90_ns\": %lld, "
         "\"submit_p99_ns\": %lld, \"accepted\": %llu, "
         "\"rejected\": %llu, \"shedded\": %llu}%s\n",
-        r.policy.c_str(), r.num_types, r.seconds,
+        r.policy.c_str(), r.num_types, r.tracing, r.seconds,
         static_cast<unsigned long long>(r.decisions), r.decisions_per_sec,
         static_cast<long long>(r.submit_mean),
         static_cast<long long>(r.submit_p50),
@@ -238,6 +249,31 @@ int Main() {
                   static_cast<long long>(r.submit_p90),
                   static_cast<long long>(r.submit_p99));
       results.push_back(r);
+    }
+    PrintRule(94);
+  }
+  // Tracing overhead pair: the same Bouncer cell with the flight
+  // recorder off vs on at the default 1-in-64 sampling (the always-on
+  // observability bar is < 3% throughput cost).
+  const Variant* bouncer_variant = nullptr;
+  for (const Variant& v : variants) {
+    if (v.name == "Bouncer") bouncer_variant = &v;
+  }
+  if (bouncer_variant != nullptr) {
+    const CellResult off =
+        RunCell(*bouncer_variant, 8, duration, /*tracing=*/false);
+    const CellResult on =
+        RunCell(*bouncer_variant, 8, duration, /*tracing=*/true);
+    results.push_back(off);
+    results.push_back(on);
+    std::printf("%-24s %9zu %12.0f   (tracing off)\n", off.policy.c_str(),
+                off.num_types, off.decisions_per_sec);
+    std::printf("%-24s %9zu %12.0f   (tracing on, 1-in-64)\n",
+                on.policy.c_str(), on.num_types, on.decisions_per_sec);
+    if (off.decisions_per_sec > 0) {
+      std::printf("tracing overhead: %+.2f%%\n",
+                  100.0 * (off.decisions_per_sec - on.decisions_per_sec) /
+                      off.decisions_per_sec);
     }
     PrintRule(94);
   }

@@ -48,9 +48,12 @@
 #include "bench/bench_common.h"
 #include "src/graph/cluster.h"
 #include "src/graph/graph_generator.h"
+#include "src/net/admin_client.h"
 #include "src/net/net_client.h"
 #include "src/net/net_server.h"
+#include "src/stats/flight_recorder.h"
 #include "src/stats/histogram.h"
+#include "src/stats/metric_registry.h"
 #include "src/util/rng.h"
 
 namespace bouncer::bench {
@@ -67,6 +70,7 @@ struct CellResult {
   size_t loops = 0;  ///< Event loops (0 for the inproc baseline).
   size_t connections = 0;
   size_t in_flight = 0;
+  int tracing = 0;  ///< Flight recorder enabled (1-in-64 sampling).
   double seconds = 0;
   uint64_t completed = 0;
   double qps = 0;
@@ -284,11 +288,20 @@ CellResult RunInproc(const GraphStore& graph,
 CellResult RunNet(const GraphStore& graph,
                   const std::vector<GraphQuery>& queries, bool batch_submit,
                   size_t loops, size_t connections, size_t in_flight,
-                  Nanos warmup, Nanos measure) {
+                  Nanos warmup, Nanos measure, bool tracing = false) {
   const Slo slo{kSecond, 2 * kSecond, 0};
   QueryTypeRegistry registry = Cluster::MakeRegistry(slo);
-  Cluster cluster(&graph, &registry, SystemClock::Global(),
-                  ClusterOptions(/*rejecting=*/false));
+  // Cell-local observability plumbing: the recorder is wired in every
+  // cell (tracing merely flips its enabled bit, which is exactly the
+  // on/off overhead comparison); the registry only when tracing so the
+  // default sweep matches the pre-observability configuration.
+  stats::FlightRecorder recorder;
+  recorder.SetEnabled(tracing);
+  stats::MetricRegistry metrics;
+  Cluster::Options cluster_options = ClusterOptions(/*rejecting=*/false);
+  cluster_options.recorder = &recorder;
+  if (tracing) cluster_options.metrics = &metrics;
+  Cluster cluster(&graph, &registry, SystemClock::Global(), cluster_options);
   if (!cluster.Start().ok()) {
     std::fprintf(stderr, "cluster start failed\n");
     std::exit(1);
@@ -297,6 +310,8 @@ CellResult RunNet(const GraphStore& graph,
   server_options.batch_submit = batch_submit;
   server_options.num_loops = loops;
   server_options.max_connections = connections + 8;
+  server_options.recorder = &recorder;
+  if (tracing) server_options.metrics = &metrics;
   net::NetServer server(&cluster, server_options);
   if (!server.Start().ok()) {
     std::fprintf(stderr, "server start failed\n");
@@ -331,6 +346,28 @@ CellResult RunNet(const GraphStore& graph,
   const uint64_t batches = after.submit_batches - before.submit_batches;
   const uint64_t requests = after.requests - before.requests;
 
+  // With the registry wired, grab a live snapshot through the admin
+  // opcode while the load is still running — CI's bench-smoke sets
+  // BOUNCER_BENCH_NET_STATS_OUT and uploads the file as an artifact.
+  if (tracing) {
+    if (const char* out = std::getenv("BOUNCER_BENCH_NET_STATS_OUT")) {
+      net::AdminFetch fetch;
+      fetch.port = server.port();
+      fetch.op = net::kOpStatsJson;
+      std::string payload;
+      if (net::FetchAdmin(fetch, &payload).ok()) {
+        if (std::FILE* f = std::fopen(out, "w")) {
+          std::fwrite(payload.data(), 1, payload.size(), f);
+          std::fputc('\n', f);
+          std::fclose(f);
+          std::printf("wrote live stats snapshot to %s\n", out);
+        }
+      } else {
+        std::fprintf(stderr, "stats snapshot fetch failed\n");
+      }
+    }
+  }
+
   client.StopSending();
   client.WaitForDrain(2 * kSecond);
   client.Stop();
@@ -342,6 +379,7 @@ CellResult RunNet(const GraphStore& graph,
   r.loops = server.num_loops();
   r.connections = connections;
   r.in_flight = in_flight;
+  r.tracing = tracing ? 1 : 0;
   r.seconds = std::chrono::duration<double>(t1 - t0).count();
   r.completed = counters.responses;
   r.qps = static_cast<double>(r.completed) / r.seconds;
@@ -524,10 +562,12 @@ void WriteJson(const std::vector<CellResult>& results,
     std::fprintf(
         f,
         "    {\"variant\": \"%s\", \"loops\": %zu, \"connections\": %zu, "
-        "\"in_flight\": %zu, \"seconds\": %.3f, \"completed\": %llu, "
+        "\"in_flight\": %zu, \"tracing\": %d, \"seconds\": %.3f, "
+        "\"completed\": %llu, "
         "\"qps\": %.0f, \"rt_p50_us\": %.1f, \"rt_p99_us\": %.1f, "
         "\"avg_batch\": %.1f}%s\n",
-        r.variant.c_str(), r.loops, r.connections, r.in_flight, r.seconds,
+        r.variant.c_str(), r.loops, r.connections, r.in_flight, r.tracing,
+        r.seconds,
         static_cast<unsigned long long>(r.completed), r.qps,
         static_cast<double>(r.rt_p50) / 1000.0,
         static_cast<double>(r.rt_p99) / 1000.0, r.avg_batch,
@@ -682,6 +722,30 @@ int Main() {
     }
   }
   PrintRule(78);
+
+  // Tracing overhead pair: the largest grid cell, net_batch, with the
+  // flight recorder off vs on at the default 1-in-64 sampling (the
+  // always-on observability bar is < 3% QPS cost). The on cell also
+  // serves the BOUNCER_BENCH_NET_STATS_OUT live-snapshot hook.
+  const auto [trace_conns, trace_flight] = grid.back();
+  const CellResult trace_off =
+      RunNet(graph, queries, /*batch_submit=*/true, loop_sweep.front(),
+             trace_conns, trace_flight, warmup, measure, /*tracing=*/false);
+  const CellResult trace_on =
+      RunNet(graph, queries, /*batch_submit=*/true, loop_sweep.front(),
+             trace_conns, trace_flight, warmup, measure, /*tracing=*/true);
+  results.push_back(trace_off);
+  results.push_back(trace_on);
+  std::printf("\n%-10s %6zu %6zu %9zu %12.0f   (tracing off)\n",
+              trace_off.variant.c_str(), trace_off.loops,
+              trace_off.connections, trace_off.in_flight, trace_off.qps);
+  std::printf("%-10s %6zu %6zu %9zu %12.0f   (tracing on, 1-in-64)\n",
+              trace_on.variant.c_str(), trace_on.loops, trace_on.connections,
+              trace_on.in_flight, trace_on.qps);
+  if (trace_off.qps > 0) {
+    std::printf("tracing overhead: %+.2f%%\n",
+                100.0 * (trace_off.qps - trace_on.qps) / trace_off.qps);
+  }
 
   const SurgeResult surge =
       RunSurge(graph, queries, capacity_qps, surge_duration);

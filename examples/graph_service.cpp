@@ -25,6 +25,8 @@
 #include "src/graph/graph_generator.h"
 #include "src/net/net_server.h"
 #include "src/server/metrics_collector.h"
+#include "src/stats/flight_recorder.h"
+#include "src/stats/metric_registry.h"
 #include "src/workload/load_generator.h"
 
 using namespace bouncer;
@@ -51,6 +53,16 @@ void PrintHelp() {
       "                      one SubmitBatch admission pass (default 1)\n"
       "  --loops=N           with --listen: event loops / SO_REUSEPORT\n"
       "                      listeners (default 0 = min(cores, 4))\n\n"
+      "  observability\n"
+      "  --stats-interval=N  with --listen: print a metric-registry "
+      "summary\n"
+      "                      every N s (default 2; 0 = quiet)\n"
+      "  --trace=0|1         enable the flight recorder (default 1)\n"
+      "  --trace-sample=N    trace 1-in-N requests (default 64)\n"
+      "  --trace-dump=PATH   dump retained trace events to PATH as JSONL "
+      "on\n"
+      "                      exit (also served live via net_client "
+      "--stats=trace)\n\n"
       "  cluster\n"
       "  --vertices=N        graph size (default 50000)\n"
       "  --brokers=N         broker stages (default 1)\n"
@@ -78,6 +90,10 @@ int main(int argc, char** argv) {
   const auto serve_seconds = flags.GetUint("serve-seconds", 0);
   const bool batch_submit = flags.GetBool("batch-submit", true);
   const auto num_loops = flags.GetUint("loops", 0);
+  const auto stats_interval_s = flags.GetUint("stats-interval", 2);
+  const bool trace_on = flags.GetBool("trace", true);
+  const auto trace_sample = flags.GetUint("trace-sample", 64);
+  const std::string trace_dump_path = flags.GetString("trace-dump", "");
 
   GeneratorOptions graph_options;
   graph_options.num_vertices =
@@ -117,6 +133,19 @@ int main(int argc, char** argv) {
   std::printf("graph ready: %u vertices, %llu edges\n", graph.num_vertices(),
               static_cast<unsigned long long>(graph.num_edges()));
 
+  // Observability: one process-wide metric registry every layer publishes
+  // into, plus the flight recorder sampling 1-in-N request lifecycles.
+  stats::MetricRegistry metric_registry;
+  stats::FlightRecorder& recorder = stats::FlightRecorder::Global();
+  if (stats::kTraceCompiledIn && trace_on) {
+    stats::FlightRecorder::Options trace_options;
+    trace_options.sampling_period =
+        trace_sample == 0 ? 1 : static_cast<uint32_t>(trace_sample);
+    recorder.Configure(trace_options);
+    recorder.SetEnabled(true);
+  }
+  options.metrics = &metric_registry;
+
   // Cluster: brokers run Bouncer + acceptance-allowance at the door,
   // shards run AcceptFraction as the CPU backstop.
   const Slo slo{18 * kMillisecond, 50 * kMillisecond, 0};
@@ -132,6 +161,7 @@ int main(int argc, char** argv) {
     server_options.port = listen_port;
     server_options.batch_submit = batch_submit;
     server_options.num_loops = num_loops;
+    server_options.metrics = &metric_registry;
     net::NetServer server(&cluster, server_options);
     if (Status s = server.Start(); !s.ok()) {
       std::fprintf(stderr, "server start failed: %s\n",
@@ -151,30 +181,60 @@ int main(int argc, char** argv) {
             ? 0
             : SystemClock::Global()->Now() +
                   static_cast<Nanos>(serve_seconds) * kSecond;
+    const Nanos interval = static_cast<Nanos>(stats_interval_s) * kSecond;
+    Nanos next_report =
+        interval == 0 ? 0 : SystemClock::Global()->Now() + interval;
     uint64_t last_requests = 0;
     while (!g_interrupted.load(std::memory_order_acquire)) {
-      if (stop_at != 0 && SystemClock::Global()->Now() >= stop_at) break;
-      std::this_thread::sleep_for(std::chrono::seconds(2));
+      const Nanos now = SystemClock::Global()->Now();
+      if (stop_at != 0 && now >= stop_at) break;
+      std::this_thread::sleep_for(std::chrono::milliseconds(200));
+      if (interval == 0 || now < next_report) continue;
+      next_report = now + interval;
       const net::NetServer::Stats stats = server.AggregateStats();
-      if (stats.requests != last_requests) {
-        std::printf(
-            "conns=%llu requests=%llu rejections=%llu batches=%llu "
-            "pauses=%llu\n",
-            static_cast<unsigned long long>(stats.connections_accepted -
-                                            stats.connections_closed),
-            static_cast<unsigned long long>(stats.requests),
-            static_cast<unsigned long long>(stats.rejections),
-            static_cast<unsigned long long>(stats.submit_batches),
-            static_cast<unsigned long long>(stats.pauses));
-        std::fflush(stdout);
-        last_requests = stats.requests;
+      if (stats.requests == last_requests) continue;
+      last_requests = stats.requests;
+      std::printf(
+          "conns=%llu requests=%llu rejected=%llu (policy=%llu "
+          "queue=%llu) shard-fail=%llu expired=%llu batches=%llu "
+          "pauses=%llu admin=%llu\n",
+          static_cast<unsigned long long>(stats.connections_accepted -
+                                          stats.connections_closed),
+          static_cast<unsigned long long>(stats.requests),
+          static_cast<unsigned long long>(stats.rejections),
+          static_cast<unsigned long long>(stats.rejections_policy),
+          static_cast<unsigned long long>(stats.rejections_queue),
+          static_cast<unsigned long long>(stats.failures_shard),
+          static_cast<unsigned long long>(stats.expirations),
+          static_cast<unsigned long long>(stats.submit_batches),
+          static_cast<unsigned long long>(stats.pauses),
+          static_cast<unsigned long long>(stats.admin_requests));
+      // One registry line per interval: the broker estimate-error
+      // histograms are the live Eq. 2 health check.
+      const stats::MetricSnapshot snap = metric_registry.Snapshot();
+      for (const auto& [name, summary] : snap.histograms) {
+        if (name.find("est_wait_err") == std::string::npos) continue;
+        if (summary.count == 0) continue;
+        std::printf("  %s: n=%llu mean=%.3fms p99=%.3fms\n", name.c_str(),
+                    static_cast<unsigned long long>(summary.count),
+                    ToMillis(static_cast<Nanos>(summary.mean)),
+                    ToMillis(summary.p99));
       }
+      std::fflush(stdout);
     }
     server.Stop();
     cluster.Stop();
     std::printf("served %llu requests\n",
                 static_cast<unsigned long long>(
                     server.AggregateStats().requests));
+    if (!trace_dump_path.empty()) {
+      if (recorder.DumpToFile(trace_dump_path.c_str())) {
+        std::printf("trace dump written to %s\n", trace_dump_path.c_str());
+      } else {
+        std::fprintf(stderr, "trace dump to %s failed\n",
+                     trace_dump_path.c_str());
+      }
+    }
     return 0;
   }
 

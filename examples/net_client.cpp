@@ -14,6 +14,7 @@
 #include <thread>
 
 #include "examples/flags.h"
+#include "src/net/admin_client.h"
 #include "src/net/net_client.h"
 #include "src/util/rng.h"
 #include "src/workload/load_generator.h"
@@ -39,7 +40,13 @@ void PrintHelp() {
       "  --qps=F           offered rate (default 500)\n\n"
       "  closed loop\n"
       "  --closed-loop     saturate instead of pacing\n"
-      "  --in-flight=N     window per connection (default 16)\n");
+      "  --in-flight=N     window per connection (default 16)\n\n"
+      "  admin\n"
+      "  --stats[=json]    fetch the server's live metric snapshot and\n"
+      "                    print it; =prom for Prometheus text, =trace "
+      "for\n"
+      "                    the flight-recorder JSONL dump. No load is\n"
+      "                    generated in this mode.\n");
 }
 
 void PrintSummary(const char* label, const stats::HistogramSummary& s) {
@@ -70,6 +77,8 @@ int main(int argc, char** argv) {
       static_cast<uint32_t>(flags.GetUint("vertices", 50'000));
   const double deadline_ms = flags.GetDouble("deadline-ms", 0);
   const uint64_t seed = flags.GetUint("seed", 1);
+  const bool stats_mode = flags.Has("stats");
+  const std::string stats_kind = flags.GetString("stats", "json");
   const auto unknown = flags.Unknown();
   if (!unknown.empty()) {
     for (const auto& flag : unknown) {
@@ -80,6 +89,32 @@ int main(int argc, char** argv) {
   if (options.port == 0) {
     std::fprintf(stderr, "--port is required (try --help)\n");
     return 1;
+  }
+
+  if (stats_mode) {
+    const std::string& kind = stats_kind;
+    net::AdminFetch fetch;
+    fetch.host = options.host;
+    fetch.port = options.port;
+    if (kind == "json" || kind.empty()) {
+      fetch.op = net::kOpStatsJson;
+    } else if (kind == "prom" || kind == "prometheus") {
+      fetch.op = net::kOpStatsPrometheus;
+    } else if (kind == "trace") {
+      fetch.op = net::kOpTraceDump;
+    } else {
+      std::fprintf(stderr, "unknown --stats kind: %s (json|prom|trace)\n",
+                   kind.c_str());
+      return 1;
+    }
+    std::string payload;
+    if (Status s = net::FetchAdmin(fetch, &payload); !s.ok()) {
+      std::fprintf(stderr, "stats fetch failed: %s\n", s.ToString().c_str());
+      return 1;
+    }
+    std::fwrite(payload.data(), 1, payload.size(), stdout);
+    if (payload.empty() || payload.back() != '\n') std::printf("\n");
+    return 0;
   }
 
   const workload::WorkloadSpec mix = workload::PaperRealSystemMix();
@@ -151,6 +186,12 @@ int main(int argc, char** argv) {
       static_cast<unsigned long long>(counters.failed),
       static_cast<unsigned long long>(counters.dropped),
       static_cast<unsigned long long>(counters.conn_errors));
+  std::printf(
+      "reasons: policy=%llu queue=%llu expired=%llu shard=%llu\n",
+      static_cast<unsigned long long>(counters.reason_policy),
+      static_cast<unsigned long long>(counters.reason_queue),
+      static_cast<unsigned long long>(counters.reason_expired),
+      static_cast<unsigned long long>(counters.reason_shard));
   PrintSummary("ALL", client.Latency());
   PrintSummary("QT1", client.LatencyFor(graph::GraphOp::kDegree));
   PrintSummary("QT11", client.LatencyFor(graph::GraphOp::kDistance4));

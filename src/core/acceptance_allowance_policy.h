@@ -57,6 +57,10 @@ class AcceptanceAllowancePolicy final : public AdmissionPolicy {
     inner_->OnShedded(type, now);
   }
 
+  Nanos EstimatedQueueWait(QueryTypeId type) const override {
+    return inner_->EstimatedQueueWait(type);
+  }
+
   std::string_view name() const override { return name_; }
 
   /// The wrapped policy.

@@ -85,6 +85,16 @@ class AdmissionPolicy {
     (void)now;
   }
 
+  /// The policy's current queue-wait estimate for `type` (Eq. 2 for
+  /// Bouncer-family policies), for observability: stages stamp it on
+  /// admitted work so the estimate can be compared against the wait the
+  /// query actually incurs. Returns -1 when the policy maintains no
+  /// estimate. Must be cheap and thread-safe like Decide().
+  virtual Nanos EstimatedQueueWait(QueryTypeId type) const {
+    (void)type;
+    return -1;
+  }
+
   /// Short stable policy name for reports ("Bouncer", "MaxQL", ...).
   virtual std::string_view name() const = 0;
 };

@@ -108,6 +108,11 @@ class BouncerPolicy : public AdmissionPolicy {
 
   std::string_view name() const override { return "Bouncer"; }
 
+  /// Exposes the live Eq. 2 estimate for observability stamping.
+  Nanos EstimatedQueueWait(QueryTypeId type) const override {
+    return EstimateQueueWait(type);
+  }
+
   /// Computes the estimates Decide() would use for `type` at `now`,
   /// without making a decision or touching histogram swap state.
   Estimates EstimateFor(QueryTypeId type, Nanos now) const;

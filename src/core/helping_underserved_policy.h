@@ -55,6 +55,10 @@ class HelpingUnderservedPolicy final : public AdmissionPolicy {
     inner_->OnShedded(type, now);
   }
 
+  Nanos EstimatedQueueWait(QueryTypeId type) const override {
+    return inner_->EstimatedQueueWait(type);
+  }
+
   std::string_view name() const override { return name_; }
 
   /// The wrapped policy.

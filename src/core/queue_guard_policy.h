@@ -44,6 +44,10 @@ class QueueGuardPolicy final : public AdmissionPolicy {
   void OnShedded(QueryTypeId type, Nanos now) override {
     inner_->OnShedded(type, now);
   }
+  Nanos EstimatedQueueWait(QueryTypeId type) const override {
+    return inner_->EstimatedQueueWait(type);
+  }
+
   std::string_view name() const override { return name_; }
 
   AdmissionPolicy* inner() { return inner_.get(); }

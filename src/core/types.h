@@ -21,6 +21,33 @@ enum class Decision : uint8_t {
   kReject = 1,
 };
 
+/// Why an admitted-or-not query did not complete normally. Travels with
+/// the work item and, on the wire, in the response frame's flags byte so
+/// clients can tell policy rejection, queue shed, and backpressure-driven
+/// failures apart. Values are stable wire codes — append only.
+enum class RejectReason : uint8_t {
+  kNone = 0,            ///< Completed normally (or not yet decided).
+  kPolicy = 1,          ///< Admission policy said no (paper Alg. 1).
+  kQueueFull = 2,       ///< Accepted, then shed on a full bounded queue.
+  kExpired = 3,         ///< Deadline passed while queued.
+  kShardPolicy = 4,     ///< A shard's admission policy rejected a subquery.
+  kShardQueueFull = 5,  ///< A shard shed a subquery on a full queue.
+  kShardExpired = 6,    ///< A subquery expired in a shard queue.
+};
+
+constexpr const char* RejectReasonName(RejectReason reason) {
+  switch (reason) {
+    case RejectReason::kNone: return "none";
+    case RejectReason::kPolicy: return "policy";
+    case RejectReason::kQueueFull: return "queue_full";
+    case RejectReason::kExpired: return "expired";
+    case RejectReason::kShardPolicy: return "shard_policy";
+    case RejectReason::kShardQueueFull: return "shard_queue_full";
+    case RejectReason::kShardExpired: return "shard_expired";
+  }
+  return "unknown";
+}
+
 /// Latency service-level objective for a query type, expressed as target
 /// percentile response times (paper §3). `p99` is optional (0 = unused):
 /// the basic formulation checks p50 and p90; alternative formulations

@@ -35,7 +35,31 @@ struct ShardTaskBase {
 struct ScatterCountdown {
   std::atomic<uint32_t> pending{0};
   std::atomic<bool> failed{false};
+  /// RejectReason wire code of the first failure (first writer wins).
+  std::atomic<uint8_t> fail_reason{0};
 };
+
+/// Maps a shard-stage failure to the kShard* reason the client sees.
+uint8_t ShardFailReason(const WorkItem& w, Outcome outcome) {
+  switch (w.reject_reason) {
+    case RejectReason::kPolicy:
+      return static_cast<uint8_t>(RejectReason::kShardPolicy);
+    case RejectReason::kQueueFull:
+      return static_cast<uint8_t>(RejectReason::kShardQueueFull);
+    case RejectReason::kExpired:
+      return static_cast<uint8_t>(RejectReason::kShardExpired);
+    default:
+      break;
+  }
+  switch (outcome) {
+    case Outcome::kRejected:
+      return static_cast<uint8_t>(RejectReason::kShardPolicy);
+    case Outcome::kExpired:
+      return static_cast<uint8_t>(RejectReason::kShardExpired);
+    default:
+      return static_cast<uint8_t>(RejectReason::kShardQueueFull);
+  }
+}
 
 /// One in-flight subquery batch of the pooled/async path; lives in the
 /// broker worker's scratch until the round's countdown reaches zero, so
@@ -50,6 +74,7 @@ struct LegacyScatterState {
   std::condition_variable cv;
   size_t pending = 0;
   bool ok = true;
+  uint8_t fail_reason = 0;  ///< First failure's reason (under mu).
 };
 
 /// Legacy in-flight subquery; lives on the broker worker's stack.
@@ -65,6 +90,12 @@ struct LegacyShardTask : ShardTaskBase {
 /// round outlives its ScatterGather call, so nothing here escapes the
 /// owning thread.
 struct WorkerScratch {
+  // Query-level trace/failure state, stamped from the WorkItem at
+  // ExecuteQuery entry so the scatter rounds (which only see vertex
+  // spans) can emit correlated events and report the failing reason.
+  uint64_t trace_id = 0;
+  bool traced = false;
+  uint8_t fail_reason = 0;
   // Round-level state.
   std::vector<AsyncShardTask> tasks;  ///< One slot per shard.
   ScatterCountdown countdown;
@@ -98,6 +129,11 @@ Cluster::Cluster(const GraphStore* graph, const QueryTypeRegistry* registry,
       options_.num_shards == 0 ? 1 : options_.num_shards);
   options_.num_shards = num_shards;
   if (options_.num_brokers == 0) options_.num_brokers = 1;
+  if constexpr (stats::kTraceCompiledIn) {
+    recorder_ = options_.recorder != nullptr
+                    ? options_.recorder
+                    : &stats::FlightRecorder::Global();
+  }
 
   for (uint32_t s = 0; s < num_shards; ++s) {
     engines_.push_back(std::make_unique<ShardEngine>(
@@ -108,6 +144,8 @@ Cluster::Cluster(const GraphStore* graph, const QueryTypeRegistry* registry,
     stage_options.name = "shard-" + std::to_string(s);
     stage_options.num_workers = options_.shard_workers;
     stage_options.queue_capacity = options_.shard_queue_capacity;
+    stage_options.metrics = options_.metrics;
+    stage_options.recorder = options_.recorder;
     const PolicyConfig policy = options_.shard_policy;
     shards_.push_back(std::make_unique<Stage>(
         stage_options, registry_, clock_,
@@ -128,6 +166,8 @@ Cluster::Cluster(const GraphStore* graph, const QueryTypeRegistry* registry,
     stage_options.name = "broker-" + std::to_string(b);
     stage_options.num_workers = options_.broker_workers;
     stage_options.queue_capacity = options_.broker_queue_capacity;
+    stage_options.metrics = options_.metrics;
+    stage_options.recorder = options_.recorder;
     const PolicyConfig policy = options_.broker_policy;
     brokers_.push_back(std::make_unique<Stage>(
         stage_options, registry_, clock_,
@@ -181,7 +221,7 @@ GraphQuery Cluster::SampleQuery(GraphOp op, const GraphStore& graph,
 }
 
 Outcome Cluster::Submit(const GraphQuery& query, Nanos deadline,
-                        CompletionFn done) {
+                        CompletionFn done, uint64_t id) {
   const size_t broker_index =
       next_broker_.fetch_add(1, std::memory_order_relaxed) % brokers_.size();
   if (options_.legacy_scatter) {
@@ -192,6 +232,7 @@ Outcome Cluster::Submit(const GraphQuery& query, Nanos deadline,
 
     WorkItem item;
     item.type = TypeIdFor(query.op);
+    item.id = id;
     item.deadline = deadline;
     item.user = context.get();
     item.on_complete = [context](const WorkItem& w, Outcome outcome) {
@@ -207,6 +248,7 @@ Outcome Cluster::Submit(const GraphQuery& query, Nanos deadline,
 
   WorkItem item;
   item.type = TypeIdFor(query.op);
+  item.id = id;
   item.deadline = deadline;
   item.user = context;
   item.on_complete = [this](const WorkItem& w, Outcome outcome) {
@@ -225,8 +267,8 @@ server::Stage::BatchResult Cluster::SubmitBatch(
   if (options_.legacy_scatter) {
     // Baseline path: per-item submits (the batch API exists to beat this).
     for (BatchRequest& request : requests) {
-      const Outcome outcome =
-          Submit(request.query, request.deadline, std::move(request.done));
+      const Outcome outcome = Submit(request.query, request.deadline,
+                                     std::move(request.done), request.id);
       switch (outcome) {
         case Outcome::kCompleted: ++total.admitted; break;
         case Outcome::kRejected: ++total.rejected; break;
@@ -259,6 +301,8 @@ server::Stage::BatchResult Cluster::SubmitBatch(
 
     WorkItem item;
     item.type = TypeIdFor(request.query.op);
+    item.id = request.id;
+    item.traced = request.traced;
     item.deadline = request.deadline;
     item.user = context;
     item.on_complete = [this](const WorkItem& w, Outcome outcome) {
@@ -328,6 +372,7 @@ bool Cluster::ScatterGatherAsync(std::span<const uint32_t> vertices,
   ScatterCountdown& countdown = scratch.countdown;
   countdown.pending.store(active, std::memory_order_relaxed);
   countdown.failed.store(false, std::memory_order_relaxed);
+  countdown.fail_reason.store(0, std::memory_order_relaxed);
 
   for (size_t s = 0; s < num_shards; ++s) {
     AsyncShardTask& task = scratch.tasks[s];
@@ -338,8 +383,24 @@ bool Cluster::ScatterGatherAsync(std::span<const uint32_t> vertices,
 
     WorkItem item;
     item.type = type;
+    item.id = scratch.trace_id;
+    item.traced = scratch.traced;
     item.deadline = deadline;
     item.user = static_cast<ShardTaskBase*>(&task);
+    if constexpr (stats::kTraceCompiledIn) {
+      if (scratch.traced) {
+        stats::TraceEvent event;
+        event.ts = clock_->Now();
+        event.id = scratch.trace_id;
+        event.arg0 =
+            static_cast<int64_t>(task.subquery.vertices.size());
+        event.loc = static_cast<uint32_t>(s);
+        event.type = static_cast<uint16_t>(type);
+        event.kind =
+            static_cast<uint8_t>(stats::TraceEventKind::kShardScatter);
+        recorder_->Record(event);
+      }
+    }
     item.on_complete = [this](const WorkItem& w, Outcome outcome) {
       auto* t =
           static_cast<AsyncShardTask*>(static_cast<ShardTaskBase*>(w.user));
@@ -347,6 +408,9 @@ bool Cluster::ScatterGatherAsync(std::span<const uint32_t> vertices,
       if (outcome != Outcome::kCompleted) {
         shard_failures_.fetch_add(1, std::memory_order_relaxed);
         countdown->failed.store(true, std::memory_order_relaxed);
+        uint8_t expected = 0;
+        countdown->fail_reason.compare_exchange_strong(
+            expected, ShardFailReason(w, outcome), std::memory_order_relaxed);
       }
       if (options_.shard_metrics != nullptr) {
         options_.shard_metrics->Record(w, outcome);
@@ -418,7 +482,23 @@ bool Cluster::ScatterGatherAsync(std::span<const uint32_t> vertices,
       neighbors_out->insert(neighbors_out->end(), n.begin(), n.end());
     }
   }
-  return !countdown.failed.load(std::memory_order_relaxed);
+  const bool ok = !countdown.failed.load(std::memory_order_relaxed);
+  if (!ok && scratch.fail_reason == 0) {
+    scratch.fail_reason = countdown.fail_reason.load(std::memory_order_relaxed);
+  }
+  if constexpr (stats::kTraceCompiledIn) {
+    if (scratch.traced) {
+      stats::TraceEvent event;
+      event.ts = clock_->Now();
+      event.id = scratch.trace_id;
+      event.arg0 = static_cast<int64_t>(active);
+      event.type = static_cast<uint16_t>(type);
+      event.kind = static_cast<uint8_t>(stats::TraceEventKind::kShardGather);
+      event.reason = countdown.fail_reason.load(std::memory_order_relaxed);
+      recorder_->Record(event);
+    }
+  }
+  return ok;
 }
 
 bool Cluster::ScatterGatherLegacy(std::span<const uint32_t> vertices,
@@ -461,6 +541,9 @@ bool Cluster::ScatterGatherLegacy(std::span<const uint32_t> vertices,
       std::lock_guard<std::mutex> lock(t->state->mu);
       if (outcome != Outcome::kCompleted) {
         t->state->ok = false;
+        if (t->state->fail_reason == 0) {
+          t->state->fail_reason = ShardFailReason(w, outcome);
+        }
         shard_failures_.fetch_add(1, std::memory_order_relaxed);
       }
       --t->state->pending;
@@ -484,6 +567,9 @@ bool Cluster::ScatterGatherLegacy(std::span<const uint32_t> vertices,
                             task.result.neighbors.begin(),
                             task.result.neighbors.end());
     }
+  }
+  if (!state.ok && tls_scratch.fail_reason == 0) {
+    tls_scratch.fail_reason = state.fail_reason;
   }
   return state.ok;
 }
@@ -614,6 +700,12 @@ void Cluster::ExecuteQuery(WorkItem& item) {
   const QueryTypeId type = item.type;
   const Nanos deadline = item.deadline;
   WorkerScratch& scratch = tls_scratch;
+  // The scatter rounds below only see vertex spans; park the query's
+  // trace identity and a slot for the first subquery failure in the
+  // worker's scratch for them.
+  scratch.trace_id = item.id;
+  scratch.traced = item.traced;
+  scratch.fail_reason = 0;
 
   switch (q.op) {
     case GraphOp::kDegree: {
@@ -734,6 +826,7 @@ void Cluster::ExecuteQuery(WorkItem& item) {
       break;
     }
   }
+  if (!r.ok) r.fail_reason = scratch.fail_reason;
 }
 
 }  // namespace bouncer::graph

@@ -49,6 +49,9 @@ struct GraphQuery {
 struct GraphQueryResult {
   uint64_t value = 0;  ///< Degree / count / distance (0 = unreachable).
   bool ok = true;      ///< False when a shard shed or rejected a subquery.
+  /// RejectReason wire code of the first failed subquery (kShard* family)
+  /// when !ok; 0 otherwise.
+  uint8_t fail_reason = 0;
 };
 
 /// An in-process two-tier LIquid-like cluster (paper §5.1, Fig. 5):
@@ -86,6 +89,14 @@ class Cluster {
     /// cluster. Lets studies report shard-side utilization, not just
     /// broker metrics.
     server::MetricsCollector* shard_metrics = nullptr;
+    /// When set, every broker/shard stage publishes its counters and
+    /// estimate-error histograms here (under "stage.broker-N.*" /
+    /// "stage.shard-N.*"); must outlive the cluster. Optional.
+    stats::MetricRegistry* metrics = nullptr;
+    /// Flight recorder for sampled request traces (scatter/gather events
+    /// plus the per-stage lifecycle); defaults to
+    /// stats::FlightRecorder::Global() when tracing is compiled in.
+    stats::FlightRecorder* recorder = nullptr;
   };
 
   using CompletionFn =
@@ -109,9 +120,11 @@ class Cluster {
 
   /// Submits a query to broker `query.source % num_brokers`. `done` runs
   /// exactly once. Returns the admission outcome at the broker (early
-  /// rejection happens here, before the broker queue — paper §2).
+  /// rejection happens here, before the broker queue — paper §2). `id`
+  /// is the correlation id stamped on the WorkItem; it keys the flight
+  /// recorder's deterministic sampling (0 = untraceable).
   server::Outcome Submit(const GraphQuery& query, Nanos deadline,
-                         CompletionFn done);
+                         CompletionFn done, uint64_t id = 0);
 
   /// One request of a SubmitBatch() call. `done` runs exactly once, same
   /// contract as Submit().
@@ -119,6 +132,8 @@ class Cluster {
     GraphQuery query;
     Nanos deadline = 0;
     CompletionFn done;
+    uint64_t id = 0;     ///< Correlation id for tracing (0 = none).
+    bool traced = false; ///< Upstream sampling decision (net parse point).
   };
 
   /// Submits a whole batch — every request parsed from one network
@@ -197,6 +212,7 @@ class Cluster {
   std::vector<std::unique_ptr<ShardEngine>> engines_;
   std::vector<std::unique_ptr<server::Stage>> shards_;
   std::vector<std::unique_ptr<server::Stage>> brokers_;
+  stats::FlightRecorder* recorder_ = nullptr;
   std::atomic<uint64_t> shard_failures_{0};
   std::atomic<uint64_t> next_broker_{0};
   /// Eventcount the gathering broker workers park on; shared (it is

@@ -1,0 +1,31 @@
+#ifndef BOUNCER_NET_ADMIN_CLIENT_H_
+#define BOUNCER_NET_ADMIN_CLIENT_H_
+
+#include <cstdint>
+#include <string>
+
+#include "src/net/protocol.h"
+#include "src/util/status.h"
+#include "src/util/time.h"
+
+namespace bouncer::net {
+
+/// One blocking admin fetch against a running NetServer. Deliberately
+/// not routed through NetClient: its response path is hard-wired to the
+/// fixed 18-byte graph response body, while admin responses are chunked
+/// variable-length frames (see protocol.h). A plain blocking socket is
+/// exactly right for a control-plane request issued once per scrape.
+struct AdminFetch {
+  std::string host = "127.0.0.1";
+  uint16_t port = 0;
+  uint8_t op = kOpStatsJson;  ///< kOpStatsJson/kOpStatsPrometheus/kOpTraceDump.
+  Nanos timeout = 5'000'000'000;  ///< Socket send/receive timeout.
+};
+
+/// Connects, sends one admin request frame, concatenates response chunks
+/// until the final one (kAdminFlagMore clear) and returns the payload.
+Status FetchAdmin(const AdminFetch& fetch, std::string* payload);
+
+}  // namespace bouncer::net
+
+#endif  // BOUNCER_NET_ADMIN_CLIENT_H_

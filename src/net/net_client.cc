@@ -251,6 +251,10 @@ NetClient::Counters NetClient::counters() const {
   c.failed = failed_.load(std::memory_order_relaxed);
   c.dropped = dropped_.load(std::memory_order_relaxed);
   c.conn_errors = conn_errors_.load(std::memory_order_relaxed);
+  c.reason_policy = reason_policy_.load(std::memory_order_relaxed);
+  c.reason_queue = reason_queue_.load(std::memory_order_relaxed);
+  c.reason_expired = reason_expired_.load(std::memory_order_relaxed);
+  c.reason_shard = reason_shard_.load(std::memory_order_relaxed);
   return c;
 }
 
@@ -264,6 +268,10 @@ void NetClient::ResetStats() {
   expired_.store(0, std::memory_order_relaxed);
   failed_.store(0, std::memory_order_relaxed);
   dropped_.store(0, std::memory_order_relaxed);
+  reason_policy_.store(0, std::memory_order_relaxed);
+  reason_queue_.store(0, std::memory_order_relaxed);
+  reason_expired_.store(0, std::memory_order_relaxed);
+  reason_shard_.store(0, std::memory_order_relaxed);
   latency_.Reset();
   for (auto& h : latency_by_op_) h.Reset();
 }
@@ -347,6 +355,25 @@ void NetClient::OnResponse(Conn* conn, const ResponseFrame& frame,
       break;
     default:
       failed_.fetch_add(1, std::memory_order_relaxed);
+      break;
+  }
+  // The flags byte carries the server's RejectReason wire code.
+  switch (static_cast<RejectReason>(frame.flags)) {
+    case RejectReason::kPolicy:
+      reason_policy_.fetch_add(1, std::memory_order_relaxed);
+      break;
+    case RejectReason::kQueueFull:
+      reason_queue_.fetch_add(1, std::memory_order_relaxed);
+      break;
+    case RejectReason::kExpired:
+      reason_expired_.fetch_add(1, std::memory_order_relaxed);
+      break;
+    case RejectReason::kShardPolicy:
+    case RejectReason::kShardQueueFull:
+    case RejectReason::kShardExpired:
+      reason_shard_.fetch_add(1, std::memory_order_relaxed);
+      break;
+    default:
       break;
   }
   if (conn->inflight > 0) --conn->inflight;

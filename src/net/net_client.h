@@ -71,6 +71,14 @@ class NetClient {
     uint64_t failed = 0;  ///< kFailed + kBadRequest responses.
     uint64_t dropped = 0;       ///< Open-loop sends shed at the local queue.
     uint64_t conn_errors = 0;   ///< Connections lost mid-run.
+    /// Failure attribution parsed from the response flags byte (the
+    /// server's RejectReason wire code), so callers can tell policy
+    /// rejection, queue shed, shard-side backpressure and expiry apart
+    /// even when statuses alone are ambiguous (e.g. kFailed).
+    uint64_t reason_policy = 0;   ///< kPolicy (broker policy said no).
+    uint64_t reason_queue = 0;    ///< kQueueFull (broker queue shed).
+    uint64_t reason_expired = 0;  ///< kExpired (deadline passed queued).
+    uint64_t reason_shard = 0;    ///< kShard* (subquery failed at a shard).
   };
 
   NetClient(const Options& options, Sampler sampler);
@@ -155,6 +163,10 @@ class NetClient {
   std::atomic<uint64_t> failed_{0};
   std::atomic<uint64_t> dropped_{0};
   std::atomic<uint64_t> conn_errors_{0};
+  std::atomic<uint64_t> reason_policy_{0};
+  std::atomic<uint64_t> reason_queue_{0};
+  std::atomic<uint64_t> reason_expired_{0};
+  std::atomic<uint64_t> reason_shard_{0};
   stats::Histogram latency_;
   stats::Histogram latency_by_op_[graph::kNumGraphOps];
 };

@@ -81,6 +81,15 @@ struct NetServer::Connection {
   bool read_paused_overload = false;
   bool closing = false;  ///< Peer EOF seen; flush what is owed, then close.
 
+  /// Admin response in progress: the rendered payload streams into `tx`
+  /// in chunks as space frees up, never displacing the frames reserved
+  /// for the `owed` graph responses. One admin response at a time per
+  /// connection; a second admin frame stays buffered in `rx` meanwhile.
+  bool admin_active = false;
+  uint64_t admin_id = 0;       ///< Request id echoed in every chunk.
+  size_t admin_offset = 0;     ///< Payload bytes already written.
+  std::string admin_payload;
+
   uint64_t Token() const {
     return (static_cast<uint64_t>(gen) << 32) |
            (static_cast<uint64_t>(loop_id) << kSlotBits) | index;
@@ -157,6 +166,11 @@ NetServer::NetServer(graph::Cluster* cluster, const Options& options)
     options_.num_loops = hw == 0 ? 1 : (hw < 4 ? hw : 4);
   }
   if (options_.num_loops > kMaxLoops) options_.num_loops = kMaxLoops;
+  if constexpr (stats::kTraceCompiledIn) {
+    recorder_ = options_.recorder != nullptr
+                    ? options_.recorder
+                    : &stats::FlightRecorder::Global();
+  }
 }
 
 NetServer::~NetServer() { Stop(); }
@@ -283,6 +297,39 @@ Status NetServer::Start() {
     ::epoll_ctl(loop.epoll_fd, EPOLL_CTL_ADD, loop.event_fd, &ev);
   }
 
+  if (options_.metrics != nullptr) {
+    metrics_collector_handle_ =
+        options_.metrics->AddCollector([this](stats::MetricSink& sink) {
+          const Stats s = AggregateStats();
+          sink.AddCounter("net.connections_accepted", s.connections_accepted);
+          sink.AddCounter("net.connections_dropped", s.connections_dropped);
+          sink.AddCounter("net.connections_closed", s.connections_closed);
+          sink.AddCounter("net.requests", s.requests);
+          sink.AddCounter("net.responses", s.responses);
+          sink.AddCounter("net.rejections", s.rejections);
+          sink.AddCounter("net.rejections_policy", s.rejections_policy);
+          sink.AddCounter("net.rejections_queue", s.rejections_queue);
+          sink.AddCounter("net.failures_shard", s.failures_shard);
+          sink.AddCounter("net.expirations", s.expirations);
+          sink.AddCounter("net.bad_frames", s.bad_frames);
+          sink.AddCounter("net.submit_batches", s.submit_batches);
+          sink.AddCounter("net.pauses", s.pauses);
+          sink.AddCounter("net.pauses_inflight", s.pauses_inflight);
+          sink.AddCounter("net.pauses_tx", s.pauses_tx);
+          sink.AddCounter("net.pauses_overload", s.pauses_overload);
+          sink.AddCounter("net.admin_requests", s.admin_requests);
+          sink.AddCounter("net.handoffs", s.handoffs);
+          sink.AddCounter("net.nodelay_failures", s.nodelay_failures);
+          for (size_t i = 0; i < loops_.size(); ++i) {
+            const Stats ls = LoopStats(i);
+            const std::string prefix = "net.loop" + std::to_string(i) + ".";
+            sink.AddCounter(prefix + "requests", ls.requests);
+            sink.AddCounter(prefix + "responses", ls.responses);
+            sink.AddCounter(prefix + "pauses", ls.pauses);
+          }
+        });
+  }
+
   stop_requested_.store(false, std::memory_order_release);
   running_.store(true, std::memory_order_release);
   for (auto& loop_ptr : loops_) {
@@ -294,6 +341,10 @@ Status NetServer::Start() {
 
 void NetServer::Stop() {
   if (!running_.exchange(false, std::memory_order_acq_rel)) return;
+  if (metrics_collector_handle_ != 0) {
+    options_.metrics->RemoveCollector(metrics_collector_handle_);
+    metrics_collector_handle_ = 0;
+  }
   stop_requested_.store(true, std::memory_order_release);
   for (auto& loop : loops_) {
     if (loop->event_fd >= 0) WriteEventFd(loop->event_fd);
@@ -337,9 +388,17 @@ NetServer::Stats NetServer::LoopStats(size_t loop) const {
   s.requests = c.requests.load(std::memory_order_relaxed);
   s.responses = c.responses.load(std::memory_order_relaxed);
   s.rejections = c.rejections.load(std::memory_order_relaxed);
+  s.rejections_policy = c.rejections_policy.load(std::memory_order_relaxed);
+  s.rejections_queue = c.rejections_queue.load(std::memory_order_relaxed);
+  s.failures_shard = c.failures_shard.load(std::memory_order_relaxed);
+  s.expirations = c.expirations.load(std::memory_order_relaxed);
   s.bad_frames = c.bad_frames.load(std::memory_order_relaxed);
   s.submit_batches = c.submit_batches.load(std::memory_order_relaxed);
   s.pauses = c.pauses.load(std::memory_order_relaxed);
+  s.pauses_inflight = c.pauses_inflight.load(std::memory_order_relaxed);
+  s.pauses_tx = c.pauses_tx.load(std::memory_order_relaxed);
+  s.pauses_overload = c.pauses_overload.load(std::memory_order_relaxed);
+  s.admin_requests = c.admin_requests.load(std::memory_order_relaxed);
   s.handoffs = c.handoffs.load(std::memory_order_relaxed);
   s.nodelay_failures = c.nodelay_failures.load(std::memory_order_relaxed);
   return s;
@@ -355,9 +414,17 @@ NetServer::Stats NetServer::AggregateStats() const {
     total.requests += s.requests;
     total.responses += s.responses;
     total.rejections += s.rejections;
+    total.rejections_policy += s.rejections_policy;
+    total.rejections_queue += s.rejections_queue;
+    total.failures_shard += s.failures_shard;
+    total.expirations += s.expirations;
     total.bad_frames += s.bad_frames;
     total.submit_batches += s.submit_batches;
     total.pauses += s.pauses;
+    total.pauses_inflight += s.pauses_inflight;
+    total.pauses_tx += s.pauses_tx;
+    total.pauses_overload += s.pauses_overload;
+    total.admin_requests += s.admin_requests;
     total.handoffs += s.handoffs;
     total.nodelay_failures += s.nodelay_failures;
   }
@@ -450,6 +517,10 @@ void NetServer::AdoptFd(Loop& loop, int fd) {
   conn->read_paused_inflight = conn->read_paused_tx =
       conn->read_paused_overload = false;
   conn->closing = false;
+  conn->admin_active = false;
+  conn->admin_id = 0;
+  conn->admin_offset = 0;
+  conn->admin_payload.clear();
   conn->armed_events = EPOLLIN;
   loop.counters.connections_accepted.fetch_add(1, std::memory_order_relaxed);
 
@@ -515,6 +586,9 @@ void NetServer::CloseConn(Loop& loop, Connection* conn) {
   conn->tx.Clear();
   conn->owed = 0;
   conn->dirty = false;
+  conn->admin_active = false;
+  conn->admin_payload.clear();
+  conn->admin_payload.shrink_to_fit();
   loop.free_slots.push_back(conn->index);
   total_live_.fetch_sub(1, std::memory_order_relaxed);
   loop.counters.connections_closed.fetch_add(1, std::memory_order_relaxed);
@@ -561,13 +635,19 @@ void NetServer::ParseConn(Loop& loop, Connection* conn) {
     // pause disarms EPOLLIN: the kernel receive buffer fills, the TCP
     // window closes, and the overload queues at the client.
     if (conn->owed >= options_.max_inflight_per_conn) {
-      conn->read_paused_inflight = true;
+      if (!conn->read_paused_inflight) {
+        conn->read_paused_inflight = true;
+        loop.counters.pauses_inflight.fetch_add(1, std::memory_order_relaxed);
+      }
       PauseRead(loop, conn);
       return;
     }
     if (conn->tx.free_space() <
         (conn->owed + 1) * kResponseFrameBytes) {
-      conn->read_paused_tx = true;
+      if (!conn->read_paused_tx) {
+        conn->read_paused_tx = true;
+        loop.counters.pauses_tx.fetch_add(1, std::memory_order_relaxed);
+      }
       PauseRead(loop, conn);
       return;
     }
@@ -582,10 +662,21 @@ void NetServer::ParseConn(Loop& loop, Connection* conn) {
     }
     uint8_t body[kRequestBodyBytes];
     if (!conn->rx.Peek(kLengthPrefixBytes, body, sizeof(body))) return;
+
+    // Decoded before the frame is consumed: an admin op that cannot start
+    // yet (one already streaming) must stay buffered.
+    RequestFrame frame;
+    const bool valid = DecodeRequestBody(body, &frame);
+    if (valid && IsAdminOp(frame.op)) {
+      if (conn->admin_active) return;  // Resumes when the pump finishes.
+      conn->rx.Consume(kRequestFrameBytes);
+      loop.counters.admin_requests.fetch_add(1, std::memory_order_relaxed);
+      StartAdmin(loop, conn, frame);
+      continue;
+    }
     conn->rx.Consume(kRequestFrameBytes);
 
-    RequestFrame frame;
-    if (!DecodeRequestBody(body, &frame)) {
+    if (!valid) {
       // Well-framed but invalid (unknown op / flags): answer and move on.
       loop.counters.bad_frames.fetch_add(1, std::memory_order_relaxed);
       uint8_t encoded[kResponseFrameBytes];
@@ -598,6 +689,21 @@ void NetServer::ParseConn(Loop& loop, Connection* conn) {
     loop.counters.requests.fetch_add(1, std::memory_order_relaxed);
     ++conn->owed;
 
+    bool traced = false;
+    if constexpr (stats::kTraceCompiledIn) {
+      if (recorder_->ShouldSample(frame.id)) {
+        traced = true;
+        stats::TraceEvent event;
+        event.ts = now;
+        event.id = frame.id;
+        event.arg0 = static_cast<int64_t>(frame.deadline_ns);
+        event.loc = loop.id;
+        event.type = static_cast<uint16_t>(frame.op) + 1;
+        event.kind = static_cast<uint8_t>(stats::TraceEventKind::kNetParse);
+        recorder_->Record(event);
+      }
+    }
+
     Pending* pending = loop.pending_pool.Acquire();
     pending->loop = &loop;
     pending->token = conn->Token();
@@ -608,11 +714,12 @@ void NetServer::ParseConn(Loop& loop, Connection* conn) {
         frame.deadline_ns == 0
             ? 0
             : now + static_cast<Nanos>(frame.deadline_ns);
+    request.id = frame.id;
+    request.traced = traced;
     // 8-byte capture: stays in std::function's inline buffer.
     request.done = [pending](const server::WorkItem& w, Outcome outcome,
                              const GraphQueryResult& result) {
-      (void)w;
-      pending->loop->server->OnQueryDone(pending, outcome, result);
+      pending->loop->server->OnQueryDone(pending, w, outcome, result);
     };
     if (options_.batch_submit) {
       loop.batch.push_back(std::move(request));
@@ -621,7 +728,7 @@ void NetServer::ParseConn(Loop& loop, Connection* conn) {
     } else {
       // A/B baseline: one admission episode per query.
       cluster_->Submit(request.query, request.deadline,
-                       std::move(request.done));
+                       std::move(request.done), frame.id);
     }
   }
 }
@@ -646,6 +753,7 @@ void NetServer::SubmitParsed(Loop& loop) {
         Connection* conn = Resolve(loop, token);
         if (conn == nullptr || conn->read_paused_overload) continue;
         conn->read_paused_overload = true;
+        loop.counters.pauses_overload.fetch_add(1, std::memory_order_relaxed);
         PauseRead(loop, conn);
       }
       loop.overload_paused = true;
@@ -690,13 +798,21 @@ void NetServer::MaybeResumePaused(Loop& loop) {
   }
 }
 
-void NetServer::OnQueryDone(Pending* pending, Outcome outcome,
-                            const GraphQueryResult& result) {
+void NetServer::OnQueryDone(Pending* pending, const server::WorkItem& item,
+                            Outcome outcome, const GraphQueryResult& result) {
   Loop& loop = *pending->loop;
   Done done;
   done.token = pending->token;
   done.request_id = pending->request_id;
   done.status = static_cast<uint8_t>(ToStatus(outcome, result.ok));
+  // Response flags carry the RejectReason wire code: the broker stage's
+  // own reason when it terminated the request, else the first failed
+  // subquery's shard-side reason.
+  if (item.reject_reason != RejectReason::kNone) {
+    done.reason = static_cast<uint8_t>(item.reject_reason);
+  } else if (outcome == Outcome::kCompleted && !result.ok) {
+    done.reason = result.fail_reason;
+  }
   done.value = result.value;
   loop.pending_pool.Release(pending);
   if (std::this_thread::get_id() ==
@@ -733,15 +849,41 @@ void NetServer::OnQueryDone(Pending* pending, Outcome outcome,
 void NetServer::DeliverDone(Loop& loop, const Done& done) {
   loop.counters.responses.fetch_add(1, std::memory_order_relaxed);
   const auto status = static_cast<ResponseStatus>(done.status);
-  if (status == ResponseStatus::kRejected ||
-      status == ResponseStatus::kShedded) {
-    loop.counters.rejections.fetch_add(1, std::memory_order_relaxed);
+  switch (status) {
+    case ResponseStatus::kRejected:
+      loop.counters.rejections.fetch_add(1, std::memory_order_relaxed);
+      loop.counters.rejections_policy.fetch_add(1, std::memory_order_relaxed);
+      break;
+    case ResponseStatus::kShedded:
+      loop.counters.rejections.fetch_add(1, std::memory_order_relaxed);
+      loop.counters.rejections_queue.fetch_add(1, std::memory_order_relaxed);
+      break;
+    case ResponseStatus::kExpired:
+      loop.counters.expirations.fetch_add(1, std::memory_order_relaxed);
+      break;
+    case ResponseStatus::kFailed:
+      loop.counters.failures_shard.fetch_add(1, std::memory_order_relaxed);
+      break;
+    default:
+      break;
   }
   Connection* conn = Resolve(loop, done.token);
   if (conn == nullptr) return;  // Connection died while in flight.
   --conn->owed;
+  if constexpr (stats::kTraceCompiledIn) {
+    if (recorder_->ShouldSample(done.request_id)) {
+      stats::TraceEvent event;
+      event.ts = SystemClock::Global()->Now();
+      event.id = done.request_id;
+      event.arg0 = static_cast<int64_t>(done.status);
+      event.loc = loop.id;
+      event.kind = static_cast<uint8_t>(stats::TraceEventKind::kResponseWrite);
+      event.reason = done.reason;
+      recorder_->Record(event);
+    }
+  }
   uint8_t encoded[kResponseFrameBytes];
-  EncodeResponse({done.request_id, status, 0, done.value}, encoded);
+  EncodeResponse({done.request_id, status, done.reason, done.value}, encoded);
   // Space is guaranteed: parsing never runs the write ring below
   // owed * kResponseFrameBytes of free space.
   conn->tx.Write(encoded, sizeof(encoded));
@@ -750,6 +892,88 @@ void NetServer::DeliverDone(Loop& loop, const Done& done) {
       conn->owed < options_.max_inflight_per_conn / 2) {
     conn->read_paused_inflight = false;
     ResumeRead(loop, conn);
+  }
+}
+
+void NetServer::BuildAdminPayload(uint8_t op, std::string* out) {
+  out->clear();
+  switch (op) {
+    case kOpStatsJson:
+      if (options_.metrics != nullptr) {
+        *out = options_.metrics->ToJson();
+      } else {
+        *out = "{\"counters\":{},\"gauges\":{},\"histograms\":{}}";
+      }
+      return;
+    case kOpStatsPrometheus:
+      if (options_.metrics != nullptr) *out = options_.metrics->ToPrometheus();
+      return;
+    case kOpTraceDump:
+      if constexpr (stats::kTraceCompiledIn) recorder_->Dump(out);
+      return;
+    default:
+      return;
+  }
+}
+
+void NetServer::StartAdmin(Loop& loop, Connection* conn,
+                           const RequestFrame& frame) {
+  BuildAdminPayload(frame.op, &conn->admin_payload);
+  conn->admin_offset = 0;
+  conn->admin_id = frame.id;
+  conn->admin_active = true;
+  PumpAdmin(loop, conn);
+}
+
+bool NetServer::PumpAdmin(Loop& loop, Connection* conn) {
+  if (!conn->admin_active || conn->fd < 0) return true;
+  const size_t total = conn->admin_payload.size();
+  for (;;) {
+    const size_t remaining = total - conn->admin_offset;
+    const size_t chunk = remaining < kAdminMaxChunk ? remaining
+                                                    : kAdminMaxChunk;
+    // The write ring keeps owed * kResponseFrameBytes reserved for
+    // in-flight graph responses (DeliverDone writes unconditionally); an
+    // admin chunk only goes out when it fits NEXT TO that reservation.
+    if (conn->tx.free_space() <
+        (conn->owed + 1) * kResponseFrameBytes + chunk) {
+      return false;  // Re-pumped next loop iteration, after a flush.
+    }
+    const bool more = conn->admin_offset + chunk < total;
+    uint8_t head[kResponseFrameBytes];
+    wire::PutU32(head, static_cast<uint32_t>(kResponseBodyBytes + chunk));
+    uint8_t* p = head + kLengthPrefixBytes;
+    wire::PutU64(p, conn->admin_id);
+    p[8] = static_cast<uint8_t>(ResponseStatus::kOk);
+    p[9] = more ? kAdminFlagMore : 0;
+    wire::PutU64(p + 10, static_cast<uint64_t>(total));
+    conn->tx.Write(head, sizeof(head));
+    if (chunk > 0) {
+      conn->tx.Write(reinterpret_cast<const uint8_t*>(
+                         conn->admin_payload.data() + conn->admin_offset),
+                     chunk);
+    }
+    conn->admin_offset += chunk;
+    conn->dirty = true;
+    if (!more) {
+      conn->admin_active = false;
+      conn->admin_payload.clear();
+      conn->admin_payload.shrink_to_fit();
+      loop.counters.responses.fetch_add(1, std::memory_order_relaxed);
+      return true;
+    }
+  }
+}
+
+void NetServer::PumpAdminAll(Loop& loop) {
+  for (auto& slot : loop.slots) {
+    Connection* conn = slot.get();
+    if (conn == nullptr || conn->fd < 0 || !conn->admin_active) continue;
+    if (PumpAdmin(loop, conn)) {
+      // Frames parked behind the admin request (including another admin
+      // op) are parseable again.
+      ParseConn(loop, conn);
+    }
   }
 }
 
@@ -829,6 +1053,7 @@ void NetServer::LoopThread(Loop& loop) {
     do {
       SubmitParsed(loop);
       DrainCompletions(loop);
+      PumpAdminAll(loop);
       for (auto& slot : loop.slots) {
         Connection* conn = slot.get();
         if (conn != nullptr && conn->fd >= 0 && conn->dirty) {

@@ -11,6 +11,8 @@
 #include "src/graph/cluster.h"
 #include "src/net/byte_ring.h"
 #include "src/net/protocol.h"
+#include "src/stats/flight_recorder.h"
+#include "src/stats/metric_registry.h"
 #include "src/util/mpmc_queue.h"
 #include "src/util/object_pool.h"
 #include "src/util/status.h"
@@ -81,6 +83,15 @@ class NetServer {
     /// Admitted-but-unanswered cap per connection before its EPOLLIN is
     /// paused. Bounds both completion-ring pressure and write-ring needs.
     size_t max_inflight_per_conn = 1024;
+    /// When set, the server answers kOpStatsJson/kOpStatsPrometheus from
+    /// this registry and publishes its own per-loop counters into it
+    /// (under "net.*"); must outlive the server. Without it, admin stats
+    /// requests return an empty snapshot.
+    stats::MetricRegistry* metrics = nullptr;
+    /// Flight recorder serving kOpTraceDump and receiving the net-layer
+    /// parse/response events of sampled requests; defaults to
+    /// stats::FlightRecorder::Global() when tracing is compiled in.
+    stats::FlightRecorder* recorder = nullptr;
   };
 
   /// Counter snapshot. Counters are accumulated per loop in
@@ -93,9 +104,17 @@ class NetServer {
     uint64_t requests = 0;
     uint64_t responses = 0;
     uint64_t rejections = 0;  ///< kRejected + kShedded responses.
+    uint64_t rejections_policy = 0;  ///< Admission policy said no.
+    uint64_t rejections_queue = 0;   ///< Shed on a full bounded queue.
+    uint64_t failures_shard = 0;     ///< kFailed: shard-side subquery loss.
+    uint64_t expirations = 0;        ///< kExpired responses.
     uint64_t bad_frames = 0;
     uint64_t submit_batches = 0;
     uint64_t pauses = 0;    ///< EPOLLIN disarm episodes.
+    uint64_t pauses_inflight = 0;  ///< ... due to the inflight cap.
+    uint64_t pauses_tx = 0;        ///< ... due to write-ring space.
+    uint64_t pauses_overload = 0;  ///< ... due to broker-queue sheds.
+    uint64_t admin_requests = 0;   ///< Admin opcodes served.
     uint64_t handoffs = 0;  ///< Fds mailed to another loop (fallback mode).
     uint64_t nodelay_failures = 0;  ///< TCP_NODELAY not verified on accept.
   };
@@ -139,6 +158,7 @@ class NetServer {
     uint64_t token = 0;  ///< Generation | loop id | slot index.
     uint64_t request_id = 0;
     uint8_t status = 0;
+    uint8_t reason = 0;  ///< RejectReason wire code (response flags byte).
     uint64_t value = 0;
   };
 
@@ -151,9 +171,17 @@ class NetServer {
     std::atomic<uint64_t> requests{0};
     std::atomic<uint64_t> responses{0};
     std::atomic<uint64_t> rejections{0};
+    std::atomic<uint64_t> rejections_policy{0};
+    std::atomic<uint64_t> rejections_queue{0};
+    std::atomic<uint64_t> failures_shard{0};
+    std::atomic<uint64_t> expirations{0};
     std::atomic<uint64_t> bad_frames{0};
     std::atomic<uint64_t> submit_batches{0};
     std::atomic<uint64_t> pauses{0};
+    std::atomic<uint64_t> pauses_inflight{0};
+    std::atomic<uint64_t> pauses_tx{0};
+    std::atomic<uint64_t> pauses_overload{0};
+    std::atomic<uint64_t> admin_requests{0};
     std::atomic<uint64_t> handoffs{0};
     std::atomic<uint64_t> nodelay_failures{0};
   };
@@ -175,8 +203,21 @@ class NetServer {
   void MaybeResumePaused(Loop& loop);
   bool BrokersCongested() const;
   Connection* Resolve(Loop& loop, uint64_t token);
-  void OnQueryDone(Pending* pending, server::Outcome outcome,
+  void OnQueryDone(Pending* pending, const server::WorkItem& item,
+                   server::Outcome outcome,
                    const graph::GraphQueryResult& result);
+  /// Renders the admin payload for `op` (registry JSON / Prometheus text
+  /// / recorder JSONL dump).
+  void BuildAdminPayload(uint8_t op, std::string* out);
+  /// Begins streaming an admin response on `conn` and pumps what fits.
+  void StartAdmin(Loop& loop, Connection* conn, const RequestFrame& frame);
+  /// Writes as many admin chunks as the write ring can take without
+  /// eating the space reserved for owed graph responses. Returns true
+  /// when the response finished (admin_active cleared).
+  bool PumpAdmin(Loop& loop, Connection* conn);
+  /// Pumps every connection with an admin response in progress; resumes
+  /// parsing on the ones that finished.
+  void PumpAdminAll(Loop& loop);
   Status StartListeners();
   void CloseAll();
 
@@ -194,6 +235,9 @@ class NetServer {
 
   std::atomic<bool> running_{false};
   std::atomic<bool> stop_requested_{false};
+
+  stats::FlightRecorder* recorder_ = nullptr;
+  uint64_t metrics_collector_handle_ = 0;
 };
 
 }  // namespace bouncer::net

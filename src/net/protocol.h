@@ -30,8 +30,41 @@ namespace bouncer::net {
 ///   u32  body length (== kResponseBodyBytes)
 ///   u64  request id
 ///   u8   status (ResponseStatus)
-///   u8   flags (0)
+///   u8   flags — for graph responses, the RejectReason wire code of the
+///        failure (0 on success), so clients can tell policy rejection,
+///        queue shed, and shard-side backpressure apart
 ///   u64  result value (degree / count / distance; 0 unless status == kOk)
+///
+/// Admin opcodes (kOpStatsJson/kOpStatsPrometheus/kOpTraceDump) reuse the
+/// request frame unchanged and are answered with a chunked variant of the
+/// response frame, served directly from the owning event loop:
+///   u32  body length (== kResponseBodyBytes + chunk payload length,
+///        payload <= kAdminMaxChunk)
+///   u64  request id (echoed)
+///   u8   status (kOk)
+///   u8   flags (bit 0 kAdminFlagMore: another chunk follows)
+///   u64  total payload size in bytes (same in every chunk)
+///   ...  chunk payload bytes
+/// The client concatenates chunk payloads until a frame without
+/// kAdminFlagMore arrives.
+
+/// Admin opcode family, far above the graph op range so the two can
+/// never collide. Served synchronously from the event loop, not through
+/// the admission path — observability must keep working under overload.
+inline constexpr uint8_t kOpStatsJson = 0xF0;        ///< Registry as JSON.
+inline constexpr uint8_t kOpStatsPrometheus = 0xF1;  ///< Text exposition.
+inline constexpr uint8_t kOpTraceDump = 0xF2;        ///< Recorder JSONL.
+
+inline constexpr bool IsAdminOp(uint8_t op) {
+  return op == kOpStatsJson || op == kOpStatsPrometheus || op == kOpTraceDump;
+}
+
+/// Admin chunk flag: set on every chunk except the last.
+inline constexpr uint8_t kAdminFlagMore = 0x01;
+/// Upper bound on one admin chunk's payload bytes — small enough that a
+/// chunk always fits the write ring next to the in-flight graph
+/// responses it must never displace.
+inline constexpr size_t kAdminMaxChunk = 4096;
 
 /// One parsed client request.
 struct RequestFrame {
@@ -133,7 +166,8 @@ inline bool DecodeRequestBody(const uint8_t* body, RequestFrame* out) {
   out->target = wire::GetU32(body + 16);
   out->external_id = wire::GetU64(body + 20);
   out->deadline_ns = wire::GetU64(body + 28);
-  return out->op < graph::kNumGraphOps && out->flags == 0;
+  return (out->op < graph::kNumGraphOps || IsAdminOp(out->op)) &&
+         out->flags == 0;
 }
 
 /// Encodes `frame` (length prefix included) into `out`, which must hold

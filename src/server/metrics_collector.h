@@ -28,13 +28,16 @@ struct TypeReport {
   double pt_mean_ms = 0.0;
   double pt_p50_ms = 0.0;
   double pt_p90_ms = 0.0;
+  /// Exact sum of processing time over completed items, in ns.
+  int64_t pt_total_ns = 0;
 
   /// Total processing time spent on completed items, in ms — the busy
   /// time a worker pool charged to this type. Utilization over a window
-  /// follows as BusyMs() / (workers * window_ms).
-  double BusyMs() const {
-    return pt_mean_ms * static_cast<double>(completed);
-  }
+  /// follows as BusyMs() / (workers * window_ms). Computed from the
+  /// exactly-accumulated nanosecond sum, not mean * count: the mean is a
+  /// double whose rounding error scales with the sample count, and this
+  /// value feeds shard_utilization in the real-study cells.
+  double BusyMs() const { return ToMillis(pt_total_ns); }
 };
 
 /// Thread-safe sink for Stage completion callbacks: counts outcomes and
@@ -82,6 +85,7 @@ class MetricsCollector {
     }
     t.completed.fetch_add(1, std::memory_order_relaxed);
     t.accepted.fetch_add(1, std::memory_order_relaxed);
+    t.pt_total_ns.fetch_add(item.ProcessingTime(), std::memory_order_relaxed);
     t.received.fetch_add(1, std::memory_order_release);
     std::lock_guard<std::mutex> lock(t.mu);
     t.rt_ms.Add(ToMillis(item.ResponseTime()));
@@ -101,6 +105,7 @@ class MetricsCollector {
     r.rejected = t.rejected.load(std::memory_order_relaxed);
     r.expired = t.expired.load(std::memory_order_relaxed);
     r.completed = t.completed.load(std::memory_order_relaxed);
+    r.pt_total_ns = t.pt_total_ns.load(std::memory_order_relaxed);
     if (r.received > 0) {
       r.rejection_pct = 100.0 * static_cast<double>(r.rejected) /
                         static_cast<double>(r.received);
@@ -128,6 +133,7 @@ class MetricsCollector {
       r.rejected += t.rejected.load(std::memory_order_relaxed);
       r.expired += t.expired.load(std::memory_order_relaxed);
       r.completed += t.completed.load(std::memory_order_relaxed);
+      r.pt_total_ns += t.pt_total_ns.load(std::memory_order_relaxed);
       std::lock_guard<std::mutex> lock(t.mu);
       for (double v : t.rt_ms.samples()) all_rt.Add(v);
       for (double v : t.pt_ms.samples()) all_pt.Add(v);
@@ -154,6 +160,7 @@ class MetricsCollector {
       t.rejected.store(0, std::memory_order_relaxed);
       t.expired.store(0, std::memory_order_relaxed);
       t.completed.store(0, std::memory_order_relaxed);
+      t.pt_total_ns.store(0, std::memory_order_relaxed);
       std::lock_guard<std::mutex> lock(t.mu);
       t.rt_ms.Clear();
       t.pt_ms.Clear();
@@ -169,6 +176,7 @@ class MetricsCollector {
     std::atomic<uint64_t> rejected{0};
     std::atomic<uint64_t> expired{0};
     std::atomic<uint64_t> completed{0};
+    std::atomic<int64_t> pt_total_ns{0};
     std::mutex mu;
     stats::SampleSummary rt_ms;
     stats::SampleSummary pt_ms;

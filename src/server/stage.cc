@@ -22,9 +22,86 @@ Stage::Stage(const Options& options, const QueryTypeRegistry* registry,
   } else {
     init_status_ = policy.status();
   }
+  if constexpr (stats::kTraceCompiledIn) {
+    recorder_ = options_.recorder != nullptr ? options_.recorder
+                                             : &stats::FlightRecorder::Global();
+  }
+  if (options_.metrics != nullptr) {
+    const std::string prefix = "stage." + options_.name + ".";
+    est_err_under_ =
+        options_.metrics->GetHistogram(prefix + "est_wait_err_under_ns");
+    est_err_over_ =
+        options_.metrics->GetHistogram(prefix + "est_wait_err_over_ns");
+    collector_handle_ =
+        options_.metrics->AddCollector([this, prefix](stats::MetricSink& sink) {
+          const auto load = [](const std::atomic<uint64_t>& v) {
+            return v.load(std::memory_order_relaxed);
+          };
+          sink.AddCounter(prefix + "received", load(counters_.received));
+          sink.AddCounter(prefix + "accepted", load(counters_.accepted));
+          sink.AddCounter(prefix + "rejected", load(counters_.rejected));
+          sink.AddCounter(prefix + "expired", load(counters_.expired));
+          sink.AddCounter(prefix + "shedded", load(counters_.shedded));
+          sink.AddCounter(prefix + "completed", load(counters_.completed));
+          sink.AddGauge(prefix + "queue_length",
+                        static_cast<int64_t>(queue_state_.TotalLength()));
+        });
+  }
 }
 
-Stage::~Stage() { Stop(false); }
+Stage::~Stage() {
+  // Drop the collector before any member dies: a concurrent Snapshot()
+  // must never run the callback against a half-destroyed stage.
+  if (collector_handle_ != 0) {
+    options_.metrics->RemoveCollector(collector_handle_);
+  }
+  Stop(false);
+}
+
+void Stage::StampAdmission(WorkItem& item, Nanos now, RejectReason reason) {
+  if constexpr (stats::kTraceCompiledIn) {
+    if (!item.traced && recorder_->ShouldSample(item.id)) item.traced = true;
+  }
+  if (item.traced || est_err_under_ != nullptr) {
+    item.estimated_wait = policy_->EstimatedQueueWait(item.type);
+  }
+  if (reason != RejectReason::kNone) item.reject_reason = reason;
+  if constexpr (stats::kTraceCompiledIn) {
+    if (item.traced) {
+      stats::TraceEvent event;
+      event.ts = now;
+      event.id = item.id;
+      event.arg0 = item.estimated_wait;
+      event.arg1 = item.deadline > 0 ? item.deadline - now : -1;
+      event.type = static_cast<uint16_t>(item.type);
+      event.kind = static_cast<uint8_t>(stats::TraceEventKind::kAdmission);
+      event.reason = static_cast<uint8_t>(reason);
+      recorder_->Record(event);
+    }
+  }
+}
+
+void Stage::TraceOutcome(const WorkItem& item, Nanos now,
+                         stats::TraceEventKind kind, Nanos arg0, Nanos arg1) {
+  if constexpr (stats::kTraceCompiledIn) {
+    if (!item.traced) return;
+    stats::TraceEvent event;
+    event.ts = now;
+    event.id = item.id;
+    event.arg0 = arg0;
+    event.arg1 = arg1;
+    event.type = static_cast<uint16_t>(item.type);
+    event.kind = static_cast<uint8_t>(kind);
+    event.reason = static_cast<uint8_t>(item.reject_reason);
+    recorder_->Record(event);
+  } else {
+    (void)item;
+    (void)now;
+    (void)kind;
+    (void)arg0;
+    (void)arg1;
+  }
+}
 
 Status Stage::Start() {
   if (!init_status_.ok()) return init_status_;
@@ -94,10 +171,14 @@ Stage::BatchResult Stage::SubmitBatch(std::span<WorkItem> items) {
     const Decision decision = policy_->Decide(item.type, now);
     if (decision == Decision::kReject) {
       ++result.rejected;
+      StampAdmission(item, now, RejectReason::kPolicy);
       policy_->OnRejected(item.type, now);
       if (item.on_complete) item.on_complete(item, Outcome::kRejected);
       continue;
     }
+    // Estimate is stamped before OnEnqueued: it should cover the work
+    // ahead of this item, not the item's own contribution.
+    StampAdmission(item, now, RejectReason::kNone);
     item.enqueued = now;
     queue_state_.OnEnqueued(item.type);
     policy_->OnEnqueued(item.type, now);  // Point 1.
@@ -116,6 +197,8 @@ Stage::BatchResult Stage::SubmitBatch(std::span<WorkItem> items) {
     // drop per item to keep its windows and aggregates honest.
     WorkItem& item = items[i];
     queue_state_.OnDequeued(item.type);
+    item.reject_reason = RejectReason::kQueueFull;
+    TraceOutcome(item, now, stats::TraceEventKind::kShed);
     policy_->OnShedded(item.type, now);
     if (item.on_complete) item.on_complete(item, Outcome::kShedded);
   }
@@ -146,11 +229,15 @@ Outcome Stage::SubmitImpl(WorkItem item, bool allow_inline) {
   const Decision decision = policy_->Decide(item.type, now);
   if (decision == Decision::kReject) {
     counters_.rejected.fetch_add(1, std::memory_order_relaxed);
+    StampAdmission(item, now, RejectReason::kPolicy);
     policy_->OnRejected(item.type, now);
     if (item.on_complete) item.on_complete(item, Outcome::kRejected);
     return Outcome::kRejected;
   }
 
+  // Estimate is stamped before OnEnqueued: it should cover the work
+  // ahead of this item, not the item's own contribution.
+  StampAdmission(item, now, RejectReason::kNone);
   item.enqueued = now;
   const QueryTypeId type = item.type;
   // Occupancy and Point 1 go first: a worker that pops the item
@@ -170,6 +257,8 @@ Outcome Stage::SubmitImpl(WorkItem item, bool allow_inline) {
       !fifo_.TryPush(std::move(item))) {
     // TryPush leaves `item` intact on failure (ring full).
     queue_state_.OnDequeued(type);
+    item.reject_reason = RejectReason::kQueueFull;
+    TraceOutcome(item, now, stats::TraceEventKind::kShed);
     counters_.shedded.fetch_add(1, std::memory_order_relaxed);
     // The policy saw an accept; report the drop so its windows and
     // aggregates stay honest.
@@ -221,11 +310,30 @@ void Stage::ProcessItem(WorkItem& item) {
   const Nanos dequeue_time = clock_->Now();
   item.dequeued = dequeue_time;
   queue_state_.OnDequeued(item.type);
-  policy_->OnDequeued(item.type, item.WaitTime(), dequeue_time);  // Point 2.
+  const Nanos wait = item.WaitTime();
+  policy_->OnDequeued(item.type, wait, dequeue_time);  // Point 2.
+  if (item.estimated_wait >= 0) {
+    // How far off was the Eq. 2 estimate for this item? Signed error
+    // split across two histograms (the histogram clamps negatives).
+    const Nanos err = wait - item.estimated_wait;
+    if (est_err_under_ != nullptr) {
+      if (err >= 0) {
+        est_err_under_->Record(err);
+      } else {
+        est_err_over_->Record(-err);
+      }
+    }
+    TraceOutcome(item, dequeue_time, stats::TraceEventKind::kDequeue, wait,
+                 item.estimated_wait);
+  } else {
+    TraceOutcome(item, dequeue_time, stats::TraceEventKind::kDequeue, wait, -1);
+  }
 
   if (item.deadline > 0 && dequeue_time > item.deadline) {
     // Admitted but already expired: doing the work would be useless.
     counters_.expired.fetch_add(1, std::memory_order_relaxed);
+    item.reject_reason = RejectReason::kExpired;
+    TraceOutcome(item, dequeue_time, stats::TraceEventKind::kExpired);
     if (item.on_complete) item.on_complete(item, Outcome::kExpired);
     return;
   }
@@ -244,6 +352,8 @@ void Stage::DrainAsShedded() {
     const Nanos now = clock_->Now();
     counters_.shedded.fetch_add(1, std::memory_order_relaxed);
     queue_state_.OnDequeued(item.type);
+    item.reject_reason = RejectReason::kQueueFull;
+    TraceOutcome(item, now, stats::TraceEventKind::kShed);
     policy_->OnShedded(item.type, now);
     if (item.on_complete) item.on_complete(item, Outcome::kShedded);
     item = WorkItem();

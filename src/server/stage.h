@@ -14,6 +14,8 @@
 #include "src/core/policy_factory.h"
 #include "src/core/query_type_registry.h"
 #include "src/core/queue_state.h"
+#include "src/stats/flight_recorder.h"
+#include "src/stats/metric_registry.h"
 #include "src/util/clock.h"
 #include "src/util/mpmc_queue.h"
 #include "src/util/status.h"
@@ -40,6 +42,17 @@ struct WorkItem {
   Nanos enqueued = 0;  ///< Point 1 (accepted).
   Nanos dequeued = 0;  ///< Point 2.
   Nanos completed = 0; ///< Point 3.
+
+  /// The policy's Eq. 2 queue-wait estimate at admission time, stamped by
+  /// the stage for the estimate-vs-actual error histogram and the flight
+  /// recorder; -1 when not computed (no observers attached).
+  Nanos estimated_wait = -1;
+  /// Why the item failed (kNone while in flight / on success). Mapped
+  /// into the response frame's flags byte by the network layer.
+  RejectReason reject_reason = RejectReason::kNone;
+  /// Flight-recorder sampling decision, made once at the first admission
+  /// point the item crosses and carried downstream (broker → shards).
+  bool traced = false;
 
   /// Queue wait wt(Q); valid for kCompleted / kExpired.
   Nanos WaitTime() const { return dequeued - enqueued; }
@@ -83,6 +96,14 @@ class Stage {
     /// Hard memory bound on the FIFO, rounded up to the next power of
     /// two by the MPMC ring buffer.
     size_t queue_capacity = 100'000;
+    /// When set, the stage publishes its counters/queue length under
+    /// "stage.<name>.*" and records the estimate-vs-actual queue-wait
+    /// error into "stage.<name>.est_wait_err_{under,over}_ns". The
+    /// registry must outlive the stage. Optional.
+    stats::MetricRegistry* metrics = nullptr;
+    /// Flight recorder for sampled request traces; defaults to
+    /// stats::FlightRecorder::Global() when tracing is compiled in.
+    stats::FlightRecorder* recorder = nullptr;
   };
 
   /// The query engine: processes one admitted item (runs on a worker
@@ -189,6 +210,13 @@ class Stage {
 
  private:
   Outcome SubmitImpl(WorkItem item, bool allow_inline);
+  /// Admission-time observability: decides trace sampling, stamps the
+  /// policy's queue-wait estimate when someone will consume it, and
+  /// emits the kAdmission event. Called after Decide().
+  void StampAdmission(WorkItem& item, Nanos now, RejectReason reason);
+  /// Emits a single-kind event for `item` (shed/expired/dequeue).
+  void TraceOutcome(const WorkItem& item, Nanos now, stats::TraceEventKind kind,
+                    Nanos arg0 = 0, Nanos arg1 = 0);
   void WorkerLoop();
   /// Runs Points 2–3 for one popped item: dequeue bookkeeping, deadline
   /// check, handler, completion.
@@ -215,6 +243,11 @@ class Stage {
   std::vector<std::thread> workers_;
 
   StageCounters counters_;
+
+  stats::FlightRecorder* recorder_ = nullptr;
+  stats::Histogram* est_err_under_ = nullptr;  ///< actual > estimate.
+  stats::Histogram* est_err_over_ = nullptr;   ///< actual < estimate.
+  uint64_t collector_handle_ = 0;
 };
 
 /// Helper that builds a Stage together with its policy in one call: the

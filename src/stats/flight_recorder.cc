@@ -1,0 +1,168 @@
+#include "src/stats/flight_recorder.h"
+
+#include <cinttypes>
+#include <cstdio>
+
+namespace bouncer::stats {
+
+namespace {
+
+uint64_t SplitMix64(uint64_t x) {
+  x += 0x9e3779b97f4a7c15ull;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+  return x ^ (x >> 31);
+}
+
+size_t RoundUpPow2(size_t v) {
+  size_t p = 1;
+  while (p < v) p <<= 1;
+  return p;
+}
+
+const char* KindName(uint8_t kind) {
+  switch (static_cast<TraceEventKind>(kind)) {
+    case TraceEventKind::kNetParse: return "net_parse";
+    case TraceEventKind::kAdmission: return "admission";
+    case TraceEventKind::kShed: return "shed";
+    case TraceEventKind::kDequeue: return "dequeue";
+    case TraceEventKind::kExpired: return "expired";
+    case TraceEventKind::kShardScatter: return "shard_scatter";
+    case TraceEventKind::kShardGather: return "shard_gather";
+    case TraceEventKind::kResponseWrite: return "response_write";
+  }
+  return "unknown";
+}
+
+/// Per-thread cache of the ring this thread writes into, keyed by the
+/// recorder's address AND its instance id: a freed recorder's address
+/// can be recycled by a new one, and the id tie-break keeps the new
+/// instance from adopting the dead ring pointer.
+struct TlsCache {
+  const void* owner = nullptr;
+  uint64_t instance_id = 0;
+  void* ring = nullptr;
+};
+thread_local TlsCache tls_ring_cache;
+
+}  // namespace
+
+std::atomic<uint64_t> FlightRecorder::next_instance_id_{1};
+
+FlightRecorder& FlightRecorder::Global() {
+  static FlightRecorder* recorder = new FlightRecorder();
+  return *recorder;
+}
+
+FlightRecorder::~FlightRecorder() = default;
+
+void FlightRecorder::Configure(const Options& options) {
+  std::lock_guard<std::mutex> lock(mu_);
+  ring_capacity_ = RoundUpPow2(options.ring_capacity < 2 ? 2
+                                                         : options.ring_capacity);
+  period_.store(options.sampling_period == 0 ? 1 : options.sampling_period,
+                std::memory_order_relaxed);
+  seed_.store(options.sampling_seed, std::memory_order_relaxed);
+}
+
+bool FlightRecorder::SampleDecision(uint64_t id, uint64_t seed,
+                                    uint32_t period) {
+  if (period <= 1) return true;
+  return SplitMix64(id ^ seed) % period == 0;
+}
+
+FlightRecorder::Ring* FlightRecorder::RingForThisThread() {
+  TlsCache& cache = tls_ring_cache;
+  if (cache.owner == this && cache.instance_id == instance_id_) {
+    return static_cast<Ring*>(cache.ring);
+  }
+  std::lock_guard<std::mutex> lock(mu_);
+  const std::thread::id self = std::this_thread::get_id();
+  Ring* ring = nullptr;
+  for (const auto& r : rings_) {
+    if (r->owner == self) {
+      ring = r.get();
+      break;
+    }
+  }
+  if (ring == nullptr) {
+    rings_.push_back(std::make_unique<Ring>(ring_capacity_));
+    ring = rings_.back().get();
+    ring->owner = self;
+  }
+  cache.owner = this;
+  cache.instance_id = instance_id_;
+  cache.ring = ring;
+  return ring;
+}
+
+void FlightRecorder::Record(const TraceEvent& event) {
+  Ring* ring = RingForThisThread();
+  const uint64_t h = ring->head.load(std::memory_order_relaxed);
+  ring->events[h & ring->mask] = event;
+  ring->head.store(h + 1, std::memory_order_release);
+}
+
+size_t FlightRecorder::Dump(std::string* out) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  size_t written = 0;
+  char buf[256];
+  std::vector<TraceEvent> copy;
+  for (size_t ring_idx = 0; ring_idx < rings_.size(); ++ring_idx) {
+    const Ring& ring = *rings_[ring_idx];
+    const size_t cap = ring.mask + 1;
+    const uint64_t h1 = ring.head.load(std::memory_order_acquire);
+    const uint64_t count = h1 < cap ? h1 : cap;
+    const uint64_t begin = h1 - count;
+    copy.clear();
+    copy.reserve(count);
+    for (uint64_t i = begin; i < h1; ++i) {
+      copy.push_back(ring.events[i & ring.mask]);
+    }
+    // Entries the writer lapped during the copy above are torn; the
+    // head cursor tells us exactly which absolute indices they are.
+    const uint64_t h2 = ring.head.load(std::memory_order_acquire);
+    const uint64_t safe_begin = h2 > cap ? h2 - cap : 0;
+    for (uint64_t i = begin; i < h1; ++i) {
+      if (i < safe_begin) continue;
+      const TraceEvent& e = copy[i - begin];
+      std::snprintf(buf, sizeof(buf),
+                    "{\"ts\":%" PRId64 ",\"id\":%" PRIu64
+                    ",\"kind\":\"%s\",\"type\":%u,\"reason\":%u,\"loc\":%u"
+                    ",\"arg0\":%" PRId64 ",\"arg1\":%" PRId64
+                    ",\"ring\":%zu}\n",
+                    e.ts, e.id, KindName(e.kind),
+                    static_cast<unsigned>(e.type),
+                    static_cast<unsigned>(e.reason),
+                    static_cast<unsigned>(e.loc), e.arg0, e.arg1, ring_idx);
+      *out += buf;
+      ++written;
+    }
+  }
+  return written;
+}
+
+bool FlightRecorder::DumpToFile(const char* path) const {
+  std::string out;
+  Dump(&out);
+  std::FILE* f = std::fopen(path, "w");
+  if (f == nullptr) return false;
+  const size_t n = std::fwrite(out.data(), 1, out.size(), f);
+  const bool ok = n == out.size() && std::fclose(f) == 0;
+  if (!ok && n != out.size()) std::fclose(f);
+  return ok;
+}
+
+void FlightRecorder::Reset() {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (auto& ring : rings_) {
+    ring->head.store(0, std::memory_order_release);
+  }
+}
+
+size_t FlightRecorder::num_rings() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return rings_.size();
+}
+
+}  // namespace bouncer::stats

@@ -1,0 +1,151 @@
+#ifndef BOUNCER_STATS_FLIGHT_RECORDER_H_
+#define BOUNCER_STATS_FLIGHT_RECORDER_H_
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "src/util/time.h"
+
+namespace bouncer::stats {
+
+/// Compile-time kill switch: building with -DBOUNCER_TRACE_DISABLED
+/// discards every trace site (the `if constexpr` guards below compile the
+/// recording branches out entirely). The default build keeps tracing
+/// compiled in and gated by a single relaxed atomic load at runtime.
+#ifdef BOUNCER_TRACE_DISABLED
+inline constexpr bool kTraceCompiledIn = false;
+#else
+inline constexpr bool kTraceCompiledIn = true;
+#endif
+
+/// Lifecycle points a sampled request stamps on its way through the
+/// system (the event schema is documented in DESIGN.md "Observability").
+enum class TraceEventKind : uint8_t {
+  kNetParse = 1,      ///< Request frame parsed off a connection (loc=loop).
+  kAdmission = 2,     ///< Admission decision (reason, est wait, SLO budget).
+  kShed = 3,          ///< Accepted but dropped on a full bounded queue.
+  kDequeue = 4,       ///< Pulled from the FIFO (actual wait vs estimate).
+  kExpired = 5,       ///< Deadline passed while queued.
+  kShardScatter = 6,  ///< One subquery batch sent to a shard (loc=shard).
+  kShardGather = 7,   ///< A scatter round fully gathered.
+  kResponseWrite = 8, ///< Response encoded into a connection's tx ring.
+};
+
+/// One fixed-size trace record. POD so ring writes are a struct copy.
+struct TraceEvent {
+  Nanos ts = 0;          ///< Clock timestamp.
+  uint64_t id = 0;       ///< Request correlation id (WorkItem::id).
+  int64_t arg0 = 0;      ///< Kind-specific (e.g. estimated queue wait).
+  int64_t arg1 = 0;      ///< Kind-specific (e.g. remaining SLO budget).
+  uint32_t loc = 0;      ///< Loop id / shard id / broker id.
+  uint16_t type = 0;     ///< QueryTypeId.
+  uint8_t kind = 0;      ///< TraceEventKind.
+  uint8_t reason = 0;    ///< RejectReason wire code (0 = none).
+};
+
+/// Always-on, low-overhead flight recorder: per-thread fixed-size ring
+/// buffers of TraceEvents, dumped as JSONL on demand (admin kTraceDump,
+/// graph_service exit) or on a crash signal.
+///
+/// Ownership rules:
+///  - Each ring has exactly ONE writer — the thread that recorded into it
+///    first. Rings are owned by the recorder and never freed before it,
+///    so a dumping thread can read them at any time.
+///  - Record() is wait-free: one relaxed head load, a struct store, one
+///    release head store. No allocation after a thread's first event.
+///  - Dump() tolerates concurrent writers: an entry overwritten while the
+///    dump copied it is detected via the head cursor and discarded, so a
+///    dump is approximate under load but never torn into the output.
+///
+/// Sampling is deterministic: a request is sampled iff
+/// splitmix64(id ^ seed) % period == 0, so reruns with a fixed seed trace
+/// the same requests and multi-layer events of one request land in the
+/// dump together without any cross-thread coordination.
+class FlightRecorder {
+ public:
+  struct Options {
+    /// Events retained per thread (rounded up to a power of two).
+    size_t ring_capacity = 4096;
+    /// Sample 1-in-N requests; 1 = every request.
+    uint32_t sampling_period = 64;
+    /// Seed mixed into the sampling hash; fixed default so runs are
+    /// reproducible unless a caller rotates it.
+    uint64_t sampling_seed = 0x9e3779b97f4a7c15ull;
+  };
+
+  FlightRecorder() = default;
+  explicit FlightRecorder(const Options& options) { Configure(options); }
+  FlightRecorder(const FlightRecorder&) = delete;
+  FlightRecorder& operator=(const FlightRecorder&) = delete;
+  ~FlightRecorder();
+
+  /// Process-wide recorder instance every subsystem defaults to.
+  static FlightRecorder& Global();
+
+  /// Applies sampling settings immediately; ring_capacity applies to
+  /// rings created after the call (existing rings keep their size).
+  void Configure(const Options& options);
+
+  /// Master switch; disabled recording costs one relaxed load per
+  /// sampling decision. Starts disabled.
+  void SetEnabled(bool on) { enabled_.store(on, std::memory_order_relaxed); }
+  bool enabled() const { return enabled_.load(std::memory_order_relaxed); }
+
+  /// True when tracing is enabled and `id` falls in the sample.
+  bool ShouldSample(uint64_t id) const {
+    if (!enabled()) return false;
+    return SampleDecision(id, seed_.load(std::memory_order_relaxed),
+                          period_.load(std::memory_order_relaxed));
+  }
+
+  /// The deterministic sampling predicate (exposed for tests).
+  static bool SampleDecision(uint64_t id, uint64_t seed, uint32_t period);
+
+  /// Appends `event` to the calling thread's ring (created on first use).
+  void Record(const TraceEvent& event);
+
+  /// Appends every ring's retained events to `out` as JSONL, oldest
+  /// first within each ring; returns the number of events written.
+  size_t Dump(std::string* out) const;
+
+  /// Dump() straight to a file (overwrites). Returns false on IO error.
+  bool DumpToFile(const char* path) const;
+
+  /// Drops all retained events. Callers must quiesce writers first
+  /// (test/bench helper; concurrent Record() may survive the reset).
+  void Reset();
+
+  size_t num_rings() const;
+
+ private:
+  struct Ring {
+    explicit Ring(size_t capacity)
+        : events(capacity), mask(capacity - 1) {}
+    std::vector<TraceEvent> events;  ///< Power-of-two size.
+    size_t mask;
+    std::atomic<uint64_t> head{0};  ///< Next write index (monotonic).
+    std::thread::id owner{};        ///< The single writer.
+  };
+
+  Ring* RingForThisThread();
+
+  mutable std::mutex mu_;  ///< Guards rings_ growth and options.
+  std::vector<std::unique_ptr<Ring>> rings_;
+  size_t ring_capacity_ = 4096;
+  std::atomic<bool> enabled_{false};
+  std::atomic<uint32_t> period_{64};
+  std::atomic<uint64_t> seed_{0x9e3779b97f4a7c15ull};
+  /// Distinguishes this instance in the per-thread ring cache even after
+  /// another recorder is allocated at a recycled address.
+  const uint64_t instance_id_ = next_instance_id_.fetch_add(1);
+  static std::atomic<uint64_t> next_instance_id_;
+};
+
+}  // namespace bouncer::stats
+
+#endif  // BOUNCER_STATS_FLIGHT_RECORDER_H_

@@ -1,0 +1,217 @@
+#include "src/stats/metric_registry.h"
+
+#include <algorithm>
+#include <cinttypes>
+#include <cstdio>
+
+namespace bouncer::stats {
+
+namespace {
+
+/// Sorts by name and merges duplicates: counters sum (two sources
+/// counting the same thing add up), gauges/histograms keep the last
+/// writer (collectors run after owned metrics, so a collector wins).
+template <typename V, typename Merge>
+void SortAndMerge(std::vector<std::pair<std::string, V>>* entries,
+                  Merge merge) {
+  std::stable_sort(
+      entries->begin(), entries->end(),
+      [](const auto& a, const auto& b) { return a.first < b.first; });
+  size_t write = 0;
+  for (size_t i = 0; i < entries->size(); ++i) {
+    if (write > 0 && (*entries)[write - 1].first == (*entries)[i].first) {
+      merge(&(*entries)[write - 1].second, (*entries)[i].second);
+    } else {
+      if (write != i) (*entries)[write] = std::move((*entries)[i]);
+      ++write;
+    }
+  }
+  entries->resize(write);
+}
+
+void AppendJsonString(const std::string& s, std::string* out) {
+  out->push_back('"');
+  for (const char c : s) {
+    switch (c) {
+      case '"': *out += "\\\""; break;
+      case '\\': *out += "\\\\"; break;
+      case '\n': *out += "\\n"; break;
+      case '\t': *out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          *out += buf;
+        } else {
+          out->push_back(c);
+        }
+    }
+  }
+  out->push_back('"');
+}
+
+void AppendU64(uint64_t v, std::string* out) {
+  char buf[24];
+  std::snprintf(buf, sizeof(buf), "%" PRIu64, v);
+  *out += buf;
+}
+
+void AppendI64(int64_t v, std::string* out) {
+  char buf[24];
+  std::snprintf(buf, sizeof(buf), "%" PRId64, v);
+  *out += buf;
+}
+
+std::string PromName(const std::string& name) {
+  std::string out = "bouncer_";
+  out.reserve(out.size() + name.size());
+  for (const char c : name) {
+    const bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                    (c >= '0' && c <= '9') || c == '_';
+    out.push_back(ok ? c : '_');
+  }
+  return out;
+}
+
+}  // namespace
+
+Counter* MetricRegistry::GetCounter(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto& slot = counters_[name];
+  if (!slot) slot = std::make_unique<Counter>();
+  return slot.get();
+}
+
+Gauge* MetricRegistry::GetGauge(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto& slot = gauges_[name];
+  if (!slot) slot = std::make_unique<Gauge>();
+  return slot.get();
+}
+
+Histogram* MetricRegistry::GetHistogram(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto& slot = histograms_[name];
+  if (!slot) slot = std::make_unique<Histogram>();
+  return slot.get();
+}
+
+uint64_t MetricRegistry::AddCollector(CollectFn fn) {
+  std::lock_guard<std::mutex> lock(mu_);
+  const uint64_t handle = next_handle_++;
+  collectors_.emplace_back(handle, std::move(fn));
+  return handle;
+}
+
+void MetricRegistry::RemoveCollector(uint64_t handle) {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (size_t i = 0; i < collectors_.size(); ++i) {
+    if (collectors_[i].first == handle) {
+      collectors_.erase(collectors_.begin() + static_cast<ptrdiff_t>(i));
+      return;
+    }
+  }
+}
+
+MetricSnapshot MetricRegistry::Snapshot() const {
+  MetricSnapshot snapshot;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    for (const auto& [name, counter] : counters_) {
+      snapshot.counters.emplace_back(name, counter->Value());
+    }
+    for (const auto& [name, gauge] : gauges_) {
+      snapshot.gauges.emplace_back(name, gauge->Value());
+    }
+    for (const auto& [name, histogram] : histograms_) {
+      snapshot.histograms.emplace_back(name, histogram->MakeSummary());
+    }
+    MetricSink sink(&snapshot);
+    for (const auto& [handle, fn] : collectors_) {
+      (void)handle;
+      fn(sink);
+    }
+  }
+  SortAndMerge(&snapshot.counters, [](uint64_t* a, uint64_t b) { *a += b; });
+  SortAndMerge(&snapshot.gauges, [](int64_t* a, int64_t b) { *a = b; });
+  SortAndMerge(&snapshot.histograms,
+               [](HistogramSummary* a, const HistogramSummary& b) { *a = b; });
+  return snapshot;
+}
+
+std::string MetricRegistry::JsonFor(const MetricSnapshot& snapshot) {
+  std::string out = "{\"counters\":{";
+  bool first = true;
+  for (const auto& [name, value] : snapshot.counters) {
+    if (!first) out.push_back(',');
+    first = false;
+    AppendJsonString(name, &out);
+    out.push_back(':');
+    AppendU64(value, &out);
+  }
+  out += "},\"gauges\":{";
+  first = true;
+  for (const auto& [name, value] : snapshot.gauges) {
+    if (!first) out.push_back(',');
+    first = false;
+    AppendJsonString(name, &out);
+    out.push_back(':');
+    AppendI64(value, &out);
+  }
+  out += "},\"histograms\":{";
+  first = true;
+  for (const auto& [name, summary] : snapshot.histograms) {
+    if (!first) out.push_back(',');
+    first = false;
+    AppendJsonString(name, &out);
+    out += ":{\"count\":";
+    AppendU64(summary.count, &out);
+    out += ",\"mean_ns\":";
+    AppendI64(summary.mean, &out);
+    out += ",\"p50_ns\":";
+    AppendI64(summary.p50, &out);
+    out += ",\"p90_ns\":";
+    AppendI64(summary.p90, &out);
+    out += ",\"p99_ns\":";
+    AppendI64(summary.p99, &out);
+    out.push_back('}');
+  }
+  out += "}}";
+  return out;
+}
+
+std::string MetricRegistry::PrometheusFor(const MetricSnapshot& snapshot) {
+  std::string out;
+  for (const auto& [name, value] : snapshot.counters) {
+    const std::string prom = PromName(name);
+    out += "# TYPE " + prom + " counter\n" + prom + " ";
+    AppendU64(value, &out);
+    out.push_back('\n');
+  }
+  for (const auto& [name, value] : snapshot.gauges) {
+    const std::string prom = PromName(name);
+    out += "# TYPE " + prom + " gauge\n" + prom + " ";
+    AppendI64(value, &out);
+    out.push_back('\n');
+  }
+  for (const auto& [name, summary] : snapshot.histograms) {
+    const std::string prom = PromName(name);
+    out += "# TYPE " + prom + "_count counter\n" + prom + "_count ";
+    AppendU64(summary.count, &out);
+    out.push_back('\n');
+    const std::pair<const char*, Nanos> quantiles[] = {
+        {"_mean_ns", summary.mean},
+        {"_p50_ns", summary.p50},
+        {"_p90_ns", summary.p90},
+        {"_p99_ns", summary.p99},
+    };
+    for (const auto& [suffix, value] : quantiles) {
+      out += "# TYPE " + prom + suffix + " gauge\n" + prom + suffix + " ";
+      AppendI64(value, &out);
+      out.push_back('\n');
+    }
+  }
+  return out;
+}
+
+}  // namespace bouncer::stats

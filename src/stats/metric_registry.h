@@ -1,0 +1,136 @@
+#ifndef BOUNCER_STATS_METRIC_REGISTRY_H_
+#define BOUNCER_STATS_METRIC_REGISTRY_H_
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "src/stats/histogram.h"
+
+namespace bouncer::stats {
+
+/// Named monotonic counter owned by a MetricRegistry. Bumping is a single
+/// relaxed atomic add — safe on any hot path.
+class Counter {
+ public:
+  void Increment(uint64_t n = 1) {
+    value_.fetch_add(n, std::memory_order_relaxed);
+  }
+  uint64_t Value() const { return value_.load(std::memory_order_relaxed); }
+  void Reset() { value_.store(0, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<uint64_t> value_{0};
+};
+
+/// Named instantaneous signed value owned by a MetricRegistry.
+class Gauge {
+ public:
+  void Set(int64_t v) { value_.store(v, std::memory_order_relaxed); }
+  void Add(int64_t d) { value_.fetch_add(d, std::memory_order_relaxed); }
+  int64_t Value() const { return value_.load(std::memory_order_relaxed); }
+
+ private:
+  std::atomic<int64_t> value_{0};
+};
+
+/// Point-in-time view of every metric a registry knows about, owned
+/// metrics and collector-published ones merged, sorted by name (so the
+/// exposition formats are deterministic and golden-testable). Duplicate
+/// names merge: counters sum, gauges and histograms last-write-wins.
+struct MetricSnapshot {
+  std::vector<std::pair<std::string, uint64_t>> counters;
+  std::vector<std::pair<std::string, int64_t>> gauges;
+  std::vector<std::pair<std::string, HistogramSummary>> histograms;
+};
+
+/// Write-side view handed to collect callbacks: subsystems that already
+/// maintain their own atomic counter blocks (StageCounters, the net
+/// server's per-loop counters, ...) publish them here at snapshot time
+/// instead of double-bumping a registry counter on their hot paths.
+class MetricSink {
+ public:
+  void AddCounter(std::string name, uint64_t value) {
+    snapshot_->counters.emplace_back(std::move(name), value);
+  }
+  void AddGauge(std::string name, int64_t value) {
+    snapshot_->gauges.emplace_back(std::move(name), value);
+  }
+  void AddHistogram(std::string name, const HistogramSummary& summary) {
+    snapshot_->histograms.emplace_back(std::move(name), summary);
+  }
+
+ private:
+  friend class MetricRegistry;
+  explicit MetricSink(MetricSnapshot* snapshot) : snapshot_(snapshot) {}
+  MetricSnapshot* snapshot_;
+};
+
+/// Registry of named counters/gauges/histograms plus collect callbacks,
+/// snapshot-able as JSON or Prometheus text exposition.
+///
+/// Hot path: Get*() hands out stable pointers (metrics are never freed
+/// while the registry lives), so callers resolve a metric once and then
+/// touch only its atomics. Registration, collector management and
+/// snapshots take a mutex — they are control-plane operations.
+///
+/// Naming convention: lowercase dotted paths ("stage.broker-0.received",
+/// "net.requests"). The Prometheus exposition prefixes "bouncer_" and
+/// maps every non-[a-zA-Z0-9_] byte to '_'.
+class MetricRegistry {
+ public:
+  using CollectFn = std::function<void(MetricSink&)>;
+
+  MetricRegistry() = default;
+  MetricRegistry(const MetricRegistry&) = delete;
+  MetricRegistry& operator=(const MetricRegistry&) = delete;
+
+  /// Returns the counter/gauge/histogram registered under `name`,
+  /// creating it on first use. Pointers stay valid for the registry's
+  /// lifetime.
+  Counter* GetCounter(const std::string& name);
+  Gauge* GetGauge(const std::string& name);
+  Histogram* GetHistogram(const std::string& name);
+
+  /// Registers a snapshot-time callback; returns a handle for
+  /// RemoveCollector(). The callback runs under the registry mutex —
+  /// keep it to loads, and never call back into this registry from it.
+  uint64_t AddCollector(CollectFn fn);
+  void RemoveCollector(uint64_t handle);
+
+  /// Merged, name-sorted view of owned metrics + collector output.
+  MetricSnapshot Snapshot() const;
+
+  /// Snapshot rendered as a JSON object:
+  ///   {"counters":{...},"gauges":{...},
+  ///    "histograms":{"name":{"count":..,"mean_ns":..,"p50_ns":..,
+  ///                          "p90_ns":..,"p99_ns":..}}}
+  std::string ToJson() const { return JsonFor(Snapshot()); }
+
+  /// Snapshot rendered as Prometheus text exposition (version 0.0.4).
+  /// Histograms export <name>_count plus _mean_ns/_p50_ns/_p90_ns/_p99_ns
+  /// summary gauges (the fixed-layout histogram is already a summary).
+  std::string ToPrometheus() const { return PrometheusFor(Snapshot()); }
+
+  static std::string JsonFor(const MetricSnapshot& snapshot);
+  static std::string PrometheusFor(const MetricSnapshot& snapshot);
+
+ private:
+  mutable std::mutex mu_;
+  // std::map: iteration is already name-sorted at snapshot time.
+  std::map<std::string, std::unique_ptr<Counter>> counters_;
+  std::map<std::string, std::unique_ptr<Gauge>> gauges_;
+  std::map<std::string, std::unique_ptr<Histogram>> histograms_;
+  std::vector<std::pair<uint64_t, CollectFn>> collectors_;
+  uint64_t next_handle_ = 1;
+};
+
+}  // namespace bouncer::stats
+
+#endif  // BOUNCER_STATS_METRIC_REGISTRY_H_

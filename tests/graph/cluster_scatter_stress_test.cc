@@ -143,34 +143,40 @@ TEST_F(ClusterScatterStressTest, ShardShedPropagatesToResult) {
                     OneSlotShardOptions(legacy));
     ASSERT_TRUE(cluster.Start().ok());
     Rng rng(23);
-    std::vector<GraphQuery> queries;
-    for (int i = 0; i < 300; ++i) {
-      queries.push_back(
-          Cluster::SampleQuery(GraphOp::kNeighborDegreeSum, *graph_, rng));
-    }
-    std::mutex mu;
-    std::condition_variable cv;
-    int done = 0;
+    // Whether a flood trips the 1-slot shard queue depends on scheduling
+    // (a single-core host can drain it between submits), so retry the
+    // flood until at least one shed occurs; conservation must hold on
+    // every attempt.
     int completed_not_ok = 0;
-    for (const GraphQuery& q : queries) {
-      cluster.Submit(q, /*deadline=*/0,
-                     [&](const server::WorkItem&, Outcome outcome,
-                         const GraphQueryResult& result) {
-                       std::lock_guard<std::mutex> lock(mu);
-                       ++done;
-                       if (outcome == Outcome::kCompleted && !result.ok) {
-                         ++completed_not_ok;
-                       }
-                       cv.notify_all();
-                     });
-    }
-    {
-      std::unique_lock<std::mutex> lock(mu);
-      cv.wait_for(lock, std::chrono::seconds(30),
-                  [&] { return done == static_cast<int>(queries.size()); });
+    for (int attempt = 0; attempt < 5 && completed_not_ok == 0; ++attempt) {
+      std::vector<GraphQuery> queries;
+      for (int i = 0; i < 300; ++i) {
+        queries.push_back(
+            Cluster::SampleQuery(GraphOp::kNeighborDegreeSum, *graph_, rng));
+      }
+      std::mutex mu;
+      std::condition_variable cv;
+      int done = 0;
+      for (const GraphQuery& q : queries) {
+        cluster.Submit(q, /*deadline=*/0,
+                       [&](const server::WorkItem&, Outcome outcome,
+                           const GraphQueryResult& result) {
+                         std::lock_guard<std::mutex> lock(mu);
+                         ++done;
+                         if (outcome == Outcome::kCompleted && !result.ok) {
+                           ++completed_not_ok;
+                         }
+                         cv.notify_all();
+                       });
+      }
+      {
+        std::unique_lock<std::mutex> lock(mu);
+        cv.wait_for(lock, std::chrono::seconds(30),
+                    [&] { return done == static_cast<int>(queries.size()); });
+      }
+      ASSERT_EQ(done, 300) << "attempt " << attempt;
     }
     cluster.Stop();
-    EXPECT_EQ(done, 300);
     EXPECT_GT(completed_not_ok, 0);
     EXPECT_GT(cluster.shard_failures(), 0u);
   }

@@ -90,6 +90,50 @@ TEST(NetProtocolTest, DecodeRejectsNonZeroFlags) {
   EXPECT_FALSE(DecodeRequestBody(buf + kLengthPrefixBytes, &out));
 }
 
+TEST(NetProtocolTest, AdminOpcodesAreDistinctFromGraphOps) {
+  EXPECT_TRUE(IsAdminOp(kOpStatsJson));
+  EXPECT_TRUE(IsAdminOp(kOpStatsPrometheus));
+  EXPECT_TRUE(IsAdminOp(kOpTraceDump));
+  EXPECT_FALSE(IsAdminOp(static_cast<uint8_t>(graph::GraphOp::kDegree)));
+  EXPECT_FALSE(IsAdminOp(static_cast<uint8_t>(graph::kNumGraphOps) - 1));
+  EXPECT_FALSE(IsAdminOp(kOpTraceDump + 1));
+}
+
+TEST(NetProtocolTest, AdminRequestRoundTrip) {
+  RequestFrame in;
+  in.id = 99;
+  in.op = kOpStatsPrometheus;
+  uint8_t buf[kRequestFrameBytes];
+  EncodeRequest(in, buf);
+  RequestFrame out;
+  EXPECT_TRUE(DecodeRequestBody(buf + kLengthPrefixBytes, &out));
+  EXPECT_EQ(out.op, kOpStatsPrometheus);
+  EXPECT_EQ(out.id, 99u);
+}
+
+TEST(NetProtocolTest, ResponseFlagsCarryRejectReasonCodes) {
+  // The response flags byte is the RejectReason wire code; its numeric
+  // values are a stable protocol surface clients decode, so pin them.
+  EXPECT_EQ(static_cast<uint8_t>(RejectReason::kNone), 0);
+  EXPECT_EQ(static_cast<uint8_t>(RejectReason::kPolicy), 1);
+  EXPECT_EQ(static_cast<uint8_t>(RejectReason::kQueueFull), 2);
+  EXPECT_EQ(static_cast<uint8_t>(RejectReason::kExpired), 3);
+  EXPECT_EQ(static_cast<uint8_t>(RejectReason::kShardPolicy), 4);
+  EXPECT_EQ(static_cast<uint8_t>(RejectReason::kShardQueueFull), 5);
+  EXPECT_EQ(static_cast<uint8_t>(RejectReason::kShardExpired), 6);
+
+  ResponseFrame in;
+  in.id = 7;
+  in.status = ResponseStatus::kFailed;
+  in.flags = static_cast<uint8_t>(RejectReason::kShardQueueFull);
+  uint8_t buf[kResponseFrameBytes];
+  EncodeResponse(in, buf);
+  ResponseFrame out;
+  DecodeResponseBody(buf + kLengthPrefixBytes, &out);
+  EXPECT_EQ(static_cast<RejectReason>(out.flags),
+            RejectReason::kShardQueueFull);
+}
+
 TEST(NetProtocolTest, ToGraphQueryMapsAllFields) {
   RequestFrame frame;
   frame.op = static_cast<uint8_t>(graph::GraphOp::kCommonNeighbors);

@@ -140,6 +140,29 @@ TEST(MetricsCollectorTest, SnapshotsNeverTornUnderConcurrentRecording) {
   EXPECT_EQ(overall.expired, total / 4);
 }
 
+TEST(MetricsCollectorTest, BusyMsIsExactProcessingTimeSum) {
+  // BusyMs() must come from the exactly-accumulated nanosecond sum, not
+  // mean * count: many odd-valued samples would accumulate double
+  // rounding error through the mean while the integer sum stays exact.
+  MetricsCollector collector(2);
+  constexpr int kItems = 10'000;
+  constexpr Nanos kProcessing = 123'457;  // Odd ns, not ms-aligned.
+  for (int i = 0; i < kItems; ++i) {
+    collector.Record(ItemWithTimes(1, kMicrosecond, kProcessing),
+                     Outcome::kCompleted);
+  }
+  const auto report = collector.Report(1);
+  EXPECT_EQ(report.pt_total_ns, static_cast<int64_t>(kItems) * kProcessing);
+  EXPECT_DOUBLE_EQ(report.BusyMs(),
+                   static_cast<double>(kItems) * kProcessing / 1e6);
+  // Non-completed outcomes charge no busy time.
+  collector.Record(ItemWithTimes(1, 0, kSecond), Outcome::kRejected);
+  EXPECT_EQ(collector.Report(1).pt_total_ns,
+            static_cast<int64_t>(kItems) * kProcessing);
+  // The overall aggregate sums the per-type exact sums.
+  EXPECT_DOUBLE_EQ(collector.Overall().BusyMs(), report.BusyMs());
+}
+
 TEST(MetricsCollectorTest, ResetClears) {
   MetricsCollector collector(2);
   collector.Record(ItemWithTimes(1, 0, kMillisecond), Outcome::kCompleted);

@@ -1,0 +1,133 @@
+#include "src/stats/metric_registry.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+namespace bouncer::stats {
+namespace {
+
+TEST(MetricRegistryTest, GetReturnsStablePointers) {
+  MetricRegistry registry;
+  Counter* c = registry.GetCounter("a.count");
+  c->Increment();
+  c->Increment(2);
+  EXPECT_EQ(registry.GetCounter("a.count"), c);
+  EXPECT_EQ(c->Value(), 3u);
+
+  Gauge* g = registry.GetGauge("a.gauge");
+  g->Set(-7);
+  EXPECT_EQ(registry.GetGauge("a.gauge"), g);
+  EXPECT_EQ(g->Value(), -7);
+
+  Histogram* h = registry.GetHistogram("a.hist");
+  h->Record(kMillisecond);
+  EXPECT_EQ(registry.GetHistogram("a.hist"), h);
+}
+
+TEST(MetricRegistryTest, SnapshotIsNameSorted) {
+  MetricRegistry registry;
+  registry.GetCounter("zeta")->Increment();
+  registry.GetCounter("alpha")->Increment();
+  registry.GetCounter("mid")->Increment();
+  const MetricSnapshot snapshot = registry.Snapshot();
+  ASSERT_EQ(snapshot.counters.size(), 3u);
+  EXPECT_EQ(snapshot.counters[0].first, "alpha");
+  EXPECT_EQ(snapshot.counters[1].first, "mid");
+  EXPECT_EQ(snapshot.counters[2].first, "zeta");
+}
+
+TEST(MetricRegistryTest, CollectorsPublishAndDuplicateCountersSum) {
+  MetricRegistry registry;
+  registry.GetCounter("shared")->Increment(10);
+  const uint64_t handle = registry.AddCollector([](MetricSink& sink) {
+    sink.AddCounter("shared", 5);
+    sink.AddGauge("collected.gauge", 42);
+  });
+  MetricSnapshot snapshot = registry.Snapshot();
+  ASSERT_EQ(snapshot.counters.size(), 1u);
+  EXPECT_EQ(snapshot.counters[0].second, 15u);  // Owned + collector sum.
+  ASSERT_EQ(snapshot.gauges.size(), 1u);
+  EXPECT_EQ(snapshot.gauges[0].second, 42);
+
+  registry.RemoveCollector(handle);
+  snapshot = registry.Snapshot();
+  EXPECT_EQ(snapshot.counters[0].second, 10u);
+  EXPECT_TRUE(snapshot.gauges.empty());
+}
+
+TEST(MetricRegistryTest, DuplicateGaugesLastWriterWins) {
+  MetricRegistry registry;
+  registry.GetGauge("g")->Set(1);
+  registry.AddCollector([](MetricSink& sink) { sink.AddGauge("g", 2); });
+  const MetricSnapshot snapshot = registry.Snapshot();
+  ASSERT_EQ(snapshot.gauges.size(), 1u);
+  EXPECT_EQ(snapshot.gauges[0].second, 2);
+}
+
+/// Hand-built snapshot so the exposition strings are exact golden values
+/// (registry-owned histograms would bucketize the quantiles).
+MetricSnapshot GoldenSnapshot() {
+  MetricSnapshot snapshot;
+  snapshot.counters.emplace_back("net.requests", 12);
+  snapshot.counters.emplace_back("stage.b-0.accepted", 7);
+  snapshot.gauges.emplace_back("queue.len", -3);
+  HistogramSummary summary;
+  summary.count = 4;
+  summary.mean = 150;
+  summary.p50 = 100;
+  summary.p90 = 200;
+  summary.p99 = 300;
+  snapshot.histograms.emplace_back("stage.b-0.est_wait_err_under_ns",
+                                   summary);
+  return snapshot;
+}
+
+TEST(MetricRegistryTest, GoldenJson) {
+  EXPECT_EQ(
+      MetricRegistry::JsonFor(GoldenSnapshot()),
+      "{\"counters\":{\"net.requests\":12,\"stage.b-0.accepted\":7},"
+      "\"gauges\":{\"queue.len\":-3},"
+      "\"histograms\":{\"stage.b-0.est_wait_err_under_ns\":"
+      "{\"count\":4,\"mean_ns\":150,\"p50_ns\":100,\"p90_ns\":200,"
+      "\"p99_ns\":300}}}");
+}
+
+TEST(MetricRegistryTest, GoldenPrometheus) {
+  EXPECT_EQ(
+      MetricRegistry::PrometheusFor(GoldenSnapshot()),
+      "# TYPE bouncer_net_requests counter\n"
+      "bouncer_net_requests 12\n"
+      "# TYPE bouncer_stage_b_0_accepted counter\n"
+      "bouncer_stage_b_0_accepted 7\n"
+      "# TYPE bouncer_queue_len gauge\n"
+      "bouncer_queue_len -3\n"
+      "# TYPE bouncer_stage_b_0_est_wait_err_under_ns_count counter\n"
+      "bouncer_stage_b_0_est_wait_err_under_ns_count 4\n"
+      "# TYPE bouncer_stage_b_0_est_wait_err_under_ns_mean_ns gauge\n"
+      "bouncer_stage_b_0_est_wait_err_under_ns_mean_ns 150\n"
+      "# TYPE bouncer_stage_b_0_est_wait_err_under_ns_p50_ns gauge\n"
+      "bouncer_stage_b_0_est_wait_err_under_ns_p50_ns 100\n"
+      "# TYPE bouncer_stage_b_0_est_wait_err_under_ns_p90_ns gauge\n"
+      "bouncer_stage_b_0_est_wait_err_under_ns_p90_ns 200\n"
+      "# TYPE bouncer_stage_b_0_est_wait_err_under_ns_p99_ns gauge\n"
+      "bouncer_stage_b_0_est_wait_err_under_ns_p99_ns 300\n");
+}
+
+TEST(MetricRegistryTest, JsonEscapesMetricNames) {
+  MetricSnapshot snapshot;
+  snapshot.counters.emplace_back("weird\"name\\with\nbytes", 1);
+  EXPECT_EQ(MetricRegistry::JsonFor(snapshot),
+            "{\"counters\":{\"weird\\\"name\\\\with\\nbytes\":1},"
+            "\"gauges\":{},\"histograms\":{}}");
+}
+
+TEST(MetricRegistryTest, EmptyRegistryExpositions) {
+  MetricRegistry registry;
+  EXPECT_EQ(registry.ToJson(),
+            "{\"counters\":{},\"gauges\":{},\"histograms\":{}}");
+  EXPECT_EQ(registry.ToPrometheus(), "");
+}
+
+}  // namespace
+}  // namespace bouncer::stats
