@@ -1,5 +1,5 @@
-// Network front-end throughput: drives the epoll NetServer over loopback
-// with the closed-loop NetClient, comparing variants per (loops x
+// Network front-end throughput: drives the NetServer over loopback with
+// the closed-loop NetClient, comparing variants per (backend x loops x
 // connections x in-flight) cell —
 //
 //   inproc     closed-loop Cluster::Submit calls in-process (no sockets):
@@ -18,11 +18,17 @@
 // removes. Loop scaling needs real cores — the JSON records
 // hardware_concurrency so a 1-core CI run is read accordingly.
 //
-// A high-connection ladder (256 / 1k / 10k connections, small rings,
-// shallow windows) then checks the front-end holds QPS and flat RSS as
-// connection count grows two orders of magnitude; RLIMIT_NOFILE is
-// raised toward its hard cap and rungs that still don't fit are skipped
-// with a clear note rather than failing the bench.
+// Every net cell runs once per event-loop backend (epoll always,
+// io_uring when the kernel passes the functional probe), with the
+// server's data-path syscalls-per-response column the backends compete
+// on directly.
+//
+// A high-connection ladder (256 / 1k / 10k / 32k / 64k connections,
+// small rings, shallow windows) then checks the front-end holds QPS and
+// flat RSS as connection count grows two orders of magnitude;
+// RLIMIT_NOFILE is raised toward its hard cap, the ephemeral-port range
+// is probed, and rungs that still don't fit are skipped with a clear
+// per-rung note rather than failing the bench.
 //
 // A final overload section offers ~2x the measured capacity open-loop
 // against a rejecting broker policy and samples the process RSS across
@@ -36,6 +42,7 @@
 
 #include <sys/resource.h>
 
+#include <algorithm>
 #include <atomic>
 #include <chrono>
 #include <cstdio>
@@ -67,6 +74,7 @@ using graph::GraphStore;
 
 struct CellResult {
   std::string variant;
+  std::string backend;  ///< Resolved event-loop backend ("" for inproc).
   size_t loops = 0;  ///< Event loops (0 for the inproc baseline).
   size_t connections = 0;
   size_t in_flight = 0;
@@ -77,9 +85,11 @@ struct CellResult {
   Nanos rt_p50 = 0;
   Nanos rt_p99 = 0;
   double avg_batch = 0;  ///< Requests per admission episode (net_batch).
+  double sys_per_req = 0;  ///< Server data-path syscalls per response.
 };
 
 struct LadderResult {
+  std::string backend;
   size_t connections = 0;
   size_t loops = 0;
   bool skipped = false;
@@ -87,6 +97,7 @@ struct LadderResult {
   double qps = 0;
   Nanos rt_p50 = 0;
   Nanos rt_p99 = 0;
+  double sys_per_req = 0;
   long rss_start_kb = 0;  ///< Sampled once the full fleet is connected.
   long rss_end_kb = 0;    ///< Sampled at the end of the measure window.
 };
@@ -144,6 +155,30 @@ bool EnsureNofile(size_t needed, std::string* why) {
     return false;
   }
   return true;
+}
+
+/// High rungs need one ephemeral source port per client connection (all
+/// four-tuples share src ip / dst ip / dst port over loopback). Returns
+/// false with an actionable message when the kernel's range is too small
+/// — the default 32768..60999 caps the ladder near 28k connections.
+bool EnsurePorts(size_t needed, std::string* why) {
+  std::FILE* f = std::fopen("/proc/sys/net/ipv4/ip_local_port_range", "r");
+  if (f == nullptr) return true;  // No procfs: let connect() decide.
+  long lo = 0, hi = 0;
+  const int n = std::fscanf(f, "%ld %ld", &lo, &hi);
+  std::fclose(f);
+  if (n != 2 || hi <= lo) return true;
+  // Leave headroom for everything else on the box using the range.
+  const auto available = static_cast<size_t>(hi - lo + 1);
+  const size_t slack = 512;
+  if (needed + slack <= available) return true;
+  char buf[192];
+  std::snprintf(buf, sizeof(buf),
+                "needs %zu ephemeral ports but ip_local_port_range %ld-%ld "
+                "allows %zu (raise with sysctl net.ipv4.ip_local_port_range)",
+                needed, lo, hi, available);
+  *why = buf;
+  return false;
 }
 
 /// Loop counts to sweep: BOUNCER_BENCH_NET_LOOPS=1,4 overrides.
@@ -287,8 +322,9 @@ CellResult RunInproc(const GraphStore& graph,
 
 CellResult RunNet(const GraphStore& graph,
                   const std::vector<GraphQuery>& queries, bool batch_submit,
-                  size_t loops, size_t connections, size_t in_flight,
-                  Nanos warmup, Nanos measure, bool tracing = false) {
+                  net::NetBackend backend, size_t loops, size_t connections,
+                  size_t in_flight, Nanos warmup, Nanos measure,
+                  bool tracing = false) {
   const Slo slo{kSecond, 2 * kSecond, 0};
   QueryTypeRegistry registry = Cluster::MakeRegistry(slo);
   // Cell-local observability plumbing: the recorder is wired in every
@@ -308,6 +344,7 @@ CellResult RunNet(const GraphStore& graph,
   }
   net::NetServer::Options server_options;
   server_options.batch_submit = batch_submit;
+  server_options.backend = backend;
   server_options.num_loops = loops;
   server_options.max_connections = connections + 8;
   server_options.recorder = &recorder;
@@ -376,6 +413,7 @@ CellResult RunNet(const GraphStore& graph,
 
   CellResult r;
   r.variant = batch_submit ? "net_batch" : "net_item";
+  r.backend = net::NetBackendName(after.backend);
   r.loops = server.num_loops();
   r.connections = connections;
   r.in_flight = in_flight;
@@ -388,6 +426,10 @@ CellResult RunNet(const GraphStore& graph,
   if (batch_submit && batches > 0) {
     r.avg_batch = static_cast<double>(requests) / static_cast<double>(batches);
   }
+  if (r.completed > 0) {
+    r.sys_per_req = static_cast<double>(after.syscalls - before.syscalls) /
+                    static_cast<double>(r.completed);
+  }
   return r;
 }
 
@@ -396,16 +438,18 @@ CellResult RunNet(const GraphStore& graph,
 /// size requires), closed loop, RSS sampled across the measure window.
 LadderResult RunLadder(const GraphStore& graph,
                        const std::vector<GraphQuery>& queries,
-                       size_t connections, size_t loops, Nanos warmup,
-                       Nanos measure) {
+                       net::NetBackend backend, size_t connections,
+                       size_t loops, Nanos warmup, Nanos measure) {
   LadderResult r;
+  r.backend = net::NetBackendName(backend);
   r.connections = connections;
   r.loops = loops;
 
   // Client + server ends both live in this process: 2 fds per
   // connection plus epoll/event/listen fds and stdio slack.
   std::string why;
-  if (!EnsureNofile(2 * connections + 64, &why)) {
+  if (!EnsureNofile(2 * connections + 64, &why) ||
+      !EnsurePorts(connections, &why)) {
     r.skipped = true;
     r.skip_reason = why;
     return r;
@@ -420,11 +464,16 @@ LadderResult RunLadder(const GraphStore& graph,
     std::exit(1);
   }
   net::NetServer::Options server_options;
+  server_options.backend = backend;
   server_options.num_loops = loops;
   server_options.max_connections = connections + 8;
   server_options.read_ring_bytes = 1 << 12;
   server_options.write_ring_bytes = 1 << 12;
   server_options.max_inflight_per_conn = 16;
+  // 32k+ fleets with 512 x 4k provided buffers per loop would pin tens
+  // of MB per ring; the staged-copy design only needs enough buffers to
+  // cover one wakeup's worth of CQEs.
+  server_options.uring_buf_count = 256;
   net::NetServer server(&cluster, server_options);
   if (!server.Start().ok()) {
     std::fprintf(stderr, "server start failed\n");
@@ -453,11 +502,13 @@ LadderResult RunLadder(const GraphStore& graph,
   std::this_thread::sleep_for(std::chrono::nanoseconds(warmup));
 
   client.ResetStats();
+  const net::NetServer::Stats before = server.AggregateStats();
   r.rss_start_kb = ReadRssKb();
   const auto t0 = std::chrono::steady_clock::now();
   std::this_thread::sleep_for(std::chrono::nanoseconds(measure));
   const auto t1 = std::chrono::steady_clock::now();
   r.rss_end_kb = ReadRssKb();
+  const net::NetServer::Stats after = server.AggregateStats();
   const net::NetClient::Counters counters = client.counters();
   const stats::HistogramSummary latency = client.Latency();
 
@@ -467,10 +518,15 @@ LadderResult RunLadder(const GraphStore& graph,
   server.Stop();
   cluster.Stop();
 
+  r.backend = net::NetBackendName(after.backend);
   r.qps = static_cast<double>(counters.responses) /
           std::chrono::duration<double>(t1 - t0).count();
   r.rt_p50 = latency.p50;
   r.rt_p99 = latency.p99;
+  if (counters.responses > 0) {
+    r.sys_per_req = static_cast<double>(after.syscalls - before.syscalls) /
+                    static_cast<double>(counters.responses);
+  }
   return r;
 }
 
@@ -550,27 +606,36 @@ SurgeResult RunSurge(const GraphStore& graph,
 void WriteJson(const std::vector<CellResult>& results,
                const std::vector<LadderResult>& ladder,
                const SurgeResult& surge, double headline,
-               double loop_scaling) {
+               double loop_scaling, const std::string& uring_skip) {
   std::FILE* f = std::fopen("BENCH_net_throughput.json", "w");
   if (f == nullptr) return;
   std::fprintf(f, "{\n  \"bench\": \"net_throughput\",\n");
   std::fprintf(f, "  \"hardware_concurrency\": %u,\n",
                std::thread::hardware_concurrency());
+  if (uring_skip.empty()) {
+    std::fprintf(f, "  \"backends\": [\"epoll\", \"io_uring\"],\n");
+  } else {
+    std::fprintf(f,
+                 "  \"backends\": [\"epoll\"],\n"
+                 "  \"io_uring_skipped\": \"%s\",\n",
+                 uring_skip.c_str());
+  }
   std::fprintf(f, "  \"cells\": [\n");
   for (size_t i = 0; i < results.size(); ++i) {
     const CellResult& r = results[i];
     std::fprintf(
         f,
-        "    {\"variant\": \"%s\", \"loops\": %zu, \"connections\": %zu, "
+        "    {\"variant\": \"%s\", \"backend\": \"%s\", \"loops\": %zu, "
+        "\"connections\": %zu, "
         "\"in_flight\": %zu, \"tracing\": %d, \"seconds\": %.3f, "
         "\"completed\": %llu, "
         "\"qps\": %.0f, \"rt_p50_us\": %.1f, \"rt_p99_us\": %.1f, "
-        "\"avg_batch\": %.1f}%s\n",
-        r.variant.c_str(), r.loops, r.connections, r.in_flight, r.tracing,
-        r.seconds,
+        "\"avg_batch\": %.1f, \"sys_per_req\": %.3f}%s\n",
+        r.variant.c_str(), r.backend.c_str(), r.loops, r.connections,
+        r.in_flight, r.tracing, r.seconds,
         static_cast<unsigned long long>(r.completed), r.qps,
         static_cast<double>(r.rt_p50) / 1000.0,
-        static_cast<double>(r.rt_p99) / 1000.0, r.avg_batch,
+        static_cast<double>(r.rt_p99) / 1000.0, r.avg_batch, r.sys_per_req,
         i + 1 < results.size() ? "," : "");
   }
   std::fprintf(f, "  ],\n  \"ladder\": [\n");
@@ -578,20 +643,23 @@ void WriteJson(const std::vector<CellResult>& results,
     const LadderResult& r = ladder[i];
     if (r.skipped) {
       std::fprintf(f,
-                   "    {\"connections\": %zu, \"loops\": %zu, "
+                   "    {\"backend\": \"%s\", \"connections\": %zu, "
+                   "\"loops\": %zu, "
                    "\"skipped\": \"%s\"}%s\n",
-                   r.connections, r.loops, r.skip_reason.c_str(),
-                   i + 1 < ladder.size() ? "," : "");
+                   r.backend.c_str(), r.connections, r.loops,
+                   r.skip_reason.c_str(), i + 1 < ladder.size() ? "," : "");
     } else {
       std::fprintf(
           f,
-          "    {\"connections\": %zu, \"loops\": %zu, \"qps\": %.0f, "
-          "\"rt_p50_us\": %.1f, \"rt_p99_us\": %.1f, \"rss_start_kb\": %ld, "
+          "    {\"backend\": \"%s\", \"connections\": %zu, \"loops\": %zu, "
+          "\"qps\": %.0f, "
+          "\"rt_p50_us\": %.1f, \"rt_p99_us\": %.1f, \"sys_per_req\": %.3f, "
+          "\"rss_start_kb\": %ld, "
           "\"rss_end_kb\": %ld}%s\n",
-          r.connections, r.loops, r.qps,
+          r.backend.c_str(), r.connections, r.loops, r.qps,
           static_cast<double>(r.rt_p50) / 1000.0,
-          static_cast<double>(r.rt_p99) / 1000.0, r.rss_start_kb,
-          r.rss_end_kb, i + 1 < ladder.size() ? "," : "");
+          static_cast<double>(r.rt_p99) / 1000.0, r.sys_per_req,
+          r.rss_start_kb, r.rss_end_kb, i + 1 < ladder.size() ? "," : "");
     }
   }
   std::fprintf(f, "  ],\n");
@@ -613,8 +681,9 @@ void WriteJson(const std::vector<CellResult>& results,
 
 int Main() {
   PrintPreamble("bench_net_throughput",
-                "sharded epoll front-end over loopback: batched vs per-item "
-                "admission, loop scaling, vs the in-process ceiling");
+                "sharded front-end over loopback: epoll vs io_uring "
+                "backends, batched vs per-item admission, loop scaling, "
+                "vs the in-process ceiling");
 
   Nanos warmup = 300 * kMillisecond;
   Nanos measure = 600 * kMillisecond;
@@ -626,15 +695,27 @@ int Main() {
     measure = 2 * kSecond;
     surge_duration = 4 * kSecond;
     grid = {{4, 8}, {16, 8}, {64, 16}, {128, 16}, {256, 16}};
-    ladder_conns = {256, 1024, 10240};
+    ladder_conns = {256, 1024, 10240, 32768};
   } else if (BenchScale() >= 2) {
     warmup = kSecond;
     measure = 5 * kSecond;
     surge_duration = 10 * kSecond;
     grid = {{4, 8}, {16, 8}, {64, 8}, {64, 16}, {128, 16}, {256, 16}};
-    ladder_conns = {256, 1024, 10240};
+    ladder_conns = {256, 1024, 10240, 32768, 65536};
   }
   const std::vector<size_t> loop_sweep = LoopSweep();
+
+  // Both backends in one invocation: epoll always, io_uring when the
+  // kernel passes the functional probe (otherwise noted in the JSON so a
+  // fallback run is never mistaken for a comparison).
+  std::vector<net::NetBackend> backends = {net::NetBackend::kEpoll};
+  std::string uring_skip;
+  if (net::NetServer::UringSupported(&uring_skip)) {
+    backends.push_back(net::NetBackend::kUring);
+    uring_skip.clear();
+  } else {
+    std::printf("io_uring backend skipped: %s\n", uring_skip.c_str());
+  }
 
   graph::GeneratorOptions graph_options;
   graph_options.num_vertices = 20'000;
@@ -645,10 +726,10 @@ int Main() {
   std::printf("hardware_concurrency: %u, loop sweep:",
               std::thread::hardware_concurrency());
   for (const size_t loops : loop_sweep) std::printf(" %zu", loops);
-  std::printf("\n\n%-10s %6s %6s %9s %12s %12s %12s %10s\n", "variant",
-              "loops", "conns", "in_flight", "qps", "p50_us", "p99_us",
-              "avg_batch");
-  PrintRule(84);
+  std::printf("\n\n%-10s %-9s %6s %6s %9s %12s %12s %12s %10s %8s\n",
+              "variant", "backend", "loops", "conns", "in_flight", "qps",
+              "p50_us", "p99_us", "avg_batch", "sys/req");
+  PrintRule(103);
   std::vector<CellResult> results;
   double capacity_qps = 0;
   double item_64 = 0, batch_64 = 0;
@@ -659,33 +740,43 @@ int Main() {
     inproc.connections = connections;
     inproc.in_flight = in_flight;
     results.push_back(inproc);
-    // net_item only at the sweep's first loop count (the batching A/B
-    // baseline); net_batch at every loop count (the scaling curve).
-    results.push_back(RunNet(graph, queries, /*batch_submit=*/false,
-                             loop_sweep.front(), connections, in_flight,
-                             warmup, measure));
-    for (const size_t loops : loop_sweep) {
-      const CellResult r = RunNet(graph, queries, /*batch_submit=*/true,
-                                  loops, connections, in_flight, warmup,
-                                  measure);
-      results.push_back(r);
-      if (connections >= 64) {
-        if (r.qps > batch_64) batch_64 = r.qps;
+    for (const net::NetBackend backend : backends) {
+      // net_item only at the sweep's first loop count (the batching A/B
+      // baseline); net_batch at every loop count (the scaling curve).
+      const CellResult item =
+          RunNet(graph, queries, /*batch_submit=*/false, backend,
+                 loop_sweep.front(), connections, in_flight, warmup, measure);
+      results.push_back(item);
+      // The batch-vs-item headline stays an epoll-vs-epoll ratio so the
+      // number is comparable across kernels with and without io_uring.
+      if (connections >= 64 && backend == net::NetBackend::kEpoll &&
+          item.qps > item_64) {
+        item_64 = item.qps;
       }
-      if (r.qps > capacity_qps) capacity_qps = r.qps;
-    }
-    if (connections >= 64) {
-      const CellResult& item = results[row_start + 1];
-      if (item.qps > item_64) item_64 = item.qps;
+      for (const size_t loops : loop_sweep) {
+        const CellResult r =
+            RunNet(graph, queries, /*batch_submit=*/true, backend, loops,
+                   connections, in_flight, warmup, measure);
+        results.push_back(r);
+        if (connections >= 64 && backend == net::NetBackend::kEpoll &&
+            r.qps > batch_64) {
+          batch_64 = r.qps;
+        }
+        if (r.qps > capacity_qps) capacity_qps = r.qps;
+      }
     }
     for (size_t i = row_start; i < results.size(); ++i) {
       const CellResult& r = results[i];
-      std::printf("%-10s %6zu %6zu %9zu %12.0f %12.1f %12.1f %10.1f\n",
-                  r.variant.c_str(), r.loops, r.connections, r.in_flight,
-                  r.qps, static_cast<double>(r.rt_p50) / 1000.0,
-                  static_cast<double>(r.rt_p99) / 1000.0, r.avg_batch);
+      std::printf("%-10s %-9s %6zu %6zu %9zu %12.0f %12.1f %12.1f %10.1f "
+                  "%8.2f\n",
+                  r.variant.c_str(),
+                  r.backend.empty() ? "-" : r.backend.c_str(), r.loops,
+                  r.connections, r.in_flight, r.qps,
+                  static_cast<double>(r.rt_p50) / 1000.0,
+                  static_cast<double>(r.rt_p99) / 1000.0, r.avg_batch,
+                  r.sys_per_req);
     }
-    PrintRule(84);
+    PrintRule(103);
   }
 
   // High-connection ladder at the sweep's min and max loop counts.
@@ -694,46 +785,52 @@ int Main() {
     ladder_loops.push_back(loop_sweep.back());
   }
   std::vector<LadderResult> ladder;
-  std::printf("\nladder (in_flight=2, 4k rings)\n%6s %6s %12s %12s %12s "
-              "%12s %12s\n",
-              "conns", "loops", "qps", "p50_us", "p99_us", "rss0_kb",
-              "rss1_kb");
-  PrintRule(78);
+  std::printf("\nladder (in_flight=2, 4k rings)\n%-9s %6s %6s %12s %12s "
+              "%12s %8s %12s %12s\n",
+              "backend", "conns", "loops", "qps", "p50_us", "p99_us",
+              "sys/req", "rss0_kb", "rss1_kb");
+  PrintRule(97);
   double ladder_1 = 0, ladder_n = 0;
   for (const size_t connections : ladder_conns) {
-    for (const size_t loops : ladder_loops) {
-      const LadderResult r =
-          RunLadder(graph, queries, connections, loops, warmup, measure);
-      ladder.push_back(r);
-      if (r.skipped) {
-        std::printf("%6zu %6zu skipped: %s\n", r.connections, r.loops,
-                    r.skip_reason.c_str());
-        continue;
-      }
-      std::printf("%6zu %6zu %12.0f %12.1f %12.1f %12ld %12ld\n",
-                  r.connections, r.loops, r.qps,
-                  static_cast<double>(r.rt_p50) / 1000.0,
-                  static_cast<double>(r.rt_p99) / 1000.0, r.rss_start_kb,
-                  r.rss_end_kb);
-      if (connections == 256) {
-        if (loops == ladder_loops.front()) ladder_1 = r.qps;
-        if (loops == ladder_loops.back()) ladder_n = r.qps;
+    for (const net::NetBackend backend : backends) {
+      for (const size_t loops : ladder_loops) {
+        const LadderResult r = RunLadder(graph, queries, backend,
+                                         connections, loops, warmup, measure);
+        ladder.push_back(r);
+        if (r.skipped) {
+          std::printf("%-9s %6zu %6zu skipped: %s\n", r.backend.c_str(),
+                      r.connections, r.loops, r.skip_reason.c_str());
+          continue;
+        }
+        std::printf("%-9s %6zu %6zu %12.0f %12.1f %12.1f %8.3f %12ld "
+                    "%12ld\n",
+                    r.backend.c_str(), r.connections, r.loops, r.qps,
+                    static_cast<double>(r.rt_p50) / 1000.0,
+                    static_cast<double>(r.rt_p99) / 1000.0, r.sys_per_req,
+                    r.rss_start_kb, r.rss_end_kb);
+        if (connections == 256 && backend == net::NetBackend::kEpoll) {
+          if (loops == ladder_loops.front()) ladder_1 = r.qps;
+          if (loops == ladder_loops.back()) ladder_n = r.qps;
+        }
       }
     }
   }
-  PrintRule(78);
+  PrintRule(97);
 
   // Tracing overhead pair: the largest grid cell, net_batch, with the
   // flight recorder off vs on at the default 1-in-64 sampling (the
   // always-on observability bar is < 3% QPS cost). The on cell also
   // serves the BOUNCER_BENCH_NET_STATS_OUT live-snapshot hook.
   const auto [trace_conns, trace_flight] = grid.back();
+  const net::NetBackend trace_backend = backends.back();
   const CellResult trace_off =
-      RunNet(graph, queries, /*batch_submit=*/true, loop_sweep.front(),
-             trace_conns, trace_flight, warmup, measure, /*tracing=*/false);
+      RunNet(graph, queries, /*batch_submit=*/true, trace_backend,
+             loop_sweep.front(), trace_conns, trace_flight, warmup, measure,
+             /*tracing=*/false);
   const CellResult trace_on =
-      RunNet(graph, queries, /*batch_submit=*/true, loop_sweep.front(),
-             trace_conns, trace_flight, warmup, measure, /*tracing=*/true);
+      RunNet(graph, queries, /*batch_submit=*/true, trace_backend,
+             loop_sweep.front(), trace_conns, trace_flight, warmup, measure,
+             /*tracing=*/true);
   results.push_back(trace_off);
   results.push_back(trace_on);
   std::printf("\n%-10s %6zu %6zu %9zu %12.0f   (tracing off)\n",
@@ -761,10 +858,25 @@ int Main() {
               surge.rss_start_kb, surge.rss_end_kb,
               surge.rss_end_kb - surge.rss_start_kb);
 
+  // Per-backend syscall cost at the largest grid cell (net_batch, first
+  // loop count): the number the io_uring backend exists to shrink.
+  std::vector<std::string> summarized;
+  for (const CellResult& r : results) {
+    if (r.variant == "net_batch" && r.loops == loop_sweep.front() &&
+        r.connections == grid.back().first && r.tracing == 0 &&
+        r.sys_per_req > 0 &&
+        std::find(summarized.begin(), summarized.end(), r.backend) ==
+            summarized.end()) {
+      summarized.push_back(r.backend);
+      std::printf("%s: %.3f syscalls/request at %zu conns\n",
+                  r.backend.c_str(), r.sys_per_req, r.connections);
+    }
+  }
+
   const double headline = item_64 > 0 ? batch_64 / item_64 : 0;
   const double loop_scaling =
       (ladder_1 > 0 && ladder_loops.size() > 1) ? ladder_n / ladder_1 : 0;
-  WriteJson(results, ladder, surge, headline, loop_scaling);
+  WriteJson(results, ladder, surge, headline, loop_scaling, uring_skip);
   std::printf("wrote BENCH_net_throughput.json\n");
   if (headline > 0) {
     std::printf(">= 64 conns: net_batch/net_item = %.2fx\n", headline);

@@ -52,7 +52,10 @@ void PrintHelp() {
       "through\n"
       "                      one SubmitBatch admission pass (default 1)\n"
       "  --loops=N           with --listen: event loops / SO_REUSEPORT\n"
-      "                      listeners (default 0 = min(cores, 4))\n\n"
+      "                      listeners (default 0 = min(cores, 4))\n"
+      "  --backend=KIND      with --listen: event-loop backend — auto,\n"
+      "                      epoll, or io_uring (default auto: probe the\n"
+      "                      kernel, fall back to epoll)\n\n"
       "  observability\n"
       "  --stats-interval=N  with --listen: print a metric-registry "
       "summary\n"
@@ -90,6 +93,8 @@ int main(int argc, char** argv) {
   const auto serve_seconds = flags.GetUint("serve-seconds", 0);
   const bool batch_submit = flags.GetBool("batch-submit", true);
   const auto num_loops = flags.GetUint("loops", 0);
+  const net::NetBackend backend =
+      flags.GetBackend("backend", net::NetBackend::kAuto);
   const auto stats_interval_s = flags.GetUint("stats-interval", 2);
   const bool trace_on = flags.GetBool("trace", true);
   const auto trace_sample = flags.GetUint("trace-sample", 64);
@@ -161,6 +166,7 @@ int main(int argc, char** argv) {
     server_options.port = listen_port;
     server_options.batch_submit = batch_submit;
     server_options.num_loops = num_loops;
+    server_options.backend = backend;
     server_options.metrics = &metric_registry;
     net::NetServer server(&cluster, server_options);
     if (Status s = server.Start(); !s.ok()) {
@@ -170,11 +176,17 @@ int main(int argc, char** argv) {
     }
     std::signal(SIGINT, OnSignal);
     std::signal(SIGTERM, OnSignal);
-    std::printf("listening on %s:%u (%s admission, %zu loop%s%s)\n",
+    std::printf("listening on %s:%u (%s backend, %s admission, %zu "
+                "loop%s%s)\n",
                 server_options.bind_address.c_str(), server.port(),
+                net::NetBackendName(server.backend()),
                 batch_submit ? "batched" : "per-query", server.num_loops(),
                 server.num_loops() == 1 ? "" : "s",
                 server.handoff_mode() ? ", fd-handoff fallback" : "");
+    if (!server.backend_fallback_reason().empty()) {
+      std::printf("  (io_uring unavailable: %s)\n",
+                  server.backend_fallback_reason().c_str());
+    }
     std::fflush(stdout);
     const Nanos stop_at =
         serve_seconds == 0

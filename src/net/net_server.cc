@@ -10,8 +10,10 @@
 #include <unistd.h>
 
 #include <cerrno>
+#include <cstdio>
 #include <cstring>
 
+#include "src/net/net_server_internal.h"
 #include "src/util/clock.h"
 
 namespace bouncer::net {
@@ -20,20 +22,6 @@ using graph::GraphQueryResult;
 using server::Outcome;
 
 namespace {
-
-/// epoll user-data tokens for the two non-connection fds.
-constexpr uint64_t kListenToken = ~uint64_t{0};
-constexpr uint64_t kEventToken = ~uint64_t{0} - 1;
-
-/// Events drained per epoll_wait call; a wakeup with more ready fds just
-/// takes another loop iteration.
-constexpr int kMaxEpollEvents = 128;
-
-/// Connection-token field widths: generation << 32 | loop << 24 | slot.
-constexpr uint32_t kSlotBits = 24;
-constexpr uint32_t kSlotMask = (1u << kSlotBits) - 1;
-constexpr uint32_t kLoopMask = 0xff;
-constexpr size_t kMaxLoops = 255;
 
 ResponseStatus ToStatus(Outcome outcome, bool result_ok) {
   switch (outcome) {
@@ -49,115 +37,45 @@ ResponseStatus ToStatus(Outcome outcome, bool result_ok) {
   return ResponseStatus::kFailed;
 }
 
-void WriteEventFd(int fd) {
-  const uint64_t one = 1;
-  [[maybe_unused]] ssize_t n = ::write(fd, &one, sizeof(one));
+/// Data-path syscall accounting (Stats::syscalls). Templated so it never
+/// names the private LoopCounters type.
+template <typename Counters>
+void CountSyscall(Counters& counters, uint64_t n = 1) {
+  counters.syscalls.fetch_add(n, std::memory_order_relaxed);
 }
 
 }  // namespace
 
-/// One connection slot, owned by exactly one loop for its whole life.
-/// Slots (and their rings) are allocated once and recycled across
-/// connections; `gen` stamps each incarnation so a completion for a
-/// closed connection resolves to nothing instead of a stranger's socket.
-struct NetServer::Connection {
-  Connection(size_t rx_bytes, size_t tx_bytes) : rx(rx_bytes), tx(tx_bytes) {}
-
-  int fd = -1;
-  uint32_t index = 0;    ///< Slot index within the owning loop (24 bits).
-  uint32_t loop_id = 0;  ///< Owning loop (8 bits); never changes.
-  uint32_t gen = 1;
-  ByteRing rx;
-  ByteRing tx;
-  /// Parsed requests whose response has not yet been encoded into `tx`.
-  /// Invariant: tx.free_space() >= owed * kResponseFrameBytes, so a
-  /// completion can always be answered without dropping or buffering.
-  size_t owed = 0;
-  uint32_t armed_events = 0;  ///< Events currently registered in epoll.
-  bool want_read = true;
-  bool dirty = false;  ///< Has tx bytes awaiting a flush this iteration.
-  bool read_paused_inflight = false;
-  bool read_paused_tx = false;
-  bool read_paused_overload = false;
-  bool closing = false;  ///< Peer EOF seen; flush what is owed, then close.
-
-  /// Admin response in progress: the rendered payload streams into `tx`
-  /// in chunks as space frees up, never displacing the frames reserved
-  /// for the `owed` graph responses. One admin response at a time per
-  /// connection; a second admin frame stays buffered in `rx` meanwhile.
-  bool admin_active = false;
-  uint64_t admin_id = 0;       ///< Request id echoed in every chunk.
-  size_t admin_offset = 0;     ///< Payload bytes already written.
-  std::string admin_payload;
-
-  uint64_t Token() const {
-    return (static_cast<uint64_t>(gen) << 32) |
-           (static_cast<uint64_t>(loop_id) << kSlotBits) | index;
+const char* NetBackendName(NetBackend backend) {
+  switch (backend) {
+    case NetBackend::kAuto:
+      return "auto";
+    case NetBackend::kEpoll:
+      return "epoll";
+    case NetBackend::kUring:
+      return "io_uring";
   }
-};
+  return "epoll";
+}
 
-struct NetServer::Pending {
-  Loop* loop = nullptr;  ///< Owning loop (completion routing).
-  uint64_t token = 0;
-  uint64_t request_id = 0;
-};
+bool ParseNetBackend(const std::string& text, NetBackend* out) {
+  if (text == "auto") {
+    *out = NetBackend::kAuto;
+  } else if (text == "epoll") {
+    *out = NetBackend::kEpoll;
+  } else if (text == "io_uring" || text == "uring") {
+    *out = NetBackend::kUring;
+  } else {
+    return false;
+  }
+  return true;
+}
 
-/// One reactor: everything a loop thread touches on the hot path lives
-/// here and is owned by that thread alone (the done-ring and mailbox are
-/// the only cross-thread entry points, both bounded MPMC).
-struct NetServer::Loop {
-  Loop(NetServer* server_in, size_t id_in, size_t done_ring_capacity,
-       size_t mailbox_capacity)
-      : server(server_in),
-        id(static_cast<uint32_t>(id_in)),
-        pending_pool(4096),
-        done_ring(done_ring_capacity),
-        fd_mailbox(mailbox_capacity) {}
-
-  NetServer* server;
-  uint32_t id;
-
-  int listen_fd = -1;  ///< Own SO_REUSEPORT listener; -1 in handoff mode
-                       ///< for every loop but 0.
-  int epoll_fd = -1;
-  int event_fd = -1;
-
-  std::vector<std::unique_ptr<Connection>> slots;
-  std::vector<uint32_t> free_slots;
-
-  /// Parse scratch for one admission episode (reused, never freed).
-  std::vector<graph::Cluster::BatchRequest> batch;
-  std::vector<uint64_t> batch_tokens;  ///< Connection of each batch entry.
-
-  ObjectPool<Pending> pending_pool;
-  /// Worker-thread completions only. The loop thread never pushes here:
-  /// its synchronous completions (rejections inside Submit/SubmitBatch)
-  /// deliver inline, so a full ring can never make the loop wait on
-  /// itself — it only throttles workers until the next loop drain.
-  MpmcQueue<Done> done_ring;
-  std::atomic<bool> done_signal{false};
-  /// Accepted fds mailed over by loop 0 in handoff mode; drained on
-  /// every eventfd wakeup.
-  MpmcQueue<int> fd_mailbox;
-
-  std::atomic<std::thread::id> tid{};
-  /// True while this loop's thread is inside a Cluster submit call.
-  /// Loop-thread completions arriving then are parked in deferred_dones
-  /// (delivery can resume reads, which would mutate batch mid-submit)
-  /// and delivered as soon as the submit returns.
-  bool in_submit = false;
-  /// SubmitParsed nesting depth (delivery of deferred completions can
-  /// resume reads that re-enter it); only depth 0 delivers.
-  size_t submit_depth = 0;
-  std::vector<Done> deferred_dones;  ///< Loop-only scratch, reused.
-
-  /// Connections paused for broker-queue overload, re-checked every loop
-  /// iteration; sheds observed by the last submit episode set this.
-  bool overload_paused = false;
-
-  LoopCounters counters;
-  std::thread thread;
-};
+bool NetServer::UringSupported(std::string* reason) {
+  const UringSupport& support = QueryUringSupport();
+  if (!support.supported && reason != nullptr) *reason = support.reason;
+  return support.supported;
+}
 
 NetServer::NetServer(graph::Cluster* cluster, const Options& options)
     : cluster_(cluster), options_(options) {
@@ -272,6 +190,28 @@ Status NetServer::Start() {
     loop.deferred_dones.reserve(options_.max_batch);
   }
 
+  // Backend resolution. kAuto degrades to epoll with a recorded reason;
+  // explicit kUring fails Start() instead so a misconfigured deployment
+  // is loud, not silently slower.
+  backend_ = NetBackend::kEpoll;
+  backend_fallback_reason_.clear();
+  if (options_.backend != NetBackend::kEpoll) {
+    const UringSupport& support = QueryUringSupport();
+    if (support.supported) {
+      backend_ = NetBackend::kUring;
+    } else if (options_.backend == NetBackend::kUring) {
+      loops_.clear();
+      return Status::FailedPrecondition("io_uring backend unavailable: " +
+                                        support.reason);
+    } else {
+      backend_fallback_reason_ = support.reason;
+      std::fprintf(stderr,
+                   "[net] io_uring unavailable (%s); backend=auto falling "
+                   "back to epoll\n",
+                   support.reason.c_str());
+    }
+  }
+
   if (Status s = StartListeners(); !s.ok()) {
     CloseAll();
     loops_.clear();
@@ -279,22 +219,47 @@ Status NetServer::Start() {
   }
   for (auto& loop_ptr : loops_) {
     Loop& loop = *loop_ptr;
-    loop.epoll_fd = ::epoll_create1(EPOLL_CLOEXEC);
     loop.event_fd = ::eventfd(0, EFD_NONBLOCK | EFD_CLOEXEC);
-    if (loop.epoll_fd < 0 || loop.event_fd < 0) {
+    if (loop.event_fd < 0) {
       CloseAll();
       loops_.clear();
-      return Status::Internal("epoll/eventfd setup failed");
+      return Status::Internal("eventfd setup failed");
     }
-    epoll_event ev{};
-    if (loop.listen_fd >= 0) {
+  }
+  if (backend_ == NetBackend::kUring && !UringSetupLoops()) {
+    // Probe passed but ring setup failed (fd or memlock limits, most
+    // likely). Explicit kUring surfaces it; kAuto degrades.
+    if (options_.backend == NetBackend::kUring) {
+      CloseAll();
+      loops_.clear();
+      return Status::Internal("io_uring setup failed: " +
+                              backend_fallback_reason_);
+    }
+    std::fprintf(stderr,
+                 "[net] io_uring setup failed (%s); backend=auto falling "
+                 "back to epoll\n",
+                 backend_fallback_reason_.c_str());
+    backend_ = NetBackend::kEpoll;
+  }
+  if (backend_ == NetBackend::kEpoll) {
+    for (auto& loop_ptr : loops_) {
+      Loop& loop = *loop_ptr;
+      loop.epoll_fd = ::epoll_create1(EPOLL_CLOEXEC);
+      if (loop.epoll_fd < 0) {
+        CloseAll();
+        loops_.clear();
+        return Status::Internal("epoll setup failed");
+      }
+      epoll_event ev{};
+      if (loop.listen_fd >= 0) {
+        ev.events = EPOLLIN;
+        ev.data.u64 = kListenToken;
+        ::epoll_ctl(loop.epoll_fd, EPOLL_CTL_ADD, loop.listen_fd, &ev);
+      }
       ev.events = EPOLLIN;
-      ev.data.u64 = kListenToken;
-      ::epoll_ctl(loop.epoll_fd, EPOLL_CTL_ADD, loop.listen_fd, &ev);
+      ev.data.u64 = kEventToken;
+      ::epoll_ctl(loop.epoll_fd, EPOLL_CTL_ADD, loop.event_fd, &ev);
     }
-    ev.events = EPOLLIN;
-    ev.data.u64 = kEventToken;
-    ::epoll_ctl(loop.epoll_fd, EPOLL_CTL_ADD, loop.event_fd, &ev);
   }
 
   if (options_.metrics != nullptr) {
@@ -320,6 +285,14 @@ Status NetServer::Start() {
           sink.AddCounter("net.admin_requests", s.admin_requests);
           sink.AddCounter("net.handoffs", s.handoffs);
           sink.AddCounter("net.nodelay_failures", s.nodelay_failures);
+          sink.AddCounter("net.syscalls", s.syscalls);
+          sink.AddCounter("net.wakeups", s.wakeups);
+          sink.AddCounter("net.eventfd_wakeups", s.eventfd_wakeups);
+          // 1 when the io_uring backend is serving, 0 for epoll — how
+          // `net_client --stats` learns which backend answered it.
+          sink.AddGauge("net.backend_io_uring",
+                        backend_ == NetBackend::kUring ? 1 : 0);
+          sink.AddGauge("net.loops", static_cast<int64_t>(loops_.size()));
           for (size_t i = 0; i < loops_.size(); ++i) {
             const Stats ls = LoopStats(i);
             const std::string prefix = "net.loop" + std::to_string(i) + ".";
@@ -372,6 +345,8 @@ void NetServer::CloseAll() {
     if (loop.epoll_fd >= 0) ::close(loop.epoll_fd);
     if (loop.event_fd >= 0) ::close(loop.event_fd);
     loop.listen_fd = loop.epoll_fd = loop.event_fd = -1;
+    // Closing the ring fd cancels whatever was still in flight.
+    UringDestroyLoop(loop);
   }
 }
 
@@ -401,6 +376,10 @@ NetServer::Stats NetServer::LoopStats(size_t loop) const {
   s.admin_requests = c.admin_requests.load(std::memory_order_relaxed);
   s.handoffs = c.handoffs.load(std::memory_order_relaxed);
   s.nodelay_failures = c.nodelay_failures.load(std::memory_order_relaxed);
+  s.syscalls = c.syscalls.load(std::memory_order_relaxed);
+  s.wakeups = c.wakeups.load(std::memory_order_relaxed);
+  s.eventfd_wakeups = c.eventfd_wakeups.load(std::memory_order_relaxed);
+  s.backend = backend_;
   return s;
 }
 
@@ -427,7 +406,11 @@ NetServer::Stats NetServer::AggregateStats() const {
     total.admin_requests += s.admin_requests;
     total.handoffs += s.handoffs;
     total.nodelay_failures += s.nodelay_failures;
+    total.syscalls += s.syscalls;
+    total.wakeups += s.wakeups;
+    total.eventfd_wakeups += s.eventfd_wakeups;
   }
+  total.backend = backend_;
   return total;
 }
 
@@ -443,6 +426,10 @@ NetServer::Connection* NetServer::Resolve(Loop& loop, uint64_t token) {
 }
 
 void NetServer::UpdateEpoll(Loop& loop, Connection* conn) {
+  if (backend_ == NetBackend::kUring) {
+    UringUpdateInterest(loop, conn);
+    return;
+  }
   uint32_t want = 0;
   if (conn->want_read && !conn->closing) want |= EPOLLIN;
   if (!conn->tx.empty()) want |= EPOLLOUT;
@@ -451,6 +438,7 @@ void NetServer::UpdateEpoll(Loop& loop, Connection* conn) {
   ev.events = want | EPOLLRDHUP;
   ev.data.u64 = conn->Token();
   ::epoll_ctl(loop.epoll_fd, EPOLL_CTL_MOD, conn->fd, &ev);
+  CountSyscall(loop.counters);
   conn->armed_events = want;
 }
 
@@ -522,47 +510,67 @@ void NetServer::AdoptFd(Loop& loop, int fd) {
   conn->admin_offset = 0;
   conn->admin_payload.clear();
   conn->armed_events = EPOLLIN;
+  conn->recv_armed = false;
+  conn->send_inflight = false;
+  conn->cancel_pending = false;
+  conn->zombie = false;
   loop.counters.connections_accepted.fetch_add(1, std::memory_order_relaxed);
 
+  if (backend_ == NetBackend::kUring) {
+    // Multishot recv plays the role of the persistent EPOLLIN interest;
+    // bytes that arrived before the arm (handed-off fds) surface as a
+    // completion as soon as the SQE is submitted.
+    UringArmRecv(loop, conn);
+    return;
+  }
   // Level-triggered EPOLLIN: bytes that arrived before this ADD (e.g. on
   // a handed-off fd) surface on the next epoll_wait.
   epoll_event ev{};
   ev.events = EPOLLIN | EPOLLRDHUP;
   ev.data.u64 = conn->Token();
   ::epoll_ctl(loop.epoll_fd, EPOLL_CTL_ADD, fd, &ev);
+  CountSyscall(loop.counters);
 }
 
 void NetServer::AcceptReady(Loop& loop) {
   for (;;) {
+    CountSyscall(loop.counters);
     const int fd = ::accept4(loop.listen_fd, nullptr, nullptr,
                              SOCK_NONBLOCK | SOCK_CLOEXEC);
     if (fd < 0) return;  // EAGAIN or transient error: done for now.
-    if (total_live_.fetch_add(1, std::memory_order_relaxed) >=
-        options_.max_connections) {
-      total_live_.fetch_sub(1, std::memory_order_relaxed);
-      loop.counters.connections_dropped.fetch_add(1,
-                                                  std::memory_order_relaxed);
-      ::close(fd);
-      continue;
-    }
-    if (handoff_mode_ && loops_.size() > 1) {
-      // Loop 0 accepts for everyone; fds round-robin across the loops
-      // (including loop 0 itself) through each target's mailbox.
-      const size_t target = handoff_rr_++ % loops_.size();
-      if (target != loop.id) {
-        Loop& other = *loops_[target];
-        int mailed = fd;
-        if (other.fd_mailbox.TryPush(std::move(mailed))) {
-          loop.counters.handoffs.fetch_add(1, std::memory_order_relaxed);
-          WriteEventFd(other.event_fd);
-          continue;
-        }
-        // Mailbox full (target loop badly behind): keep it local rather
-        // than dropping the connection.
-      }
-    }
-    AdoptFd(loop, fd);
+    HandleAccepted(loop, fd);
   }
+}
+
+/// Shared accept tail: cap enforcement and (in handoff mode) mailing
+/// the fd to its round-robin target. Both backends' accept paths land
+/// here.
+void NetServer::HandleAccepted(Loop& loop, int fd) {
+  if (total_live_.fetch_add(1, std::memory_order_relaxed) >=
+      options_.max_connections) {
+    total_live_.fetch_sub(1, std::memory_order_relaxed);
+    loop.counters.connections_dropped.fetch_add(1, std::memory_order_relaxed);
+    ::close(fd);
+    return;
+  }
+  if (handoff_mode_ && loops_.size() > 1) {
+    // Loop 0 accepts for everyone; fds round-robin across the loops
+    // (including loop 0 itself) through each target's mailbox.
+    const size_t target = handoff_rr_++ % loops_.size();
+    if (target != loop.id) {
+      Loop& other = *loops_[target];
+      int mailed = fd;
+      if (other.fd_mailbox.TryPush(std::move(mailed))) {
+        loop.counters.handoffs.fetch_add(1, std::memory_order_relaxed);
+        WriteEventFd(other.event_fd);
+        CountSyscall(loop.counters);
+        return;
+      }
+      // Mailbox full (target loop badly behind): keep it local rather
+      // than dropping the connection.
+    }
+  }
+  AdoptFd(loop, fd);
 }
 
 void NetServer::DrainMailbox(Loop& loop) {
@@ -579,6 +587,10 @@ void NetServer::DrainMailbox(Loop& loop) {
 
 void NetServer::CloseConn(Loop& loop, Connection* conn) {
   if (conn->fd < 0) return;
+  // io_uring holds a file reference for every outstanding SQE, so close
+  // alone would leave a multishot recv pending forever; cancel first
+  // (by user_data — the fd number may be reused immediately).
+  if (backend_ == NetBackend::kUring) UringPrepareClose(loop, conn);
   ::close(conn->fd);  // Also removes it from the epoll set.
   conn->fd = -1;
   ++conn->gen;  // In-flight completions now resolve to nothing.
@@ -589,13 +601,24 @@ void NetServer::CloseConn(Loop& loop, Connection* conn) {
   conn->admin_active = false;
   conn->admin_payload.clear();
   conn->admin_payload.shrink_to_fit();
-  loop.free_slots.push_back(conn->index);
+  if (conn->uring_inflight > 0) {
+    // Zombie: the slot returns to free_slots when the last CQE lands.
+    conn->zombie = true;
+  } else {
+    loop.free_slots.push_back(conn->index);
+  }
   total_live_.fetch_sub(1, std::memory_order_relaxed);
   loop.counters.connections_closed.fetch_add(1, std::memory_order_relaxed);
 }
 
 void NetServer::ReadConn(Loop& loop, Connection* conn) {
   if (conn->fd < 0 || conn->closing) return;
+  if (backend_ == NetBackend::kUring) {
+    // No synchronous read: drain staged recv buffers, parse, and make
+    // sure the multishot recv is armed again.
+    UringPumpConn(loop, conn);
+    return;
+  }
   for (;;) {
     if (!conn->want_read) return;  // Parse gate paused us mid-read.
     struct iovec iov[2];
@@ -609,6 +632,7 @@ void NetServer::ReadConn(Loop& loop, Connection* conn) {
       continue;
     }
     const ssize_t n = ::readv(conn->fd, iov, segments);
+    CountSyscall(loop.counters);
     if (n > 0) {
       conn->rx.CommitWrite(static_cast<size_t>(n));
       ParseConn(loop, conn);
@@ -841,8 +865,18 @@ void NetServer::OnQueryDone(Pending* pending, const server::WorkItem& item,
     if (stop_requested_.load(std::memory_order_acquire)) return;
     CpuRelax();
   }
-  if (!loop.done_signal.exchange(true, std::memory_order_acq_rel)) {
+  // Wake the loop only if it is (about to be) blocked: an awake loop
+  // drains the ring every iteration, so the eventfd write would be a
+  // wasted syscall. The seq_cst fence pairs with the loop's pre-wait
+  // fence (store done_waiting=true; fence; check ring emptiness): either
+  // this push is visible to that check, or done_waiting=true is visible
+  // here — a push can never slip past both.
+  std::atomic_thread_fence(std::memory_order_seq_cst);
+  if (loop.done_waiting.load(std::memory_order_relaxed) &&
+      !loop.done_signal.exchange(true, std::memory_order_acq_rel)) {
     WriteEventFd(loop.event_fd);
+    loop.counters.eventfd_wakeups.fetch_add(1, std::memory_order_relaxed);
+    loop.counters.syscalls.fetch_add(1, std::memory_order_relaxed);
   }
 }
 
@@ -978,18 +1012,25 @@ void NetServer::PumpAdminAll(Loop& loop) {
 }
 
 void NetServer::DrainCompletions(Loop& loop) {
-  loop.done_signal.store(false, std::memory_order_release);
+  // done_signal resets in the pre-wait block (just before the loop can
+  // actually block), not here: resetting mid-iteration would let workers
+  // pay an eventfd write for completions this iteration already covers.
   Done done;
   while (loop.done_ring.TryPop(done)) DeliverDone(loop, done);
 }
 
 void NetServer::FlushConn(Loop& loop, Connection* conn) {
   if (conn->fd < 0) return;
+  if (backend_ == NetBackend::kUring) {
+    UringFlushConn(loop, conn);
+    return;
+  }
   conn->dirty = false;
   while (!conn->tx.empty()) {
     struct iovec iov[2];
     const int segments = conn->tx.ReadableSegments(iov);
     const ssize_t n = ::writev(conn->fd, iov, segments);
+    CountSyscall(loop.counters);
     if (n > 0) {
       conn->tx.Consume(static_cast<size_t>(n));
       continue;
@@ -1012,14 +1053,37 @@ void NetServer::FlushConn(Loop& loop, Connection* conn) {
 
 void NetServer::LoopThread(Loop& loop) {
   loop.tid.store(std::this_thread::get_id(), std::memory_order_relaxed);
+  if (backend_ == NetBackend::kUring) {
+    UringRun(loop);
+  } else {
+    EpollRun(loop);
+  }
+  // Drain loop-side state so queued completions don't linger unanswered
+  // in the ring (they resolve to dead connections after Stop closes fds).
+  DrainCompletions(loop);
+}
+
+void NetServer::EpollRun(Loop& loop) {
   epoll_event events[kMaxEpollEvents];
   while (!stop_requested_.load(std::memory_order_acquire)) {
     // Overload pauses are re-checked on a short timer (the broker queue
     // drains without producing an event we could wait on); otherwise a
     // long timeout keeps an idle server quiet.
-    const int timeout_ms = loop.overload_paused ? 1 : 100;
+    int timeout_ms = loop.overload_paused ? 1 : 100;
+    // Pre-wait handshake with OnQueryDone's worker side: declare we are
+    // about to block, then re-check the done ring. Seq_cst fences make
+    // this a store-buffering (Dekker) pair — a worker push either shows
+    // up in EmptyApprox here, or the worker sees done_waiting and pays
+    // the eventfd wakeup.
+    loop.done_signal.store(false, std::memory_order_relaxed);
+    loop.done_waiting.store(true, std::memory_order_relaxed);
+    std::atomic_thread_fence(std::memory_order_seq_cst);
+    if (!loop.done_ring.EmptyApprox()) timeout_ms = 0;
     const int n = ::epoll_wait(loop.epoll_fd, events, kMaxEpollEvents,
                                timeout_ms);
+    loop.done_waiting.store(false, std::memory_order_relaxed);
+    CountSyscall(loop.counters);
+    loop.counters.wakeups.fetch_add(1, std::memory_order_relaxed);
     for (int i = 0; i < n; ++i) {
       const uint64_t token = events[i].data.u64;
       if (token == kListenToken) {
@@ -1030,6 +1094,7 @@ void NetServer::LoopThread(Loop& loop) {
         uint64_t drained;
         [[maybe_unused]] ssize_t r =
             ::read(loop.event_fd, &drained, sizeof(drained));
+        CountSyscall(loop.counters);
         DrainMailbox(loop);
         continue;
       }
@@ -1063,9 +1128,6 @@ void NetServer::LoopThread(Loop& loop) {
       MaybeResumePaused(loop);
     } while (!loop.batch.empty());
   }
-  // Drain loop-side state so queued completions don't linger unanswered
-  // in the ring (they resolve to dead connections after Stop closes fds).
-  DrainCompletions(loop);
 }
 
 }  // namespace bouncer::net

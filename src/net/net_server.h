@@ -19,6 +19,20 @@
 
 namespace bouncer::net {
 
+/// Event-loop backend for the network front end.
+enum class NetBackend : uint8_t {
+  kAuto = 0,   ///< io_uring when the kernel supports it, else epoll.
+  kEpoll = 1,  ///< epoll_wait + readv/writev/accept4 per ready fd.
+  kUring = 2,  ///< io_uring: multishot accept/recv, batched one-syscall
+               ///< submit-and-wait.
+};
+
+/// "auto" | "epoll" | "io_uring".
+const char* NetBackendName(NetBackend backend);
+/// Parses NetBackendName() spellings (plus "uring"); false on anything
+/// else, leaving `out` untouched.
+bool ParseNetBackend(const std::string& text, NetBackend* out);
+
 /// Linux epoll TCP front door for a graph::Cluster, sharded across N
 /// independent event loops (`Options::num_loops`, default
 /// min(hardware threads, 4)) so the front-end scales with cores instead
@@ -92,6 +106,20 @@ class NetServer {
     /// parse/response events of sampled requests; defaults to
     /// stats::FlightRecorder::Global() when tracing is compiled in.
     stats::FlightRecorder* recorder = nullptr;
+    /// Event-loop backend. kAuto probes io_uring support once per
+    /// process at Start() and falls back to epoll with a logged reason
+    /// (see backend_fallback_reason()); kUring instead fails Start()
+    /// when the kernel or the build (BOUNCER_IOURING=OFF) lacks it.
+    NetBackend backend = NetBackend::kAuto;
+    /// io_uring only: provided recv buffers per loop (power of two) and
+    /// the size of each. Multishot recv completions land in these; the
+    /// loop copies them into the connection rx rings and recycles them.
+    size_t uring_buf_count = 512;
+    size_t uring_buf_bytes = 4096;
+    /// io_uring only: submission-queue entries per loop. Bounds the
+    /// SQEs batched into one io_uring_enter; overflow just flushes
+    /// early.
+    size_t uring_sq_entries = 1024;
   };
 
   /// Counter snapshot. Counters are accumulated per loop in
@@ -117,6 +145,16 @@ class NetServer {
     uint64_t admin_requests = 0;   ///< Admin opcodes served.
     uint64_t handoffs = 0;  ///< Fds mailed to another loop (fallback mode).
     uint64_t nodelay_failures = 0;  ///< TCP_NODELAY not verified on accept.
+    /// Data-path syscalls: waits, readv/writev/accept4, epoll_ctl,
+    /// io_uring_enter, eventfd reads and writes. Divided by `responses`
+    /// this is the per-request syscall cost the backends compete on.
+    uint64_t syscalls = 0;
+    uint64_t wakeups = 0;  ///< Blocking-wait returns (epoll/io_uring).
+    /// Completion-signal write(2)s workers actually issued; pushes that
+    /// found the loop awake are coalesced away (no syscall).
+    uint64_t eventfd_wakeups = 0;
+    /// Backend that produced these counters (resolved, never kAuto).
+    NetBackend backend = NetBackend::kEpoll;
   };
 
   /// `cluster` must be started, and must outlive the server. Shutdown
@@ -146,6 +184,17 @@ class NetServer {
   /// per-loop SO_REUSEPORT listeners.
   bool handoff_mode() const { return handoff_mode_; }
   const Options& options() const { return options_; }
+  /// The backend actually running (resolved at Start(); never kAuto
+  /// afterwards).
+  NetBackend backend() const { return backend_; }
+  /// Why Options::backend = kAuto degraded to epoll; empty when it did
+  /// not.
+  const std::string& backend_fallback_reason() const {
+    return backend_fallback_reason_;
+  }
+  /// Cached process-wide kernel/build capability probe for the io_uring
+  /// backend; fills `reason` when unsupported.
+  static bool UringSupported(std::string* reason = nullptr);
 
  private:
   struct Connection;
@@ -184,10 +233,15 @@ class NetServer {
     std::atomic<uint64_t> admin_requests{0};
     std::atomic<uint64_t> handoffs{0};
     std::atomic<uint64_t> nodelay_failures{0};
+    std::atomic<uint64_t> syscalls{0};
+    std::atomic<uint64_t> wakeups{0};
+    std::atomic<uint64_t> eventfd_wakeups{0};
   };
 
   void LoopThread(Loop& loop);
+  void EpollRun(Loop& loop);
   void AcceptReady(Loop& loop);
+  void HandleAccepted(Loop& loop, int fd);
   void AdoptFd(Loop& loop, int fd);
   void DrainMailbox(Loop& loop);
   void ReadConn(Loop& loop, Connection* conn);
@@ -221,12 +275,39 @@ class NetServer {
   Status StartListeners();
   void CloseAll();
 
+  // io_uring backend (net_server_uring.cc; no-op stubs when the build
+  // compiles it out). The shared logic above calls into these through
+  // small backend branches at the transport touchpoints.
+  bool UringSetupLoops();  ///< Rings per loop; false => fallback/fail.
+  void UringDestroyLoop(Loop& loop);
+  void UringRun(Loop& loop);
+  void UringProcessCqes(Loop& loop);
+  void UringOnAccept(Loop& loop, int res, uint32_t flags);
+  void UringOnRecv(Loop& loop, uint64_t user_data, int res, uint32_t flags);
+  void UringOnSend(Loop& loop, uint64_t user_data, int res);
+  void UringArmRecv(Loop& loop, Connection* conn);
+  /// The uring analogue of UpdateEpoll: reconciles want_read with the
+  /// armed multishot recv (arming or async-canceling as needed).
+  void UringUpdateInterest(Loop& loop, Connection* conn);
+  /// Drains staged recv buffers into rx, parses, and re-arms.
+  void UringPumpConn(Loop& loop, Connection* conn);
+  void UringFlushConn(Loop& loop, Connection* conn);
+  /// Cancels outstanding SQEs before CloseConn closes the fd; the slot
+  /// stays a zombie (not reusable) until they all complete.
+  void UringPrepareClose(Loop& loop, Connection* conn);
+  void UringRearmPending(Loop& loop);
+  /// One CQE landed for `conn`'s slot: drop the inflight count and, when
+  /// a zombie slot drains to zero, recycle it.
+  void UringDecInflight(Loop& loop, Connection* conn);
+
   graph::Cluster* cluster_;
   Options options_;
 
   std::vector<std::unique_ptr<Loop>> loops_;
   uint16_t port_ = 0;
   bool handoff_mode_ = false;
+  NetBackend backend_ = NetBackend::kEpoll;  ///< Resolved at Start().
+  std::string backend_fallback_reason_;
   /// Live connections across all loops (accept-path only — the data
   /// path never touches it).
   std::atomic<size_t> total_live_{0};

@@ -1,0 +1,39 @@
+// Shared helpers for parametrizing the net test suites over the
+// NetServer event-loop backend. Each suite instantiates its cases once
+// per backend; io_uring cases skip visibly — with the kernel probe's
+// reason — on boxes or builds without support, so a green run on an
+// epoll-only kernel is never mistaken for io_uring coverage.
+
+#ifndef BOUNCER_TESTS_NET_BACKEND_TEST_UTIL_H_
+#define BOUNCER_TESTS_NET_BACKEND_TEST_UTIL_H_
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "src/net/net_server.h"
+
+namespace bouncer::net {
+
+/// Test-name suffix per parametrized case ("epoll" / "io_uring").
+inline std::string BackendParamName(
+    const ::testing::TestParamInfo<NetBackend>& info) {
+  return NetBackendName(info.param);
+}
+
+/// Call first in every TEST_P body: skips io_uring cases (with the
+/// probe's reason) when the kernel or build can't run them.
+#define BOUNCER_SKIP_UNLESS_BACKEND_AVAILABLE(backend)                   \
+  do {                                                                   \
+    std::string bouncer_backend_reason_;                                 \
+    if ((backend) == ::bouncer::net::NetBackend::kUring &&               \
+        !::bouncer::net::NetServer::UringSupported(                      \
+            &bouncer_backend_reason_)) {                                 \
+      GTEST_SKIP() << "io_uring backend unavailable: "                   \
+                   << bouncer_backend_reason_;                           \
+    }                                                                    \
+  } while (0)
+
+}  // namespace bouncer::net
+
+#endif  // BOUNCER_TESTS_NET_BACKEND_TEST_UTIL_H_

@@ -3,7 +3,11 @@
 // network front-end (ctest runs it on every push): ~1k queries per mode,
 // every one answered, degree answers checked against the graph, and
 // rejection status codes verified against a rejecting admission policy.
-// The "NetLoopback" suite name keeps it inside the TSan job's regex.
+// The whole suite runs once per event-loop backend (epoll / io_uring;
+// io_uring cases skip with the probe's reason where unsupported), plus a
+// mixed-backend interop case with both server backends sharing one
+// cluster. The "NetLoopback" suite name keeps it inside the TSan job's
+// regex.
 
 #include <arpa/inet.h>
 #include <gtest/gtest.h>
@@ -22,6 +26,7 @@
 #include "src/net/net_client.h"
 #include "src/net/net_server.h"
 #include "src/util/rng.h"
+#include "tests/net/backend_test_util.h"
 
 namespace bouncer::net {
 namespace {
@@ -57,16 +62,19 @@ Cluster::Options SmallCluster(bool rejecting) {
 }
 
 struct LoopbackHarness {
-  explicit LoopbackHarness(bool batch_submit, bool rejecting = false)
+  explicit LoopbackHarness(NetBackend backend, bool batch_submit,
+                           bool rejecting = false)
       : graph(MakeGraph()),
         registry(Cluster::MakeRegistry(Slo{kSecond, 2 * kSecond, 0})),
         cluster(&graph, &registry, SystemClock::Global(),
                 SmallCluster(rejecting)) {
     EXPECT_TRUE(cluster.Start().ok());
     NetServer::Options server_options;
+    server_options.backend = backend;
     server_options.batch_submit = batch_submit;
     server = std::make_unique<NetServer>(&cluster, server_options);
     EXPECT_TRUE(server->Start().ok());
+    EXPECT_EQ(server->backend(), backend);
   }
 
   ~LoopbackHarness() {
@@ -132,8 +140,16 @@ void RunDegreeCheck(LoopbackHarness& harness) {
   EXPECT_EQ(stats.bad_frames, 0u);
 }
 
-TEST(NetLoopbackTest, BatchedModeAnswersEveryQuery) {
-  LoopbackHarness harness(/*batch_submit=*/true);
+class NetLoopbackTest : public ::testing::TestWithParam<NetBackend> {};
+
+INSTANTIATE_TEST_SUITE_P(Backends, NetLoopbackTest,
+                         ::testing::Values(NetBackend::kEpoll,
+                                           NetBackend::kUring),
+                         BackendParamName);
+
+TEST_P(NetLoopbackTest, BatchedModeAnswersEveryQuery) {
+  BOUNCER_SKIP_UNLESS_BACKEND_AVAILABLE(GetParam());
+  LoopbackHarness harness(GetParam(), /*batch_submit=*/true);
   RunDegreeCheck(harness);
   // Batch mode must actually batch: fewer admission episodes than
   // requests (each episode covers a whole wakeup's parse).
@@ -142,16 +158,18 @@ TEST(NetLoopbackTest, BatchedModeAnswersEveryQuery) {
   EXPECT_LE(stats.submit_batches, stats.requests);
 }
 
-TEST(NetLoopbackTest, PerItemModeAnswersEveryQuery) {
-  LoopbackHarness harness(/*batch_submit=*/false);
+TEST_P(NetLoopbackTest, PerItemModeAnswersEveryQuery) {
+  BOUNCER_SKIP_UNLESS_BACKEND_AVAILABLE(GetParam());
+  LoopbackHarness harness(GetParam(), /*batch_submit=*/false);
   RunDegreeCheck(harness);
 }
 
-TEST(NetLoopbackTest, DegreeAnswersMatchGraph) {
+TEST_P(NetLoopbackTest, DegreeAnswersMatchGraph) {
+  BOUNCER_SKIP_UNLESS_BACKEND_AVAILABLE(GetParam());
   // A raw blocking socket, one request at a time: every kOk value must
   // equal the graph's actual degree of the queried vertex, and the id
   // must echo back verbatim.
-  LoopbackHarness harness(/*batch_submit=*/true);
+  LoopbackHarness harness(GetParam(), /*batch_submit=*/true);
   const uint32_t num_vertices = harness.graph.num_vertices();
 
   const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
@@ -193,11 +211,13 @@ TEST(NetLoopbackTest, DegreeAnswersMatchGraph) {
   ::close(fd);
 }
 
-TEST(NetLoopbackTest, RejectionCodesReachTheClient) {
+TEST_P(NetLoopbackTest, RejectionCodesReachTheClient) {
+  BOUNCER_SKIP_UNLESS_BACKEND_AVAILABLE(GetParam());
   // Zero-length broker queue: with 8 connections x 8 in flight, most
   // queries must come back kRejected — synchronously, from the event
   // loop — while some still complete.
-  LoopbackHarness harness(/*batch_submit=*/true, /*rejecting=*/true);
+  LoopbackHarness harness(GetParam(), /*batch_submit=*/true,
+                          /*rejecting=*/true);
   NetClient client(
       ClientOptions(harness.server->port(), /*conns=*/8, /*in_flight=*/8),
       [](size_t conn_index, uint64_t seq) {
@@ -230,10 +250,11 @@ TEST(NetLoopbackTest, RejectionCodesReachTheClient) {
             counters.rejected + counters.shedded);
 }
 
-TEST(NetLoopbackTest, ManyShortLivedConnections) {
+TEST_P(NetLoopbackTest, ManyShortLivedConnections) {
+  BOUNCER_SKIP_UNLESS_BACKEND_AVAILABLE(GetParam());
   // Slot recycling: connections come and go; the server must keep
   // serving and release every slot (accepted == closed at the end).
-  LoopbackHarness harness(/*batch_submit=*/true);
+  LoopbackHarness harness(GetParam(), /*batch_submit=*/true);
   for (int round = 0; round < 5; ++round) {
     NetClient client(
         ClientOptions(harness.server->port(), /*conns=*/4, /*in_flight=*/4),
@@ -269,12 +290,13 @@ TEST(NetLoopbackTest, ManyShortLivedConnections) {
   EXPECT_EQ(stats.connections_closed, 20u);
 }
 
-TEST(NetLoopbackTest, NodelaySetAndVerifiedOnAcceptedSockets) {
+TEST_P(NetLoopbackTest, NodelaySetAndVerifiedOnAcceptedSockets) {
+  BOUNCER_SKIP_UNLESS_BACKEND_AVAILABLE(GetParam());
   // The server sets TCP_NODELAY on every accepted socket and reads it
   // back with getsockopt at accept time; a failed verification bumps
   // nodelay_failures. Small length-prefixed frames must never sit in a
   // Nagle buffer waiting for an ACK.
-  LoopbackHarness harness(/*batch_submit=*/true);
+  LoopbackHarness harness(GetParam(), /*batch_submit=*/true);
   NetClient client(
       ClientOptions(harness.server->port(), /*conns=*/4, /*in_flight=*/2),
       [](size_t, uint64_t seq) {
@@ -299,6 +321,72 @@ TEST(NetLoopbackTest, NodelaySetAndVerifiedOnAcceptedSockets) {
   EXPECT_GE(stats.connections_accepted, 4u);
   EXPECT_EQ(stats.nodelay_failures, 0u)
       << "an accepted socket is running without TCP_NODELAY";
+}
+
+TEST(NetLoopbackInteropTest, MixedBackendServersShareOneCluster) {
+  // Interop: an epoll server and an io_uring server front the same
+  // Cluster on different ports, each driven by its own client
+  // concurrently. Worker completions for both route through the same
+  // done rings; every request on both paths must be answered and the
+  // two servers' stats must stay independent.
+  std::string reason;
+  if (!NetServer::UringSupported(&reason)) {
+    GTEST_SKIP() << "io_uring backend unavailable: " << reason;
+  }
+  LoopbackHarness harness(NetBackend::kEpoll, /*batch_submit=*/true);
+  NetServer::Options uring_options;
+  uring_options.backend = NetBackend::kUring;
+  uring_options.batch_submit = true;
+  NetServer uring_server(&harness.cluster, uring_options);
+  ASSERT_TRUE(uring_server.Start().ok());
+  ASSERT_EQ(uring_server.backend(), NetBackend::kUring);
+
+  const uint32_t num_vertices = harness.graph.num_vertices();
+  const auto sampler = [num_vertices](size_t conn_index, uint64_t seq) {
+    RequestFrame frame;
+    frame.op = static_cast<uint8_t>(GraphOp::kDegree);
+    frame.source = static_cast<uint32_t>(
+        (conn_index * 7919 + seq * 104'729) % num_vertices);
+    return frame;
+  };
+  NetClient epoll_client(
+      ClientOptions(harness.server->port(), /*conns=*/4, /*in_flight=*/4),
+      sampler);
+  NetClient uring_client(
+      ClientOptions(uring_server.port(), /*conns=*/4, /*in_flight=*/4),
+      sampler);
+  ASSERT_TRUE(epoll_client.Start().ok());
+  ASSERT_TRUE(uring_client.Start().ok());
+  epoll_client.StartClosedLoop();
+  uring_client.StartClosedLoop();
+  const auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::seconds(20);
+  while ((epoll_client.counters().queued < 500 ||
+          uring_client.counters().queued < 500) &&
+         std::chrono::steady_clock::now() < deadline) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  epoll_client.StopSending();
+  uring_client.StopSending();
+  ASSERT_TRUE(epoll_client.WaitForDrain(10 * kSecond));
+  ASSERT_TRUE(uring_client.WaitForDrain(10 * kSecond));
+  epoll_client.Stop();
+  uring_client.Stop();
+
+  for (const NetClient* client : {&epoll_client, &uring_client}) {
+    const auto counters = client->counters();
+    EXPECT_EQ(counters.conn_errors, 0u);
+    EXPECT_GE(counters.queued, 500u);
+    EXPECT_EQ(counters.responses, counters.queued);
+    EXPECT_EQ(counters.ok, counters.responses);
+  }
+  const NetServer::Stats epoll_stats = harness.server->AggregateStats();
+  const NetServer::Stats uring_stats = uring_server.AggregateStats();
+  EXPECT_EQ(epoll_stats.backend, NetBackend::kEpoll);
+  EXPECT_EQ(uring_stats.backend, NetBackend::kUring);
+  EXPECT_EQ(epoll_stats.requests, epoll_client.counters().queued);
+  EXPECT_EQ(uring_stats.requests, uring_client.counters().queued);
+  uring_server.Stop();
 }
 
 }  // namespace

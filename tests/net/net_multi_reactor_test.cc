@@ -5,7 +5,9 @@
 // connection distribution), the accept-and-hand-off fallback that
 // replaces SO_REUSEPORT, clean Stop with work still in flight, and a
 // concurrent multi-client stress the TSan job runs (the
-// "NetMultiReactor" suite name keeps it inside the CI regex).
+// "NetMultiReactor" suite name keeps it inside the CI regex). The whole
+// suite runs once per event-loop backend; io_uring cases skip with the
+// probe's reason where the kernel lacks support.
 
 #include <gtest/gtest.h>
 
@@ -19,6 +21,7 @@
 #include "src/graph/graph_generator.h"
 #include "src/net/net_client.h"
 #include "src/net/net_server.h"
+#include "tests/net/backend_test_util.h"
 
 namespace bouncer::net {
 namespace {
@@ -52,18 +55,20 @@ Cluster::Options SmallCluster(bool rejecting) {
 }
 
 struct ReactorHarness {
-  explicit ReactorHarness(size_t num_loops, bool force_handoff = false,
-                          bool rejecting = false)
+  explicit ReactorHarness(NetBackend backend, size_t num_loops,
+                          bool force_handoff = false, bool rejecting = false)
       : graph(MakeGraph()),
         registry(Cluster::MakeRegistry(Slo{kSecond, 2 * kSecond, 0})),
         cluster(&graph, &registry, SystemClock::Global(),
                 SmallCluster(rejecting)) {
     EXPECT_TRUE(cluster.Start().ok());
     NetServer::Options server_options;
+    server_options.backend = backend;
     server_options.num_loops = num_loops;
     server_options.force_fd_handoff = force_handoff;
     server = std::make_unique<NetServer>(&cluster, server_options);
     EXPECT_TRUE(server->Start().ok());
+    EXPECT_EQ(server->backend(), backend);
   }
 
   ~ReactorHarness() {
@@ -117,10 +122,18 @@ NetClient::Counters DriveDegreeLoad(ReactorHarness& harness, size_t conns,
   return client.counters();
 }
 
-TEST(NetMultiReactorTest, AnswersEveryQueryAtEachLoopCount) {
+class NetMultiReactorTest : public ::testing::TestWithParam<NetBackend> {};
+
+INSTANTIATE_TEST_SUITE_P(Backends, NetMultiReactorTest,
+                         ::testing::Values(NetBackend::kEpoll,
+                                           NetBackend::kUring),
+                         BackendParamName);
+
+TEST_P(NetMultiReactorTest, AnswersEveryQueryAtEachLoopCount) {
+  BOUNCER_SKIP_UNLESS_BACKEND_AVAILABLE(GetParam());
   for (const size_t loops : {size_t{1}, size_t{2}, size_t{4}}) {
     SCOPED_TRACE(loops);
-    ReactorHarness harness(loops);
+    ReactorHarness harness(GetParam(), loops);
     ASSERT_EQ(harness.server->num_loops(), loops);
     const auto counters = DriveDegreeLoad(harness, /*conns=*/16,
                                           /*in_flight=*/4, /*min=*/1200);
@@ -154,11 +167,13 @@ TEST(NetMultiReactorTest, AnswersEveryQueryAtEachLoopCount) {
   }
 }
 
-TEST(NetMultiReactorTest, FdHandoffFallbackDistributesRoundRobin) {
+TEST_P(NetMultiReactorTest, FdHandoffFallbackDistributesRoundRobin) {
+  BOUNCER_SKIP_UNLESS_BACKEND_AVAILABLE(GetParam());
   // Forced fallback: loop 0 owns the only listener and mails accepted
   // fds round-robin, so 8 connections over 4 loops land exactly 2 per
   // loop, and the answers flow back through the owning loops.
-  ReactorHarness harness(/*num_loops=*/4, /*force_handoff=*/true);
+  ReactorHarness harness(GetParam(), /*num_loops=*/4,
+                         /*force_handoff=*/true);
   ASSERT_TRUE(harness.server->handoff_mode());
   const auto counters = DriveDegreeLoad(harness, /*conns=*/8,
                                         /*in_flight=*/4, /*min=*/800);
@@ -174,11 +189,13 @@ TEST(NetMultiReactorTest, FdHandoffFallbackDistributesRoundRobin) {
   EXPECT_EQ(harness.server->AggregateStats().handoffs, 6u);
 }
 
-TEST(NetMultiReactorTest, RejectionsDeliveredAcrossLoops) {
+TEST_P(NetMultiReactorTest, RejectionsDeliveredAcrossLoops) {
+  BOUNCER_SKIP_UNLESS_BACKEND_AVAILABLE(GetParam());
   // One-deep broker queue: most queries come back kRejected,
   // synchronously from whichever loop submitted them; counts must
   // reconcile across client, aggregate, and per-loop views.
-  ReactorHarness harness(/*num_loops=*/2, /*force_handoff=*/false,
+  ReactorHarness harness(GetParam(), /*num_loops=*/2,
+                         /*force_handoff=*/false,
                          /*rejecting=*/true);
   const uint32_t num_vertices = harness.graph.num_vertices();
   NetClient client(
@@ -215,13 +232,14 @@ TEST(NetMultiReactorTest, RejectionsDeliveredAcrossLoops) {
   EXPECT_EQ(per_loop_rejections, total.rejections);
 }
 
-TEST(NetMultiReactorTest, CleanStopWithInflightWork) {
+TEST_P(NetMultiReactorTest, CleanStopWithInflightWork) {
+  BOUNCER_SKIP_UNLESS_BACKEND_AVAILABLE(GetParam());
   // Stop all four loops while admitted queries are still executing on
   // cluster workers, then stop the cluster (the required order). The
   // workers' completions route to rings whose loops are gone — they must
   // be dropped, not deadlock the shutdown; slow expensive queries keep
   // plenty in flight at the moment of the Stop.
-  ReactorHarness harness(/*num_loops=*/4);
+  ReactorHarness harness(GetParam(), /*num_loops=*/4);
   const uint32_t num_vertices = harness.graph.num_vertices();
   NetClient client(
       ClientOptions(harness.server->port(), /*conns=*/8, /*in_flight=*/16),
@@ -250,12 +268,13 @@ TEST(NetMultiReactorTest, CleanStopWithInflightWork) {
   SUCCEED();  // Reaching here without deadlock is the assertion.
 }
 
-TEST(NetMultiReactorTest, ConcurrentClientsAcrossLoopsStress) {
+TEST_P(NetMultiReactorTest, ConcurrentClientsAcrossLoopsStress) {
+  BOUNCER_SKIP_UNLESS_BACKEND_AVAILABLE(GetParam());
   // TSan surface: three independent clients (each with its own IO
   // threads) hammer a 4-loop server concurrently, so accept paths,
   // parse/submit batches, worker completions, and per-loop counters all
   // race for real. Every client must get every answer.
-  ReactorHarness harness(/*num_loops=*/4);
+  ReactorHarness harness(GetParam(), /*num_loops=*/4);
   const uint32_t num_vertices = harness.graph.num_vertices();
   constexpr size_t kClients = 3;
   std::vector<NetClient::Counters> results(kClients);

@@ -1,0 +1,147 @@
+// Unit tests for the vendored io_uring plumbing: the cached capability
+// probe, ring setup/submit/drain and enter-call accounting, and the
+// provided-buffer ring — including a functional regression for the C++
+// flexible-array pitfall (io_uring_buf_ring::bufs lands at offset 8
+// under C++ while the kernel reads entries from offset 0; Recycle must
+// index the ring memory the way the kernel does or every published
+// buffer is invisible and multishot recv dies with ENOBUFS).
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <string>
+
+#include "src/net/uring_loop.h"
+
+#if BOUNCER_HAS_IOURING
+#include <sys/socket.h>
+#include <unistd.h>
+#endif
+
+namespace bouncer::net {
+namespace {
+
+TEST(UringLoopTest, ProbeIsCachedAndExplainsItself) {
+  const UringSupport& support = QueryUringSupport();
+  if (!support.supported) {
+    EXPECT_FALSE(support.reason.empty())
+        << "an unsupported verdict must say why";
+  }
+  // One probe per process: repeated calls return the same cached object.
+  EXPECT_EQ(&support, &QueryUringSupport());
+}
+
+#if BOUNCER_HAS_IOURING
+
+#define SKIP_WITHOUT_URING()                                        \
+  do {                                                              \
+    const UringSupport& support_ = QueryUringSupport();             \
+    if (!support_.supported) {                                      \
+      GTEST_SKIP() << "io_uring unavailable: " << support_.reason;  \
+    }                                                               \
+  } while (0)
+
+TEST(UringLoopTest, RingSubmitsAndDrainsWithEnterAccounting) {
+  SKIP_WITHOUT_URING();
+  UringRing ring;
+  ASSERT_TRUE(ring.Init(/*sq_entries=*/8, /*cq_entries=*/16).ok());
+  ASSERT_TRUE(ring.valid());
+  ring.TakeEnterCalls();  // Discard any probe-era residue.
+
+  io_uring_sqe* sqe = ring.GetSqe();
+  ASSERT_NE(sqe, nullptr);
+  sqe->opcode = IORING_OP_NOP;
+  sqe->user_data = 42;
+  ASSERT_GE(ring.SubmitAndWait(/*min_complete=*/1,
+                               /*timeout_ns=*/2'000'000'000),
+            0);
+
+  uint64_t seen = 0;
+  const unsigned drained = ring.DrainCqes([&seen](const io_uring_cqe& cqe) {
+    seen = cqe.user_data;
+  });
+  EXPECT_EQ(drained, 1u);
+  EXPECT_EQ(seen, 42u);
+  EXPECT_FALSE(ring.CqePending());
+
+  // Exactly the enter calls made since the last Take, then zero again.
+  EXPECT_GT(ring.TakeEnterCalls(), 0u);
+  EXPECT_EQ(ring.TakeEnterCalls(), 0u);
+}
+
+TEST(UringLoopTest, GetSqeAutoFlushesWhenSubmissionRingFills) {
+  SKIP_WITHOUT_URING();
+  UringRing ring;
+  ASSERT_TRUE(ring.Init(/*sq_entries=*/4, /*cq_entries=*/64).ok());
+  // Prepare more NOPs than the SQ holds: GetSqe must flush mid-stream
+  // rather than return nullptr.
+  constexpr uint64_t kNops = 11;
+  for (uint64_t i = 0; i < kNops; ++i) {
+    io_uring_sqe* sqe = ring.GetSqe();
+    ASSERT_NE(sqe, nullptr) << "auto-flush failed at sqe " << i;
+    sqe->opcode = IORING_OP_NOP;
+    sqe->user_data = i;
+  }
+  ASSERT_GE(ring.Submit(), 0);
+  unsigned drained = 0;
+  const auto deadline_spins = 1000;
+  for (int spin = 0; spin < deadline_spins && drained < kNops; ++spin) {
+    ring.SubmitAndWait(/*min_complete=*/1, /*timeout_ns=*/10'000'000);
+    drained += ring.DrainCqes([](const io_uring_cqe&) {});
+  }
+  EXPECT_EQ(drained, kNops);
+}
+
+TEST(UringLoopTest, BufRingDeliversRecvIntoProvidedBuffers) {
+  SKIP_WITHOUT_URING();
+  UringRing ring;
+  ASSERT_TRUE(ring.Init(/*sq_entries=*/8, /*cq_entries=*/16).ok());
+  UringBufRing bufs;
+  constexpr uint32_t kEntries = 4;
+  constexpr uint32_t kBufBytes = 64;
+  ASSERT_TRUE(bufs.Init(ring, /*bgid=*/7, kEntries, kBufBytes).ok());
+  EXPECT_EQ(bufs.free_bufs(), kEntries);
+  EXPECT_EQ(bufs.entries(), kEntries);
+  EXPECT_EQ(bufs.buf_bytes(), kBufBytes);
+
+  int sv[2];
+  ASSERT_EQ(::socketpair(AF_UNIX, SOCK_STREAM, 0, sv), 0);
+  io_uring_sqe* sqe = ring.GetSqe();
+  ASSERT_NE(sqe, nullptr);
+  PrepRecvMultishot(sqe, sv[0], /*buf_group=*/7, /*user_data=*/9);
+
+  const char payload[] = "flex-array offset regression";
+  ASSERT_EQ(::write(sv[1], payload, sizeof(payload)),
+            static_cast<ssize_t>(sizeof(payload)));
+  ASSERT_GE(ring.SubmitAndWait(/*min_complete=*/1,
+                               /*timeout_ns=*/2'000'000'000),
+            0);
+
+  bool delivered = false;
+  ring.DrainCqes([&](const io_uring_cqe& cqe) {
+    if (cqe.user_data != 9 || delivered) return;
+    // A successful buffer-selected recv — not ENOBUFS, which is what an
+    // off-by-8 published entry produces.
+    ASSERT_EQ(cqe.res, static_cast<int32_t>(sizeof(payload)));
+    ASSERT_TRUE(cqe.flags & IORING_CQE_F_BUFFER);
+    const auto bid =
+        static_cast<uint16_t>(cqe.flags >> IORING_CQE_BUFFER_SHIFT);
+    ASSERT_LT(bid, kEntries);
+    bufs.Take();
+    EXPECT_EQ(std::memcmp(bufs.Addr(bid), payload, sizeof(payload)), 0);
+    EXPECT_EQ(bufs.free_bufs(), kEntries - 1);
+    bufs.Recycle(bid);
+    EXPECT_EQ(bufs.free_bufs(), kEntries);
+    delivered = true;
+  });
+  EXPECT_TRUE(delivered);
+
+  ::close(sv[0]);
+  ::close(sv[1]);
+  bufs.Destroy(ring);
+}
+
+#endif  // BOUNCER_HAS_IOURING
+
+}  // namespace
+}  // namespace bouncer::net
