@@ -9,9 +9,22 @@
 // which degrades linearly in the number of types while the default stays
 // flat. Results are printed as a table and written to
 // BENCH_admission_throughput.json.
+//
+// A second sweep prices the shared-nothing execution core: a submitter
+// x {sharded, single-queue} grid over the Bouncer policy at 512 types,
+// where "single-queue" forces the pre-sharding one-global-FIFO core
+// (Stage::Options::force_single_queue) and "sharded" runs per-worker
+// run queues with striped admission counters. Invoked as
+// `bench_admission_throughput --guard` it instead runs just that pair
+// best-of-3 and fails (exit 1) when sharded falls below
+// BOUNCER_BENCH_GUARD_MIN_RATIO x single-queue (default 0.9 — a
+// regression guard, not a speedup assertion, so core-starved CI hosts
+// don't flap).
 
 #include <chrono>
 #include <cstdio>
+#include <cstdlib>
+#include <cstring>
 #include <string>
 #include <thread>
 #include <vector>
@@ -31,7 +44,7 @@ constexpr size_t kSubmitters = 8;
 /// Worker pool sized to the machine: the handler is trivial, so extra
 /// workers only add scheduler churn on small hosts.
 size_t BenchWorkers() {
-  const size_t hw = std::thread::hardware_concurrency();
+  const size_t hw = HardwareConcurrency();
   if (hw <= 2) return 2;
   return hw < 8 ? hw : 8;
 }
@@ -78,7 +91,10 @@ BouncerPolicy* FindBouncer(AdmissionPolicy* policy) {
 struct CellResult {
   std::string policy;
   size_t num_types = 0;
-  int tracing = 0;  ///< Flight recorder enabled (1-in-64 sampling).
+  size_t submitters = kSubmitters;
+  size_t workers = 0;
+  int single_queue = 0;  ///< force_single_queue (pre-sharding core).
+  int tracing = 0;       ///< Flight recorder enabled (1-in-64 sampling).
   double seconds = 0;
   uint64_t decisions = 0;
   double decisions_per_sec = 0;
@@ -91,24 +107,34 @@ struct CellResult {
   uint64_t shedded = 0;
 };
 
-CellResult RunCell(const Variant& variant, size_t num_types, Nanos duration,
-                   bool tracing = false) {
+struct CellParams {
+  size_t num_types = 8;
+  size_t submitters = kSubmitters;
+  size_t workers = 0;  ///< 0 = BenchWorkers().
+  bool force_single_queue = false;
+  bool tracing = false;
+};
+
+CellResult RunCell(const Variant& variant, Nanos duration,
+                   const CellParams& params) {
   // Generous SLOs: the bench measures decision cost, not rejection
   // behavior, so the common path should be an accept.
   const Slo slo{kSecond, 2 * kSecond, 0};
   QueryTypeRegistry registry(slo);
+  const size_t num_types = params.num_types;
   for (size_t i = 0; i < num_types; ++i) {
     (void)registry.Register("QT" + std::to_string(i + 1), slo);
   }
 
   server::Stage::Options options;
   options.name = "bench";
-  options.num_workers = BenchWorkers();
+  options.num_workers = params.workers == 0 ? BenchWorkers() : params.workers;
   options.queue_capacity = 1 << 15;
+  options.force_single_queue = params.force_single_queue;
   // Cell-local recorder so the tracing column prices exactly the trace
   // sites (default 1-in-64 sampling), not a shared global's ring state.
   stats::FlightRecorder recorder;
-  recorder.SetEnabled(tracing);
+  recorder.SetEnabled(params.tracing);
   options.recorder = &recorder;
   const PolicyConfig config = variant.config;
   server::Stage stage(
@@ -147,7 +173,7 @@ CellResult RunCell(const Variant& variant, size_t num_types, Nanos duration,
   const auto bench_start = std::chrono::steady_clock::now();
 
   std::vector<std::thread> submitters;
-  for (size_t s = 0; s < kSubmitters; ++s) {
+  for (size_t s = 0; s < params.submitters; ++s) {
     submitters.emplace_back([&, s] {
       Rng thread_rng(1000 + s);
       uint64_t local = 0;
@@ -179,7 +205,10 @@ CellResult RunCell(const Variant& variant, size_t num_types, Nanos duration,
   CellResult r;
   r.policy = variant.name;
   r.num_types = num_types;
-  r.tracing = tracing ? 1 : 0;
+  r.submitters = params.submitters;
+  r.workers = options.num_workers;
+  r.single_queue = params.force_single_queue ? 1 : 0;
+  r.tracing = params.tracing ? 1 : 0;
   r.seconds = std::chrono::duration<double>(bench_end - bench_start).count();
   r.decisions = decisions.load();
   r.decisions_per_sec = static_cast<double>(r.decisions) / r.seconds;
@@ -187,32 +216,29 @@ CellResult RunCell(const Variant& variant, size_t num_types, Nanos duration,
   r.submit_p50 = submit_latency.Percentile(0.5);
   r.submit_p90 = submit_latency.Percentile(0.9);
   r.submit_p99 = submit_latency.Percentile(0.99);
-  r.accepted = stage.counters().accepted.load();
-  r.rejected = stage.counters().rejected.load();
-  r.shedded = stage.counters().shedded.load();
+  const server::StageCounters counters = stage.counters();
+  r.accepted = counters.accepted;
+  r.rejected = counters.rejected;
+  r.shedded = counters.shedded;
   return r;
 }
 
-void WriteJson(const std::vector<CellResult>& results) {
-  std::FILE* f = std::fopen("BENCH_admission_throughput.json", "w");
-  if (f == nullptr) return;
-  std::fprintf(f, "{\n  \"bench\": \"admission_throughput\",\n");
-  std::fprintf(f, "  \"submitters\": %zu,\n  \"workers\": %zu,\n",
-               kSubmitters, BenchWorkers());
+void WriteCells(std::FILE* f, const std::vector<CellResult>& results) {
   std::fprintf(f, "  \"cells\": [\n");
   for (size_t i = 0; i < results.size(); ++i) {
     const CellResult& r = results[i];
     std::fprintf(
         f,
-        "    {\"policy\": \"%s\", \"num_types\": %zu, \"tracing\": %d, "
+        "    {\"policy\": \"%s\", \"num_types\": %zu, \"submitters\": %zu, "
+        "\"workers\": %zu, \"single_queue\": %d, \"tracing\": %d, "
         "\"seconds\": %.3f, \"decisions\": %llu, "
         "\"decisions_per_sec\": %.0f, \"submit_mean_ns\": %lld, "
         "\"submit_p50_ns\": %lld, \"submit_p90_ns\": %lld, "
         "\"submit_p99_ns\": %lld, \"accepted\": %llu, "
         "\"rejected\": %llu, \"shedded\": %llu}%s\n",
-        r.policy.c_str(), r.num_types, r.tracing, r.seconds,
-        static_cast<unsigned long long>(r.decisions), r.decisions_per_sec,
-        static_cast<long long>(r.submit_mean),
+        r.policy.c_str(), r.num_types, r.submitters, r.workers, r.single_queue,
+        r.tracing, r.seconds, static_cast<unsigned long long>(r.decisions),
+        r.decisions_per_sec, static_cast<long long>(r.submit_mean),
         static_cast<long long>(r.submit_p50),
         static_cast<long long>(r.submit_p90),
         static_cast<long long>(r.submit_p99),
@@ -221,17 +247,127 @@ void WriteJson(const std::vector<CellResult>& results) {
         static_cast<unsigned long long>(r.shedded),
         i + 1 < results.size() ? "," : "");
   }
-  std::fprintf(f, "  ]\n}\n");
+  std::fprintf(f, "  ]\n");
+}
+
+void WriteJson(const std::vector<CellResult>& results) {
+  std::FILE* f = std::fopen("BENCH_admission_throughput.json", "w");
+  if (f == nullptr) return;
+  std::fprintf(f, "{\n  \"bench\": \"admission_throughput\",\n");
+  WriteHostJsonFields(f);
+  std::fprintf(f, "  \"submitters\": %zu,\n  \"workers\": %zu,\n",
+               kSubmitters, BenchWorkers());
+  WriteCells(f, results);
+  std::fprintf(f, "}\n");
   std::fclose(f);
 }
 
-int Main() {
+/// The sharded-vs-single-queue pair the scaling grid and the guard mode
+/// share: Bouncer at `num_types` types, `submitters` closed-loop
+/// threads.
+Variant GridVariant() {
+  Variant v;
+  v.name = "Bouncer";
+  v.config = MakeStudyPolicy(PolicyKind::kBouncer);
+  return v;
+}
+
+/// Regression guard for the shared-nothing execution core, run by CI
+/// pinned to a fixed CPU set. Best-of-3 per column absorbs scheduler
+/// noise; the threshold defaults below 1.0 because a core-starved host
+/// (CI runners routinely grant 2 CPUs) cannot demonstrate scaling, only
+/// catastrophic regression.
+int RunGuard(Nanos duration) {
+  const double configured_min_ratio = [] {
+    const char* env = std::getenv("BOUNCER_BENCH_GUARD_MIN_RATIO");
+    if (env == nullptr) return 0.9;
+    const double v = std::atof(env);
+    return v > 0 ? v : 0.9;
+  }();
+  // A core-starved host (fewer CPUs than the guard's worker + submitter
+  // threads want) cannot demonstrate scaling: time-slicing makes the
+  // sharded core's steal scans pure overhead. Keep the run as a smoke
+  // test there, but only fail on a catastrophic regression.
+  const size_t cpus = AffinityCpuCount();
+  constexpr size_t kFullGuardCpus = 4;
+  const bool core_starved = cpus < kFullGuardCpus;
+  const double min_ratio =
+      core_starved ? configured_min_ratio * 0.5 : configured_min_ratio;
+  if (core_starved) {
+    std::printf(
+        "note: affinity grants %zu CPUs (< %zu); relaxing threshold "
+        "%.3fx -> %.3fx (catastrophic-regression guard only)\n",
+        cpus, kFullGuardCpus, configured_min_ratio, min_ratio);
+  }
+  const Variant variant = GridVariant();
+  CellParams params;
+  params.num_types = 512;
+  params.submitters = kSubmitters;
+
+  auto best_of_3 = [&](bool single_queue) {
+    params.force_single_queue = single_queue;
+    CellResult best;
+    for (int run = 0; run < 3; ++run) {
+      CellResult r = RunCell(variant, duration, params);
+      if (r.decisions_per_sec > best.decisions_per_sec) best = std::move(r);
+    }
+    return best;
+  };
+  const CellResult sharded = best_of_3(false);
+  const CellResult single = best_of_3(true);
+  const double ratio = single.decisions_per_sec > 0
+                           ? sharded.decisions_per_sec /
+                                 single.decisions_per_sec
+                           : 0;
+
+  std::printf("%-24s %9s %10s %12s\n", "core", "types", "submitters",
+              "decisions/s");
+  PrintRule(60);
+  std::printf("%-24s %9zu %10zu %12.0f\n", "sharded", sharded.num_types,
+              sharded.submitters, sharded.decisions_per_sec);
+  std::printf("%-24s %9zu %10zu %12.0f\n", "single-queue", single.num_types,
+              single.submitters, single.decisions_per_sec);
+  std::printf("sharded/single-queue = %.3fx (min %.3fx)\n", ratio, min_ratio);
+
+  std::FILE* f = std::fopen("BENCH_admission_guard.json", "w");
+  if (f != nullptr) {
+    std::fprintf(f, "{\n  \"bench\": \"admission_guard\",\n");
+    WriteHostJsonFields(f);
+    std::fprintf(f, "  \"min_ratio\": %.3f, \"ratio\": %.3f,\n", min_ratio,
+                 ratio);
+    std::fprintf(f, "  \"core_starved\": %s,\n",
+                 core_starved ? "true" : "false");
+    WriteCells(f, {sharded, single});
+    std::fprintf(f, "}\n");
+    std::fclose(f);
+    std::printf("wrote BENCH_admission_guard.json\n");
+  }
+
+  if (ratio < min_ratio) {
+    std::fprintf(stderr,
+                 "FAIL: sharded execution core at %.3fx of single-queue "
+                 "(threshold %.3fx)\n",
+                 ratio, min_ratio);
+    return 1;
+  }
+  std::printf("guard OK\n");
+  return 0;
+}
+
+int Main(int argc, char** argv) {
+  const bool guard_mode =
+      argc > 1 && std::strcmp(argv[1], "--guard") == 0;
   PrintPreamble("bench_admission_throughput",
-                "closed-loop Stage::Submit() throughput and latency by "
-                "policy and number of query types");
+                guard_mode
+                    ? "sharded vs single-queue execution-core regression "
+                      "guard (best of 3)"
+                    : "closed-loop Stage::Submit() throughput and latency "
+                      "by policy and number of query types");
   const Nanos duration = BenchScale() == 0   ? 100 * kMillisecond
                          : BenchScale() == 1 ? 300 * kMillisecond
                                              : kSecond;
+  if (guard_mode) return RunGuard(duration);
+
   const std::vector<size_t> type_counts = {1, 8, 64, 512};
   const std::vector<Variant> variants = MakeVariants();
 
@@ -241,7 +377,9 @@ int Main() {
   std::vector<CellResult> results;
   for (const size_t num_types : type_counts) {
     for (const Variant& variant : variants) {
-      const CellResult r = RunCell(variant, num_types, duration);
+      CellParams params;
+      params.num_types = num_types;
+      const CellResult r = RunCell(variant, duration, params);
       std::printf("%-24s %9zu %12.0f %12lld %10lld %10lld %10lld\n",
                   r.policy.c_str(), r.num_types, r.decisions_per_sec,
                   static_cast<long long>(r.submit_mean),
@@ -260,10 +398,12 @@ int Main() {
     if (v.name == "Bouncer") bouncer_variant = &v;
   }
   if (bouncer_variant != nullptr) {
-    const CellResult off =
-        RunCell(*bouncer_variant, 8, duration, /*tracing=*/false);
-    const CellResult on =
-        RunCell(*bouncer_variant, 8, duration, /*tracing=*/true);
+    CellParams params;
+    params.num_types = 8;
+    params.tracing = false;
+    const CellResult off = RunCell(*bouncer_variant, duration, params);
+    params.tracing = true;
+    const CellResult on = RunCell(*bouncer_variant, duration, params);
     results.push_back(off);
     results.push_back(on);
     std::printf("%-24s %9zu %12.0f   (tracing off)\n", off.policy.c_str(),
@@ -277,6 +417,35 @@ int Main() {
     }
     PrintRule(94);
   }
+
+  // Execution-core scaling grid: submitter counts x {sharded,
+  // single-queue} over Bouncer at 512 types. On a multi-core host the
+  // sharded column should pull ahead as submitters grow (contended
+  // single FIFO + shared counter lines vs per-submitter rings + striped
+  // counters); at scale 0 the grid is trimmed to its endpoints.
+  const Variant grid_variant = GridVariant();
+  const std::vector<size_t> submitter_counts =
+      BenchScale() == 0 ? std::vector<size_t>{1, kSubmitters}
+                        : std::vector<size_t>{1, 2, 4, kSubmitters};
+  std::printf("%-24s %9s %10s %12s %12s\n", "core", "types", "submitters",
+              "decisions/s", "p99_ns");
+  PrintRule(94);
+  for (const size_t submitters : submitter_counts) {
+    for (const bool single_queue : {false, true}) {
+      CellParams params;
+      params.num_types = 512;
+      params.submitters = submitters;
+      params.force_single_queue = single_queue;
+      const CellResult r = RunCell(grid_variant, duration, params);
+      std::printf("%-24s %9zu %10zu %12.0f %12lld\n",
+                  single_queue ? "single-queue" : "sharded", r.num_types,
+                  r.submitters, r.decisions_per_sec,
+                  static_cast<long long>(r.submit_p99));
+      results.push_back(r);
+    }
+  }
+  PrintRule(94);
+
   WriteJson(results);
   std::printf("wrote BENCH_admission_throughput.json\n");
 
@@ -285,12 +454,29 @@ int Main() {
   for (const size_t n : type_counts) {
     double fast = 0, slow = 0;
     for (const CellResult& r : results) {
-      if (r.num_types != n) continue;
+      if (r.num_types != n || r.submitters != kSubmitters ||
+          r.single_queue != 0) {
+        continue;
+      }
       if (r.policy == "Bouncer") fast = r.decisions_per_sec;
       if (r.policy == "Bouncer(rescan)") slow = r.decisions_per_sec;
     }
     if (fast > 0 && slow > 0) {
       std::printf("types=%zu: incremental/rescan = %.2fx\n", n, fast / slow);
+    }
+  }
+  // Execution-core headline: sharded vs single-queue at max submitters.
+  {
+    double sharded = 0, single = 0;
+    for (const CellResult& r : results) {
+      if (r.num_types != 512 || r.submitters != kSubmitters) continue;
+      if (r.policy != "Bouncer" || r.tracing != 0) continue;
+      if (r.single_queue == 0) sharded = r.decisions_per_sec;
+      if (r.single_queue == 1) single = r.decisions_per_sec;
+    }
+    if (sharded > 0 && single > 0) {
+      std::printf("submitters=%zu types=512: sharded/single-queue = %.2fx\n",
+                  kSubmitters, sharded / single);
     }
   }
   return 0;
@@ -299,4 +485,4 @@ int Main() {
 }  // namespace
 }  // namespace bouncer::bench
 
-int main() { return bouncer::bench::Main(); }
+int main(int argc, char** argv) { return bouncer::bench::Main(argc, argv); }

@@ -86,7 +86,23 @@ void BenchState::SubmitNext() {
       });
 }
 
-CellResult RunCell(const GraphStore& graph_store, bool legacy,
+/// One benched cluster configuration. "legacy" restores the blocking
+/// scatter-gather, "fast-1q" keeps the pooled/async path but forces the
+/// pre-sharding single-run-queue execution core, "fast" is the default
+/// (per-worker run queues with stealing + striped counters).
+struct Variant {
+  const char* name;
+  bool legacy_scatter;
+  bool force_single_queue;
+};
+
+constexpr Variant kVariants[] = {
+    {"legacy", true, false},
+    {"fast-1q", false, true},
+    {"fast", false, false},
+};
+
+CellResult RunCell(const GraphStore& graph_store, const Variant& variant,
                    size_t broker_workers, size_t shard_workers,
                    const std::vector<GraphQuery>& queries, Nanos warmup,
                    Nanos measure) {
@@ -105,7 +121,8 @@ CellResult RunCell(const GraphStore& graph_store, bool legacy,
   options.shard_queue_capacity = 1 << 15;
   options.broker_policy.kind = PolicyKind::kAlwaysAccept;
   options.shard_policy.kind = PolicyKind::kAlwaysAccept;
-  options.legacy_scatter = legacy;
+  options.legacy_scatter = variant.legacy_scatter;
+  options.force_single_queue = variant.force_single_queue;
   Cluster cluster(&graph_store, &registry, SystemClock::Global(), options);
   if (!cluster.Start().ok()) {
     std::fprintf(stderr, "cluster start failed\n");
@@ -135,7 +152,7 @@ CellResult RunCell(const GraphStore& graph_store, bool legacy,
   cluster.Stop();
 
   CellResult r;
-  r.variant = legacy ? "legacy" : "fast";
+  r.variant = variant.name;
   r.broker_workers = broker_workers;
   r.shard_workers = shard_workers;
   r.seconds =
@@ -152,6 +169,7 @@ void WriteJson(const std::vector<CellResult>& results) {
   std::FILE* f = std::fopen("BENCH_cluster_throughput.json", "w");
   if (f == nullptr) return;
   std::fprintf(f, "{\n  \"bench\": \"cluster_throughput\",\n");
+  WriteHostJsonFields(f);
   std::fprintf(f, "  \"window\": %zu,\n  \"cells\": [\n", kWindow);
   for (size_t i = 0; i < results.size(); ++i) {
     const CellResult& r = results[i];
@@ -215,8 +233,8 @@ int Main() {
   PrintRule(78);
   std::vector<CellResult> results;
   for (const auto& [brokers, shards] : grid) {
-    for (const bool legacy : {true, false}) {
-      const CellResult r = RunCell(graph_store, legacy, brokers, shards,
+    for (const Variant& variant : kVariants) {
+      const CellResult r = RunCell(graph_store, variant, brokers, shards,
                                    queries, warmup, measure);
       std::printf("%-8s %8zu %8zu %12.0f %12.1f %12.1f %10llu\n",
                   r.variant.c_str(), r.broker_workers, r.shard_workers, r.qps,
@@ -230,15 +248,21 @@ int Main() {
   WriteJson(results);
   std::printf("wrote BENCH_cluster_throughput.json\n");
 
-  // Headline ratio at the real-study topology (acceptance bar: >= 2x).
-  double fast = 0, slow = 0;
+  // Headline ratios at the real-study topology (fast/legacy acceptance
+  // bar: >= 2x; fast/fast-1q isolates the execution-core sharding).
+  double fast = 0, slow = 0, single_queue = 0;
   for (const CellResult& r : results) {
     if (r.broker_workers != 4 || r.shard_workers != 1) continue;
     if (r.variant == "fast") fast = r.qps;
+    if (r.variant == "fast-1q") single_queue = r.qps;
     if (r.variant == "legacy") slow = r.qps;
   }
   if (slow > 0) {
     std::printf("default topology: fast/legacy = %.2fx\n", fast / slow);
+  }
+  if (single_queue > 0) {
+    std::printf("default topology: sharded/single-queue = %.2fx\n",
+                fast / single_queue);
   }
   return 0;
 }

@@ -1,8 +1,35 @@
 #include "bench/bench_common.h"
 
 #include <cstdlib>
+#include <thread>
+
+#ifdef __linux__
+#include <sched.h>
+#endif
 
 namespace bouncer::bench {
+
+size_t HardwareConcurrency() {
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw == 0 ? 1 : hw;
+}
+
+size_t AffinityCpuCount() {
+#ifdef __linux__
+  cpu_set_t set;
+  CPU_ZERO(&set);
+  if (sched_getaffinity(0, sizeof(set), &set) == 0) {
+    const int count = CPU_COUNT(&set);
+    if (count > 0) return static_cast<size_t>(count);
+  }
+#endif
+  return HardwareConcurrency();
+}
+
+void WriteHostJsonFields(std::FILE* f) {
+  std::fprintf(f, "  \"hardware_concurrency\": %zu, \"affinity_cpus\": %zu,\n",
+               HardwareConcurrency(), AffinityCpuCount());
+}
 
 int BenchScale() {
   const char* env = std::getenv("BOUNCER_BENCH_SCALE");

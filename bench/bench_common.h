@@ -44,6 +44,22 @@ std::vector<std::vector<sim::SweepPoint>> SweepStudyPolicies(
     const workload::WorkloadSpec& workload, const StudyParams& params,
     const std::vector<PolicyConfig>& policies);
 
+/// Logical CPUs the kernel reports (std::thread::hardware_concurrency,
+/// 0 mapped to 1 so ratios never divide by zero).
+size_t HardwareConcurrency();
+
+/// CPUs in this process's scheduling affinity mask — what taskset or a
+/// cgroup cpuset actually grants, which on CI runners is often smaller
+/// than HardwareConcurrency(). Falls back to HardwareConcurrency() on
+/// platforms without sched_getaffinity.
+size_t AffinityCpuCount();
+
+/// Writes the shared host-description fields every BENCH_*.json carries
+/// (so scaling numbers can be interpreted against the machine that
+/// produced them), with a trailing comma:
+///   "hardware_concurrency": N, "affinity_cpus": N,
+void WriteHostJsonFields(std::FILE* f);
+
 /// Prints "# name: description" plus the runtime scale and job count.
 void PrintPreamble(const char* name, const char* description);
 

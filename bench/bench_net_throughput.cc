@@ -610,8 +610,15 @@ void WriteJson(const std::vector<CellResult>& results,
   std::FILE* f = std::fopen("BENCH_net_throughput.json", "w");
   if (f == nullptr) return;
   std::fprintf(f, "{\n  \"bench\": \"net_throughput\",\n");
-  std::fprintf(f, "  \"hardware_concurrency\": %u,\n",
-               std::thread::hardware_concurrency());
+  WriteHostJsonFields(f);
+  {
+    const Cluster::Options topology = ClusterOptions(false);
+    std::fprintf(f,
+                 "  \"brokers\": %zu, \"broker_workers\": %zu, "
+                 "\"shards\": %zu, \"shard_workers\": %zu,\n",
+                 topology.num_brokers, topology.broker_workers,
+                 topology.num_shards, topology.shard_workers);
+  }
   if (uring_skip.empty()) {
     std::fprintf(f, "  \"backends\": [\"epoll\", \"io_uring\"],\n");
   } else {

@@ -70,8 +70,9 @@ void WriteJson(const std::vector<CellRow>& cells,
                const std::vector<ParallelRow>& parallel, size_t grid_cells) {
   std::FILE* f = std::fopen("BENCH_sim_throughput.json", "w");
   if (f == nullptr) return;
-  std::fprintf(f, "{\n  \"bench\": \"sim_throughput\",\n  \"scale\": %d,\n",
-               BenchScale());
+  std::fprintf(f, "{\n  \"bench\": \"sim_throughput\",\n");
+  WriteHostJsonFields(f);
+  std::fprintf(f, "  \"scale\": %d,\n", BenchScale());
   std::fprintf(f, "  \"single_cell\": [\n");
   for (size_t i = 0; i < cells.size(); ++i) {
     const CellRow& r = cells[i];

@@ -73,7 +73,11 @@ void PrintHelp() {
       "  --shards=N          shard stages (default 2)\n"
       "  --shard-workers=N   workers per shard (default 1)\n"
       "  --allowance=F       broker acceptance allowance (default 0.10)\n"
-      "  --queue-guard=N     broker queue guard limit (default 48)\n\n"
+      "  --queue-guard=N     broker queue guard limit (default 48)\n"
+      "  --single-queue=0|1  force one global run queue per stage instead "
+      "of\n"
+      "                      per-worker run queues with stealing (default "
+      "0)\n\n"
       "  surge demo\n"
       "  --steady-qps=F      light-load rate (default 300)\n"
       "  --surge-qps=F       surge rate past capacity (default 1400)\n"
@@ -110,6 +114,7 @@ int main(int argc, char** argv) {
   options.broker_workers = flags.GetUint("broker-workers", 4);
   options.num_shards = flags.GetUint("shards", 2);
   options.shard_workers = flags.GetUint("shard-workers", 1);
+  options.force_single_queue = flags.GetBool("single-queue", false);
   options.broker_policy.kind = PolicyKind::kBouncerWithAllowance;
   options.broker_policy.bouncer.histogram_swap_interval = 2 * kSecond;
   options.broker_policy.bouncer.min_samples_to_publish = 5;

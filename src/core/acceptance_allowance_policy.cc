@@ -6,10 +6,11 @@ namespace bouncer {
 
 AcceptanceAllowancePolicy::AcceptanceAllowancePolicy(
     std::unique_ptr<AdmissionPolicy> inner, size_t num_types,
-    const Options& options)
+    const Options& options, size_t num_stripes)
     : inner_(std::move(inner)),
       options_(options),
-      window_(num_types, options.window_duration, options.window_step),
+      window_(num_types, options.window_duration, options.window_step,
+              num_stripes),
       rng_(options.seed) {
   assert(inner_ != nullptr);
   name_ = std::string(inner_->name()) + "+AcceptanceAllowance";

@@ -32,8 +32,11 @@ class AcceptanceAllowancePolicy final : public AdmissionPolicy {
   };
 
   /// `inner` must be non-null; `num_types` is the registry size.
+  /// `num_stripes` stripes the allowance window's counters by writer
+  /// affinity (pass the stage's PolicyContext::counter_stripes).
   AcceptanceAllowancePolicy(std::unique_ptr<AdmissionPolicy> inner,
-                            size_t num_types, const Options& options);
+                            size_t num_types, const Options& options,
+                            size_t num_stripes = 1);
 
   Decision Decide(QueryTypeId type, Nanos now) override;
   void OnEnqueued(QueryTypeId type, Nanos now) override {

@@ -18,6 +18,11 @@ struct PolicyContext {
   const QueryTypeRegistry* registry = nullptr;
   const QueueState* queue = nullptr;
   size_t parallelism = 1;  ///< P: number of query engine processes.
+  /// Writer-affinity stripes for the policy's own hot-path counters
+  /// (Eq. 2 aggregates, sliding windows). A sharded stage passes its
+  /// run-queue count so admission bookkeeping stays single-writer per
+  /// cache line; 1 keeps the exact shared-counter layout.
+  size_t counter_stripes = 1;
 };
 
 /// Interface of an admission-control policy plugged into the SEDA-like

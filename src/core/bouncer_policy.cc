@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cassert>
 
+#include "src/util/stripe.h"
+
 namespace bouncer {
 
 BouncerPolicy::BouncerPolicy(const PolicyContext& context,
@@ -10,6 +12,7 @@ BouncerPolicy::BouncerPolicy(const PolicyContext& context,
     : registry_(context.registry),
       queue_(context.queue),
       parallelism_(context.parallelism == 0 ? 1 : context.parallelism),
+      stripes_(context.counter_stripes == 0 ? 1 : context.counter_stripes),
       options_(options),
       general_histogram_(stats::DualHistogram::Options{
           options.histogram_swap_interval, options.min_samples_to_publish}) {
@@ -44,8 +47,10 @@ BouncerPolicy::BouncerPolicy(const PolicyContext& context,
                          priority_of(t)) -
         sorted_levels_.begin());
   }
-  level_aggs_ = std::make_unique<LevelAggregate[]>(sorted_levels_.size());
+  level_aggs_ =
+      std::make_unique<LevelAggregate[]>(sorted_levels_.size() * stripes_);
   type_cache_ = std::make_unique<TypeCache[]>(num_types);
+  tracked_total_ = std::make_unique<TrackedCount[]>(stripes_);
   RebuildAggregates();
 }
 
@@ -89,32 +94,49 @@ void BouncerPolicy::RebuildAggregates() {
       cold_counts[level] += count;
     }
   }
+  // The rebuild's snapshot lands wholly in stripe 0; the other stripes
+  // restart from zero so cross-stripe sums equal the snapshot.
   for (size_t l = 0; l < num_levels; ++l) {
-    level_aggs_[l].warm_weighted_sum.store(warm_sums[l],
-                                           std::memory_order_relaxed);
-    level_aggs_[l].cold_count.store(cold_counts[l],
-                                    std::memory_order_relaxed);
+    for (size_t s = 0; s < stripes_; ++s) {
+      LevelAggregate& agg = level_aggs_[l * stripes_ + s];
+      agg.warm_weighted_sum.store(s == 0 ? warm_sums[l] : 0,
+                                  std::memory_order_relaxed);
+      agg.cold_count.store(s == 0 ? cold_counts[l] : 0,
+                           std::memory_order_relaxed);
+    }
   }
   // Sync the drift detector to the occupancy the rebuild was computed
   // from. Hooks racing this store cause a transient mismatch, which only
   // means a few decisions take the exact slow path until counts agree.
-  tracked_total_.store(total, std::memory_order_relaxed);
+  for (size_t s = 0; s < stripes_; ++s) {
+    tracked_total_[s].value.store(s == 0 ? total : 0,
+                                  std::memory_order_relaxed);
+  }
+}
+
+int64_t BouncerPolicy::TrackedTotal() const {
+  int64_t sum = 0;
+  for (size_t s = 0; s < stripes_; ++s) {
+    sum += tracked_total_[s].value.load(std::memory_order_relaxed);
+  }
+  return sum;
 }
 
 void BouncerPolicy::ApplyQueueDelta(QueryTypeId type, int64_t sign) {
   if (type >= type_histograms_.size()) type = kDefaultQueryType;
   const size_t level = level_of_type_[type];
+  const size_t stripe = StripeOf(stripes_);
+  LevelAggregate& agg = level_aggs_[level * stripes_ + stripe];
   // warm/mean can flip at a concurrent swap between the paired enqueue
   // and dequeue of one query; the resulting drift is bounded by the
   // queries in flight across one swap and is wiped by the next rebuild.
   if (type_cache_[type].warm.load(std::memory_order_relaxed)) {
     const Nanos mean = type_cache_[type].mean.load(std::memory_order_relaxed);
-    level_aggs_[level].warm_weighted_sum.fetch_add(
-        sign * mean, std::memory_order_relaxed);
+    agg.warm_weighted_sum.fetch_add(sign * mean, std::memory_order_relaxed);
   } else {
-    level_aggs_[level].cold_count.fetch_add(sign, std::memory_order_relaxed);
+    agg.cold_count.fetch_add(sign, std::memory_order_relaxed);
   }
-  tracked_total_.fetch_add(sign, std::memory_order_relaxed);
+  tracked_total_[stripe].value.fetch_add(sign, std::memory_order_relaxed);
 }
 
 void BouncerPolicy::OnEnqueued(QueryTypeId type, Nanos now) {
@@ -168,18 +190,19 @@ Nanos BouncerPolicy::EstimateQueueWait(QueryTypeId type) const {
   // Out-of-band queue mutation (tests and tools drive QueueState without
   // the policy hooks) shows up as a count mismatch: answer exactly via
   // the rescan until a rebuild re-syncs the aggregates.
-  if (tracked_total_.load(std::memory_order_relaxed) !=
-      static_cast<int64_t>(queue_->TotalLength())) {
+  if (TrackedTotal() != static_cast<int64_t>(queue_->TotalLength())) {
     return EstimateQueueWaitSlow(type);
   }
   const Nanos general_mean = general_mean_.load(std::memory_order_relaxed);
   int64_t weighted_sum = 0;
   const size_t own_level = level_of_type_[type];
   for (size_t l = 0; l <= own_level; ++l) {
-    weighted_sum +=
-        level_aggs_[l].warm_weighted_sum.load(std::memory_order_relaxed) +
-        level_aggs_[l].cold_count.load(std::memory_order_relaxed) *
-            general_mean;
+    for (size_t s = 0; s < stripes_; ++s) {
+      const LevelAggregate& agg = level_aggs_[l * stripes_ + s];
+      weighted_sum +=
+          agg.warm_weighted_sum.load(std::memory_order_relaxed) +
+          agg.cold_count.load(std::memory_order_relaxed) * general_mean;
+    }
   }
   // Racing hooks can transiently drive the aggregate a hair negative.
   if (weighted_sum < 0) weighted_sum = 0;

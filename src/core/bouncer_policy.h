@@ -149,13 +149,22 @@ class BouncerPolicy : public AdmissionPolicy {
   const Options& options() const { return options_; }
 
  private:
-  /// Incremental Eq. 2 state, per priority level: the weighted sum over
-  /// warm types of count(t)·pt_mean(t), plus the number of queued queries
-  /// of cold types (costed at the general mean at read time, so a general
-  /// -histogram refresh never requires touching the aggregates).
+  /// Incremental Eq. 2 state, per (priority level, writer stripe): the
+  /// weighted sum over warm types of count(t)·pt_mean(t), plus the number
+  /// of queued queries of cold types (costed at the general mean at read
+  /// time, so a general-histogram refresh never requires touching the
+  /// aggregates). With `stripes_` > 1 each hook thread updates only its
+  /// own cache-line-padded stripe (StripeOf) and reads sum across
+  /// stripes; the enqueue and dequeue of one query can land on different
+  /// stripes, so per-stripe values go negative and only sums mean
+  /// anything.
   struct alignas(kCacheLineSize) LevelAggregate {
     std::atomic<int64_t> warm_weighted_sum{0};
     std::atomic<int64_t> cold_count{0};
+  };
+  /// One padded per-stripe cell of the hook-tracked occupancy.
+  struct alignas(kCacheLineSize) TrackedCount {
+    std::atomic<int64_t> value{0};
   };
   /// Snapshot of one type's published summary, refreshed at swap time so
   /// the enqueue/dequeue hooks never touch the histograms.
@@ -173,9 +182,13 @@ class BouncerPolicy : public AdmissionPolicy {
   /// (under swap_mu_), which also heals any drift racing hooks caused.
   void RebuildAggregates();
 
+  /// Sum of the hook-tracked occupancy stripes (the drift detector).
+  int64_t TrackedTotal() const;
+
   const QueryTypeRegistry* const registry_;
   const QueueState* const queue_;
   const size_t parallelism_;
+  const size_t stripes_;  ///< Writer-affinity stripes of the aggregates.
   const Options options_;
 
   /// One dual histogram per registered type (index = QueryTypeId).
@@ -185,16 +198,18 @@ class BouncerPolicy : public AdmissionPolicy {
 
   /// Distinct priority values, ascending; a single level under FIFO.
   std::vector<int> sorted_levels_;
-  /// QueryTypeId -> index into sorted_levels_ (and level_aggs_). A query
-  /// of type T waits behind levels 0..level_of_type_[T] inclusive.
+  /// QueryTypeId -> index into sorted_levels_. A query of type T waits
+  /// behind levels 0..level_of_type_[T] inclusive.
   std::vector<size_t> level_of_type_;
+  /// sorted_levels_.size() × stripes_, indexed level·stripes_ + stripe.
   std::unique_ptr<LevelAggregate[]> level_aggs_;
   std::unique_ptr<TypeCache[]> type_cache_;
   /// Cached mean of the general histogram's published summary.
   std::atomic<Nanos> general_mean_{0};
-  /// Queue occupancy as seen through the hooks; compared against
+  /// Queue occupancy as seen through the hooks, one padded cell per
+  /// stripe; the cross-stripe sum is compared against
   /// QueueState::TotalLength() to detect out-of-band queue mutation.
-  std::atomic<int64_t> tracked_total_{0};
+  std::unique_ptr<TrackedCount[]> tracked_total_;
   /// Serializes buffer swaps + aggregate rebuilds (cold path).
   std::mutex swap_mu_;
 };

@@ -48,7 +48,8 @@ StatusOr<std::unique_ptr<AdmissionPolicy>> CreatePolicy(
       }
       auto inner = std::make_unique<BouncerPolicy>(context, config.bouncer);
       policy = std::make_unique<AcceptanceAllowancePolicy>(
-          std::move(inner), context.registry->size(), config.allowance);
+          std::move(inner), context.registry->size(), config.allowance,
+          context.counter_stripes);
       break;
     }
     case PolicyKind::kBouncerWithUnderserved: {
@@ -57,7 +58,8 @@ StatusOr<std::unique_ptr<AdmissionPolicy>> CreatePolicy(
       }
       auto inner = std::make_unique<BouncerPolicy>(context, config.bouncer);
       policy = std::make_unique<HelpingUnderservedPolicy>(
-          std::move(inner), context.registry->size(), config.underserved);
+          std::move(inner), context.registry->size(), config.underserved,
+          context.counter_stripes);
       break;
     }
     case PolicyKind::kMaxQueueLength:

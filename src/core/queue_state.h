@@ -6,6 +6,7 @@
 #include <vector>
 
 #include "src/core/types.h"
+#include "src/util/stripe.h"
 
 namespace bouncer {
 
@@ -14,11 +15,23 @@ namespace bouncer {
 /// currently in the queue"). Maintained by the runtime (simulator or
 /// server stage) as queries are enqueued and dequeued, and read by
 /// policies on the decision path. All operations are lock-free.
+///
+/// With `num_stripes` > 1 the counts are striped by writer affinity:
+/// each thread updates its own cache-line-padded stripe (picked via
+/// StripeOf), and reads sum across stripes. The enqueue and dequeue of
+/// one query routinely land on different stripes (submitter vs worker
+/// thread), so individual stripe cells go negative; only the cross-
+/// stripe sum is meaningful, and a read racing updates can transiently
+/// undershoot — sums are clamped at zero. A single stripe (the default)
+/// reproduces the old exact shared-counter behavior.
 class QueueState {
  public:
-  explicit QueueState(size_t num_types)
-      : per_type_(num_types), total_(0) {
-    for (auto& c : per_type_) c.store(0, std::memory_order_relaxed);
+  explicit QueueState(size_t num_types, size_t num_stripes = 1)
+      : num_types_(num_types),
+        num_stripes_(num_stripes == 0 ? 1 : num_stripes),
+        stride_(StripeStride(num_types + 1)),
+        cells_(stride_ * num_stripes_) {
+    for (auto& c : cells_) c.store(0, std::memory_order_relaxed);
   }
 
   QueueState(const QueueState&) = delete;
@@ -26,33 +39,50 @@ class QueueState {
 
   /// Called by the runtime when an admitted query enters the FIFO queue.
   void OnEnqueued(QueryTypeId type) {
-    per_type_[type].fetch_add(1, std::memory_order_relaxed);
-    total_.fetch_add(1, std::memory_order_relaxed);
+    std::atomic<int64_t>* stripe = StripeBase();
+    stripe[type].fetch_add(1, std::memory_order_relaxed);
+    stripe[num_types_].fetch_add(1, std::memory_order_relaxed);
   }
 
   /// Called by the runtime when a query is pulled for processing.
   void OnDequeued(QueryTypeId type) {
-    per_type_[type].fetch_sub(1, std::memory_order_relaxed);
-    total_.fetch_sub(1, std::memory_order_relaxed);
+    std::atomic<int64_t>* stripe = StripeBase();
+    stripe[type].fetch_sub(1, std::memory_order_relaxed);
+    stripe[num_types_].fetch_sub(1, std::memory_order_relaxed);
   }
 
   /// Number of queries of `type` currently in the queue.
   uint64_t CountForType(QueryTypeId type) const {
-    if (type >= per_type_.size()) return 0;
-    return per_type_[type].load(std::memory_order_relaxed);
+    if (type >= num_types_) return 0;
+    return SumCell(type);
   }
 
   /// Total queue length.
-  uint64_t TotalLength() const {
-    return total_.load(std::memory_order_relaxed);
-  }
+  uint64_t TotalLength() const { return SumCell(num_types_); }
 
   /// Number of tracked types.
-  size_t num_types() const { return per_type_.size(); }
+  size_t num_types() const { return num_types_; }
+  size_t num_stripes() const { return num_stripes_; }
 
  private:
-  std::vector<std::atomic<uint64_t>> per_type_;
-  std::atomic<uint64_t> total_;
+  std::atomic<int64_t>* StripeBase() {
+    return cells_.data() + StripeOf(num_stripes_) * stride_;
+  }
+
+  uint64_t SumCell(size_t index) const {
+    int64_t sum = 0;
+    for (size_t s = 0; s < num_stripes_; ++s) {
+      sum += cells_[s * stride_ + index].load(std::memory_order_relaxed);
+    }
+    return sum > 0 ? static_cast<uint64_t>(sum) : 0;
+  }
+
+  const size_t num_types_;
+  const size_t num_stripes_;
+  /// Cells per stripe: num_types_ per-type counts plus the stripe's
+  /// total at index num_types_, padded to whole cache lines.
+  const size_t stride_;
+  std::vector<std::atomic<int64_t>> cells_;
 };
 
 }  // namespace bouncer

@@ -144,6 +144,7 @@ Cluster::Cluster(const GraphStore* graph, const QueryTypeRegistry* registry,
     stage_options.name = "shard-" + std::to_string(s);
     stage_options.num_workers = options_.shard_workers;
     stage_options.queue_capacity = options_.shard_queue_capacity;
+    stage_options.force_single_queue = options_.force_single_queue;
     stage_options.metrics = options_.metrics;
     stage_options.recorder = options_.recorder;
     const PolicyConfig policy = options_.shard_policy;
@@ -166,6 +167,7 @@ Cluster::Cluster(const GraphStore* graph, const QueryTypeRegistry* registry,
     stage_options.name = "broker-" + std::to_string(b);
     stage_options.num_workers = options_.broker_workers;
     stage_options.queue_capacity = options_.broker_queue_capacity;
+    stage_options.force_single_queue = options_.force_single_queue;
     stage_options.metrics = options_.metrics;
     stage_options.recorder = options_.recorder;
     const PolicyConfig policy = options_.broker_policy;
@@ -261,7 +263,7 @@ Outcome Cluster::Submit(const GraphQuery& query, Nanos deadline,
 }
 
 server::Stage::BatchResult Cluster::SubmitBatch(
-    std::span<BatchRequest> requests) {
+    std::span<BatchRequest> requests, uint32_t submitter) {
   server::Stage::BatchResult total;
   if (requests.empty()) return total;
   if (options_.legacy_scatter) {
@@ -316,7 +318,7 @@ server::Stage::BatchResult Cluster::SubmitBatch(
   for (size_t b = 0; b < num_brokers; ++b) {
     if (broker_items[b].empty()) continue;
     const server::Stage::BatchResult r =
-        brokers_[b]->SubmitBatch(broker_items[b]);
+        brokers_[b]->SubmitBatch(broker_items[b], submitter);
     total.admitted += r.admitted;
     total.rejected += r.rejected;
     total.shedded += r.shedded;

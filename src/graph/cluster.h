@@ -84,6 +84,11 @@ class Cluster {
     /// short-circuit, sort/unique dedup. Kept as the A/B baseline for
     /// bench_cluster_throughput; query results are identical either way.
     bool legacy_scatter = false;
+    /// A/B knob: run every broker and shard stage with one global run
+    /// queue (the pre-sharding execution core) instead of per-worker
+    /// run-queue shards with stealing. Query results are identical
+    /// either way.
+    bool force_single_queue = false;
     /// Optional sink for shard-stage subquery outcomes (Points 1–3 per
     /// subquery batch, one per shard per round); must outlive the
     /// cluster. Lets studies report shard-side utilization, not just
@@ -144,7 +149,14 @@ class Cluster {
   /// complete synchronously inside the call; returns the aggregated
   /// per-batch outcome counts. `requests` is scratch: `done` callbacks
   /// are moved from.
-  server::Stage::BatchResult SubmitBatch(std::span<BatchRequest> requests);
+  ///
+  /// `submitter` is forwarded to Stage::SubmitBatch as the run-queue
+  /// affinity hint: the network layer passes its event-loop id so each
+  /// loop keeps feeding the same broker run queue;
+  /// Stage::kNoSubmitterHint uses the calling thread's stripe token.
+  server::Stage::BatchResult SubmitBatch(
+      std::span<BatchRequest> requests,
+      uint32_t submitter = server::Stage::kNoSubmitterHint);
 
   /// Registry id for a graph op.
   static QueryTypeId TypeIdFor(GraphOp op) {

@@ -766,8 +766,11 @@ void NetServer::SubmitParsed(Loop& loop) {
     // mid-iteration. Park them in deferred_dones until the call returns.
     ++loop.submit_depth;
     loop.in_submit = true;
+    // The loop id rides along as the broker run-queue affinity hint:
+    // each event loop keeps feeding the same run-queue shard, so the
+    // submit side of the execution core stays shared-nothing per loop.
     const server::Stage::BatchResult result =
-        cluster_->SubmitBatch(loop.batch);
+        cluster_->SubmitBatch(loop.batch, loop.id);
     loop.in_submit = false;
     if (result.shedded > 0) {
       // A broker's bounded queue stopped admitting: pause every

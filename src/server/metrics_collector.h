@@ -170,7 +170,10 @@ class MetricsCollector {
   size_t num_types() const { return types_.size(); }
 
  private:
-  struct PerType {
+  /// Padded to cache-line granularity: the per-type cells sit in one
+  /// flat vector and every completion from every worker writes its
+  /// type's cell, so adjacent hot types must not share a line.
+  struct alignas(kCacheLineSize) PerType {
     std::atomic<uint64_t> received{0};
     std::atomic<uint64_t> accepted{0};
     std::atomic<uint64_t> rejected{0};

@@ -1,10 +1,25 @@
 #include "src/server/stage.h"
 
+#include <algorithm>
 #include <utility>
 
 #include "src/core/policy_factory.h"
 
 namespace bouncer::server {
+
+namespace {
+/// Upper bound on run-queue shards: beyond this the steal scan and the
+/// snapshot sums cost more than the contention they avoid.
+constexpr size_t kMaxRunQueues = 64;
+}  // namespace
+
+size_t Stage::ResolveRunQueues(const Options& options) {
+  if (options.force_single_queue) return 1;
+  size_t n = options.num_run_queues != 0 ? options.num_run_queues
+                                         : options.num_workers;
+  if (n == 0) n = 1;
+  return std::min(n, kMaxRunQueues);
+}
 
 Stage::Stage(const Options& options, const QueryTypeRegistry* registry,
              Clock* clock, const PolicyFactory& policy_factory,
@@ -12,10 +27,20 @@ Stage::Stage(const Options& options, const QueryTypeRegistry* registry,
     : options_(options),
       registry_(registry),
       clock_(clock),
-      queue_state_(registry->size()),
-      handler_(std::move(handler)),
-      fifo_(options.queue_capacity) {
-  PolicyContext context{registry_, &queue_state_, options_.num_workers};
+      queue_state_(registry->size(), ResolveRunQueues(options)),
+      handler_(std::move(handler)) {
+  const size_t num_queues = ResolveRunQueues(options_);
+  // The capacity bound covers the logical FIFO; each ring gets an even
+  // share (the ring rounds it up to a power of two, so the total can
+  // exceed the request slightly — it is a memory bound, not a quota).
+  const size_t per_queue = std::max<size_t>(
+      2, (options_.queue_capacity + num_queues - 1) / num_queues);
+  queues_.reserve(num_queues);
+  for (size_t q = 0; q < num_queues; ++q) {
+    queues_.push_back(std::make_unique<RunQueue>(per_queue));
+  }
+  PolicyContext context{registry_, &queue_state_, options_.num_workers,
+                        num_queues};
   auto policy = policy_factory(context);
   if (policy.ok()) {
     policy_ = std::move(*policy);
@@ -34,15 +59,13 @@ Stage::Stage(const Options& options, const QueryTypeRegistry* registry,
         options_.metrics->GetHistogram(prefix + "est_wait_err_over_ns");
     collector_handle_ =
         options_.metrics->AddCollector([this, prefix](stats::MetricSink& sink) {
-          const auto load = [](const std::atomic<uint64_t>& v) {
-            return v.load(std::memory_order_relaxed);
-          };
-          sink.AddCounter(prefix + "received", load(counters_.received));
-          sink.AddCounter(prefix + "accepted", load(counters_.accepted));
-          sink.AddCounter(prefix + "rejected", load(counters_.rejected));
-          sink.AddCounter(prefix + "expired", load(counters_.expired));
-          sink.AddCounter(prefix + "shedded", load(counters_.shedded));
-          sink.AddCounter(prefix + "completed", load(counters_.completed));
+          const StageCounters snapshot = counters();
+          sink.AddCounter(prefix + "received", snapshot.received);
+          sink.AddCounter(prefix + "accepted", snapshot.accepted);
+          sink.AddCounter(prefix + "rejected", snapshot.rejected);
+          sink.AddCounter(prefix + "expired", snapshot.expired);
+          sink.AddCounter(prefix + "shedded", snapshot.shedded);
+          sink.AddCounter(prefix + "completed", snapshot.completed);
           sink.AddGauge(prefix + "queue_length",
                         static_cast<int64_t>(queue_state_.TotalLength()));
         });
@@ -56,6 +79,41 @@ Stage::~Stage() {
     options_.metrics->RemoveCollector(collector_handle_);
   }
   Stop(false);
+}
+
+StageCounters Stage::counters() const {
+  StageCounters out;
+  for (const auto& q : queues_) {
+    const QueueCounters& c = q->counters;
+    out.received += c.received.load(std::memory_order_relaxed);
+    out.accepted += c.accepted.load(std::memory_order_relaxed);
+    out.rejected += c.rejected.load(std::memory_order_relaxed);
+    out.expired += c.expired.load(std::memory_order_relaxed);
+    out.shedded += c.shedded.load(std::memory_order_relaxed);
+    out.completed += c.completed.load(std::memory_order_relaxed);
+  }
+  return out;
+}
+
+size_t Stage::RunQueueLength(size_t queue) const {
+  if (queue >= queues_.size()) return 0;
+  return queues_[queue]->fifo.SizeApprox();
+}
+
+bool Stage::PopAny(size_t home, WorkItem& out) {
+  const size_t n = queues_.size();
+  if (queues_[home]->fifo.TryPop(out)) return true;
+  for (size_t k = 1; k < n; ++k) {
+    if (queues_[(home + k) % n]->fifo.TryPop(out)) return true;
+  }
+  return false;
+}
+
+bool Stage::AnyQueueNonEmpty() const {
+  for (const auto& q : queues_) {
+    if (!q->fifo.EmptyApprox()) return true;
+  }
+  return false;
 }
 
 void Stage::StampAdmission(WorkItem& item, Nanos now, RejectReason reason) {
@@ -111,7 +169,7 @@ Status Stage::Start() {
   stopping_.store(false, std::memory_order_release);
   workers_.reserve(options_.num_workers);
   for (size_t i = 0; i < options_.num_workers; ++i) {
-    workers_.emplace_back([this] { WorkerLoop(); });
+    workers_.emplace_back([this, i] { WorkerLoop(i); });
   }
   return Status::OK();
 }
@@ -134,7 +192,7 @@ void Stage::Stop(bool drain) {
   for (std::thread& w : workers) {
     if (w.joinable()) w.join();
   }
-  // Workers exit once stopping_ is visible and the ring reads empty; a
+  // Workers exit once stopping_ is visible and every ring reads empty; a
   // Submit() racing Stop() can still have pushed after that. Sweep so
   // every admitted item completes exactly once.
   DrainAsShedded();
@@ -152,14 +210,16 @@ Outcome Stage::SubmitInline(WorkItem item) {
   return SubmitImpl(std::move(item), /*allow_inline=*/true);
 }
 
-Stage::BatchResult Stage::SubmitBatch(std::span<WorkItem> items) {
+Stage::BatchResult Stage::SubmitBatch(std::span<WorkItem> items,
+                                      uint32_t submitter) {
   BatchResult result;
   if (items.empty()) return result;
+  RunQueue& queue = *queues_[PreferredQueue(submitter)];
   // One timestamp for the whole batch: every item of one epoll wakeup
   // arrived "now" at frame granularity anyway, and the clock read is a
   // per-item cost the batch path exists to amortize.
   const Nanos now = clock_->Now();
-  counters_.received.fetch_add(items.size(), std::memory_order_relaxed);
+  queue.counters.received.fetch_add(items.size(), std::memory_order_relaxed);
 
   // Pass 1 — admission. Rejections complete right here (the caller's
   // event loop answers them without touching workers); admitted items are
@@ -185,12 +245,15 @@ Stage::BatchResult Stage::SubmitBatch(std::span<WorkItem> items) {
     if (admitted != i) items[admitted] = std::move(item);
     ++admitted;
   }
-  counters_.rejected.fetch_add(result.rejected, std::memory_order_relaxed);
+  queue.counters.rejected.fetch_add(result.rejected,
+                                    std::memory_order_relaxed);
 
-  // Pass 2 — one cursor reservation enqueues the whole admitted block.
+  // Pass 2 — one cursor reservation enqueues the whole admitted block
+  // into the submitter's preferred ring (one ring per batch keeps the
+  // block contiguous).
   size_t pushed = 0;
   if (admitted > 0 && !stopping_.load(std::memory_order_acquire)) {
-    pushed = fifo_.TryPushBatch(items.data(), admitted);
+    pushed = queue.fifo.TryPushBatch(items.data(), admitted);
   }
   for (size_t i = pushed; i < admitted; ++i) {
     // Ring full (or stopping): the policy saw an accept, so report the
@@ -204,8 +267,9 @@ Stage::BatchResult Stage::SubmitBatch(std::span<WorkItem> items) {
   }
   result.admitted = static_cast<uint32_t>(pushed);
   result.shedded = static_cast<uint32_t>(admitted - pushed);
-  counters_.accepted.fetch_add(result.admitted, std::memory_order_relaxed);
-  counters_.shedded.fetch_add(result.shedded, std::memory_order_relaxed);
+  queue.counters.accepted.fetch_add(result.admitted,
+                                    std::memory_order_relaxed);
+  queue.counters.shedded.fetch_add(result.shedded, std::memory_order_relaxed);
   if (pushed == 1) {
     idle_workers_.NotifyOne();
   } else if (pushed > 1) {
@@ -215,20 +279,23 @@ Stage::BatchResult Stage::SubmitBatch(std::span<WorkItem> items) {
 }
 
 bool Stage::TryRunOne() {
+  const size_t home = PreferredQueue(kNoSubmitterHint);
   WorkItem item;
-  if (!fifo_.TryPop(item)) return false;
-  ProcessItem(item);
+  if (!PopAny(home, item)) return false;
+  ProcessItem(item, queues_[home]->counters);
   return true;
 }
 
 Outcome Stage::SubmitImpl(WorkItem item, bool allow_inline) {
   const Nanos now = clock_->Now();
   item.arrival = now;
-  counters_.received.fetch_add(1, std::memory_order_relaxed);
+  const size_t home = PreferredQueue(kNoSubmitterHint);
+  RunQueue& queue = *queues_[home];
+  queue.counters.received.fetch_add(1, std::memory_order_relaxed);
 
   const Decision decision = policy_->Decide(item.type, now);
   if (decision == Decision::kReject) {
-    counters_.rejected.fetch_add(1, std::memory_order_relaxed);
+    queue.counters.rejected.fetch_add(1, std::memory_order_relaxed);
     StampAdmission(item, now, RejectReason::kPolicy);
     policy_->OnRejected(item.type, now);
     if (item.on_complete) item.on_complete(item, Outcome::kRejected);
@@ -245,43 +312,45 @@ Outcome Stage::SubmitImpl(WorkItem item, bool allow_inline) {
   queue_state_.OnEnqueued(type);
   policy_->OnEnqueued(type, now);  // Point 1.
   if (allow_inline && !stopping_.load(std::memory_order_acquire) &&
-      queue_state_.TotalLength() == 1 && fifo_.EmptyApprox()) {
-    // Empty-and-admitting: nothing is queued ahead of this item (the
-    // occupancy of 1 is its own enqueue), so running it here cannot
-    // overtake FIFO order. Points 2–3 run on the calling thread.
-    counters_.accepted.fetch_add(1, std::memory_order_relaxed);
-    ProcessItem(item);
+      queue_state_.TotalLength() == 1 && queue.fifo.EmptyApprox()) {
+    // Empty-and-admitting: nothing is queued in any ring ahead of this
+    // item (the occupancy of 1 is its own enqueue), so running it here
+    // cannot overtake FIFO order. Points 2–3 run on the calling thread.
+    queue.counters.accepted.fetch_add(1, std::memory_order_relaxed);
+    ProcessItem(item, queue.counters);
     return Outcome::kCompleted;
   }
   if (stopping_.load(std::memory_order_acquire) ||
-      !fifo_.TryPush(std::move(item))) {
+      !queue.fifo.TryPush(std::move(item))) {
     // TryPush leaves `item` intact on failure (ring full).
     queue_state_.OnDequeued(type);
     item.reject_reason = RejectReason::kQueueFull;
     TraceOutcome(item, now, stats::TraceEventKind::kShed);
-    counters_.shedded.fetch_add(1, std::memory_order_relaxed);
+    queue.counters.shedded.fetch_add(1, std::memory_order_relaxed);
     // The policy saw an accept; report the drop so its windows and
     // aggregates stay honest.
     policy_->OnShedded(type, now);
     if (item.on_complete) item.on_complete(item, Outcome::kShedded);
     return Outcome::kShedded;
   }
-  counters_.accepted.fetch_add(1, std::memory_order_relaxed);
+  queue.counters.accepted.fetch_add(1, std::memory_order_relaxed);
   idle_workers_.NotifyOne();
   return Outcome::kCompleted;  // Admitted; terminal outcome follows async.
 }
 
-void Stage::WorkerLoop() {
+void Stage::WorkerLoop(size_t worker_index) {
   // Spin briefly before parking: under load the next item lands within
   // nanoseconds, while a park/notify cycle costs a futex round-trip on
   // both the worker and the submitter. The bound keeps an idle stage
   // cheap (a few microseconds of pause loops, then sleep).
   constexpr int kIdleSpins = 1024;
+  const size_t home = worker_index % queues_.size();
+  QueueCounters& counters = queues_[home]->counters;
   WorkItem item;
   int idle_spins = 0;
   for (;;) {
-    if (fifo_.TryPop(item)) {
-      ProcessItem(item);
+    if (PopAny(home, item)) {
+      ProcessItem(item, counters);
       item = WorkItem();
       idle_spins = 0;
       continue;
@@ -289,8 +358,8 @@ void Stage::WorkerLoop() {
     if (stopping_.load(std::memory_order_acquire)) {
       // Re-check after observing the stop flag: drain semantics require
       // processing everything pushed before Stop().
-      if (!fifo_.TryPop(item)) return;
-      ProcessItem(item);
+      if (!PopAny(home, item)) return;
+      ProcessItem(item, counters);
       item = WorkItem();
       continue;
     }
@@ -300,13 +369,12 @@ void Stage::WorkerLoop() {
     }
     idle_spins = 0;
     idle_workers_.ParkUnless([this] {
-      return stopping_.load(std::memory_order_relaxed) ||
-             !fifo_.EmptyApprox();
+      return stopping_.load(std::memory_order_relaxed) || AnyQueueNonEmpty();
     });
   }
 }
 
-void Stage::ProcessItem(WorkItem& item) {
+void Stage::ProcessItem(WorkItem& item, QueueCounters& counters) {
   const Nanos dequeue_time = clock_->Now();
   item.dequeued = dequeue_time;
   queue_state_.OnDequeued(item.type);
@@ -331,7 +399,7 @@ void Stage::ProcessItem(WorkItem& item) {
 
   if (item.deadline > 0 && dequeue_time > item.deadline) {
     // Admitted but already expired: doing the work would be useless.
-    counters_.expired.fetch_add(1, std::memory_order_relaxed);
+    counters.expired.fetch_add(1, std::memory_order_relaxed);
     item.reject_reason = RejectReason::kExpired;
     TraceOutcome(item, dequeue_time, stats::TraceEventKind::kExpired);
     if (item.on_complete) item.on_complete(item, Outcome::kExpired);
@@ -342,15 +410,19 @@ void Stage::ProcessItem(WorkItem& item) {
   const Nanos done = clock_->Now();
   item.completed = done;
   policy_->OnCompleted(item.type, item.ProcessingTime(), done);  // Point 3.
-  counters_.completed.fetch_add(1, std::memory_order_relaxed);
+  counters.completed.fetch_add(1, std::memory_order_relaxed);
   if (item.on_complete) item.on_complete(item, Outcome::kCompleted);
 }
 
 void Stage::DrainAsShedded() {
+  // Shutdown path: attribute the sheds to ring 0's block — counters are
+  // atomics, so sharing the block with a racing worker is safe, just not
+  // contention-free (irrelevant while stopping).
+  QueueCounters& counters = queues_[0]->counters;
   WorkItem item;
-  while (fifo_.TryPop(item)) {
+  while (PopAny(0, item)) {
     const Nanos now = clock_->Now();
-    counters_.shedded.fetch_add(1, std::memory_order_relaxed);
+    counters.shedded.fetch_add(1, std::memory_order_relaxed);
     queue_state_.OnDequeued(item.type);
     item.reject_reason = RejectReason::kQueueFull;
     TraceOutcome(item, now, stats::TraceEventKind::kShed);

@@ -2,6 +2,7 @@
 #define BOUNCER_SERVER_STAGE_H_
 
 #include <atomic>
+#include <cstdint>
 #include <functional>
 #include <memory>
 #include <mutex>
@@ -18,6 +19,7 @@
 #include "src/stats/metric_registry.h"
 #include "src/util/clock.h"
 #include "src/util/mpmc_queue.h"
+#include "src/util/stripe.h"
 #include "src/util/status.h"
 
 namespace bouncer::server {
@@ -66,36 +68,61 @@ struct WorkItem {
   std::function<void(const WorkItem&, Outcome)> on_complete;
 };
 
-/// Aggregate counters a stage maintains (lock-free).
+/// Snapshot of a stage's aggregate counters: the per-run-queue padded
+/// counter blocks summed at the counters() call.
 struct StageCounters {
-  std::atomic<uint64_t> received{0};
-  std::atomic<uint64_t> accepted{0};
-  std::atomic<uint64_t> rejected{0};
-  std::atomic<uint64_t> expired{0};
-  std::atomic<uint64_t> shedded{0};
-  std::atomic<uint64_t> completed{0};
+  uint64_t received = 0;
+  uint64_t accepted = 0;
+  uint64_t rejected = 0;
+  uint64_t expired = 0;
+  uint64_t shedded = 0;
+  uint64_t completed = 0;
 };
 
-/// SEDA-like stage (paper Fig. 1): an admission policy guards a bounded
-/// FIFO queue drained by a fixed pool of worker threads ("query engine
-/// processes") that run a caller-provided handler. The stage maintains
-/// the QueueState the policy reads and invokes the policy hooks at metric
-/// Points 1–3.
+/// SEDA-like stage (paper Fig. 1): an admission policy guards bounded
+/// FIFO run queues drained by a fixed pool of worker threads ("query
+/// engine processes") that run a caller-provided handler. The stage
+/// maintains the QueueState the policy reads and invokes the policy hooks
+/// at metric Points 1–3.
+///
+/// Execution core (shared-nothing by default): the logical FIFO is
+/// sharded into `num_run_queues` bounded MPMC rings. Every submitter has
+/// a preferred ring — an explicit hint (the network loop id) or the
+/// thread's stripe token — and every worker a home ring (worker index mod
+/// ring count), so in steady state each core stays on its own ring's
+/// cache lines. Idle workers steal: a worker that finds its home ring dry
+/// scans the other rings in index order and pops from the first non-empty
+/// one (FIFO-local, FIFO-steal — the admission model's Eq. 2 assumes FIFO
+/// service, so steals take the oldest item of the victim ring, never the
+/// newest). TryRunOne()/SubmitInline() helpers steal through the same
+/// protocol. `force_single_queue` (or num_run_queues = 1) restores the
+/// single global FIFO for A/B comparison.
 ///
 /// Thread-safety: Submit() may be called from any number of threads. The
-/// submit and worker hot paths are lock-free: items flow through a
-/// bounded MPMC ring buffer, idle workers park on a condvar that
-/// producers only touch when somebody actually sleeps, and queue
-/// occupancy is read from the lock-free QueueState. The only mutex
-/// guards Start()/Stop() lifecycle transitions.
+/// submit and worker hot paths are lock-free: items flow through bounded
+/// MPMC ring buffers, idle workers park on a condvar that producers only
+/// touch when somebody actually sleeps, and queue occupancy is read from
+/// the lock-free QueueState. The only mutex guards Start()/Stop()
+/// lifecycle transitions.
 class Stage {
  public:
+  /// SubmitBatch() submitter hint meaning "use the calling thread's
+  /// stripe token".
+  static constexpr uint32_t kNoSubmitterHint = UINT32_MAX;
+
   struct Options {
     std::string name = "stage";
     size_t num_workers = 4;       ///< P: level of task parallelism.
-    /// Hard memory bound on the FIFO, rounded up to the next power of
-    /// two by the MPMC ring buffer.
+    /// Hard memory bound on the logical FIFO, split evenly across the
+    /// run queues (each ring rounds its share up to a power of two).
     size_t queue_capacity = 100'000;
+    /// Number of run-queue shards; 0 = one per worker (capped at 64).
+    /// More queues than workers is allowed — extra rings are drained via
+    /// stealing (tests use this to pin items to a victim ring).
+    size_t num_run_queues = 0;
+    /// A/B knob: collapse to the pre-sharding single global FIFO (and a
+    /// single counter stripe everywhere downstream).
+    bool force_single_queue = false;
     /// When set, the stage publishes its counters/queue length under
     /// "stage.<name>.*" and records the estimate-vs-actual queue-wait
     /// error into "stage.<name>.est_wait_err_{under,over}_ns". The
@@ -136,10 +163,10 @@ class Stage {
   /// Items still queued are completed with kShedded when `drain` is false.
   void Stop(bool drain = true);
 
-  /// Runs the admission decision for `item` and either enqueues it or
-  /// completes it immediately with kRejected/kShedded. Returns the
-  /// admission outcome (kCompleted means "admitted", delivery comes
-  /// later via on_complete).
+  /// Runs the admission decision for `item` and either enqueues it (into
+  /// the calling thread's preferred run queue) or completes it
+  /// immediately with kRejected/kShedded. Returns the admission outcome
+  /// (kCompleted means "admitted", delivery comes later via on_complete).
   Outcome Submit(WorkItem item);
 
   /// Per-batch outcome counts of SubmitBatch(). `admitted` items complete
@@ -161,54 +188,103 @@ class Stage {
   /// OnEnqueued, with OnShedded when the bounded ring drops an accepted
   /// item), so per-type accounting is identical to the per-item path.
   ///
-  /// Ordering: admitted items of one batch are popped in batch order with
-  /// nothing interleaved inside the block; concurrent Submit() items land
-  /// wholly before or after it. When the ring lacks space, a FIFO prefix
-  /// is enqueued and the remainder is shed (per-item OnShedded +
-  /// on_complete(kShedded), preserving order).
+  /// `submitter` picks the run queue the whole batch lands in: a stable
+  /// caller id (the network layer passes its event-loop id so each loop
+  /// keeps feeding the same ring), or kNoSubmitterHint to use the calling
+  /// thread's stripe token — both constant per calling thread, so one
+  /// producer always targets one ring.
+  ///
+  /// Ordering: admitted items of one batch are pushed as one contiguous
+  /// block of one ring and popped from it in batch order with nothing
+  /// interleaved inside the block; concurrent submits with the same
+  /// preferred ring land wholly before or after it, and submits to other
+  /// rings never split the block. Dequeue start-order preserves the block
+  /// order even when stolen (steals pop the victim ring's head). With
+  /// more than one consumer, items of one batch can be *in flight*
+  /// concurrently — that was already true of the single FIFO. When the
+  /// ring lacks space, a FIFO prefix is enqueued and the remainder is
+  /// shed (per-item OnShedded + on_complete(kShedded), preserving order).
   ///
   /// Items are moved from; the span's storage is the caller's parse
   /// scratch and is reusable once this returns.
-  BatchResult SubmitBatch(std::span<WorkItem> items);
+  BatchResult SubmitBatch(std::span<WorkItem> items,
+                          uint32_t submitter = kNoSubmitterHint);
 
-  /// Like Submit(), but when the item is admitted and the FIFO is empty
-  /// (nothing would be overtaken), the item is processed synchronously on
-  /// the calling thread instead of being handed to a worker: Points 1–3
-  /// and on_complete all fire before this returns. Falls back to the
-  /// queued path when the stage is busy or stopping. The admission policy
-  /// sees the exact same hook sequence either way (the inline path is an
-  /// enqueue immediately followed by a dequeue), so per-type accounting
-  /// and utilization charges land on this stage's policy regardless of
-  /// which thread lends the CPU. Used by the cluster's scatter-gather to
-  /// short-circuit single-shard rounds without a double thread hand-off.
+  /// Like Submit(), but when the item is admitted and the whole stage is
+  /// idle (nothing queued anywhere, so nothing would be overtaken), the
+  /// item is processed synchronously on the calling thread instead of
+  /// being handed to a worker: Points 1–3 and on_complete all fire before
+  /// this returns. Falls back to the queued path when the stage is busy
+  /// or stopping. The admission policy sees the exact same hook sequence
+  /// either way (the inline path is an enqueue immediately followed by a
+  /// dequeue), so per-type accounting and utilization charges land on
+  /// this stage's policy regardless of which thread lends the CPU. Used
+  /// by the cluster's scatter-gather to short-circuit single-shard rounds
+  /// without a double thread hand-off.
   Outcome SubmitInline(WorkItem item);
 
   /// Pops and processes at most one queued item on the calling thread
   /// (Points 2–3 and on_complete run before this returns). Returns true
-  /// when an item was run, false when the FIFO was empty. Lets a thread
-  /// blocked on work this stage owes it lend its CPU instead of parking
-  /// (work-helping): the cluster's gather loop drains shard queues with
-  /// this while its round is in flight. FIFO order is preserved — the
-  /// helper and the stage's own workers pop from the same ring.
+  /// when an item was run, false when every run queue was empty. Lets a
+  /// thread blocked on work this stage owes it lend its CPU instead of
+  /// parking (work-helping): the cluster's gather loop drains shard
+  /// queues with this while its round is in flight. The helper steals
+  /// through the same protocol as the workers — scan from the calling
+  /// thread's preferred ring, pop the first non-empty ring's head — so
+  /// per-ring FIFO order is preserved.
   bool TryRunOne();
 
   /// The stage's policy (for observability).
   AdmissionPolicy* policy() { return policy_.get(); }
   /// Live queue occupancy shared with the policy.
   const QueueState& queue_state() const { return queue_state_; }
-  const StageCounters& counters() const { return counters_; }
+  /// Sums the per-run-queue counter blocks into one snapshot.
+  StageCounters counters() const;
   /// Current queue length.
   size_t QueueLength() const;
+  /// Number of run-queue shards the stage resolved to.
+  size_t num_run_queues() const { return queues_.size(); }
+  /// Occupancy of one run queue (approximate; for tests/observability).
+  size_t RunQueueLength(size_t queue) const;
   const Options& options() const { return options_; }
 
   /// Context to build a policy for this stage before construction.
   static PolicyContext MakeContext(const QueryTypeRegistry* registry,
                                    const QueueState* queue,
-                                   size_t num_workers) {
-    return PolicyContext{registry, queue, num_workers};
+                                   size_t num_workers,
+                                   size_t counter_stripes = 1) {
+    return PolicyContext{registry, queue, num_workers, counter_stripes};
   }
 
  private:
+  /// Counter block owned by one run queue index; every thread writes the
+  /// block of its home/preferred index so no two cores share a line.
+  struct alignas(kCacheLineSize) QueueCounters {
+    std::atomic<uint64_t> received{0};
+    std::atomic<uint64_t> accepted{0};
+    std::atomic<uint64_t> rejected{0};
+    std::atomic<uint64_t> expired{0};
+    std::atomic<uint64_t> shedded{0};
+    std::atomic<uint64_t> completed{0};
+  };
+  struct RunQueue {
+    explicit RunQueue(size_t capacity) : fifo(capacity) {}
+    MpmcQueue<WorkItem> fifo;
+    QueueCounters counters;
+  };
+
+  static size_t ResolveRunQueues(const Options& options);
+  /// The ring a submitter feeds: hint mod ring count, or the calling
+  /// thread's stripe.
+  size_t PreferredQueue(uint32_t submitter) const {
+    if (submitter == kNoSubmitterHint) return StripeOf(queues_.size());
+    return queues_.size() == 1 ? 0 : submitter % queues_.size();
+  }
+  /// Pops from `home` first, then steals scanning the other rings in
+  /// index order. Returns false when every ring is empty.
+  bool PopAny(size_t home, WorkItem& out);
+  bool AnyQueueNonEmpty() const;
+
   Outcome SubmitImpl(WorkItem item, bool allow_inline);
   /// Admission-time observability: decides trace sampling, stamps the
   /// policy's queue-wait estimate when someone will consume it, and
@@ -217,13 +293,15 @@ class Stage {
   /// Emits a single-kind event for `item` (shed/expired/dequeue).
   void TraceOutcome(const WorkItem& item, Nanos now, stats::TraceEventKind kind,
                     Nanos arg0 = 0, Nanos arg1 = 0);
-  void WorkerLoop();
+  void WorkerLoop(size_t worker_index);
   /// Runs Points 2–3 for one popped item: dequeue bookkeeping, deadline
-  /// check, handler, completion.
-  void ProcessItem(WorkItem& item);
-  /// Pops every queued item and completes it with kShedded (shutdown
-  /// discard path; also catches items a Submit() raced in after the
-  /// workers exited, so every admitted item terminates exactly once).
+  /// check, handler, completion. `counters` is the executing thread's
+  /// home counter block.
+  void ProcessItem(WorkItem& item, QueueCounters& counters);
+  /// Pops every queued item from every ring and completes it with
+  /// kShedded (shutdown discard path; also catches items a Submit()
+  /// raced in after the workers exited, so every admitted item
+  /// terminates exactly once).
   void DrainAsShedded();
 
   Options options_;
@@ -234,15 +312,14 @@ class Stage {
   Status init_status_;
   Handler handler_;
 
-  MpmcQueue<WorkItem> fifo_;
+  /// The run-queue shards; fixed after construction.
+  std::vector<std::unique_ptr<RunQueue>> queues_;
   ParkingLot idle_workers_;
   std::atomic<bool> stopping_{false};
 
   std::mutex lifecycle_mu_;  ///< Guards started_ / workers_ only.
   bool started_ = false;
   std::vector<std::thread> workers_;
-
-  StageCounters counters_;
 
   stats::FlightRecorder* recorder_ = nullptr;
   stats::Histogram* est_err_under_ = nullptr;  ///< actual > estimate.

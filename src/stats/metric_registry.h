@@ -51,9 +51,10 @@ struct MetricSnapshot {
 };
 
 /// Write-side view handed to collect callbacks: subsystems that already
-/// maintain their own atomic counter blocks (StageCounters, the net
-/// server's per-loop counters, ...) publish them here at snapshot time
-/// instead of double-bumping a registry counter on their hot paths.
+/// maintain their own atomic counter blocks (the stage's per-run-queue
+/// counters, the net server's per-loop counters, ...) publish them here
+/// at snapshot time instead of double-bumping a registry counter on
+/// their hot paths.
 class MetricSink {
  public:
   void AddCounter(std::string name, uint64_t value) {

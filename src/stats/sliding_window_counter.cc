@@ -2,16 +2,28 @@
 
 #include <algorithm>
 
+#include "src/util/stripe.h"
+
 namespace bouncer::stats {
 
+namespace {
+/// Pads a stripe's row of totals to whole cache lines of Cells.
+size_t TotalsStride(size_t num_types, size_t cell_size) {
+  const size_t per_line = std::max<size_t>(kCacheLineSize / cell_size, 1);
+  return (num_types + per_line - 1) / per_line * per_line;
+}
+}  // namespace
+
 SlidingWindowCounter::SlidingWindowCounter(size_t num_types, Nanos duration,
-                                           Nanos step)
+                                           Nanos step, size_t num_stripes)
     : num_types_(num_types),
       step_(std::max<Nanos>(step, 1)),
       num_slots_(static_cast<size_t>((duration + step_ - 1) / step_)),
       duration_(static_cast<Nanos>(num_slots_) * step_),
-      cells_(std::max<size_t>(num_slots_, 1) * num_types_),
-      totals_(num_types_),
+      num_stripes_(num_stripes == 0 ? 1 : num_stripes),
+      totals_stride_(TotalsStride(num_types_, sizeof(Cell))),
+      cells_(num_stripes_ * std::max<size_t>(num_slots_, 1) * num_types_),
+      totals_(num_stripes_ * totals_stride_),
       current_step_(0) {}
 
 void SlidingWindowCounter::AdvanceTo(Nanos now) {
@@ -25,15 +37,21 @@ void SlidingWindowCounter::AdvanceTo(Nanos now) {
   // Retire the slot positions the window rotates into: the slots for
   // steps (current, target], which still hold counts from one full ring
   // revolution ago. A jump of num_slots_ or more clears every slot.
+  // Each stripe's bucket retires into that stripe's own totals, so a
+  // negative bucket (an undo that landed off-stripe) adds back exactly
+  // what the undo subtracted and cross-stripe sums stay consistent.
   for (int64_t i = 1; i <= steps_to_clear; ++i) {
     const size_t slot =
         static_cast<size_t>((current + i) % static_cast<int64_t>(num_slots_));
-    for (size_t t = 0; t < num_types_; ++t) {
-      Cell& cell = cells_[CellIndex(slot, t)];
-      const uint64_t r = cell.received.exchange(0, std::memory_order_relaxed);
-      const uint64_t a = cell.accepted.exchange(0, std::memory_order_relaxed);
-      if (r) totals_[t].received.fetch_sub(r, std::memory_order_relaxed);
-      if (a) totals_[t].accepted.fetch_sub(a, std::memory_order_relaxed);
+    for (size_t s = 0; s < num_stripes_; ++s) {
+      for (size_t t = 0; t < num_types_; ++t) {
+        Cell& cell = cells_[CellIndex(s, slot, t)];
+        const int64_t r = cell.received.exchange(0, std::memory_order_relaxed);
+        const int64_t a = cell.accepted.exchange(0, std::memory_order_relaxed);
+        Cell& total = totals_[TotalIndex(s, t)];
+        if (r) total.received.fetch_sub(r, std::memory_order_relaxed);
+        if (a) total.accepted.fetch_sub(a, std::memory_order_relaxed);
+      }
     }
   }
   current_step_.store(target, std::memory_order_release);
@@ -42,14 +60,16 @@ void SlidingWindowCounter::AdvanceTo(Nanos now) {
 void SlidingWindowCounter::Record(size_t type, bool accepted, Nanos now) {
   if (type >= num_types_) return;
   AdvanceTo(now);
+  const size_t stripe = StripeOf(num_stripes_);
   const size_t slot = static_cast<size_t>((now / step_) %
                                           static_cast<int64_t>(num_slots_));
-  Cell& cell = cells_[CellIndex(slot, type)];
+  Cell& cell = cells_[CellIndex(stripe, slot, type)];
+  Cell& total = totals_[TotalIndex(stripe, type)];
   cell.received.fetch_add(1, std::memory_order_relaxed);
-  totals_[type].received.fetch_add(1, std::memory_order_relaxed);
+  total.received.fetch_add(1, std::memory_order_relaxed);
   if (accepted) {
     cell.accepted.fetch_add(1, std::memory_order_relaxed);
-    totals_[type].accepted.fetch_add(1, std::memory_order_relaxed);
+    total.accepted.fetch_add(1, std::memory_order_relaxed);
   }
 }
 
@@ -58,28 +78,53 @@ void SlidingWindowCounter::UndoAccepted(size_t type, Nanos now) {
   AdvanceTo(now);
   const size_t slot = static_cast<size_t>((now / step_) %
                                           static_cast<int64_t>(num_slots_));
-  Cell& cell = cells_[CellIndex(slot, type)];
-  // Decrement-if-positive so a retraction that lands after the original
-  // slot expired cannot underflow the counters.
-  uint64_t a = cell.accepted.load(std::memory_order_relaxed);
-  while (a > 0 && !cell.accepted.compare_exchange_weak(
-                      a, a - 1, std::memory_order_relaxed)) {
+  // The accept being retracted may sit on any stripe (the shedding
+  // thread is not necessarily the deciding thread): check the bucket's
+  // cross-stripe sum, then decrement the caller's own stripe. Its cell
+  // may dip negative; rotation and the clamped reads absorb that. If the
+  // summed bucket is already empty the accept aged out with its slot —
+  // decrementing now would understate some current bucket.
+  int64_t bucket = 0;
+  for (size_t s = 0; s < num_stripes_; ++s) {
+    bucket += cells_[CellIndex(s, slot, type)].accepted.load(
+        std::memory_order_relaxed);
   }
-  if (a == 0) return;  // The accept already aged out with its slot.
-  uint64_t t = totals_[type].accepted.load(std::memory_order_relaxed);
-  while (t > 0 && !totals_[type].accepted.compare_exchange_weak(
-                      t, t - 1, std::memory_order_relaxed)) {
+  if (bucket <= 0) return;
+  const size_t stripe = StripeOf(num_stripes_);
+  cells_[CellIndex(stripe, slot, type)].accepted.fetch_sub(
+      1, std::memory_order_relaxed);
+  totals_[TotalIndex(stripe, type)].accepted.fetch_sub(
+      1, std::memory_order_relaxed);
+}
+
+int64_t SlidingWindowCounter::SumAccepted(size_t type) const {
+  int64_t sum = 0;
+  for (size_t s = 0; s < num_stripes_; ++s) {
+    sum += totals_[TotalIndex(s, type)].accepted.load(
+        std::memory_order_relaxed);
   }
+  return sum;
+}
+
+int64_t SlidingWindowCounter::SumReceived(size_t type) const {
+  int64_t sum = 0;
+  for (size_t s = 0; s < num_stripes_; ++s) {
+    sum += totals_[TotalIndex(s, type)].received.load(
+        std::memory_order_relaxed);
+  }
+  return sum;
 }
 
 uint64_t SlidingWindowCounter::AcceptedCount(size_t type) const {
   if (type >= num_types_) return 0;
-  return totals_[type].accepted.load(std::memory_order_relaxed);
+  const int64_t sum = SumAccepted(type);
+  return sum > 0 ? static_cast<uint64_t>(sum) : 0;
 }
 
 uint64_t SlidingWindowCounter::ReceivedCount(size_t type) const {
   if (type >= num_types_) return 0;
-  return totals_[type].received.load(std::memory_order_relaxed);
+  const int64_t sum = SumReceived(type);
+  return sum > 0 ? static_cast<uint64_t>(sum) : 0;
 }
 
 double SlidingWindowCounter::AcceptanceRatio(size_t type,

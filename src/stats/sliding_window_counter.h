@@ -16,14 +16,23 @@ namespace bouncer::stats {
 ///
 /// Counts are recorded into the step bucket that `now` falls in; expired
 /// buckets are retired from running totals as time advances, so
-/// AcceptedCount()/ReceivedCount() are O(1). Increments are lock-free;
-/// step rotation takes a mutex (at most once per Δ).
+/// AcceptedCount()/ReceivedCount() are O(1) per stripe. Increments are
+/// lock-free; step rotation takes a mutex (at most once per Δ).
+///
+/// With `num_stripes` > 1 every bucket and running total is striped by
+/// writer affinity (StripeOf): each decision thread increments only its
+/// own stripe's cells, and reads sum across stripes. UndoAccepted() may
+/// decrement a different stripe than the one the accept landed on, so
+/// per-stripe values are signed and can dip negative; only cross-stripe
+/// sums are meaningful and reads clamp them at zero. One stripe (the
+/// default) is the exact single-counter behavior.
 class SlidingWindowCounter {
  public:
   /// `num_types`: number of tracked query types (fixed).
   /// `duration` / `step`: window size D and step Δ; duration is rounded up
   /// to a whole number of steps.
-  SlidingWindowCounter(size_t num_types, Nanos duration, Nanos step);
+  SlidingWindowCounter(size_t num_types, Nanos duration, Nanos step,
+                       size_t num_stripes = 1);
 
   SlidingWindowCounter(const SlidingWindowCounter&) = delete;
   SlidingWindowCounter& operator=(const SlidingWindowCounter&) = delete;
@@ -59,26 +68,36 @@ class SlidingWindowCounter {
   double AverageAcceptanceRatio() const;
 
   size_t num_types() const { return num_types_; }
+  size_t num_stripes() const { return num_stripes_; }
   Nanos duration() const { return duration_; }
   Nanos step() const { return step_; }
 
  private:
   struct Cell {
-    std::atomic<uint64_t> received{0};
-    std::atomic<uint64_t> accepted{0};
+    std::atomic<int64_t> received{0};
+    std::atomic<int64_t> accepted{0};
   };
 
-  size_t CellIndex(size_t slot, size_t type) const {
-    return slot * num_types_ + type;
+  /// Bucket cell of (stripe, slot, type).
+  size_t CellIndex(size_t stripe, size_t slot, size_t type) const {
+    return (stripe * num_slots_ + slot) * num_types_ + type;
   }
+  /// Running-total cell of (stripe, type); stripes padded apart.
+  size_t TotalIndex(size_t stripe, size_t type) const {
+    return stripe * totals_stride_ + type;
+  }
+  int64_t SumAccepted(size_t type) const;
+  int64_t SumReceived(size_t type) const;
 
   const size_t num_types_;
   const Nanos step_;
   const size_t num_slots_;
   const Nanos duration_;
+  const size_t num_stripes_;
+  const size_t totals_stride_;
 
-  std::vector<Cell> cells_;          // num_slots_ x num_types_.
-  std::vector<Cell> totals_;         // Per type, over live slots.
+  std::vector<Cell> cells_;   // num_stripes_ x num_slots_ x num_types_.
+  std::vector<Cell> totals_;  // num_stripes_ x num_types_, over live slots.
   std::atomic<int64_t> current_step_;  // Absolute step number of newest slot.
   std::mutex advance_mu_;
 };

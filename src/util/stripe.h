@@ -1,0 +1,39 @@
+#ifndef BOUNCER_UTIL_STRIPE_H_
+#define BOUNCER_UTIL_STRIPE_H_
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+
+#include "src/util/mpmc_queue.h"  // kCacheLineSize
+
+namespace bouncer {
+
+/// Dense process-wide thread token, assigned on first use. Stable for the
+/// thread's lifetime; tokens of exited threads are not recycled. Used to
+/// pick a home stripe/run-queue for striped single-writer counter blocks,
+/// so a thread keeps hitting the same cache lines instead of contending
+/// on shared ones.
+inline uint32_t ThreadStripeToken() {
+  static std::atomic<uint32_t> next_token{0};
+  thread_local const uint32_t token =
+      next_token.fetch_add(1, std::memory_order_relaxed);
+  return token;
+}
+
+/// The calling thread's home stripe among `num_stripes`. Stripe 0 for a
+/// single stripe (no thread-local lookup on that path).
+inline size_t StripeOf(size_t num_stripes) {
+  return num_stripes <= 1 ? 0 : ThreadStripeToken() % num_stripes;
+}
+
+/// Rounds a row of `cells` 8-byte counters up to whole cache lines, so
+/// consecutive stripes of a flat striped array never share a line.
+inline size_t StripeStride(size_t cells) {
+  constexpr size_t kPerLine = kCacheLineSize / sizeof(std::atomic<int64_t>);
+  return (cells + kPerLine - 1) / kPerLine * kPerLine;
+}
+
+}  // namespace bouncer
+
+#endif  // BOUNCER_UTIL_STRIPE_H_

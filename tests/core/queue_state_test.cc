@@ -97,5 +97,57 @@ TEST(QueueStateTest, ConcurrentProducersConsumersAndReaders) {
             kThreadsPerSide * kPerThread);
 }
 
+// Striped cells: cross-stripe sums must stay exact even when the
+// enqueue and the matching dequeue land on different threads' stripes
+// (a worker steals an item another thread submitted), which drives
+// individual stripe cells negative.
+TEST(QueueStateTest, StripedCrossThreadBalance) {
+  constexpr size_t kStripes = 4;
+  constexpr uint64_t kPerThread = 40'000;
+  QueueState q(2, kStripes);
+  EXPECT_EQ(q.num_stripes(), kStripes);
+  // Producer threads enqueue only; consumer threads dequeue only. Each
+  // thread gets its own stripe token, so every dequeue decrements a
+  // different stripe than the enqueue it pairs with.
+  for (uint64_t i = 0; i < 2 * kPerThread; ++i) q.OnEnqueued(i % 2);
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 2; ++t) {
+    threads.emplace_back([&q] {
+      for (uint64_t i = 0; i < kPerThread; ++i) {
+        q.OnEnqueued(static_cast<QueryTypeId>(i % 2));
+      }
+    });
+    threads.emplace_back([&q] {
+      for (uint64_t i = 0; i < kPerThread; ++i) {
+        q.OnDequeued(static_cast<QueryTypeId>(i % 2));
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  EXPECT_EQ(q.TotalLength(), 2 * kPerThread);
+  EXPECT_EQ(q.CountForType(0), kPerThread);
+  EXPECT_EQ(q.CountForType(1), kPerThread);
+}
+
+// Reads clamp at zero: a momentarily-negative cross-stripe sum (reader
+// saw the dequeue stripe but not yet the enqueue stripe) must never
+// underflow the unsigned result. Exercised by dequeuing on a fresh
+// thread before its stripe ever saw the enqueue.
+TEST(QueueStateTest, StripedReadsClampAtZero) {
+  QueueState q(1, 2);
+  q.OnEnqueued(0);
+  std::thread consumer([&q] {
+    q.OnDequeued(0);
+    q.OnDequeued(0);  // Transient over-dequeue from this stripe's view.
+  });
+  consumer.join();
+  EXPECT_EQ(q.TotalLength(), 0u);
+  EXPECT_EQ(q.CountForType(0), 0u);
+  q.OnEnqueued(0);
+  EXPECT_EQ(q.TotalLength(), 0u);  // Still one short overall.
+  q.OnEnqueued(0);
+  EXPECT_EQ(q.TotalLength(), 1u);
+}
+
 }  // namespace
 }  // namespace bouncer

@@ -265,6 +265,121 @@ TEST_F(ClusterScatterStressTest, FastMatchesLegacyValues) {
   legacy.Stop();
 }
 
+/// Execution-core equivalence: the sharded core (per-worker run queues
+/// with stealing, striped admission counters) and the forced single
+/// global FIFO produce identical query values for every op.
+TEST_F(ClusterScatterStressTest, ShardedMatchesSingleQueueValues) {
+  QueryTypeRegistry registry_sharded = Cluster::MakeRegistry(kSlo);
+  QueryTypeRegistry registry_single = Cluster::MakeRegistry(kSlo);
+  Cluster::Options options;
+  options.num_brokers = 1;
+  options.broker_workers = 4;
+  options.num_shards = 2;
+  options.shard_workers = 2;
+  options.work_per_edge = 4;
+  options.broker_policy.kind = PolicyKind::kAlwaysAccept;
+  options.shard_policy.kind = PolicyKind::kAlwaysAccept;
+  Cluster sharded(graph_, &registry_sharded, SystemClock::Global(), options);
+  options.force_single_queue = true;
+  Cluster single(graph_, &registry_single, SystemClock::Global(), options);
+  ASSERT_TRUE(sharded.Start().ok());
+  ASSERT_TRUE(single.Start().ok());
+
+  const auto ask = [](Cluster& cluster, const GraphQuery& q) {
+    std::mutex mu;
+    std::condition_variable cv;
+    bool done = false;
+    GraphQueryResult out;
+    cluster.Submit(q, /*deadline=*/0,
+                   [&](const server::WorkItem&, Outcome,
+                       const GraphQueryResult& result) {
+                     std::lock_guard<std::mutex> lock(mu);
+                     out = result;
+                     done = true;
+                     cv.notify_all();
+                   });
+    std::unique_lock<std::mutex> lock(mu);
+    cv.wait(lock, [&] { return done; });
+    return out;
+  };
+
+  Rng rng(61);
+  for (size_t op = 0; op < kNumGraphOps; ++op) {
+    for (int i = 0; i < 10; ++i) {
+      const GraphQuery q =
+          Cluster::SampleQuery(static_cast<GraphOp>(op), *graph_, rng);
+      const GraphQueryResult a = ask(sharded, q);
+      const GraphQueryResult b = ask(single, q);
+      ASSERT_TRUE(a.ok);
+      ASSERT_TRUE(b.ok);
+      EXPECT_EQ(a.value, b.value)
+          << "op " << op << " source " << q.source << " target " << q.target;
+    }
+  }
+  sharded.Stop();
+  single.Stop();
+}
+
+/// TSan target for the sharded execution core end to end: concurrent
+/// SubmitBatch callers with distinct run-queue hints (the network-loop
+/// pattern) flood a multi-ring broker stage while gathering broker
+/// workers TryRunOne-steal from the multi-ring shard stages mid-scatter.
+/// Every query must terminate exactly once with a correct result.
+TEST_F(ClusterScatterStressTest, ShardedBrokerStealFlood) {
+  QueryTypeRegistry registry = Cluster::MakeRegistry(kSlo);
+  Cluster::Options options;
+  options.num_brokers = 1;
+  options.broker_workers = 4;  // 4 broker rings.
+  options.num_shards = 2;
+  options.shard_workers = 2;  // 2 rings per shard, stolen by gatherers.
+  options.work_per_edge = 4;
+  options.broker_policy.kind = PolicyKind::kAlwaysAccept;
+  options.shard_policy.kind = PolicyKind::kAlwaysAccept;
+  Cluster cluster(graph_, &registry, SystemClock::Global(), options);
+  ASSERT_TRUE(cluster.Start().ok());
+
+  constexpr int kLoops = 4;
+  constexpr int kBatchesPerLoop = 50;
+  constexpr int kBatchSize = 8;
+  std::mutex mu;
+  std::condition_variable cv;
+  int done = 0;
+  int failed = 0;
+  std::vector<std::thread> loops;
+  for (int loop = 0; loop < kLoops; ++loop) {
+    loops.emplace_back([&, loop] {
+      Rng rng(100 + loop);
+      for (int b = 0; b < kBatchesPerLoop; ++b) {
+        std::vector<Cluster::BatchRequest> batch(kBatchSize);
+        for (auto& request : batch) {
+          request.query = Cluster::SampleQuery(GraphOp::kNeighborDegreeSum,
+                                               *graph_, rng);
+          request.done = [&](const server::WorkItem&, Outcome,
+                             const GraphQueryResult& result) {
+            std::lock_guard<std::mutex> lock(mu);
+            ++done;
+            if (!result.ok) ++failed;
+            cv.notify_all();
+          };
+        }
+        cluster.SubmitBatch(batch, static_cast<uint32_t>(loop));
+      }
+    });
+  }
+  for (auto& t : loops) t.join();
+
+  constexpr int kTotal = kLoops * kBatchesPerLoop * kBatchSize;
+  {
+    std::unique_lock<std::mutex> lock(mu);
+    cv.wait_for(lock, std::chrono::seconds(30),
+                [&] { return done == kTotal; });
+  }
+  cluster.Stop();
+  EXPECT_EQ(done, kTotal);
+  EXPECT_EQ(failed, 0);
+  EXPECT_EQ(cluster.shard_failures(), 0u);
+}
+
 /// Satellite (f): with Options::shard_metrics wired, shard stages report
 /// Points 1–3 per subquery batch — enough to compute shard utilization
 /// (BusyMs over the worker-time budget).

@@ -232,8 +232,8 @@ TEST_F(ClusterTest, RoundRobinAcrossBrokers) {
     });
   }
   while (finished.load() < 40) std::this_thread::yield();
-  EXPECT_GT(cluster.broker(0)->counters().received.load(), 0u);
-  EXPECT_GT(cluster.broker(1)->counters().received.load(), 0u);
+  EXPECT_GT(cluster.broker(0)->counters().received, 0u);
+  EXPECT_GT(cluster.broker(1)->counters().received, 0u);
   cluster.Stop();
 }
 

@@ -351,12 +351,11 @@ TEST(StageBatchTest, StressMixedSubmitPaths) {
   EXPECT_EQ(f.completed.load() + f.rejected.load() + f.expired.load() +
                 f.shedded.load(),
             f.done_count.load());
-  const auto& counters = f.stage->counters();
-  EXPECT_EQ(counters.received.load(),
-            static_cast<uint64_t>(submitted_total.load()));
-  EXPECT_EQ(counters.completed.load() + counters.rejected.load() +
-                counters.expired.load() + counters.shedded.load(),
-            counters.received.load());
+  const auto counters = f.stage->counters();
+  EXPECT_EQ(counters.received, static_cast<uint64_t>(submitted_total.load()));
+  EXPECT_EQ(counters.completed + counters.rejected + counters.expired +
+                counters.shedded,
+            counters.received);
 }
 
 TEST(StageBatchTest, EmptyBatchIsNoop) {

@@ -109,8 +109,8 @@ TEST(StageTest, ProcessesSubmittedWork) {
   f.WaitFor(f.completed, 50);
   f.stage->Stop();
   EXPECT_EQ(f.completed.load(), 50);
-  EXPECT_EQ(f.stage->counters().completed.load(), 50u);
-  EXPECT_EQ(f.stage->counters().received.load(), 50u);
+  EXPECT_EQ(f.stage->counters().completed, 50u);
+  EXPECT_EQ(f.stage->counters().received, 50u);
 }
 
 TEST(StageTest, TimestampsAreOrdered) {
@@ -164,7 +164,7 @@ TEST(StageTest, ExpiredItemsSkipProcessing) {
   EXPECT_EQ(f.completed.load(), 1);
   EXPECT_EQ(f.expired.load(), 1);
   EXPECT_EQ(f.handled.load(), 1);  // The expired one never ran.
-  EXPECT_EQ(f.stage->counters().expired.load(), 1u);
+  EXPECT_EQ(f.stage->counters().expired, 1u);
 }
 
 TEST(StageTest, QueueCapacitySheds) {
@@ -234,7 +234,7 @@ TEST(StageTest, ConcurrentSubmitters) {
   f.WaitFor(f.done_count, 4 * kPerThread);
   f.stage->Stop();
   EXPECT_EQ(f.done_count.load(), 4 * kPerThread);
-  EXPECT_EQ(f.stage->counters().received.load(),
+  EXPECT_EQ(f.stage->counters().received,
             static_cast<uint64_t>(4 * kPerThread));
 }
 
@@ -295,7 +295,7 @@ TEST(StageTest, SheddingNotifiesPolicy) {
   // The ring (capacity 2) plus one busy worker cannot absorb 32 items.
   EXPECT_GT(f.shedded.load(), 0);
   // Stage counters and policy hooks tell the same story.
-  EXPECT_EQ(probe->shedded.load(), stage.counters().shedded.load());
+  EXPECT_EQ(probe->shedded.load(), stage.counters().shedded);
   EXPECT_EQ(probe->enqueued.load(),
             probe->dequeued.load() + probe->shedded.load());
   EXPECT_EQ(stage.queue_state().TotalLength(), 0u);
@@ -332,13 +332,13 @@ TEST(StageTest, ConcurrentSheddingStress) {
   stage.Stop(true);  // Drain: queued work completes.
 
   EXPECT_EQ(f.done_count.load(), kThreads * kPerThread);
-  EXPECT_EQ(stage.counters().received.load(),
+  EXPECT_EQ(stage.counters().received,
             static_cast<uint64_t>(kThreads * kPerThread));
   EXPECT_EQ(probe->enqueued.load(),
             probe->dequeued.load() + probe->shedded.load());
   EXPECT_EQ(stage.queue_state().TotalLength(), 0u);
   // Accepted items completed; shedded items never touched a worker.
-  EXPECT_EQ(stage.counters().accepted.load(),
+  EXPECT_EQ(stage.counters().accepted,
             probe->dequeued.load());
   EXPECT_EQ(static_cast<uint64_t>(f.completed.load() + f.expired.load()),
             probe->dequeued.load());
@@ -367,7 +367,7 @@ TEST(StageTest, SubmitInlineRunsOnCallerWhenIdle) {
   // Synchronous: the terminal callback already fired when we return.
   EXPECT_EQ(f.completed.load(), 1);
   EXPECT_TRUE(ran_on_caller.load());
-  EXPECT_EQ(stage.counters().completed.load(), 1u);
+  EXPECT_EQ(stage.counters().completed, 1u);
   EXPECT_EQ(stage.queue_state().TotalLength(), 0u);
   stage.Stop();
 }
@@ -419,7 +419,7 @@ TEST(StageTest, TryRunOneProcessesQueuedItem) {
   EXPECT_TRUE(f.stage->TryRunOne());
   EXPECT_FALSE(f.stage->TryRunOne());
   EXPECT_EQ(f.completed.load(), 2);
-  EXPECT_EQ(f.stage->counters().completed.load(), 2u);
+  EXPECT_EQ(f.stage->counters().completed, 2u);
   EXPECT_EQ(f.stage->queue_state().TotalLength(), 0u);
 }
 

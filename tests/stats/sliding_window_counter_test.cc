@@ -118,5 +118,50 @@ TEST(SlidingWindowCounterTest, ConcurrentRecords) {
   }
 }
 
+// Striped cells: totals must stay exact when records land on many
+// threads' stripes, and a cross-stripe UndoAccepted (the accept landed
+// on another thread's stripe) must still retract exactly one accept.
+TEST(SlidingWindowCounterTest, StripedRecordsSumExactly) {
+  SlidingWindowCounter w(2, kWindow, kStep, /*num_stripes=*/4);
+  EXPECT_EQ(w.num_stripes(), 4u);
+  constexpr int kPerThread = 10000;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 4; ++t) {
+    threads.emplace_back([&w] {
+      for (int i = 0; i < kPerThread; ++i) {
+        w.Record(0, i % 2 == 0, kStep);
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  EXPECT_EQ(w.ReceivedCount(0), static_cast<uint64_t>(4 * kPerThread));
+  EXPECT_EQ(w.AcceptedCount(0), static_cast<uint64_t>(4 * kPerThread / 2));
+  EXPECT_EQ(w.ReceivedCount(1), 0u);
+}
+
+TEST(SlidingWindowCounterTest, StripedCrossThreadUndo) {
+  SlidingWindowCounter w(1, kWindow, kStep, /*num_stripes=*/2);
+  w.Record(0, true, 0);
+  w.Record(0, true, 0);
+  // Undo from a fresh thread: its stripe never saw the accepts, driving
+  // that stripe's cells negative; the cross-stripe sums stay exact.
+  std::thread undoer([&w] { w.UndoAccepted(0, 0); });
+  undoer.join();
+  EXPECT_EQ(w.AcceptedCount(0), 1u);
+  EXPECT_EQ(w.ReceivedCount(0), 2u);  // Undo never retracts received.
+  // The negative stripe bucket retires cleanly on rotation.
+  w.AdvanceTo(2 * kWindow);
+  EXPECT_EQ(w.AcceptedCount(0), 0u);
+  EXPECT_EQ(w.ReceivedCount(0), 0u);
+}
+
+TEST(SlidingWindowCounterTest, StripedUndoWithNothingAcceptedIsNoop) {
+  SlidingWindowCounter w(1, kWindow, kStep, /*num_stripes=*/2);
+  w.Record(0, false, 0);
+  w.UndoAccepted(0, 0);  // Bucket's cross-stripe accepted sum is 0.
+  EXPECT_EQ(w.AcceptedCount(0), 0u);
+  EXPECT_EQ(w.ReceivedCount(0), 1u);
+}
+
 }  // namespace
 }  // namespace bouncer::stats
