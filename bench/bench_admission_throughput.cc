@@ -20,6 +20,15 @@
 // BOUNCER_BENCH_GUARD_MIN_RATIO x single-queue (default 0.9 — a
 // regression guard, not a speedup assertion, so core-starved CI hosts
 // don't flap).
+//
+// A third sweep prices the high-cardinality tenant dimension: a tenant
+// ladder (1 / 100 / 1k / 10k / 100k tenants, uniform draw per submit)
+// over Bouncer wrapped in TenantFairPolicy, A/B between the flat-indexed
+// PolicyStateTable slab and the shared-lock unordered_map baseline
+// (Options::use_map_baseline). The acceptance bar: the flat slab's
+// per-decision cost at 10k tenants stays within ~1.15x of the
+// single-tenant cell and beats the map baseline. --guard also runs a
+// 10k-tenant flat-vs-map rung under the same threshold env var.
 
 #include <chrono>
 #include <cstdio>
@@ -31,6 +40,7 @@
 
 #include "bench/bench_common.h"
 #include "src/core/policy_factory.h"
+#include "src/core/tenant_registry.h"
 #include "src/server/stage.h"
 #include "src/stats/flight_recorder.h"
 #include "src/stats/histogram.h"
@@ -91,9 +101,11 @@ BouncerPolicy* FindBouncer(AdmissionPolicy* policy) {
 struct CellResult {
   std::string policy;
   size_t num_types = 0;
+  size_t num_tenants = 0;  ///< 0 = tenant dimension off.
   size_t submitters = kSubmitters;
   size_t workers = 0;
   int single_queue = 0;  ///< force_single_queue (pre-sharding core).
+  int tenant_map = 0;    ///< unordered_map A/B baseline for tenant state.
   int tracing = 0;       ///< Flight recorder enabled (1-in-64 sampling).
   double seconds = 0;
   uint64_t decisions = 0;
@@ -109,9 +121,13 @@ struct CellResult {
 
 struct CellParams {
   size_t num_types = 8;
+  /// > 0 wraps the policy in TenantFairPolicy over this many
+  /// pre-registered tenants, drawn uniformly per submit.
+  size_t num_tenants = 0;
   size_t submitters = kSubmitters;
   size_t workers = 0;  ///< 0 = BenchWorkers().
   bool force_single_queue = false;
+  bool tenant_map_baseline = false;
   bool tracing = false;
 };
 
@@ -136,7 +152,22 @@ CellResult RunCell(const Variant& variant, Nanos duration,
   stats::FlightRecorder recorder;
   recorder.SetEnabled(params.tracing);
   options.recorder = &recorder;
-  const PolicyConfig config = variant.config;
+  // Tenant ladder: pre-register the population (dense ids 1..N — the
+  // steady state; first-contact interning is priced elsewhere) and draw
+  // tenants uniformly per submit, the worst case for the state table's
+  // cache locality.
+  TenantRegistry tenant_registry;
+  if (params.num_tenants > 0) {
+    for (size_t t = 1; t <= params.num_tenants; ++t) {
+      (void)tenant_registry.Register(t, 1.0);
+    }
+    options.tenants = &tenant_registry;
+  }
+  PolicyConfig config = variant.config;
+  if (params.num_tenants > 0) {
+    config.tenant_fair = true;
+    config.tenant_fair_options.use_map_baseline = params.tenant_map_baseline;
+  }
   server::Stage stage(
       options, &registry, SystemClock::Global(),
       [&config](const PolicyContext& context) {
@@ -183,6 +214,10 @@ CellResult RunCell(const Variant& variant, Nanos duration,
           server::WorkItem item;
           item.type = static_cast<QueryTypeId>(
               1 + thread_rng.NextBounded(num_types));
+          if (params.num_tenants > 0) {
+            item.tenant = static_cast<TenantId>(
+                1 + thread_rng.NextBounded(params.num_tenants));
+          }
           // Ids stamped in both columns so on/off differ only in the
           // recorder's enabled bit (the sampling hash's key source).
           item.id = (static_cast<uint64_t>(s) << 40) | local;
@@ -205,9 +240,11 @@ CellResult RunCell(const Variant& variant, Nanos duration,
   CellResult r;
   r.policy = variant.name;
   r.num_types = num_types;
+  r.num_tenants = params.num_tenants;
   r.submitters = params.submitters;
   r.workers = options.num_workers;
   r.single_queue = params.force_single_queue ? 1 : 0;
+  r.tenant_map = params.tenant_map_baseline ? 1 : 0;
   r.tracing = params.tracing ? 1 : 0;
   r.seconds = std::chrono::duration<double>(bench_end - bench_start).count();
   r.decisions = decisions.load();
@@ -229,15 +266,18 @@ void WriteCells(std::FILE* f, const std::vector<CellResult>& results) {
     const CellResult& r = results[i];
     std::fprintf(
         f,
-        "    {\"policy\": \"%s\", \"num_types\": %zu, \"submitters\": %zu, "
-        "\"workers\": %zu, \"single_queue\": %d, \"tracing\": %d, "
+        "    {\"policy\": \"%s\", \"num_types\": %zu, "
+        "\"num_tenants\": %zu, \"submitters\": %zu, "
+        "\"workers\": %zu, \"single_queue\": %d, \"tenant_map\": %d, "
+        "\"tracing\": %d, "
         "\"seconds\": %.3f, \"decisions\": %llu, "
         "\"decisions_per_sec\": %.0f, \"submit_mean_ns\": %lld, "
         "\"submit_p50_ns\": %lld, \"submit_p90_ns\": %lld, "
         "\"submit_p99_ns\": %lld, \"accepted\": %llu, "
         "\"rejected\": %llu, \"shedded\": %llu}%s\n",
-        r.policy.c_str(), r.num_types, r.submitters, r.workers, r.single_queue,
-        r.tracing, r.seconds, static_cast<unsigned long long>(r.decisions),
+        r.policy.c_str(), r.num_types, r.num_tenants, r.submitters,
+        r.workers, r.single_queue, r.tenant_map, r.tracing, r.seconds,
+        static_cast<unsigned long long>(r.decisions),
         r.decisions_per_sec, static_cast<long long>(r.submit_mean),
         static_cast<long long>(r.submit_p50),
         static_cast<long long>(r.submit_p90),
@@ -300,12 +340,8 @@ int RunGuard(Nanos duration) {
         cpus, kFullGuardCpus, configured_min_ratio, min_ratio);
   }
   const Variant variant = GridVariant();
-  CellParams params;
-  params.num_types = 512;
-  params.submitters = kSubmitters;
 
-  auto best_of_3 = [&](bool single_queue) {
-    params.force_single_queue = single_queue;
+  auto best_of_3 = [&](const CellParams& params) {
     CellResult best;
     for (int run = 0; run < 3; ++run) {
       CellResult r = RunCell(variant, duration, params);
@@ -313,21 +349,53 @@ int RunGuard(Nanos duration) {
     }
     return best;
   };
-  const CellResult sharded = best_of_3(false);
-  const CellResult single = best_of_3(true);
+
+  CellParams core_params;
+  core_params.num_types = 512;
+  core_params.submitters = kSubmitters;
+  core_params.force_single_queue = false;
+  const CellResult sharded = best_of_3(core_params);
+  core_params.force_single_queue = true;
+  const CellResult single = best_of_3(core_params);
   const double ratio = single.decisions_per_sec > 0
                            ? sharded.decisions_per_sec /
                                  single.decisions_per_sec
                            : 0;
 
-  std::printf("%-24s %9s %10s %12s\n", "core", "types", "submitters",
-              "decisions/s");
-  PrintRule(60);
-  std::printf("%-24s %9zu %10zu %12.0f\n", "sharded", sharded.num_types,
-              sharded.submitters, sharded.decisions_per_sec);
-  std::printf("%-24s %9zu %10zu %12.0f\n", "single-queue", single.num_types,
-              single.submitters, single.decisions_per_sec);
+  // The 10k-tenant rung: flat-indexed tenant state vs the unordered_map
+  // baseline under the same threshold. Flat should win outright; the
+  // sub-1.0 threshold only absorbs scheduler noise on starved hosts.
+  CellParams tenant_params;
+  tenant_params.num_types = 8;
+  tenant_params.num_tenants = 10'000;
+  tenant_params.submitters = kSubmitters;
+  tenant_params.tenant_map_baseline = false;
+  const CellResult tenant_flat = best_of_3(tenant_params);
+  tenant_params.tenant_map_baseline = true;
+  const CellResult tenant_map = best_of_3(tenant_params);
+  const double tenant_ratio = tenant_map.decisions_per_sec > 0
+                                  ? tenant_flat.decisions_per_sec /
+                                        tenant_map.decisions_per_sec
+                                  : 0;
+
+  std::printf("%-24s %9s %9s %10s %12s\n", "cell", "types", "tenants",
+              "submitters", "decisions/s");
+  PrintRule(70);
+  std::printf("%-24s %9zu %9zu %10zu %12.0f\n", "sharded", sharded.num_types,
+              sharded.num_tenants, sharded.submitters,
+              sharded.decisions_per_sec);
+  std::printf("%-24s %9zu %9zu %10zu %12.0f\n", "single-queue",
+              single.num_types, single.num_tenants, single.submitters,
+              single.decisions_per_sec);
+  std::printf("%-24s %9zu %9zu %10zu %12.0f\n", "tenant-flat",
+              tenant_flat.num_types, tenant_flat.num_tenants,
+              tenant_flat.submitters, tenant_flat.decisions_per_sec);
+  std::printf("%-24s %9zu %9zu %10zu %12.0f\n", "tenant-map",
+              tenant_map.num_types, tenant_map.num_tenants,
+              tenant_map.submitters, tenant_map.decisions_per_sec);
   std::printf("sharded/single-queue = %.3fx (min %.3fx)\n", ratio, min_ratio);
+  std::printf("tenant flat/map at 10k = %.3fx (min %.3fx)\n", tenant_ratio,
+              min_ratio);
 
   std::FILE* f = std::fopen("BENCH_admission_guard.json", "w");
   if (f != nullptr) {
@@ -335,9 +403,10 @@ int RunGuard(Nanos duration) {
     WriteHostJsonFields(f);
     std::fprintf(f, "  \"min_ratio\": %.3f, \"ratio\": %.3f,\n", min_ratio,
                  ratio);
+    std::fprintf(f, "  \"tenant_ratio\": %.3f,\n", tenant_ratio);
     std::fprintf(f, "  \"core_starved\": %s,\n",
                  core_starved ? "true" : "false");
-    WriteCells(f, {sharded, single});
+    WriteCells(f, {sharded, single, tenant_flat, tenant_map});
     std::fprintf(f, "}\n");
     std::fclose(f);
     std::printf("wrote BENCH_admission_guard.json\n");
@@ -348,6 +417,13 @@ int RunGuard(Nanos duration) {
                  "FAIL: sharded execution core at %.3fx of single-queue "
                  "(threshold %.3fx)\n",
                  ratio, min_ratio);
+    return 1;
+  }
+  if (tenant_ratio < min_ratio) {
+    std::fprintf(stderr,
+                 "FAIL: flat tenant state at %.3fx of the map baseline "
+                 "(threshold %.3fx)\n",
+                 tenant_ratio, min_ratio);
     return 1;
   }
   std::printf("guard OK\n");
@@ -446,6 +522,32 @@ int Main(int argc, char** argv) {
   }
   PrintRule(94);
 
+  // Tenant ladder: Bouncer + TenantFairPolicy over a growing tenant
+  // population, flat slab vs unordered_map A/B. The flat column should
+  // stay near-flat up the ladder (O(1) addressing, one cache line per
+  // tenant); the map column pays the shared lock and pointer chase.
+  const std::vector<size_t> tenant_counts =
+      BenchScale() == 0 ? std::vector<size_t>{1, 10'000}
+                        : std::vector<size_t>{1, 100, 1'000, 10'000, 100'000};
+  std::printf("%-24s %9s %12s %12s %10s\n", "tenant state", "tenants",
+              "decisions/s", "mean_ns", "p99_ns");
+  PrintRule(94);
+  for (const size_t num_tenants : tenant_counts) {
+    for (const bool map_baseline : {false, true}) {
+      CellParams params;
+      params.num_types = 8;
+      params.num_tenants = num_tenants;
+      params.tenant_map_baseline = map_baseline;
+      const CellResult r = RunCell(grid_variant, duration, params);
+      std::printf("%-24s %9zu %12.0f %12lld %10lld\n",
+                  map_baseline ? "map" : "flat", r.num_tenants,
+                  r.decisions_per_sec, static_cast<long long>(r.submit_mean),
+                  static_cast<long long>(r.submit_p99));
+      results.push_back(r);
+    }
+  }
+  PrintRule(94);
+
   WriteJson(results);
   std::printf("wrote BENCH_admission_throughput.json\n");
 
@@ -477,6 +579,34 @@ int Main(int argc, char** argv) {
     if (sharded > 0 && single > 0) {
       std::printf("submitters=%zu types=512: sharded/single-queue = %.2fx\n",
                   kSubmitters, sharded / single);
+    }
+  }
+  // Tenant-ladder headlines: flat vs map throughput per rung, and the
+  // flat slab's per-decision cost at 10k tenants relative to the
+  // single-tenant cell (the <= ~1.15x cardinality-proofness bar).
+  {
+    double flat_mean_1 = 0, flat_mean_10k = 0;
+    for (const size_t n : tenant_counts) {
+      double flat = 0, map = 0;
+      for (const CellResult& r : results) {
+        if (r.num_tenants != n || r.num_types != 8 || r.tracing != 0) {
+          continue;
+        }
+        if (r.tenant_map == 0) {
+          flat = r.decisions_per_sec;
+          if (n == 1) flat_mean_1 = static_cast<double>(r.submit_mean);
+          if (n == 10'000) flat_mean_10k = static_cast<double>(r.submit_mean);
+        } else {
+          map = r.decisions_per_sec;
+        }
+      }
+      if (flat > 0 && map > 0) {
+        std::printf("tenants=%zu: flat/map = %.2fx\n", n, flat / map);
+      }
+    }
+    if (flat_mean_1 > 0 && flat_mean_10k > 0) {
+      std::printf("flat per-decision mean: 10k tenants / 1 tenant = %.3fx\n",
+                  flat_mean_10k / flat_mean_1);
     }
   }
   return 0;

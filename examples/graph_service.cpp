@@ -74,6 +74,13 @@ void PrintHelp() {
       "  --shard-workers=N   workers per shard (default 1)\n"
       "  --allowance=F       broker acceptance allowance (default 0.10)\n"
       "  --queue-guard=N     broker queue guard limit (default 48)\n"
+      "  --tenant-fair=0|1   weighted-fair admission across tenants "
+      "(default\n"
+      "                      0; stats rows appear as tenant.<id>.*)\n"
+      "  --tenant-flood-guard=N  queue depth at which a tenant is capped "
+      "at\n"
+      "                      its weighted queue share (default 32 when\n"
+      "                      --tenant-fair; 0 = off)\n"
       "  --single-queue=0|1  force one global run queue per stage instead "
       "of\n"
       "                      per-worker run queues with stealing (default "
@@ -124,6 +131,21 @@ int main(int argc, char** argv) {
   options.shard_policy.kind = PolicyKind::kAcceptFraction;
   options.shard_policy.accept_fraction.max_utilization = 0.98;
 
+  // Multi-tenant admission: requests carrying a wire tenant id are
+  // interned here; --tenant-fair adds the weighted-fair layer on the
+  // brokers. The registry is cheap when unused (single-tenant traffic
+  // all lands on the pre-interned default tenant).
+  TenantRegistry tenant_registry;
+  options.tenants = &tenant_registry;
+  const bool tenant_fair = flags.GetBool("tenant-fair", false);
+  const uint64_t tenant_flood_guard =
+      flags.GetUint("tenant-flood-guard", tenant_fair ? 32 : 0);
+  if (tenant_fair) {
+    options.broker_policy.tenant_fair = true;
+    options.broker_policy.tenant_fair_options.flood_guard_limit =
+        tenant_flood_guard;
+  }
+
   const double steady_qps = flags.GetDouble("steady-qps", 300);
   const double surge_qps = flags.GetDouble("surge-qps", 1400);
   const Nanos phase_duration =
@@ -173,6 +195,7 @@ int main(int argc, char** argv) {
     server_options.num_loops = num_loops;
     server_options.backend = backend;
     server_options.metrics = &metric_registry;
+    server_options.tenants = &tenant_registry;
     net::NetServer server(&cluster, server_options);
     if (Status s = server.Start(); !s.ok()) {
       std::fprintf(stderr, "server start failed: %s\n",

@@ -10,6 +10,7 @@
 //
 //   ./build/examples/net_client --help
 
+#include <atomic>
 #include <cstdio>
 #include <cstdlib>
 #include <thread>
@@ -19,6 +20,7 @@
 #include "src/net/net_client.h"
 #include "src/util/rng.h"
 #include "src/workload/load_generator.h"
+#include "src/workload/tenant_mix.h"
 
 using namespace bouncer;
 
@@ -40,7 +42,13 @@ void PrintHelp() {
       "  --vertices=N      vertex-id space of the server's graph "
       "(default 50000)\n"
       "  --deadline-ms=F   per-query deadline (0 = none)\n"
-      "  --seed=N          RNG seed (default 1)\n\n"
+      "  --seed=N          RNG seed (default 1)\n"
+      "  --tenants=N       stamp tenant ids 1..N on requests (default 0:\n"
+      "                    no tenant field, v1 frames)\n"
+      "  --tenant-dist=D   rr (round-robin, default) or zipf (skewed,\n"
+      "                    tenant 1 hottest)\n"
+      "  --tenant-zipf-s=F Zipf exponent for --tenant-dist=zipf "
+      "(default 1.0)\n\n"
       "  open loop (default)\n"
       "  --qps=F           offered rate (default 500)\n\n"
       "  closed loop\n"
@@ -88,6 +96,9 @@ int main(int argc, char** argv) {
       static_cast<uint32_t>(flags.GetUint("vertices", 50'000));
   const double deadline_ms = flags.GetDouble("deadline-ms", 0);
   const uint64_t seed = flags.GetUint("seed", 1);
+  const uint64_t num_tenants = flags.GetUint("tenants", 0);
+  const std::string tenant_dist = flags.GetString("tenant-dist", "rr");
+  const double tenant_zipf_s = flags.GetDouble("tenant-zipf-s", 1.0);
   const bool stats_mode = flags.Has("stats");
   const std::string stats_kind = flags.GetString("stats", "json");
   const auto unknown = flags.Unknown();
@@ -142,7 +153,18 @@ int main(int argc, char** argv) {
     return 0;
   }
 
+  if (tenant_dist != "rr" && tenant_dist != "zipf") {
+    std::fprintf(stderr, "unknown --tenant-dist: %s (rr|zipf)\n",
+                 tenant_dist.c_str());
+    return 1;
+  }
+
   const workload::WorkloadSpec mix = workload::PaperRealSystemMix();
+  const workload::TenantMix tenant_mix =
+      num_tenants > 0 && tenant_dist == "zipf"
+          ? workload::ZipfianTenantMix(num_tenants, tenant_zipf_s)
+          : workload::TenantMix();
+  std::atomic<uint64_t> tenant_rr{0};
   const auto deadline_ns =
       static_cast<uint64_t>(deadline_ms * 1'000'000.0);
   const auto make_frame = [&](Rng& rng) {
@@ -152,6 +174,14 @@ int main(int argc, char** argv) {
     frame.target = static_cast<uint32_t>(rng.NextBounded(vertices));
     frame.external_id = rng.NextU64();
     frame.deadline_ns = deadline_ns;
+    if (num_tenants > 0) {
+      frame.tenant =
+          tenant_dist == "zipf"
+              ? tenant_mix.SampleExternalId(rng)
+              : tenant_rr.fetch_add(1, std::memory_order_relaxed) %
+                        num_tenants +
+                    1;
+    }
     return frame;
   };
 

@@ -47,7 +47,7 @@ Nanos AcceptFractionPolicy::EstimateQueueWait(Nanos now) {
                             static_cast<double>(processing_units_));
 }
 
-Decision AcceptFractionPolicy::Decide(QueryTypeId /*type*/, Nanos now) {
+Decision AcceptFractionPolicy::Decide(WorkKey /*key*/, Nanos now) {
   qps_mavg_.RecordEvent(now);
   MaybeUpdateFraction(now);
 

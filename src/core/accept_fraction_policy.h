@@ -38,9 +38,9 @@ class AcceptFractionPolicy final : public AdmissionPolicy {
 
   AcceptFractionPolicy(const PolicyContext& context, const Options& options);
 
-  Decision Decide(QueryTypeId type, Nanos now) override;
+  Decision Decide(WorkKey key, Nanos now) override;
 
-  void OnCompleted(QueryTypeId /*type*/, Nanos processing_time,
+  void OnCompleted(WorkKey /*key*/, Nanos processing_time,
                    Nanos now) override {
     pt_mavg_.Record(processing_time, now);
   }

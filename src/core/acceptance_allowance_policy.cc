@@ -16,10 +16,10 @@ AcceptanceAllowancePolicy::AcceptanceAllowancePolicy(
   name_ = std::string(inner_->name()) + "+AcceptanceAllowance";
 }
 
-Decision AcceptanceAllowancePolicy::Decide(QueryTypeId type, Nanos now) {
+Decision AcceptanceAllowancePolicy::Decide(WorkKey key, Nanos now) {
   window_.AdvanceTo(now);
-  const uint64_t aqc = window_.AcceptedCount(type);
-  const uint64_t rqc = window_.ReceivedCount(type);
+  const uint64_t aqc = window_.AcceptedCount(key.type);
+  const uint64_t rqc = window_.ReceivedCount(key.type);
 
   Decision decision = Decision::kReject;
   if (rqc == 0) {
@@ -32,7 +32,7 @@ Decision AcceptanceAllowancePolicy::Decide(QueryTypeId type, Nanos now) {
   }
 
   if (decision == Decision::kReject) {
-    decision = inner_->Decide(type, now);  // Ask the policy.
+    decision = inner_->Decide(key, now);  // Ask the policy.
   }
 
   if (decision == Decision::kReject) {
@@ -45,7 +45,7 @@ Decision AcceptanceAllowancePolicy::Decide(QueryTypeId type, Nanos now) {
     if (pass) decision = Decision::kAccept;
   }
 
-  window_.Record(type, decision == Decision::kAccept, now);
+  window_.Record(key.type, decision == Decision::kAccept, now);
   return decision;
 }
 

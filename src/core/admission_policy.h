@@ -4,6 +4,7 @@
 #include <string_view>
 
 #include "src/core/query_type_registry.h"
+#include "src/core/tenant_registry.h"
 #include "src/core/queue_state.h"
 #include "src/core/types.h"
 #include "src/util/time.h"
@@ -23,6 +24,10 @@ struct PolicyContext {
   /// run-queue count so admission bookkeeping stays single-writer per
   /// cache line; 1 keeps the exact shared-counter layout.
   size_t counter_stripes = 1;
+  /// Tenant interner shared by every stage of a deployment; null means
+  /// the stage runs single-tenant (everything charges kDefaultTenant).
+  /// Policies that keep per-tenant state (TenantFairPolicy) require it.
+  const TenantRegistry* tenants = nullptr;
 };
 
 /// Interface of an admission-control policy plugged into the SEDA-like
@@ -40,31 +45,36 @@ struct PolicyContext {
 /// object runs unchanged under simulated and real clocks. Implementations
 /// must be thread-safe: a server stage calls Decide() from acceptor
 /// threads concurrently with hooks from worker threads.
+///
+/// Entry points key on a WorkKey — the (query type, tenant) pair. WorkKey
+/// converts implicitly from a bare QueryTypeId, so single-tenant callers
+/// keep passing a type and charge kDefaultTenant; type-keyed policies
+/// read `key.type` and ignore the tenant.
 class AdmissionPolicy {
  public:
   virtual ~AdmissionPolicy() = default;
 
-  /// Decides whether to admit an incoming query of `type` arriving at
+  /// Decides whether to admit an incoming query of `key` arriving at
   /// `now`. Called on the query's critical path; must be cheap.
-  virtual Decision Decide(QueryTypeId type, Nanos now) = 0;
+  virtual Decision Decide(WorkKey key, Nanos now) = 0;
 
   /// Point 1, accepted branch: the query was placed in the FIFO queue.
-  virtual void OnEnqueued(QueryTypeId type, Nanos now) {
-    (void)type;
+  virtual void OnEnqueued(WorkKey key, Nanos now) {
+    (void)key;
     (void)now;
   }
 
   /// Point 1, rejected branch: the query was dropped and an error response
   /// is being returned.
-  virtual void OnRejected(QueryTypeId type, Nanos now) {
-    (void)type;
+  virtual void OnRejected(WorkKey key, Nanos now) {
+    (void)key;
     (void)now;
   }
 
   /// Point 2: the query was pulled from the queue after waiting
   /// `wait_time` (wt(Q) = t_dequeued - t_enqueued).
-  virtual void OnDequeued(QueryTypeId type, Nanos wait_time, Nanos now) {
-    (void)type;
+  virtual void OnDequeued(WorkKey key, Nanos wait_time, Nanos now) {
+    (void)key;
     (void)wait_time;
     (void)now;
   }
@@ -76,16 +86,16 @@ class AdmissionPolicy {
   /// OnCompleted(), so policies can roll back accept/enqueue accounting
   /// (acceptance-allowance windows, incremental queue-wait aggregates)
   /// that would otherwise silently desync from reality.
-  virtual void OnShedded(QueryTypeId type, Nanos now) {
-    (void)type;
+  virtual void OnShedded(WorkKey key, Nanos now) {
+    (void)key;
     (void)now;
   }
 
   /// Point 3: the query finished processing after `processing_time`
   /// (pt(Q) = t_completed - t_dequeued).
-  virtual void OnCompleted(QueryTypeId type, Nanos processing_time,
+  virtual void OnCompleted(WorkKey key, Nanos processing_time,
                            Nanos now) {
-    (void)type;
+    (void)key;
     (void)processing_time;
     (void)now;
   }
@@ -95,8 +105,8 @@ class AdmissionPolicy {
   /// admitted work so the estimate can be compared against the wait the
   /// query actually incurs. Returns -1 when the policy maintains no
   /// estimate. Must be cheap and thread-safe like Decide().
-  virtual Nanos EstimatedQueueWait(QueryTypeId type) const {
-    (void)type;
+  virtual Nanos EstimatedQueueWait(WorkKey key) const {
+    (void)key;
     return -1;
   }
 
@@ -107,7 +117,7 @@ class AdmissionPolicy {
 /// Policy that admits every query; the no-admission-control baseline.
 class AlwaysAcceptPolicy final : public AdmissionPolicy {
  public:
-  Decision Decide(QueryTypeId, Nanos) override { return Decision::kAccept; }
+  Decision Decide(WorkKey, Nanos) override { return Decision::kAccept; }
   std::string_view name() const override { return "AlwaysAccept"; }
 };
 

@@ -139,20 +139,20 @@ void BouncerPolicy::ApplyQueueDelta(QueryTypeId type, int64_t sign) {
   tracked_total_[stripe].value.fetch_add(sign, std::memory_order_relaxed);
 }
 
-void BouncerPolicy::OnEnqueued(QueryTypeId type, Nanos now) {
+void BouncerPolicy::OnEnqueued(WorkKey key, Nanos now) {
   (void)now;
-  ApplyQueueDelta(type, +1);
+  ApplyQueueDelta(key.type, +1);
 }
 
-void BouncerPolicy::OnDequeued(QueryTypeId type, Nanos wait_time, Nanos now) {
+void BouncerPolicy::OnDequeued(WorkKey key, Nanos wait_time, Nanos now) {
   (void)wait_time;
   (void)now;
-  ApplyQueueDelta(type, -1);
+  ApplyQueueDelta(key.type, -1);
 }
 
-void BouncerPolicy::OnShedded(QueryTypeId type, Nanos now) {
+void BouncerPolicy::OnShedded(WorkKey key, Nanos now) {
   (void)now;
-  ApplyQueueDelta(type, -1);
+  ApplyQueueDelta(key.type, -1);
 }
 
 Nanos BouncerPolicy::EstimateQueueWaitSlow(QueryTypeId type) const {
@@ -298,13 +298,14 @@ Decision BouncerPolicy::DecideWithEstimates(QueryTypeId type, Nanos now,
   return reject ? Decision::kReject : Decision::kAccept;
 }
 
-Decision BouncerPolicy::Decide(QueryTypeId type, Nanos now) {
+Decision BouncerPolicy::Decide(WorkKey key, Nanos now) {
   MaybeSwapAll(now);
-  return DecideWithEstimates(type, now, nullptr);
+  return DecideWithEstimates(key.type, now, nullptr);
 }
 
-void BouncerPolicy::OnCompleted(QueryTypeId type, Nanos processing_time,
+void BouncerPolicy::OnCompleted(WorkKey key, Nanos processing_time,
                                 Nanos now) {
+  QueryTypeId type = key.type;
   if (type >= type_histograms_.size()) type = kDefaultQueryType;
   type_histograms_[type]->Record(processing_time);
   general_histogram_.Record(processing_time);

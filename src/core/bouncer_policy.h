@@ -94,23 +94,23 @@ class BouncerPolicy : public AdmissionPolicy {
   /// valid; the registry's type count fixes the histogram table size.
   BouncerPolicy(const PolicyContext& context, const Options& options);
 
-  Decision Decide(QueryTypeId type, Nanos now) override;
-  void OnCompleted(QueryTypeId type, Nanos processing_time,
+  Decision Decide(WorkKey key, Nanos now) override;
+  void OnCompleted(WorkKey key, Nanos processing_time,
                    Nanos now) override;
   /// Maintains the incremental Eq. 2 aggregate: adds the type's cached
   /// mean (or a cold count) to its priority level's running sum.
-  void OnEnqueued(QueryTypeId type, Nanos now) override;
+  void OnEnqueued(WorkKey key, Nanos now) override;
   /// Removes the type's contribution from the running aggregate.
-  void OnDequeued(QueryTypeId type, Nanos wait_time, Nanos now) override;
+  void OnDequeued(WorkKey key, Nanos wait_time, Nanos now) override;
   /// An admitted query never reached processing: rolls back the
   /// OnEnqueued() contribution, same as a dequeue.
-  void OnShedded(QueryTypeId type, Nanos now) override;
+  void OnShedded(WorkKey key, Nanos now) override;
 
   std::string_view name() const override { return "Bouncer"; }
 
   /// Exposes the live Eq. 2 estimate for observability stamping.
-  Nanos EstimatedQueueWait(QueryTypeId type) const override {
-    return EstimateQueueWait(type);
+  Nanos EstimatedQueueWait(WorkKey key) const override {
+    return EstimateQueueWait(key.type);
   }
 
   /// Computes the estimates Decide() would use for `type` at `now`,

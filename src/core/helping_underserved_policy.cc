@@ -24,15 +24,15 @@ double HelpingUnderservedPolicy::OverrideProbability(double ar,
   return options_.alpha * x / (1.0 + x);
 }
 
-Decision HelpingUnderservedPolicy::Decide(QueryTypeId type, Nanos now) {
-  Decision decision = inner_->Decide(type, now);  // Ask the policy.
+Decision HelpingUnderservedPolicy::Decide(WorkKey key, Nanos now) {
+  Decision decision = inner_->Decide(key, now);  // Ask the policy.
   if (decision == Decision::kReject) {
     window_.AdvanceTo(now);
     // Acceptance ratio for the query type: accepted / max(received, 1).
     const double received = static_cast<double>(
-        std::max<uint64_t>(window_.ReceivedCount(type), 1));
+        std::max<uint64_t>(window_.ReceivedCount(key.type), 1));
     const double ar =
-        static_cast<double>(window_.AcceptedCount(type)) / received;
+        static_cast<double>(window_.AcceptedCount(key.type)) / received;
     const double aar = window_.AverageAcceptanceRatio();
     const double p = OverrideProbability(ar, aar);
     if (p > 0.0) {
@@ -44,7 +44,7 @@ Decision HelpingUnderservedPolicy::Decide(QueryTypeId type, Nanos now) {
       if (pass) decision = Decision::kAccept;
     }
   }
-  window_.Record(type, decision == Decision::kAccept, now);
+  window_.Record(key.type, decision == Decision::kAccept, now);
   return decision;
 }
 

@@ -37,29 +37,29 @@ class HelpingUnderservedPolicy final : public AdmissionPolicy {
                            size_t num_types, const Options& options,
                            size_t num_stripes = 1);
 
-  Decision Decide(QueryTypeId type, Nanos now) override;
-  void OnEnqueued(QueryTypeId type, Nanos now) override {
-    inner_->OnEnqueued(type, now);
+  Decision Decide(WorkKey key, Nanos now) override;
+  void OnEnqueued(WorkKey key, Nanos now) override {
+    inner_->OnEnqueued(key, now);
   }
-  void OnRejected(QueryTypeId type, Nanos now) override {
-    inner_->OnRejected(type, now);
+  void OnRejected(WorkKey key, Nanos now) override {
+    inner_->OnRejected(key, now);
   }
-  void OnDequeued(QueryTypeId type, Nanos wait_time, Nanos now) override {
-    inner_->OnDequeued(type, wait_time, now);
+  void OnDequeued(WorkKey key, Nanos wait_time, Nanos now) override {
+    inner_->OnDequeued(key, wait_time, now);
   }
-  void OnCompleted(QueryTypeId type, Nanos processing_time,
+  void OnCompleted(WorkKey key, Nanos processing_time,
                    Nanos now) override {
-    inner_->OnCompleted(type, processing_time, now);
+    inner_->OnCompleted(key, processing_time, now);
   }
   /// A shed query was never served: retract its accept so AR/AAR keep
   /// measuring actual service, not intent.
-  void OnShedded(QueryTypeId type, Nanos now) override {
-    window_.UndoAccepted(type, now);
-    inner_->OnShedded(type, now);
+  void OnShedded(WorkKey key, Nanos now) override {
+    window_.UndoAccepted(key.type, now);
+    inner_->OnShedded(key, now);
   }
 
-  Nanos EstimatedQueueWait(QueryTypeId type) const override {
-    return inner_->EstimatedQueueWait(type);
+  Nanos EstimatedQueueWait(WorkKey key) const override {
+    return inner_->EstimatedQueueWait(key);
   }
 
   std::string_view name() const override { return name_; }

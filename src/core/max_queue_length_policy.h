@@ -19,7 +19,7 @@ class MaxQueueLengthPolicy final : public AdmissionPolicy {
   MaxQueueLengthPolicy(const PolicyContext& context, const Options& options)
       : queue_(context.queue), options_(options) {}
 
-  Decision Decide(QueryTypeId /*type*/, Nanos /*now*/) override {
+  Decision Decide(WorkKey /*key*/, Nanos /*now*/) override {
     return queue_->TotalLength() < options_.length_limit ? Decision::kAccept
                                                          : Decision::kReject;
   }

@@ -36,12 +36,12 @@ class MaxQueueWaitPolicy final : public AdmissionPolicy {
         options_(options),
         pt_mavg_(options.window_duration, options.window_step) {}
 
-  Decision Decide(QueryTypeId type, Nanos now) override {
+  Decision Decide(WorkKey key, Nanos now) override {
     const Nanos ewt = EstimateQueueWait(now);
-    return ewt <= LimitFor(type) ? Decision::kAccept : Decision::kReject;
+    return ewt <= LimitFor(key.type) ? Decision::kAccept : Decision::kReject;
   }
 
-  void OnCompleted(QueryTypeId /*type*/, Nanos processing_time,
+  void OnCompleted(WorkKey /*key*/, Nanos processing_time,
                    Nanos now) override {
     pt_mavg_.Record(processing_time, now);
   }

@@ -88,6 +88,18 @@ StatusOr<std::unique_ptr<AdmissionPolicy>> CreatePolicy(
   if (policy == nullptr) {
     return Status::InvalidArgument("unknown policy kind");
   }
+  if (config.tenant_fair) {
+    if (context.tenants == nullptr) {
+      return Status::InvalidArgument(
+          "tenant_fair requires PolicyContext::tenants");
+    }
+    if (config.tenant_fair_options.alpha < 0.0 ||
+        config.tenant_fair_options.alpha > 1.0) {
+      return Status::InvalidArgument("tenant_fair alpha must be in [0, 1]");
+    }
+    policy = std::make_unique<TenantFairPolicy>(std::move(policy), context,
+                                                config.tenant_fair_options);
+  }
   if (config.queue_guard_limit > 0) {
     policy = std::make_unique<QueueGuardPolicy>(
         std::move(policy), context.queue, config.queue_guard_limit);

@@ -12,6 +12,7 @@
 #include "src/core/max_queue_length_policy.h"
 #include "src/core/max_queue_wait_policy.h"
 #include "src/core/queue_guard_policy.h"
+#include "src/core/tenant_fair_policy.h"
 #include "src/util/status.h"
 
 namespace bouncer {
@@ -46,6 +47,13 @@ struct PolicyConfig {
   /// When non-zero, the finished policy is wrapped in a QueueGuardPolicy
   /// with this hard queue-length cap (§5.4 uses 800).
   uint64_t queue_guard_limit = 0;
+
+  /// When set, the selected policy is wrapped in a TenantFairPolicy
+  /// (weighted-fair admission across tenants; requires
+  /// PolicyContext::tenants). Wrapped inside the queue guard, so the
+  /// hard cap still binds even when fairness overrides a rejection.
+  bool tenant_fair = false;
+  TenantFairPolicy::Options tenant_fair_options;
 };
 
 /// Builds the policy described by `config` against `context`. Returns

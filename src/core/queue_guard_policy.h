@@ -24,28 +24,28 @@ class QueueGuardPolicy final : public AdmissionPolicy {
         length_limit_(length_limit),
         name_(std::string(inner_->name()) + "+QueueGuard") {}
 
-  Decision Decide(QueryTypeId type, Nanos now) override {
+  Decision Decide(WorkKey key, Nanos now) override {
     if (queue_->TotalLength() >= length_limit_) return Decision::kReject;
-    return inner_->Decide(type, now);
+    return inner_->Decide(key, now);
   }
-  void OnEnqueued(QueryTypeId type, Nanos now) override {
-    inner_->OnEnqueued(type, now);
+  void OnEnqueued(WorkKey key, Nanos now) override {
+    inner_->OnEnqueued(key, now);
   }
-  void OnRejected(QueryTypeId type, Nanos now) override {
-    inner_->OnRejected(type, now);
+  void OnRejected(WorkKey key, Nanos now) override {
+    inner_->OnRejected(key, now);
   }
-  void OnDequeued(QueryTypeId type, Nanos wait_time, Nanos now) override {
-    inner_->OnDequeued(type, wait_time, now);
+  void OnDequeued(WorkKey key, Nanos wait_time, Nanos now) override {
+    inner_->OnDequeued(key, wait_time, now);
   }
-  void OnCompleted(QueryTypeId type, Nanos processing_time,
+  void OnCompleted(WorkKey key, Nanos processing_time,
                    Nanos now) override {
-    inner_->OnCompleted(type, processing_time, now);
+    inner_->OnCompleted(key, processing_time, now);
   }
-  void OnShedded(QueryTypeId type, Nanos now) override {
-    inner_->OnShedded(type, now);
+  void OnShedded(WorkKey key, Nanos now) override {
+    inner_->OnShedded(key, now);
   }
-  Nanos EstimatedQueueWait(QueryTypeId type) const override {
-    return inner_->EstimatedQueueWait(type);
+  Nanos EstimatedQueueWait(WorkKey key) const override {
+    return inner_->EstimatedQueueWait(key);
   }
 
   std::string_view name() const override { return name_; }

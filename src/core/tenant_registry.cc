@@ -1,0 +1,237 @@
+#include "src/core/tenant_registry.h"
+
+#include <bit>
+
+namespace bouncer {
+
+namespace {
+
+/// splitmix64 finalizer: external ids are often small sequential account
+/// numbers; this spreads them over the whole table.
+uint64_t MixKey(uint64_t x) {
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+constexpr uint32_t kMiss = UINT32_MAX;
+
+}  // namespace
+
+TenantRegistry::TenantRegistry(const Options& options) : options_(options) {
+  if (options_.initial_capacity < 8) options_.initial_capacity = 8;
+  options_.initial_capacity = std::bit_ceil(options_.initial_capacity);
+  if (options_.max_tenants < 1) options_.max_tenants = 1;
+  if (options_.default_weight <= 0.0) options_.default_weight = 1.0;
+  head_.store(new Table(options_.initial_capacity),
+              std::memory_order_release);
+  // The default tenant: external id 0, weight 1, index 0.
+  Status status;
+  InternSlow(/*external_id=*/0, /*key=*/1, /*weight=*/1.0,
+             /*update_weight=*/false, &status);
+}
+
+TenantRegistry::~TenantRegistry() {
+  Table* table = head_.load(std::memory_order_acquire);
+  while (table != nullptr) {
+    Table* prev = table->prev;
+    delete table;
+    table = prev;
+  }
+  for (auto& chunk : meta_chunks_) {
+    delete[] chunk.load(std::memory_order_acquire);
+  }
+}
+
+void TenantRegistry::LocateMeta(size_t index, size_t* chunk,
+                                size_t* offset) {
+  if (index < kChunkBase) {
+    *chunk = 0;
+    *offset = index;
+    return;
+  }
+  const size_t c = std::bit_width(index / kChunkBase);
+  *chunk = c;
+  *offset = index - (kChunkBase << (c - 1));
+}
+
+TenantRegistry::Meta* TenantRegistry::MetaFor(size_t index) const {
+  size_t chunk, offset;
+  LocateMeta(index, &chunk, &offset);
+  if (chunk >= kMaxMetaChunks) return nullptr;
+  Meta* cells = meta_chunks_[chunk].load(std::memory_order_acquire);
+  return cells == nullptr ? nullptr : cells + offset;
+}
+
+TenantRegistry::Meta& TenantRegistry::EnsureMeta(size_t index) {
+  size_t chunk, offset;
+  LocateMeta(index, &chunk, &offset);
+  Meta* cells = meta_chunks_[chunk].load(std::memory_order_acquire);
+  if (cells == nullptr) {
+    const size_t count = chunk == 0 ? kChunkBase : kChunkBase << (chunk - 1);
+    Meta* fresh = new Meta[count];
+    Meta* expected = nullptr;
+    if (meta_chunks_[chunk].compare_exchange_strong(
+            expected, fresh, std::memory_order_acq_rel,
+            std::memory_order_acquire)) {
+      cells = fresh;
+    } else {
+      delete[] fresh;
+      cells = expected;
+    }
+  }
+  return cells[offset];
+}
+
+uint32_t TenantRegistry::Lookup(uint64_t key) const {
+  const uint64_t hash = MixKey(key);
+  for (const Table* table = head_.load(std::memory_order_acquire);
+       table != nullptr; table = table->prev) {
+    size_t i = hash & table->mask;
+    for (size_t probes = 0; probes <= table->mask; ++probes) {
+      const uint64_t slot_key =
+          table->slots[i].key.load(std::memory_order_acquire);
+      if (slot_key == key) {
+        return table->slots[i].value.load(std::memory_order_acquire);
+      }
+      if (slot_key == 0) break;  // Not in this table.
+      i = (i + 1) & table->mask;
+    }
+  }
+  return kMiss;
+}
+
+TenantId TenantRegistry::Intern(uint64_t external_id) {
+  const uint64_t key = external_id + 1;
+  if (key == 0) return kDefaultTenant;  // UINT64_MAX is unrepresentable.
+  const uint32_t found = Lookup(key);
+  if (found != kMiss) return found;
+  Status status;
+  return InternSlow(external_id, key, options_.default_weight,
+                    /*update_weight=*/false, &status);
+}
+
+StatusOr<TenantId> TenantRegistry::Register(uint64_t external_id,
+                                            double weight) {
+  if (weight <= 0.0) {
+    return Status::InvalidArgument("tenant weight must be positive");
+  }
+  const uint64_t key = external_id + 1;
+  if (key == 0) {
+    return Status::InvalidArgument("external tenant id UINT64_MAX reserved");
+  }
+  Status status;
+  const TenantId id =
+      InternSlow(external_id, key, weight, /*update_weight=*/true, &status);
+  if (!status.ok()) return status;
+  return id;
+}
+
+StatusOr<TenantId> TenantRegistry::Find(uint64_t external_id) const {
+  const uint64_t key = external_id + 1;
+  if (key != 0) {
+    const uint32_t found = Lookup(key);
+    if (found != kMiss) return static_cast<TenantId>(found);
+  }
+  return Status::NotFound("unknown tenant");
+}
+
+TenantId TenantRegistry::InternSlow(uint64_t external_id, uint64_t key,
+                                    double weight, bool update_weight,
+                                    Status* status) {
+  *status = Status::OK();
+  std::lock_guard<std::mutex> lock(mu_);
+  const uint32_t existing = Lookup(key);
+  if (existing != kMiss) {
+    if (update_weight) {
+      Meta& meta = EnsureMeta(existing);
+      const double old = meta.weight.exchange(weight,
+                                              std::memory_order_acq_rel);
+      double total = total_weight_.load(std::memory_order_relaxed);
+      while (!total_weight_.compare_exchange_weak(
+          total, total - old + weight, std::memory_order_acq_rel,
+          std::memory_order_relaxed)) {
+      }
+    }
+    return existing;
+  }
+  const size_t index = count_.load(std::memory_order_relaxed);
+  if (index >= options_.max_tenants) {
+    overflowed_.fetch_add(1, std::memory_order_relaxed);
+    *status = Status::ResourceExhausted("tenant cap reached");
+    return kDefaultTenant;
+  }
+  Meta& meta = EnsureMeta(index);
+  meta.external_id.store(external_id, std::memory_order_relaxed);
+  meta.weight.store(weight, std::memory_order_release);
+  double total = total_weight_.load(std::memory_order_relaxed);
+  while (!total_weight_.compare_exchange_weak(total, total + weight,
+                                              std::memory_order_acq_rel,
+                                              std::memory_order_relaxed)) {
+  }
+  Table* head = head_.load(std::memory_order_relaxed);
+  if (head_filled_ + 1 > (head->mask + 1) / 4 * 3) {
+    Grow();
+    head = head_.load(std::memory_order_relaxed);
+  }
+  InsertIntoHead(key, static_cast<uint32_t>(index));
+  ++head_filled_;
+  // Publish the index last: size() is the fence per-tenant state walkers
+  // (fair-share refresh) rely on — every index below size() has its meta
+  // and probe entry fully written.
+  count_.store(index + 1, std::memory_order_release);
+  return static_cast<TenantId>(index);
+}
+
+void TenantRegistry::InsertIntoHead(uint64_t key, uint32_t value) {
+  Table* head = head_.load(std::memory_order_relaxed);
+  size_t i = MixKey(key) & head->mask;
+  while (true) {
+    const uint64_t slot_key =
+        head->slots[i].key.load(std::memory_order_relaxed);
+    if (slot_key == 0) {
+      // Value before key: a concurrent lock-free reader that matches the
+      // key is guaranteed to read the final value.
+      head->slots[i].value.store(value, std::memory_order_relaxed);
+      head->slots[i].key.store(key, std::memory_order_release);
+      return;
+    }
+    if (slot_key == key) return;  // Migrated duplicate.
+    i = (i + 1) & head->mask;
+  }
+}
+
+void TenantRegistry::Grow() {
+  Table* old_head = head_.load(std::memory_order_relaxed);
+  Table* bigger = new Table((old_head->mask + 1) * 2);
+  bigger->prev = old_head;
+  // Migrate live entries so steady-state lookups stay a single-table
+  // probe; the old table stays chained (and authoritative for readers
+  // that loaded it before the swap) until destruction.
+  head_filled_ = 0;
+  head_.store(bigger, std::memory_order_release);
+  for (size_t i = 0; i <= old_head->mask; ++i) {
+    const uint64_t key = old_head->slots[i].key.load(std::memory_order_acquire);
+    if (key == 0) continue;
+    InsertIntoHead(key,
+                   old_head->slots[i].value.load(std::memory_order_acquire));
+    ++head_filled_;
+  }
+}
+
+double TenantRegistry::WeightOf(TenantId tenant) const {
+  if (tenant >= size()) return options_.default_weight;
+  const Meta* meta = MetaFor(tenant);
+  if (meta == nullptr) return options_.default_weight;
+  const double w = meta->weight.load(std::memory_order_acquire);
+  return w > 0.0 ? w : options_.default_weight;
+}
+
+uint64_t TenantRegistry::ExternalIdOf(TenantId tenant) const {
+  if (tenant >= size()) return 0;
+  const Meta* meta = MetaFor(tenant);
+  return meta == nullptr ? 0 : meta->external_id.load(std::memory_order_acquire);
+}
+
+}  // namespace bouncer

@@ -1,0 +1,158 @@
+#ifndef BOUNCER_CORE_TENANT_REGISTRY_H_
+#define BOUNCER_CORE_TENANT_REGISTRY_H_
+
+#include <array>
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+
+#include "src/core/types.h"
+#include "src/util/status.h"
+
+namespace bouncer {
+
+/// Interns sparse external tenant/account ids (the u64 a request carries
+/// on the wire) into dense TenantId indices, so every per-tenant state
+/// table in the system can be a flat array addressed by index instead of
+/// a hash map keyed by account id — the cardinality refactor that keeps
+/// the admission decision O(1) at 10k+ tenants.
+///
+/// Concurrency contract, matching where each path sits in the system:
+///
+///  * Lookup of an already-interned tenant — every request after a
+///    tenant's first — is a lock-free probe of an open-addressing table:
+///    no mutex, no rehash, nothing the admission hot path can stall on.
+///  * Interning a brand-new tenant serializes on a mutex. First contact
+///    is rare by definition (bounded by the number of distinct tenants,
+///    not by QPS) and publication into the probe table is a single
+///    release store, so concurrent lookups never wait.
+///  * Growth never rehashes under readers: when the current table fills
+///    past 3/4, the insert path allocates a doubled table, copies the
+///    live entries into it, and publishes it with one store. Old tables
+///    stay chained behind the new one until destruction (memory bound:
+///    < 2x the newest table), so a reader that raced the swap finds its
+///    key in the chain. Dense indices and per-tenant metadata never
+///    move.
+///
+/// Index 0 is kDefaultTenant, pre-interned for external id 0: v1 wire
+/// frames and in-process callers that predate the tenant dimension all
+/// land there. When `max_tenants` distinct ids have been interned,
+/// further unknown ids degrade to kDefaultTenant (counted in
+/// overflowed()) instead of growing without bound — per-tenant state is
+/// O(max_tenants) by construction.
+class TenantRegistry {
+ public:
+  struct Options {
+    /// Slot count of the first probe table; rounded up to a power of 2.
+    size_t initial_capacity = 256;
+    /// Hard cap on distinct dense indices (the default tenant included).
+    size_t max_tenants = 1 << 20;
+    /// Fair-share weight assigned to tenants interned on first contact
+    /// (Register() can set an explicit weight).
+    double default_weight = 1.0;
+  };
+
+  TenantRegistry() : TenantRegistry(Options{}) {}
+  explicit TenantRegistry(const Options& options);
+  ~TenantRegistry();
+
+  TenantRegistry(const TenantRegistry&) = delete;
+  TenantRegistry& operator=(const TenantRegistry&) = delete;
+
+  /// Dense index for `external_id`, interning it on first contact with
+  /// the default weight. Thread-safe; lock-free for known ids. This is
+  /// the request-path entry point.
+  TenantId Intern(uint64_t external_id);
+
+  /// Configuration-time registration with an explicit fair-share weight;
+  /// re-registering an interned tenant updates its weight. Returns
+  /// InvalidArgument for a non-positive weight, ResourceExhausted at the
+  /// max_tenants cap.
+  StatusOr<TenantId> Register(uint64_t external_id, double weight);
+
+  /// Exact lookup without interning: NotFound for unknown ids.
+  StatusOr<TenantId> Find(uint64_t external_id) const;
+
+  /// Number of interned tenants (>= 1: the default tenant). Monotonic;
+  /// indices [0, size()) are valid. Thread-safe.
+  size_t size() const { return count_.load(std::memory_order_acquire); }
+
+  /// Fair-share weight of a tenant index (default_weight for indices the
+  /// caller made up). Thread-safe.
+  double WeightOf(TenantId tenant) const;
+
+  /// External wire id a tenant index was interned from.
+  uint64_t ExternalIdOf(TenantId tenant) const;
+
+  /// Sum of the weights of all interned tenants. Thread-safe.
+  double TotalWeight() const {
+    return total_weight_.load(std::memory_order_acquire);
+  }
+
+  /// Interning attempts that degraded to the default tenant because the
+  /// max_tenants cap was reached.
+  uint64_t overflowed() const {
+    return overflowed_.load(std::memory_order_relaxed);
+  }
+
+  const Options& options() const { return options_; }
+
+ private:
+  /// One probe slot. `key` is external_id + 1 so 0 means empty; `value`
+  /// (the dense index) is written before `key` is published, so a reader
+  /// that matches the key always sees the final value.
+  struct Slot {
+    std::atomic<uint64_t> key{0};
+    std::atomic<uint32_t> value{0};
+  };
+  /// One open-addressing table in the chain. Immutable once superseded
+  /// (only the newest table takes inserts).
+  struct Table {
+    explicit Table(size_t slot_count)
+        : mask(slot_count - 1), slots(new Slot[slot_count]) {}
+    const size_t mask;
+    std::unique_ptr<Slot[]> slots;
+    Table* prev = nullptr;  ///< Next-older table; owned.
+  };
+  /// Per-tenant metadata, in chunks that never move (see kChunkBase).
+  struct Meta {
+    std::atomic<uint64_t> external_id{0};
+    std::atomic<double> weight{0.0};
+  };
+
+  /// Meta chunk c covers kChunkBase << max(0, c-1) indices: chunk 0 is
+  /// [0, base), chunk c >= 1 is [base << (c-1), base << c) — doubling
+  /// chunks, so growth allocates a new chunk and publishes one pointer;
+  /// existing Meta cells never move. 30 chunks cover base << 29 tenants.
+  static constexpr size_t kChunkBase = 1024;
+  static constexpr size_t kMaxMetaChunks = 30;
+
+  static void LocateMeta(size_t index, size_t* chunk, size_t* offset);
+  Meta* MetaFor(size_t index) const;  ///< Null when never allocated.
+  Meta& EnsureMeta(size_t index);     ///< Allocates the chunk if needed.
+
+  /// Lock-free probe of the whole table chain; UINT32_MAX on miss.
+  uint32_t Lookup(uint64_t key) const;
+  /// Interns under mu_; returns the index (existing or new).
+  TenantId InternSlow(uint64_t external_id, uint64_t key, double weight,
+                      bool update_weight, Status* status);
+  /// Under mu_: doubles the head table and migrates live entries.
+  void Grow();
+  /// Under mu_: writes (key, value) into the head table (value first).
+  void InsertIntoHead(uint64_t key, uint32_t value);
+
+  Options options_;
+  std::atomic<Table*> head_;
+  std::array<std::atomic<Meta*>, kMaxMetaChunks> meta_chunks_{};
+  std::atomic<size_t> count_{0};
+  std::atomic<double> total_weight_{0.0};
+  std::atomic<uint64_t> overflowed_{0};
+  std::mutex mu_;         ///< Serializes inserts/growth; never on lookup.
+  size_t head_filled_ = 0;  ///< Entries in the head table (under mu_).
+};
+
+}  // namespace bouncer
+
+#endif  // BOUNCER_CORE_TENANT_REGISTRY_H_

@@ -15,6 +15,32 @@ using QueryTypeId = uint32_t;
 /// strings resolve to.
 inline constexpr QueryTypeId kDefaultQueryType = 0;
 
+/// Dense index of a tenant within a TenantRegistry. Unlike query types
+/// (fixed at configuration time), tenants are interned on first contact:
+/// the registry maps sparse external account ids to dense indices so all
+/// per-tenant state can live in flat arrays instead of hash maps.
+using TenantId = uint32_t;
+
+/// The registry reserves index 0 for the "default" tenant — traffic that
+/// carries no tenant id on the wire (old clients) or arrives through
+/// in-process call sites that predate the tenant dimension.
+inline constexpr TenantId kDefaultTenant = 0;
+
+/// Admission key of one query: the (query type, tenant) pair every
+/// policy entry point receives. Implicitly constructible from a bare
+/// QueryTypeId so single-tenant call sites (simulator, tests) keep
+/// reading `Decide(type, now)` and charge the default tenant.
+struct WorkKey {
+  QueryTypeId type = kDefaultQueryType;
+  TenantId tenant = kDefaultTenant;
+
+  constexpr WorkKey() = default;
+  constexpr WorkKey(QueryTypeId t) : type(t) {}  // NOLINT(runtime/explicit)
+  constexpr WorkKey(QueryTypeId t, TenantId tn) : type(t), tenant(tn) {}
+
+  friend constexpr bool operator==(const WorkKey&, const WorkKey&) = default;
+};
+
 /// Outcome of an admission decision.
 enum class Decision : uint8_t {
   kAccept = 0,

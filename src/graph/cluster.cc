@@ -95,6 +95,7 @@ struct WorkerScratch {
   // spans) can emit correlated events and report the failing reason.
   uint64_t trace_id = 0;
   bool traced = false;
+  TenantId tenant = kDefaultTenant;
   uint8_t fail_reason = 0;
   // Round-level state.
   std::vector<AsyncShardTask> tasks;  ///< One slot per shard.
@@ -147,6 +148,7 @@ Cluster::Cluster(const GraphStore* graph, const QueryTypeRegistry* registry,
     stage_options.force_single_queue = options_.force_single_queue;
     stage_options.metrics = options_.metrics;
     stage_options.recorder = options_.recorder;
+    stage_options.tenants = options_.tenants;
     const PolicyConfig policy = options_.shard_policy;
     shards_.push_back(std::make_unique<Stage>(
         stage_options, registry_, clock_,
@@ -170,6 +172,7 @@ Cluster::Cluster(const GraphStore* graph, const QueryTypeRegistry* registry,
     stage_options.force_single_queue = options_.force_single_queue;
     stage_options.metrics = options_.metrics;
     stage_options.recorder = options_.recorder;
+    stage_options.tenants = options_.tenants;
     const PolicyConfig policy = options_.broker_policy;
     brokers_.push_back(std::make_unique<Stage>(
         stage_options, registry_, clock_,
@@ -223,7 +226,7 @@ GraphQuery Cluster::SampleQuery(GraphOp op, const GraphStore& graph,
 }
 
 Outcome Cluster::Submit(const GraphQuery& query, Nanos deadline,
-                        CompletionFn done, uint64_t id) {
+                        CompletionFn done, uint64_t id, TenantId tenant) {
   const size_t broker_index =
       next_broker_.fetch_add(1, std::memory_order_relaxed) % brokers_.size();
   if (options_.legacy_scatter) {
@@ -234,6 +237,7 @@ Outcome Cluster::Submit(const GraphQuery& query, Nanos deadline,
 
     WorkItem item;
     item.type = TypeIdFor(query.op);
+    item.tenant = tenant;
     item.id = id;
     item.deadline = deadline;
     item.user = context.get();
@@ -250,6 +254,7 @@ Outcome Cluster::Submit(const GraphQuery& query, Nanos deadline,
 
   WorkItem item;
   item.type = TypeIdFor(query.op);
+  item.tenant = tenant;
   item.id = id;
   item.deadline = deadline;
   item.user = context;
@@ -269,8 +274,9 @@ server::Stage::BatchResult Cluster::SubmitBatch(
   if (options_.legacy_scatter) {
     // Baseline path: per-item submits (the batch API exists to beat this).
     for (BatchRequest& request : requests) {
-      const Outcome outcome = Submit(request.query, request.deadline,
-                                     std::move(request.done), request.id);
+      const Outcome outcome =
+          Submit(request.query, request.deadline, std::move(request.done),
+                 request.id, request.tenant);
       switch (outcome) {
         case Outcome::kCompleted: ++total.admitted; break;
         case Outcome::kRejected: ++total.rejected; break;
@@ -303,6 +309,7 @@ server::Stage::BatchResult Cluster::SubmitBatch(
 
     WorkItem item;
     item.type = TypeIdFor(request.query.op);
+    item.tenant = request.tenant;
     item.id = request.id;
     item.traced = request.traced;
     item.deadline = request.deadline;
@@ -385,6 +392,7 @@ bool Cluster::ScatterGatherAsync(std::span<const uint32_t> vertices,
 
     WorkItem item;
     item.type = type;
+    item.tenant = scratch.tenant;
     item.id = scratch.trace_id;
     item.traced = scratch.traced;
     item.deadline = deadline;
@@ -398,6 +406,7 @@ bool Cluster::ScatterGatherAsync(std::span<const uint32_t> vertices,
             static_cast<int64_t>(task.subquery.vertices.size());
         event.loc = static_cast<uint32_t>(s);
         event.type = static_cast<uint16_t>(type);
+        event.tenant = scratch.tenant;
         event.kind =
             static_cast<uint8_t>(stats::TraceEventKind::kShardScatter);
         recorder_->Record(event);
@@ -495,6 +504,7 @@ bool Cluster::ScatterGatherAsync(std::span<const uint32_t> vertices,
       event.id = scratch.trace_id;
       event.arg0 = static_cast<int64_t>(active);
       event.type = static_cast<uint16_t>(type);
+      event.tenant = scratch.tenant;
       event.kind = static_cast<uint8_t>(stats::TraceEventKind::kShardGather);
       event.reason = countdown.fail_reason.load(std::memory_order_relaxed);
       recorder_->Record(event);
@@ -510,6 +520,7 @@ bool Cluster::ScatterGatherLegacy(std::span<const uint32_t> vertices,
                                   std::vector<uint32_t>* degrees_out,
                                   std::vector<uint32_t>* neighbors_out) {
   const size_t num_shards = shards_.size();
+  const TenantId scratch_tenant = tls_scratch.tenant;
   std::vector<LegacyShardTask> tasks(num_shards);
   for (const uint32_t v : vertices) {
     tasks[v % num_shards].subquery.vertices.push_back(v);
@@ -532,6 +543,7 @@ bool Cluster::ScatterGatherLegacy(std::span<const uint32_t> vertices,
 
     WorkItem item;
     item.type = type;
+    item.tenant = scratch_tenant;
     item.deadline = deadline;
     item.user = static_cast<ShardTaskBase*>(&task);
     item.on_complete = [this](const WorkItem& w, Outcome outcome) {
@@ -707,6 +719,7 @@ void Cluster::ExecuteQuery(WorkItem& item) {
   // worker's scratch for them.
   scratch.trace_id = item.id;
   scratch.traced = item.traced;
+  scratch.tenant = item.tenant;
   scratch.fail_reason = 0;
 
   switch (q.op) {

@@ -102,6 +102,10 @@ class Cluster {
     /// plus the per-stage lifecycle); defaults to
     /// stats::FlightRecorder::Global() when tracing is compiled in.
     stats::FlightRecorder* recorder = nullptr;
+    /// Tenant interner shared by every broker/shard stage; must outlive
+    /// the cluster. Required when a stage policy is tenant-aware
+    /// (PolicyConfig::tenant_fair); null runs the cluster single-tenant.
+    const TenantRegistry* tenants = nullptr;
   };
 
   using CompletionFn =
@@ -129,7 +133,8 @@ class Cluster {
   /// is the correlation id stamped on the WorkItem; it keys the flight
   /// recorder's deterministic sampling (0 = untraceable).
   server::Outcome Submit(const GraphQuery& query, Nanos deadline,
-                         CompletionFn done, uint64_t id = 0);
+                         CompletionFn done, uint64_t id = 0,
+                         TenantId tenant = kDefaultTenant);
 
   /// One request of a SubmitBatch() call. `done` runs exactly once, same
   /// contract as Submit().
@@ -139,6 +144,9 @@ class Cluster {
     CompletionFn done;
     uint64_t id = 0;     ///< Correlation id for tracing (0 = none).
     bool traced = false; ///< Upstream sampling decision (net parse point).
+    /// Dense tenant index the broker admission decision is charged to
+    /// and every shard subquery inherits.
+    TenantId tenant = kDefaultTenant;
   };
 
   /// Submits a whole batch — every request parsed from one network

@@ -77,8 +77,8 @@ Status FetchAdmin(const AdminFetch& fetch, std::string* payload) {
   request.id = 1;
   request.op = fetch.op;
   uint8_t encoded[kRequestFrameBytes];
-  EncodeRequest(request, encoded);
-  if (!WriteExact(fd, encoded, sizeof(encoded))) {
+  const size_t frame_bytes = EncodeRequest(request, encoded);
+  if (!WriteExact(fd, encoded, frame_bytes)) {
     ::close(fd);
     return Status::Internal("send failed");
   }

@@ -285,8 +285,8 @@ bool NetClient::SendOne(Conn* conn) {
   slot.seq = conn->next_seq;
   slot.op = frame.op;
   uint8_t encoded[kRequestFrameBytes];
-  EncodeRequest(frame, encoded);
-  conn->tx.Write(encoded, sizeof(encoded));
+  const size_t frame_bytes = EncodeRequest(frame, encoded);
+  conn->tx.Write(encoded, frame_bytes);
   ++conn->next_seq;
   ++conn->inflight;
   // Closed-loop frames skip open_queue_, so acceptance and placement
@@ -328,8 +328,8 @@ void NetClient::PlaceOpenLoop(size_t thread_index) {
     slot.seq = target->next_seq;
     slot.op = frame.op;
     uint8_t encoded[kRequestFrameBytes];
-    EncodeRequest(frame, encoded);
-    target->tx.Write(encoded, sizeof(encoded));
+    const size_t frame_bytes = EncodeRequest(frame, encoded);
+    target->tx.Write(encoded, frame_bytes);
     ++target->next_seq;
     ++target->inflight;
     queued_.fetch_add(1, std::memory_order_release);

@@ -89,6 +89,10 @@ NetServer::NetServer(graph::Cluster* cluster, const Options& options)
                     ? options_.recorder
                     : &stats::FlightRecorder::Global();
   }
+  if (options_.tenants != nullptr) {
+    tenant_stats_ =
+        std::make_unique<PolicyStateTable<TenantNetCell>>(/*num_types=*/1);
+  }
 }
 
 NetServer::~NetServer() { Stop(); }
@@ -300,6 +304,49 @@ Status NetServer::Start() {
             sink.AddCounter(prefix + "responses", ls.responses);
             sink.AddCounter(prefix + "pauses", ls.pauses);
           }
+          if (options_.tenants != nullptr && tenant_stats_ != nullptr) {
+            // Per-tenant rows, keyed by external id. Bounded so a
+            // 100k-tenant deployment cannot balloon the admin payload:
+            // the first kMaxTenantMetricRows active tenants are listed,
+            // the rest only counted.
+            constexpr size_t kMaxTenantMetricRows = 256;
+            const size_t n = options_.tenants->size();
+            sink.AddGauge("tenant.count", static_cast<int64_t>(n));
+            size_t rows = 0;
+            size_t skipped = 0;
+            for (size_t t = 0; t < n; ++t) {
+              const TenantNetCell* cell =
+                  tenant_stats_->Find(static_cast<TenantId>(t));
+              if (cell == nullptr) continue;
+              const uint64_t requests =
+                  cell->requests.load(std::memory_order_relaxed);
+              if (requests == 0) continue;
+              if (rows >= kMaxTenantMetricRows) {
+                ++skipped;
+                continue;
+              }
+              ++rows;
+              const std::string prefix =
+                  "tenant." +
+                  std::to_string(options_.tenants->ExternalIdOf(
+                      static_cast<TenantId>(t))) +
+                  ".";
+              sink.AddCounter(prefix + "requests", requests);
+              sink.AddCounter(prefix + "ok",
+                              cell->ok.load(std::memory_order_relaxed));
+              sink.AddCounter(
+                  prefix + "rejected",
+                  cell->rejected.load(std::memory_order_relaxed));
+              sink.AddCounter(prefix + "shedded",
+                              cell->shedded.load(std::memory_order_relaxed));
+              sink.AddCounter(prefix + "expired",
+                              cell->expired.load(std::memory_order_relaxed));
+              sink.AddCounter(prefix + "failed",
+                              cell->failed.load(std::memory_order_relaxed));
+            }
+            sink.AddGauge("tenant.rows_truncated",
+                          static_cast<int64_t>(skipped));
+          }
         });
   }
 
@@ -325,6 +372,14 @@ void NetServer::Stop() {
   for (auto& loop : loops_) {
     if (loop->thread.joinable()) loop->thread.join();
   }
+  // Cluster workers may still be inside OnQueryDone for requests this
+  // server submitted; those calls read Loop state (done rings, counters,
+  // eventfds), so the loops must stay alive until the last one returns.
+  // The ring-push spin inside OnQueryDone exits on stop_requested_, so
+  // this drain is bounded by worker progress, never by ring space.
+  while (inflight_dones_.load(std::memory_order_acquire) != 0) {
+    CpuRelax();
+  }
   CloseAll();
 }
 
@@ -348,6 +403,20 @@ void NetServer::CloseAll() {
     // Closing the ring fd cancels whatever was still in flight.
     UringDestroyLoop(loop);
   }
+}
+
+NetServer::TenantStats NetServer::TenantStatsOf(TenantId tenant) const {
+  TenantStats s;
+  if (tenant_stats_ == nullptr) return s;
+  const TenantNetCell* cell = tenant_stats_->Find(tenant);
+  if (cell == nullptr) return s;
+  s.requests = cell->requests.load(std::memory_order_relaxed);
+  s.ok = cell->ok.load(std::memory_order_relaxed);
+  s.rejected = cell->rejected.load(std::memory_order_relaxed);
+  s.shedded = cell->shedded.load(std::memory_order_relaxed);
+  s.expired = cell->expired.load(std::memory_order_relaxed);
+  s.failed = cell->failed.load(std::memory_order_relaxed);
+  return s;
 }
 
 NetServer::Stats NetServer::LoopStats(size_t loop) const {
@@ -678,27 +747,28 @@ void NetServer::ParseConn(Loop& loop, Connection* conn) {
     uint8_t header[kLengthPrefixBytes];
     if (!conn->rx.Peek(0, header, sizeof(header))) return;
     const uint32_t body_len = wire::GetU32(header);
-    if (body_len != kRequestBodyBytes) {
+    if (body_len != kRequestBodyBytesV1 && body_len != kRequestBodyBytes) {
       // Framing is lost; nothing downstream is trustworthy.
       loop.counters.bad_frames.fetch_add(1, std::memory_order_relaxed);
       CloseConn(loop, conn);
       return;
     }
     uint8_t body[kRequestBodyBytes];
-    if (!conn->rx.Peek(kLengthPrefixBytes, body, sizeof(body))) return;
+    if (!conn->rx.Peek(kLengthPrefixBytes, body, body_len)) return;
+    const size_t frame_bytes = kLengthPrefixBytes + body_len;
 
     // Decoded before the frame is consumed: an admin op that cannot start
     // yet (one already streaming) must stay buffered.
     RequestFrame frame;
-    const bool valid = DecodeRequestBody(body, &frame);
+    const bool valid = DecodeRequestBody(body, body_len, &frame);
     if (valid && IsAdminOp(frame.op)) {
       if (conn->admin_active) return;  // Resumes when the pump finishes.
-      conn->rx.Consume(kRequestFrameBytes);
+      conn->rx.Consume(frame_bytes);
       loop.counters.admin_requests.fetch_add(1, std::memory_order_relaxed);
       StartAdmin(loop, conn, frame);
       continue;
     }
-    conn->rx.Consume(kRequestFrameBytes);
+    conn->rx.Consume(frame_bytes);
 
     if (!valid) {
       // Well-framed but invalid (unknown op / flags): answer and move on.
@@ -728,12 +798,26 @@ void NetServer::ParseConn(Loop& loop, Connection* conn) {
       }
     }
 
+    TenantId tenant = kDefaultTenant;
+    if (options_.tenants != nullptr && frame.tenant != 0) {
+      // Interning is O(1) after the tenant's first request (lock-free
+      // probe); the first request takes the registry mutex once.
+      tenant = options_.tenants->Intern(frame.tenant);
+    }
+    if (tenant_stats_ != nullptr) {
+      tenant_stats_->At(tenant).requests.fetch_add(1,
+                                                   std::memory_order_relaxed);
+    }
+
     Pending* pending = loop.pending_pool.Acquire();
     pending->loop = &loop;
     pending->token = conn->Token();
     pending->request_id = frame.id;
+    pending->tenant = tenant;
+    inflight_dones_.fetch_add(1, std::memory_order_relaxed);
     graph::Cluster::BatchRequest request;
     request.query = ToGraphQuery(frame);
+    request.tenant = tenant;
     request.deadline =
         frame.deadline_ns == 0
             ? 0
@@ -752,7 +836,7 @@ void NetServer::ParseConn(Loop& loop, Connection* conn) {
     } else {
       // A/B baseline: one admission episode per query.
       cluster_->Submit(request.query, request.deadline,
-                       std::move(request.done), frame.id);
+                       std::move(request.done), frame.id, tenant);
     }
   }
 }
@@ -827,6 +911,12 @@ void NetServer::MaybeResumePaused(Loop& loop) {
 
 void NetServer::OnQueryDone(Pending* pending, const server::WorkItem& item,
                             Outcome outcome, const GraphQueryResult& result) {
+  // Keeps Stop()'s loop teardown at bay until every return path below
+  // has finished touching `loop`.
+  struct InflightGuard {
+    std::atomic<uint64_t>& count;
+    ~InflightGuard() { count.fetch_sub(1, std::memory_order_release); }
+  } inflight_guard{inflight_dones_};
   Loop& loop = *pending->loop;
   Done done;
   done.token = pending->token;
@@ -841,6 +931,26 @@ void NetServer::OnQueryDone(Pending* pending, const server::WorkItem& item,
     done.reason = result.fail_reason;
   }
   done.value = result.value;
+  if (tenant_stats_ != nullptr) {
+    TenantNetCell& cell = tenant_stats_->At(pending->tenant);
+    switch (static_cast<ResponseStatus>(done.status)) {
+      case ResponseStatus::kOk:
+        cell.ok.fetch_add(1, std::memory_order_relaxed);
+        break;
+      case ResponseStatus::kRejected:
+        cell.rejected.fetch_add(1, std::memory_order_relaxed);
+        break;
+      case ResponseStatus::kShedded:
+        cell.shedded.fetch_add(1, std::memory_order_relaxed);
+        break;
+      case ResponseStatus::kExpired:
+        cell.expired.fetch_add(1, std::memory_order_relaxed);
+        break;
+      default:
+        cell.failed.fetch_add(1, std::memory_order_relaxed);
+        break;
+    }
+  }
   loop.pending_pool.Release(pending);
   if (std::this_thread::get_id() ==
       loop.tid.load(std::memory_order_relaxed)) {

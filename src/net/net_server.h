@@ -8,6 +8,8 @@
 #include <thread>
 #include <vector>
 
+#include "src/core/policy_state_table.h"
+#include "src/core/tenant_registry.h"
 #include "src/graph/cluster.h"
 #include "src/net/byte_ring.h"
 #include "src/net/protocol.h"
@@ -106,6 +108,14 @@ class NetServer {
     /// parse/response events of sampled requests; defaults to
     /// stats::FlightRecorder::Global() when tracing is compiled in.
     stats::FlightRecorder* recorder = nullptr;
+    /// Interns the wire protocol's external tenant ids (v2 frames) into
+    /// the dense indices the admission stages key their per-tenant state
+    /// on; should be the same registry the cluster's stages were built
+    /// with. Must outlive the server. When null, every request runs as
+    /// the default tenant and v2 tenant ids are ignored. With `metrics`
+    /// also set, per-tenant outcome counters are published under
+    /// "tenant.<external-id>.*".
+    TenantRegistry* tenants = nullptr;
     /// Event-loop backend. kAuto probes io_uring support once per
     /// process at Start() and falls back to epoll with a logged reason
     /// (see backend_fallback_reason()); kUring instead fails Start()
@@ -195,6 +205,18 @@ class NetServer {
   /// Cached process-wide kernel/build capability probe for the io_uring
   /// backend; fills `reason` when unsupported.
   static bool UringSupported(std::string* reason = nullptr);
+
+  /// Per-tenant outcome counters (Options::tenants required; zeros
+  /// otherwise). `tenant` is the dense registry index.
+  struct TenantStats {
+    uint64_t requests = 0;   ///< Frames parsed for this tenant.
+    uint64_t ok = 0;         ///< kOk responses.
+    uint64_t rejected = 0;   ///< Policy rejections.
+    uint64_t shedded = 0;    ///< Queue sheds.
+    uint64_t expired = 0;    ///< Deadline expirations.
+    uint64_t failed = 0;     ///< Shard-side subquery failures.
+  };
+  TenantStats TenantStatsOf(TenantId tenant) const;
 
  private:
   struct Connection;
@@ -319,6 +341,24 @@ class NetServer {
 
   stats::FlightRecorder* recorder_ = nullptr;
   uint64_t metrics_collector_handle_ = 0;
+
+  /// Per-tenant outcome accounting, one cache-line cell per tenant in a
+  /// flat-indexed slab (grows lazily with the registry; never rehashes
+  /// on the parse path). Null when Options::tenants is unset.
+  struct alignas(64) TenantNetCell {
+    std::atomic<uint64_t> requests{0};
+    std::atomic<uint64_t> ok{0};
+    std::atomic<uint64_t> rejected{0};
+    std::atomic<uint64_t> shedded{0};
+    std::atomic<uint64_t> expired{0};
+    std::atomic<uint64_t> failed{0};
+  };
+  std::unique_ptr<PolicyStateTable<TenantNetCell>> tenant_stats_;
+  /// In-flight cluster completions (Pending records alive between parse
+  /// and OnQueryDone return). Stop() drains it after joining the loop
+  /// threads: a completion still executing inside OnQueryDone reads
+  /// Loop state, so the loops must not be torn down under it.
+  std::atomic<uint64_t> inflight_dones_{0};
 };
 
 }  // namespace bouncer::net

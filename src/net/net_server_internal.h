@@ -103,6 +103,7 @@ struct NetServer::Pending {
   Loop* loop = nullptr;  ///< Owning loop (completion routing).
   uint64_t token = 0;
   uint64_t request_id = 0;
+  TenantId tenant = kDefaultTenant;  ///< Dense index (outcome accounting).
 };
 
 /// One reactor: everything a loop thread touches on the hot path lives

@@ -15,16 +15,20 @@ namespace bouncer::net {
 /// fixed one keeps parsing a bounds check plus a memcpy).
 ///
 /// Request frame (kRequestFrameBytes total):
-///   u32  body length (== kRequestBodyBytes; other values are a protocol
-///        error and close the connection)
+///   u32  body length (kRequestBodyBytesV1 or kRequestBodyBytes; other
+///        values are a protocol error and close the connection)
 ///   u64  request id (echoed verbatim in the response)
 ///   u8   query type id (GraphOp, 0..10)
 ///   u8   priority (carried through; reserved for priority scheduling)
-///   u16  flags (must be 0)
+///   u16  flags (bit 0 kRequestFlagTenant: a trailing tenant id follows;
+///        all other bits must be 0)
 ///   u32  source vertex
 ///   u32  target vertex (2-vertex ops)
 ///   u64  external id (kDegreeByExternalId)
 ///   u64  deadline in nanoseconds relative to server receipt (0 = none)
+///   u64  external tenant id — present iff kRequestFlagTenant is set.
+///        v1 clients omit flag and field (36-byte body) and are decoded
+///        as the default tenant; v2 frames carry 44-byte bodies.
 ///
 /// Response frame (kResponseFrameBytes total):
 ///   u32  body length (== kResponseBodyBytes)
@@ -66,6 +70,11 @@ inline constexpr uint8_t kAdminFlagMore = 0x01;
 /// responses it must never displace.
 inline constexpr size_t kAdminMaxChunk = 4096;
 
+/// Request flag bit 0: the body carries a trailing external tenant id.
+/// EncodeRequest manages the bit itself from RequestFrame::tenant, so
+/// single-tenant clients never pay the extra 8 bytes and never change.
+inline constexpr uint16_t kRequestFlagTenant = 0x1;
+
 /// One parsed client request.
 struct RequestFrame {
   uint64_t id = 0;
@@ -76,6 +85,9 @@ struct RequestFrame {
   uint32_t target = 0;
   uint64_t external_id = 0;
   uint64_t deadline_ns = 0;  ///< Relative to receipt; 0 = none.
+  /// External tenant id (0 = default tenant). Interned into a dense
+  /// TenantId server-side; only on the wire when non-zero.
+  uint64_t tenant = 0;
 };
 
 /// Terminal status delivered to the client for one request.
@@ -97,7 +109,12 @@ struct ResponseFrame {
 };
 
 inline constexpr size_t kLengthPrefixBytes = 4;
-inline constexpr size_t kRequestBodyBytes = 8 + 1 + 1 + 2 + 4 + 4 + 8 + 8;
+/// v1 body: no tenant field. Still emitted whenever tenant == 0, so the
+/// common single-tenant stream is byte-identical to older builds.
+inline constexpr size_t kRequestBodyBytesV1 = 8 + 1 + 1 + 2 + 4 + 4 + 8 + 8;
+/// v2 body: v1 plus the trailing u64 tenant id. kRequestBodyBytes stays
+/// the name for "the largest request body" so buffer sizing is unchanged.
+inline constexpr size_t kRequestBodyBytes = kRequestBodyBytesV1 + 8;
 inline constexpr size_t kRequestFrameBytes =
     kLengthPrefixBytes + kRequestBodyBytes;
 inline constexpr size_t kResponseBodyBytes = 8 + 1 + 1 + 8;
@@ -139,25 +156,42 @@ inline uint64_t GetU64(const uint8_t* p) {
 }  // namespace wire
 
 /// Encodes `frame` (length prefix included) into `out`, which must hold
-/// kRequestFrameBytes.
-inline void EncodeRequest(const RequestFrame& frame, uint8_t* out) {
-  wire::PutU32(out, static_cast<uint32_t>(kRequestBodyBytes));
+/// kRequestFrameBytes; returns the bytes actually written. Emits a v1
+/// (36-byte) body when frame.tenant is 0 and a v2 (44-byte) body with the
+/// tenant flag set otherwise — callers transmit exactly the returned
+/// size, so single-tenant traffic stays wire-compatible with v1 servers.
+inline size_t EncodeRequest(const RequestFrame& frame, uint8_t* out) {
+  const bool with_tenant = frame.tenant != 0;
+  const size_t body_len =
+      with_tenant ? kRequestBodyBytes : kRequestBodyBytesV1;
+  const uint16_t flags = with_tenant
+                             ? static_cast<uint16_t>(frame.flags |
+                                                     kRequestFlagTenant)
+                             : static_cast<uint16_t>(frame.flags &
+                                                     ~kRequestFlagTenant);
+  wire::PutU32(out, static_cast<uint32_t>(body_len));
   uint8_t* p = out + kLengthPrefixBytes;
   wire::PutU64(p, frame.id);
   p[8] = frame.op;
   p[9] = frame.priority;
-  wire::PutU16(p + 10, frame.flags);
+  wire::PutU16(p + 10, flags);
   wire::PutU32(p + 12, frame.source);
   wire::PutU32(p + 16, frame.target);
   wire::PutU64(p + 20, frame.external_id);
   wire::PutU64(p + 28, frame.deadline_ns);
+  if (with_tenant) wire::PutU64(p + 36, frame.tenant);
+  return kLengthPrefixBytes + body_len;
 }
 
-/// Decodes a request body (the bytes after the length prefix). Returns
-/// false when the frame is semantically invalid (unknown op, non-zero
-/// flags); the fields are filled either way so the server can echo the id
-/// in a kBadRequest response.
-inline bool DecodeRequestBody(const uint8_t* body, RequestFrame* out) {
+/// Decodes a request body of `body_len` bytes (the bytes after the
+/// length prefix); both v1 and v2 layouts are accepted, and a v1 body
+/// yields tenant 0 (the default tenant) so pre-tenant clients keep
+/// working unchanged. Returns false when the frame is semantically
+/// invalid (unknown op, unknown flag bits, flag/length mismatch); the
+/// fields are filled either way so the server can echo the id in a
+/// kBadRequest response.
+inline bool DecodeRequestBody(const uint8_t* body, size_t body_len,
+                              RequestFrame* out) {
   out->id = wire::GetU64(body);
   out->op = body[8];
   out->priority = body[9];
@@ -166,8 +200,14 @@ inline bool DecodeRequestBody(const uint8_t* body, RequestFrame* out) {
   out->target = wire::GetU32(body + 16);
   out->external_id = wire::GetU64(body + 20);
   out->deadline_ns = wire::GetU64(body + 28);
+  const bool has_tenant = (out->flags & kRequestFlagTenant) != 0;
+  out->tenant =
+      has_tenant && body_len >= kRequestBodyBytes ? wire::GetU64(body + 36)
+                                                  : 0;
+  const size_t expected_len =
+      has_tenant ? kRequestBodyBytes : kRequestBodyBytesV1;
   return (out->op < graph::kNumGraphOps || IsAdminOp(out->op)) &&
-         out->flags == 0;
+         (out->flags & ~kRequestFlagTenant) == 0 && body_len == expected_len;
 }
 
 /// Encodes `frame` (length prefix included) into `out`, which must hold

@@ -40,7 +40,7 @@ Stage::Stage(const Options& options, const QueryTypeRegistry* registry,
     queues_.push_back(std::make_unique<RunQueue>(per_queue));
   }
   PolicyContext context{registry_, &queue_state_, options_.num_workers,
-                        num_queues};
+                        num_queues, options_.tenants};
   auto policy = policy_factory(context);
   if (policy.ok()) {
     policy_ = std::move(*policy);
@@ -121,7 +121,7 @@ void Stage::StampAdmission(WorkItem& item, Nanos now, RejectReason reason) {
     if (!item.traced && recorder_->ShouldSample(item.id)) item.traced = true;
   }
   if (item.traced || est_err_under_ != nullptr) {
-    item.estimated_wait = policy_->EstimatedQueueWait(item.type);
+    item.estimated_wait = policy_->EstimatedQueueWait(item.key());
   }
   if (reason != RejectReason::kNone) item.reject_reason = reason;
   if constexpr (stats::kTraceCompiledIn) {
@@ -132,6 +132,7 @@ void Stage::StampAdmission(WorkItem& item, Nanos now, RejectReason reason) {
       event.arg0 = item.estimated_wait;
       event.arg1 = item.deadline > 0 ? item.deadline - now : -1;
       event.type = static_cast<uint16_t>(item.type);
+      event.tenant = item.tenant;
       event.kind = static_cast<uint8_t>(stats::TraceEventKind::kAdmission);
       event.reason = static_cast<uint8_t>(reason);
       recorder_->Record(event);
@@ -149,6 +150,7 @@ void Stage::TraceOutcome(const WorkItem& item, Nanos now,
     event.arg0 = arg0;
     event.arg1 = arg1;
     event.type = static_cast<uint16_t>(item.type);
+    event.tenant = item.tenant;
     event.kind = static_cast<uint8_t>(kind);
     event.reason = static_cast<uint8_t>(item.reject_reason);
     recorder_->Record(event);
@@ -228,11 +230,11 @@ Stage::BatchResult Stage::SubmitBatch(std::span<WorkItem> items,
   for (size_t i = 0; i < items.size(); ++i) {
     WorkItem& item = items[i];
     item.arrival = now;
-    const Decision decision = policy_->Decide(item.type, now);
+    const Decision decision = policy_->Decide(item.key(), now);
     if (decision == Decision::kReject) {
       ++result.rejected;
       StampAdmission(item, now, RejectReason::kPolicy);
-      policy_->OnRejected(item.type, now);
+      policy_->OnRejected(item.key(), now);
       if (item.on_complete) item.on_complete(item, Outcome::kRejected);
       continue;
     }
@@ -241,7 +243,7 @@ Stage::BatchResult Stage::SubmitBatch(std::span<WorkItem> items,
     StampAdmission(item, now, RejectReason::kNone);
     item.enqueued = now;
     queue_state_.OnEnqueued(item.type);
-    policy_->OnEnqueued(item.type, now);  // Point 1.
+    policy_->OnEnqueued(item.key(), now);  // Point 1.
     if (admitted != i) items[admitted] = std::move(item);
     ++admitted;
   }
@@ -262,7 +264,7 @@ Stage::BatchResult Stage::SubmitBatch(std::span<WorkItem> items,
     queue_state_.OnDequeued(item.type);
     item.reject_reason = RejectReason::kQueueFull;
     TraceOutcome(item, now, stats::TraceEventKind::kShed);
-    policy_->OnShedded(item.type, now);
+    policy_->OnShedded(item.key(), now);
     if (item.on_complete) item.on_complete(item, Outcome::kShedded);
   }
   result.admitted = static_cast<uint32_t>(pushed);
@@ -293,11 +295,11 @@ Outcome Stage::SubmitImpl(WorkItem item, bool allow_inline) {
   RunQueue& queue = *queues_[home];
   queue.counters.received.fetch_add(1, std::memory_order_relaxed);
 
-  const Decision decision = policy_->Decide(item.type, now);
+  const Decision decision = policy_->Decide(item.key(), now);
   if (decision == Decision::kReject) {
     queue.counters.rejected.fetch_add(1, std::memory_order_relaxed);
     StampAdmission(item, now, RejectReason::kPolicy);
-    policy_->OnRejected(item.type, now);
+    policy_->OnRejected(item.key(), now);
     if (item.on_complete) item.on_complete(item, Outcome::kRejected);
     return Outcome::kRejected;
   }
@@ -306,11 +308,11 @@ Outcome Stage::SubmitImpl(WorkItem item, bool allow_inline) {
   // ahead of this item, not the item's own contribution.
   StampAdmission(item, now, RejectReason::kNone);
   item.enqueued = now;
-  const QueryTypeId type = item.type;
+  const WorkKey key = item.key();
   // Occupancy and Point 1 go first: a worker that pops the item
   // immediately must observe the enqueue before its own dequeue.
-  queue_state_.OnEnqueued(type);
-  policy_->OnEnqueued(type, now);  // Point 1.
+  queue_state_.OnEnqueued(key.type);
+  policy_->OnEnqueued(key, now);  // Point 1.
   if (allow_inline && !stopping_.load(std::memory_order_acquire) &&
       queue_state_.TotalLength() == 1 && queue.fifo.EmptyApprox()) {
     // Empty-and-admitting: nothing is queued in any ring ahead of this
@@ -323,13 +325,13 @@ Outcome Stage::SubmitImpl(WorkItem item, bool allow_inline) {
   if (stopping_.load(std::memory_order_acquire) ||
       !queue.fifo.TryPush(std::move(item))) {
     // TryPush leaves `item` intact on failure (ring full).
-    queue_state_.OnDequeued(type);
+    queue_state_.OnDequeued(key.type);
     item.reject_reason = RejectReason::kQueueFull;
     TraceOutcome(item, now, stats::TraceEventKind::kShed);
     queue.counters.shedded.fetch_add(1, std::memory_order_relaxed);
     // The policy saw an accept; report the drop so its windows and
     // aggregates stay honest.
-    policy_->OnShedded(type, now);
+    policy_->OnShedded(key, now);
     if (item.on_complete) item.on_complete(item, Outcome::kShedded);
     return Outcome::kShedded;
   }
@@ -379,7 +381,7 @@ void Stage::ProcessItem(WorkItem& item, QueueCounters& counters) {
   item.dequeued = dequeue_time;
   queue_state_.OnDequeued(item.type);
   const Nanos wait = item.WaitTime();
-  policy_->OnDequeued(item.type, wait, dequeue_time);  // Point 2.
+  policy_->OnDequeued(item.key(), wait, dequeue_time);  // Point 2.
   if (item.estimated_wait >= 0) {
     // How far off was the Eq. 2 estimate for this item? Signed error
     // split across two histograms (the histogram clamps negatives).
@@ -409,7 +411,7 @@ void Stage::ProcessItem(WorkItem& item, QueueCounters& counters) {
   handler_(item);
   const Nanos done = clock_->Now();
   item.completed = done;
-  policy_->OnCompleted(item.type, item.ProcessingTime(), done);  // Point 3.
+  policy_->OnCompleted(item.key(), item.ProcessingTime(), done);  // Point 3.
   counters.completed.fetch_add(1, std::memory_order_relaxed);
   if (item.on_complete) item.on_complete(item, Outcome::kCompleted);
 }
@@ -426,7 +428,7 @@ void Stage::DrainAsShedded() {
     queue_state_.OnDequeued(item.type);
     item.reject_reason = RejectReason::kQueueFull;
     TraceOutcome(item, now, stats::TraceEventKind::kShed);
-    policy_->OnShedded(item.type, now);
+    policy_->OnShedded(item.key(), now);
     if (item.on_complete) item.on_complete(item, Outcome::kShedded);
     item = WorkItem();
   }

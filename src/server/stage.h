@@ -36,6 +36,9 @@ enum class Outcome : uint8_t {
 /// framework timestamps recorded at the metric points of paper Fig. 1.
 struct WorkItem {
   QueryTypeId type = kDefaultQueryType;
+  /// Dense tenant index (TenantRegistry); the second half of the
+  /// admission key. Default-tenant for single-tenant callers.
+  TenantId tenant = kDefaultTenant;
   uint64_t id = 0;        ///< Caller-chosen correlation id.
   Nanos deadline = 0;     ///< Absolute expiration time; 0 = none.
   void* user = nullptr;   ///< Opaque caller payload for the handler.
@@ -55,6 +58,9 @@ struct WorkItem {
   /// Flight-recorder sampling decision, made once at the first admission
   /// point the item crosses and carried downstream (broker → shards).
   bool traced = false;
+
+  /// The (type, tenant) pair policy entry points key on.
+  WorkKey key() const { return WorkKey{type, tenant}; }
 
   /// Queue wait wt(Q); valid for kCompleted / kExpired.
   Nanos WaitTime() const { return dequeued - enqueued; }
@@ -131,6 +137,11 @@ class Stage {
     /// Flight recorder for sampled request traces; defaults to
     /// stats::FlightRecorder::Global() when tracing is compiled in.
     stats::FlightRecorder* recorder = nullptr;
+    /// Tenant interner shared across the deployment's stages. When set,
+    /// the policy context carries it so tenant-aware policies
+    /// (TenantFairPolicy) can resolve weights and walk per-tenant state.
+    /// Must outlive the stage. Null runs the stage single-tenant.
+    const TenantRegistry* tenants = nullptr;
   };
 
   /// The query engine: processes one admitted item (runs on a worker
@@ -252,8 +263,10 @@ class Stage {
   static PolicyContext MakeContext(const QueryTypeRegistry* registry,
                                    const QueueState* queue,
                                    size_t num_workers,
-                                   size_t counter_stripes = 1) {
-    return PolicyContext{registry, queue, num_workers, counter_stripes};
+                                   size_t counter_stripes = 1,
+                                   const TenantRegistry* tenants = nullptr) {
+    return PolicyContext{registry, queue, num_workers, counter_stripes,
+                         tenants};
   }
 
  private:

@@ -99,7 +99,14 @@ FlightRecorder::Ring* FlightRecorder::RingForThisThread() {
 void FlightRecorder::Record(const TraceEvent& event) {
   Ring* ring = RingForThisThread();
   const uint64_t h = ring->head.load(std::memory_order_relaxed);
-  ring->events[h & ring->mask] = event;
+  PackedEvent& slot = ring->events[h & ring->mask];
+  // Seqlock write: park the slot as busy, store the data words, then
+  // publish this lap's absolute index. The release fence keeps the busy
+  // mark ordered before the data stores for a racing dumper.
+  slot.seq.store(PackedEvent::kBusySeq, std::memory_order_relaxed);
+  std::atomic_thread_fence(std::memory_order_release);
+  slot.Store(event);
+  slot.seq.store(h, std::memory_order_release);
   ring->head.store(h + 1, std::memory_order_release);
 }
 
@@ -107,32 +114,31 @@ size_t FlightRecorder::Dump(std::string* out) const {
   std::lock_guard<std::mutex> lock(mu_);
   size_t written = 0;
   char buf[256];
-  std::vector<TraceEvent> copy;
   for (size_t ring_idx = 0; ring_idx < rings_.size(); ++ring_idx) {
     const Ring& ring = *rings_[ring_idx];
     const size_t cap = ring.mask + 1;
     const uint64_t h1 = ring.head.load(std::memory_order_acquire);
     const uint64_t count = h1 < cap ? h1 : cap;
     const uint64_t begin = h1 - count;
-    copy.clear();
-    copy.reserve(count);
     for (uint64_t i = begin; i < h1; ++i) {
-      copy.push_back(ring.events[i & ring.mask]);
-    }
-    // Entries the writer lapped during the copy above are torn; the
-    // head cursor tells us exactly which absolute indices they are.
-    const uint64_t h2 = ring.head.load(std::memory_order_acquire);
-    const uint64_t safe_begin = h2 > cap ? h2 - cap : 0;
-    for (uint64_t i = begin; i < h1; ++i) {
-      if (i < safe_begin) continue;
-      const TraceEvent& e = copy[i - begin];
+      // Seqlock read: the copy is this lap's event iff the slot sequence
+      // reads the absolute index on both sides of it. A slot the writer
+      // lapped or is overwriting right now fails the check and is
+      // dropped — the dump stays approximate under load, but never mixes
+      // two events and never drops a quiescent slot.
+      const PackedEvent& slot = ring.events[i & ring.mask];
+      if (slot.seq.load(std::memory_order_acquire) != i) continue;
+      const TraceEvent e = slot.Load();
+      std::atomic_thread_fence(std::memory_order_acquire);
+      if (slot.seq.load(std::memory_order_relaxed) != i) continue;
       std::snprintf(buf, sizeof(buf),
                     "{\"ts\":%" PRId64 ",\"id\":%" PRIu64
-                    ",\"kind\":\"%s\",\"type\":%u,\"reason\":%u,\"loc\":%u"
-                    ",\"arg0\":%" PRId64 ",\"arg1\":%" PRId64
+                    ",\"kind\":\"%s\",\"type\":%u,\"tenant\":%u,\"reason\":%u"
+                    ",\"loc\":%u,\"arg0\":%" PRId64 ",\"arg1\":%" PRId64
                     ",\"ring\":%zu}\n",
                     e.ts, e.id, KindName(e.kind),
                     static_cast<unsigned>(e.type),
+                    static_cast<unsigned>(e.tenant),
                     static_cast<unsigned>(e.reason),
                     static_cast<unsigned>(e.loc), e.arg0, e.arg1, ring_idx);
       *out += buf;
@@ -157,6 +163,9 @@ void FlightRecorder::Reset() {
   std::lock_guard<std::mutex> lock(mu_);
   for (auto& ring : rings_) {
     ring->head.store(0, std::memory_order_release);
+    for (auto& slot : ring->events) {
+      slot.seq.store(PackedEvent::kBusySeq, std::memory_order_release);
+    }
   }
 }
 

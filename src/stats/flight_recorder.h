@@ -36,13 +36,16 @@ enum class TraceEventKind : uint8_t {
   kResponseWrite = 8, ///< Response encoded into a connection's tx ring.
 };
 
-/// One fixed-size trace record. POD so ring writes are a struct copy.
+/// One fixed-size trace record. POD; rings store it packed into atomic
+/// words (see FlightRecorder::Ring) so a concurrent dump never races the
+/// writer.
 struct TraceEvent {
   Nanos ts = 0;          ///< Clock timestamp.
   uint64_t id = 0;       ///< Request correlation id (WorkItem::id).
   int64_t arg0 = 0;      ///< Kind-specific (e.g. estimated queue wait).
   int64_t arg1 = 0;      ///< Kind-specific (e.g. remaining SLO budget).
   uint32_t loc = 0;      ///< Loop id / shard id / broker id.
+  uint32_t tenant = 0;   ///< Dense tenant index (0 = default tenant).
   uint16_t type = 0;     ///< QueryTypeId.
   uint8_t kind = 0;      ///< TraceEventKind.
   uint8_t reason = 0;    ///< RejectReason wire code (0 = none).
@@ -56,11 +59,13 @@ struct TraceEvent {
 ///  - Each ring has exactly ONE writer — the thread that recorded into it
 ///    first. Rings are owned by the recorder and never freed before it,
 ///    so a dumping thread can read them at any time.
-///  - Record() is wait-free: one relaxed head load, a struct store, one
-///    release head store. No allocation after a thread's first event.
-///  - Dump() tolerates concurrent writers: an entry overwritten while the
-///    dump copied it is detected via the head cursor and discarded, so a
-///    dump is approximate under load but never torn into the output.
+///  - Record() is wait-free: one relaxed head load, a handful of word
+///    stores, one release head store. No allocation after a thread's
+///    first event.
+///  - Dump() tolerates concurrent writers: each slot carries a seqlock
+///    sequence, so an entry overwritten while the dump copied it fails
+///    the sequence check and is discarded — a dump is approximate under
+///    load but never torn or mixed into the output.
 ///
 /// Sampling is deterministic: a request is sampled iff
 /// splitmix64(id ^ seed) % period == 0, so reruns with a fixed seed trace
@@ -123,10 +128,58 @@ class FlightRecorder {
   size_t num_rings() const;
 
  private:
+  /// A TraceEvent packed into six 64-bit words plus a slot sequence.
+  /// Slots are written by one thread and read concurrently by dumpers,
+  /// so each word is a relaxed atomic: an overlapped overwrite mixes old
+  /// and new words but never tears one. The `seq` word makes the mix
+  /// detectable exactly (a per-slot seqlock): the writer parks it at
+  /// kBusySeq before touching the data words and publishes the slot's
+  /// absolute ring index after, so a dumper that reads seq == index on
+  /// both sides of its copy holds precisely that lap's event. Absolute
+  /// indices are monotonic per slot (i, then i + capacity, ...), so the
+  /// check can never ABA.
+  struct PackedEvent {
+    static constexpr size_t kWords = 6;
+    /// "No lap published here" (the initial state / mid-overwrite mark).
+    static constexpr uint64_t kBusySeq = ~uint64_t{0};
+    std::atomic<uint64_t> seq{kBusySeq};
+    std::atomic<uint64_t> w[kWords];
+
+    void Store(const TraceEvent& e) {
+      w[0].store(static_cast<uint64_t>(e.ts), std::memory_order_relaxed);
+      w[1].store(e.id, std::memory_order_relaxed);
+      w[2].store(static_cast<uint64_t>(e.arg0), std::memory_order_relaxed);
+      w[3].store(static_cast<uint64_t>(e.arg1), std::memory_order_relaxed);
+      w[4].store(static_cast<uint64_t>(e.loc) |
+                     (static_cast<uint64_t>(e.tenant) << 32),
+                 std::memory_order_relaxed);
+      w[5].store(static_cast<uint64_t>(e.type) |
+                     (static_cast<uint64_t>(e.kind) << 16) |
+                     (static_cast<uint64_t>(e.reason) << 24),
+                 std::memory_order_relaxed);
+    }
+
+    TraceEvent Load() const {
+      TraceEvent e;
+      e.ts = static_cast<Nanos>(w[0].load(std::memory_order_relaxed));
+      e.id = w[1].load(std::memory_order_relaxed);
+      e.arg0 = static_cast<int64_t>(w[2].load(std::memory_order_relaxed));
+      e.arg1 = static_cast<int64_t>(w[3].load(std::memory_order_relaxed));
+      const uint64_t w4 = w[4].load(std::memory_order_relaxed);
+      e.loc = static_cast<uint32_t>(w4);
+      e.tenant = static_cast<uint32_t>(w4 >> 32);
+      const uint64_t w5 = w[5].load(std::memory_order_relaxed);
+      e.type = static_cast<uint16_t>(w5);
+      e.kind = static_cast<uint8_t>(w5 >> 16);
+      e.reason = static_cast<uint8_t>(w5 >> 24);
+      return e;
+    }
+  };
+
   struct Ring {
     explicit Ring(size_t capacity)
         : events(capacity), mask(capacity - 1) {}
-    std::vector<TraceEvent> events;  ///< Power-of-two size.
+    std::vector<PackedEvent> events;  ///< Power-of-two size.
     size_t mask;
     std::atomic<uint64_t> head{0};  ///< Next write index (monotonic).
     std::thread::id owner{};        ///< The single writer.

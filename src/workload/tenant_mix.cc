@@ -1,0 +1,116 @@
+#include "src/workload/tenant_mix.h"
+
+#include <algorithm>
+#include <cmath>
+#include <unordered_set>
+
+namespace bouncer::workload {
+
+TenantMix::TenantMix(std::vector<TenantSpec> tenants)
+    : tenants_(std::move(tenants)) {
+  cumulative_.reserve(tenants_.size());
+  double sum = 0.0;
+  for (const TenantSpec& t : tenants_) {
+    sum += t.share < 0.0 ? 0.0 : t.share;
+    cumulative_.push_back(sum);
+  }
+}
+
+Status TenantMix::Validate() const {
+  if (tenants_.empty()) {
+    return Status::InvalidArgument("tenant mix has no tenants");
+  }
+  std::unordered_set<uint64_t> seen;
+  double sum = 0.0;
+  for (const TenantSpec& t : tenants_) {
+    if (t.external_id == 0) {
+      return Status::InvalidArgument(
+          "tenant external id 0 is reserved for the default tenant");
+    }
+    if (!seen.insert(t.external_id).second) {
+      return Status::InvalidArgument("duplicate tenant external id " +
+                                     std::to_string(t.external_id));
+    }
+    if (t.share < 0.0) {
+      return Status::InvalidArgument("negative share for tenant " +
+                                     std::to_string(t.external_id));
+    }
+    if (t.weight <= 0.0) {
+      return Status::InvalidArgument("non-positive weight for tenant " +
+                                     std::to_string(t.external_id));
+    }
+    sum += t.share;
+  }
+  if (std::abs(sum - 1.0) > 1e-6) {
+    return Status::InvalidArgument("tenant shares must sum to 1");
+  }
+  return Status::OK();
+}
+
+size_t TenantMix::SampleIndex(Rng& rng) const {
+  const double total = cumulative_.empty() ? 0.0 : cumulative_.back();
+  const double u = rng.NextDouble() * total;
+  const auto it =
+      std::upper_bound(cumulative_.begin(), cumulative_.end(), u);
+  const size_t i = static_cast<size_t>(it - cumulative_.begin());
+  return i < tenants_.size() ? i : tenants_.size() - 1;
+}
+
+StatusOr<std::vector<TenantId>> TenantMix::PopulateRegistry(
+    TenantRegistry* registry) const {
+  std::vector<TenantId> ids;
+  ids.reserve(tenants_.size());
+  for (const TenantSpec& t : tenants_) {
+    StatusOr<TenantId> id = registry->Register(t.external_id, t.weight);
+    if (!id.ok()) return id.status();
+    ids.push_back(*id);
+  }
+  return ids;
+}
+
+TenantMix UniformTenantMix(size_t num_tenants) {
+  if (num_tenants < 1) num_tenants = 1;
+  std::vector<TenantSpec> tenants(num_tenants);
+  for (size_t i = 0; i < num_tenants; ++i) {
+    tenants[i].external_id = i + 1;
+    tenants[i].share = 1.0 / static_cast<double>(num_tenants);
+    tenants[i].weight = 1.0;
+  }
+  return TenantMix(std::move(tenants));
+}
+
+TenantMix ZipfianTenantMix(size_t num_tenants, double exponent) {
+  if (num_tenants < 1) num_tenants = 1;
+  std::vector<TenantSpec> tenants(num_tenants);
+  double norm = 0.0;
+  for (size_t i = 0; i < num_tenants; ++i) {
+    norm += 1.0 / std::pow(static_cast<double>(i + 1), exponent);
+  }
+  for (size_t i = 0; i < num_tenants; ++i) {
+    tenants[i].external_id = i + 1;
+    tenants[i].share =
+        1.0 / std::pow(static_cast<double>(i + 1), exponent) / norm;
+    tenants[i].weight = 1.0;
+  }
+  return TenantMix(std::move(tenants));
+}
+
+TenantMix NoisyNeighborMix(size_t num_tenants, double aggressor_share) {
+  if (num_tenants < 2) num_tenants = 2;
+  if (aggressor_share < 0.0) aggressor_share = 0.0;
+  if (aggressor_share > 1.0) aggressor_share = 1.0;
+  std::vector<TenantSpec> tenants(num_tenants);
+  tenants[0].external_id = 1;
+  tenants[0].share = aggressor_share;
+  tenants[0].weight = 1.0;
+  const double quiet_share =
+      (1.0 - aggressor_share) / static_cast<double>(num_tenants - 1);
+  for (size_t i = 1; i < num_tenants; ++i) {
+    tenants[i].external_id = i + 1;
+    tenants[i].share = quiet_share;
+    tenants[i].weight = 1.0;
+  }
+  return TenantMix(std::move(tenants));
+}
+
+}  // namespace bouncer::workload

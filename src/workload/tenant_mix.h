@@ -1,0 +1,79 @@
+#ifndef BOUNCER_WORKLOAD_TENANT_MIX_H_
+#define BOUNCER_WORKLOAD_TENANT_MIX_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "src/core/tenant_registry.h"
+#include "src/core/types.h"
+#include "src/util/rng.h"
+#include "src/util/status.h"
+
+namespace bouncer::workload {
+
+/// One tenant's slice of a multi-tenant traffic mix: its wire id, its
+/// share of the offered load, and the fair-share weight the admission
+/// layer should grant it. Share and weight are deliberately separate —
+/// the interesting scenarios are exactly the ones where a tenant offers
+/// more traffic than its weight entitles it to.
+struct TenantSpec {
+  uint64_t external_id = 1;  ///< Wire id (>= 1; 0 is the default tenant).
+  double share = 0.0;        ///< Fraction of the offered load, in [0, 1].
+  double weight = 1.0;       ///< Fair-share weight (> 0).
+};
+
+/// A multi-tenant traffic mix, sampled per departure the same way
+/// WorkloadSpec samples query types. Orthogonal to the type mix: a study
+/// draws (type, tenant) independently, which matches the paper's setting
+/// where every account issues the same query blend.
+class TenantMix {
+ public:
+  TenantMix() = default;
+  explicit TenantMix(std::vector<TenantSpec> tenants);
+
+  /// Validates ids are unique and non-zero, weights positive, and shares
+  /// non-negative summing to ~1.
+  Status Validate() const;
+
+  const std::vector<TenantSpec>& tenants() const { return tenants_; }
+  size_t size() const { return tenants_.size(); }
+  const TenantSpec& tenant(size_t i) const { return tenants_.at(i); }
+
+  /// Samples a spec index according to the shares.
+  size_t SampleIndex(Rng& rng) const;
+
+  /// Samples the wire id to stamp on one departure.
+  uint64_t SampleExternalId(Rng& rng) const {
+    return tenants_.at(SampleIndex(rng)).external_id;
+  }
+
+  /// Registers every tenant's weight with `registry`; returns the dense
+  /// ids in spec order.
+  StatusOr<std::vector<TenantId>> PopulateRegistry(
+      TenantRegistry* registry) const;
+
+ private:
+  std::vector<TenantSpec> tenants_;
+  std::vector<double> cumulative_;  ///< Prefix sums of shares.
+};
+
+/// `num_tenants` equal-share, equal-weight tenants with wire ids 1..N.
+TenantMix UniformTenantMix(size_t num_tenants);
+
+/// Zipf-distributed shares over wire ids 1..N (id 1 the hottest), equal
+/// weights — the skew of real account populations, and the shape the
+/// high-cardinality benches drive. `exponent` is the Zipf s parameter.
+TenantMix ZipfianTenantMix(size_t num_tenants, double exponent = 1.0);
+
+/// The noisy-neighbor scenario: tenant 1 (the aggressor) offers
+/// `aggressor_share` of the load while the other `num_tenants - 1`
+/// well-behaved tenants split the rest evenly. All weights are equal, so
+/// under overload a weighted-fair admission layer should hold every
+/// tenant — aggressor included — to ~1/num_tenants of the admitted
+/// service, while share-blind admission lets the aggressor starve the
+/// rest. `num_tenants` must be >= 2.
+TenantMix NoisyNeighborMix(size_t num_tenants, double aggressor_share = 0.6);
+
+}  // namespace bouncer::workload
+
+#endif  // BOUNCER_WORKLOAD_TENANT_MIX_H_

@@ -10,14 +10,14 @@ namespace {
 /// Inner policy with a scriptable decision and call counters.
 class StubPolicy : public AdmissionPolicy {
  public:
-  Decision Decide(QueryTypeId, Nanos) override {
+  Decision Decide(WorkKey, Nanos) override {
     ++decide_calls;
     return next_decision;
   }
-  void OnEnqueued(QueryTypeId, Nanos) override { ++enqueued_calls; }
-  void OnRejected(QueryTypeId, Nanos) override { ++rejected_calls; }
-  void OnDequeued(QueryTypeId, Nanos, Nanos) override { ++dequeued_calls; }
-  void OnCompleted(QueryTypeId, Nanos, Nanos) override { ++completed_calls; }
+  void OnEnqueued(WorkKey, Nanos) override { ++enqueued_calls; }
+  void OnRejected(WorkKey, Nanos) override { ++rejected_calls; }
+  void OnDequeued(WorkKey, Nanos, Nanos) override { ++dequeued_calls; }
+  void OnCompleted(WorkKey, Nanos, Nanos) override { ++completed_calls; }
   std::string_view name() const override { return "Stub"; }
 
   Decision next_decision = Decision::kReject;

@@ -9,11 +9,11 @@ namespace {
 
 class StubPolicy : public AdmissionPolicy {
  public:
-  Decision Decide(QueryTypeId type, Nanos) override {
+  Decision Decide(WorkKey key, Nanos) override {
     ++decide_calls;
-    return type == favored_type ? Decision::kAccept : Decision::kReject;
+    return key.type == favored_type ? Decision::kAccept : Decision::kReject;
   }
-  void OnCompleted(QueryTypeId, Nanos, Nanos) override { ++completed_calls; }
+  void OnCompleted(WorkKey, Nanos, Nanos) override { ++completed_calls; }
   std::string_view name() const override { return "Stub"; }
 
   QueryTypeId favored_type = 1;  ///< Accepted; all other types rejected.

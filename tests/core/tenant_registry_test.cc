@@ -1,0 +1,171 @@
+#include "src/core/tenant_registry.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <thread>
+#include <unordered_map>
+#include <vector>
+
+namespace bouncer {
+namespace {
+
+TEST(TenantRegistryTest, DefaultTenantIsPreInterned) {
+  TenantRegistry registry;
+  EXPECT_EQ(registry.size(), 1u);
+  EXPECT_EQ(registry.Intern(0), kDefaultTenant);
+  EXPECT_EQ(registry.ExternalIdOf(kDefaultTenant), 0u);
+  EXPECT_EQ(registry.size(), 1u);
+}
+
+TEST(TenantRegistryTest, InternAssignsDenseSequentialIndices) {
+  TenantRegistry registry;
+  EXPECT_EQ(registry.Intern(1001), 1u);
+  EXPECT_EQ(registry.Intern(7), 2u);
+  // UINT64_MAX is the one unrepresentable wire id (it wraps onto the
+  // empty-slot sentinel); it degrades to the default tenant.
+  EXPECT_EQ(registry.Intern(0xffffffffffffffffull), kDefaultTenant);
+  EXPECT_FALSE(registry.Register(0xffffffffffffffffull, 1.0).ok());
+  // Re-interning is idempotent.
+  EXPECT_EQ(registry.Intern(7), 2u);
+  EXPECT_EQ(registry.size(), 3u);
+  EXPECT_EQ(registry.ExternalIdOf(1), 1001u);
+  EXPECT_EQ(registry.ExternalIdOf(2), 7u);
+}
+
+TEST(TenantRegistryTest, FindDoesNotIntern) {
+  TenantRegistry registry;
+  EXPECT_EQ(registry.Find(55).status().code(), StatusCode::kNotFound);
+  EXPECT_EQ(registry.size(), 1u);
+  const TenantId id = registry.Intern(55);
+  const StatusOr<TenantId> found = registry.Find(55);
+  ASSERT_TRUE(found.ok());
+  EXPECT_EQ(*found, id);
+}
+
+TEST(TenantRegistryTest, RegisterSetsAndUpdatesWeight) {
+  TenantRegistry registry;
+  const StatusOr<TenantId> id = registry.Register(9, 4.0);
+  ASSERT_TRUE(id.ok());
+  EXPECT_DOUBLE_EQ(registry.WeightOf(*id), 4.0);
+  // Total = default tenant (1.0) + tenant 9 (4.0).
+  EXPECT_DOUBLE_EQ(registry.TotalWeight(), 5.0);
+  // Re-registering updates in place, no new index.
+  const StatusOr<TenantId> again = registry.Register(9, 2.5);
+  ASSERT_TRUE(again.ok());
+  EXPECT_EQ(*again, *id);
+  EXPECT_DOUBLE_EQ(registry.WeightOf(*id), 2.5);
+  EXPECT_DOUBLE_EQ(registry.TotalWeight(), 3.5);
+  EXPECT_EQ(registry.Register(10, 0.0).status().code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST(TenantRegistryTest, InternDefaultsToConfiguredWeight) {
+  TenantRegistry::Options options;
+  options.default_weight = 3.0;
+  TenantRegistry registry(options);
+  const TenantId id = registry.Intern(12);
+  EXPECT_DOUBLE_EQ(registry.WeightOf(id), 3.0);
+}
+
+TEST(TenantRegistryTest, MaxTenantsCapDegradesToDefaultTenant) {
+  TenantRegistry::Options options;
+  options.max_tenants = 4;  // Default tenant + 3 real ones.
+  TenantRegistry registry(options);
+  EXPECT_EQ(registry.Intern(1), 1u);
+  EXPECT_EQ(registry.Intern(2), 2u);
+  EXPECT_EQ(registry.Intern(3), 3u);
+  EXPECT_EQ(registry.Intern(4), kDefaultTenant);
+  EXPECT_EQ(registry.overflowed(), 1u);
+  // Known ids keep resolving after the cap.
+  EXPECT_EQ(registry.Intern(2), 2u);
+  EXPECT_EQ(registry.Register(5, 1.0).status().code(),
+            StatusCode::kResourceExhausted);
+}
+
+TEST(TenantRegistryTest, GrowthPreservesEveryMapping) {
+  TenantRegistry::Options options;
+  options.initial_capacity = 4;  // Force many doublings.
+  TenantRegistry registry(options);
+  constexpr uint64_t kTenants = 10'000;
+  std::vector<TenantId> ids(kTenants);
+  for (uint64_t e = 1; e <= kTenants; ++e) {
+    ids[e - 1] = registry.Intern(e * 31 + 5);
+  }
+  EXPECT_EQ(registry.size(), kTenants + 1);
+  for (uint64_t e = 1; e <= kTenants; ++e) {
+    EXPECT_EQ(registry.Intern(e * 31 + 5), ids[e - 1]);
+    EXPECT_EQ(registry.ExternalIdOf(ids[e - 1]), e * 31 + 5);
+  }
+}
+
+TEST(TenantRegistryTest, ConcurrentInterningAgreesOnIndices) {
+  // Many threads intern overlapping id sets through table growth; every
+  // thread must observe the same external -> dense mapping, with dense
+  // indices forming exactly [0, size()).
+  TenantRegistry::Options options;
+  options.initial_capacity = 8;
+  TenantRegistry registry(options);
+  constexpr size_t kThreads = 8;
+  constexpr uint64_t kIds = 2'000;
+  std::vector<std::unordered_map<uint64_t, TenantId>> seen(kThreads);
+  std::vector<std::thread> threads;
+  for (size_t t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&registry, &seen, t] {
+      // Interleave a thread-private range with a shared range so both
+      // brand-new and already-interned paths race.
+      for (uint64_t i = 1; i <= kIds; ++i) {
+        const uint64_t shared_id = i;
+        const uint64_t private_id = 1'000'000 + t * kIds + i;
+        seen[t][shared_id] = registry.Intern(shared_id);
+        seen[t][private_id] = registry.Intern(private_id);
+        // Lock-free re-lookup returns the same index.
+        ASSERT_EQ(registry.Intern(shared_id), seen[t][shared_id]);
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+
+  EXPECT_EQ(registry.size(), 1 + kIds + kThreads * kIds);
+  for (size_t t = 1; t < kThreads; ++t) {
+    for (uint64_t i = 1; i <= kIds; ++i) {
+      EXPECT_EQ(seen[t][i], seen[0][i]) << "disagreement on shared id " << i;
+    }
+  }
+  std::vector<bool> used(registry.size(), false);
+  for (const auto& m : seen) {
+    for (const auto& [external, dense] : m) {
+      ASSERT_LT(dense, registry.size());
+      EXPECT_EQ(registry.ExternalIdOf(dense), external);
+      used[dense] = true;
+    }
+  }
+  for (size_t i = 1; i < used.size(); ++i) {
+    EXPECT_TRUE(used[i]) << "dense index " << i << " never handed out";
+  }
+}
+
+TEST(TenantRegistryTest, ConcurrentRegisterAndLookup) {
+  // Weighted registration racing hot lookups: WeightOf/TotalWeight stay
+  // readable (no torn doubles under TSan) while inserts grow the table.
+  TenantRegistry registry;
+  std::atomic<bool> stop{false};
+  std::thread reader([&] {
+    while (!stop.load(std::memory_order_acquire)) {
+      const size_t n = registry.size();
+      for (size_t i = 0; i < n; ++i) {
+        (void)registry.WeightOf(static_cast<TenantId>(i));
+      }
+      (void)registry.TotalWeight();
+    }
+  });
+  for (uint64_t e = 1; e <= 3'000; ++e) {
+    ASSERT_TRUE(registry.Register(e, 1.0 + (e % 5)).ok());
+  }
+  stop.store(true, std::memory_order_release);
+  reader.join();
+  EXPECT_EQ(registry.size(), 3'001u);
+}
+
+}  // namespace
+}  // namespace bouncer

@@ -21,10 +21,12 @@
 #include <thread>
 #include <vector>
 
+#include "src/core/tenant_registry.h"
 #include "src/graph/cluster.h"
 #include "src/graph/graph_generator.h"
 #include "src/net/net_client.h"
 #include "src/net/net_server.h"
+#include "src/stats/metric_registry.h"
 #include "src/util/rng.h"
 #include "tests/net/backend_test_util.h"
 
@@ -72,6 +74,11 @@ struct LoopbackHarness {
     NetServer::Options server_options;
     server_options.backend = backend;
     server_options.batch_submit = batch_submit;
+    // Every loopback test runs with the tenant dimension wired in: v1
+    // traffic lands on the default tenant, so the single-tenant cases
+    // double as wire-compat coverage.
+    server_options.tenants = &tenants;
+    server_options.metrics = &metrics;
     server = std::make_unique<NetServer>(&cluster, server_options);
     EXPECT_TRUE(server->Start().ok());
     EXPECT_EQ(server->backend(), backend);
@@ -85,6 +92,8 @@ struct LoopbackHarness {
   GraphStore graph;
   QueryTypeRegistry registry;
   Cluster cluster;
+  TenantRegistry tenants;
+  stats::MetricRegistry metrics;
   std::unique_ptr<NetServer> server;
 };
 
@@ -189,9 +198,9 @@ TEST_P(NetLoopbackTest, DegreeAnswersMatchGraph) {
         static_cast<uint32_t>((seq * 104'729) % num_vertices);
     request.source = vertex;
     uint8_t out[kRequestFrameBytes];
-    EncodeRequest(request, out);
-    ASSERT_EQ(::send(fd, out, sizeof(out), 0),
-              static_cast<ssize_t>(sizeof(out)));
+    const size_t out_bytes = EncodeRequest(request, out);
+    ASSERT_EQ(::send(fd, out, out_bytes, 0),
+              static_cast<ssize_t>(out_bytes));
 
     uint8_t in[kResponseFrameBytes];
     size_t got = 0;
@@ -209,6 +218,79 @@ TEST_P(NetLoopbackTest, DegreeAnswersMatchGraph) {
         << "wrong degree for vertex " << vertex;
   }
   ::close(fd);
+}
+
+TEST_P(NetLoopbackTest, TenantIdsThreadEndToEnd) {
+  BOUNCER_SKIP_UNLESS_BACKEND_AVAILABLE(GetParam());
+  // v2 frames carry external tenant ids; the server interns them and
+  // charges per-tenant counters. A v1 (36-byte) frame from an old client
+  // lands on the default tenant. One blocking socket keeps it exact.
+  LoopbackHarness harness(GetParam(), /*batch_submit=*/true);
+  const uint32_t num_vertices = harness.graph.num_vertices();
+
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  ASSERT_GE(fd, 0);
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(harness.server->port());
+  ASSERT_EQ(::inet_pton(AF_INET, "127.0.0.1", &addr.sin_addr), 1);
+  ASSERT_EQ(::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)),
+            0);
+
+  // (external tenant id, request count): tenant 0 = legacy v1 frames.
+  const std::pair<uint64_t, int> kMix[] = {{7, 5}, {9, 3}, {0, 2}};
+  uint64_t seq = 0;
+  for (const auto& [tenant, count] : kMix) {
+    for (int i = 0; i < count; ++i, ++seq) {
+      RequestFrame request;
+      request.id = 0xfeed0000 + seq;
+      request.op = static_cast<uint8_t>(GraphOp::kDegree);
+      request.source = static_cast<uint32_t>((seq * 104'729) % num_vertices);
+      request.tenant = tenant;
+      uint8_t out[kRequestFrameBytes];
+      const size_t out_bytes = EncodeRequest(request, out);
+      ASSERT_EQ(out_bytes, tenant == 0
+                               ? kLengthPrefixBytes + kRequestBodyBytesV1
+                               : kRequestFrameBytes);
+      ASSERT_EQ(::send(fd, out, out_bytes, 0),
+                static_cast<ssize_t>(out_bytes));
+      uint8_t in[kResponseFrameBytes];
+      size_t got = 0;
+      while (got < sizeof(in)) {
+        const ssize_t n = ::recv(fd, in + got, sizeof(in) - got, 0);
+        ASSERT_GT(n, 0) << "connection died mid-response";
+        got += static_cast<size_t>(n);
+      }
+      ResponseFrame response;
+      DecodeResponseBody(in + kLengthPrefixBytes, &response);
+      EXPECT_EQ(response.id, request.id);
+      EXPECT_EQ(response.status, ResponseStatus::kOk);
+    }
+  }
+  ::close(fd);
+
+  // Per-tenant accounting: exact request/ok splits by dense index.
+  for (const auto& [tenant, count] : kMix) {
+    TenantId dense = kDefaultTenant;
+    if (tenant != 0) {
+      const StatusOr<TenantId> found = harness.tenants.Find(tenant);
+      ASSERT_TRUE(found.ok()) << "tenant " << tenant << " never interned";
+      dense = *found;
+      EXPECT_NE(dense, kDefaultTenant);
+    }
+    const NetServer::TenantStats stats = harness.server->TenantStatsOf(dense);
+    EXPECT_EQ(stats.requests, static_cast<uint64_t>(count))
+        << "tenant " << tenant;
+    EXPECT_EQ(stats.ok, static_cast<uint64_t>(count)) << "tenant " << tenant;
+    EXPECT_EQ(stats.rejected, 0u);
+  }
+
+  // The admin metric surface renders per-tenant rows keyed by wire id.
+  const std::string json = harness.metrics.ToJson();
+  EXPECT_NE(json.find("\"tenant.7.requests\":5"), std::string::npos) << json;
+  EXPECT_NE(json.find("\"tenant.9.ok\":3"), std::string::npos) << json;
+  EXPECT_NE(json.find("\"tenant.0.requests\":2"), std::string::npos) << json;
+  EXPECT_NE(json.find("\"tenant.count\":3"), std::string::npos) << json;
 }
 
 TEST_P(NetLoopbackTest, RejectionCodesReachTheClient) {

@@ -19,11 +19,15 @@ TEST(NetProtocolTest, RequestRoundTrip) {
   in.deadline_ns = 123 * kMillisecond;
 
   uint8_t buf[kRequestFrameBytes];
-  EncodeRequest(in, buf);
-  EXPECT_EQ(wire::GetU32(buf), kRequestBodyBytes);
+  // Default tenant: the frame stays a v1 body, byte-compatible with
+  // pre-tenant servers.
+  ASSERT_EQ(EncodeRequest(in, buf),
+            kLengthPrefixBytes + kRequestBodyBytesV1);
+  EXPECT_EQ(wire::GetU32(buf), kRequestBodyBytesV1);
 
   RequestFrame out;
-  EXPECT_TRUE(DecodeRequestBody(buf + kLengthPrefixBytes, &out));
+  EXPECT_TRUE(DecodeRequestBody(buf + kLengthPrefixBytes,
+                                kRequestBodyBytesV1, &out));
   EXPECT_EQ(out.id, in.id);
   EXPECT_EQ(out.op, in.op);
   EXPECT_EQ(out.priority, in.priority);
@@ -32,6 +36,55 @@ TEST(NetProtocolTest, RequestRoundTrip) {
   EXPECT_EQ(out.target, in.target);
   EXPECT_EQ(out.external_id, in.external_id);
   EXPECT_EQ(out.deadline_ns, in.deadline_ns);
+  EXPECT_EQ(out.tenant, 0u);
+}
+
+TEST(NetProtocolTest, TenantRequestRoundTrip) {
+  RequestFrame in;
+  in.id = 77;
+  in.op = static_cast<uint8_t>(graph::GraphOp::kNeighbors);
+  in.source = 5;
+  in.tenant = 0x00c0ffee12345678ull;
+
+  uint8_t buf[kRequestFrameBytes];
+  ASSERT_EQ(EncodeRequest(in, buf), kLengthPrefixBytes + kRequestBodyBytes);
+  EXPECT_EQ(wire::GetU32(buf), kRequestBodyBytes);
+
+  RequestFrame out;
+  EXPECT_TRUE(
+      DecodeRequestBody(buf + kLengthPrefixBytes, kRequestBodyBytes, &out));
+  EXPECT_EQ(out.tenant, in.tenant);
+  EXPECT_EQ(out.flags & kRequestFlagTenant, kRequestFlagTenant);
+  EXPECT_EQ(out.id, in.id);
+  EXPECT_EQ(out.source, in.source);
+}
+
+TEST(NetProtocolTest, V1BodyFromOldClientDecodesAsDefaultTenant) {
+  // A hand-built 36-byte v1 body (what a pre-tenant client emits) must
+  // keep decoding, with the tenant defaulting to 0.
+  uint8_t body[kRequestBodyBytesV1] = {};
+  wire::PutU64(body, 1234);
+  body[8] = static_cast<uint8_t>(graph::GraphOp::kDegree);
+  wire::PutU16(body + 10, 0);
+  wire::PutU32(body + 12, 42);
+  RequestFrame out;
+  EXPECT_TRUE(DecodeRequestBody(body, kRequestBodyBytesV1, &out));
+  EXPECT_EQ(out.id, 1234u);
+  EXPECT_EQ(out.tenant, 0u);
+}
+
+TEST(NetProtocolTest, DecodeRejectsTenantFlagLengthMismatch) {
+  // Tenant flag set but only a v1-length body: invalid, and the tenant
+  // must not be read from bytes that do not exist.
+  uint8_t body[kRequestBodyBytes] = {};
+  body[8] = static_cast<uint8_t>(graph::GraphOp::kDegree);
+  wire::PutU16(body + 10, kRequestFlagTenant);
+  RequestFrame out;
+  EXPECT_FALSE(DecodeRequestBody(body, kRequestBodyBytesV1, &out));
+  EXPECT_EQ(out.tenant, 0u);
+  // And the inverse: a 44-byte body without the flag is also malformed.
+  wire::PutU16(body + 10, 0);
+  EXPECT_FALSE(DecodeRequestBody(body, kRequestBodyBytes, &out));
 }
 
 TEST(NetProtocolTest, ResponseRoundTrip) {
@@ -73,21 +126,21 @@ TEST(NetProtocolTest, DecodeRejectsUnknownOp) {
   in.id = 9;
   in.op = static_cast<uint8_t>(graph::kNumGraphOps);  // one past the last op
   uint8_t buf[kRequestFrameBytes];
-  EncodeRequest(in, buf);
+  const size_t n = EncodeRequest(in, buf);
   RequestFrame out;
-  EXPECT_FALSE(DecodeRequestBody(buf + kLengthPrefixBytes, &out));
+  EXPECT_FALSE(DecodeRequestBody(buf + kLengthPrefixBytes,
+                                 n - kLengthPrefixBytes, &out));
   // Fields are still filled so the server can echo the id in kBadRequest.
   EXPECT_EQ(out.id, 9u);
 }
 
-TEST(NetProtocolTest, DecodeRejectsNonZeroFlags) {
-  RequestFrame in;
-  in.op = static_cast<uint8_t>(graph::GraphOp::kDegree);
-  in.flags = 1;
-  uint8_t buf[kRequestFrameBytes];
-  EncodeRequest(in, buf);
+TEST(NetProtocolTest, DecodeRejectsUnknownFlagBits) {
+  // Flag bits above kRequestFlagTenant are reserved and must reject.
+  uint8_t body[kRequestBodyBytesV1] = {};
+  body[8] = static_cast<uint8_t>(graph::GraphOp::kDegree);
+  wire::PutU16(body + 10, 0x2);
   RequestFrame out;
-  EXPECT_FALSE(DecodeRequestBody(buf + kLengthPrefixBytes, &out));
+  EXPECT_FALSE(DecodeRequestBody(body, kRequestBodyBytesV1, &out));
 }
 
 TEST(NetProtocolTest, AdminOpcodesAreDistinctFromGraphOps) {
@@ -104,9 +157,10 @@ TEST(NetProtocolTest, AdminRequestRoundTrip) {
   in.id = 99;
   in.op = kOpStatsPrometheus;
   uint8_t buf[kRequestFrameBytes];
-  EncodeRequest(in, buf);
+  const size_t n = EncodeRequest(in, buf);
   RequestFrame out;
-  EXPECT_TRUE(DecodeRequestBody(buf + kLengthPrefixBytes, &out));
+  EXPECT_TRUE(DecodeRequestBody(buf + kLengthPrefixBytes,
+                                n - kLengthPrefixBytes, &out));
   EXPECT_EQ(out.op, kOpStatsPrometheus);
   EXPECT_EQ(out.id, 99u);
 }

@@ -28,23 +28,23 @@ const Slo kSlo{18 * kMillisecond, 50 * kMillisecond, 0};
 /// OnShedded for the shed suffix, OnEnqueued only for pushed items).
 class CountingPolicy : public AdmissionPolicy {
  public:
-  Decision Decide(QueryTypeId, Nanos) override {
+  Decision Decide(WorkKey, Nanos) override {
     decide.fetch_add(1, std::memory_order_relaxed);
     return Decision::kAccept;
   }
-  void OnEnqueued(QueryTypeId, Nanos) override {
+  void OnEnqueued(WorkKey, Nanos) override {
     enqueued.fetch_add(1, std::memory_order_relaxed);
   }
-  void OnRejected(QueryTypeId, Nanos) override {
+  void OnRejected(WorkKey, Nanos) override {
     rejected.fetch_add(1, std::memory_order_relaxed);
   }
-  void OnDequeued(QueryTypeId, Nanos, Nanos) override {
+  void OnDequeued(WorkKey, Nanos, Nanos) override {
     dequeued.fetch_add(1, std::memory_order_relaxed);
   }
-  void OnShedded(QueryTypeId, Nanos) override {
+  void OnShedded(WorkKey, Nanos) override {
     shedded.fetch_add(1, std::memory_order_relaxed);
   }
-  void OnCompleted(QueryTypeId, Nanos, Nanos) override {
+  void OnCompleted(WorkKey, Nanos, Nanos) override {
     completed.fetch_add(1, std::memory_order_relaxed);
   }
   std::string_view name() const override { return "Counting"; }

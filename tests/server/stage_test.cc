@@ -2,11 +2,15 @@
 
 #include <gtest/gtest.h>
 
+#include <array>
 #include <atomic>
 #include <chrono>
+#include <string>
 #include <thread>
 
 #include "src/core/policy_factory.h"
+#include "src/core/tenant_registry.h"
+#include "src/stats/flight_recorder.h"
 
 namespace bouncer::server {
 namespace {
@@ -242,19 +246,19 @@ TEST(StageTest, ConcurrentSubmitters) {
 /// keeps the hook protocol balanced even on the shed paths.
 class ProbePolicy final : public AdmissionPolicy {
  public:
-  Decision Decide(QueryTypeId, Nanos) override {
+  Decision Decide(WorkKey, Nanos) override {
     decided.fetch_add(1);
     return Decision::kAccept;
   }
-  void OnEnqueued(QueryTypeId, Nanos) override { enqueued.fetch_add(1); }
-  void OnRejected(QueryTypeId, Nanos) override { rejected.fetch_add(1); }
-  void OnDequeued(QueryTypeId, Nanos, Nanos) override {
+  void OnEnqueued(WorkKey, Nanos) override { enqueued.fetch_add(1); }
+  void OnRejected(WorkKey, Nanos) override { rejected.fetch_add(1); }
+  void OnDequeued(WorkKey, Nanos, Nanos) override {
     dequeued.fetch_add(1);
   }
-  void OnCompleted(QueryTypeId, Nanos, Nanos) override {
+  void OnCompleted(WorkKey, Nanos, Nanos) override {
     processed.fetch_add(1);
   }
-  void OnShedded(QueryTypeId, Nanos) override { shedded.fetch_add(1); }
+  void OnShedded(WorkKey, Nanos) override { shedded.fetch_add(1); }
   std::string_view name() const override { return "Probe"; }
 
   std::atomic<uint64_t> decided{0};
@@ -421,6 +425,85 @@ TEST(StageTest, TryRunOneProcessesQueuedItem) {
   EXPECT_EQ(f.completed.load(), 2);
   EXPECT_EQ(f.stage->counters().completed, 2u);
   EXPECT_EQ(f.stage->queue_state().TotalLength(), 0u);
+}
+
+TEST(StageTest, TenantThreadsThroughPolicyAndTrace) {
+  // The tenant dimension rides every hop: Submit stamps item.tenant,
+  // the policy's Decide sees it in the WorkKey, the PolicyContext
+  // carries the registry, and the sampled trace events record it.
+  QueryTypeRegistry registry(kSlo);
+  const QueryTypeId type_id = *registry.Register("t", kSlo);
+  TenantRegistry tenants;
+  for (uint64_t e = 1; e <= 3; ++e) {
+    ASSERT_TRUE(tenants.Register(e, 1.0).ok());
+  }
+  stats::FlightRecorder recorder;
+  stats::FlightRecorder::Options trace_options;
+  trace_options.sampling_period = 1;  // Trace every request.
+  recorder.Configure(trace_options);
+  recorder.SetEnabled(true);
+
+  struct RecordingPolicy : AdmissionPolicy {
+    explicit RecordingPolicy(std::array<std::atomic<int>, 4>* s) : seen(s) {}
+    Decision Decide(WorkKey key, Nanos) override {
+      if (key.tenant < seen->size()) (*seen)[key.tenant].fetch_add(1);
+      return Decision::kAccept;
+    }
+    std::string_view name() const override { return "Recording"; }
+    std::array<std::atomic<int>, 4>* seen;
+  };
+  std::array<std::atomic<int>, 4> seen{};
+  const TenantRegistry* context_tenants = nullptr;
+
+  Stage::Options options;
+  options.name = "tenant";
+  options.num_workers = 2;
+  options.tenants = &tenants;
+  options.recorder = &recorder;
+  std::atomic<int> done{0};
+  Stage stage(
+      options, &registry, SystemClock::Global(),
+      [&seen, &context_tenants](const PolicyContext& context)
+          -> StatusOr<std::unique_ptr<AdmissionPolicy>> {
+        context_tenants = context.tenants;
+        return std::unique_ptr<AdmissionPolicy>(
+            std::make_unique<RecordingPolicy>(&seen));
+      },
+      [](WorkItem&) {});
+  ASSERT_TRUE(stage.init_status().ok());
+  EXPECT_EQ(context_tenants, &tenants);
+  ASSERT_TRUE(stage.Start().ok());
+
+  const int kPerTenant[] = {0, 5, 3, 2};
+  for (TenantId t = 1; t <= 3; ++t) {
+    for (int i = 0; i < kPerTenant[t]; ++i) {
+      WorkItem item;
+      item.type = type_id;
+      item.tenant = t;
+      item.on_complete = [&done](const WorkItem&, Outcome) {
+        done.fetch_add(1);
+      };
+      stage.Submit(std::move(item));
+    }
+  }
+  const auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::seconds(10);
+  while (done.load() < 10 && std::chrono::steady_clock::now() < deadline) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  stage.Stop();
+  ASSERT_EQ(done.load(), 10);
+  for (TenantId t = 1; t <= 3; ++t) {
+    EXPECT_EQ(seen[t].load(), kPerTenant[t]) << "tenant " << t;
+  }
+  // Sampled trace events carry the tenant index.
+  std::string dump;
+  recorder.Dump(&dump);
+  for (TenantId t = 1; t <= 3; ++t) {
+    EXPECT_NE(dump.find("\"tenant\":" + std::to_string(t)),
+              std::string::npos)
+        << "tenant " << t;
+  }
 }
 
 TEST(StageBuilderTest, RequiresRegistryAndHandler) {

@@ -74,6 +74,7 @@ TEST(FlightRecorderTest, DumpRoundTripsRecordedFields) {
   event.arg0 = -5;
   event.arg1 = 99;
   event.loc = 3;
+  event.tenant = 17;
   event.type = 11;
   event.kind = static_cast<uint8_t>(TraceEventKind::kNetParse);
   event.reason = 2;
@@ -82,7 +83,8 @@ TEST(FlightRecorderTest, DumpRoundTripsRecordedFields) {
   EXPECT_EQ(recorder.Dump(&dump), 1u);
   EXPECT_EQ(dump,
             "{\"ts\":123456789,\"id\":42,\"kind\":\"net_parse\",\"type\":11,"
-            "\"reason\":2,\"loc\":3,\"arg0\":-5,\"arg1\":99,\"ring\":0}\n");
+            "\"tenant\":17,\"reason\":2,\"loc\":3,\"arg0\":-5,\"arg1\":99,"
+            "\"ring\":0}\n");
 }
 
 TEST(FlightRecorderTest, RingKeepsNewestEventsOnWraparound) {

@@ -1,0 +1,99 @@
+#include "src/workload/tenant_mix.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "src/core/tenant_registry.h"
+#include "src/util/rng.h"
+
+namespace bouncer::workload {
+namespace {
+
+TEST(TenantMixTest, ValidateAcceptsWellFormedMix) {
+  TenantMix mix({{1, 0.5, 1.0}, {2, 0.3, 2.0}, {3, 0.2, 1.0}});
+  EXPECT_TRUE(mix.Validate().ok());
+  EXPECT_EQ(mix.size(), 3u);
+}
+
+TEST(TenantMixTest, ValidateRejectsBadMixes) {
+  EXPECT_EQ(TenantMix(std::vector<TenantSpec>{}).Validate().code(),
+            StatusCode::kInvalidArgument);
+  // Duplicate wire ids.
+  EXPECT_FALSE(TenantMix({{1, 0.5, 1.0}, {1, 0.5, 1.0}}).Validate().ok());
+  // The default tenant id 0 is reserved.
+  EXPECT_FALSE(TenantMix({{0, 1.0, 1.0}}).Validate().ok());
+  // Non-positive weight.
+  EXPECT_FALSE(TenantMix({{1, 1.0, 0.0}}).Validate().ok());
+  // Shares must sum to ~1.
+  EXPECT_FALSE(TenantMix({{1, 0.5, 1.0}, {2, 0.2, 1.0}}).Validate().ok());
+  // Negative share.
+  EXPECT_FALSE(TenantMix({{1, 1.2, 1.0}, {2, -0.2, 1.0}}).Validate().ok());
+}
+
+TEST(TenantMixTest, SampleFollowsShares) {
+  TenantMix mix({{1, 0.8, 1.0}, {2, 0.2, 1.0}});
+  ASSERT_TRUE(mix.Validate().ok());
+  Rng rng(42);
+  constexpr int kDraws = 20'000;
+  int first = 0;
+  for (int i = 0; i < kDraws; ++i) {
+    const uint64_t id = mix.SampleExternalId(rng);
+    ASSERT_TRUE(id == 1 || id == 2);
+    if (id == 1) ++first;
+  }
+  const double p = static_cast<double>(first) / kDraws;
+  EXPECT_NEAR(p, 0.8, 0.02);
+}
+
+TEST(TenantMixTest, UniformMixSplitsEvenly) {
+  const TenantMix mix = UniformTenantMix(5);
+  ASSERT_TRUE(mix.Validate().ok());
+  ASSERT_EQ(mix.size(), 5u);
+  for (size_t i = 0; i < mix.size(); ++i) {
+    EXPECT_EQ(mix.tenant(i).external_id, i + 1);
+    EXPECT_DOUBLE_EQ(mix.tenant(i).share, 0.2);
+    EXPECT_DOUBLE_EQ(mix.tenant(i).weight, 1.0);
+  }
+}
+
+TEST(TenantMixTest, ZipfianMixIsHeadHeavyAndValid) {
+  const TenantMix mix = ZipfianTenantMix(100, 1.0);
+  ASSERT_TRUE(mix.Validate().ok());
+  ASSERT_EQ(mix.size(), 100u);
+  // Monotone decreasing shares, id 1 hottest; ratio of head to rank-k
+  // follows 1/k^s.
+  for (size_t i = 1; i < mix.size(); ++i) {
+    EXPECT_GE(mix.tenant(i - 1).share, mix.tenant(i).share);
+  }
+  EXPECT_NEAR(mix.tenant(0).share / mix.tenant(9).share, 10.0, 1e-6);
+}
+
+TEST(TenantMixTest, NoisyNeighborShapeAndEqualWeights) {
+  const TenantMix mix = NoisyNeighborMix(4, /*aggressor_share=*/0.6);
+  ASSERT_TRUE(mix.Validate().ok());
+  ASSERT_EQ(mix.size(), 4u);
+  EXPECT_EQ(mix.tenant(0).external_id, 1u);
+  EXPECT_DOUBLE_EQ(mix.tenant(0).share, 0.6);
+  for (size_t i = 1; i < mix.size(); ++i) {
+    EXPECT_NEAR(mix.tenant(i).share, 0.4 / 3, 1e-12);
+    EXPECT_DOUBLE_EQ(mix.tenant(i).weight, mix.tenant(0).weight);
+  }
+}
+
+TEST(TenantMixTest, PopulateRegistryInternsInSpecOrder) {
+  const TenantMix mix = NoisyNeighborMix(3);
+  TenantRegistry registry;
+  const StatusOr<std::vector<TenantId>> ids = mix.PopulateRegistry(&registry);
+  ASSERT_TRUE(ids.ok());
+  ASSERT_EQ(ids->size(), 3u);
+  for (size_t i = 0; i < ids->size(); ++i) {
+    EXPECT_EQ(registry.ExternalIdOf((*ids)[i]), mix.tenant(i).external_id);
+    EXPECT_DOUBLE_EQ(registry.WeightOf((*ids)[i]), mix.tenant(i).weight);
+  }
+  EXPECT_EQ(registry.size(), 4u);  // Default tenant + 3.
+}
+
+}  // namespace
+}  // namespace bouncer::workload
